@@ -1,0 +1,36 @@
+-- The paper's Internet Archive example as a shell script:
+--   dune exec bin/svr_shell.exe -- --init examples/archive.sql
+-- then try, at the prompt:
+--   SELECT * FROM Movies ORDER BY score(description, 'golden gate') DESC
+--   FETCH TOP 10 RESULTS ONLY;
+--   UPDATE Statistics SET nVisit = 999999 WHERE mID = 2;
+--   SELECT title FROM Movies ORDER BY score(description, 'golden gate') DESC
+--   FETCH TOP 1 RESULTS ONLY;
+
+CREATE TABLE Movies (mID integer, title text, description text, PRIMARY KEY (mID));
+CREATE TABLE Reviews (rID integer, mID integer, rating float, PRIMARY KEY (rID));
+CREATE TABLE Statistics (mID integer, nVisit integer, nDownload integer, PRIMARY KEY (mID));
+
+INSERT INTO Movies VALUES
+  (1, 'American Thrift', 'Part one of an American thrift film near the golden gate'),
+  (2, 'Amateur Film', 'An amateur film about the golden gate bridge'),
+  (3, 'City Rails', 'A newsreel about city railways and harbors');
+
+INSERT INTO Reviews VALUES (100, 1, 5.0), (101, 1, 4.0), (102, 2, 2.0), (103, 3, 3.5);
+INSERT INTO Statistics VALUES (1, 2000, 300), (2, 100, 10), (3, 700, 60);
+
+create function S1 (id: integer) returns float
+  return SELECT avg(R.rating) FROM Reviews R WHERE R.mID = id;
+create function S2 (id: integer) returns float
+  return SELECT S.nVisit FROM Statistics S WHERE S.mID = id;
+create function S3 (id: integer) returns float
+  return SELECT S.nDownload FROM Statistics S WHERE S.mID = id;
+create function Agg (s1: float, s2: float, s3: float) returns float
+  return (s1*100 + s2/2 + s3);
+
+CREATE TEXT INDEX MoviesIdx ON Movies (description) USING chunk
+  SCORE (S1, S2, S3) AGG Agg;
+
+SELECT mID, title FROM Movies
+ORDER BY score(description, 'golden gate') DESC
+FETCH TOP 10 RESULTS ONLY;
