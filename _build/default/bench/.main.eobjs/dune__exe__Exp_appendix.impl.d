@@ -1,0 +1,1 @@
+bench/exp_appendix.ml: Array Harness Printf Profile Svr_core Svr_workload Unix

@@ -1,0 +1,1 @@
+bench/exp_archive.ml: Array Harness List Profile Svr_core Svr_storage Svr_workload Unix

@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Array Harness List Profile Svr_core

@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Array Harness List Printf Profile Svr_core

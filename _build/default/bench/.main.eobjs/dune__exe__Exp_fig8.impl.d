@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Array Harness List Printf Profile Svr_core Svr_workload

@@ -1,0 +1,1 @@
+bench/exp_step_size.ml: Array Harness List Printf Profile Svr_core Svr_storage Svr_workload Unix

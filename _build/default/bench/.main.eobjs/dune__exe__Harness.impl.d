@@ -1,0 +1,1 @@
+bench/harness.ml: Array Fun List Option Printf Profile String Svr_core Svr_storage Svr_workload Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_appendix Exp_archive Exp_fig10 Exp_fig7 Exp_fig8 Exp_fig9 Exp_step_size Exp_table1 Exp_table2 Exp_table3 List Micro Printf Profile String Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Float Harness Hashtbl Instance Lazy List Measure Printf Profile Staged String Svr_core Svr_storage Svr_workload Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/profile.ml: Printf Svr_workload Sys

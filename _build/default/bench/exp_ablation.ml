@@ -1,0 +1,105 @@
+(* Ablation: chunk boundary policies (DESIGN.md Section 5).
+
+   The paper reports experimenting with equal-sized and exponentially
+   growing/shrinking chunks before settling on the ratio-of-lowest-scores
+   policy. This bench regenerates that comparison: ratio-based chunking
+   tracks the skewed score distribution, so updates rarely cross two chunk
+   boundaries and queries stop early; equal-width chunking puts almost all
+   documents in the bottom chunks (long scans); equal-population chunking
+   makes top chunks tiny, so updates move postings constantly. *)
+
+module Core = Svr_core
+module W = Svr_workload
+
+(* a second score regime: the archive-like shape where most scores cluster
+   in a narrow band and a few flash outliers stretch the range - the skew
+   under which the paper discarded equal-sized chunks *)
+let clustered_scores n =
+  let rng = W.Rng.create 77 in
+  Array.init n (fun _ ->
+      if W.Rng.float rng 1.0 < 0.998 then 200.0 +. W.Rng.float rng 1800.0
+      else
+        let u = W.Rng.float rng 1.0 in
+        2000.0 +. (u *. u *. 98_000.0))
+
+let run (p : Profile.t) =
+  Harness.banner "Ablation: chunk boundary policies" p;
+  Harness.header
+    [ "policy            "; "  chunks"; "qry0 wall"; " upd wall"; " moves/upd";
+      " qry wall"; "  qry sim" ];
+  let corpus = Harness.materialized_corpus p in
+  let queries = Harness.queries_for p in
+  let cfg = Harness.cfg p in
+  let policies =
+    [ ("ratio 6.12 (paper)",
+       Core.Chunk_policy.ratio_based ~ratio:6.12 ~min_docs:cfg.Core.Config.min_chunk_docs);
+      ("ratio 1.56 (tuned)",
+       Core.Chunk_policy.ratio_based ~ratio:1.56 ~min_docs:cfg.Core.Config.min_chunk_docs);
+      ("equal width x8", Core.Chunk_policy.equal_width ~n_chunks:8);
+      ("equal popn x8", Core.Chunk_policy.equal_population ~n_chunks:8) ]
+  in
+  let distributions =
+    [ ("zipf-value scores (Figure 6)", W.Corpus_gen.scores p.Profile.corpus);
+      ("clustered + outliers (archive-like)",
+       clustered_scores p.Profile.corpus.W.Corpus_gen.n_docs) ]
+  in
+  List.iter (fun (dist_name, scores) ->
+  Printf.printf "-- %s --\n" dist_name;
+  List.iter
+    (fun (name, policy_of_scores) ->
+      let env = Harness.make_env p in
+      let idx =
+        Core.Method_chunk.build ~env ~policy_of_scores cfg
+          ~corpus:(Array.to_seq corpus)
+          ~scores:(fun d -> scores.(d))
+      in
+      (* query cost on the freshly built index, before any update widens the
+         gap between the k-th score and the chunk stop bounds *)
+      let qry0 =
+        let wall = ref 0.0 in
+        Array.iter
+          (fun q ->
+            Svr_storage.Env.drop_blob_caches env;
+            let t0 = Unix.gettimeofday () in
+            ignore (Core.Method_chunk.query idx q ~k:p.Profile.k);
+            wall := !wall +. (Unix.gettimeofday () -. t0))
+          queries;
+        !wall *. 1000.0 /. float_of_int (Array.length queries)
+      in
+      let cur = Array.copy scores in
+      let ops = Harness.update_ops p ~scores in
+      let short_before = Core.Method_chunk.short_list_postings idx in
+      let t0 = Unix.gettimeofday () in
+      Array.iter
+        (fun (op : W.Update_gen.op) ->
+          let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+          cur.(op.W.Update_gen.doc) <- s;
+          Core.Method_chunk.score_update idx ~doc:op.W.Update_gen.doc s)
+        ops;
+      let upd_ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int (Array.length ops) in
+      let moves =
+        float_of_int (Core.Method_chunk.short_list_postings idx - short_before)
+        /. float_of_int (Array.length ops)
+      in
+      let wall = ref 0.0 in
+      let st = Svr_storage.Env.stats env in
+      Svr_storage.Env.drop_blob_caches env;
+      let before = Svr_storage.Stats.snapshot st in
+      Array.iter
+        (fun q ->
+          Svr_storage.Env.drop_blob_caches env;
+          let t0 = Unix.gettimeofday () in
+          ignore (Core.Method_chunk.query idx q ~k:p.Profile.k);
+          wall := !wall +. (Unix.gettimeofday () -. t0))
+        queries;
+      let d = Svr_storage.Stats.diff ~after:(Svr_storage.Stats.snapshot st) ~before in
+      let nq = float_of_int (Array.length queries) in
+      Harness.row name
+        [ Printf.sprintf "%7d" (Core.Chunk_policy.n_chunks (Core.Method_chunk.policy idx));
+          Harness.fmt_ms qry0;
+          Harness.fmt_ms upd_ms;
+          Printf.sprintf "%9.2f" moves;
+          Harness.fmt_ms (!wall *. 1000.0 /. nq);
+          Harness.fmt_ms (Svr_storage.Stats.simulated_ms d /. nq) ])
+    policies)
+    distributions

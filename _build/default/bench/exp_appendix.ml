@@ -1,0 +1,64 @@
+(* Appendix A: document deletions and content updates on the Chunk method.
+
+   The paper reports only insertions (Table 3) and notes "the results for
+   document deletions and content updates are similar, and are omitted".
+   This experiment fills that gap: batches of deletions (a Score-table flag
+   write) and content updates (ADD/REM short-list markers), each followed by
+   score-update and query measurements. *)
+
+module Core = Svr_core
+module W = Svr_workload
+
+let run (p : Profile.t) =
+  Harness.banner "Appendix A: deletions and content updates (Chunk)" p;
+  Harness.header
+    [ "operation         "; "  op wall"; " qry wall"; "  qry sim"; "upd wall" ];
+  let idx, scores = Harness.build p Core.Index.Chunk in
+  let n_docs = p.Profile.corpus.W.Corpus_gen.n_docs in
+  let queries = Harness.queries_for p in
+  let cur = Array.copy scores in
+  let update_budget = max 50 (p.Profile.n_updates / 16) in
+  let alt = { p.Profile.corpus with W.Corpus_gen.seed = 4242 } in
+  let measure_round label op count =
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to count - 1 do
+      op i
+    done;
+    let op_ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int count in
+    let upd =
+      Harness.apply_updates idx ~cur (Harness.update_ops ~n:update_budget p ~scores)
+    in
+    let qry = Harness.measure_queries p idx queries in
+    Harness.row label
+      [ Harness.fmt_ms op_ms; Harness.fmt_ms qry.Harness.wall_ms;
+        Harness.fmt_ms qry.Harness.sim_ms; Harness.fmt_ms upd.Harness.wall_ms ]
+  in
+  (* content updates: rewrite a spread of documents with fresh text drawn
+     from the same distribution (ADD/REM markers in the short lists) *)
+  let batch = n_docs / 8 in
+  measure_round
+    (Printf.sprintf "content x%d" batch)
+    (fun i ->
+      Core.Index.update_content idx ~doc:(i * 7 mod n_docs)
+        (W.Corpus_gen.doc_text alt (i mod n_docs)))
+    batch;
+  measure_round
+    (Printf.sprintf "content x%d more" batch)
+    (fun i ->
+      Core.Index.update_content idx
+        ~doc:((i * 7) + 3 mod n_docs)
+        (W.Corpus_gen.doc_text alt ((i + batch) mod n_docs)))
+    batch;
+  (* deletions: one flag write each; queries must stay fast and correct *)
+  measure_round
+    (Printf.sprintf "delete x%d" batch)
+    (fun i -> Core.Index.delete idx ~doc:(i * 11 mod n_docs))
+    batch;
+  (* offline merge folds everything back into fresh long lists *)
+  let t0 = Unix.gettimeofday () in
+  Core.Index.rebuild idx;
+  let rebuild_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let qry = Harness.measure_queries p idx queries in
+  Harness.row "rebuild (offline)"
+    [ Harness.fmt_ms rebuild_ms; Harness.fmt_ms qry.Harness.wall_ms;
+      Harness.fmt_ms qry.Harness.sim_ms; "        -" ]

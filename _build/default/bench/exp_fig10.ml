@@ -1,0 +1,30 @@
+(* Figure 10 / Section 5.3.6: disjunctive vs conjunctive queries.
+
+   Paper shape: the chunked / score-ordered methods cost about the same in
+   both modes (disk pages dominate and early stopping still applies, if
+   anything disjunctive is marginally cheaper); the ID-ordered methods get
+   *worse* disjunctively because many more candidates flow through the
+   result heap. *)
+
+module Core = Svr_core
+
+let methods =
+  [ Core.Index.Id; Core.Index.Id_termscore; Core.Index.Score_threshold;
+    Core.Index.Chunk; Core.Index.Chunk_termscore ]
+
+let run (p : Profile.t) =
+  Harness.banner "Figure 10: disjunctive vs conjunctive queries" p;
+  Harness.header
+    [ "method            "; "conj wall"; " conj sim"; "  rand"; "    seq";
+      "disj wall"; " disj sim"; "  rand"; "    seq" ];
+  let queries = Harness.queries_for p in
+  List.iter
+    (fun kind ->
+      let idx, scores = Harness.build p kind in
+      let cur = Array.copy scores in
+      ignore (Harness.apply_updates idx ~cur (Harness.update_ops p ~scores));
+      let conj = Harness.measure_queries ~mode:Core.Types.Conjunctive p idx queries in
+      let disj = Harness.measure_queries ~mode:Core.Types.Disjunctive p idx queries in
+      Harness.row (Core.Index.kind_name kind)
+        (Harness.timing_cells conj @ Harness.timing_cells disj))
+    methods

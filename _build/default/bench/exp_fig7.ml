@@ -1,0 +1,45 @@
+(* Figure 7: varying the number of score updates from 0 to the full budget.
+
+   Paper shape: the Score method's updates are ~6 orders of magnitude more
+   expensive than everyone else's (long-list rewrites per term); ID has the
+   cheapest updates but the slowest queries (full list scans regardless of
+   updates); Score-Threshold and Chunk keep both cheap, with query time
+   degrading only mildly as short lists grow. The Score method runs a capped
+   update count here, as in the paper which drops it after this figure. *)
+
+module Core = Svr_core
+
+let methods =
+  [ Core.Index.Id; Core.Index.Score; Core.Index.Score_threshold; Core.Index.Chunk ]
+
+let run (p : Profile.t) =
+  Harness.banner "Figure 7: varying number of score updates" p;
+  Harness.header
+    [ "method / #updates "; " upd wall"; "  upd sim"; "  rand"; "    seq";
+      " qry wall"; "  qry sim"; "  rand"; "    seq" ];
+  let checkpoints = [ 0; p.Profile.n_updates / 8; p.Profile.n_updates / 2; p.Profile.n_updates ] in
+  List.iter
+    (fun kind ->
+      let idx, scores = Harness.build p kind in
+      let cap =
+        if kind = Core.Index.Score then p.Profile.score_method_update_cap
+        else max_int
+      in
+      let all_ops = Harness.update_ops p ~scores in
+      let cur = Array.copy scores in
+      let applied = ref 0 in
+      let queries = Harness.queries_for p in
+      List.iter
+        (fun target ->
+          let capped = target > cap in
+          let target = min target cap in
+          let segment = Array.sub all_ops !applied (max 0 (target - !applied)) in
+          applied := target;
+          let upd = Harness.apply_updates idx ~cur segment in
+          let qry = Harness.measure_queries p idx queries in
+          Harness.row
+            (Printf.sprintf "%s @%d%s" (Core.Index.kind_name kind) target
+               (if capped then " (capped)" else ""))
+            (Harness.timing_cells upd @ Harness.timing_cells qry))
+        checkpoints)
+    methods

@@ -1,0 +1,30 @@
+(* Figure 8: varying the number of desired results k.
+
+   Paper shape: ID is flat in k (always scans everything); Score-Threshold
+   and Chunk grow with k because they scan a longer list prefix, with Chunk
+   dominating Score-Threshold (smaller lists), converging towards ID at very
+   large k. *)
+
+module Core = Svr_core
+
+let methods = [ Core.Index.Id; Core.Index.Score_threshold; Core.Index.Chunk ]
+let ks (p : Profile.t) = [ 1; 10; 100; p.Profile.corpus.Svr_workload.Corpus_gen.n_docs / 4 ]
+
+let run (p : Profile.t) =
+  Harness.banner "Figure 8: varying number of desired results (query times)" p;
+  Harness.header [ "method / k        "; " qry wall"; "  qry sim"; "  rand"; "    seq" ];
+  List.iter
+    (fun kind ->
+      let idx, scores = Harness.build p kind in
+      (* apply the default update workload first, as the paper does *)
+      let cur = Array.copy scores in
+      ignore (Harness.apply_updates idx ~cur (Harness.update_ops p ~scores));
+      let queries = Harness.queries_for p in
+      List.iter
+        (fun k ->
+          let qry = Harness.measure_queries ~k p idx queries in
+          Harness.row
+            (Printf.sprintf "%s k=%d" (Core.Index.kind_name kind) k)
+            (Harness.timing_cells qry))
+        (ks p))
+    methods

@@ -1,0 +1,29 @@
+(* Figure 9: combining SVR scores with term scores.
+
+   Paper shape: Chunk-TermScore queries are far faster than ID-TermScore
+   (fancy lists + chunked early stopping vs full scans of fatter lists) with
+   comparable update cost; Chunk-TermScore is slightly slower than plain
+   Chunk (bigger postings, combined-score stopping is more conservative) but
+   still beats even the plain ID method. *)
+
+module Core = Svr_core
+
+let methods =
+  [ Core.Index.Id_termscore; Core.Index.Chunk_termscore; Core.Index.Chunk;
+    Core.Index.Id ]
+
+let run (p : Profile.t) =
+  Harness.banner "Figure 9: combining term scores (after default updates)" p;
+  Harness.header
+    [ "method            "; " upd wall"; "  upd sim"; "  rand"; "    seq";
+      " qry wall"; "  qry sim"; "  rand"; "    seq" ];
+  let queries = Harness.queries_for p in
+  List.iter
+    (fun kind ->
+      let idx, scores = Harness.build p kind in
+      let cur = Array.copy scores in
+      let upd = Harness.apply_updates idx ~cur (Harness.update_ops p ~scores) in
+      let qry = Harness.measure_queries p idx queries in
+      Harness.row (Core.Index.kind_name kind)
+        (Harness.timing_cells upd @ Harness.timing_cells qry))
+    methods

@@ -1,0 +1,71 @@
+(* Section 5.3.4: varying the mean update step size.
+
+   Paper shape: the ID method's query time is constant (~114 ms) regardless
+   of the update magnitude; the Chunk method, tuned to the per-step optimal
+   ratio from Table 2, always matches or beats it — the index adapts to the
+   update distribution. *)
+
+module Core = Svr_core
+module W = Svr_workload
+
+(* per-step ratios in the spirit of the paper's Table 2 optima *)
+let step_ratio = [ (100.0, 6.12); (1000.0, 21.48); (10000.0, 41.96) ]
+
+let run (p : Profile.t) =
+  Harness.banner "Section 5.3.4: varying mean update step size" p;
+  Harness.header
+    [ "method / step     "; " upd wall"; "  upd sim"; "  rand"; "    seq";
+      " qry wall"; "  qry sim"; "  rand"; "    seq" ];
+  let corpus = Harness.materialized_corpus p in
+  let scores = W.Corpus_gen.scores p.Profile.corpus in
+  let queries = Harness.queries_for p in
+  (* baseline: ID is insensitive to the step size *)
+  let id_idx, id_scores = Harness.build p Core.Index.Id in
+  List.iter
+    (fun (mean_step, ratio) ->
+      let cur = Array.copy id_scores in
+      let upd =
+        Harness.apply_updates id_idx ~cur (Harness.update_ops ~mean_step p ~scores:id_scores)
+      in
+      let qry = Harness.measure_queries p id_idx queries in
+      Harness.row
+        (Printf.sprintf "ID step=%.0f" mean_step)
+        (Harness.timing_cells upd @ Harness.timing_cells qry);
+      ignore ratio)
+    step_ratio;
+  List.iter
+    (fun (mean_step, ratio) ->
+      let env = Harness.make_env p in
+      let idx =
+        Core.Method_chunk.build ~env
+          ~policy_of_scores:
+            (Core.Chunk_policy.ratio_based ~ratio
+               ~min_docs:(Harness.cfg p).Core.Config.min_chunk_docs)
+          (Harness.cfg p)
+          ~corpus:(Array.to_seq corpus)
+          ~scores:(fun d -> scores.(d))
+      in
+      let cur = Array.copy scores in
+      let ops = Harness.update_ops ~mean_step p ~scores in
+      let t0 = Unix.gettimeofday () in
+      Array.iter
+        (fun (op : W.Update_gen.op) ->
+          let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+          cur.(op.W.Update_gen.doc) <- s;
+          Core.Method_chunk.score_update idx ~doc:op.W.Update_gen.doc s)
+        ops;
+      let upd_ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int (Array.length ops) in
+      let wall = ref 0.0 in
+      Array.iter
+        (fun q ->
+          Svr_storage.Env.drop_blob_caches env;
+          let t0 = Unix.gettimeofday () in
+          ignore (Core.Method_chunk.query idx q ~k:p.Profile.k);
+          wall := !wall +. (Unix.gettimeofday () -. t0))
+        queries;
+      let qry_ms = !wall *. 1000.0 /. float_of_int (Array.length queries) in
+      Harness.row
+        (Printf.sprintf "Chunk r=%.2f s=%.0f" ratio mean_step)
+        [ Harness.fmt_ms upd_ms; "        -"; "     -"; "      -";
+          Harness.fmt_ms qry_ms; "        -"; "     -"; "      -" ])
+    step_ratio

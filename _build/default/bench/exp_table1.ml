@@ -1,0 +1,24 @@
+(* Table 1: size of the long inverted lists for every method.
+
+   Paper (805 MB corpus): ID 145 MB, Score 2768 MB, Score-Threshold 847 MB,
+   Chunk 146 MB, ID-TermScore 428 MB, Chunk-TermScore 430 MB. The reproduced
+   shape: Score far largest (updatable clustered B+-tree overhead),
+   Score-Threshold mid (8-byte score replicated per posting), Chunk within a
+   couple of percent of ID, and the TermScore variants around 3x ID. *)
+
+module Core = Svr_core
+
+let run (p : Profile.t) =
+  Harness.banner "Table 1: size of long inverted lists" p;
+  Harness.header [ "method            "; "      size"; " vs ID" ];
+  let id_bytes = ref 1 in
+  List.iter
+    (fun kind ->
+      let idx, _scores = Harness.build p kind in
+      let bytes = Core.Index.long_list_bytes idx in
+      if kind = Core.Index.Id then id_bytes := bytes;
+      Harness.row
+        (Core.Index.kind_name kind)
+        [ Printf.sprintf "%7d KB" (bytes / 1024);
+          Printf.sprintf "%5.2fx" (float_of_int bytes /. float_of_int !id_bytes) ])
+    Core.Index.all_kinds

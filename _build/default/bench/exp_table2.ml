@@ -1,0 +1,62 @@
+(* Table 2: effect of the chunk ratio for mean update steps 100 / 1000 /
+   10000 (times per operation).
+
+   Paper shape: as the ratio falls, update cost first stays at ~0.01 ms then
+   explodes (small chunks move postings constantly) while query cost falls
+   steadily; the optimal ratio grows with the step size. *)
+
+module Core = Svr_core
+module W = Svr_workload
+
+let ratios = [ 164.84; 82.92; 41.96; 21.48; 11.24; 6.12; 3.56; 2.28; 1.56 ]
+let steps = [ 100.0; 1000.0; 10000.0 ]
+
+let run (p : Profile.t) =
+  Harness.banner "Table 2: effect of chunk ratio (per-op times)" p;
+  Printf.printf "%8s |" "ratio";
+  List.iter (fun s -> Printf.printf " upd(ms)@%-6.0f qry(ms)@%-6.0f |" s s) steps;
+  print_newline ();
+  let corpus = Harness.materialized_corpus p in
+  let base_scores = W.Corpus_gen.scores p.Profile.corpus in
+  List.iter
+    (fun ratio ->
+      Printf.printf "%8.2f |" ratio;
+      List.iter
+        (fun mean_step ->
+          let env = Harness.make_env p in
+          let idx =
+            Core.Method_chunk.build ~env
+              ~policy_of_scores:
+                (Core.Chunk_policy.ratio_based ~ratio
+                   ~min_docs:(Harness.cfg p).Core.Config.min_chunk_docs)
+              (Harness.cfg p)
+              ~corpus:(Array.to_seq corpus)
+              ~scores:(fun d -> base_scores.(d))
+          in
+          let cur = Array.copy base_scores in
+          let ops = Harness.update_ops ~mean_step p ~scores:base_scores in
+          let t0 = Unix.gettimeofday () in
+          Array.iter
+            (fun (op : W.Update_gen.op) ->
+              let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+              cur.(op.W.Update_gen.doc) <- s;
+              Core.Method_chunk.score_update idx ~doc:op.W.Update_gen.doc s)
+            ops;
+          let upd_ms =
+            (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int (Array.length ops)
+          in
+          (* cold-cache queries *)
+          let queries = Harness.queries_for p in
+          let wall = ref 0.0 in
+          Array.iter
+            (fun q ->
+              Svr_storage.Env.drop_blob_caches env;
+              let t0 = Unix.gettimeofday () in
+              ignore (Core.Method_chunk.query idx q ~k:p.Profile.k);
+              wall := !wall +. (Unix.gettimeofday () -. t0))
+            queries;
+          let qry_ms = !wall *. 1000.0 /. float_of_int (Array.length queries) in
+          Printf.printf "     %9.4f     %9.3f |" upd_ms qry_ms)
+        steps;
+      print_newline ())
+    ratios

@@ -1,0 +1,44 @@
+(* Table 3 (Appendix A.3): document insertions into the Chunk method.
+
+   Paper shape (1k..10k insertions into 100k docs): query time stays flat
+   (~28 ms); score-update time grows from 0.25 ms to ~17 ms as short lists
+   lengthen; per-document insertion cost jumps once the short lists outgrow
+   memory locality (12 ms -> ~0.5-0.66 s). *)
+
+module Core = Svr_core
+module W = Svr_workload
+
+let run (p : Profile.t) =
+  Harness.banner "Table 3: varying number of document insertions (Chunk)" p;
+  Harness.header
+    [ "#inserted         "; " qry wall"; "  qry sim"; "upd wall"; "insert wall" ];
+  let idx, scores = Harness.build p Core.Index.Chunk in
+  let n_docs = p.Profile.corpus.W.Corpus_gen.n_docs in
+  (* fresh documents drawn from the same distribution, different seed *)
+  let insert_params = { p.Profile.corpus with W.Corpus_gen.seed = 777 } in
+  let insert_scores = W.Corpus_gen.scores insert_params in
+  let steps = [ n_docs / 16; n_docs / 16; n_docs / 8; n_docs / 4; n_docs / 2 ] in
+  let queries = Harness.queries_for p in
+  let cur = Array.copy scores in
+  let update_budget = max 50 (p.Profile.n_updates / 16) in
+  let inserted = ref 0 in
+  List.iter
+    (fun step ->
+      let t0 = Unix.gettimeofday () in
+      for i = !inserted to !inserted + step - 1 do
+        Core.Index.insert idx ~doc:(n_docs + i)
+          (W.Corpus_gen.doc_text insert_params (i mod n_docs))
+          ~score:insert_scores.(i mod n_docs)
+      done;
+      let ins_ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int step in
+      inserted := !inserted + step;
+      let upd =
+        Harness.apply_updates idx ~cur
+          (Harness.update_ops ~n:update_budget p ~scores)
+      in
+      let qry = Harness.measure_queries p idx queries in
+      Harness.row
+        (Printf.sprintf "%d docs" !inserted)
+        [ Harness.fmt_ms qry.Harness.wall_ms; Harness.fmt_ms qry.Harness.sim_ms;
+          Harness.fmt_ms upd.Harness.wall_ms; Harness.fmt_ms ins_ms ])
+    steps

@@ -1,0 +1,132 @@
+(* Measurement machinery shared by every experiment.
+
+   Two clocks per measured section, mirroring how the paper's numbers arise:
+   - wall time on this machine (CPU-bound at our scale: postings merged,
+     B+-tree node codecs), and
+   - simulated I/O time derived from counted physical page accesses under
+     the 2004-era cost model (8 ms random read/write, sequential pages
+     nearly free), which is what reproduces the disk-bound shapes.
+
+   Query protocol follows Section 5.2: long-list (blob-class) caches are
+   dropped before every query; the Score table, short lists and ListScore /
+   ListChunk stay hot. Cache drops and dirty-page flushes happen *before*
+   the stats snapshot so they are not billed to the measured section. *)
+
+module Core = Svr_core
+module St = Svr_storage
+module W = Svr_workload
+
+type timing = {
+  wall_ms : float; (* per operation *)
+  sim_ms : float; (* per operation *)
+  rand_pages : float;
+  seq_pages : float;
+  n_ops : int;
+}
+
+let zero_timing = { wall_ms = 0.0; sim_ms = 0.0; rand_pages = 0.0; seq_pages = 0.0; n_ops = 0 }
+
+let cfg (_p : Profile.t) =
+  (* fancy lists stay small relative to the scaled-down long lists, as they
+     are at paper scale *)
+  { Core.Config.default with
+    Core.Config.analyzer = W.Corpus_gen.analyzer;
+    fancy_size = 16 }
+
+let make_env (p : Profile.t) =
+  St.Env.create ~page_size:p.page_size ~table_pool_pages:p.table_pool_pages
+    ~blob_pool_pages:p.blob_pool_pages ()
+
+let build ?(cfg_mod = Fun.id) (p : Profile.t) kind =
+  let corpus = p.Profile.corpus in
+  let scores = W.Corpus_gen.scores corpus in
+  let env = make_env p in
+  let idx =
+    Core.Index.build ~env kind (cfg_mod (cfg p))
+      ~corpus:(W.Corpus_gen.corpus_seq corpus)
+      ~scores:(fun d -> scores.(d))
+  in
+  (idx, scores)
+
+(* materialize the corpus once when an experiment builds many indexes *)
+let materialized_corpus (p : Profile.t) =
+  Array.init p.Profile.corpus.W.Corpus_gen.n_docs (fun d ->
+      (d, W.Corpus_gen.doc_text p.Profile.corpus d))
+
+let queries_for ?(selectivity = W.Query_gen.Medium) ?n (p : Profile.t) =
+  let n = Option.value ~default:p.Profile.n_queries n in
+  W.Query_gen.generate
+    { W.Query_gen.defaults with W.Query_gen.n_queries = n; selectivity }
+    p.Profile.corpus
+  |> Array.map (List.map Fun.id)
+
+(* average cold-cache query cost over a query set *)
+let measure_queries ?(mode = Core.Types.Conjunctive) ?k (p : Profile.t) idx queries =
+  let k = Option.value ~default:p.Profile.k k in
+  let env = Core.Index.env idx in
+  let wall = ref 0.0 and acc = St.Stats.create () in
+  Array.iter
+    (fun q ->
+      St.Env.drop_blob_caches env;
+      let before = St.Stats.snapshot (St.Env.stats env) in
+      let t0 = Unix.gettimeofday () in
+      ignore (Core.Index.query idx ~mode q ~k);
+      wall := !wall +. (Unix.gettimeofday () -. t0);
+      let d = St.Stats.diff ~after:(St.Stats.snapshot (St.Env.stats env)) ~before in
+      acc.St.Stats.rand_reads <- acc.St.Stats.rand_reads + d.St.Stats.rand_reads;
+      acc.St.Stats.seq_reads <- acc.St.Stats.seq_reads + d.St.Stats.seq_reads;
+      acc.St.Stats.page_writes <- acc.St.Stats.page_writes + d.St.Stats.page_writes)
+    queries;
+  let n = float_of_int (Array.length queries) in
+  { wall_ms = !wall *. 1000.0 /. n;
+    sim_ms = St.Stats.simulated_ms acc /. n;
+    rand_pages = float_of_int acc.St.Stats.rand_reads /. n;
+    seq_pages = float_of_int acc.St.Stats.seq_reads /. n;
+    n_ops = Array.length queries }
+
+(* apply score updates, tracking current scores; per-op averages *)
+let apply_updates idx ~cur (ops : W.Update_gen.op array) =
+  if Array.length ops = 0 then zero_timing
+  else begin
+    let env = Core.Index.env idx in
+    St.Env.drop_blob_caches env;
+    let before = St.Stats.snapshot (St.Env.stats env) in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun (op : W.Update_gen.op) ->
+        let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+        cur.(op.W.Update_gen.doc) <- s;
+        Core.Index.score_update idx ~doc:op.W.Update_gen.doc s)
+      ops;
+    let wall = Unix.gettimeofday () -. t0 in
+    let d = St.Stats.diff ~after:(St.Stats.snapshot (St.Env.stats env)) ~before in
+    let n = float_of_int (Array.length ops) in
+    { wall_ms = wall *. 1000.0 /. n;
+      sim_ms = St.Stats.simulated_ms d /. n;
+      rand_pages = float_of_int d.St.Stats.rand_reads /. n;
+      seq_pages = float_of_int d.St.Stats.seq_reads /. n;
+      n_ops = Array.length ops }
+  end
+
+let update_ops ?(mean_step = 100.0) ?n (p : Profile.t) ~scores =
+  let n = Option.value ~default:p.Profile.n_updates n in
+  W.Update_gen.generate
+    { W.Update_gen.defaults with W.Update_gen.n_updates = n; mean_step }
+    ~scores
+
+(* ---------------------------------------------------------------- *)
+(* output helpers *)
+
+let banner title (p : Profile.t) =
+  Printf.printf "\n=== %s ===\n%s\n" title (Profile.describe p)
+
+let header columns = Printf.printf "%s\n" (String.concat " | " columns)
+
+let fmt_ms v = if v < 0.01 && v > 0.0 then Printf.sprintf "%9.4f" v else Printf.sprintf "%9.2f" v
+
+let row label cells =
+  Printf.printf "%-18s | %s\n" label (String.concat " | " cells)
+
+let timing_cells t =
+  [ fmt_ms t.wall_ms; fmt_ms t.sim_ms;
+    Printf.sprintf "%6.1f" t.rand_pages; Printf.sprintf "%7.1f" t.seq_pages ]

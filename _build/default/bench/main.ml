@@ -1,0 +1,38 @@
+(* Benchmark driver: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md for the per-experiment index).
+
+     dune exec bench/main.exe              # all experiments
+     dune exec bench/main.exe -- fig7 ...  # a selection
+     dune exec bench/main.exe -- micro     # bechamel micro-suite
+     SVR_BENCH_PROFILE=quick dune exec bench/main.exe   # smaller scale *)
+
+let experiments =
+  [ ("table1", Exp_table1.run); ("table2", Exp_table2.run);
+    ("fig7", Exp_fig7.run); ("fig8", Exp_fig8.run);
+    ("step_size", Exp_step_size.run); ("fig9", Exp_fig9.run);
+    ("fig10", Exp_fig10.run); ("table3", Exp_table3.run);
+    ("archive", Exp_archive.run); ("ablation", Exp_ablation.run);
+    ("appendix", Exp_appendix.run) ]
+
+let usage () =
+  Printf.printf "usage: main.exe [micro | %s]...\n"
+    (String.concat " | " (List.map fst experiments))
+
+let () =
+  let p = Profile.current () in
+  let t0 = Unix.gettimeofday () in
+  (match List.tl (Array.to_list Sys.argv) with
+  | [] -> List.iter (fun (_, run) -> run p) experiments
+  | [ "micro" ] -> Micro.run ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some run -> run p
+          | None when name = "micro" -> Micro.run ()
+          | None ->
+              Printf.printf "unknown experiment %S\n" name;
+              usage ();
+              exit 1)
+        names);
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,74 @@
+(* Bechamel micro-benchmarks: one Test per paper table/figure, measuring the
+   experiment's inner operation (a cold-cache top-k query or a score update)
+   with OLS over run counts. The macro harness (main.exe with no arguments)
+   regenerates the full tables; this suite gives statistically sound per-op
+   estimates for the same operations. *)
+
+open Bechamel
+open Toolkit
+
+module Core = Svr_core
+
+let prepared = lazy begin
+  let p = Profile.quick in
+  let queries = Harness.queries_for p in
+  List.map
+    (fun kind ->
+      let idx, scores = Harness.build p kind in
+      let cur = Array.copy scores in
+      (* realistic state: the default update workload has run *)
+      ignore (Harness.apply_updates idx ~cur (Harness.update_ops p ~scores));
+      (kind, idx, cur, queries))
+    Core.Index.all_kinds
+end
+
+let query_test ?(mode = Core.Types.Conjunctive) ~name kind =
+  let _, idx, _, queries = List.find (fun (k, _, _, _) -> k = kind) (Lazy.force prepared) in
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Svr_storage.Env.drop_blob_caches (Core.Index.env idx);
+         let q = queries.(!i mod Array.length queries) in
+         incr i;
+         ignore (Core.Index.query idx ~mode q ~k:10)))
+
+let update_test ~name kind =
+  let _, idx, cur, _ = List.find (fun (k, _, _, _) -> k = kind) (Lazy.force prepared) in
+  let rng = Svr_workload.Rng.create 31 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let doc = Svr_workload.Rng.int rng (Array.length cur) in
+         let s = Float.max 0.0 (cur.(doc) +. Svr_workload.Rng.float rng 200.0 -. 100.0) in
+         cur.(doc) <- s;
+         Core.Index.score_update idx ~doc s))
+
+let tests () =
+  Test.make_grouped ~name:"svr"
+    [ (* Figure 7: update and query cost per method *)
+      update_test ~name:"fig7/update/id" Core.Index.Id;
+      update_test ~name:"fig7/update/score-threshold" Core.Index.Score_threshold;
+      update_test ~name:"fig7/update/chunk" Core.Index.Chunk;
+      query_test ~name:"fig7/query/id" Core.Index.Id;
+      query_test ~name:"fig7/query/score-threshold" Core.Index.Score_threshold;
+      query_test ~name:"fig7/query/chunk" Core.Index.Chunk;
+      (* Figure 9: term-score variants *)
+      query_test ~name:"fig9/query/id-termscore" Core.Index.Id_termscore;
+      query_test ~name:"fig9/query/chunk-termscore" Core.Index.Chunk_termscore;
+      (* Figure 10: disjunctive mode *)
+      query_test ~mode:Core.Types.Disjunctive ~name:"fig10/disj/id" Core.Index.Id;
+      query_test ~mode:Core.Types.Disjunctive ~name:"fig10/disj/chunk" Core.Index.Chunk
+    ]
+
+let run () =
+  print_endline "bechamel micro-benchmarks (quick profile, ns/op via OLS):";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Printf.printf "  %-38s %14.0f ns/op\n" name est
+      | _ -> Printf.printf "  %-38s %14s\n" name "n/a")
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

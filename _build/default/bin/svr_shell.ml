@@ -1,0 +1,115 @@
+(* svr_shell: an interactive SQL shell over the SVR engine.
+
+     dune exec bin/svr_shell.exe                 # interactive
+     dune exec bin/svr_shell.exe -- --init f.sql # run a script, then prompt
+     echo "SELECT 1;" | dune exec bin/svr_shell.exe
+
+   Statements end with ';'. Meta commands: .help .tables .quit *)
+
+module R = Svr_relational
+
+let print_result = function
+  | R.Engine.Done msg -> Printf.printf "ok: %s\n%!" msg
+  | R.Engine.Rows { columns; rows } ->
+      let render v = Format.asprintf "%a" R.Value.pp v in
+      let widths =
+        List.mapi
+          (fun i c ->
+            List.fold_left
+              (fun w row -> max w (String.length (render row.(i))))
+              (String.length c) rows)
+          columns
+      in
+      let line cells =
+        print_string "| ";
+        List.iter2 (fun cell w -> Printf.printf "%-*s | " w cell) cells widths;
+        print_newline ()
+      in
+      line columns;
+      line (List.map (fun w -> String.make w '-') widths);
+      List.iter (fun row -> line (List.map render (Array.to_list row))) rows;
+      Printf.printf "(%d row(s))\n%!" (List.length rows)
+
+let exec_and_print eng sql =
+  match R.Engine.exec eng sql with
+  | results -> List.iter print_result results
+  | exception R.Engine.Sql_error msg -> Printf.printf "error: %s\n%!" msg
+
+let meta eng line =
+  match String.trim line with
+  | ".quit" | ".exit" -> exit 0
+  | ".help" ->
+      print_string
+        "statements end with ';'. Supported SQL:\n\
+        \  CREATE TABLE t (col type, ..., PRIMARY KEY (col));\n\
+        \  CREATE FUNCTION f (x: type, ...) RETURNS type RETURN expr;\n\
+        \  CREATE TEXT INDEX i ON t (textcol) USING chunk SCORE (f1, ...) AGG g;\n\
+        \  INSERT INTO t VALUES (...), (...); UPDATE ... ; DELETE ... ;\n\
+        \  SELECT ... FROM t [WHERE ...]\n\
+        \    [ORDER BY score(textcol, 'keywords') DESC] [FETCH TOP k RESULTS ONLY];\n\
+         methods: id | score | score_threshold | chunk | id_termscore | chunk_termscore\n\
+         meta: .help .tables .stats .quit\n%!"
+  | ".stats" ->
+      List.iter
+        (fun (name, bytes) -> Printf.printf "  %-24s %8d KB\n" name (bytes / 1024))
+        (Svr_storage.Env.device_sizes (R.Engine.env eng));
+      Printf.printf "  %s\n%!"
+        (Format.asprintf "%a" Svr_storage.Stats.pp
+           (Svr_storage.Env.stats (R.Engine.env eng)))
+  | ".tables" ->
+      List.iter
+        (fun name ->
+          match R.Engine.table eng name with
+          | Some t -> Printf.printf "  %s (%d rows)\n%!" name (R.Table.count t)
+          | None -> ())
+        (R.Engine.table_names eng)
+  | other -> Printf.printf "unknown meta command %s (try .help)\n%!" other
+
+let repl eng =
+  let buffer = Buffer.create 256 in
+  let interactive = Unix.isatty Unix.stdin in
+  let rec loop () =
+    if interactive then
+      if Buffer.length buffer = 0 then print_string "svr> " else print_string "...> ";
+    if interactive then flush stdout;
+    match input_line stdin with
+    | exception End_of_file ->
+        if Buffer.length buffer > 0 then exec_and_print eng (Buffer.contents buffer)
+    | line when Buffer.length buffer = 0 && String.length (String.trim line) > 0
+                && (String.trim line).[0] = '.' -> meta eng line; loop ()
+    | line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        if String.contains line ';' then begin
+          exec_and_print eng (Buffer.contents buffer);
+          Buffer.clear buffer
+        end;
+        loop ()
+  in
+  if interactive then
+    print_string "SVR shell - structured value ranking over a mini SQL engine (.help)\n";
+  loop ()
+
+let main init_file =
+  let eng = R.Engine.create () in
+  (match init_file with
+  | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      exec_and_print eng src
+  | None -> ());
+  repl eng
+
+open Cmdliner
+
+let init_arg =
+  let doc = "Execute the SQL script $(docv) before starting the prompt." in
+  Arg.(value & opt (some file) None & info [ "init"; "i" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "interactive SQL shell with Structured Value Ranking" in
+  Cmd.v (Cmd.info "svr_shell" ~doc) Term.(const main $ init_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/auction_site.ml: Array Float List Printf Svr_core Svr_workload

@@ -1,0 +1,1 @@
+examples/movie_archive.ml: Array List Printf Svr_relational

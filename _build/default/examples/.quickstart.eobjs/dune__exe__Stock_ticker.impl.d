@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: Array List Printf Seq Svr_core Svr_workload

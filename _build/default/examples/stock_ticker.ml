@@ -1,0 +1,76 @@
+(* A stock-news desk (Section 1: "stock databases, where volume of trade can
+   be used to rank results").
+
+   Headlines are ranked by a combination of the ticker's trading volume (the
+   SVR score, updated every simulated minute) and classic term relevance -
+   the Chunk-TermScore method's combined scoring function
+   f = svr + ts_weight * sum(term scores). Disjunctive queries let a trader
+   watch several tickers at once.
+
+     dune exec examples/stock_ticker.exe *)
+
+module Core = Svr_core
+module W = Svr_workload
+
+let headlines =
+  [| "ACME Motors recalls flying cars after rocket incident";
+     "ACME Motors posts record quarterly deliveries of flying cars";
+     "Globex announces merger talks with Initech";
+     "Initech denies Globex merger, stock volatile";
+     "ACME suppliers rally as deliveries beat estimates";
+     "Globex wins defense contract for satellite network";
+     "Umbrella Corp vaccine trial results exceed expectations";
+     "Initech layoffs spark union dispute";
+     "Umbrella Corp expands into agricultural biotech";
+     "ACME Motors teases solar-powered flying car prototype" |]
+
+(* each headline's primary ticker, for the volume feed *)
+let ticker_of = [| 0; 0; 1; 2; 0; 1; 3; 2; 3; 0 |]
+let tickers = [| "ACME"; "GLBX"; "INIT"; "UMBR" |]
+let volume = [| 1200.0; 800.0; 950.0; 400.0 |]
+
+let svr doc = volume.(ticker_of.(doc))
+
+let show index ?mode title query =
+  Printf.printf "%s\n" title;
+  List.iteri
+    (fun i (doc, score) ->
+      Printf.printf "  %d. [%s %6.0f] %s  (combined %.1f)\n" (i + 1)
+        tickers.(ticker_of.(doc)) volume.(ticker_of.(doc)) headlines.(doc) score)
+    (Core.Index.query index ?mode query ~k:4);
+  print_newline ()
+
+let () =
+  (* ts_weight balances term scores against volume units *)
+  let cfg = { Core.Config.default with Core.Config.ts_weight = 500.0 } in
+  let index =
+    Core.Index.build Core.Index.Chunk_termscore cfg
+      ~corpus:(Seq.init (Array.length headlines) (fun i -> (i, headlines.(i))))
+      ~scores:svr
+  in
+  show index "Morning: 'merger' news (term scores + volume):" [ "merger" ];
+  show index ~mode:Core.Types.Disjunctive
+    "Watchlist: anything on flying cars OR vaccines (disjunctive):"
+    [ "flying cars"; "vaccine" ];
+
+  (* the tape starts printing: UMBR volume explodes on the trial results *)
+  let rng = W.Rng.create 3 in
+  Printf.printf "... UMBR prints 60x average volume after trial results ...\n\n";
+  volume.(3) <- 24_000.0 +. W.Rng.float rng 1000.0;
+  Array.iteri
+    (fun doc t -> if t = 3 then Core.Index.score_update index ~doc (svr doc))
+    ticker_of;
+  show index ~mode:Core.Types.Disjunctive
+    "Same watchlist after the volume spike:" [ "flying cars"; "vaccine" ];
+
+  (* breaking headline arrives mid-session *)
+  let fresh = Array.length headlines in
+  Core.Index.insert index ~doc:fresh
+    "Umbrella Corp halted, vaccine demand overwhelms production" ~score:volume.(3);
+  Printf.printf "... breaking: new UMBR headline inserted (doc %d) ...\n\n" fresh;
+  Printf.printf "Top 'vaccine' stories now:\n";
+  List.iteri
+    (fun i (doc, score) ->
+      let text = if doc = fresh then "Umbrella Corp halted, vaccine demand overwhelms production" else headlines.(doc) in
+      Printf.printf "  %d. %s (combined %.1f)\n" (i + 1) text score)
+    (Core.Index.query index [ "vaccine" ] ~k:3)

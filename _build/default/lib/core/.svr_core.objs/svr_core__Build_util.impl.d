@@ -1,0 +1,1 @@
+lib/core/build_util.ml: Array Config Doc_store Hashtbl List Printf Score_table Seq Svr_text

@@ -1,0 +1,1 @@
+lib/core/build_util.mli: Config Doc_store Hashtbl Score_table Seq

@@ -1,0 +1,1 @@
+lib/core/chunk_common.ml: Array Build_util Chunk_policy Config Doc_store Hashtbl List List_state Merge Posting_codec Result_heap Score_table Short_list Svr_storage Svr_text Term_dir Types

@@ -1,0 +1,1 @@
+lib/core/chunk_common.mli: Chunk_policy Config Doc_store Hashtbl List_state Merge Result_heap Score_table Seq Short_list Svr_storage Term_dir Types

@@ -1,0 +1,1 @@
+lib/core/chunk_policy.ml: Array Float Format List

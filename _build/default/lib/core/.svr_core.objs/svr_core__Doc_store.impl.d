@@ -1,0 +1,1 @@
+lib/core/doc_store.ml: Buffer List Svr_storage

@@ -1,0 +1,1 @@
+lib/core/doc_store.mli: Svr_storage

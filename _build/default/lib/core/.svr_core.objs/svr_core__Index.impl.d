@@ -1,0 +1,1 @@
+lib/core/index.ml: Config List Method_chunk Method_chunk_termscore Method_id Method_score Method_score_threshold String Svr_text Types

@@ -1,0 +1,1 @@
+lib/core/index.mli: Config Seq Svr_storage Types

@@ -1,0 +1,1 @@
+lib/core/list_state.ml: Buffer Option String Svr_storage

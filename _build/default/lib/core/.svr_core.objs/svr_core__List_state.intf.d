@@ -1,0 +1,1 @@
+lib/core/list_state.mli: Svr_storage

@@ -1,0 +1,1 @@
+lib/core/merge.ml: Array Float Option Short_list Svr_text

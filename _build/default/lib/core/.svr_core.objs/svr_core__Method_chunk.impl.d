@@ -1,0 +1,1 @@
+lib/core/method_chunk.ml: Chunk_common Chunk_policy List Merge Result_heap Types

@@ -1,0 +1,1 @@
+lib/core/method_chunk.mli: Chunk_policy Config Seq Svr_storage Types

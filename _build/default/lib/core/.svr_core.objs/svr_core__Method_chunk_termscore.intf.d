@@ -1,0 +1,1 @@
+lib/core/method_chunk_termscore.mli: Config Seq Svr_storage Types

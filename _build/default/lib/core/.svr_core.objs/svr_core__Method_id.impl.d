@@ -1,0 +1,1 @@
+lib/core/method_id.ml: Build_util Config Doc_store Hashtbl List Merge Posting_codec Result_heap Score_table Short_list Svr_storage Svr_text Term_dir Types

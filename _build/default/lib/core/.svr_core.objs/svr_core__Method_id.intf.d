@@ -1,0 +1,1 @@
+lib/core/method_id.mli: Config Seq Svr_storage Types

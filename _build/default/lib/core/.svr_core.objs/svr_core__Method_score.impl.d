@@ -1,0 +1,1 @@
+lib/core/method_score.ml: Build_util Config Doc_store Hashtbl List Merge Result_heap Score_table String Svr_storage Svr_text Types

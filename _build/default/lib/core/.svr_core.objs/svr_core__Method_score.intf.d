@@ -1,0 +1,1 @@
+lib/core/method_score.mli: Config Seq Svr_storage Types

@@ -1,0 +1,1 @@
+lib/core/method_score_threshold.ml: Array Build_util Config Doc_store Float Hashtbl List List_state Merge Posting_codec Result_heap Score_table Short_list Svr_storage Svr_text Term_dir Types

@@ -1,0 +1,1 @@
+lib/core/method_score_threshold.mli: Config Seq Svr_storage Types

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Build_util Config Float Hashtbl List Seq Svr_text Types

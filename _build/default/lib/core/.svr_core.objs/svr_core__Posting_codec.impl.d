@@ -1,0 +1,1 @@
+lib/core/posting_codec.ml: Array Buffer Char String Svr_storage

@@ -1,0 +1,1 @@
+lib/core/posting_codec.mli: Svr_storage

@@ -1,0 +1,1 @@
+lib/core/result_heap.ml: Float Hashtbl List Set

@@ -1,0 +1,1 @@
+lib/core/score_table.ml: Buffer Option Printf String Svr_storage

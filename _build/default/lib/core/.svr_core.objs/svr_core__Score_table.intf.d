@@ -1,0 +1,1 @@
+lib/core/score_table.mli: Svr_storage

@@ -1,0 +1,1 @@
+lib/core/short_list.ml: Buffer Option String Svr_storage

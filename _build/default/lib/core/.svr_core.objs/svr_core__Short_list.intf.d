@@ -1,0 +1,1 @@
+lib/core/short_list.mli: Svr_storage

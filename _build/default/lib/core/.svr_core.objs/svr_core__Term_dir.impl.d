@@ -1,0 +1,1 @@
+lib/core/term_dir.ml: Option Svr_storage

@@ -1,0 +1,1 @@
+lib/core/term_dir.mli: Svr_storage

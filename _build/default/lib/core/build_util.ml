@@ -1,0 +1,35 @@
+let quantized_ts tfs =
+  let max_tf = List.fold_left (fun m (_, tf) -> max m tf) 1 tfs in
+  List.map
+    (fun (term, tf) ->
+      (term, Svr_text.Term_score.quantize (float_of_int tf /. float_of_int max_tf)))
+    tfs
+
+let collect (cfg : Config.t) docs score_tbl ~corpus ~scores =
+  let by_term = Hashtbl.create 4096 in
+  Seq.iter
+    (fun (doc, text) ->
+      if Doc_store.mem docs ~doc then
+        invalid_arg (Printf.sprintf "Build_util.collect: duplicate doc %d" doc);
+      let tfs = Svr_text.Analyzer.term_frequencies ~config:cfg.Config.analyzer text in
+      Doc_store.set docs ~doc tfs;
+      Score_table.set score_tbl ~doc ~score:(scores doc);
+      List.iter
+        (fun (term, ts) ->
+          let cell =
+            match Hashtbl.find_opt by_term term with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add by_term term c;
+                c
+          in
+          cell := (doc, ts) :: !cell)
+        (quantized_ts tfs))
+    corpus;
+  by_term
+
+let sort_by_doc postings =
+  let arr = Array.of_list postings in
+  Array.sort (fun (d1, _) (d2, _) -> compare d1 d2) arr;
+  arr

@@ -1,0 +1,21 @@
+(** Shared bulk-load machinery: analyze a corpus once, fill the forward index
+    and the Score table, and hand each method the per-term postings it will
+    lay out its own way. *)
+
+val quantized_ts : (string * int) list -> (string * int) list
+(** [(term, tf)] -> [(term, quantized normalized tf)] for one document. *)
+
+val collect :
+  Config.t ->
+  Doc_store.t ->
+  Score_table.t ->
+  corpus:(int * string) Seq.t ->
+  scores:(int -> float) ->
+  (string, (int * int) list ref) Hashtbl.t
+(** Consumes the corpus: registers every document in the doc store and the
+    Score table, and returns term -> [(doc, quantized ts)] postings (unsorted;
+    sort per the target layout). @raise Invalid_argument on a repeated doc
+    id. *)
+
+val sort_by_doc : (int * int) list -> (int * int) array
+(** Ascending doc id (ids are unique within a term's postings). *)

@@ -1,0 +1,99 @@
+(* lows.(i) is the lowest score of chunk i+1; lows.(0) = 0 always, so the
+   array is strictly increasing and chunk ids are 1-based. *)
+type t = { lows : float array }
+
+let of_boundaries lows =
+  assert (Array.length lows >= 1 && lows.(0) = 0.0);
+  { lows }
+
+let ratio_based ~ratio ~min_docs scores =
+  if ratio <= 1.0 then invalid_arg "Chunk_policy: ratio must be > 1";
+  if min_docs < 1 then invalid_arg "Chunk_policy: min_docs must be >= 1";
+  if Array.length scores = 0 then invalid_arg "Chunk_policy: empty sample";
+  let sorted = Array.copy scores in
+  Array.sort Float.compare sorted;
+  let max_score = sorted.(Array.length sorted - 1) in
+  let min_positive =
+    match Array.find_opt (fun s -> s > 0.0) sorted with
+    | Some s -> s
+    | None -> 1.0
+  in
+  (* geometric boundaries starting at the smallest positive score *)
+  let rec geometric b acc = if b > max_score then acc else geometric (b *. ratio) (b :: acc) in
+  let candidate = Array.of_list (0.0 :: List.rev (geometric (max 1.0 min_positive) [])) in
+  (* population of [lo, hi) in the sorted sample *)
+  let rank s =
+    (* number of sample scores < s *)
+    let lo = ref 0 and hi = ref (Array.length sorted) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) < s then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (* merge under-populated chunks bottom-up by dropping their upper
+     boundary; finally make sure the top chunk is populated too *)
+  let kept = ref [ 0.0 ] in
+  let chunk_start = ref 0 in
+  for i = 1 to Array.length candidate - 1 do
+    let boundary_rank = rank candidate.(i) in
+    if boundary_rank - !chunk_start >= min_docs then begin
+      kept := candidate.(i) :: !kept;
+      chunk_start := boundary_rank
+    end
+  done;
+  (match !kept with
+  | top :: rest when top > 0.0 && Array.length sorted - rank top < min_docs ->
+      kept := rest
+  | _ -> ());
+  of_boundaries (Array.of_list (List.rev !kept))
+
+let equal_width ~n_chunks scores =
+  if n_chunks < 1 then invalid_arg "Chunk_policy: n_chunks must be >= 1";
+  if Array.length scores = 0 then invalid_arg "Chunk_policy: empty sample";
+  let max_score = Array.fold_left max 0.0 scores in
+  if max_score <= 0.0 then of_boundaries [| 0.0 |]
+  else
+    of_boundaries
+      (Array.init n_chunks (fun i ->
+           float_of_int i *. max_score /. float_of_int n_chunks))
+
+let equal_population ~n_chunks scores =
+  if n_chunks < 1 then invalid_arg "Chunk_policy: n_chunks must be >= 1";
+  if Array.length scores = 0 then invalid_arg "Chunk_policy: empty sample";
+  let sorted = Array.copy scores in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let lows = ref [ 0.0 ] in
+  for i = 1 to n_chunks - 1 do
+    let b = sorted.(i * n / n_chunks) in
+    match !lows with
+    | prev :: _ when b > prev -> lows := b :: !lows
+    | _ -> ()
+  done;
+  of_boundaries (Array.of_list (List.rev !lows))
+
+let n_chunks t = Array.length t.lows
+
+let chunk_of t score =
+  (* largest i with lows.(i) <= score, as a 1-based chunk id *)
+  let lo = ref 0 and hi = ref (Array.length t.lows) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.lows.(mid) <= score then lo := mid + 1 else hi := mid
+  done;
+  max 1 !lo
+
+let low t c =
+  if c <= 1 then 0.0
+  else if c > Array.length t.lows then infinity
+  else t.lows.(c - 1)
+
+let stop_bound t ~cid = low t (cid + 2)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%d chunks, lows [%a]@]" (n_chunks t)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf f -> Format.fprintf ppf "%.2f" f))
+    (Array.to_list t.lows)

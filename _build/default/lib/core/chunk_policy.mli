@@ -1,0 +1,43 @@
+(** Chunk boundary policy (Section 4.3.2).
+
+    Documents are partitioned by score into chunks numbered 1 (lowest scores)
+    to {!n_chunks} (highest). Boundaries are set from the observed score
+    distribution so that the ratio of adjacent chunks' lowest scores is the
+    chunk ratio, then adjacent chunks are merged until each holds at least
+    [min_docs] documents (the paper's guard for skewed distributions).
+
+    The update rule moves a document's postings to the short list only when
+    its score climbs more than one chunk ([thresholdValueOf c = c + 1]), so a
+    document whose list chunk is [c] can currently score anything below the
+    lower bound of chunk [c + 2] — {!stop_bound} — which is what the query
+    algorithm's early-termination test uses. *)
+
+type t
+
+val ratio_based : ratio:float -> min_docs:int -> float array -> t
+(** [ratio_based ~ratio ~min_docs scores] builds boundaries from the score
+    sample (need not be sorted). @raise Invalid_argument if [ratio <= 1],
+    [min_docs < 1] or the sample is empty. *)
+
+val equal_width : n_chunks:int -> float array -> t
+(** Baseline policy for the ablation bench: [n_chunks] equal score-width
+    chunks between 0 and the maximum observed score. *)
+
+val equal_population : n_chunks:int -> float array -> t
+(** Baseline policy: chunks holding equal numbers of sample documents. *)
+
+val n_chunks : t -> int
+
+val chunk_of : t -> float -> int
+(** Chunk id (1-based) for a score; scores above every boundary land in the
+    top chunk, negative scores in chunk 1. *)
+
+val low : t -> int -> float
+(** Lowest score of chunk [c]; 0 for [c <= 1], [infinity] for
+    [c > n_chunks]. *)
+
+val stop_bound : t -> cid:int -> float
+(** [low t (cid + 2)]: a strict upper bound on the current score of any
+    document whose inverted-list postings still sit at chunk [cid]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type t = {
+  analyzer : Svr_text.Analyzer.config;
+  threshold_ratio : float;
+  chunk_ratio : float;
+  min_chunk_docs : int;
+  fancy_size : int;
+  ts_weight : float;
+}
+
+let default =
+  { analyzer = Svr_text.Analyzer.default; threshold_ratio = 11.24;
+    chunk_ratio = 6.12; min_chunk_docs = 100; fancy_size = 64;
+    ts_weight = 1.0 }
+
+let validate t =
+  if t.threshold_ratio <= 1.0 then
+    invalid_arg "Config: threshold_ratio must be > 1";
+  if t.chunk_ratio <= 1.0 then invalid_arg "Config: chunk_ratio must be > 1";
+  if t.min_chunk_docs < 1 then invalid_arg "Config: min_chunk_docs must be >= 1";
+  if t.fancy_size < 1 then invalid_arg "Config: fancy_size must be >= 1";
+  if t.ts_weight < 0.0 then invalid_arg "Config: ts_weight must be >= 0"

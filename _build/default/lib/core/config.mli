@@ -1,0 +1,28 @@
+(** Tuning knobs shared by the index methods. *)
+
+type t = {
+  analyzer : Svr_text.Analyzer.config;
+      (** how text columns are turned into terms *)
+  threshold_ratio : float;
+      (** Score-Threshold method: [thresholdValueOf s = threshold_ratio * s];
+          must be > 1 (Section 4.3.1). Paper default 11.24. *)
+  chunk_ratio : float;
+      (** Chunk method: ratio of adjacent chunks' lowest scores; must be > 1
+          (Section 4.3.2). Paper default 6.12. *)
+  min_chunk_docs : int;
+      (** minimum population of a chunk under skewed score distributions;
+          the paper uses 100. *)
+  fancy_size : int;
+      (** Chunk-TermScore: number of highest-term-score postings kept in each
+          term's fancy list (Long & Suel). *)
+  ts_weight : float;
+      (** weight of the summed term scores in the combined scoring function
+          [f = svr + ts_weight * sum of term scores] (Section 4.3.3). *)
+}
+
+val default : t
+(** Paper defaults: threshold ratio 11.24, chunk ratio 6.12, min chunk 100,
+    fancy size 64, ts weight 1.0, default analyzer. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument when a knob is out of its documented range. *)

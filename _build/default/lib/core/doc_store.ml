@@ -1,0 +1,65 @@
+module St = Svr_storage
+
+type t = St.Btree.t
+
+let create env ~name = St.Env.btree env ~name
+
+let key doc term =
+  St.Order_key.compose
+    [ (fun b -> St.Order_key.u32 b doc); (fun b -> St.Order_key.term b term) ]
+
+let doc_prefix doc = St.Order_key.compose [ (fun b -> St.Order_key.u32 b doc) ]
+
+let encode_tf tf =
+  let buf = Buffer.create 4 in
+  St.Varint.write buf tf;
+  Buffer.contents buf
+
+let decode_entry k v =
+  let pos = ref 4 in
+  let term = St.Order_key.get_term k pos in
+  (term, St.Varint.read v (ref 0))
+
+let terms t ~doc =
+  let acc = ref [] in
+  St.Btree.iter_prefix t (doc_prefix doc) (fun k v ->
+      acc := decode_entry k v :: !acc;
+      true);
+  List.rev !acc
+
+let remove t ~doc =
+  let keys = ref [] in
+  St.Btree.iter_prefix t (doc_prefix doc) (fun k _ ->
+      keys := k :: !keys;
+      true);
+  List.iter (fun k -> ignore (St.Btree.delete t k)) !keys
+
+let set t ~doc entries =
+  remove t ~doc;
+  List.iter (fun (term, tf) -> St.Btree.insert t (key doc term) (encode_tf tf)) entries
+
+let max_tf t ~doc = List.fold_left (fun m (_, tf) -> max m tf) 0 (terms t ~doc)
+
+let mem t ~doc =
+  let found = ref false in
+  St.Btree.iter_prefix t (doc_prefix doc) (fun _ _ ->
+      found := true;
+      false);
+  !found
+
+let iter_docs t f =
+  (* group the flat (doc, term) rows back into per-document lists *)
+  let cur_doc = ref (-1) and cur = ref [] in
+  let flush () =
+    if !cur_doc >= 0 then f ~doc:!cur_doc (List.rev !cur);
+    cur := []
+  in
+  St.Btree.iter_all t (fun k v ->
+      let doc = St.Order_key.get_u32 k 0 in
+      if doc <> !cur_doc then begin
+        flush ();
+        cur_doc := doc
+      end;
+      cur := decode_entry k v :: !cur;
+      true);
+  flush ()

@@ -1,0 +1,27 @@
+(** Forward index: document id -> distinct terms with in-document frequency.
+
+    Algorithm 1 needs [Content(id)] — the distinct terms of a document — to
+    place postings in the short lists, and the offline merge needs it to
+    rebuild long lists. Stored as one B+-tree row per (doc, term) so that a
+    document's content is a prefix scan and content updates are incremental.
+    The query algorithms never consult it. *)
+
+type t
+
+val create : Svr_storage.Env.t -> name:string -> t
+
+val set : t -> doc:int -> (string * int) list -> unit
+(** Replace a document's content with [(term, tf)] pairs. *)
+
+val terms : t -> doc:int -> (string * int) list
+(** Content of a document, sorted by term; [[]] if unknown. *)
+
+val max_tf : t -> doc:int -> int
+(** Largest in-document frequency (for normalized TF); 0 if unknown/empty. *)
+
+val remove : t -> doc:int -> unit
+
+val mem : t -> doc:int -> bool
+
+val iter_docs : t -> (doc:int -> (string * int) list -> unit) -> unit
+(** Every document in ascending id order with its content. *)

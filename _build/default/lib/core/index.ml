@@ -1,0 +1,125 @@
+type kind =
+  | Id
+  | Score
+  | Score_threshold
+  | Chunk
+  | Id_termscore
+  | Chunk_termscore
+
+let all_kinds = [ Id; Score; Score_threshold; Chunk; Id_termscore; Chunk_termscore ]
+
+let kind_name = function
+  | Id -> "ID"
+  | Score -> "Score"
+  | Score_threshold -> "Score-Threshold"
+  | Chunk -> "Chunk"
+  | Id_termscore -> "ID-TermScore"
+  | Chunk_termscore -> "Chunk-TermScore"
+
+let kind_of_name name =
+  (* underscores are accepted for hyphens so the names survive SQL lexing *)
+  let canon s =
+    String.lowercase_ascii (String.map (fun c -> if c = '_' then '-' else c) s)
+  in
+  List.find_opt (fun k -> canon (kind_name k) = canon name) all_kinds
+
+let ranks_with_term_scores = function
+  | Id_termscore | Chunk_termscore -> true
+  | Id | Score | Score_threshold | Chunk -> false
+
+type impl =
+  | I_id of Method_id.t
+  | I_score of Method_score.t
+  | I_st of Method_score_threshold.t
+  | I_chunk of Method_chunk.t
+  | I_cts of Method_chunk_termscore.t
+
+type t = { kind : kind; cfg : Config.t; impl : impl }
+
+let kind t = t.kind
+
+let build ?env kind cfg ~corpus ~scores =
+  let impl =
+    match kind with
+    | Id -> I_id (Method_id.build ?env ~with_ts:false cfg ~corpus ~scores)
+    | Id_termscore -> I_id (Method_id.build ?env ~with_ts:true cfg ~corpus ~scores)
+    | Score -> I_score (Method_score.build ?env cfg ~corpus ~scores)
+    | Score_threshold -> I_st (Method_score_threshold.build ?env cfg ~corpus ~scores)
+    | Chunk -> I_chunk (Method_chunk.build ?env cfg ~corpus ~scores)
+    | Chunk_termscore ->
+        I_cts (Method_chunk_termscore.build ?env cfg ~corpus ~scores)
+  in
+  { kind; cfg; impl }
+
+let env t =
+  match t.impl with
+  | I_id i -> Method_id.env i
+  | I_score i -> Method_score.env i
+  | I_st i -> Method_score_threshold.env i
+  | I_chunk i -> Method_chunk.env i
+  | I_cts i -> Method_chunk_termscore.env i
+
+let score_update t ~doc score =
+  match t.impl with
+  | I_id i -> Method_id.score_update i ~doc score
+  | I_score i -> Method_score.score_update i ~doc score
+  | I_st i -> Method_score_threshold.score_update i ~doc score
+  | I_chunk i -> Method_chunk.score_update i ~doc score
+  | I_cts i -> Method_chunk_termscore.score_update i ~doc score
+
+let insert t ~doc text ~score =
+  match t.impl with
+  | I_id i -> Method_id.insert i ~doc text ~score
+  | I_score i -> Method_score.insert i ~doc text ~score
+  | I_st i -> Method_score_threshold.insert i ~doc text ~score
+  | I_chunk i -> Method_chunk.insert i ~doc text ~score
+  | I_cts i -> Method_chunk_termscore.insert i ~doc text ~score
+
+let delete t ~doc =
+  match t.impl with
+  | I_id i -> Method_id.delete i ~doc
+  | I_score i -> Method_score.delete i ~doc
+  | I_st i -> Method_score_threshold.delete i ~doc
+  | I_chunk i -> Method_chunk.delete i ~doc
+  | I_cts i -> Method_chunk_termscore.delete i ~doc
+
+let update_content t ~doc text =
+  match t.impl with
+  | I_id i -> Method_id.update_content i ~doc text
+  | I_score i -> Method_score.update_content i ~doc text
+  | I_st i -> Method_score_threshold.update_content i ~doc text
+  | I_chunk i -> Method_chunk.update_content i ~doc text
+  | I_cts i -> Method_chunk_termscore.update_content i ~doc text
+
+let query_terms t ?(mode = Types.Conjunctive) terms ~k =
+  match t.impl with
+  | I_id i -> Method_id.query i ~mode terms ~k
+  | I_score i -> Method_score.query i ~mode terms ~k
+  | I_st i -> Method_score_threshold.query i ~mode terms ~k
+  | I_chunk i -> Method_chunk.query i ~mode terms ~k
+  | I_cts i -> Method_chunk_termscore.query i ~mode terms ~k
+
+let query t ?(mode = Types.Conjunctive) keywords ~k =
+  let terms =
+    List.concat_map
+      (fun kw -> Svr_text.Analyzer.analyze ~config:t.cfg.Config.analyzer kw)
+      keywords
+    |> List.sort_uniq String.compare
+  in
+  query_terms t ~mode terms ~k
+
+let long_list_bytes t =
+  match t.impl with
+  | I_id i -> Method_id.long_list_bytes i
+  | I_score i -> Method_score.long_list_bytes i
+  | I_st i -> Method_score_threshold.long_list_bytes i
+  | I_chunk i -> Method_chunk.long_list_bytes i
+  | I_cts i -> Method_chunk_termscore.long_list_bytes i
+
+let rebuild t =
+  match t.impl with
+  | I_id i -> Method_id.rebuild i
+  | I_score _ -> ()
+  | I_st i -> Method_score_threshold.rebuild i
+  | I_chunk i -> Method_chunk.rebuild i
+  | I_cts i -> Method_chunk_termscore.rebuild i

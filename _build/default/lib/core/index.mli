@@ -1,0 +1,66 @@
+(** Uniform facade over the six index methods, for benchmarks, examples and
+    the relational layer.
+
+    The variants correspond to the paper's Section 5.2 implementations: two
+    baselines (ID, Score), the two novel SVR-only indexes (Score-Threshold,
+    Chunk) and the two term-score-aware variants (ID-TermScore,
+    Chunk-TermScore). *)
+
+type kind =
+  | Id
+  | Score
+  | Score_threshold
+  | Chunk
+  | Id_termscore
+  | Chunk_termscore
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name} (case-insensitive). *)
+
+val ranks_with_term_scores : kind -> bool
+(** Does this method rank by [svr + ts_weight * sum of term scores]? *)
+
+type t
+
+val build :
+  ?env:Svr_storage.Env.t ->
+  kind ->
+  Config.t ->
+  corpus:(int * string) Seq.t ->
+  scores:(int -> float) ->
+  t
+(** Bulk-load an index of the given kind. A fresh storage environment is
+    created unless one is supplied. *)
+
+val kind : t -> kind
+
+val env : t -> Svr_storage.Env.t
+
+val score_update : t -> doc:int -> float -> unit
+(** Notify the index that the document's SVR score changed (the paper's
+    materialized-view callback). *)
+
+val insert : t -> doc:int -> string -> score:float -> unit
+
+val delete : t -> doc:int -> unit
+
+val update_content : t -> doc:int -> string -> unit
+
+val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+(** Top-k documents with their latest combined scores, best first. Keywords
+    are analyzed with the index's analyzer configuration, so raw user text is
+    accepted. *)
+
+val query_terms :
+  t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+(** Like {!query} but takes pre-analyzed terms verbatim. *)
+
+val long_list_bytes : t -> int
+
+val rebuild : t -> unit
+(** Offline maintenance (no-op for the Score method, whose list is always
+    current). *)

@@ -1,0 +1,53 @@
+module St = Svr_storage
+
+let doc_key doc = St.Order_key.compose [ (fun b -> St.Order_key.u32 b doc) ]
+
+let clear_btree = St.Btree.clear
+
+module Score_state = struct
+  type t = St.Btree.t
+  type entry = { lscore : float; in_short : bool }
+
+  let create env ~name = St.Env.btree env ~name
+
+  let encode e =
+    St.Order_key.compose
+      [ (fun b -> St.Order_key.f64 b e.lscore);
+        (fun b -> Buffer.add_char b (if e.in_short then '\001' else '\000')) ]
+
+  let decode v = { lscore = St.Order_key.get_f64 v 0; in_short = v.[8] = '\001' }
+
+  let find t ~doc = Option.map decode (St.Btree.find t (doc_key doc))
+  let set t ~doc e = St.Btree.insert t (doc_key doc) (encode e)
+  let remove t ~doc = ignore (St.Btree.delete t (doc_key doc))
+  let clear = clear_btree
+
+  let iter t f =
+    St.Btree.iter_all t (fun k v ->
+        f ~doc:(St.Order_key.get_u32 k 0) (decode v);
+        true)
+end
+
+module Chunk_state = struct
+  type t = St.Btree.t
+  type entry = { lchunk : int; in_short : bool }
+
+  let create env ~name = St.Env.btree env ~name
+
+  let encode e =
+    St.Order_key.compose
+      [ (fun b -> St.Order_key.u32 b e.lchunk);
+        (fun b -> Buffer.add_char b (if e.in_short then '\001' else '\000')) ]
+
+  let decode v = { lchunk = St.Order_key.get_u32 v 0; in_short = v.[4] = '\001' }
+
+  let find t ~doc = Option.map decode (St.Btree.find t (doc_key doc))
+  let set t ~doc e = St.Btree.insert t (doc_key doc) (encode e)
+  let remove t ~doc = ignore (St.Btree.delete t (doc_key doc))
+  let clear = clear_btree
+
+  let iter t f =
+    St.Btree.iter_all t (fun k v ->
+        f ~doc:(St.Order_key.get_u32 k 0) (decode v);
+        true)
+end

@@ -1,0 +1,44 @@
+(** The ListScore and ListChunk tables (Sections 4.3.1 and 4.3.2).
+
+    One row per document whose score has ever been updated: the document's
+    current *list* rank (the score or chunk id its postings sit at in the
+    short or long inverted lists) and whether those postings are in the short
+    list. Lemma 1.1 relies on a row being created on the document's first
+    score update even when the threshold is not crossed. *)
+
+module Score_state : sig
+  type t
+
+  type entry = { lscore : float; in_short : bool }
+
+  val create : Svr_storage.Env.t -> name:string -> t
+
+  val find : t -> doc:int -> entry option
+
+  val set : t -> doc:int -> entry -> unit
+
+  val remove : t -> doc:int -> unit
+
+  val clear : t -> unit
+  (** Drop every row (offline merge resets list state). *)
+
+  val iter : t -> (doc:int -> entry -> unit) -> unit
+end
+
+module Chunk_state : sig
+  type t
+
+  type entry = { lchunk : int; in_short : bool }
+
+  val create : Svr_storage.Env.t -> name:string -> t
+
+  val find : t -> doc:int -> entry option
+
+  val set : t -> doc:int -> entry -> unit
+
+  val remove : t -> doc:int -> unit
+
+  val clear : t -> unit
+
+  val iter : t -> (doc:int -> entry -> unit) -> unit
+end

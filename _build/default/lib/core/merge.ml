@@ -1,0 +1,113 @@
+type entry = {
+  rank : float;
+  doc : int;
+  term_idx : int;
+  long : bool;
+  rem : bool;
+  ts : int;
+}
+
+type stream = unit -> entry option
+
+type group = {
+  g_rank : float;
+  g_doc : int;
+  present : bool array;
+  n_present : int;
+  any_short : bool;
+  g_ts : float array;
+  ts_sum : float;
+}
+
+(* (rank desc, doc asc): e1 comes strictly before e2? *)
+let before e1 e2 =
+  match Float.compare e1.rank e2.rank with
+  | c when c > 0 -> true
+  | 0 -> e1.doc < e2.doc
+  | _ -> false
+
+let groups ~n_terms streams =
+  let streams = Array.of_list streams in
+  let heads = Array.map (fun s -> s ()) streams in
+  let advance i = heads.(i) <- streams.(i) () in
+  fun () ->
+    (* locate the front position among stream heads *)
+    let front = ref None in
+    Array.iter
+      (fun head ->
+        match (head, !front) with
+        | Some e, None -> front := Some e
+        | Some e, Some f -> if before e f then front := Some e
+        | None, _ -> ())
+      heads;
+    match !front with
+    | None -> None
+    | Some f ->
+        let seen_long = Array.make n_terms false in
+        let seen_short = Array.make n_terms false in
+        let seen_rem = Array.make n_terms false in
+        let ts_of = Array.make n_terms 0 in
+        Array.iteri
+          (fun i head ->
+            match head with
+            | Some e when e.rank = f.rank && e.doc = f.doc ->
+                if e.rem then seen_rem.(e.term_idx) <- true
+                else begin
+                  if e.long then begin
+                    seen_long.(e.term_idx) <- true;
+                    if not seen_short.(e.term_idx) then ts_of.(e.term_idx) <- e.ts
+                  end
+                  else begin
+                    seen_short.(e.term_idx) <- true;
+                    (* short postings carry the freshest term score *)
+                    ts_of.(e.term_idx) <- e.ts
+                  end
+                end;
+                advance i
+            | _ -> ())
+          heads;
+        let present = Array.make n_terms false in
+        let g_ts = Array.make n_terms 0.0 in
+        let n_present = ref 0 and any_short = ref false and ts_sum = ref 0.0 in
+        for t = 0 to n_terms - 1 do
+          let p = (seen_long.(t) && not seen_rem.(t)) || seen_short.(t) in
+          present.(t) <- p;
+          if p then begin
+            incr n_present;
+            g_ts.(t) <- Svr_text.Term_score.dequantize ts_of.(t);
+            ts_sum := !ts_sum +. g_ts.(t)
+          end;
+          if seen_short.(t) then any_short := true
+        done;
+        Some
+          { g_rank = f.rank; g_doc = f.doc; present; n_present = !n_present;
+            any_short = !any_short; g_ts; ts_sum = !ts_sum }
+
+let of_short_list ~term_idx short ~term =
+  let next = Short_list.stream short ~term in
+  fun () ->
+    Option.map
+      (fun (p : Short_list.posting) ->
+        { rank = p.rank; doc = p.doc; term_idx; long = false;
+          rem = (p.op = Short_list.Rem); ts = p.ts })
+      (next ())
+
+let const_rank rank next ~term_idx =
+  fun () ->
+    Option.map
+      (fun (doc, ts) -> { rank; doc; term_idx; long = true; rem = false; ts })
+      (next ())
+
+let of_score_stream next ~term_idx =
+  fun () ->
+    Option.map
+      (fun (score, doc) ->
+        { rank = score; doc; term_idx; long = true; rem = false; ts = 0 })
+      (next ())
+
+let of_chunk_stream next ~term_idx =
+  fun () ->
+    Option.map
+      (fun (cid, doc, ts) ->
+        { rank = float_of_int cid; doc; term_idx; long = true; rem = false; ts })
+      (next ())

@@ -1,0 +1,50 @@
+(** K-way merge of per-term posting streams into candidate groups.
+
+    Every query algorithm (Algorithms 2 and 3 and the baselines) is a loop
+    over groups: all postings sharing the same (rank, doc) position across the
+    query terms' short ∪ long lists. Streams must yield entries in
+    (rank descending, doc ascending) order — which is how both the long-list
+    codecs and the short-list B+-trees are laid out. ID-ordered methods use a
+    constant rank of 0, degenerating to a doc-id merge.
+
+    Presence of a term at a group follows Appendix A semantics: a long posting
+    counts unless cancelled by a REM marker at the same position; a short Add
+    posting always counts. *)
+
+type entry = {
+  rank : float;  (** list score, chunk id, or 0 for id-ordered lists *)
+  doc : int;
+  term_idx : int;  (** index of the query term this entry belongs to *)
+  long : bool;  (** from the long (immutable) list? *)
+  rem : bool;  (** a REM content-update marker *)
+  ts : int;  (** quantized term score (0 when unused) *)
+}
+
+type stream = unit -> entry option
+
+type group = {
+  g_rank : float;
+  g_doc : int;
+  present : bool array;  (** per query term *)
+  n_present : int;
+  any_short : bool;  (** some non-REM short posting contributed *)
+  g_ts : float array;  (** dequantized term score per present term, else 0 *)
+  ts_sum : float;  (** dequantized term scores summed over present terms *)
+}
+
+val groups : n_terms:int -> stream list -> unit -> group option
+(** Pull the next group in (rank desc, doc asc) order, or [None] when all
+    streams are exhausted. *)
+
+val of_short_list : term_idx:int -> Short_list.t -> term:string -> stream
+
+val const_rank : float -> (unit -> (int * int) option) -> term_idx:int -> stream
+(** Wrap an id-ordered [(doc, ts)] stream (ID codec) as long-list entries at a
+    fixed rank. *)
+
+val of_score_stream : (unit -> (float * int) option) -> term_idx:int -> stream
+(** Wrap a Score-codec stream as long-list entries ranked by score. *)
+
+val of_chunk_stream : (unit -> (int * int * int) option) -> term_idx:int -> stream
+(** Wrap a Chunk-codec [(cid, doc, ts)] stream as long-list entries ranked by
+    chunk id. *)

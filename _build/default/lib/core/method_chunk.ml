@@ -1,0 +1,45 @@
+module C = Chunk_common
+
+type t = C.t
+
+let build ?env ?policy_of_scores cfg ~corpus ~scores =
+  C.build ?env ?policy_of_scores ~with_ts:false cfg ~corpus ~scores
+
+let env (t : t) = t.C.env
+let policy (t : t) = t.C.policy
+let score_update = C.score_update
+let insert = C.insert
+let delete = C.delete
+let update_content = C.update_content
+
+let query t ?(mode = Types.Conjunctive) terms ~k =
+  let n_terms = List.length terms in
+  if n_terms = 0 then []
+  else begin
+    let next = Merge.groups ~n_terms (C.term_streams t terms) in
+    let heap = Result_heap.create ~k in
+    let rec scan () =
+      match next () with
+      | None -> ()
+      | Some g ->
+          (* a document whose postings sit at chunk <= cid currently scores
+             below the lower bound of chunk cid+2 (it would otherwise have
+             moved to the short list), so once that bound cannot beat the
+             heap the scan is done — this is the "scan one extra chunk" rule *)
+          let cid = int_of_float g.Merge.g_rank in
+          if
+            Result_heap.is_full heap
+            && Chunk_policy.stop_bound t.C.policy ~cid <= Result_heap.min_score heap
+          then ()
+          else begin
+            C.process_candidate t mode ~n_terms g heap;
+            scan ()
+          end
+    in
+    scan ();
+    Result_heap.to_list heap
+  end
+
+let long_list_bytes = C.long_list_bytes
+let short_list_postings = C.short_list_postings
+let rebuild t = ignore (C.rebuild t)

@@ -1,0 +1,39 @@
+(** The Chunk method (Section 4.3.2) — the paper's headline index.
+
+    Long lists are as compact as the ID method's (chunk id stored once per
+    group, doc ids delta-encoded, no scores), yet queries scan chunk by chunk
+    from the highest and stop one chunk after the top-k is settled. The
+    update/query trade-off is tuned by the chunk ratio. *)
+
+type t
+
+val build :
+  ?env:Svr_storage.Env.t ->
+  ?policy_of_scores:(float array -> Chunk_policy.t) ->
+  Config.t ->
+  corpus:(int * string) Seq.t ->
+  scores:(int -> float) ->
+  t
+
+val env : t -> Svr_storage.Env.t
+
+val policy : t -> Chunk_policy.t
+
+val score_update : t -> doc:int -> float -> unit
+
+val insert : t -> doc:int -> string -> score:float -> unit
+
+val delete : t -> doc:int -> unit
+
+val update_content : t -> doc:int -> string -> unit
+
+val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+(** Exact top-k under the latest scores (Theorem 1 analogue): scanning stops
+    when no document whose postings sit at or below the current chunk can
+    possibly beat the current k-th score. *)
+
+val long_list_bytes : t -> int
+
+val short_list_postings : t -> int
+
+val rebuild : t -> unit

@@ -1,0 +1,189 @@
+module St = Svr_storage
+module C = Chunk_common
+
+type t = {
+  base : C.t;
+  fancy_blobs : St.Blob_store.t;
+  fancy_dir : Term_dir.t;
+}
+
+let env t = t.base.C.env
+
+let build_fancy t by_term =
+  let fancy_size = t.base.C.cfg.Config.fancy_size in
+  Hashtbl.iter
+    (fun term postings ->
+      let arr = Array.of_list !postings in
+      (* highest term scores first, then take the fancy prefix *)
+      Array.sort
+        (fun (d1, ts1) (d2, ts2) ->
+          match compare ts2 ts1 with 0 -> compare d1 d2 | c -> c)
+        arr;
+      let top = Array.sub arr 0 (min fancy_size (Array.length arr)) in
+      if Array.length top > 0 then begin
+        let min_ts = Array.fold_left (fun m (_, ts) -> min m ts) max_int top in
+        Array.sort (fun (d1, _) (d2, _) -> compare d1 d2) top;
+        let blob =
+          St.Blob_store.put t.fancy_blobs
+            (Posting_codec.Id_codec.encode ~with_ts:true top)
+        in
+        Term_dir.set t.fancy_dir ~term { Term_dir.blob; meta = min_ts }
+      end)
+    by_term
+
+let postings_by_term base =
+  let by_term = Hashtbl.create 4096 in
+  Doc_store.iter_docs base.C.docs (fun ~doc tfs ->
+      List.iter
+        (fun (term, ts) ->
+          let cell =
+            match Hashtbl.find_opt by_term term with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add by_term term c;
+                c
+          in
+          cell := (doc, ts) :: !cell)
+        (Build_util.quantized_ts tfs));
+  by_term
+
+let build ?env cfg ~corpus ~scores =
+  let base = C.build ?env ~with_ts:true cfg ~corpus ~scores in
+  let t =
+    { base;
+      fancy_blobs = St.Env.blob_store base.C.env ~name:"fancy";
+      fancy_dir = Term_dir.create base.C.env ~name:"fancydir" }
+  in
+  build_fancy t (postings_by_term base);
+  t
+
+let score_update t = C.score_update t.base
+let insert t = C.insert t.base
+let delete t = C.delete t.base
+let update_content t = C.update_content t.base
+
+let fancy_streams t terms =
+  List.filter_map
+    (fun (term_idx, term) ->
+      Option.map
+        (fun { Term_dir.blob; _ } ->
+          let reader = St.Blob_store.reader t.fancy_blobs blob in
+          Merge.const_rank 0.0
+            (Posting_codec.Id_codec.stream ~with_ts:true reader)
+            ~term_idx)
+        (Term_dir.find t.fancy_dir ~term))
+    (List.mapi (fun i term -> (i, term)) terms)
+
+(* Algorithm 3 *)
+let query t ?(mode = Types.Conjunctive) terms ~k =
+  let base = t.base in
+  let n_terms = List.length terms in
+  if n_terms = 0 then []
+  else begin
+    let w = base.C.cfg.Config.ts_weight in
+    let heap = Result_heap.create ~k in
+    (* per-term upper bound on the term score of any document outside that
+       term's fancy list: the fancy minimum, raised by short-list postings
+       added since the fancy lists were built *)
+    let ts_bound =
+      Array.of_list
+        (List.map
+           (fun term ->
+             let fancy_min =
+               match Term_dir.find t.fancy_dir ~term with
+               | Some { Term_dir.meta; _ } -> meta
+               | None -> 0
+             in
+             Svr_text.Term_score.dequantize
+               (max fancy_min (Short_list.max_ts base.C.short ~term)))
+           terms)
+    in
+    let th_term = w *. Array.fold_left ( +. ) 0.0 ts_bound in
+    (* stage 1: merge the fancy lists *)
+    let remain : (int, float option array) Hashtbl.t = Hashtbl.create 64 in
+    let next_fancy = Merge.groups ~n_terms (fancy_streams t terms) in
+    let rec fancy_stage () =
+      match next_fancy () with
+      | None -> ()
+      | Some g ->
+          let doc = g.Merge.g_doc in
+          if not (Score_table.is_deleted base.C.scores ~doc) then begin
+            if g.Merge.n_present = n_terms then begin
+              let svr = Score_table.get_exn base.C.scores ~doc in
+              Result_heap.offer heap ~doc ~score:(svr +. (w *. g.Merge.ts_sum))
+            end
+            else
+              Hashtbl.replace remain doc
+                (Array.init n_terms (fun i ->
+                     if g.Merge.present.(i) then Some g.Merge.g_ts.(i) else None))
+          end;
+          fancy_stage ()
+    in
+    fancy_stage ();
+    (* pruning condition from [21]: drop a parked document once its combined
+       upper bound cannot beat the current k-th score *)
+    let prune_remain () =
+      let min_score = Result_heap.min_score heap in
+      let victims = ref [] in
+      Hashtbl.iter
+        (fun doc known ->
+          let ub =
+            Score_table.get_exn base.C.scores ~doc
+            +. w
+               *. Array.fold_left ( +. ) 0.0
+                    (Array.mapi
+                       (fun i k -> match k with Some ts -> ts | None -> ts_bound.(i))
+                       known)
+          in
+          if ub < min_score then victims := doc :: !victims)
+        remain;
+      List.iter (Hashtbl.remove remain) !victims
+    in
+    (* stage 2: merge the chunked short/long lists *)
+    let next = Merge.groups ~n_terms (C.term_streams base terms) in
+    let last_pruned_cid = ref max_int in
+    let rec scan () =
+      match next () with
+      | None -> ()
+      | Some g ->
+          (* the stop check must precede removing the group's document from
+             the remainList: a parked document with a high known term score
+             keeps the remainList non-empty and thereby blocks stopping *)
+          let cid = int_of_float g.Merge.g_rank in
+          let stop =
+            Result_heap.is_full heap
+            &&
+            let th_svr = Chunk_policy.stop_bound base.C.policy ~cid in
+            th_svr +. th_term <= Result_heap.min_score heap
+            && begin
+                 if cid <> !last_pruned_cid then begin
+                   prune_remain ();
+                   last_pruned_cid := cid
+                 end;
+                 Hashtbl.length remain = 0
+               end
+          in
+          if not stop then begin
+            Hashtbl.remove remain g.Merge.g_doc;
+            C.process_candidate base mode ~n_terms g heap;
+            scan ()
+          end
+    in
+    scan ();
+    Result_heap.to_list heap
+  end
+
+let long_list_bytes t =
+  C.long_list_bytes t.base + St.Blob_store.live_bytes t.fancy_blobs
+
+let rebuild t =
+  let by_term = C.rebuild t.base in
+  let old = ref [] in
+  Term_dir.iter t.fancy_dir (fun ~term entry -> old := (term, entry) :: !old);
+  List.iter
+    (fun (term, { Term_dir.blob; _ }) ->
+      St.Blob_store.free t.fancy_blobs blob;
+      Term_dir.remove t.fancy_dir ~term)
+    !old;
+  build_fancy t by_term

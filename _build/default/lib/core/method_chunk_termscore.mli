@@ -1,0 +1,50 @@
+(** The Chunk-TermScore method (Section 4.3.3): Chunk extended to rank by a
+    combination of the SVR score and per-term scores, following Long & Suel's
+    fancy-list idea.
+
+    Each term keeps, besides its chunked long list (whose postings now carry
+    quantized term scores), a small id-ordered *fancy list* of its
+    highest-term-score postings. Algorithm 3 first merges the fancy lists —
+    documents matching in every fancy list get exact combined scores, partial
+    matches are parked in the remainList — then scans the chunked lists,
+    stopping at a chunk boundary once (a) the remainList has been pruned
+    empty and (b) no unseen document's combined-score upper bound can beat
+    the heap.
+
+    Going beyond the paper, the term-score component of that bound also
+    covers documents that entered the short lists after the fancy lists were
+    built (insertions, threshold crossings): it uses
+    [max(min fancy ts, max short-list ts)] per term, so Theorem 2 survives
+    incremental insertions.
+
+    Known limitation (documented in DESIGN.md): content updates refresh the
+    chunked lists via ADD/REM markers but not the static fancy lists; exact
+    ranking after content updates is restored by {!rebuild}. *)
+
+type t
+
+val build :
+  ?env:Svr_storage.Env.t ->
+  Config.t ->
+  corpus:(int * string) Seq.t ->
+  scores:(int -> float) ->
+  t
+
+val env : t -> Svr_storage.Env.t
+
+val score_update : t -> doc:int -> float -> unit
+
+val insert : t -> doc:int -> string -> score:float -> unit
+
+val delete : t -> doc:int -> unit
+
+val update_content : t -> doc:int -> string -> unit
+
+val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+(** Top-k by [svr + ts_weight * sum of term scores] (Theorem 2), conjunctive
+    or disjunctive. *)
+
+val long_list_bytes : t -> int
+(** Chunked long lists plus fancy lists. *)
+
+val rebuild : t -> unit

@@ -1,0 +1,150 @@
+module St = Svr_storage
+
+type t = {
+  cfg : Config.t;
+  with_ts : bool;
+  env : St.Env.t;
+  scores : Score_table.t;
+  docs : Doc_store.t;
+  dir : Term_dir.t;
+  blobs : St.Blob_store.t;
+  short : Short_list.t;
+}
+
+let env t = t.env
+
+let encode_term t by_term term postings =
+  let arr = Build_util.sort_by_doc postings in
+  let blob = St.Blob_store.put t.blobs (Posting_codec.Id_codec.encode ~with_ts:t.with_ts arr) in
+  Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 };
+  ignore by_term
+
+let build ?env:env_opt ~with_ts cfg ~corpus ~scores =
+  Config.validate cfg;
+  let env = match env_opt with Some e -> e | None -> St.Env.create () in
+  let t =
+    { cfg; with_ts; env;
+      scores = Score_table.create env ~name:"score";
+      docs = Doc_store.create env ~name:"content";
+      dir = Term_dir.create env ~name:"dir";
+      blobs = St.Env.blob_store env ~name:"long";
+      short = Short_list.create env ~name:"short" Short_list.Id_rank }
+  in
+  let by_term = Build_util.collect cfg t.docs t.scores ~corpus ~scores in
+  Hashtbl.iter (fun term cell -> encode_term t by_term term !cell) by_term;
+  t
+
+(* A score update is a single Score-table write: the whole point of the ID
+   method (and its weakness is paid at query time). *)
+let score_update t ~doc score = Score_table.set t.scores ~doc ~score
+
+let insert t ~doc text ~score =
+  let tfs = Svr_text.Analyzer.term_frequencies ~config:t.cfg.Config.analyzer text in
+  Doc_store.set t.docs ~doc tfs;
+  Score_table.set t.scores ~doc ~score;
+  List.iter
+    (fun (term, ts) ->
+      Short_list.put t.short ~term ~rank:0.0 ~doc ~op:Short_list.Add ~ts)
+    (Build_util.quantized_ts tfs)
+
+let delete t ~doc = Score_table.mark_deleted t.scores ~doc
+
+let update_content t ~doc text =
+  let old_terms = List.map fst (Doc_store.terms t.docs ~doc) in
+  let tfs = Svr_text.Analyzer.term_frequencies ~config:t.cfg.Config.analyzer text in
+  Doc_store.set t.docs ~doc tfs;
+  let new_terms = List.map fst tfs in
+  (* upsert semantics: an Add overwrites a stale REM marker and a REM
+     overwrites a stale Add. Adds go in for every current term, not just new
+     ones: in the doc-id merge a short posting shares its group with the long
+     posting and its (fresh) term score wins, keeping ID-TermScore ranking
+     exact when in-document frequencies change. *)
+  List.iter
+    (fun (term, ts) ->
+      Short_list.put t.short ~term ~rank:0.0 ~doc ~op:Short_list.Add ~ts)
+    (Build_util.quantized_ts tfs);
+  List.iter
+    (fun term ->
+      if not (List.mem term new_terms) then
+        Short_list.put t.short ~term ~rank:0.0 ~doc ~op:Short_list.Rem ~ts:0)
+    old_terms
+
+let term_streams t terms =
+  List.concat
+    (List.mapi
+       (fun term_idx term ->
+         let short = Merge.of_short_list ~term_idx t.short ~term in
+         match Term_dir.find t.dir ~term with
+         | None -> [ short ]
+         | Some { Term_dir.blob; _ } ->
+             let reader = St.Blob_store.reader t.blobs blob in
+             [ Merge.const_rank 0.0
+                 (Posting_codec.Id_codec.stream ~with_ts:t.with_ts reader)
+                 ~term_idx;
+               short ])
+       terms)
+
+let query t ?(mode = Types.Conjunctive) terms ~k =
+  let n_terms = List.length terms in
+  if n_terms = 0 then []
+  else begin
+    let next = Merge.groups ~n_terms (term_streams t terms) in
+    let heap = Result_heap.create ~k in
+    let rec scan () =
+      match next () with
+      | None -> ()
+      | Some g ->
+          if
+            Types.matches mode ~n_present:g.Merge.n_present ~n_terms
+            && not (Score_table.is_deleted t.scores ~doc:g.Merge.g_doc)
+          then begin
+            let svr = Score_table.get_exn t.scores ~doc:g.Merge.g_doc in
+            let score =
+              if t.with_ts then svr +. (t.cfg.Config.ts_weight *. g.Merge.ts_sum)
+              else svr
+            in
+            Result_heap.offer heap ~doc:g.Merge.g_doc ~score
+          end;
+          scan ()
+    in
+    scan ();
+    Result_heap.to_list heap
+  end
+
+let long_list_bytes t = St.Blob_store.live_bytes t.blobs
+
+let rebuild t =
+  (* drop deleted docs for real, then re-encode every term from the forward
+     index; old blobs are freed (their pages are reclaimed only by copying
+     into a fresh store, which the simulation does not need) *)
+  let deleted = ref [] in
+  Score_table.iter t.scores (fun ~doc ~score:_ ~deleted:d ->
+      if d then deleted := doc :: !deleted);
+  List.iter
+    (fun doc ->
+      Doc_store.remove t.docs ~doc;
+      Score_table.remove t.scores ~doc)
+    !deleted;
+  let by_term = Hashtbl.create 4096 in
+  Doc_store.iter_docs t.docs (fun ~doc tfs ->
+      List.iter
+        (fun (term, ts) ->
+          let cell =
+            match Hashtbl.find_opt by_term term with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add by_term term c;
+                c
+          in
+          cell := (doc, ts) :: !cell)
+        (Build_util.quantized_ts tfs));
+  let old = ref [] in
+  Term_dir.iter t.dir (fun ~term entry -> old := (term, entry) :: !old);
+  List.iter
+    (fun (term, { Term_dir.blob; _ }) ->
+      St.Blob_store.free t.blobs blob;
+      Term_dir.remove t.dir ~term)
+    !old;
+  Hashtbl.iter (fun term cell -> encode_term t by_term term !cell) by_term;
+  Short_list.clear t.short

@@ -1,0 +1,38 @@
+(** The ID method (Section 4.2.1) and its ID-TermScore extension
+    (Section 5.3.5).
+
+    Long lists hold postings in ascending document-id order (delta + varint
+    compressed), optionally with a per-posting term score. Score updates touch
+    only the Score table — the cheapest possible update — but every query
+    scans the query terms' lists end to end and probes the Score table for
+    each candidate. *)
+
+type t
+
+val build :
+  ?env:Svr_storage.Env.t ->
+  with_ts:bool ->
+  Config.t ->
+  corpus:(int * string) Seq.t ->
+  scores:(int -> float) ->
+  t
+(** [with_ts:true] gives the ID-TermScore variant whose queries rank by
+    [svr + ts_weight * sum of term scores]. *)
+
+val env : t -> Svr_storage.Env.t
+
+val score_update : t -> doc:int -> float -> unit
+
+val insert : t -> doc:int -> string -> score:float -> unit
+
+val delete : t -> doc:int -> unit
+
+val update_content : t -> doc:int -> string -> unit
+
+val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+
+val long_list_bytes : t -> int
+
+val rebuild : t -> unit
+(** Offline maintenance: fold short-list postings into fresh long lists and
+    physically drop deleted documents. *)

@@ -1,0 +1,112 @@
+module St = Svr_storage
+
+type t = {
+  cfg : Config.t;
+  env : St.Env.t;
+  scores : Score_table.t;
+  docs : Doc_store.t;
+  list : St.Btree.t; (* cold device: far larger than the cache *)
+}
+
+let env t = t.env
+
+let posting_key term score doc =
+  St.Order_key.compose
+    [ (fun b -> St.Order_key.term b term);
+      (fun b -> St.Order_key.f64_desc b score);
+      (fun b -> St.Order_key.u32 b doc) ]
+
+let build ?env:env_opt cfg ~corpus ~scores =
+  Config.validate cfg;
+  let env = match env_opt with Some e -> e | None -> St.Env.create () in
+  let t =
+    { cfg; env;
+      scores = Score_table.create env ~name:"score";
+      docs = Doc_store.create env ~name:"content";
+      list = St.Env.cold_btree env ~name:"long" }
+  in
+  let by_term = Build_util.collect cfg t.docs t.scores ~corpus ~scores in
+  Hashtbl.iter
+    (fun term cell ->
+      List.iter
+        (fun (doc, _ts) -> St.Btree.insert t.list (posting_key term (scores doc) doc) "")
+        !cell)
+    by_term;
+  t
+
+(* The expensive path the paper measures at ~17 s per update: one delete and
+   one insert against the big cold B+-tree for every distinct term. *)
+let score_update t ~doc new_score =
+  let old_score = Score_table.get_exn t.scores ~doc in
+  Score_table.set t.scores ~doc ~score:new_score;
+  List.iter
+    (fun (term, _tf) ->
+      ignore (St.Btree.delete t.list (posting_key term old_score doc));
+      St.Btree.insert t.list (posting_key term new_score doc) "")
+    (Doc_store.terms t.docs ~doc)
+
+let insert t ~doc text ~score =
+  let tfs = Svr_text.Analyzer.term_frequencies ~config:t.cfg.Config.analyzer text in
+  Doc_store.set t.docs ~doc tfs;
+  Score_table.set t.scores ~doc ~score;
+  List.iter (fun (term, _) -> St.Btree.insert t.list (posting_key term score doc) "") tfs
+
+let delete t ~doc = Score_table.mark_deleted t.scores ~doc
+
+let update_content t ~doc text =
+  let score = Score_table.get_exn t.scores ~doc in
+  let old_terms = List.map fst (Doc_store.terms t.docs ~doc) in
+  let tfs = Svr_text.Analyzer.term_frequencies ~config:t.cfg.Config.analyzer text in
+  Doc_store.set t.docs ~doc tfs;
+  let new_terms = List.map fst tfs in
+  List.iter
+    (fun term ->
+      if not (List.mem term old_terms) then
+        St.Btree.insert t.list (posting_key term score doc) "")
+    new_terms;
+  List.iter
+    (fun term ->
+      if not (List.mem term new_terms) then
+        ignore (St.Btree.delete t.list (posting_key term score doc)))
+    old_terms
+
+let term_stream t ~term_idx term =
+  let prefix = St.Order_key.compose [ (fun b -> St.Order_key.term b term) ] in
+  let cursor = St.Btree.seek t.list prefix in
+  let plen = String.length prefix in
+  fun () ->
+    match St.Btree.cursor_next cursor with
+    | Some (k, _v)
+      when String.length k >= plen && String.equal (String.sub k 0 plen) prefix ->
+        Some
+          { Merge.rank = St.Order_key.get_f64_desc k plen;
+            doc = St.Order_key.get_u32 k (plen + 8); term_idx; long = true;
+            rem = false; ts = 0 }
+    | _ -> None
+
+let query t ?(mode = Types.Conjunctive) terms ~k =
+  let n_terms = List.length terms in
+  if n_terms = 0 then []
+  else begin
+    let streams = List.mapi (fun i term -> term_stream t ~term_idx:i term) terms in
+    let next = Merge.groups ~n_terms streams in
+    let heap = Result_heap.create ~k in
+    (* candidates arrive in exact (score desc, doc asc) order, so the scan can
+       stop the moment the heap is full *)
+    let rec scan () =
+      if not (Result_heap.is_full heap) then
+        match next () with
+        | None -> ()
+        | Some g ->
+            if
+              Types.matches mode ~n_present:g.Merge.n_present ~n_terms
+              && not (Score_table.is_deleted t.scores ~doc:g.Merge.g_doc)
+            then Result_heap.offer heap ~doc:g.Merge.g_doc ~score:g.Merge.g_rank;
+            scan ()
+    in
+    scan ();
+    Result_heap.to_list heap
+  end
+
+let long_list_bytes t =
+  St.Env.device_size t.env ~name:"long"

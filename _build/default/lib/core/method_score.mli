@@ -1,0 +1,33 @@
+(** The Score method (Section 4.2.2): the classic score-ordered inverted list
+    required by TA-style top-k processing.
+
+    The long list is a single clustered B+-tree keyed (term, score desc,
+    doc) — it must be updatable, because every score update rewrites the
+    document's posting in the list of every one of its terms. Queries merge in
+    score order and stop as soon as k results are found (scores in the list
+    are always exact), which is why the method wins queries and catastrophically
+    loses updates. *)
+
+type t
+
+val build :
+  ?env:Svr_storage.Env.t ->
+  Config.t ->
+  corpus:(int * string) Seq.t ->
+  scores:(int -> float) ->
+  t
+
+val env : t -> Svr_storage.Env.t
+
+val score_update : t -> doc:int -> float -> unit
+(** Rewrites one posting per distinct term of the document. *)
+
+val insert : t -> doc:int -> string -> score:float -> unit
+
+val delete : t -> doc:int -> unit
+
+val update_content : t -> doc:int -> string -> unit
+
+val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+
+val long_list_bytes : t -> int

@@ -1,0 +1,207 @@
+module St = Svr_storage
+module Ss = List_state.Score_state
+
+type t = {
+  cfg : Config.t;
+  env : St.Env.t;
+  scores : Score_table.t;
+  docs : Doc_store.t;
+  dir : Term_dir.t;
+  blobs : St.Blob_store.t;
+  short : Short_list.t;
+  lstate : Ss.t;
+}
+
+let env t = t.env
+let threshold_value_of t s = t.cfg.Config.threshold_ratio *. s
+
+let encode_term t term postings current_score =
+  (* (score desc, doc asc) with the score replicated in every posting - the
+     size cost the Chunk method exists to avoid *)
+  let arr =
+    Array.of_list (List.map (fun (doc, _ts) -> (current_score doc, doc)) postings)
+  in
+  Array.sort
+    (fun (s1, d1) (s2, d2) ->
+      match Float.compare s2 s1 with 0 -> compare d1 d2 | c -> c)
+    arr;
+  let blob = St.Blob_store.put t.blobs (Posting_codec.Score_codec.encode arr) in
+  Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 }
+
+let build ?env:env_opt cfg ~corpus ~scores =
+  Config.validate cfg;
+  let env = match env_opt with Some e -> e | None -> St.Env.create () in
+  let t =
+    { cfg; env;
+      scores = Score_table.create env ~name:"score";
+      docs = Doc_store.create env ~name:"content";
+      dir = Term_dir.create env ~name:"dir";
+      blobs = St.Env.blob_store env ~name:"long";
+      short = Short_list.create env ~name:"short" Short_list.Score_rank;
+      lstate = Ss.create env ~name:"listscore" }
+  in
+  let by_term = Build_util.collect cfg t.docs t.scores ~corpus ~scores in
+  Hashtbl.iter (fun term cell -> encode_term t term !cell scores) by_term;
+  t
+
+(* Algorithm 1 *)
+let score_update t ~doc new_score =
+  let old_score = Score_table.get_exn t.scores ~doc in
+  Score_table.set t.scores ~doc ~score:new_score;
+  let lscore, in_short =
+    match Ss.find t.lstate ~doc with
+    | Some e -> (e.Ss.lscore, e.Ss.in_short)
+    | None ->
+        (* first update: the list score is the original score (Lemma 1.1) *)
+        Ss.set t.lstate ~doc { Ss.lscore = old_score; in_short = false };
+        (old_score, false)
+  in
+  ignore in_short;
+  if new_score > threshold_value_of t lscore then begin
+    let content = Build_util.quantized_ts (Doc_store.terms t.docs ~doc) in
+    (* drop the document's short postings at its old list score
+       unconditionally: when in_short these are its moved postings, otherwise
+       they are content-update Add markers that would keep the old-rank merge
+       group looking authoritative after the move *)
+    List.iter
+      (fun (term, _) -> Short_list.delete t.short ~term ~rank:lscore ~doc)
+      content;
+    List.iter
+      (fun (term, ts) ->
+        Short_list.put t.short ~term ~rank:new_score ~doc ~op:Short_list.Add ~ts)
+      content;
+    Ss.set t.lstate ~doc { Ss.lscore = new_score; in_short = true }
+  end
+
+let insert t ~doc text ~score =
+  let tfs = Svr_text.Analyzer.term_frequencies ~config:t.cfg.Config.analyzer text in
+  Doc_store.set t.docs ~doc tfs;
+  Score_table.set t.scores ~doc ~score;
+  List.iter
+    (fun (term, ts) ->
+      Short_list.put t.short ~term ~rank:score ~doc ~op:Short_list.Add ~ts)
+    (Build_util.quantized_ts tfs);
+  Ss.set t.lstate ~doc { Ss.lscore = score; in_short = true }
+
+let delete t ~doc = Score_table.mark_deleted t.scores ~doc
+
+let list_score t ~doc =
+  match Ss.find t.lstate ~doc with
+  | Some e -> e.Ss.lscore
+  | None -> Score_table.get_exn t.scores ~doc
+
+let update_content t ~doc text =
+  let rank = list_score t ~doc in
+  let old_terms = List.map fst (Doc_store.terms t.docs ~doc) in
+  let tfs = Svr_text.Analyzer.term_frequencies ~config:t.cfg.Config.analyzer text in
+  Doc_store.set t.docs ~doc tfs;
+  let new_terms = List.map fst tfs in
+  List.iter
+    (fun (term, ts) ->
+      if not (List.mem term old_terms) then
+        Short_list.put t.short ~term ~rank ~doc ~op:Short_list.Add ~ts)
+    (Build_util.quantized_ts tfs);
+  List.iter
+    (fun term ->
+      if not (List.mem term new_terms) then
+        Short_list.put t.short ~term ~rank ~doc ~op:Short_list.Rem ~ts:0)
+    old_terms
+
+let term_streams t terms =
+  List.concat
+    (List.mapi
+       (fun term_idx term ->
+         let short = Merge.of_short_list ~term_idx t.short ~term in
+         match Term_dir.find t.dir ~term with
+         | None -> [ short ]
+         | Some { Term_dir.blob; _ } ->
+             let reader = St.Blob_store.reader t.blobs blob in
+             [ Merge.of_score_stream (Posting_codec.Score_codec.stream reader) ~term_idx;
+               short ])
+       terms)
+
+(* Algorithm 2 *)
+let query t ?(mode = Types.Conjunctive) terms ~k =
+  let n_terms = List.length terms in
+  if n_terms = 0 then []
+  else begin
+    let next = Merge.groups ~n_terms (term_streams t terms) in
+    let heap = Result_heap.create ~k in
+    let rec scan () =
+      match next () with
+      | None -> ()
+      | Some g ->
+          (* early termination: every upcoming document's current score is at
+             most thresholdValueOf of its (non-increasing) list score *)
+          if
+            Result_heap.is_full heap
+            && threshold_value_of t g.Merge.g_rank < Result_heap.min_score heap
+          then ()
+          else begin
+            let doc = g.Merge.g_doc in
+            if
+              Types.matches mode ~n_present:g.Merge.n_present ~n_terms
+              && not (Score_table.is_deleted t.scores ~doc)
+            then begin
+              if g.Merge.any_short then
+                Result_heap.offer heap ~doc ~score:(Score_table.get_exn t.scores ~doc)
+              else begin
+                match Ss.find t.lstate ~doc with
+                | Some { Ss.in_short = true; _ } ->
+                    (* the short-list occurrence of this document is
+                       authoritative; ignore its stale long postings *)
+                    ()
+                | Some { Ss.in_short = false; _ } ->
+                    Result_heap.offer heap ~doc
+                      ~score:(Score_table.get_exn t.scores ~doc)
+                | None ->
+                    (* never updated: the list score is exact *)
+                    Result_heap.offer heap ~doc ~score:g.Merge.g_rank
+              end
+            end;
+            scan ()
+          end
+    in
+    scan ();
+    Result_heap.to_list heap
+  end
+
+let long_list_bytes t = St.Blob_store.live_bytes t.blobs
+let short_list_postings t = Short_list.count t.short
+
+let rebuild t =
+  let deleted = ref [] in
+  Score_table.iter t.scores (fun ~doc ~score:_ ~deleted:d ->
+      if d then deleted := doc :: !deleted);
+  List.iter
+    (fun doc ->
+      Doc_store.remove t.docs ~doc;
+      Score_table.remove t.scores ~doc)
+    !deleted;
+  let by_term = Hashtbl.create 4096 in
+  Doc_store.iter_docs t.docs (fun ~doc tfs ->
+      List.iter
+        (fun (term, ts) ->
+          let cell =
+            match Hashtbl.find_opt by_term term with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add by_term term c;
+                c
+          in
+          cell := (doc, ts) :: !cell)
+        (Build_util.quantized_ts tfs));
+  let old = ref [] in
+  Term_dir.iter t.dir (fun ~term entry -> old := (term, entry) :: !old);
+  List.iter
+    (fun (term, { Term_dir.blob; _ }) ->
+      St.Blob_store.free t.blobs blob;
+      Term_dir.remove t.dir ~term)
+    !old;
+  Hashtbl.iter
+    (fun term cell ->
+      encode_term t term !cell (fun doc -> Score_table.get_exn t.scores ~doc))
+    by_term;
+  Short_list.clear t.short;
+  Ss.clear t.lstate

@@ -1,0 +1,43 @@
+(** The Score-Threshold method (Section 4.3.1).
+
+    Long lists are immutable score-ordered blobs whose scores may go stale by
+    up to [thresholdValueOf s = threshold_ratio * s]; a per-term short list
+    receives postings only when a document's score exceeds that threshold.
+    Algorithm 1 maintains the ListScore table (a document's *list* score and
+    whether its postings moved to the short list); Algorithm 2 merges
+    short ∪ long in list-score order, fetching exact scores from the Score
+    table and scanning past the first k results until no upcoming document's
+    [thresholdValueOf] bound can beat the heap. *)
+
+type t
+
+val build :
+  ?env:Svr_storage.Env.t ->
+  Config.t ->
+  corpus:(int * string) Seq.t ->
+  scores:(int -> float) ->
+  t
+
+val env : t -> Svr_storage.Env.t
+
+val score_update : t -> doc:int -> float -> unit
+(** Algorithm 1. *)
+
+val insert : t -> doc:int -> string -> score:float -> unit
+
+val delete : t -> doc:int -> unit
+
+val update_content : t -> doc:int -> string -> unit
+
+val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+(** Algorithm 2 (Theorem 1: exact top-k under the latest scores). *)
+
+val long_list_bytes : t -> int
+
+val short_list_postings : t -> int
+(** Number of postings currently in short lists — the growth the offline
+    merge amortises. *)
+
+val rebuild : t -> unit
+(** Offline merge: fold short lists back into fresh long lists at current
+    scores and reset the ListScore table. *)

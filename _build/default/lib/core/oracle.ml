@@ -1,0 +1,62 @@
+type t = {
+  cfg : Config.t;
+  docs : (int, (string * int) list) Hashtbl.t; (* doc -> (term, quantized ts) *)
+  scores : (int, float) Hashtbl.t;
+  deleted : (int, unit) Hashtbl.t;
+}
+
+let create cfg =
+  { cfg; docs = Hashtbl.create 256; scores = Hashtbl.create 256;
+    deleted = Hashtbl.create 16 }
+
+let analyze t text =
+  Build_util.quantized_ts
+    (Svr_text.Analyzer.term_frequencies ~config:t.cfg.Config.analyzer text)
+
+let insert t ~doc text ~score =
+  Hashtbl.replace t.docs doc (analyze t text);
+  Hashtbl.replace t.scores doc score
+
+let load t ~corpus ~scores =
+  Seq.iter (fun (doc, text) -> insert t ~doc text ~score:(scores doc)) corpus
+
+let score_update t ~doc score = Hashtbl.replace t.scores doc score
+let delete t ~doc = Hashtbl.replace t.deleted doc ()
+let update_content t ~doc text = Hashtbl.replace t.docs doc (analyze t text)
+
+let top_k t ?(mode = Types.Conjunctive) ?(with_ts = false) terms ~k =
+  let n_terms = List.length terms in
+  if n_terms = 0 then []
+  else begin
+    let results = ref [] in
+    Hashtbl.iter
+      (fun doc content ->
+        if not (Hashtbl.mem t.deleted doc) then begin
+          let n_present = ref 0 and ts_sum = ref 0.0 in
+          List.iter
+            (fun term ->
+              match List.assoc_opt term content with
+              | Some ts ->
+                  incr n_present;
+                  ts_sum := !ts_sum +. Svr_text.Term_score.dequantize ts
+              | None -> ())
+            terms;
+          if Types.matches mode ~n_present:!n_present ~n_terms then begin
+            let svr = Hashtbl.find t.scores doc in
+            let score =
+              if with_ts then svr +. (t.cfg.Config.ts_weight *. !ts_sum) else svr
+            in
+            results := (doc, score) :: !results
+          end
+        end)
+      t.docs;
+    let sorted =
+      List.sort
+        (fun (d1, s1) (d2, s2) ->
+          match Float.compare s2 s1 with 0 -> compare d1 d2 | c -> c)
+        !results
+    in
+    List.filteri (fun i _ -> i < k) sorted
+  end
+
+let n_docs t = Hashtbl.length t.docs - Hashtbl.length t.deleted

@@ -1,0 +1,34 @@
+(** Brute-force reference implementation of SVR top-k search.
+
+    Mirrors the full index-method API over plain hash tables and computes
+    query answers by scoring every document; the property-based tests check
+    each index method against it under adversarial update histories. Scoring
+    reproduces the indexes' term-score quantization bit-for-bit so results
+    compare exactly. *)
+
+type t
+
+val create : Config.t -> t
+
+val load : t -> corpus:(int * string) Seq.t -> scores:(int -> float) -> unit
+
+val score_update : t -> doc:int -> float -> unit
+
+val insert : t -> doc:int -> string -> score:float -> unit
+
+val delete : t -> doc:int -> unit
+
+val update_content : t -> doc:int -> string -> unit
+
+val top_k :
+  t ->
+  ?mode:Types.mode ->
+  ?with_ts:bool ->
+  string list ->
+  k:int ->
+  (int * float) list
+(** Exact top-k by [svr] (default) or [svr + ts_weight * sum ts]
+    ([with_ts:true]); ties broken towards smaller doc ids, like
+    {!Result_heap}. *)
+
+val n_docs : t -> int

@@ -1,0 +1,118 @@
+module St = Svr_storage
+
+(* Largest number of bytes a single posting can occupy: a 10-byte varint
+   delta plus header varints plus a 2-byte term score. Streams ask the blob
+   reader to make this much available before each decode step. *)
+let lookahead = 32
+
+let write_u16 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let read_u16 s pos =
+  let n = (Char.code s.[!pos] lsl 8) lor Char.code s.[!pos + 1] in
+  pos := !pos + 2;
+  n
+
+module Id_codec = struct
+  let encode_postings buf ~with_ts postings =
+    let prev = ref (-1) in
+    Array.iter
+      (fun (doc, ts) ->
+        if doc <= !prev then invalid_arg "Id_codec: doc ids must ascend";
+        St.Varint.write buf (doc - !prev);
+        prev := doc;
+        if with_ts then write_u16 buf ts)
+      postings
+
+  let encode ~with_ts postings =
+    let buf = Buffer.create (8 * Array.length postings) in
+    St.Varint.write buf (Array.length postings);
+    encode_postings buf ~with_ts postings;
+    Buffer.contents buf
+
+  let stream ~with_ts reader =
+    St.Blob_store.ensure reader lookahead;
+    let pos = ref 0 in
+    let raw () = St.Blob_store.raw reader in
+    let remaining = ref (St.Varint.read (raw ()) pos) in
+    let prev = ref (-1) in
+    fun () ->
+      if !remaining = 0 then None
+      else begin
+        St.Blob_store.ensure reader (!pos + lookahead);
+        let s = raw () in
+        let doc = !prev + St.Varint.read s pos in
+        prev := doc;
+        let ts = if with_ts then read_u16 s pos else 0 in
+        decr remaining;
+        Some (doc, ts)
+      end
+end
+
+module Score_codec = struct
+  let encode postings =
+    let buf = Buffer.create (12 * Array.length postings) in
+    St.Varint.write buf (Array.length postings);
+    Array.iter
+      (fun (score, doc) ->
+        St.Order_key.f64 buf score;
+        St.Order_key.u32 buf doc)
+      postings;
+    Buffer.contents buf
+
+  let stream reader =
+    St.Blob_store.ensure reader lookahead;
+    let pos = ref 0 in
+    let raw () = St.Blob_store.raw reader in
+    let remaining = ref (St.Varint.read (raw ()) pos) in
+    fun () ->
+      if !remaining = 0 then None
+      else begin
+        St.Blob_store.ensure reader (!pos + lookahead);
+        let s = raw () in
+        let score = St.Order_key.get_f64 s !pos in
+        let doc = St.Order_key.get_u32 s (!pos + 8) in
+        pos := !pos + 12;
+        decr remaining;
+        Some (score, doc)
+      end
+end
+
+module Chunk_codec = struct
+  let encode ~with_ts groups =
+    let buf = Buffer.create 1024 in
+    let prev_cid = ref max_int in
+    Array.iter
+      (fun (cid, postings) ->
+        if cid >= !prev_cid then invalid_arg "Chunk_codec: cids must descend";
+        if Array.length postings = 0 then invalid_arg "Chunk_codec: empty group";
+        prev_cid := cid;
+        St.Varint.write buf cid;
+        St.Varint.write buf (Array.length postings);
+        Id_codec.encode_postings buf ~with_ts postings)
+      groups;
+    Buffer.contents buf
+
+  let stream ~with_ts reader =
+    let pos = ref 0 in
+    let raw () = St.Blob_store.raw reader in
+    let len = St.Blob_store.blob_length reader in
+    let cid = ref 0 and in_chunk = ref 0 and prev = ref (-1) in
+    fun () ->
+      St.Blob_store.ensure reader (!pos + lookahead);
+      if !in_chunk = 0 && !pos >= len then None
+      else begin
+        let s = raw () in
+        if !in_chunk = 0 then begin
+          cid := St.Varint.read s pos;
+          in_chunk := St.Varint.read s pos;
+          prev := -1
+        end;
+        let doc = !prev + St.Varint.read s pos in
+        prev := doc;
+        let ts = if with_ts then read_u16 s pos else 0 in
+        decr in_chunk;
+        Some (!cid, doc, ts)
+      end
+end

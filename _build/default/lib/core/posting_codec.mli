@@ -1,0 +1,47 @@
+(** Binary formats of the long inverted lists.
+
+    Long lists are immutable blobs decoded by pull streams so that an
+    early-terminating query touches only the pages of the prefix it scans.
+    Three layouts (Section 4.2, 4.3):
+
+    - {!Id_codec}: postings in ascending doc-id order, delta + varint encoded
+      (the ID and ID-TermScore methods; also fancy lists), optionally carrying
+      a quantized term score per posting;
+    - {!Score_codec}: (score, doc) pairs in (score desc, doc asc) order with
+      full 8-byte scores (the Score-Threshold method's long lists — the paper
+      notes these lists are bigger precisely because they carry scores);
+    - {!Chunk_codec}: chunk groups in descending chunk-id order, the chunk id
+      stored once per group header, doc ids delta-encoded inside a group
+      (Chunk and Chunk-TermScore).
+
+    All streams return [None] at end of list and read their blob through
+    {!Svr_storage.Blob_store.ensure}, page by page. *)
+
+module Id_codec : sig
+  val encode : with_ts:bool -> (int * int) array -> string
+  (** [(doc, quantized term score)] pairs, strictly ascending doc ids. *)
+
+  val stream :
+    with_ts:bool -> Svr_storage.Blob_store.reader -> unit -> (int * int) option
+  (** Yields [(doc, ts)] pairs; [ts = 0] when encoded without term scores. *)
+end
+
+module Score_codec : sig
+  val encode : (float * int) array -> string
+  (** [(score, doc)] pairs, sorted by score descending then doc ascending. *)
+
+  val stream : Svr_storage.Blob_store.reader -> unit -> (float * int) option
+end
+
+module Chunk_codec : sig
+  val encode : with_ts:bool -> (int * (int * int) array) array -> string
+  (** Groups [(cid, postings)] in descending cid order; postings are
+      [(doc, ts)] in ascending doc order. *)
+
+  val stream :
+    with_ts:bool ->
+    Svr_storage.Blob_store.reader ->
+    unit ->
+    (int * int * int) option
+  (** Yields [(cid, doc, ts)]. *)
+end

@@ -1,0 +1,58 @@
+(* Ordered set of (score, doc) with the *worst* entry as minimum: lower score
+   first, larger doc first among equal scores (so the smaller doc id wins a
+   tie for the k-th place). *)
+let compare_entry (s1, d1) (s2, d2) =
+  match Float.compare s1 s2 with 0 -> compare d2 d1 | c -> c
+
+module Entries = Set.Make (struct
+  type t = float * int
+
+  let compare = compare_entry
+end)
+
+type t = {
+  k : int;
+  mutable entries : Entries.t;
+  scores : (int, float) Hashtbl.t;
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Result_heap.create: k < 1";
+  { k; entries = Entries.empty; scores = Hashtbl.create (2 * k) }
+
+let size t = Hashtbl.length t.scores
+let is_full t = size t >= t.k
+
+let min_score t =
+  if not (is_full t) then neg_infinity else fst (Entries.min_elt t.entries)
+
+let evict_worst t =
+  let ((_, doc) as worst) = Entries.min_elt t.entries in
+  t.entries <- Entries.remove worst t.entries;
+  Hashtbl.remove t.scores doc
+
+let offer t ~doc ~score =
+  let better_than_old =
+    match Hashtbl.find_opt t.scores doc with
+    | Some old when old >= score -> false
+    | Some old ->
+        t.entries <- Entries.remove (old, doc) t.entries;
+        Hashtbl.remove t.scores doc;
+        true
+    | None -> true
+  in
+  if better_than_old then begin
+    (* skip entries that cannot enter a full heap: (score, doc) must beat the
+       current worst under the same tie-break order *)
+    let admissible =
+      size t < t.k || compare_entry (score, doc) (Entries.min_elt t.entries) > 0
+    in
+    if admissible then begin
+      t.entries <- Entries.add (score, doc) t.entries;
+      Hashtbl.replace t.scores doc score;
+      if size t > t.k then evict_worst t
+    end
+  end
+
+let to_list t =
+  List.rev_map (fun (score, doc) -> (doc, score)) (Entries.elements t.entries)

@@ -1,0 +1,24 @@
+(** The top-k result heap used by every query algorithm.
+
+    Keeps the k best (score, doc) pairs seen so far, deduplicating by
+    document: re-offering a document keeps its best score. Ties are broken
+    towards the smaller document id, making all methods return identical,
+    deterministic result lists (which the oracle tests rely on). *)
+
+type t
+
+val create : k:int -> t
+(** @raise Invalid_argument if [k < 1]. *)
+
+val offer : t -> doc:int -> score:float -> unit
+
+val is_full : t -> bool
+
+val min_score : t -> float
+(** Score of the current k-th result, or [neg_infinity] while fewer than k
+    documents are held — the threshold the scan must beat to keep going. *)
+
+val size : t -> int
+
+val to_list : t -> (int * float) list
+(** Results best-first: score descending, then doc id ascending. *)

@@ -1,0 +1,45 @@
+module St = Svr_storage
+
+type t = St.Btree.t
+
+let create env ~name = St.Env.btree env ~name
+
+let key doc = St.Order_key.compose [ (fun b -> St.Order_key.u32 b doc) ]
+
+let encode score deleted =
+  St.Order_key.compose
+    [ (fun b -> St.Order_key.f64 b score);
+      (fun b -> Buffer.add_char b (if deleted then '\001' else '\000')) ]
+
+let decode v = (St.Order_key.get_f64 v 0, v.[8] = '\001')
+
+let find t doc = Option.map decode (St.Btree.find t (key doc))
+
+let set t ~doc ~score =
+  let deleted = match find t doc with Some (_, d) -> d | None -> false in
+  St.Btree.insert t (key doc) (encode score deleted)
+
+let get t ~doc = Option.map fst (find t doc)
+
+let get_exn t ~doc =
+  match get t ~doc with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Score_table: unknown doc %d" doc)
+
+let set_deleted t doc flag =
+  match find t doc with
+  | None -> if flag then St.Btree.insert t (key doc) (encode 0.0 true)
+  | Some (score, _) -> St.Btree.insert t (key doc) (encode score flag)
+
+let mark_deleted t ~doc = set_deleted t doc true
+let undelete t ~doc = set_deleted t doc false
+let is_deleted t ~doc = match find t doc with Some (_, d) -> d | None -> false
+let remove t ~doc = ignore (St.Btree.delete t (key doc))
+
+let iter t f =
+  St.Btree.iter_all t (fun k v ->
+      let score, deleted = decode v in
+      f ~doc:(St.Order_key.get_u32 k 0) ~score ~deleted;
+      true)
+
+let count = St.Btree.count

@@ -1,0 +1,36 @@
+(** The Score table: the single authoritative map from document id to its
+    current SVR score (Sections 3.2 and 4.2.1).
+
+    In the paper this is the incrementally maintained materialized view; every
+    index method consults it for the latest score. It also carries the
+    deleted flag added by Appendix A.2. Backed by a hot B+-tree (it is small
+    and "easily maintained in the database cache"). *)
+
+type t
+
+val create : Svr_storage.Env.t -> name:string -> t
+
+val set : t -> doc:int -> score:float -> unit
+(** Insert or update a document's score (clears no flags; a deleted doc
+    stays deleted until {!undelete} — scores of deleted docs may still be
+    maintained by the view machinery). *)
+
+val get : t -> doc:int -> float option
+(** Current score; [None] if the document was never scored. *)
+
+val get_exn : t -> doc:int -> float
+(** @raise Invalid_argument if absent. *)
+
+val mark_deleted : t -> doc:int -> unit
+val undelete : t -> doc:int -> unit
+
+val is_deleted : t -> doc:int -> bool
+(** [false] for unknown documents. *)
+
+val remove : t -> doc:int -> unit
+(** Physically drop the row (used by rebuilds). *)
+
+val iter : t -> (doc:int -> score:float -> deleted:bool -> unit) -> unit
+(** All rows in ascending doc id order. *)
+
+val count : t -> int

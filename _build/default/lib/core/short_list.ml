@@ -1,0 +1,83 @@
+module St = Svr_storage
+
+type rank_kind = Score_rank | Chunk_rank | Id_rank
+type op = Add | Rem
+type posting = { rank : float; doc : int; op : op; ts : int }
+
+type t = { tree : St.Btree.t; kind : rank_kind }
+
+let create env ~name kind = { tree = St.Env.btree env ~name; kind }
+
+let key t ~term ~rank ~doc =
+  St.Order_key.compose
+    ((fun b -> St.Order_key.term b term)
+    :: (match t.kind with
+       | Score_rank -> [ (fun b -> St.Order_key.f64_desc b rank) ]
+       | Chunk_rank -> [ (fun b -> St.Order_key.u32_desc b (int_of_float rank)) ]
+       | Id_rank -> [])
+    @ [ (fun b -> St.Order_key.u32 b doc) ])
+
+(* decode (rank, doc) from a key, after the term prefix *)
+let decode_key t k term_len =
+  let off = term_len + 1 in
+  match t.kind with
+  | Score_rank -> (St.Order_key.get_f64_desc k off, St.Order_key.get_u32 k (off + 8))
+  | Chunk_rank ->
+      (float_of_int (St.Order_key.get_u32_desc k off), St.Order_key.get_u32 k (off + 4))
+  | Id_rank -> (0.0, St.Order_key.get_u32 k off)
+
+let encode_val ~op ~ts =
+  St.Order_key.compose
+    [ (fun b -> Buffer.add_char b (match op with Add -> '\000' | Rem -> '\001'));
+      (fun b -> St.Order_key.u32 b ts ) ]
+
+let decode_val v = ((if v.[0] = '\001' then Rem else Add), St.Order_key.get_u32 v 1)
+
+let put t ~term ~rank ~doc ~op ~ts =
+  St.Btree.insert t.tree (key t ~term ~rank ~doc) (encode_val ~op ~ts)
+
+let delete t ~term ~rank ~doc = ignore (St.Btree.delete t.tree (key t ~term ~rank ~doc))
+
+let find t ~term ~rank ~doc =
+  Option.map
+    (fun v ->
+      let op, ts = decode_val v in
+      { rank; doc; op; ts })
+    (St.Btree.find t.tree (key t ~term ~rank ~doc))
+
+let term_prefix term = St.Order_key.compose [ (fun b -> St.Order_key.term b term) ]
+
+let stream t ~term =
+  let prefix = term_prefix term in
+  let cursor = St.Btree.seek t.tree prefix in
+  let term_len = String.length term in
+  fun () ->
+    match St.Btree.cursor_next cursor with
+    | None -> None
+    | Some (k, v) ->
+        if
+          String.length k >= String.length prefix
+          && String.equal (String.sub k 0 (String.length prefix)) prefix
+        then begin
+          let rank, doc = decode_key t k term_len in
+          let op, ts = decode_val v in
+          Some { rank; doc; op; ts }
+        end
+        else None
+
+let clear t = St.Btree.clear t.tree
+
+let count t = St.Btree.count t.tree
+
+let max_ts t ~term =
+  let best = ref 0 in
+  let next = stream t ~term in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some p ->
+        if p.op = Add && p.ts > !best then best := p.ts;
+        go ()
+  in
+  go ();
+  !best

@@ -1,0 +1,45 @@
+(** The short inverted lists: small, updatable, score-/chunk-ordered B+-trees
+    holding postings for documents whose scores crossed the threshold, plus
+    the ADD/REM markers of Appendix A content updates.
+
+    Keys are (term, rank, doc) with the rank component ordered descending so
+    a prefix scan yields postings in exactly the order the long lists use:
+    - [Score_rank]: rank is the list score (Score-Threshold method);
+    - [Chunk_rank]: rank is the chunk id (Chunk methods);
+    - [Id_rank]: no rank component — postings in doc-id order (ID methods,
+      which only need short lists for incremental insertions).
+
+    [put] upserts, so re-adding a term overwrites a stale REM marker and vice
+    versa. *)
+
+type rank_kind = Score_rank | Chunk_rank | Id_rank
+
+type op = Add | Rem
+
+type posting = { rank : float; doc : int; op : op; ts : int }
+(** [rank] is the score, the chunk id as a float, or 0 under [Id_rank];
+    [ts] is the quantized term score (0 when unused). *)
+
+type t
+
+val create : Svr_storage.Env.t -> name:string -> rank_kind -> t
+
+val put : t -> term:string -> rank:float -> doc:int -> op:op -> ts:int -> unit
+
+val delete : t -> term:string -> rank:float -> doc:int -> unit
+
+val find : t -> term:string -> rank:float -> doc:int -> posting option
+
+val stream : t -> term:string -> unit -> posting option
+(** Pull stream of the term's postings in (rank desc, doc asc) order. *)
+
+val clear : t -> unit
+(** Drop everything (offline merge). *)
+
+val count : t -> int
+(** Total postings across all terms. *)
+
+val max_ts : t -> term:string -> int
+(** Largest quantized term score among the term's Add postings — the bound
+    the Chunk-TermScore stopping rule needs for documents that entered the
+    short lists after the fancy lists were built. O(postings of term). *)

@@ -1,0 +1,25 @@
+module St = Svr_storage
+
+type t = St.Btree.t
+type entry = { blob : St.Blob_store.id; meta : int }
+
+let create env ~name = St.Env.btree env ~name
+
+let key term = St.Order_key.compose [ (fun b -> St.Order_key.term b term) ]
+
+let encode e =
+  St.Order_key.compose
+    [ (fun b -> St.Order_key.u32 b e.blob); (fun b -> St.Order_key.u32 b e.meta) ]
+
+let decode v = { blob = St.Order_key.get_u32 v 0; meta = St.Order_key.get_u32 v 4 }
+
+let set t ~term e = St.Btree.insert t (key term) (encode e)
+let find t ~term = Option.map decode (St.Btree.find t (key term))
+let remove t ~term = ignore (St.Btree.delete t (key term))
+
+let iter t f =
+  St.Btree.iter_all t (fun k v ->
+      f ~term:(St.Order_key.get_term k (ref 0)) (decode v);
+      true)
+
+let count = St.Btree.count

@@ -1,0 +1,20 @@
+(** Directory from term to its long-list blob, with optional per-term
+    metadata (the fancy list's minimum term score). A small hot B+-tree. *)
+
+type t
+
+type entry = { blob : Svr_storage.Blob_store.id; meta : int }
+(** [meta] is method-specific: 0 for plain long lists; the quantized minimum
+    fancy-list term score for fancy directories. *)
+
+val create : Svr_storage.Env.t -> name:string -> t
+
+val set : t -> term:string -> entry -> unit
+
+val find : t -> term:string -> entry option
+
+val remove : t -> term:string -> unit
+
+val iter : t -> (term:string -> entry -> unit) -> unit
+
+val count : t -> int

@@ -1,0 +1,6 @@
+type mode = Conjunctive | Disjunctive
+
+let matches mode ~n_present ~n_terms =
+  match mode with
+  | Conjunctive -> n_present = n_terms
+  | Disjunctive -> n_present >= 1

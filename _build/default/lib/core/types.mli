@@ -1,0 +1,8 @@
+(** Shared query types. *)
+
+type mode =
+  | Conjunctive  (** documents containing all query keywords *)
+  | Disjunctive  (** documents containing at least one query keyword *)
+
+val matches : mode -> n_present:int -> n_terms:int -> bool
+(** Does a candidate with [n_present] of [n_terms] keywords qualify? *)

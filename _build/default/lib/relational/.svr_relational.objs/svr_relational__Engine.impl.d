@@ -1,0 +1,1 @@
+lib/relational/engine.ml: Array Format Hashtbl List Option Printf Schema Sql_ast Sql_lexer Sql_parser String Svr_core Svr_storage Table Value

@@ -1,0 +1,1 @@
+lib/relational/engine.mli: Format Svr_core Svr_storage Table Value

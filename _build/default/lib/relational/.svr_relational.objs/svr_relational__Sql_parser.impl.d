@@ -1,0 +1,1 @@
+lib/relational/sql_parser.ml: List Printf Sql_ast Sql_lexer String Value

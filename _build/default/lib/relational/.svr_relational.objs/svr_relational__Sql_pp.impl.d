@@ -1,0 +1,1 @@
+lib/relational/sql_pp.ml: Format Printf Sql_ast String Value

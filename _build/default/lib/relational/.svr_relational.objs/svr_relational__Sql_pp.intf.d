@@ -1,0 +1,1 @@
+lib/relational/sql_pp.mli: Format Sql_ast

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Buffer Format List Option Schema Svr_storage Value

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Buffer Float Format Int64 Printf String Svr_storage

@@ -1,0 +1,721 @@
+module St = Svr_storage
+module Core = Svr_core
+open Sql_ast
+
+exception Sql_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Sql_error m)) fmt
+
+type result =
+  | Done of string
+  | Rows of { columns : string list; rows : Value.t array list }
+
+type func = { params : (string * Value.ty) list; ret : Value.ty; body : expr }
+
+type text_index = {
+  ti_name : string;
+  ti_table : Table.t;
+  ti_text_pos : int;
+  ti_index : Core.Index.t;
+  ti_score_funcs : string list;
+  ti_agg : string option;
+}
+
+type t = {
+  env : St.Env.t;
+  tables : (string, Table.t) Hashtbl.t;
+  funcs : (string, func) Hashtbl.t;
+  mutable indexes : text_index list;
+}
+
+let norm = String.lowercase_ascii
+
+let create ?env () =
+  let env =
+    match env with Some e -> e | None -> St.Env.create ()
+  in
+  { env; tables = Hashtbl.create 16; funcs = Hashtbl.create 16; indexes = [] }
+
+let env t = t.env
+
+let table t name = Hashtbl.find_opt t.tables (norm name)
+
+let table_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun _ tbl acc -> Table.name tbl :: acc) t.tables [])
+
+let table_exn t name =
+  match table t name with
+  | Some tbl -> tbl
+  | None -> fail "unknown table %s" name
+
+let text_index t name =
+  Option.map
+    (fun ti -> ti.ti_index)
+    (List.find_opt (fun ti -> norm ti.ti_name = norm name) t.indexes)
+
+(* ---------------------------------------------------------------- *)
+(* expression evaluation *)
+
+type ctx = {
+  eng : t;
+  (* the row in scope: alias (or table name), schema, values *)
+  binding : (string * Schema.t * Value.t array) option;
+  params : (string * Value.t) list;
+}
+
+let truthy = function
+  | Value.Null -> false
+  | Value.Int 0 -> false
+  | Value.Float 0.0 -> false
+  | _ -> true
+
+let bool_v b = Value.Int (if b then 1 else 0)
+
+let arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y when op <> Div ->
+      Value.Int
+        (match op with
+        | Add -> x + y
+        | Sub -> x - y
+        | Mul -> x * y
+        | _ -> assert false)
+  | _ ->
+      let x = Value.to_float a and y = Value.to_float b in
+      Value.Float
+        (match op with
+        | Add -> x +. y
+        | Sub -> x -. y
+        | Mul -> x *. y
+        | Div ->
+            if y = 0.0 then fail "division by zero" else x /. y
+        | _ -> assert false)
+
+let compare_op op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ ->
+      let c = Value.compare_sql a b in
+      bool_v
+        (match op with
+        | Eq -> c = 0
+        | Neq -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | _ -> assert false)
+
+let rec eval ctx = function
+  | Lit v -> v
+  | Col (qual, name) -> eval_col ctx qual name
+  | Neg e -> (
+      match eval ctx e with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | Value.Null -> Value.Null
+      | Value.Text _ -> fail "cannot negate text")
+  (* NOT / AND / OR follow SQL's three-valued (Kleene) logic: unknown
+     propagates unless the other operand decides the result *)
+  | Not e -> (
+      match eval ctx e with
+      | Value.Null -> Value.Null
+      | v -> bool_v (not (truthy v)))
+  | Binop ((Add | Sub | Mul | Div) as op, a, b) -> arith op (eval ctx a) (eval ctx b)
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge) as op, a, b) ->
+      compare_op op (eval ctx a) (eval ctx b)
+  | Binop (And, a, b) -> (
+      match eval ctx a with
+      | Value.Null -> (
+          match eval ctx b with
+          | v when not (truthy v) && not (Value.is_null v) -> bool_v false
+          | _ -> Value.Null)
+      | v when not (truthy v) -> bool_v false
+      | _ -> (
+          match eval ctx b with
+          | Value.Null -> Value.Null
+          | v -> bool_v (truthy v)))
+  | Binop (Or, a, b) -> (
+      match eval ctx a with
+      | Value.Null -> (
+          match eval ctx b with
+          | v when truthy v -> bool_v true
+          | _ -> Value.Null)
+      | v when truthy v -> bool_v true
+      | _ -> (
+          match eval ctx b with
+          | Value.Null -> Value.Null
+          | v -> bool_v (truthy v)))
+  | Call (fname, args) -> eval_call ctx fname args
+  | Subquery sel -> eval_scalar_select ctx sel
+  | Agg _ | Count_star -> fail "aggregate used outside a SELECT projection"
+
+and eval_col ctx qual name =
+  let from_row =
+    match ctx.binding with
+    | Some (alias, schema, row) when
+        (match qual with None -> true | Some q -> norm q = norm alias) -> (
+        match Schema.position schema name with
+        | Some i -> Some row.(i)
+        | None -> None)
+    | _ -> None
+  in
+  match from_row with
+  | Some v -> v
+  | None -> (
+      match
+        (match qual with
+        | None -> List.assoc_opt (norm name) ctx.params
+        | Some _ -> None)
+      with
+      | Some v -> v
+      | None ->
+          fail "unknown column or parameter %s%s"
+            (match qual with Some q -> q ^ "." | None -> "")
+            name)
+
+and eval_call ctx fname args =
+  match (norm fname, args) with
+  | "abs", [ e ] -> (
+      match eval ctx e with
+      | Value.Int i -> Value.Int (abs i)
+      | Value.Float f -> Value.Float (abs_float f)
+      | v -> v)
+  | "sqrt", [ e ] -> Value.Float (sqrt (Value.to_float (eval ctx e)))
+  | "ln", [ e ] -> Value.Float (log (Value.to_float (eval ctx e)))
+  | "coalesce", es ->
+      let rec first = function
+        | [] -> Value.Null
+        | e :: rest -> (
+            match eval ctx e with Value.Null -> first rest | v -> v)
+      in
+      first es
+  | "score", _ ->
+      fail "score() is only allowed in ORDER BY of a SELECT over an indexed table"
+  | name, args -> (
+      match Hashtbl.find_opt ctx.eng.funcs name with
+      | None -> fail "unknown function %s" name
+      | Some f ->
+          if List.length args <> List.length f.params then
+            fail "%s expects %d arguments" name (List.length f.params);
+          let bound =
+            List.map2 (fun (p, _ty) arg -> (norm p, eval ctx arg)) f.params args
+          in
+          eval { ctx with binding = None; params = bound } f.body)
+
+and eval_scalar_select ctx sel =
+  match exec_select ctx.eng ~params:ctx.params sel with
+  | _, [] -> Value.Null
+  | _, [| v |] :: _ -> v
+  | _ -> fail "scalar subquery returned more than one column"
+
+(* ---------------------------------------------------------------- *)
+(* SELECT execution *)
+
+and proj_name i = function
+  | Star -> assert false
+  | Proj (_, Some alias) -> alias
+  | Proj (Col (_, name), None) -> name
+  | Proj (Agg (Avg, _), None) -> "avg"
+  | Proj (Agg (Sum, _), None) -> "sum"
+  | Proj (Agg (Min, _), None) -> "min"
+  | Proj (Agg (Max, _), None) -> "max"
+  | Proj ((Agg (Count, _) | Count_star), None) -> "count"
+  | Proj (_, None) -> Printf.sprintf "column%d" (i + 1)
+
+and has_aggregate sel =
+  List.exists
+    (function
+      | Proj (Agg _, _) | Proj (Count_star, _) -> true
+      | Star | Proj _ -> false)
+    sel.projections
+
+(* does the ORDER BY ask for SVR ranking? *)
+and svr_order sel =
+  match sel.order with
+  | Some { ob_expr = Call (f, [ col; Lit (Value.Text keywords) ]); descending = _ }
+    when norm f = "score" -> (
+      match col with
+      | Col (_, col_name) -> Some (col_name, keywords)
+      | _ -> None)
+  | _ -> None
+
+and exec_select eng ?(params = []) sel =
+  match sel.from with
+  | None ->
+      if List.mem Star sel.projections then fail "SELECT * requires a FROM clause";
+      let ctx = { eng; binding = None; params } in
+      let columns = List.mapi (fun i p -> proj_name i p) sel.projections in
+      let row =
+        Array.of_list
+          (List.map
+             (function
+               | Star -> fail "SELECT * requires a FROM clause"
+               | Proj (e, _) -> eval ctx e)
+             sel.projections)
+      in
+      (columns, [ row ])
+  | Some (tbl_name, alias) -> (
+      let tbl = table_exn eng tbl_name in
+      let alias = Option.value ~default:tbl_name alias in
+      let schema = Table.schema tbl in
+      let row_ctx row = { eng; binding = Some (alias, schema, row); params } in
+      let passes_where row =
+        match sel.where with
+        | None -> true
+        | Some w -> truthy (eval (row_ctx row) w)
+      in
+      match svr_order sel with
+      | Some (col_name, keywords) ->
+          exec_svr_select eng sel tbl ~alias ~col_name ~keywords ~passes_where
+      | None ->
+          let matching = ref [] in
+          Table.scan tbl (fun row -> if passes_where row then matching := row :: !matching);
+          let matching = List.rev !matching in
+          if has_aggregate sel then begin
+            let columns = List.mapi (fun i p -> proj_name i p) sel.projections in
+            let agg_value = function
+              | Star -> fail "SELECT * cannot be mixed with aggregates"
+              | Proj (Count_star, _) -> Value.Int (List.length matching)
+              | Proj (Agg (kind, e), _) -> (
+                  let vals =
+                    List.filter_map
+                      (fun row ->
+                        match eval (row_ctx row) e with
+                        | Value.Null -> None
+                        | v -> Some v)
+                      matching
+                  in
+                  match (kind, vals) with
+                  | _, [] -> Value.Null
+                  | Count, vs -> Value.Int (List.length vs)
+                  | Sum, vs ->
+                      List.fold_left (fun acc v -> arith Add acc v) (Value.Int 0) vs
+                  | Avg, vs ->
+                      Value.Float
+                        (List.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 vs
+                        /. float_of_int (List.length vs))
+                  | Min, v :: vs ->
+                      List.fold_left
+                        (fun acc v -> if Value.compare_sql v acc < 0 then v else acc)
+                        v vs
+                  | Max, v :: vs ->
+                      List.fold_left
+                        (fun acc v -> if Value.compare_sql v acc > 0 then v else acc)
+                        v vs)
+              | Proj (e, _) -> (
+                  (* non-aggregate projection in an aggregate query: evaluate
+                     on the first row, SQLite-style leniency *)
+                  match matching with
+                  | [] -> Value.Null
+                  | row :: _ -> eval (row_ctx row) e)
+            in
+            (columns, [ Array.of_list (List.map agg_value sel.projections) ])
+          end
+          else begin
+            let ordered =
+              match sel.order with
+              | None -> matching
+              | Some { ob_expr; descending } ->
+                  let keyed =
+                    List.map (fun row -> (eval (row_ctx row) ob_expr, row)) matching
+                  in
+                  let sorted =
+                    List.stable_sort
+                      (fun (a, _) (b, _) -> Value.compare_sql a b)
+                      keyed
+                  in
+                  let sorted = if descending then List.rev sorted else sorted in
+                  List.map snd sorted
+            in
+            let limited =
+              match sel.fetch_top with
+              | None -> ordered
+              | Some n -> List.filteri (fun i _ -> i < n) ordered
+            in
+            project eng ~params sel ~alias ~schema limited ~score:None
+          end)
+
+(* top-k keyword query answered by the text index *)
+and exec_svr_select eng sel tbl ~alias ~col_name ~keywords ~passes_where =
+  let ti =
+    match
+      List.find_opt
+        (fun ti ->
+          ti.ti_table == tbl
+          && Schema.position (Table.schema tbl) col_name = Some ti.ti_text_pos)
+        eng.indexes
+    with
+    | Some ti -> ti
+    | None -> fail "no text index on %s(%s)" (Table.name tbl) col_name
+  in
+  let k = Option.value ~default:10 sel.fetch_top in
+  let ranked = Core.Index.query ti.ti_index [ keywords ] ~k in
+  let schema = Table.schema tbl in
+  let rows =
+    List.filter_map
+      (fun (doc, score) ->
+        match Table.get tbl (Value.Int doc) with
+        | Some row when passes_where row -> Some (row, score)
+        | _ -> None)
+      ranked
+  in
+  project eng ~params:[] sel ~alias ~schema (List.map fst rows)
+    ~score:(Some (List.map snd rows))
+
+and project eng ~params sel ~alias ~schema rows ~score =
+  let base_columns = List.map (fun c -> c.Schema.name) (Schema.columns schema) in
+  let columns =
+    List.concat_map
+      (function
+        | Star -> base_columns @ (if score <> None then [ "score" ] else [])
+        | p -> [ proj_name 0 p ])
+      sel.projections
+    |> fun cols ->
+    (* keep positional names unique enough for display *)
+    List.mapi (fun i c -> if c = "column1" then Printf.sprintf "column%d" (i + 1) else c) cols
+  in
+  let scores = match score with Some s -> s | None -> List.map (fun _ -> 0.0) rows in
+  let out =
+    List.map2
+      (fun row s ->
+        Array.of_list
+          (List.concat_map
+             (function
+               | Star ->
+                   Array.to_list row
+                   @ (if score <> None then [ Value.Float s ] else [])
+               | Proj (e, _) ->
+                   [ eval { eng; binding = Some (alias, schema, row); params } e ])
+             sel.projections))
+      rows scores
+  in
+  (columns, out)
+
+(* ---------------------------------------------------------------- *)
+(* SVR score specification (Section 3): components + aggregation *)
+
+let component_score eng fname pk =
+  match Hashtbl.find_opt eng.funcs (norm fname) with
+  | None -> fail "unknown scoring function %s" fname
+  | Some f -> (
+      let param_name =
+        match f.params with
+        | [ (p, _) ] -> norm p
+        | _ -> fail "scoring function %s must take exactly one argument" fname
+      in
+      match eval { eng; binding = None; params = [ (param_name, pk) ] } f.body with
+      | Value.Null -> 0.0
+      | v -> Value.to_float v)
+
+let spec_score_of eng ~score_funcs ~agg pk =
+  let components = List.map (fun f -> component_score eng f pk) score_funcs in
+  match agg with
+  | None -> List.fold_left ( +. ) 0.0 components
+  | Some agg -> (
+      match Hashtbl.find_opt eng.funcs (norm agg) with
+      | None -> fail "unknown aggregation function %s" agg
+      | Some f ->
+          if List.length f.params <> List.length components then
+            fail "%s expects %d arguments, got %d components" agg
+              (List.length f.params) (List.length components);
+          let params =
+            List.map2 (fun (p, _) c -> (norm p, Value.Float c)) f.params components
+          in
+          Value.to_float (eval { eng; binding = None; params } f.body))
+
+let spec_score eng ti =
+  spec_score_of eng ~score_funcs:ti.ti_score_funcs ~agg:ti.ti_agg
+
+let svr_score eng ~index ~doc =
+  match List.find_opt (fun ti -> norm ti.ti_name = norm index) eng.indexes with
+  | None -> fail "unknown text index %s" index
+  | Some ti -> spec_score eng ti (Value.Int doc)
+
+(* dependency extraction: (table, correlation column) pairs read by a
+   function body through [SELECT ... FROM T WHERE T.c = param] subqueries;
+   [None] as the column means "shape not recognised: recompute on any
+   change to that table" *)
+let rec dependencies_of_expr funcs params e acc =
+  match e with
+  | Lit _ | Col _ | Count_star -> acc
+  | Neg e | Not e | Agg (_, e) -> dependencies_of_expr funcs params e acc
+  | Binop (_, a, b) ->
+      dependencies_of_expr funcs params a (dependencies_of_expr funcs params b acc)
+  | Call (fname, args) -> (
+      let acc =
+        List.fold_left (fun acc a -> dependencies_of_expr funcs params a acc) acc args
+      in
+      match Hashtbl.find_opt funcs (norm fname) with
+      | None -> acc
+      | Some (f : func) ->
+          dependencies_of_expr funcs (List.map (fun (p, _) -> norm p) f.params) f.body acc)
+  | Subquery sel -> (
+      let acc =
+        List.fold_left
+          (fun acc p ->
+            match p with
+            | Star -> acc
+            | Proj (e, _) -> dependencies_of_expr funcs params e acc)
+          acc sel.projections
+      in
+      let acc =
+        match sel.where with
+        | None -> acc
+        | Some w -> dependencies_of_expr funcs params w acc
+      in
+      match sel.from with
+      | None -> acc
+      | Some (tbl, _) ->
+          let correlation =
+            let rec find = function
+              | Binop (Eq, Col (_, c), Col (None, p)) when List.mem (norm p) params ->
+                  Some c
+              | Binop (Eq, Col (None, p), Col (_, c)) when List.mem (norm p) params ->
+                  Some c
+              | Binop (And, a, b) -> ( match find a with Some c -> Some c | None -> find b)
+              | _ -> None
+            in
+            Option.bind sel.where find
+          in
+          (norm tbl, correlation) :: acc)
+
+let dependencies eng ti =
+  List.concat_map
+    (fun fname ->
+      match Hashtbl.find_opt eng.funcs (norm fname) with
+      | None -> []
+      | Some f ->
+          dependencies_of_expr eng.funcs
+            (List.map (fun (p, _) -> norm p) f.params)
+            f.body [])
+    ti.ti_score_funcs
+
+(* ---------------------------------------------------------------- *)
+(* text index creation and maintenance *)
+
+let doc_of_pk = function
+  | Value.Int i -> i
+  | v -> fail "text-indexed tables need integer primary keys, got %s" (Value.to_text v)
+
+let refresh_doc eng ti pk =
+  match Table.get ti.ti_table pk with
+  | None -> ()
+  | Some _ ->
+      Core.Index.score_update ti.ti_index ~doc:(doc_of_pk pk)
+        (spec_score eng ti pk)
+
+let refresh_all eng ti =
+  Table.scan ti.ti_table (fun row ->
+      refresh_doc eng ti row.(Schema.pk_position (Table.schema ti.ti_table)))
+
+let install_triggers eng ti =
+  (* base-table changes: document lifecycle *)
+  let schema = Table.schema ti.ti_table in
+  let pk_pos = Schema.pk_position schema in
+  Table.subscribe ti.ti_table (fun change ->
+      match change with
+      | Table.Inserted row ->
+          let pk = row.(pk_pos) in
+          Core.Index.insert ti.ti_index ~doc:(doc_of_pk pk)
+            (Value.to_text row.(ti.ti_text_pos))
+            ~score:(spec_score eng ti pk)
+      | Table.Deleted row -> Core.Index.delete ti.ti_index ~doc:(doc_of_pk row.(pk_pos))
+      | Table.Updated { before; after } ->
+          let doc = doc_of_pk after.(pk_pos) in
+          if
+            not
+              (String.equal
+                 (Value.to_text before.(ti.ti_text_pos))
+                 (Value.to_text after.(ti.ti_text_pos)))
+          then
+            Core.Index.update_content ti.ti_index ~doc
+              (Value.to_text after.(ti.ti_text_pos));
+          (* the score may read the base table itself *)
+          refresh_doc eng ti after.(pk_pos));
+  (* scoring-component dependencies: incremental view maintenance *)
+  List.iter
+    (fun (dep_tbl, correlation) ->
+      match Hashtbl.find_opt eng.tables dep_tbl with
+      | None -> fail "scoring function reads unknown table %s" dep_tbl
+      | Some dep when dep == ti.ti_table -> () (* covered above *)
+      | Some dep -> (
+          match correlation with
+          | Some col -> (
+              match Schema.position (Table.schema dep) col with
+              | None ->
+                  fail "scoring function correlates on unknown column %s.%s" dep_tbl col
+              | Some pos ->
+                  Table.subscribe dep (fun change ->
+                      let affected =
+                        match change with
+                        | Table.Inserted row | Table.Deleted row -> [ row.(pos) ]
+                        | Table.Updated { before; after } ->
+                            [ before.(pos); after.(pos) ]
+                      in
+                      List.sort_uniq compare affected
+                      |> List.iter (fun pk -> refresh_doc eng ti pk)))
+          | None ->
+              (* unrecognised shape: conservative full refresh *)
+              Table.subscribe dep (fun _ -> refresh_all eng ti)))
+    (dependencies eng ti)
+
+let create_text_index eng ~idx_name ~tbl ~text_col ~method_name ~score_funcs
+    ~agg_func ~ts_weight =
+  if List.exists (fun ti -> norm ti.ti_name = norm idx_name) eng.indexes then
+    fail "text index %s already exists" idx_name;
+  let table = table_exn eng tbl in
+  let schema = Table.schema table in
+  let text_pos =
+    match Schema.position schema text_col with
+    | Some i when (List.nth (Schema.columns schema) i).Schema.ty = Value.Text_t -> i
+    | Some _ -> fail "%s.%s is not a text column" tbl text_col
+    | None -> fail "unknown column %s.%s" tbl text_col
+  in
+  (* the built-in TFIDF() component (Section 3.1) is not part of the
+     materialized view: it selects a *-TermScore method and is combined at
+     query time (Section 3.2 / 4.3.3) *)
+  let wants_tfidf = List.exists (fun f -> norm f = "tfidf") score_funcs in
+  let score_funcs = List.filter (fun f -> norm f <> "tfidf") score_funcs in
+  let kind =
+    match (Core.Index.kind_of_name method_name, wants_tfidf) with
+    | Some k, false -> k
+    | Some Core.Index.Id, true | Some Core.Index.Id_termscore, true ->
+        Core.Index.Id_termscore
+    | Some Core.Index.Chunk, true | Some Core.Index.Chunk_termscore, true ->
+        Core.Index.Chunk_termscore
+    | Some k, true ->
+        fail "method %s cannot combine TFIDF(); use chunk or id"
+          (Core.Index.kind_name k)
+    | None, _ -> fail "unknown index method %s" method_name
+  in
+  let cfg =
+    { Core.Config.default with
+      Core.Config.ts_weight = Option.value ~default:1.0 ts_weight }
+  in
+  let pk_pos = Schema.pk_position schema in
+  let corpus = ref [] in
+  Table.scan table (fun row ->
+      corpus := (doc_of_pk row.(pk_pos), Value.to_text row.(text_pos)) :: !corpus);
+  let corpus = List.rev !corpus in
+  (* evaluating the spec here also validates the functions before bulk load *)
+  let score_cache = Hashtbl.create (max 16 (List.length corpus)) in
+  List.iter
+    (fun (doc, _) ->
+      Hashtbl.replace score_cache doc
+        (spec_score_of eng ~score_funcs ~agg:agg_func (Value.Int doc)))
+    corpus;
+  let ti =
+    { ti_name = idx_name; ti_table = table; ti_text_pos = text_pos;
+      ti_index =
+        Core.Index.build ~env:eng.env kind cfg
+          ~corpus:(List.to_seq corpus)
+          ~scores:(fun doc -> Hashtbl.find score_cache doc);
+      ti_score_funcs = score_funcs; ti_agg = agg_func }
+  in
+  eng.indexes <- ti :: eng.indexes;
+  install_triggers eng ti
+
+(* ---------------------------------------------------------------- *)
+(* statements *)
+
+let exec_statement eng = function
+  | Create_table { tbl; cols; pk } ->
+      if Hashtbl.mem eng.tables (norm tbl) then fail "table %s already exists" tbl;
+      let schema =
+        Schema.make
+          ~columns:
+            (List.map (fun c -> { Schema.name = c.col_name; ty = c.col_ty }) cols)
+          ~primary_key:pk
+      in
+      Hashtbl.replace eng.tables (norm tbl) (Table.create eng.env ~name:tbl schema);
+      Done (Printf.sprintf "table %s created" tbl)
+  | Create_function { fname; params; ret; body } ->
+      Hashtbl.replace eng.funcs (norm fname) { params; ret; body };
+      Done (Printf.sprintf "function %s created" fname)
+  | Create_text_index
+      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight } ->
+      create_text_index eng ~idx_name ~tbl ~text_col ~method_name ~score_funcs
+        ~agg_func ~ts_weight;
+      Done (Printf.sprintf "text index %s created (%s method)" idx_name method_name)
+  | Rebuild_index name -> (
+      match List.find_opt (fun ti -> norm ti.ti_name = norm name) eng.indexes with
+      | None -> fail "unknown text index %s" name
+      | Some ti ->
+          Core.Index.rebuild ti.ti_index;
+          Done (Printf.sprintf "text index %s rebuilt" name))
+  | Insert { tbl; rows } ->
+      let table = table_exn eng tbl in
+      let ctx = { eng; binding = None; params = [] } in
+      List.iter
+        (fun exprs ->
+          Table.insert table (Array.of_list (List.map (eval ctx) exprs)))
+        rows;
+      Done (Printf.sprintf "%d row(s) inserted" (List.length rows))
+  | Update { tbl; assignments; where } ->
+      let table = table_exn eng tbl in
+      let schema = Table.schema table in
+      let targets =
+        List.map
+          (fun (col, e) ->
+            match Schema.position schema col with
+            | Some i -> (i, e)
+            | None -> fail "unknown column %s.%s" tbl col)
+          assignments
+      in
+      let matching = ref [] in
+      Table.scan table (fun row ->
+          let ctx = { eng; binding = Some (tbl, schema, row); params = [] } in
+          let keep = match where with None -> true | Some w -> truthy (eval ctx w) in
+          if keep then matching := row :: !matching);
+      List.iter
+        (fun row ->
+          let ctx = { eng; binding = Some (tbl, schema, row); params = [] } in
+          let updated = Array.copy row in
+          List.iter (fun (i, e) -> updated.(i) <- eval ctx e) targets;
+          Table.update table updated)
+        !matching;
+      Done (Printf.sprintf "%d row(s) updated" (List.length !matching))
+  | Delete { tbl; where } ->
+      let table = table_exn eng tbl in
+      let schema = Table.schema table in
+      let pks = ref [] in
+      Table.scan table (fun row ->
+          let ctx = { eng; binding = Some (tbl, schema, row); params = [] } in
+          let keep = match where with None -> true | Some w -> truthy (eval ctx w) in
+          if keep then pks := row.(Schema.pk_position schema) :: !pks);
+      List.iter (fun pk -> ignore (Table.delete table pk)) !pks;
+      Done (Printf.sprintf "%d row(s) deleted" (List.length !pks))
+  | Select sel ->
+      let columns, rows = exec_select eng sel in
+      Rows { columns; rows }
+
+let wrap f =
+  try f () with
+  | Sql_lexer.Lex_error m -> raise (Sql_error ("lex error: " ^ m))
+  | Sql_parser.Parse_error m -> raise (Sql_error ("parse error: " ^ m))
+  | Invalid_argument m -> raise (Sql_error m)
+
+let exec eng src =
+  wrap (fun () -> List.map (exec_statement eng) (Sql_parser.parse src))
+
+let exec_one eng src =
+  wrap (fun () -> exec_statement eng (Sql_parser.parse_one src))
+
+let query_rows eng src =
+  match exec_one eng src with
+  | Rows { columns; rows } -> (columns, rows)
+  | Done msg -> fail "expected rows, statement said: %s" msg
+
+let pp_result ppf = function
+  | Done msg -> Format.fprintf ppf "%s" msg
+  | Rows { columns; rows } ->
+      Format.fprintf ppf "%s@." (String.concat " | " columns);
+      List.iter
+        (fun row ->
+          Format.fprintf ppf "%s@."
+            (String.concat " | "
+               (List.map (Format.asprintf "%a" Value.pp) (Array.to_list row))))
+        rows

@@ -1,0 +1,48 @@
+(** The mini relational engine with integrated SVR (Figure 2's architecture).
+
+    Executes the SQL subset against B+-tree tables, evaluates SQL-bodied
+    scoring functions, maintains each text index's SVR score incrementally
+    (the Section 3.2 materialized view: base-table changes are mapped to the
+    affected documents through the scoring functions' correlation columns and
+    the new scores are pushed into the index), and routes
+    [ORDER BY score(col, 'keywords') ... FETCH TOP k] queries to the index.
+
+    Incremental-maintenance coverage: a scoring component of the shape
+    [SELECT agg(...) FROM T WHERE T.c = param] registers a trigger on [T]
+    keyed by column [c]; any other table-reading shape falls back to a
+    recompute-all trigger. Purely arithmetic components need no triggers. *)
+
+type t
+
+type result =
+  | Done of string  (** DDL/DML acknowledgement *)
+  | Rows of { columns : string list; rows : Value.t array list }
+
+exception Sql_error of string
+
+val create : ?env:Svr_storage.Env.t -> unit -> t
+
+val env : t -> Svr_storage.Env.t
+
+val exec : t -> string -> result list
+(** Execute a [;]-separated script.
+    @raise Sql_error (also wraps parse/lex errors). *)
+
+val exec_one : t -> string -> result
+
+val query_rows : t -> string -> string list * Value.t array list
+(** [exec_one] that must produce rows. @raise Sql_error otherwise. *)
+
+val table : t -> string -> Table.t option
+
+val table_names : t -> string list
+(** Registered tables, sorted. *)
+
+val text_index : t -> string -> Svr_core.Index.t option
+(** The underlying index of a CREATE TEXT INDEX, by index name. *)
+
+val svr_score : t -> index:string -> doc:int -> float
+(** Evaluate the index's scoring spec for one document right now (reads the
+    base tables; used by tests to cross-check the incremental path). *)
+
+val pp_result : Format.formatter -> result -> unit

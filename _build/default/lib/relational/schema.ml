@@ -1,0 +1,52 @@
+type column = { name : string; ty : Value.ty }
+
+type t = { cols : column array; pk_pos : int }
+
+let norm = String.lowercase_ascii
+
+let make ~columns ~primary_key =
+  let cols = Array.of_list columns in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun c ->
+      let n = norm c.name in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Schema: duplicate column %s" c.name);
+      Hashtbl.add seen n ())
+    cols;
+  let pk_pos = ref (-1) in
+  Array.iteri (fun i c -> if norm c.name = norm primary_key then pk_pos := i) cols;
+  if !pk_pos < 0 then
+    invalid_arg (Printf.sprintf "Schema: unknown primary key %s" primary_key);
+  { cols; pk_pos = !pk_pos }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+let primary_key t = t.cols.(t.pk_pos).name
+let pk_position t = t.pk_pos
+
+let position t name =
+  let n = norm name in
+  let found = ref None in
+  Array.iteri (fun i c -> if norm c.name = n then found := Some i) t.cols;
+  !found
+
+let column_ty t name = Option.map (fun i -> t.cols.(i).ty) (position t name)
+
+let check_row t row =
+  if Array.length row <> arity t then
+    invalid_arg
+      (Printf.sprintf "Schema: expected %d values, got %d" (arity t)
+         (Array.length row));
+  Array.iteri
+    (fun i v ->
+      match (t.cols.(i).ty, v) with
+      | _, Value.Null
+      | Value.Int_t, Value.Int _
+      | Value.Float_t, (Value.Int _ | Value.Float _)
+      | Value.Text_t, Value.Text _ -> ()
+      | ty, v ->
+          invalid_arg
+            (Format.asprintf "Schema: column %s expects %s, got %a"
+               t.cols.(i).name (Value.ty_name ty) Value.pp v))
+    row

@@ -1,0 +1,26 @@
+(** Table schemas. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val make : columns:column list -> primary_key:string -> t
+(** @raise Invalid_argument on duplicate column names or an unknown primary
+    key column. Column names are case-insensitive. *)
+
+val columns : t -> column list
+
+val arity : t -> int
+
+val primary_key : t -> string
+
+val pk_position : t -> int
+
+val position : t -> string -> int option
+(** Case-insensitive column lookup. *)
+
+val column_ty : t -> string -> Value.ty option
+
+val check_row : t -> Value.t array -> unit
+(** Arity and (loose) type check; Int is accepted where Float is declared.
+    @raise Invalid_argument with a message on mismatch. *)

@@ -1,0 +1,63 @@
+(* Abstract syntax of the SQL subset (Section 3's specification language plus
+   enough DML/queries to run the paper's examples end to end). *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type agg = Avg | Sum | Min | Max | Count
+
+type expr =
+  | Lit of Value.t
+  | Col of string option * string (* optional qualifier: alias or table *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Call of string * expr list (* user / built-in scalar functions *)
+  | Agg of agg * expr
+  | Count_star
+  | Subquery of select (* scalar subquery *)
+
+and order_by = { ob_expr : expr; descending : bool }
+
+and select = {
+  projections : proj list;
+  from : (string * string option) option; (* table name, alias *)
+  where : expr option;
+  order : order_by option;
+  fetch_top : int option; (* FETCH TOP n RESULTS ONLY *)
+}
+
+and proj = Star | Proj of expr * string option
+
+type column_def = { col_name : string; col_ty : Value.ty }
+
+type statement =
+  | Create_table of { tbl : string; cols : column_def list; pk : string }
+  | Create_function of {
+      fname : string;
+      params : (string * Value.ty) list;
+      ret : Value.ty;
+      body : expr;
+    }
+  | Create_text_index of {
+      idx_name : string;
+      tbl : string;
+      text_col : string;
+      method_name : string; (* id | score | score-threshold | chunk | ... *)
+      score_funcs : string list;
+          (* SVR component functions S1..Sm; the built-in "tfidf" adds the
+             term-score component of Section 4.3.3 *)
+      agg_func : string option; (* None: sum the components *)
+      ts_weight : float option;
+          (* WEIGHT w: weight of the TFIDF component in the combined score *)
+    }
+  | Insert of { tbl : string; rows : expr list list }
+  | Update of { tbl : string; assignments : (string * expr) list; where : expr option }
+  | Delete of { tbl : string; where : expr option }
+  | Rebuild_index of string (* offline merge of short lists (Section 5.1) *)
+  | Select of select
+
+(* case-insensitive keyword equality used throughout the front end *)
+let keyword_eq a b = String.lowercase_ascii a = String.lowercase_ascii b

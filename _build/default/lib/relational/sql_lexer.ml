@@ -1,0 +1,109 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen | Rparen | Comma | Dot | Star | Semi | Colon
+  | Plus | Minus | Slash
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Eof
+
+exception Lex_error of string
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let rec go i =
+    if i >= n then emit Eof
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+          (* SQL line comment *)
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '(' -> emit Lparen; go (i + 1)
+      | ')' -> emit Rparen; go (i + 1)
+      | ',' -> emit Comma; go (i + 1)
+      | '.' when i + 1 < n && is_digit src.[i + 1] -> number i
+      | '.' -> emit Dot; go (i + 1)
+      | '*' -> emit Star; go (i + 1)
+      | ';' -> emit Semi; go (i + 1)
+      | ':' -> emit Colon; go (i + 1)
+      | '+' -> emit Plus; go (i + 1)
+      | '-' -> emit Minus; go (i + 1)
+      | '/' -> emit Slash; go (i + 1)
+      | '=' -> emit Eq; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '>' -> emit Neq; go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit Le; go (i + 2)
+      | '<' -> emit Lt; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit Ge; go (i + 2)
+      | '>' -> emit Gt; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit Neq; go (i + 2)
+      | '\'' -> string_lit (i + 1) (Buffer.create 16)
+      | c when is_digit c -> number i
+      | c when is_ident_start c ->
+          let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+          let j = stop i in
+          emit (Ident (String.sub src i (j - i)));
+          go j
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  and string_lit i buf =
+    if i >= n then raise (Lex_error "unterminated string literal")
+    else if src.[i] = '\'' then
+      if i + 1 < n && src.[i + 1] = '\'' then begin
+        Buffer.add_char buf '\'';
+        string_lit (i + 2) buf
+      end
+      else begin
+        emit (String_lit (Buffer.contents buf));
+        go (i + 1)
+      end
+    else begin
+      Buffer.add_char buf src.[i];
+      string_lit (i + 1) buf
+    end
+  and number i =
+    let rec stop j seen_dot =
+      if j < n && is_digit src.[j] then stop (j + 1) seen_dot
+      else if j < n && src.[j] = '.' && not seen_dot && j + 1 < n && is_digit src.[j + 1]
+      then stop (j + 1) true
+      else (j, seen_dot)
+    in
+    let j, is_float = stop i false in
+    (* optional exponent: e[+-]?digits *)
+    let j, is_float =
+      if j < n && (src.[j] = 'e' || src.[j] = 'E') then begin
+        let k = if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2 else j + 1 in
+        if k < n && is_digit src.[k] then begin
+          let rec digits m = if m < n && is_digit src.[m] then digits (m + 1) else m in
+          (digits k, true)
+        end
+        else (j, is_float)
+      end
+      else (j, is_float)
+    in
+    let text = String.sub src i (j - i) in
+    if is_float then emit (Float_lit (float_of_string text))
+    else emit (Int_lit (int_of_string text));
+    go j
+  in
+  go 0;
+  List.rev !tokens
+
+let pp_token = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> Printf.sprintf "%g" f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Lparen -> "(" | Rparen -> ")" | Comma -> "," | Dot -> "." | Star -> "*"
+  | Semi -> ";" | Colon -> ":" | Plus -> "+" | Minus -> "-" | Slash -> "/"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Eof -> "<eof>"

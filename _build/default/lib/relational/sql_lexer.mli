@@ -1,0 +1,18 @@
+(** Tokenizer for the SQL subset. *)
+
+type token =
+  | Ident of string  (** identifiers and keywords (case preserved) *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string  (** single-quoted, [''] escapes a quote *)
+  | Lparen | Rparen | Comma | Dot | Star | Semi | Colon
+  | Plus | Minus | Slash
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** @raise Lex_error on an unexpected character or unterminated string. *)
+
+val pp_token : token -> string

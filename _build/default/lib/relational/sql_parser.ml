@@ -1,0 +1,450 @@
+open Sql_ast
+module L = Sql_lexer
+
+exception Parse_error of string
+
+type state = { mutable tokens : L.token list }
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let peek st = match st.tokens with [] -> L.Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got = next st in
+  if got <> tok then
+    fail "expected %s but found %s" (L.pp_token tok) (L.pp_token got)
+
+let is_kw st kw =
+  match peek st with L.Ident s -> keyword_eq s kw | _ -> false
+
+let eat_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st kw =
+  if not (eat_kw st kw) then
+    fail "expected keyword %s but found %s" kw (L.pp_token (peek st))
+
+let ident st =
+  match next st with
+  | L.Ident s -> s
+  | t -> fail "expected an identifier, found %s" (L.pp_token t)
+
+let value_ty st =
+  let name = ident st in
+  match Value.ty_of_string name with
+  | Some ty -> ty
+  | None -> fail "unknown type %s" name
+
+(* reserved words that terminate an expression context *)
+let reserved =
+  [ "from"; "where"; "order"; "by"; "fetch"; "top"; "results"; "only"; "asc";
+    "desc"; "and"; "or"; "not"; "as"; "set"; "values"; "select"; "group";
+    "return"; "returns" ]
+
+let is_reserved s = List.exists (keyword_eq s) reserved
+
+let agg_of_name s =
+  match String.lowercase_ascii s with
+  | "avg" -> Some Avg
+  | "sum" -> Some Sum
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "count" -> Some Count
+  | _ -> None
+
+(* -- expressions ---------------------------------------------------------- *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if eat_kw st "or" then Binop (Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if eat_kw st "and" then Binop (And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if eat_kw st "not" then Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | L.Eq -> Some Eq
+    | L.Neq -> Some Neq
+    | L.Lt -> Some Lt
+    | L.Le -> Some Le
+    | L.Gt -> Some Gt
+    | L.Ge -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let rec go () =
+    match peek st with
+    | L.Plus ->
+        advance st;
+        lhs := Binop (Add, !lhs, parse_mul st);
+        go ()
+    | L.Minus ->
+        advance st;
+        lhs := Binop (Sub, !lhs, parse_mul st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let rec go () =
+    match peek st with
+    | L.Star ->
+        advance st;
+        lhs := Binop (Mul, !lhs, parse_unary st);
+        go ()
+    | L.Slash ->
+        advance st;
+        lhs := Binop (Div, !lhs, parse_unary st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | L.Minus -> (
+      advance st;
+      (* fold unary minus into numeric literals so -3 is a literal, keeping
+         print/parse roundtrips stable *)
+      match parse_unary st with
+      | Lit (Value.Int i) -> Lit (Value.Int (-i))
+      | Lit (Value.Float f) -> Lit (Value.Float (-.f))
+      | e -> Neg e)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match next st with
+  | L.Int_lit i -> Lit (Value.Int i)
+  | L.Float_lit f -> Lit (Value.Float f)
+  | L.String_lit s -> Lit (Value.Text s)
+  | L.Lparen ->
+      let e =
+        if is_kw st "select" then Subquery (parse_select st)
+        else parse_or st
+      in
+      expect st L.Rparen;
+      e
+  | L.Ident s when keyword_eq s "null" -> Lit Value.Null
+  | L.Ident s when keyword_eq s "select" ->
+      (* naked scalar select, as in the paper's CREATE FUNCTION bodies *)
+      Subquery (parse_select_after_kw st)
+  | L.Ident s when is_reserved s -> fail "unexpected keyword %s" s
+  | L.Ident s -> (
+      match peek st with
+      | L.Lparen -> (
+          advance st;
+          match agg_of_name s with
+          | Some Count when peek st = L.Star ->
+              advance st;
+              expect st L.Rparen;
+              Count_star
+          | Some agg ->
+              let arg = parse_or st in
+              expect st L.Rparen;
+              Agg (agg, arg)
+          | None ->
+              let args = parse_args st in
+              Call (String.lowercase_ascii s, args))
+      | L.Dot ->
+          advance st;
+          Col (Some s, ident st)
+      | _ -> Col (None, s))
+  | t -> fail "unexpected token %s in expression" (L.pp_token t)
+
+and parse_args st =
+  if peek st = L.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let arg = parse_or st in
+      match next st with
+      | L.Comma -> go (arg :: acc)
+      | L.Rparen -> List.rev (arg :: acc)
+      | t -> fail "expected , or ) in argument list, found %s" (L.pp_token t)
+    in
+    go []
+  end
+
+(* -- SELECT --------------------------------------------------------------- *)
+
+and parse_select st =
+  expect_kw st "select";
+  parse_select_after_kw st
+
+and parse_select_after_kw st =
+  let projections =
+    let rec go acc =
+      let proj =
+        if peek st = L.Star then begin
+          advance st;
+          Star
+        end
+        else begin
+          let e = parse_or st in
+          let alias = if eat_kw st "as" then Some (ident st) else None in
+          Proj (e, alias)
+        end
+      in
+      if peek st = L.Comma then begin
+        advance st;
+        go (proj :: acc)
+      end
+      else List.rev (proj :: acc)
+    in
+    go []
+  in
+  let from =
+    if eat_kw st "from" then begin
+      let tbl = ident st in
+      let alias =
+        match peek st with
+        | L.Ident s when not (is_reserved s) ->
+            advance st;
+            Some s
+        | _ -> None
+      in
+      Some (tbl, alias)
+    end
+    else None
+  in
+  let where = if eat_kw st "where" then Some (parse_or st) else None in
+  let order =
+    if eat_kw st "order" then begin
+      expect_kw st "by";
+      let e = parse_or st in
+      let descending =
+        if eat_kw st "desc" then true
+        else begin
+          ignore (eat_kw st "asc");
+          false
+        end
+      in
+      Some { ob_expr = e; descending }
+    end
+    else None
+  in
+  let fetch_top =
+    if eat_kw st "fetch" then begin
+      expect_kw st "top";
+      let n =
+        match next st with
+        | L.Int_lit n -> n
+        | t -> fail "expected a row count after FETCH TOP, found %s" (L.pp_token t)
+      in
+      expect_kw st "results";
+      expect_kw st "only";
+      Some n
+    end
+    else None
+  in
+  { projections; from; where; order; fetch_top }
+
+(* -- statements ----------------------------------------------------------- *)
+
+let parse_param_list st =
+  expect st L.Lparen;
+  if peek st = L.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let name = ident st in
+      if peek st = L.Colon then advance st;
+      let ty = value_ty st in
+      match next st with
+      | L.Comma -> go ((name, ty) :: acc)
+      | L.Rparen -> List.rev ((name, ty) :: acc)
+      | t -> fail "expected , or ) in parameter list, found %s" (L.pp_token t)
+    in
+    go []
+  end
+
+let parse_create st =
+  expect_kw st "create";
+  if eat_kw st "table" then begin
+    let tbl = ident st in
+    expect st L.Lparen;
+    let cols = ref [] and pk = ref None in
+    let rec go () =
+      if eat_kw st "primary" then begin
+        expect_kw st "key";
+        expect st L.Lparen;
+        pk := Some (ident st);
+        expect st L.Rparen
+      end
+      else begin
+        let col_name = ident st in
+        if peek st = L.Colon then advance st;
+        let col_ty = value_ty st in
+        cols := { col_name; col_ty } :: !cols;
+        if eat_kw st "primary" then begin
+          expect_kw st "key";
+          pk := Some col_name
+        end
+      end;
+      match next st with
+      | L.Comma -> go ()
+      | L.Rparen -> ()
+      | t -> fail "expected , or ) in column list, found %s" (L.pp_token t)
+    in
+    go ();
+    let cols = List.rev !cols in
+    match !pk with
+    | None -> fail "CREATE TABLE %s: missing PRIMARY KEY" tbl
+    | Some pk -> Create_table { tbl; cols; pk }
+  end
+  else if eat_kw st "function" then begin
+    let fname = ident st in
+    let params = parse_param_list st in
+    expect_kw st "returns";
+    let ret = value_ty st in
+    expect_kw st "return";
+    let body = parse_or st in
+    Create_function { fname = String.lowercase_ascii fname; params; ret; body }
+  end
+  else if eat_kw st "text" then begin
+    expect_kw st "index";
+    let idx_name = ident st in
+    expect_kw st "on";
+    let tbl = ident st in
+    expect st L.Lparen;
+    let text_col = ident st in
+    expect st L.Rparen;
+    let method_name = if eat_kw st "using" then ident st else "chunk" in
+    expect_kw st "score";
+    expect st L.Lparen;
+    let rec fns acc =
+      let f = String.lowercase_ascii (ident st) in
+      match next st with
+      | L.Comma -> fns (f :: acc)
+      | L.Rparen -> List.rev (f :: acc)
+      | t -> fail "expected , or ) in SCORE list, found %s" (L.pp_token t)
+    in
+    let score_funcs = fns [] in
+    let agg_func =
+      if eat_kw st "agg" then Some (String.lowercase_ascii (ident st)) else None
+    in
+    let ts_weight =
+      if eat_kw st "weight" then
+        Some
+          (match next st with
+          | L.Int_lit n -> float_of_int n
+          | L.Float_lit f -> f
+          | t -> fail "expected a number after WEIGHT, found %s" (L.pp_token t))
+      else None
+    in
+    Create_text_index
+      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight }
+  end
+  else fail "expected TABLE, FUNCTION or TEXT INDEX after CREATE"
+
+let parse_statement st =
+  if is_kw st "create" then parse_create st
+  else if eat_kw st "insert" then begin
+    expect_kw st "into";
+    let tbl = ident st in
+    expect_kw st "values";
+    let rec rows acc =
+      expect st L.Lparen;
+      let row = parse_args st in
+      if peek st = L.Comma then begin
+        advance st;
+        rows (row :: acc)
+      end
+      else List.rev (row :: acc)
+    in
+    Insert { tbl; rows = rows [] }
+  end
+  else if eat_kw st "update" then begin
+    let tbl = ident st in
+    expect_kw st "set";
+    let rec assignments acc =
+      let col = ident st in
+      expect st L.Eq;
+      let e = parse_or st in
+      if peek st = L.Comma then begin
+        advance st;
+        assignments ((col, e) :: acc)
+      end
+      else List.rev ((col, e) :: acc)
+    in
+    let assignments = assignments [] in
+    let where = if eat_kw st "where" then Some (parse_or st) else None in
+    Update { tbl; assignments; where }
+  end
+  else if eat_kw st "delete" then begin
+    expect_kw st "from";
+    let tbl = ident st in
+    let where = if eat_kw st "where" then Some (parse_or st) else None in
+    Delete { tbl; where }
+  end
+  else if eat_kw st "rebuild" then begin
+    expect_kw st "text";
+    expect_kw st "index";
+    Rebuild_index (ident st)
+  end
+  else if is_kw st "select" then Select (parse_select st)
+  else fail "unexpected start of statement: %s" (L.pp_token (peek st))
+
+let parse src =
+  let st = { tokens = L.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | L.Eof -> List.rev acc
+    | L.Semi ->
+        advance st;
+        go acc
+    | _ ->
+        let stmt = parse_statement st in
+        (match peek st with
+        | L.Semi | L.Eof -> ()
+        | t -> fail "expected ; after statement, found %s" (L.pp_token t));
+        go (stmt :: acc)
+  in
+  go []
+
+let parse_one src =
+  match parse src with
+  | [ stmt ] -> stmt
+  | [] -> fail "empty input"
+  | _ -> fail "expected exactly one statement"
+
+let parse_expr src =
+  let st = { tokens = L.tokenize src } in
+  let e = parse_or st in
+  (match peek st with
+  | L.Eof -> ()
+  | t -> fail "trailing tokens after expression: %s" (L.pp_token t));
+  e

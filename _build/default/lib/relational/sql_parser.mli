@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Covers the paper's Section 3 specification language — CREATE FUNCTION
+    with SQL-bodied scalar selects, CREATE TEXT INDEX binding SVR scoring
+    components and an aggregation function to a text column — plus CREATE
+    TABLE, INSERT/UPDATE/DELETE and SELECT with aggregates, ORDER BY
+    [score(col, 'keywords')] and FETCH TOP n RESULTS ONLY. Keywords are
+    case-insensitive; both [name type] and the paper's [name: type] parameter
+    styles are accepted. *)
+
+exception Parse_error of string
+
+val parse : string -> Sql_ast.statement list
+(** Parse a [;]-separated script. @raise Parse_error / Sql_lexer.Lex_error. *)
+
+val parse_one : string -> Sql_ast.statement
+(** Parse exactly one statement (trailing [;] optional). *)
+
+val parse_expr : string -> Sql_ast.expr
+(** Parse a standalone expression (used in tests and tooling). *)

@@ -1,0 +1,123 @@
+open Sql_ast
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+let agg_name = function
+  | Avg -> "avg" | Sum -> "sum" | Min -> "min" | Max -> "max" | Count -> "count"
+
+let escape_string s =
+  String.concat "''" (String.split_on_char '\'' s)
+
+let pp_value ppf = function
+  | Value.Null -> Format.fprintf ppf "NULL"
+  | Value.Int i -> Format.fprintf ppf "%d" i
+  | Value.Float f ->
+      (* keep a decimal point so the literal re-lexes as a float *)
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' then
+        Format.fprintf ppf "%s" s
+      else Format.fprintf ppf "%s.0" s
+  | Value.Text s -> Format.fprintf ppf "'%s'" (escape_string s)
+
+(* fully parenthesized output: simple and unambiguous under re-parsing *)
+let rec expr ppf = function
+  | Lit v -> pp_value ppf v
+  | Col (None, name) -> Format.fprintf ppf "%s" name
+  | Col (Some q, name) -> Format.fprintf ppf "%s.%s" q name
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" expr a (binop_name op) expr b
+  (* the space avoids "--", which would lex as a comment *)
+  | Neg e -> Format.fprintf ppf "(- %a)" expr e
+  | Not e -> Format.fprintf ppf "(NOT %a)" expr e
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") expr)
+        args
+  | Agg (a, e) -> Format.fprintf ppf "%s(%a)" (agg_name a) expr e
+  | Count_star -> Format.fprintf ppf "count(*)"
+  | Subquery sel -> Format.fprintf ppf "(%a)" select sel
+
+and select ppf sel =
+  let pp_proj ppf = function
+    | Star -> Format.fprintf ppf "*"
+    | Proj (e, None) -> expr ppf e
+    | Proj (e, Some alias) -> Format.fprintf ppf "%a AS %s" expr e alias
+  in
+  Format.fprintf ppf "SELECT %a"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_proj)
+    sel.projections;
+  (match sel.from with
+  | None -> ()
+  | Some (tbl, None) -> Format.fprintf ppf " FROM %s" tbl
+  | Some (tbl, Some alias) -> Format.fprintf ppf " FROM %s %s" tbl alias);
+  (match sel.where with
+  | None -> ()
+  | Some w -> Format.fprintf ppf " WHERE %a" expr w);
+  (match sel.order with
+  | None -> ()
+  | Some { ob_expr; descending } ->
+      Format.fprintf ppf " ORDER BY %a %s" expr ob_expr
+        (if descending then "DESC" else "ASC"));
+  match sel.fetch_top with
+  | None -> ()
+  | Some n -> Format.fprintf ppf " FETCH TOP %d RESULTS ONLY" n
+
+let statement ppf = function
+  | Create_table { tbl; cols; pk } ->
+      Format.fprintf ppf "CREATE TABLE %s (%a, PRIMARY KEY (%s))" tbl
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf c ->
+             Format.fprintf ppf "%s %s" c.col_name (Value.ty_name c.col_ty)))
+        cols pk
+  | Create_function { fname; params; ret; body } ->
+      Format.fprintf ppf "CREATE FUNCTION %s (%a) RETURNS %s RETURN %a" fname
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (p, ty) -> Format.fprintf ppf "%s %s" p (Value.ty_name ty)))
+        params (Value.ty_name ret) expr body
+  | Create_text_index
+      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight } ->
+      Format.fprintf ppf "CREATE TEXT INDEX %s ON %s (%s) USING %s SCORE (%a)%s%s"
+        idx_name tbl text_col method_name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Format.pp_print_string)
+        score_funcs
+        (match agg_func with None -> "" | Some a -> " AGG " ^ a)
+        (match ts_weight with
+        | None -> ""
+        | Some w -> Printf.sprintf " WEIGHT %.17g" w)
+  | Rebuild_index name -> Format.fprintf ppf "REBUILD TEXT INDEX %s" name
+  | Insert { tbl; rows } ->
+      Format.fprintf ppf "INSERT INTO %s VALUES %a" tbl
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf row ->
+             Format.fprintf ppf "(%a)"
+               (Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                  expr)
+               row))
+        rows
+  | Update { tbl; assignments; where } ->
+      Format.fprintf ppf "UPDATE %s SET %a" tbl
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (col, e) -> Format.fprintf ppf "%s = %a" col expr e))
+        assignments;
+      (match where with
+      | None -> ()
+      | Some w -> Format.fprintf ppf " WHERE %a" expr w)
+  | Delete { tbl; where } -> (
+      Format.fprintf ppf "DELETE FROM %s" tbl;
+      match where with
+      | None -> ()
+      | Some w -> Format.fprintf ppf " WHERE %a" expr w)
+  | Select sel -> select ppf sel
+
+let expr_to_string e = Format.asprintf "%a" expr e
+let statement_to_string s = Format.asprintf "%a" statement s

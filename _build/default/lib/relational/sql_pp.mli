@@ -1,0 +1,13 @@
+(** Pretty-printer for the SQL AST.
+
+    [parse (print stmt)] re-parses to the same AST (checked by property
+    tests), which makes the printer usable for canonicalizing statements and
+    for tooling. *)
+
+val expr : Format.formatter -> Sql_ast.expr -> unit
+
+val statement : Format.formatter -> Sql_ast.statement -> unit
+
+val expr_to_string : Sql_ast.expr -> string
+
+val statement_to_string : Sql_ast.statement -> string

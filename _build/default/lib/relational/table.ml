@@ -1,0 +1,77 @@
+module St = Svr_storage
+
+type change =
+  | Inserted of Value.t array
+  | Deleted of Value.t array
+  | Updated of { before : Value.t array; after : Value.t array }
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  tree : St.Btree.t;
+  mutable subscribers : (change -> unit) list;
+}
+
+let create env ~name schema =
+  { name; schema; tree = St.Env.btree env ~name:("table:" ^ name);
+    subscribers = [] }
+
+let name t = t.name
+let schema t = t.schema
+
+let pk_key v =
+  let buf = Buffer.create 16 in
+  Value.encode buf v;
+  Buffer.contents buf
+
+let encode_row row =
+  let buf = Buffer.create 64 in
+  Array.iter (Value.encode buf) row;
+  Buffer.contents buf
+
+let decode_row t s =
+  let pos = ref 0 in
+  Array.init (Schema.arity t.schema) (fun _ -> Value.decode s pos)
+
+let notify t change = List.iter (fun f -> f change) (List.rev t.subscribers)
+
+let pk_of t row = row.(Schema.pk_position t.schema)
+
+let get t pk = Option.map (decode_row t) (St.Btree.find t.tree (pk_key pk))
+
+let insert t row =
+  Schema.check_row t.schema row;
+  let pk = pk_of t row in
+  if Value.is_null pk then invalid_arg (t.name ^ ": NULL primary key");
+  if St.Btree.mem t.tree (pk_key pk) then
+    invalid_arg
+      (Format.asprintf "%s: duplicate primary key %a" t.name Value.pp pk);
+  St.Btree.insert t.tree (pk_key pk) (encode_row row);
+  notify t (Inserted row)
+
+let update t row =
+  Schema.check_row t.schema row;
+  let pk = pk_of t row in
+  match get t pk with
+  | None ->
+      invalid_arg (Format.asprintf "%s: no row with key %a" t.name Value.pp pk)
+  | Some before ->
+      St.Btree.insert t.tree (pk_key pk) (encode_row row);
+      notify t (Updated { before; after = row })
+
+let delete t pk =
+  match get t pk with
+  | None -> false
+  | Some row ->
+      ignore (St.Btree.delete t.tree (pk_key pk));
+      notify t (Deleted row);
+      true
+
+let scan t f =
+  St.Btree.iter_all t.tree (fun _ v ->
+      f (decode_row t v);
+      true)
+
+let count t = St.Btree.count t.tree
+
+let subscribe t f = t.subscribers <- f :: t.subscribers

@@ -1,0 +1,40 @@
+(** B+-tree-backed tables with row-change notifications.
+
+    Change subscribers are how the incremental materialized view (and through
+    it the text index) learns about base-table updates — the paper's "the
+    index structures are notified whenever the score of a document is updated
+    in the materialized view" chain starts here. *)
+
+type change =
+  | Inserted of Value.t array
+  | Deleted of Value.t array
+  | Updated of { before : Value.t array; after : Value.t array }
+
+type t
+
+val create : Svr_storage.Env.t -> name:string -> Schema.t -> t
+
+val name : t -> string
+
+val schema : t -> Schema.t
+
+val insert : t -> Value.t array -> unit
+(** @raise Invalid_argument on schema mismatch or duplicate primary key. *)
+
+val get : t -> Value.t -> Value.t array option
+(** Lookup by primary key. *)
+
+val update : t -> Value.t array -> unit
+(** Replace the row having the new row's primary key.
+    @raise Invalid_argument if absent or if the schema rejects the row. *)
+
+val delete : t -> Value.t -> bool
+(** Delete by primary key; [true] if a row was removed. *)
+
+val scan : t -> (Value.t array -> unit) -> unit
+(** All rows in primary-key-encoding order. *)
+
+val count : t -> int
+
+val subscribe : t -> (change -> unit) -> unit
+(** Callbacks fire after the change is applied, in subscription order. *)

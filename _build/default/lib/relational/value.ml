@@ -1,0 +1,93 @@
+module St = Svr_storage
+
+type ty = Int_t | Float_t | Text_t
+
+type t = Null | Int of int | Float of float | Text of string
+
+let ty_of_string s =
+  match String.lowercase_ascii s with
+  | "int" | "integer" -> Some Int_t
+  | "float" | "real" | "double" -> Some Float_t
+  | "text" | "varchar" | "string" -> Some Text_t
+  | _ -> None
+
+let ty_name = function Int_t -> "integer" | Float_t -> "float" | Text_t -> "text"
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Int_t
+  | Float _ -> Some Float_t
+  | Text _ -> Some Text_t
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Null -> invalid_arg "Value.to_float: NULL"
+  | Text _ -> invalid_arg "Value.to_float: text"
+
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | Null -> invalid_arg "Value.to_int: NULL"
+  | Text _ -> invalid_arg "Value.to_int: text"
+
+let to_text = function
+  | Text s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Null -> ""
+
+let is_null = function Null -> true | _ -> false
+
+let compare_sql a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Text s1, Text s2 -> String.compare s1 s2
+  | (Int _ | Float _), (Int _ | Float _) -> Float.compare (to_float a) (to_float b)
+  | Text _, _ | _, Text _ -> invalid_arg "Value.compare_sql: text vs number"
+
+let equal_sql a b =
+  match (a, b) with
+  | Null, _ | _, Null -> false (* SQL three-valued equality: NULL = x is unknown *)
+  | _ -> compare_sql a b = 0
+
+let pp ppf = function
+  | Null -> Format.fprintf ppf "NULL"
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Text s -> Format.fprintf ppf "'%s'" s
+
+let encode buf = function
+  | Null -> Buffer.add_char buf 'N'
+  | Int i ->
+      Buffer.add_char buf 'I';
+      St.Order_key.u64 buf (Int64.of_int i)
+  | Float f ->
+      Buffer.add_char buf 'F';
+      St.Order_key.u64 buf (Int64.bits_of_float f)
+  | Text s ->
+      Buffer.add_char buf 'T';
+      St.Varint.write buf (String.length s);
+      Buffer.add_string buf s
+
+let decode s pos =
+  let tag = s.[!pos] in
+  incr pos;
+  match tag with
+  | 'N' -> Null
+  | 'I' ->
+      let v = St.Order_key.get_u64 s !pos in
+      pos := !pos + 8;
+      Int (Int64.to_int v)
+  | 'F' ->
+      let v = St.Order_key.get_u64 s !pos in
+      pos := !pos + 8;
+      Float (Int64.float_of_bits v)
+  | 'T' ->
+      let len = St.Varint.read s pos in
+      let v = String.sub s !pos len in
+      pos := !pos + len;
+      Text v
+  | c -> invalid_arg (Printf.sprintf "Value.decode: bad tag %C" c)

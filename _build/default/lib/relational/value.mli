@@ -1,0 +1,38 @@
+(** SQL values for the mini relational engine. *)
+
+type ty = Int_t | Float_t | Text_t
+
+type t = Null | Int of int | Float of float | Text of string
+
+val ty_of_string : string -> ty option
+(** "int"/"integer", "float"/"real"/"double", "text"/"varchar"/"string"
+    (case-insensitive). *)
+
+val ty_name : ty -> string
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val to_float : t -> float
+(** Numeric coercion. @raise Invalid_argument on Text/Null. *)
+
+val to_int : t -> int
+
+val to_text : t -> string
+(** Text content, or a printed form for other values. *)
+
+val is_null : t -> bool
+
+val compare_sql : t -> t -> int
+(** SQL-ish ordering: Null first, numerics compared numerically across
+    Int/Float, Text lexicographically. @raise Invalid_argument when comparing
+    text with numbers. *)
+
+val equal_sql : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val encode : Buffer.t -> t -> unit
+(** Row-storage codec. *)
+
+val decode : string -> int ref -> t

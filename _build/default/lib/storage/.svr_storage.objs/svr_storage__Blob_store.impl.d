@@ -1,0 +1,1 @@
+lib/storage/blob_store.ml: Bytes Disk Hashtbl Pager String

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Bytes Char Disk Option Pager Printf String

@@ -1,0 +1,1 @@
+lib/storage/env.ml: Blob_store Btree Disk List Pager Stats

@@ -1,0 +1,1 @@
+lib/storage/env.mli: Blob_store Btree Stats

@@ -1,0 +1,1 @@
+lib/storage/order_key.ml: Buffer Char Int64 List String

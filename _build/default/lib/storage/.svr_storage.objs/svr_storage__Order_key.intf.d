@@ -1,0 +1,1 @@
+lib/storage/order_key.mli: Buffer

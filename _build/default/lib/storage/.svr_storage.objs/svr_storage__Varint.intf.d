@@ -1,0 +1,1 @@
+lib/storage/varint.mli: Buffer

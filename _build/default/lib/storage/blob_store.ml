@@ -1,0 +1,91 @@
+type t = {
+  pager : Pager.t;
+  page_size : int;
+  blobs : (int, int * int) Hashtbl.t; (* id -> (first page, byte length) *)
+  mutable next_id : int;
+  mutable live_bytes : int;
+}
+
+type id = int
+
+let create pager =
+  { pager; page_size = Disk.page_size (Pager.disk pager);
+    blobs = Hashtbl.create 1024; next_id = 0; live_bytes = 0 }
+
+let pages_for t len = (len + t.page_size - 1) / t.page_size
+
+let put t payload =
+  let len = String.length payload in
+  let n_pages = max 1 (pages_for t len) in
+  let first = Pager.alloc t.pager in
+  let rec alloc_rest i last =
+    if i < n_pages then begin
+      let p = Pager.alloc t.pager in
+      assert (p = last + 1);
+      alloc_rest (i + 1) p
+    end
+  in
+  alloc_rest 1 first;
+  for i = 0 to n_pages - 1 do
+    let page = Bytes.make t.page_size '\000' in
+    let off = i * t.page_size in
+    let chunk = min t.page_size (len - off) in
+    if chunk > 0 then Bytes.blit_string payload off page 0 chunk;
+    Pager.put t.pager (first + i) page
+  done;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.blobs id (first, len);
+  t.live_bytes <- t.live_bytes + len;
+  id
+
+let lookup t id =
+  match Hashtbl.find_opt t.blobs id with
+  | Some entry -> entry
+  | None -> raise Not_found
+
+let length t id = snd (lookup t id)
+
+let free t id =
+  let _, len = lookup t id in
+  Hashtbl.remove t.blobs id;
+  t.live_bytes <- t.live_bytes - len
+
+let live_bytes t = t.live_bytes
+let page_bytes t = Disk.size_bytes (Pager.disk t.pager)
+
+type reader = {
+  store : t;
+  first : int;
+  len : int;
+  buf : Bytes.t;
+  mutable fetched : int; (* bytes made available so far *)
+}
+
+let reader t id =
+  let first, len = lookup t id in
+  { store = t; first; len; buf = Bytes.create (max len 1); fetched = 0 }
+
+let blob_length r = r.len
+let fetched_bytes r = r.fetched
+
+let ensure r upto =
+  let upto = min upto r.len in
+  while r.fetched < upto do
+    let page_idx = r.fetched / r.store.page_size in
+    (* within-blob page runs are readahead-friendly: only the first page of a
+       reader pays a seek, even when several lists are merged concurrently *)
+    let hint = if page_idx = 0 then `Auto else `Seq in
+    let page = Pager.get ~hint r.store.pager (r.first + page_idx) in
+    let off = page_idx * r.store.page_size in
+    let chunk = min r.store.page_size (r.len - off) in
+    Bytes.blit page 0 r.buf off chunk;
+    r.fetched <- off + chunk
+  done
+
+let raw r = Bytes.unsafe_to_string r.buf
+
+let read_all t id =
+  let r = reader t id in
+  ensure r r.len;
+  Bytes.sub_string r.buf 0 r.len

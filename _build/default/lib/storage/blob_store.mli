@@ -1,0 +1,55 @@
+(** Storage for immutable binary objects laid out on contiguous pages.
+
+    The paper stores long inverted lists "as binary objects in the database
+    since they are never updated; they were read in a page at a time during
+    query processing" (Section 5.2). A blob here is written once across
+    consecutive pages and later consumed through a {!reader} that fetches
+    pages on demand — so an early-terminating query only pays for the prefix
+    of the list it actually scans, and those reads count as sequential I/O. *)
+
+type t
+
+type id = int
+
+val create : Pager.t -> t
+
+val put : t -> string -> id
+(** Write a blob; returns its handle. *)
+
+val length : t -> id -> int
+(** Payload length in bytes. @raise Not_found for an unknown id. *)
+
+val free : t -> id -> unit
+(** Forget a blob. Pages are not reused (reclaimed by offline rebuilds). *)
+
+val read_all : t -> id -> string
+(** Fetch the whole blob (page at a time, sequential). *)
+
+val live_bytes : t -> int
+(** Total payload bytes of live blobs. *)
+
+val page_bytes : t -> int
+(** Device footprint in bytes, i.e. pages ever allocated — what Table 1
+    reports as inverted-list size. *)
+
+(** {2 Incremental readers} *)
+
+type reader
+
+val reader : t -> id -> reader
+(** A reader positioned at the start of the blob. Pages are fetched lazily. *)
+
+val blob_length : reader -> int
+
+val ensure : reader -> int -> unit
+(** [ensure r upto] fetches pages until at least [upto] bytes of the blob are
+    available (clamped to the blob length). *)
+
+val raw : reader -> string
+(** The blob's byte buffer. Only the prefix made available by {!ensure} holds
+    valid data; the remainder reads as zeros. The returned string aliases the
+    reader's internal buffer — treat it as read-only and do not retain it past
+    the reader's lifetime. *)
+
+val fetched_bytes : reader -> int
+(** How many bytes have been made available so far. *)

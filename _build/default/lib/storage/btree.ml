@@ -1,0 +1,415 @@
+(* Node layout (page_size bytes):
+     byte 0        : kind (1 = leaf, 2 = internal)
+     bytes 1-2     : nkeys, big-endian u16
+     bytes 3-6     : leaf: next-leaf page (0xFFFFFFFF = none)
+                     internal: leftmost child page
+     byte 7 ..     : leaf entries     [klen u16][vlen u16][key][value]
+                     internal entries [klen u16][child u32][key]
+   Internal node semantics: keys k0..k(m-1) and children c0..cm, where
+   subtree ci holds keys in [k(i-1), ki) with k(-1) = -inf, km = +inf, i.e.
+   keys >= a separator live to its right. *)
+
+let none_page = 0xFFFFFFFF
+
+type leaf = {
+  mutable lkeys : string array;
+  mutable lvals : string array;
+  mutable next : int;
+}
+
+type internal = {
+  mutable ikeys : string array;
+  mutable children : int array; (* length = Array.length ikeys + 1 *)
+}
+
+type node = Leaf of leaf | Internal of internal
+
+type t = {
+  pager : Pager.t;
+  page_size : int;
+  mutable root : int;
+  mutable count : int;
+}
+
+(* -- raw byte helpers ----------------------------------------------------- *)
+
+let get_u16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let set_u16 b off n =
+  Bytes.set b off (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (n land 0xff))
+
+let get_u32b b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let set_u32b b off n =
+  Bytes.set b off (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (n land 0xff))
+
+(* -- node (de)serialisation ----------------------------------------------- *)
+
+let decode page_bytes =
+  let nkeys = get_u16 page_bytes 1 in
+  match Char.code (Bytes.get page_bytes 0) with
+  | 1 ->
+      let next = get_u32b page_bytes 3 in
+      let lkeys = Array.make nkeys "" and lvals = Array.make nkeys "" in
+      let off = ref 7 in
+      for i = 0 to nkeys - 1 do
+        let klen = get_u16 page_bytes !off in
+        let vlen = get_u16 page_bytes (!off + 2) in
+        lkeys.(i) <- Bytes.sub_string page_bytes (!off + 4) klen;
+        lvals.(i) <- Bytes.sub_string page_bytes (!off + 4 + klen) vlen;
+        off := !off + 4 + klen + vlen
+      done;
+      Leaf { lkeys; lvals; next }
+  | 2 ->
+      let ikeys = Array.make nkeys "" in
+      let children = Array.make (nkeys + 1) 0 in
+      children.(0) <- get_u32b page_bytes 3;
+      let off = ref 7 in
+      for i = 0 to nkeys - 1 do
+        let klen = get_u16 page_bytes !off in
+        children.(i + 1) <- get_u32b page_bytes (!off + 2);
+        ikeys.(i) <- Bytes.sub_string page_bytes (!off + 6) klen;
+        off := !off + 6 + klen
+      done;
+      Internal { ikeys; children }
+  | k -> invalid_arg (Printf.sprintf "Btree.decode: bad node kind %d" k)
+
+let leaf_bytes l =
+  Array.fold_left (fun acc k -> acc + 4 + String.length k) 7 l.lkeys
+  + Array.fold_left (fun acc v -> acc + String.length v) 0 l.lvals
+
+let internal_bytes n =
+  Array.fold_left (fun acc k -> acc + 6 + String.length k) 7 n.ikeys
+
+let encode page_size node =
+  let b = Bytes.make page_size '\000' in
+  (match node with
+  | Leaf l ->
+      Bytes.set b 0 '\001';
+      set_u16 b 1 (Array.length l.lkeys);
+      set_u32b b 3 l.next;
+      let off = ref 7 in
+      Array.iteri
+        (fun i k ->
+          let v = l.lvals.(i) in
+          set_u16 b !off (String.length k);
+          set_u16 b (!off + 2) (String.length v);
+          Bytes.blit_string k 0 b (!off + 4) (String.length k);
+          Bytes.blit_string v 0 b (!off + 4 + String.length k)
+            (String.length v);
+          off := !off + 4 + String.length k + String.length v)
+        l.lkeys
+  | Internal n ->
+      Bytes.set b 0 '\002';
+      set_u16 b 1 (Array.length n.ikeys);
+      set_u32b b 3 n.children.(0);
+      let off = ref 7 in
+      Array.iteri
+        (fun i k ->
+          set_u16 b !off (String.length k);
+          set_u32b b (!off + 2) n.children.(i + 1);
+          Bytes.blit_string k 0 b (!off + 6) (String.length k);
+          off := !off + 6 + String.length k)
+        n.ikeys);
+  b
+
+let load t page_no = decode (Pager.get t.pager page_no)
+let store t page_no node = Pager.put t.pager page_no (encode t.page_size node)
+
+(* -- searching helpers ---------------------------------------------------- *)
+
+(* Smallest index i with keys.(i) >= key (n if none). *)
+let lower_bound keys key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Smallest index i with keys.(i) > key (n if none). *)
+let upper_bound keys key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare keys.(mid) key <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert a i x =
+  let n = Array.length a in
+  let out = Array.make (n + 1) x in
+  Array.blit a 0 out 0 i;
+  Array.blit a i out (i + 1) (n - i);
+  out
+
+let array_remove a i =
+  let n = Array.length a in
+  let out = Array.make (n - 1) a.(0) in
+  Array.blit a 0 out 0 i;
+  Array.blit a (i + 1) out i (n - 1 - i);
+  out
+
+(* -- construction --------------------------------------------------------- *)
+
+let create pager =
+  let page_size = Disk.page_size (Pager.disk pager) in
+  let root = Pager.alloc pager in
+  let t = { pager; page_size; root; count = 0 } in
+  store t root (Leaf { lkeys = [||]; lvals = [||]; next = none_page });
+  t
+
+let count t = t.count
+
+(* -- find ----------------------------------------------------------------- *)
+
+let rec find_in t page_no key =
+  match load t page_no with
+  | Leaf l ->
+      let i = lower_bound l.lkeys key in
+      if i < Array.length l.lkeys && String.equal l.lkeys.(i) key then
+        Some l.lvals.(i)
+      else None
+  | Internal n -> find_in t n.children.(upper_bound n.ikeys key) key
+
+let find t key = find_in t t.root key
+let mem t key = Option.is_some (find t key)
+
+(* -- insert --------------------------------------------------------------- *)
+
+(* Split index by accumulated byte size: both halves non-empty and the left
+   half just reaches half of the payload. *)
+let split_point sizes total =
+  let n = Array.length sizes in
+  let acc = ref 0 and i = ref 0 in
+  while !i < n - 1 && 2 * !acc < total do
+    acc := !acc + sizes.(!i);
+    incr i
+  done;
+  max 1 (min (n - 1) !i)
+
+let split_leaf t l =
+  let n = Array.length l.lkeys in
+  let sizes =
+    Array.init n (fun i ->
+        4 + String.length l.lkeys.(i) + String.length l.lvals.(i))
+  in
+  let mid = split_point sizes (Array.fold_left ( + ) 0 sizes) in
+  let right_page = Pager.alloc t.pager in
+  let right =
+    { lkeys = Array.sub l.lkeys mid (n - mid);
+      lvals = Array.sub l.lvals mid (n - mid);
+      next = l.next }
+  in
+  l.lkeys <- Array.sub l.lkeys 0 mid;
+  l.lvals <- Array.sub l.lvals 0 mid;
+  l.next <- right_page;
+  store t right_page (Leaf right);
+  (right.lkeys.(0), right_page)
+
+let split_internal t n =
+  let nk = Array.length n.ikeys in
+  assert (nk >= 3);
+  let mid = nk / 2 in
+  let sep = n.ikeys.(mid) in
+  let right_page = Pager.alloc t.pager in
+  let right =
+    { ikeys = Array.sub n.ikeys (mid + 1) (nk - mid - 1);
+      children = Array.sub n.children (mid + 1) (nk - mid) }
+  in
+  n.ikeys <- Array.sub n.ikeys 0 mid;
+  n.children <- Array.sub n.children 0 (mid + 1);
+  store t right_page (Internal right);
+  (sep, right_page)
+
+let rec insert_in t page_no key value =
+  match load t page_no with
+  | Leaf l ->
+      let i = lower_bound l.lkeys key in
+      if i < Array.length l.lkeys && String.equal l.lkeys.(i) key then
+        l.lvals.(i) <- value
+      else begin
+        l.lkeys <- array_insert l.lkeys i key;
+        l.lvals <- array_insert l.lvals i value;
+        t.count <- t.count + 1
+      end;
+      if leaf_bytes l <= t.page_size then begin
+        store t page_no (Leaf l);
+        None
+      end
+      else begin
+        let sep, right_page = split_leaf t l in
+        store t page_no (Leaf l);
+        Some (sep, right_page)
+      end
+  | Internal n -> (
+      let i = upper_bound n.ikeys key in
+      match insert_in t n.children.(i) key value with
+      | None -> None
+      | Some (sep, right_page) ->
+          n.ikeys <- array_insert n.ikeys i sep;
+          n.children <- array_insert n.children (i + 1) right_page;
+          if internal_bytes n <= t.page_size then begin
+            store t page_no (Internal n);
+            None
+          end
+          else begin
+            let sep_up, right = split_internal t n in
+            store t page_no (Internal n);
+            Some (sep_up, right)
+          end)
+
+let insert t key value =
+  if 4 + String.length key + String.length value > t.page_size - 7 then
+    invalid_arg "Btree.insert: entry larger than a page";
+  match insert_in t t.root key value with
+  | None -> ()
+  | Some (sep, right_page) ->
+      let new_root = Pager.alloc t.pager in
+      store t new_root
+        (Internal { ikeys = [| sep |]; children = [| t.root; right_page |] });
+      t.root <- new_root
+
+(* -- delete (lazy: no rebalancing) ---------------------------------------- *)
+
+let rec delete_in t page_no key =
+  match load t page_no with
+  | Leaf l ->
+      let i = lower_bound l.lkeys key in
+      if i < Array.length l.lkeys && String.equal l.lkeys.(i) key then begin
+        l.lkeys <- array_remove l.lkeys i;
+        l.lvals <- array_remove l.lvals i;
+        t.count <- t.count - 1;
+        store t page_no (Leaf l);
+        true
+      end
+      else false
+  | Internal n -> delete_in t n.children.(upper_bound n.ikeys key) key
+
+let delete t key = delete_in t t.root key
+
+let clear t =
+  let root = Pager.alloc t.pager in
+  store t root (Leaf { lkeys = [||]; lvals = [||]; next = none_page });
+  t.root <- root;
+  t.count <- 0
+
+(* -- cursors and iteration ------------------------------------------------ *)
+
+type cursor = {
+  tree : t;
+  mutable leaf : leaf;
+  mutable idx : int;
+}
+
+let rec leaf_for t page_no key =
+  match load t page_no with
+  | Leaf l -> l
+  | Internal n -> leaf_for t n.children.(upper_bound n.ikeys key) key
+
+let seek t key =
+  let l = leaf_for t t.root key in
+  { tree = t; leaf = l; idx = lower_bound l.lkeys key }
+
+let rec cursor_next c =
+  if c.idx < Array.length c.leaf.lkeys then begin
+    let entry = (c.leaf.lkeys.(c.idx), c.leaf.lvals.(c.idx)) in
+    c.idx <- c.idx + 1;
+    Some entry
+  end
+  else if c.leaf.next = none_page then None
+  else begin
+    (match load c.tree c.leaf.next with
+    | Leaf l -> c.leaf <- l
+    | Internal _ -> failwith "Btree: leaf chain points at internal node");
+    c.idx <- 0;
+    cursor_next c
+  end
+
+let iter_from t key f =
+  let c = seek t key in
+  let rec go () =
+    match cursor_next c with
+    | None -> ()
+    | Some (k, v) -> if f k v then go ()
+  in
+  go ()
+
+let iter_all t f = iter_from t "" f
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let iter_prefix t prefix f =
+  iter_from t prefix (fun k v -> has_prefix ~prefix k && f k v)
+
+let min_binding t =
+  let result = ref None in
+  iter_all t (fun k v ->
+      result := Some (k, v);
+      false);
+  !result
+
+let rec height_from t page_no =
+  match load t page_no with
+  | Leaf _ -> 1
+  | Internal n -> 1 + height_from t n.children.(0)
+
+let height t = height_from t t.root
+
+(* -- invariant checking (tests) ------------------------------------------- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec walk page_no lo hi depth =
+    (* every key k in this subtree must satisfy lo <= k < hi *)
+    match load t page_no with
+    | Leaf l ->
+        Array.iteri
+          (fun i k ->
+            (match lo with
+            | Some lo when String.compare k lo < 0 ->
+                fail "leaf %d: key below separator" page_no
+            | _ -> ());
+            (match hi with
+            | Some hi when String.compare k hi >= 0 ->
+                fail "leaf %d: key at/above separator" page_no
+            | _ -> ());
+            if i > 0 && String.compare l.lkeys.(i - 1) k >= 0 then
+              fail "leaf %d: keys not strictly ascending" page_no)
+          l.lkeys;
+        if leaf_bytes l > t.page_size then fail "leaf %d overflows" page_no;
+        (depth, Array.length l.lkeys)
+    | Internal n ->
+        if Array.length n.ikeys = 0 then fail "internal %d: no keys" page_no;
+        Array.iteri
+          (fun i k ->
+            if i > 0 && String.compare n.ikeys.(i - 1) k >= 0 then
+              fail "internal %d: separators not ascending" page_no)
+          n.ikeys;
+        if internal_bytes n > t.page_size then
+          fail "internal %d overflows" page_no;
+        let nk = Array.length n.ikeys in
+        let total = ref 0 and leaf_depth = ref (-1) in
+        for i = 0 to nk do
+          let lo_i = if i = 0 then lo else Some n.ikeys.(i - 1) in
+          let hi_i = if i = nk then hi else Some n.ikeys.(i) in
+          let d, cnt = walk n.children.(i) lo_i hi_i (depth + 1) in
+          if !leaf_depth = -1 then leaf_depth := d
+          else if d <> !leaf_depth then fail "unbalanced at internal %d" page_no;
+          total := !total + cnt
+        done;
+        (!leaf_depth, !total)
+  in
+  let _, total = walk t.root None None 0 in
+  if total <> t.count then
+    fail "count mismatch: tree says %d, counted %d" t.count total

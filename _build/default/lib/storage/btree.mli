@@ -1,0 +1,63 @@
+(** A paged B+-tree with variable-length byte-string keys and values.
+
+    This is the stand-in for BerkeleyDB's B+-trees: the Score table, the
+    short inverted lists, the ListScore/ListChunk tables and the Score
+    method's clustered long list are all instances of it (Section 5.2 of the
+    paper). Keys compare lexicographically — build composite keys with
+    {!Order_key}. All pages go through a {!Pager}, so accesses are cached and
+    counted.
+
+    Concurrency/consistency notes: single-threaded; deletion is lazy (no node
+    rebalancing — underfull and empty leaves persist until an offline rebuild,
+    which is how the index maintenance story amortises space anyway); cursors
+    must not be used across mutations of the same tree. *)
+
+type t
+
+val create : Pager.t -> t
+(** An empty tree rooted at a fresh leaf page. *)
+
+val count : t -> int
+(** Number of live entries. *)
+
+val find : t -> string -> string option
+
+val mem : t -> string -> bool
+
+val insert : t -> string -> string -> unit
+(** Upsert. @raise Invalid_argument if the entry cannot fit in a page
+    (key + value + header > page size). *)
+
+val delete : t -> string -> bool
+(** Remove a key; [true] if it was present. Lazy: pages are never merged. *)
+
+val clear : t -> unit
+(** Drop every entry by re-rooting at a fresh empty leaf — O(1), used by the
+    offline merge. Old pages are abandoned (reclaimed only by rebuilding the
+    device, like all lazy deletion here). *)
+
+val iter_from : t -> string -> (string -> string -> bool) -> unit
+(** [iter_from t key f] visits entries with key ≥ [key] in ascending key
+    order, stopping early when [f] returns [false]. *)
+
+val iter_all : t -> (string -> string -> bool) -> unit
+
+val iter_prefix : t -> string -> (string -> string -> bool) -> unit
+(** Visit exactly the entries whose key starts with the given prefix. *)
+
+type cursor
+
+val seek : t -> string -> cursor
+(** Position a cursor at the first entry with key ≥ the argument. *)
+
+val cursor_next : cursor -> (string * string) option
+(** The entry under the cursor (advancing past it), or [None] at the end. *)
+
+val min_binding : t -> (string * string) option
+
+val height : t -> int
+(** Tree height in nodes (1 = a single leaf), for diagnostics. *)
+
+val check_invariants : t -> unit
+(** Walk the whole tree asserting ordering and structural invariants.
+    @raise Failure with a description on the first violation. Test use. *)

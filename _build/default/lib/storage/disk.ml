@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  page_size : int;
+  stats : Stats.t;
+  mutable pages : Bytes.t array;
+  mutable n_pages : int;
+  mutable last_read : int;
+}
+
+let page_size t = t.page_size
+let name t = t.name
+
+let create ?(page_size = 4096) ~name stats =
+  { name; page_size; stats; pages = Array.make 64 Bytes.empty; n_pages = 0;
+    last_read = -2 }
+
+let alloc t =
+  if t.n_pages = Array.length t.pages then begin
+    let bigger = Array.make (2 * t.n_pages) Bytes.empty in
+    Array.blit t.pages 0 bigger 0 t.n_pages;
+    t.pages <- bigger
+  end;
+  let page_no = t.n_pages in
+  t.pages.(page_no) <- Bytes.make t.page_size '\000';
+  t.n_pages <- t.n_pages + 1;
+  page_no
+
+let n_pages t = t.n_pages
+let size_bytes t = t.n_pages * t.page_size
+
+let check t page_no op =
+  if page_no < 0 || page_no >= t.n_pages then
+    invalid_arg
+      (Printf.sprintf "Disk.%s: page %d out of range on %s" op page_no t.name)
+
+let read ?(hint = `Auto) t page_no =
+  check t page_no "read";
+  let sequential =
+    match hint with `Seq -> true | `Auto -> page_no = t.last_read + 1
+  in
+  if sequential then t.stats.Stats.seq_reads <- t.stats.Stats.seq_reads + 1
+  else t.stats.Stats.rand_reads <- t.stats.Stats.rand_reads + 1;
+  t.last_read <- page_no;
+  Bytes.copy t.pages.(page_no)
+
+let write t page_no bytes =
+  check t page_no "write";
+  if Bytes.length bytes <> t.page_size then
+    invalid_arg "Disk.write: page size mismatch";
+  t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
+  t.pages.(page_no) <- Bytes.copy bytes

@@ -1,0 +1,39 @@
+(** A simulated block device: a growable array of fixed-size pages.
+
+    Stands in for the files BerkeleyDB would keep on disk. Every physical
+    access is recorded in a shared {!Stats.t}; reads of the page following the
+    previously read page are classified sequential, everything else random.
+    All accesses normally go through a {!Buffer_pool}, so a [Disk] read/write
+    here corresponds to a cache miss / write-back in the real system. *)
+
+type t
+
+val page_size : t -> int
+
+val create : ?page_size:int -> name:string -> Stats.t -> t
+(** [create ~name stats] makes an empty device. [page_size] defaults to
+    4096 bytes, the BerkeleyDB default used in the paper's setup. *)
+
+val name : t -> string
+
+val alloc : t -> int
+(** Allocate a fresh zeroed page and return its page number. Allocation is
+    sequential, so consecutively allocated pages read back sequentially. *)
+
+val n_pages : t -> int
+(** Number of pages ever allocated (the device footprint). *)
+
+val size_bytes : t -> int
+(** [n_pages * page_size]: the on-"disk" footprint, used for Table 1. *)
+
+val read : ?hint:[ `Auto | `Seq ] -> t -> int -> Bytes.t
+(** Physical read. Returns a fresh buffer of [page_size] bytes. [`Auto]
+    (default) classifies the read sequential iff it follows the previously
+    read page; [`Seq] forces sequential accounting — used by blob readers,
+    whose within-blob page runs a real disk would serve via per-stream
+    readahead even when several lists are merged concurrently.
+    @raise Invalid_argument on an unallocated page. *)
+
+val write : t -> int -> Bytes.t -> unit
+(** Physical write of a full page.
+    @raise Invalid_argument on size mismatch or unallocated page. *)

@@ -1,0 +1,52 @@
+type t = {
+  page_size : int;
+  table_pool_pages : int;
+  blob_pool_pages : int;
+  cost : Stats.cost_model;
+  stats : Stats.t;
+  mutable table_pagers : (string * Pager.t) list;
+  mutable blob_pagers : (string * Pager.t) list;
+}
+
+let create ?(page_size = 4096) ?(table_pool_pages = 8192)
+    ?(blob_pool_pages = 25600) ?(cost = Stats.default_cost) () =
+  { page_size; table_pool_pages; blob_pool_pages; cost;
+    stats = Stats.create (); table_pagers = []; blob_pagers = [] }
+
+let btree t ~name =
+  let disk = Disk.create ~page_size:t.page_size ~name t.stats in
+  let pager = Pager.create ~pool_pages:t.table_pool_pages ~stats:t.stats disk in
+  t.table_pagers <- (name, pager) :: t.table_pagers;
+  Btree.create pager
+
+let blob_store t ~name =
+  let disk = Disk.create ~page_size:t.page_size ~name t.stats in
+  let pager = Pager.create ~pool_pages:t.blob_pool_pages ~stats:t.stats disk in
+  t.blob_pagers <- (name, pager) :: t.blob_pagers;
+  Blob_store.create pager
+
+let cold_btree t ~name =
+  let disk = Disk.create ~page_size:t.page_size ~name t.stats in
+  let pager = Pager.create ~pool_pages:t.blob_pool_pages ~stats:t.stats disk in
+  t.blob_pagers <- (name, pager) :: t.blob_pagers;
+  Btree.create pager
+
+let stats t = t.stats
+let cost t = t.cost
+let reset_stats t = Stats.reset t.stats
+
+let drop_blob_caches t =
+  List.iter (fun (_, pager) -> Pager.drop_cache pager) t.blob_pagers
+
+let drop_all_caches t =
+  drop_blob_caches t;
+  List.iter (fun (_, pager) -> Pager.drop_cache pager) t.table_pagers
+
+let device_sizes t =
+  let size (name, pager) = (name, Disk.size_bytes (Pager.disk pager)) in
+  List.rev_map size t.table_pagers @ List.rev_map size t.blob_pagers
+
+let device_size t ~name =
+  match List.assoc_opt name (device_sizes t) with
+  | Some size -> size
+  | None -> raise Not_found

@@ -1,0 +1,49 @@
+(** A storage environment: shared I/O statistics plus factories for the two
+    device classes the paper distinguishes.
+
+    "Hot" devices (B+-trees for the Score table, short lists, ListScore /
+    ListChunk) get pools large enough to stay memory-resident — the paper
+    observes they are "easily maintained in the database cache". "Cold"
+    devices (blob stores for long inverted lists) get a bounded pool that the
+    benchmark harness empties before each timed query to simulate a data set
+    that does not fit in memory. *)
+
+type t
+
+val create :
+  ?page_size:int ->
+  ?table_pool_pages:int ->
+  ?blob_pool_pages:int ->
+  ?cost:Stats.cost_model ->
+  unit ->
+  t
+(** Defaults: 4 KiB pages; 8192-page (32 MiB) pools per table; a 25600-page
+    (100 MiB) pool per blob store, matching the paper's BerkeleyDB cache. *)
+
+val btree : t -> name:string -> Btree.t
+(** A fresh B+-tree on its own hot device. *)
+
+val blob_store : t -> name:string -> Blob_store.t
+(** A fresh blob store on its own cold device. *)
+
+val cold_btree : t -> name:string -> Btree.t
+(** A B+-tree on a cold device: its pool is the bounded blob-class pool and
+    {!drop_blob_caches} empties it. The Score method's updatable long list —
+    too big to stay cached — is the one user. *)
+
+val stats : t -> Stats.t
+
+val cost : t -> Stats.cost_model
+
+val reset_stats : t -> unit
+
+val drop_blob_caches : t -> unit
+(** Cold-cache the long lists: flush and empty every blob-store pool. *)
+
+val drop_all_caches : t -> unit
+
+val device_sizes : t -> (string * int) list
+(** [(name, bytes)] footprint of every device created so far. *)
+
+val device_size : t -> name:string -> int
+(** Footprint of one named device. @raise Not_found if unknown. *)

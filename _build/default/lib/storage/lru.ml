@@ -1,0 +1,84 @@
+(* Doubly-linked list threaded through hashtable entries: O(1) find/add with
+   a sentinel node whose [next] is the most recently used entry and whose
+   [prev] is the least recently used one. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node;
+  mutable next : ('k, 'v) node;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable sentinel : ('k, 'v) node option;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Lru.create: cap < 1";
+  { cap; table = Hashtbl.create (2 * cap); sentinel = None }
+
+let length t = Hashtbl.length t.table
+
+let sentinel_of t key value =
+  match t.sentinel with
+  | Some s -> s
+  | None ->
+      (* The sentinel needs dummy key/value; we build it lazily from the
+         first insertion so no Obj.magic is needed. *)
+      let rec s = { key; value; prev = s; next = s } in
+      t.sentinel <- Some s;
+      s
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev
+
+let link_front s node =
+  node.next <- s.next;
+  node.prev <- s;
+  s.next.prev <- node;
+  s.next <- node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+      (match t.sentinel with
+      | Some s when s.next != node ->
+          unlink node;
+          link_front s node
+      | _ -> ());
+      Some node.value
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+      unlink node;
+      Hashtbl.remove t.table key
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some node ->
+      unlink node;
+      Hashtbl.remove t.table key
+  | None -> ());
+  let s = sentinel_of t key value in
+  let node = { key; value; prev = s; next = s } in
+  link_front s node;
+  Hashtbl.replace t.table key node;
+  if Hashtbl.length t.table > t.cap then begin
+    let victim = s.prev in
+    unlink victim;
+    Hashtbl.remove t.table victim.key;
+    Some (victim.key, victim.value)
+  end
+  else None
+
+let iter f t = Hashtbl.iter (fun k node -> f k node.value) t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.sentinel <- None

@@ -1,0 +1,23 @@
+(** A generic LRU map with a fixed capacity, used as the page replacement
+    policy of {!Pager} (the stand-in for BerkeleyDB's buffer cache). *)
+
+type ('k, 'v) t
+
+val create : cap:int -> ('k, 'v) t
+(** @raise Invalid_argument if [cap < 1]. *)
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Looks up a key and, on a hit, marks it most recently used. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Inserts (or replaces) a binding as most recently used. Returns the entry
+    evicted to stay within capacity, if any. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Iterates in unspecified order. *)
+
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,69 @@
+let term buf s =
+  if String.contains s '\000' then invalid_arg "Order_key.term: embedded NUL";
+  Buffer.add_string buf s;
+  Buffer.add_char buf '\000'
+
+let get_term s pos =
+  match String.index_from_opt s !pos '\000' with
+  | None -> invalid_arg "Order_key.get_term: missing terminator"
+  | Some stop ->
+      let t = String.sub s !pos (stop - !pos) in
+      pos := stop + 1;
+      t
+
+let u32 buf n =
+  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Order_key.u32: out of range";
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let u32_desc buf n =
+  if n < 0 || n > 0xFFFFFFFF then
+    invalid_arg "Order_key.u32_desc: out of range";
+  u32 buf (0xFFFFFFFF - n)
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let get_u32_desc s off = 0xFFFFFFFF - get_u32 s off
+
+let u64 buf n =
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * i)) 0xFFL)))
+  done
+
+let get_u64 s off =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8)
+             (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !acc
+
+(* Total-order float encoding: flip the sign bit of non-negative values and
+   complement negative ones, so lexicographic byte order equals numeric
+   order. *)
+let float_bits_ordered f =
+  let bits = Int64.bits_of_float f in
+  if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
+  else Int64.lognot bits
+
+let float_of_ordered_bits bits =
+  if Int64.compare bits 0L < 0 then
+    Int64.float_of_bits (Int64.logxor bits Int64.min_int)
+  else Int64.float_of_bits (Int64.lognot bits)
+
+let f64 buf f = u64 buf (float_bits_ordered f)
+let f64_desc buf f = u64 buf (Int64.lognot (float_bits_ordered f))
+let get_f64 s off = float_of_ordered_bits (get_u64 s off)
+let get_f64_desc s off = float_of_ordered_bits (Int64.lognot (get_u64 s off))
+
+let compose writers =
+  let buf = Buffer.create 32 in
+  List.iter (fun w -> w buf) writers;
+  Buffer.contents buf

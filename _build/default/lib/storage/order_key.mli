@@ -1,0 +1,46 @@
+(** Order-preserving binary encodings for composite B+-tree keys.
+
+    Keys are byte strings compared lexicographically by {!Btree}, so composite
+    keys like (term, chunk-id desc, doc-id asc) are built by concatenating
+    encodings whose byte order matches the desired component order:
+
+    - terms: raw bytes + a [0x00] terminator (tokens never contain NUL), so a
+      term is never a prefix of a longer term's field;
+    - unsigned ints: big-endian fixed width;
+    - descending components: bitwise complement of the ascending encoding;
+    - floats: sign-flipped IEEE-754 bits (total order over non-NaN values).
+
+    The [get_*] functions decode at a byte offset and are used when scanning
+    ranges back out of a tree. *)
+
+val term : Buffer.t -> string -> unit
+(** Append a NUL-terminated term field.
+    @raise Invalid_argument if the term contains ['\000']. *)
+
+val get_term : string -> int ref -> string
+(** Decode a term field at [!pos], advancing past the terminator. *)
+
+val u32 : Buffer.t -> int -> unit
+(** Ascending 32-bit unsigned, big-endian. @raise Invalid_argument if out of
+    [0, 2{^32}-1]. *)
+
+val u32_desc : Buffer.t -> int -> unit
+(** Descending variant of {!u32}. *)
+
+val get_u32 : string -> int -> int
+val get_u32_desc : string -> int -> int
+
+val u64 : Buffer.t -> int64 -> unit
+val get_u64 : string -> int -> int64
+
+val f64 : Buffer.t -> float -> unit
+(** Ascending float (non-NaN). *)
+
+val f64_desc : Buffer.t -> float -> unit
+(** Descending float — the order used by score-sorted inverted lists. *)
+
+val get_f64 : string -> int -> float
+val get_f64_desc : string -> int -> float
+
+val compose : (Buffer.t -> unit) list -> string
+(** Run the field writers in order into a fresh buffer. *)

@@ -1,0 +1,57 @@
+type entry = { mutable bytes : Bytes.t; mutable dirty : bool }
+
+type t = {
+  disk : Disk.t;
+  stats : Stats.t;
+  pool_pages : int;
+  pool : (int, entry) Lru.t;
+}
+
+let create ?(pool_pages = 1024) ~stats disk =
+  { disk; stats; pool_pages; pool = Lru.create ~cap:pool_pages }
+
+let disk t = t.disk
+let pool_pages t = t.pool_pages
+
+let write_back t page_no entry =
+  if entry.dirty then begin
+    Disk.write t.disk page_no entry.bytes;
+    entry.dirty <- false
+  end
+
+let insert t page_no entry =
+  match Lru.add t.pool page_no entry with
+  | None -> ()
+  | Some (victim_no, victim) -> write_back t victim_no victim
+
+let alloc t =
+  let page_no = Disk.alloc t.disk in
+  insert t page_no
+    { bytes = Bytes.make (Disk.page_size t.disk) '\000'; dirty = false };
+  page_no
+
+let get ?(hint = `Auto) t page_no =
+  t.stats.Stats.logical_reads <- t.stats.Stats.logical_reads + 1;
+  match Lru.find t.pool page_no with
+  | Some entry ->
+      t.stats.Stats.cache_hits <- t.stats.Stats.cache_hits + 1;
+      entry.bytes
+  | None ->
+      let bytes = Disk.read ~hint t.disk page_no in
+      insert t page_no { bytes; dirty = false };
+      bytes
+
+let put t page_no bytes =
+  if Bytes.length bytes <> Disk.page_size t.disk then
+    invalid_arg "Pager.put: page size mismatch";
+  match Lru.find t.pool page_no with
+  | Some entry ->
+      entry.bytes <- bytes;
+      entry.dirty <- true
+  | None -> insert t page_no { bytes; dirty = true }
+
+let flush t = Lru.iter (fun page_no entry -> write_back t page_no entry) t.pool
+
+let drop_cache t =
+  flush t;
+  Lru.clear t.pool

@@ -1,0 +1,40 @@
+(** Read-through, write-back page cache over a {!Disk}.
+
+    Plays the role of BerkeleyDB's buffer pool. Reads served from the pool
+    count as cache hits in the shared {!Stats}; misses trigger a physical
+    {!Disk.read}; dirty pages are written back on eviction, {!flush} or
+    {!drop_cache}.
+
+    Buffer ownership: the bytes returned by {!get} belong to the pool and are
+    only valid until the next pager operation — decode them immediately. To
+    modify a page, build fresh contents and {!put} them. *)
+
+type t
+
+val create : ?pool_pages:int -> stats:Stats.t -> Disk.t -> t
+(** [pool_pages] is the cache capacity in pages (default 1024 = 4 MiB).
+    [stats] should be the same record the disk counts physical I/O into, so
+    logical reads, hits and misses land in one place. *)
+
+val disk : t -> Disk.t
+
+val alloc : t -> int
+(** Allocate a fresh zeroed page; it enters the pool clean. *)
+
+val get : ?hint:[ `Auto | `Seq ] -> t -> int -> Bytes.t
+(** Fetch a page, reading through the pool ([hint] forwards to
+    {!Disk.read} on a miss). See ownership note above. *)
+
+val put : t -> int -> Bytes.t -> unit
+(** Install new page contents (marked dirty; written back lazily).
+    @raise Invalid_argument if the buffer is not exactly one page. *)
+
+val flush : t -> unit
+(** Write back all dirty pages (they stay cached). *)
+
+val drop_cache : t -> unit
+(** [flush] then empty the pool — the "cold cache" state the paper puts long
+    inverted lists in before each timed query. *)
+
+val pool_pages : t -> int
+(** Configured capacity. *)

@@ -1,0 +1,48 @@
+type t = {
+  mutable logical_reads : int;
+  mutable cache_hits : int;
+  mutable seq_reads : int;
+  mutable rand_reads : int;
+  mutable page_writes : int;
+}
+
+type cost_model = {
+  seq_read_ms : float;
+  rand_read_ms : float;
+  write_ms : float;
+}
+
+let default_cost = { seq_read_ms = 0.05; rand_read_ms = 8.0; write_ms = 8.0 }
+
+let create () =
+  { logical_reads = 0; cache_hits = 0; seq_reads = 0; rand_reads = 0;
+    page_writes = 0 }
+
+let reset t =
+  t.logical_reads <- 0;
+  t.cache_hits <- 0;
+  t.seq_reads <- 0;
+  t.rand_reads <- 0;
+  t.page_writes <- 0
+
+let snapshot t =
+  { logical_reads = t.logical_reads; cache_hits = t.cache_hits;
+    seq_reads = t.seq_reads; rand_reads = t.rand_reads;
+    page_writes = t.page_writes }
+
+let diff ~after ~before =
+  { logical_reads = after.logical_reads - before.logical_reads;
+    cache_hits = after.cache_hits - before.cache_hits;
+    seq_reads = after.seq_reads - before.seq_reads;
+    rand_reads = after.rand_reads - before.rand_reads;
+    page_writes = after.page_writes - before.page_writes }
+
+let simulated_ms ?(cost = default_cost) t =
+  (float_of_int t.seq_reads *. cost.seq_read_ms)
+  +. (float_of_int t.rand_reads *. cost.rand_read_ms)
+  +. (float_of_int t.page_writes *. cost.write_ms)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "reads=%d hits=%d seq=%d rand=%d writes=%d (sim %.2f ms)" t.logical_reads
+    t.cache_hits t.seq_reads t.rand_reads t.page_writes (simulated_ms t)

@@ -1,0 +1,25 @@
+let write buf n =
+  if n < 0 then invalid_arg "Varint.write: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read s pos =
+  let rec go acc shift =
+    if !pos >= String.length s then invalid_arg "Varint.read: truncated";
+    let b = Char.code s.[!pos] in
+    incr pos;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  go 0 0
+
+let size n =
+  if n < 0 then invalid_arg "Varint.size: negative";
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1

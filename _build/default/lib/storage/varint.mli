@@ -1,0 +1,16 @@
+(** LEB128-style variable-length integer encoding.
+
+    Used to delta-compress document ids in inverted-list postings (the paper
+    credits the ID method's small lists to differential encoding, Section 5.2).
+    Only non-negative integers are supported. *)
+
+val write : Buffer.t -> int -> unit
+(** [write buf n] appends the varint encoding of [n] to [buf].
+    @raise Invalid_argument if [n < 0]. *)
+
+val read : string -> int ref -> int
+(** [read s pos] decodes a varint at [!pos], advancing [pos] past it.
+    @raise Invalid_argument on truncated input. *)
+
+val size : int -> int
+(** [size n] is the number of bytes [write] would emit for [n]. *)

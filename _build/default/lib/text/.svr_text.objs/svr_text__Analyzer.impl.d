@@ -1,0 +1,1 @@
+lib/text/analyzer.ml: Hashtbl List Option Porter Stopwords String Tokenizer

@@ -1,0 +1,1 @@
+lib/text/stopwords.ml: Hashtbl List

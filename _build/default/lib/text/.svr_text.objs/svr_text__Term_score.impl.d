@@ -1,0 +1,1 @@
+lib/text/term_score.ml:

@@ -1,0 +1,1 @@
+lib/text/tokenizer.ml: Buffer Char List String

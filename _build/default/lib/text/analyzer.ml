@@ -1,0 +1,28 @@
+type config = { stem : bool; remove_stopwords : bool; min_token_len : int }
+
+let default = { stem = true; remove_stopwords = true; min_token_len = 2 }
+let raw = { stem = false; remove_stopwords = false; min_token_len = 1 }
+
+let process config token =
+  if String.length token < config.min_token_len then None
+  else if config.remove_stopwords && Stopwords.is_stopword token then None
+  else Some (if config.stem then Porter.stem token else token)
+
+let analyze ?(config = default) text =
+  List.rev
+    (Tokenizer.fold text ~init:[] ~f:(fun acc tok ->
+         match process config tok with Some t -> t :: acc | None -> acc))
+
+let term_frequencies ?(config = default) text =
+  let counts = Hashtbl.create 64 in
+  Tokenizer.fold text ~init:() ~f:(fun () tok ->
+      match process config tok with
+      | None -> ()
+      | Some t ->
+          Hashtbl.replace counts t
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts t)));
+  Hashtbl.fold (fun t n acc -> (t, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let distinct_terms ?(config = default) text =
+  List.map fst (term_frequencies ~config text)

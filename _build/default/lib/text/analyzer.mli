@@ -1,0 +1,28 @@
+(** The full text-analysis pipeline: tokenize, drop stopwords, stem.
+
+    This is what both the indexer and the query parser run, so a query keyword
+    always meets the same surface form that was indexed. *)
+
+type config = {
+  stem : bool;  (** apply {!Porter.stem} *)
+  remove_stopwords : bool;
+  min_token_len : int;  (** drop shorter tokens *)
+}
+
+val default : config
+(** stemming on, stopwords removed, minimum token length 2. *)
+
+val raw : config
+(** No stemming, no stopword removal, length 1 — used by the synthetic
+    benchmark corpus whose "terms" are opaque identifiers. *)
+
+val analyze : ?config:config -> string -> string list
+(** Processed tokens in order of appearance (duplicates preserved). *)
+
+val term_frequencies : ?config:config -> string -> (string * int) list
+(** Distinct processed terms with their in-document frequencies, sorted by
+    term. *)
+
+val distinct_terms : ?config:config -> string -> string list
+(** Sorted distinct processed terms — [Content(id)] in the paper's
+    Algorithm 1. *)

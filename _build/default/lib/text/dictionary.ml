@@ -1,0 +1,31 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable terms : string array;
+  mutable size : int;
+}
+
+let create () = { ids = Hashtbl.create 1024; terms = Array.make 64 ""; size = 0 }
+
+let intern t term =
+  match Hashtbl.find_opt t.ids term with
+  | Some id -> id
+  | None ->
+      if t.size = Array.length t.terms then begin
+        let bigger = Array.make (2 * t.size) "" in
+        Array.blit t.terms 0 bigger 0 t.size;
+        t.terms <- bigger
+      end;
+      let id = t.size in
+      t.terms.(id) <- term;
+      t.size <- id + 1;
+      Hashtbl.replace t.ids term id;
+      id
+
+let find t term = Hashtbl.find_opt t.ids term
+
+let term t id =
+  if id < 0 || id >= t.size then invalid_arg "Dictionary.term: unknown id";
+  t.terms.(id)
+
+let size t = t.size
+let iter f t = Hashtbl.iter f t.ids

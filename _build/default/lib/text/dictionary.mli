@@ -1,0 +1,21 @@
+(** Interning dictionary mapping terms to dense integer ids.
+
+    Ids are assigned in first-seen order starting at 0 and are stable for the
+    dictionary's lifetime. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Id of the term, allocating a new id on first sight. *)
+
+val find : t -> string -> int option
+(** Id of a term if already interned. *)
+
+val term : t -> int -> string
+(** Inverse lookup. @raise Invalid_argument on an unknown id. *)
+
+val size : t -> int
+
+val iter : (string -> int -> unit) -> t -> unit

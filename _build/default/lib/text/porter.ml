@@ -1,0 +1,178 @@
+(* State mirrors the reference implementation: [b] holds the word,
+   [k] is the index of its current last letter, and [j] marks the end of the
+   stem once a suffix has been matched by [ends]. *)
+type state = { b : Bytes.t; mutable k : int; mutable j : int }
+
+let is_lower c = c >= 'a' && c <= 'z'
+
+(* true if b[i] is a consonant *)
+let rec cons st i =
+  match Bytes.get st.b i with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (cons st (i - 1))
+  | _ -> true
+
+(* the measure of b[0..j]: with the stem viewed as [C](VC)^m[V], m equals
+   the number of vowel-to-consonant transitions *)
+let m st =
+  let count = ref 0 in
+  for i = 1 to st.j do
+    if cons st i && not (cons st (i - 1)) then incr count
+  done;
+  !count
+
+let vowel_in_stem st =
+  let rec go i = i <= st.j && (not (cons st i) || go (i + 1)) in
+  go 0
+
+(* b[i-1], b[i] is a double consonant *)
+let doublec st i =
+  i >= 1 && Bytes.get st.b i = Bytes.get st.b (i - 1) && cons st i
+
+(* b[i-2..i] is consonant-vowel-consonant with the last consonant not being
+   w, x or y: the *o condition used to restore a final e (hop(p) -> hope) *)
+let cvc st i =
+  if i < 2 || not (cons st i) || cons st (i - 1) || not (cons st (i - 2)) then
+    false
+  else
+    match Bytes.get st.b i with 'w' | 'x' | 'y' -> false | _ -> true
+
+(* does b[0..k] end with [s]? if so set j to the stem end *)
+let ends st s =
+  let len = String.length s in
+  if len > st.k + 1 then false
+  else if
+    String.equal (Bytes.sub_string st.b (st.k - len + 1) len) s
+  then begin
+    st.j <- st.k - len;
+    true
+  end
+  else false
+
+(* replace b[j+1..k] with [s] *)
+let set_to st s =
+  Bytes.blit_string s 0 st.b (st.j + 1) (String.length s);
+  st.k <- st.j + String.length s
+
+let r st s = if m st > 0 then set_to st s
+
+(* plurals and -ed / -ing *)
+let step1ab st =
+  if Bytes.get st.b st.k = 's' then begin
+    if ends st "sses" then st.k <- st.k - 2
+    else if ends st "ies" then set_to st "i"
+    else if Bytes.get st.b (st.k - 1) <> 's' then st.k <- st.k - 1
+  end;
+  if ends st "eed" then begin
+    if m st > 0 then st.k <- st.k - 1
+  end
+  else if (ends st "ed" || ends st "ing") && vowel_in_stem st then begin
+    st.k <- st.j;
+    if ends st "at" then set_to st "ate"
+    else if ends st "bl" then set_to st "ble"
+    else if ends st "iz" then set_to st "ize"
+    else if doublec st st.k then begin
+      st.k <- st.k - 1;
+      match Bytes.get st.b st.k with
+      | 'l' | 's' | 'z' -> st.k <- st.k + 1
+      | _ -> ()
+    end
+    else if m st = 1 && cvc st st.k then set_to st "e"
+  end
+
+(* terminal y -> i when there is another vowel in the stem *)
+let step1c st =
+  if ends st "y" && vowel_in_stem st then Bytes.set st.b st.k 'i'
+
+let step2 st =
+  if st.k >= 1 then
+    match Bytes.get st.b (st.k - 1) with
+    | 'a' ->
+        if ends st "ational" then r st "ate"
+        else if ends st "tional" then r st "tion"
+    | 'c' ->
+        if ends st "enci" then r st "ence"
+        else if ends st "anci" then r st "ance"
+    | 'e' -> if ends st "izer" then r st "ize"
+    | 'l' ->
+        if ends st "bli" then r st "ble"
+        else if ends st "alli" then r st "al"
+        else if ends st "entli" then r st "ent"
+        else if ends st "eli" then r st "e"
+        else if ends st "ousli" then r st "ous"
+    | 'o' ->
+        if ends st "ization" then r st "ize"
+        else if ends st "ation" then r st "ate"
+        else if ends st "ator" then r st "ate"
+    | 's' ->
+        if ends st "alism" then r st "al"
+        else if ends st "iveness" then r st "ive"
+        else if ends st "fulness" then r st "ful"
+        else if ends st "ousness" then r st "ous"
+    | 't' ->
+        if ends st "aliti" then r st "al"
+        else if ends st "iviti" then r st "ive"
+        else if ends st "biliti" then r st "ble"
+    | 'g' -> if ends st "logi" then r st "log"
+    | _ -> ()
+
+let step3 st =
+  match Bytes.get st.b st.k with
+  | 'e' ->
+      if ends st "icate" then r st "ic"
+      else if ends st "ative" then r st ""
+      else if ends st "alize" then r st "al"
+  | 'i' -> if ends st "iciti" then r st "ic"
+  | 'l' -> if ends st "ical" then r st "ic" else if ends st "ful" then r st ""
+  | 's' -> if ends st "ness" then r st ""
+  | _ -> ()
+
+let step4 st =
+  if st.k >= 1 then begin
+    let matched =
+      match Bytes.get st.b (st.k - 1) with
+      | 'a' -> ends st "al"
+      | 'c' -> ends st "ance" || ends st "ence"
+      | 'e' -> ends st "er"
+      | 'i' -> ends st "ic"
+      | 'l' -> ends st "able" || ends st "ible"
+      | 'n' ->
+          ends st "ant" || ends st "ement" || ends st "ment" || ends st "ent"
+      | 'o' ->
+          (ends st "ion"
+          && st.j >= 0
+          && (Bytes.get st.b st.j = 's' || Bytes.get st.b st.j = 't'))
+          || ends st "ou"
+      | 's' -> ends st "ism"
+      | 't' -> ends st "ate" || ends st "iti"
+      | 'u' -> ends st "ous"
+      | 'v' -> ends st "ive"
+      | 'z' -> ends st "ize"
+      | _ -> false
+    in
+    if matched && m st > 1 then st.k <- st.j
+  end
+
+let step5 st =
+  st.j <- st.k;
+  if Bytes.get st.b st.k = 'e' then begin
+    let a = m st in
+    if a > 1 || (a = 1 && not (cvc st (st.k - 1))) then st.k <- st.k - 1
+  end;
+  if Bytes.get st.b st.k = 'l' && doublec st st.k && m st > 1 then
+    st.k <- st.k - 1
+
+let stem word =
+  let n = String.length word in
+  if n <= 2 then word
+  else if not (String.for_all is_lower word) then word
+  else begin
+    let st = { b = Bytes.of_string word; k = n - 1; j = 0 } in
+    step1ab st;
+    step1c st;
+    step2 st;
+    step3 st;
+    step4 st;
+    step5 st;
+    Bytes.sub_string st.b 0 (st.k + 1)
+  end

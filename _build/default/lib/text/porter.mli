@@ -1,0 +1,9 @@
+(** The Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+    stripping", 1980), ported from the author's reference C implementation,
+    including its documented departures (bli->ble, logi->log).
+
+    Input should be a lowercase token (as produced by {!Tokenizer}); bytes
+    outside [a-z] make the word pass through unchanged. *)
+
+val stem : string -> string
+(** [stem w] is the stem of [w]. Words of length <= 2 are returned as is. *)

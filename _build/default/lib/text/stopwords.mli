@@ -1,0 +1,6 @@
+(** The classic English stopword list (lowercased tokens). *)
+
+val is_stopword : string -> bool
+
+val all : string list
+(** The list itself, for tests and tooling. *)

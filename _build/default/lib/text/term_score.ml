@@ -1,0 +1,16 @@
+let normalized_tf ~tf ~max_tf =
+  if tf < 1 || tf > max_tf then invalid_arg "Term_score.normalized_tf";
+  float_of_int tf /. float_of_int max_tf
+
+let idf ~n_docs ~doc_freq =
+  if doc_freq <= 0 then 0.0
+  else log (1.0 +. (float_of_int n_docs /. float_of_int doc_freq))
+
+let tfidf ~tf ~max_tf ~n_docs ~doc_freq =
+  normalized_tf ~tf ~max_tf *. idf ~n_docs ~doc_freq
+
+let quantize x =
+  let clamped = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x in
+  int_of_float ((clamped *. 65535.0) +. 0.5)
+
+let dequantize q = float_of_int q /. 65535.0

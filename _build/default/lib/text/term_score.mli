@@ -1,0 +1,20 @@
+(** Term-based (IR-style) scores: normalized TF, IDF and TF-IDF.
+
+    The *-TermScore index methods store a per-posting term score; we use the
+    classic max-normalized term frequency, quantized to 16 bits for compact
+    postings (Section 4.3.3 stores "the normalized TF score" per posting). *)
+
+val normalized_tf : tf:int -> max_tf:int -> float
+(** [tf / max_tf], in (0, 1]. @raise Invalid_argument unless
+    [1 <= tf <= max_tf]. *)
+
+val idf : n_docs:int -> doc_freq:int -> float
+(** [log (1 + n_docs / doc_freq)]; 0 when the term occurs nowhere. *)
+
+val tfidf : tf:int -> max_tf:int -> n_docs:int -> doc_freq:int -> float
+
+val quantize : float -> int
+(** Map a score in [0, 1] to 0..65535 (clamping). *)
+
+val dequantize : int -> float
+(** Inverse of {!quantize} up to quantization error (< 1/65535). *)

@@ -1,0 +1,32 @@
+let max_token_len = 64
+
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let fold text ~init ~f =
+  let n = String.length text in
+  let buf = Buffer.create max_token_len in
+  let flush acc =
+    if Buffer.length buf = 0 then acc
+    else begin
+      let tok = Buffer.contents buf in
+      Buffer.clear buf;
+      f acc tok
+    end
+  in
+  let rec go i acc =
+    if i >= n then flush acc
+    else begin
+      let c = text.[i] in
+      if is_alnum c then begin
+        if Buffer.length buf < max_token_len then Buffer.add_char buf (lower c);
+        go (i + 1) acc
+      end
+      else go (i + 1) (flush acc)
+    end
+  in
+  go 0 init
+
+let tokens text = List.rev (fold text ~init:[] ~f:(fun acc t -> t :: acc))

@@ -1,0 +1,13 @@
+(** Lexical analysis of text-column contents.
+
+    Tokens are maximal runs of ASCII letters and digits, lowercased, and
+    truncated to {!max_token_len} bytes (so tokens are always safe to embed in
+    {!Svr_storage.Order_key.term} fields). *)
+
+val max_token_len : int
+
+val tokens : string -> string list
+(** Tokens in order of appearance (with duplicates). *)
+
+val fold : string -> init:'a -> f:('a -> string -> 'a) -> 'a
+(** Fold over tokens without building a list. *)

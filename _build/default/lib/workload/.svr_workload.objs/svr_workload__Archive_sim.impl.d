@@ -1,0 +1,1 @@
+lib/workload/archive_sim.ml: Array Buffer Printf Rng Seq String

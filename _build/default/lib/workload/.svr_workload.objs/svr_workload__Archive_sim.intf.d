@@ -1,0 +1,1 @@
+lib/workload/archive_sim.mli: Seq

@@ -1,0 +1,1 @@
+lib/workload/corpus_gen.ml: Array Buffer Float Hashtbl Printf Rng Seq Svr_text Zipf

@@ -1,0 +1,1 @@
+lib/workload/corpus_gen.mli: Seq Svr_text

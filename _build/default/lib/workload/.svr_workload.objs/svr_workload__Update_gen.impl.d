@@ -1,0 +1,1 @@
+lib/workload/update_gen.ml: Array Float Fun Rng Zipf

@@ -1,0 +1,1 @@
+lib/workload/update_gen.mli:

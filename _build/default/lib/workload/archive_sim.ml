@@ -1,0 +1,120 @@
+type movie_row = {
+  title : string;
+  description : string;
+  mutable rating_sum : float;
+  mutable rating_count : int;
+  mutable visits : int;
+  mutable downloads : int;
+}
+
+type db = { movies : movie_row array; seed : int }
+
+type event = Visit of int | Download of int | Review of int * float
+
+let subjects =
+  [| "golden"; "gate"; "bridge"; "city"; "river"; "harvest"; "thrift";
+     "amateur"; "silent"; "journey"; "midnight"; "electric"; "desert";
+     "ocean"; "mountain"; "railway"; "carnival"; "harbor"; "winter";
+     "atomic" |]
+
+let nouns =
+  [| "film"; "movie"; "documentary"; "newsreel"; "short"; "feature";
+     "chronicle"; "story"; "picture"; "recording" |]
+
+let verbs =
+  [| "explores"; "follows"; "captures"; "documents"; "portrays"; "revisits";
+     "celebrates"; "examines" |]
+
+let fillers =
+  [| "history"; "people"; "streets"; "industry"; "music"; "community";
+     "machines"; "travel"; "archive"; "footage"; "america"; "century";
+     "factory"; "festival"; "science"; "nature" |]
+
+let pick rng arr = arr.(Rng.int rng (Array.length arr))
+
+let make_movie rng =
+  let title =
+    String.concat " " [ pick rng subjects; pick rng subjects; pick rng nouns ]
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  let sentences = 2 + Rng.int rng 4 in
+  for _ = 1 to sentences do
+    Buffer.add_string buf
+      (Printf.sprintf " this %s %s the %s of the %s %s and its %s" (pick rng nouns)
+         (pick rng verbs) (pick rng fillers) (pick rng subjects) (pick rng fillers)
+         (pick rng fillers))
+  done;
+  let description = Buffer.contents buf in
+  { title; description;
+    rating_sum = float_of_int (1 + Rng.int rng 5) *. float_of_int (1 + Rng.int rng 3);
+    rating_count = 1 + Rng.int rng 3;
+    visits = Rng.int rng 2000;
+    downloads = Rng.int rng 500 }
+
+let generate ?(seed = 99) ?(replicate = 1) ~n_movies () =
+  if n_movies < 1 then invalid_arg "Archive_sim.generate: n_movies < 1";
+  if replicate < 1 then invalid_arg "Archive_sim.generate: replicate < 1";
+  let rng = Rng.create seed in
+  let originals = Array.init n_movies (fun _ -> make_movie rng) in
+  let movies =
+    Array.init (n_movies * replicate) (fun i ->
+        let o = originals.(i mod n_movies) in
+        (* replicas share text but get independent popularity counters *)
+        { o with
+          visits = Rng.int rng 2000;
+          downloads = Rng.int rng 500;
+          rating_sum = float_of_int (1 + Rng.int rng 15);
+          rating_count = 1 + Rng.int rng 3 })
+  in
+  { movies; seed }
+
+let n_movies db = Array.length db.movies
+let title db m = db.movies.(m).title
+let description db m = db.movies.(m).description
+
+(* Section 3.1: Agg(s1, s2, s3) = s1 * 100 + s2 / 2 + s3 *)
+let svr_score db m =
+  let row = db.movies.(m) in
+  let avg_rating =
+    if row.rating_count = 0 then 0.0
+    else row.rating_sum /. float_of_int row.rating_count
+  in
+  (avg_rating *. 100.0)
+  +. (float_of_int row.visits /. 2.0)
+  +. float_of_int row.downloads
+
+let corpus_seq db =
+  Seq.init (n_movies db) (fun m -> (m, description db m))
+
+let event_trace ?(seed = 17) ?(flash_pct = 0.5) db ~n_events =
+  let rng = Rng.create seed in
+  let n = n_movies db in
+  let flash_size = max 1 (n / 100) in
+  let flash = Array.init flash_size (fun _ -> Rng.int rng n) in
+  Array.init n_events (fun _ ->
+      let m =
+        if Rng.float rng 1.0 < flash_pct then flash.(Rng.int rng flash_size)
+        else Rng.int rng n
+      in
+      match Rng.int rng 10 with
+      | 0 | 1 -> Download m
+      | 2 -> Review (m, float_of_int (1 + Rng.int rng 5))
+      | _ -> Visit m)
+
+let apply_event db event =
+  let m, row =
+    match event with
+    | Visit m ->
+        db.movies.(m).visits <- db.movies.(m).visits + 1;
+        (m, db.movies.(m))
+    | Download m ->
+        db.movies.(m).downloads <- db.movies.(m).downloads + 1;
+        (m, db.movies.(m))
+    | Review (m, rating) ->
+        db.movies.(m).rating_sum <- db.movies.(m).rating_sum +. rating;
+        db.movies.(m).rating_count <- db.movies.(m).rating_count + 1;
+        (m, db.movies.(m))
+  in
+  ignore row;
+  (m, svr_score db m)

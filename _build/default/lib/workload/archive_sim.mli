@@ -1,0 +1,41 @@
+(** A synthetic stand-in for the Internet Archive data set (Sections 1, 5.1,
+    5.3.7).
+
+    The real 60 MB archive database is not redistributable; this module
+    generates a relational mini-archive with the same shape: a Movies table
+    whose description column is the indexed text, Reviews rows carrying
+    ratings, and a Statistics table with visit/download counters. SVR scores
+    follow the paper's Section 3.1 example:
+    [score = avg(rating) * 100 + nVisit / 2 + nDownload]. The paper scaled
+    the real set by replicating the text 10x and found it behaved like the
+    synthetic set; [replicate] mirrors that scaling.
+
+    {!event_trace} produces a visit/download/review stream with a flash-crowd
+    bias — a few movies suddenly absorbing most of the traffic — which is the
+    motivating update pattern of the paper. *)
+
+type db
+
+type event = Visit of int | Download of int | Review of int * float
+
+val generate : ?seed:int -> ?replicate:int -> n_movies:int -> unit -> db
+(** [replicate] clones each movie's text under fresh ids (default 1). *)
+
+val n_movies : db -> int
+
+val title : db -> int -> string
+
+val description : db -> int -> string
+
+val svr_score : db -> int -> float
+(** Current score under the example aggregation function. *)
+
+val corpus_seq : db -> (int * string) Seq.t
+(** (movie id, description) rows for index building. *)
+
+val event_trace : ?seed:int -> ?flash_pct:float -> db -> n_events:int -> event array
+(** [flash_pct] of the events hit a small flash-crowd set (default 0.5). *)
+
+val apply_event : db -> event -> int * float
+(** Mutates the underlying tables and returns (movie, new SVR score) — the
+    notification the materialized view would send the index. *)

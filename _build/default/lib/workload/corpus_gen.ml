@@ -1,0 +1,68 @@
+type params = {
+  n_docs : int;
+  vocab_size : int;
+  terms_per_doc : int;
+  term_theta : float;
+  score_max : float;
+  score_theta : float;
+  seed : int;
+}
+
+let paper_defaults =
+  { n_docs = 100_000; vocab_size = 200_000; terms_per_doc = 2000;
+    term_theta = 0.1; score_max = 100_000.0; score_theta = 0.75; seed = 42 }
+
+let scaled ?(seed = 42) ~factor () =
+  if factor < 1 then invalid_arg "Corpus_gen.scaled: factor < 1";
+  let p = paper_defaults in
+  { p with
+    n_docs = max 100 (p.n_docs / factor);
+    vocab_size = max 500 (p.vocab_size / factor);
+    terms_per_doc = max 20 (p.terms_per_doc / (1 + (factor / 10)));
+    seed }
+
+let term rank = Printf.sprintf "t%06d" rank
+
+let analyzer = Svr_text.Analyzer.raw
+
+(* Zipf tables are memoized per (theta, n): corpus generation calls doc_text
+   once per document and must not rebuild a 200k-entry CDF every time. *)
+let zipf_cache : (float * int, Zipf.t) Hashtbl.t = Hashtbl.create 8
+
+let zipf ~theta ~n =
+  match Hashtbl.find_opt zipf_cache (theta, n) with
+  | Some z -> z
+  | None ->
+      let z = Zipf.create ~theta ~n in
+      Hashtbl.add zipf_cache (theta, n) z;
+      z
+
+let doc_text p doc =
+  if doc < 0 || doc >= p.n_docs then invalid_arg "Corpus_gen.doc_text: bad doc id";
+  let rng = Rng.split (Rng.create p.seed) doc in
+  let z = zipf ~theta:p.term_theta ~n:p.vocab_size in
+  let buf = Buffer.create (p.terms_per_doc * 8) in
+  for i = 0 to p.terms_per_doc - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (term (Zipf.sample z rng))
+  done;
+  Buffer.contents buf
+
+let scores p =
+  (* score *values* follow Zipf(score_theta) over (0, score_max]:
+     P(score = v) proportional to v^-theta, sampled by the inverse CDF
+     (for theta < 1, P(score <= x) = (x / score_max)^(1 - theta)), so most
+     documents score low while a heavy tail reaches score_max — the shape the
+     paper measured on the Internet Archive with theta = 0.75 *)
+  if p.score_theta >= 1.0 then
+    invalid_arg "Corpus_gen.scores: score_theta must be < 1";
+  let exponent = 1.0 /. (1.0 -. p.score_theta) in
+  let rng = Rng.split (Rng.create p.seed) (-1) in
+  Array.init p.n_docs (fun _ ->
+      p.score_max *. Float.pow (Rng.float rng 1.0) exponent)
+
+let corpus_seq p =
+  Seq.init p.n_docs (fun doc -> (doc, doc_text p doc))
+
+let frequent_terms p ~pool =
+  Array.init (min pool p.vocab_size) (fun i -> term (i + 1))

@@ -1,0 +1,50 @@
+(** The synthetic data set of Section 5.1 / Figure 6.
+
+    The generated table is R(Id, StructuredColumn, TextColumn): each text
+    column holds [terms_per_doc] tokens (duplicates possible) drawn from a
+    [vocab_size]-term vocabulary with Zipf(term_theta) frequencies; document
+    scores lie in [0, score_max] following a Zipf(score_theta)-shaped power
+    law (rank r gets score_max / r^score_theta, ranks randomly assigned).
+
+    Texts are produced lazily and deterministically from (seed, doc id), so a
+    paper-scale corpus never needs to be materialized. The paper's defaults —
+    100k docs, 200k terms, 2000 terms/doc, Zipf 0.1 terms, Zipf 0.75 scores,
+    scores up to 100000 — are {!paper_defaults}; {!scaled} shrinks the doc
+    count and document length by a factor while keeping the distributions,
+    which is how the benchmark harness fits the experiments in minutes. *)
+
+type params = {
+  n_docs : int;
+  vocab_size : int;
+  terms_per_doc : int;
+  term_theta : float;
+  score_max : float;
+  score_theta : float;
+  seed : int;
+}
+
+val paper_defaults : params
+
+val scaled : ?seed:int -> factor:int -> unit -> params
+(** [n_docs] and [terms_per_doc] divided by roughly sqrt-proportional factors
+    so list lengths stay meaningful; vocabulary shrinks with the factor. *)
+
+val term : int -> string
+(** Token for a vocabulary rank (1-based): rank 1 is the most frequent. *)
+
+val doc_text : params -> int -> string
+(** Deterministic text of a document id in [0, n_docs). *)
+
+val scores : params -> float array
+(** Score of every document (index = doc id). Deterministic. *)
+
+val corpus_seq : params -> (int * string) Seq.t
+(** All documents, generated on demand. *)
+
+val frequent_terms : params -> pool:int -> string array
+(** The [pool] most frequent vocabulary terms — the keyword pools behind the
+    paper's unselective (350) / medium (1600) / selective (15000) query
+    classes. *)
+
+val analyzer : Svr_text.Analyzer.config
+(** Synthetic tokens are opaque identifiers: no stemming or stopwords. *)

@@ -1,0 +1,37 @@
+type selectivity = Unselective | Medium | Selective
+
+let pool_size (cp : Corpus_gen.params) sel =
+  (* 350 / 1600 / 15000 at the paper's 200k vocabulary, proportional below;
+     graded floors keep the three classes distinct on tiny scaled corpora *)
+  let base, floor =
+    match sel with
+    | Unselective -> (350, 8)
+    | Medium -> (1600, 20)
+    | Selective -> (15000, 80)
+  in
+  min cp.Corpus_gen.vocab_size
+    (max floor (base * cp.Corpus_gen.vocab_size / 200_000))
+
+type params = {
+  n_queries : int;
+  keywords_per_query : int;
+  selectivity : selectivity;
+  seed : int;
+}
+
+let defaults =
+  { n_queries = 50; keywords_per_query = 2; selectivity = Medium; seed = 11 }
+
+let generate p cp =
+  let pool = Corpus_gen.frequent_terms cp ~pool:(pool_size cp p.selectivity) in
+  let rng = Rng.create p.seed in
+  Array.init p.n_queries (fun _ ->
+      let rec draw acc remaining =
+        if remaining = 0 then acc
+        else begin
+          let kw = pool.(Rng.int rng (Array.length pool)) in
+          if List.mem kw acc then draw acc remaining
+          else draw (kw :: acc) (remaining - 1)
+        end
+      in
+      draw [] (min p.keywords_per_query (Array.length pool)))

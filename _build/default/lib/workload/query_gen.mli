@@ -1,0 +1,23 @@
+(** Keyword-query workloads (Section 5.1).
+
+    Keywords are drawn uniformly from a pool of the most frequent vocabulary
+    terms. The paper's three classes, at full scale: unselective = top 350
+    terms, medium = top 1600, selective = top 15000; pools scale with the
+    vocabulary when the corpus is scaled down. *)
+
+type selectivity = Unselective | Medium | Selective
+
+val pool_size : Corpus_gen.params -> selectivity -> int
+(** The class's pool size, scaled in proportion to the vocabulary. *)
+
+type params = {
+  n_queries : int;
+  keywords_per_query : int;  (** the paper uses 2 *)
+  selectivity : selectivity;
+  seed : int;
+}
+
+val defaults : params
+
+val generate : params -> Corpus_gen.params -> string list array
+(** [n_queries] keyword lists (distinct keywords within a query). *)

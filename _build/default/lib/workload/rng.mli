@@ -1,0 +1,25 @@
+(** Deterministic splitmix64 random source.
+
+    Every generator in this library is seeded explicitly so workloads are
+    reproducible across runs and machines (the synthetic corpus is generated
+    on the fly, document by document, from (seed, doc id)). *)
+
+type t
+
+val create : int -> t
+
+val split : t -> int -> t
+(** An independent stream derived from a parent seed and an index — how
+    per-document text streams are derived without generating in order. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool

@@ -1,0 +1,49 @@
+type focus_mode = Focus_increase | Focus_decrease | Focus_mixed
+
+type params = {
+  n_updates : int;
+  mean_step : float;
+  zipf_theta : float;
+  focus_set_pct : float;
+  focus_update_pct : float;
+  focus_mode : focus_mode;
+  seed : int;
+}
+
+let defaults =
+  { n_updates = 100_000; mean_step = 100.0; zipf_theta = 0.75;
+    focus_set_pct = 0.01; focus_update_pct = 0.20;
+    focus_mode = Focus_increase; seed = 7 }
+
+type op = { doc : int; delta : float }
+
+let generate p ~scores =
+  if p.n_updates < 0 then invalid_arg "Update_gen: n_updates < 0";
+  let n_docs = Array.length scores in
+  if n_docs = 0 then invalid_arg "Update_gen: empty collection";
+  let rng = Rng.create p.seed in
+  (* doc ids ordered by descending build-time score: Zipf rank 1 = hottest *)
+  let by_score = Array.init n_docs Fun.id in
+  Array.sort (fun a b -> Float.compare scores.(b) scores.(a)) by_score;
+  let zipf = Zipf.create ~theta:p.zipf_theta ~n:n_docs in
+  let focus_size = max 1 (int_of_float (p.focus_set_pct *. float_of_int n_docs)) in
+  let focus = Array.init focus_size (fun _ -> Rng.int rng n_docs) in
+  let step () = Rng.float rng (2.0 *. p.mean_step) in
+  Array.init p.n_updates (fun _ ->
+      if Rng.float rng 1.0 < p.focus_update_pct then begin
+        let i = Rng.int rng focus_size in
+        let doc = focus.(i) in
+        let up =
+          match p.focus_mode with
+          | Focus_increase -> true
+          | Focus_decrease -> false
+          | Focus_mixed -> i mod 2 = 0
+        in
+        { doc; delta = (if up then step () else -.step ()) }
+      end
+      else begin
+        let doc = by_score.(Zipf.sample zipf rng - 1) in
+        { doc; delta = (if Rng.bool rng then step () else -.step ()) }
+      end)
+
+let apply op ~current = Float.max 0.0 (current +. op.delta)

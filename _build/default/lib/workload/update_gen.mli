@@ -1,0 +1,34 @@
+(** The score-update workload of Section 5.1.
+
+    Updates pick documents with a Zipf bias toward high current build-time
+    scores ("documents with higher scores were updated more frequently",
+    matching the Internet Archive logs); each update moves the score by a
+    uniformly distributed step in [0, 2 * mean_step], up or down with equal
+    probability. A *focus set* of documents — newly popular items — receives
+    a fixed share of the updates regardless of score, moving strictly up
+    (default), strictly down, or half each way. *)
+
+type focus_mode = Focus_increase | Focus_decrease | Focus_mixed
+
+type params = {
+  n_updates : int;
+  mean_step : float;
+  zipf_theta : float;  (** bias of doc choice toward high scores *)
+  focus_set_pct : float;  (** share of the collection in the focus set *)
+  focus_update_pct : float;  (** share of updates going to the focus set *)
+  focus_mode : focus_mode;
+  seed : int;
+}
+
+val defaults : params
+(** Figure 6 defaults: 100k updates, mean step 100, Zipf 0.75, focus set 1%
+    of docs taking 20% of updates, strictly increasing. *)
+
+type op = { doc : int; delta : float }
+
+val generate : params -> scores:float array -> op array
+(** [scores] are the build-time scores (index = doc id); deltas are to be
+    applied sequentially, clamping at zero. *)
+
+val apply : op -> current:float -> float
+(** The new score: [max 0 (current + delta)]. *)

@@ -1,0 +1,31 @@
+type t = { n : int; cdf : float array }
+
+let create ~theta ~n =
+  if n < 1 then invalid_arg "Zipf.create: n < 1";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta < 0";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int k) theta);
+    cdf.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  Array.iteri (fun i c -> cdf.(i) <- c /. total) cdf;
+  { n; cdf }
+
+let n t = t.n
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* first rank whose cumulative probability reaches u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo + 1
+
+let pmf t k =
+  if k < 1 || k > t.n then 0.0
+  else if k = 1 then t.cdf.(0)
+  else t.cdf.(k - 1) -. t.cdf.(k - 2)

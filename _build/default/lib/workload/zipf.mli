@@ -1,0 +1,21 @@
+(** Zipf-distributed sampling over ranks 1..n: P(rank = k) proportional to
+    1 / k^theta.
+
+    Used for term frequencies (theta = 0.1, "as in English"), document score
+    distributions (theta = 0.75, as observed in the Internet Archive data)
+    and the update workload's bias toward high-scoring documents
+    (Section 5.1 / Figure 6). *)
+
+type t
+
+val create : theta:float -> n:int -> t
+(** Precomputes the CDF. @raise Invalid_argument if [n < 1] or
+    [theta < 0]. *)
+
+val sample : t -> Rng.t -> int
+(** A rank in [1, n]. *)
+
+val n : t -> int
+
+val pmf : t -> int -> float
+(** Probability of a rank, for statistical tests. *)

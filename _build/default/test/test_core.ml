@@ -1,0 +1,706 @@
+(* Tests for the SVR index family: unit tests for the support structures and
+   oracle-equivalence property tests for every method under adversarial
+   update histories. *)
+
+module Core = Svr_core
+module St = Svr_storage
+
+let check = Alcotest.check
+let qtest ?(count = 60) ?print name prop gen =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen prop)
+
+(* raw tokens, tiny thresholds so small corpora exercise every code path *)
+let test_cfg =
+  { Core.Config.analyzer = Svr_text.Analyzer.raw;
+    threshold_ratio = 2.0;
+    chunk_ratio = 2.0;
+    min_chunk_docs = 2;
+    fancy_size = 3;
+    ts_weight = 50.0 }
+
+let small_env () =
+  St.Env.create ~table_pool_pages:256 ~blob_pool_pages:64 ()
+
+(* ------------------------------------------------------------------ *)
+(* Result heap *)
+
+let test_result_heap () =
+  let h = Core.Result_heap.create ~k:3 in
+  check Alcotest.bool "not full" false (Core.Result_heap.is_full h);
+  check (Alcotest.float 0.0) "min empty" neg_infinity (Core.Result_heap.min_score h);
+  Core.Result_heap.offer h ~doc:1 ~score:10.0;
+  Core.Result_heap.offer h ~doc:2 ~score:30.0;
+  Core.Result_heap.offer h ~doc:3 ~score:20.0;
+  check Alcotest.bool "full" true (Core.Result_heap.is_full h);
+  check (Alcotest.float 0.0) "min" 10.0 (Core.Result_heap.min_score h);
+  Core.Result_heap.offer h ~doc:4 ~score:5.0;
+  check Alcotest.int "reject below min" 3 (Core.Result_heap.size h);
+  Core.Result_heap.offer h ~doc:5 ~score:25.0;
+  check
+    Alcotest.(list (pair int (float 0.0)))
+    "evicts worst"
+    [ (2, 30.0); (5, 25.0); (3, 20.0) ]
+    (Core.Result_heap.to_list h)
+
+let test_result_heap_dedup () =
+  let h = Core.Result_heap.create ~k:2 in
+  Core.Result_heap.offer h ~doc:7 ~score:10.0;
+  Core.Result_heap.offer h ~doc:7 ~score:12.0;
+  Core.Result_heap.offer h ~doc:7 ~score:11.0;
+  check Alcotest.int "one entry" 1 (Core.Result_heap.size h);
+  check Alcotest.(list (pair int (float 0.0))) "kept best" [ (7, 12.0) ]
+    (Core.Result_heap.to_list h)
+
+let test_result_heap_ties () =
+  let h = Core.Result_heap.create ~k:2 in
+  Core.Result_heap.offer h ~doc:9 ~score:5.0;
+  Core.Result_heap.offer h ~doc:3 ~score:5.0;
+  Core.Result_heap.offer h ~doc:6 ~score:5.0;
+  (* smaller doc ids win ties *)
+  check Alcotest.(list (pair int (float 0.0))) "tie break" [ (3, 5.0); (6, 5.0) ]
+    (Core.Result_heap.to_list h)
+
+(* heap behaves like sort-and-take on random offers *)
+let heap_model_prop offers =
+  let k = 5 in
+  let h = Core.Result_heap.create ~k in
+  List.iter (fun (doc, score) -> Core.Result_heap.offer h ~doc ~score) offers;
+  (* model: best score per doc, sorted *)
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun (doc, score) ->
+      match Hashtbl.find_opt best doc with
+      | Some old when old >= score -> ()
+      | _ -> Hashtbl.replace best doc score)
+    offers;
+  let expect =
+    Hashtbl.fold (fun d s acc -> (d, s) :: acc) best []
+    |> List.sort (fun (d1, s1) (d2, s2) ->
+           match Float.compare s2 s1 with 0 -> compare d1 d2 | c -> c)
+    |> List.filteri (fun i _ -> i < k)
+  in
+  Core.Result_heap.to_list h = expect
+
+(* ------------------------------------------------------------------ *)
+(* Chunk policy *)
+
+let test_chunk_policy_ratio () =
+  let scores = Array.init 1000 (fun i -> float_of_int (i + 1)) in
+  let p = Core.Chunk_policy.ratio_based ~ratio:4.0 ~min_docs:10 scores in
+  check Alcotest.bool "several chunks" true (Core.Chunk_policy.n_chunks p >= 3);
+  (* monotone chunk ids *)
+  check Alcotest.int "low score -> chunk 1" 1 (Core.Chunk_policy.chunk_of p 0.0);
+  let top = Core.Chunk_policy.chunk_of p 1000.0 in
+  check Alcotest.int "top score -> top chunk" (Core.Chunk_policy.n_chunks p) top;
+  check Alcotest.bool "huge score stays in top chunk" true
+    (Core.Chunk_policy.chunk_of p 1e12 = top);
+  (* boundaries *)
+  check (Alcotest.float 0.0) "low of chunk 1" 0.0 (Core.Chunk_policy.low p 1);
+  check (Alcotest.float 0.0) "low above top" infinity
+    (Core.Chunk_policy.low p (top + 1));
+  (* stop bound of the top two chunks is infinite: their docs never move *)
+  check (Alcotest.float 0.0) "stop bound top" infinity
+    (Core.Chunk_policy.stop_bound p ~cid:top);
+  check (Alcotest.float 0.0) "stop bound top-1" infinity
+    (Core.Chunk_policy.stop_bound p ~cid:(top - 1));
+  check Alcotest.bool "stop bound finite lower down" true
+    (Core.Chunk_policy.stop_bound p ~cid:(top - 2) < infinity)
+
+let test_chunk_policy_min_docs () =
+  (* extreme skew: most docs at 1.0, a couple huge *)
+  let scores = Array.append (Array.make 500 1.0) [| 1e6; 2e6 |] in
+  let p = Core.Chunk_policy.ratio_based ~ratio:2.0 ~min_docs:100 scores in
+  (* every chunk boundary leaves at least min_docs below it *)
+  check Alcotest.bool "few chunks under skew" true (Core.Chunk_policy.n_chunks p <= 3)
+
+let test_chunk_policy_baselines () =
+  let scores = Array.init 100 (fun i -> float_of_int i) in
+  let ew = Core.Chunk_policy.equal_width ~n_chunks:4 scores in
+  check Alcotest.int "equal width count" 4 (Core.Chunk_policy.n_chunks ew);
+  let ep = Core.Chunk_policy.equal_population ~n_chunks:4 scores in
+  check Alcotest.int "equal population count" 4 (Core.Chunk_policy.n_chunks ep);
+  check Alcotest.int "ep top chunk" 4 (Core.Chunk_policy.chunk_of ep 99.0)
+
+let chunk_policy_sound_prop scores =
+  let scores = Array.of_list (List.map (fun s -> abs_float s) scores) in
+  if Array.length scores = 0 then true
+  else begin
+    let p = Core.Chunk_policy.ratio_based ~ratio:3.0 ~min_docs:2 scores in
+    Array.for_all
+      (fun s ->
+        let c = Core.Chunk_policy.chunk_of p s in
+        c >= 1
+        && c <= Core.Chunk_policy.n_chunks p
+        && Core.Chunk_policy.low p c <= s
+        && s < Core.Chunk_policy.low p (c + 1))
+      scores
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Posting codecs *)
+
+let blob_fixture () =
+  let stats = St.Stats.create () in
+  let disk = St.Disk.create ~name:"b" stats in
+  St.Blob_store.create (St.Pager.create ~pool_pages:8 ~stats disk)
+
+let drain next =
+  let rec go acc = match next () with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []
+
+let test_id_codec () =
+  let store = blob_fixture () in
+  let postings = [| (3, 100); (7, 200); (8, 0); (1000000, 65535) |] in
+  List.iter
+    (fun with_ts ->
+      let id = St.Blob_store.put store (Core.Posting_codec.Id_codec.encode ~with_ts postings) in
+      let got =
+        drain (Core.Posting_codec.Id_codec.stream ~with_ts (St.Blob_store.reader store id))
+      in
+      let expect =
+        Array.to_list (if with_ts then postings else Array.map (fun (d, _) -> (d, 0)) postings)
+      in
+      check Alcotest.(list (pair int int)) (Printf.sprintf "with_ts=%b" with_ts) expect got)
+    [ true; false ];
+  Alcotest.check_raises "non-ascending rejected"
+    (Invalid_argument "Id_codec: doc ids must ascend") (fun () ->
+      ignore (Core.Posting_codec.Id_codec.encode ~with_ts:false [| (5, 0); (5, 0) |]))
+
+let test_score_codec () =
+  let store = blob_fixture () in
+  let postings = [| (90.5, 2); (90.5, 7); (10.25, 1); (0.0, 9) |] in
+  let id = St.Blob_store.put store (Core.Posting_codec.Score_codec.encode postings) in
+  let got = drain (Core.Posting_codec.Score_codec.stream (St.Blob_store.reader store id)) in
+  check Alcotest.(list (pair (float 0.0) int)) "roundtrip" (Array.to_list postings) got
+
+let test_chunk_codec () =
+  let store = blob_fixture () in
+  let groups = [| (9, [| (1, 5); (4, 6) |]); (7, [| (2, 7) |]); (1, [| (1, 8); (9, 9) |]) |] in
+  let id =
+    St.Blob_store.put store (Core.Posting_codec.Chunk_codec.encode ~with_ts:true groups)
+  in
+  let got =
+    drain (Core.Posting_codec.Chunk_codec.stream ~with_ts:true (St.Blob_store.reader store id))
+  in
+  check
+    Alcotest.(list (triple int int int))
+    "roundtrip"
+    [ (9, 1, 5); (9, 4, 6); (7, 2, 7); (1, 1, 8); (1, 9, 9) ]
+    got;
+  (* empty list *)
+  let empty = St.Blob_store.put store (Core.Posting_codec.Chunk_codec.encode ~with_ts:false [||]) in
+  check Alcotest.(list (triple int int int)) "empty" []
+    (drain (Core.Posting_codec.Chunk_codec.stream ~with_ts:false (St.Blob_store.reader store empty)))
+
+let id_codec_roundtrip_prop docs =
+  let docs = List.sort_uniq compare (List.map abs docs) in
+  let postings = Array.of_list (List.map (fun d -> (d, d land 0xFFFF)) docs) in
+  let store = blob_fixture () in
+  let id = St.Blob_store.put store (Core.Posting_codec.Id_codec.encode ~with_ts:true postings) in
+  drain (Core.Posting_codec.Id_codec.stream ~with_ts:true (St.Blob_store.reader store id))
+  = Array.to_list postings
+
+(* ------------------------------------------------------------------ *)
+(* Support tables *)
+
+let test_score_table () =
+  let env = small_env () in
+  let t = Core.Score_table.create env ~name:"s" in
+  check Alcotest.(option (float 0.0)) "missing" None (Core.Score_table.get t ~doc:1);
+  Core.Score_table.set t ~doc:1 ~score:42.5;
+  check Alcotest.(option (float 0.0)) "set" (Some 42.5) (Core.Score_table.get t ~doc:1);
+  Core.Score_table.mark_deleted t ~doc:1;
+  check Alcotest.bool "deleted" true (Core.Score_table.is_deleted t ~doc:1);
+  Core.Score_table.set t ~doc:1 ~score:50.0;
+  check Alcotest.bool "set keeps deleted flag" true (Core.Score_table.is_deleted t ~doc:1);
+  Core.Score_table.undelete t ~doc:1;
+  check Alcotest.bool "undeleted" false (Core.Score_table.is_deleted t ~doc:1);
+  Core.Score_table.set t ~doc:5 ~score:1.0;
+  let seen = ref [] in
+  Core.Score_table.iter t (fun ~doc ~score:_ ~deleted:_ -> seen := doc :: !seen);
+  check Alcotest.(list int) "iter order" [ 1; 5 ] (List.rev !seen);
+  Core.Score_table.remove t ~doc:5;
+  check Alcotest.int "count" 1 (Core.Score_table.count t)
+
+let test_doc_store () =
+  let env = small_env () in
+  let d = Core.Doc_store.create env ~name:"d" in
+  check Alcotest.bool "absent" false (Core.Doc_store.mem d ~doc:3);
+  Core.Doc_store.set d ~doc:3 [ ("apple", 2); ("pear", 5) ];
+  Core.Doc_store.set d ~doc:1 [ ("zebra", 1) ];
+  check Alcotest.(list (pair string int)) "content" [ ("apple", 2); ("pear", 5) ]
+    (Core.Doc_store.terms d ~doc:3);
+  check Alcotest.int "max tf" 5 (Core.Doc_store.max_tf d ~doc:3);
+  Core.Doc_store.set d ~doc:3 [ ("plum", 1) ];
+  check Alcotest.(list (pair string int)) "replaced" [ ("plum", 1) ]
+    (Core.Doc_store.terms d ~doc:3);
+  let docs = ref [] in
+  Core.Doc_store.iter_docs d (fun ~doc content -> docs := (doc, content) :: !docs);
+  check Alcotest.(list (pair int (list (pair string int)))) "iter docs"
+    [ (1, [ ("zebra", 1) ]); (3, [ ("plum", 1) ]) ]
+    (List.rev !docs);
+  Core.Doc_store.remove d ~doc:3;
+  check Alcotest.bool "removed" false (Core.Doc_store.mem d ~doc:3)
+
+let test_short_list () =
+  let env = small_env () in
+  let s = Core.Short_list.create env ~name:"sl" Core.Short_list.Chunk_rank in
+  Core.Short_list.put s ~term:"news" ~rank:3.0 ~doc:7 ~op:Core.Short_list.Add ~ts:9;
+  Core.Short_list.put s ~term:"news" ~rank:5.0 ~doc:2 ~op:Core.Short_list.Add ~ts:1;
+  Core.Short_list.put s ~term:"news" ~rank:3.0 ~doc:1 ~op:Core.Short_list.Rem ~ts:0;
+  Core.Short_list.put s ~term:"golden" ~rank:9.0 ~doc:7 ~op:Core.Short_list.Add ~ts:0;
+  let got = ref [] in
+  let next = Core.Short_list.stream s ~term:"news" in
+  let rec go () = match next () with None -> () | Some p -> got := p :: !got; go () in
+  go ();
+  check Alcotest.(list (triple (float 0.0) int bool))
+    "rank desc, doc asc; other terms excluded"
+    [ (5.0, 2, false); (3.0, 1, true); (3.0, 7, false) ]
+    (List.rev_map
+       (fun p -> (p.Core.Short_list.rank, p.Core.Short_list.doc, p.Core.Short_list.op = Core.Short_list.Rem))
+       !got);
+  (* upsert Add over Rem *)
+  Core.Short_list.put s ~term:"news" ~rank:3.0 ~doc:1 ~op:Core.Short_list.Add ~ts:4;
+  (match Core.Short_list.find s ~term:"news" ~rank:3.0 ~doc:1 with
+  | Some p -> check Alcotest.bool "now add" true (p.Core.Short_list.op = Core.Short_list.Add)
+  | None -> Alcotest.fail "posting vanished");
+  check Alcotest.int "max_ts" 9 (Core.Short_list.max_ts s ~term:"news");
+  Core.Short_list.delete s ~term:"news" ~rank:5.0 ~doc:2;
+  check Alcotest.int "count after delete" 3 (Core.Short_list.count s);
+  Core.Short_list.clear s;
+  check Alcotest.int "cleared" 0 (Core.Short_list.count s)
+
+(* ------------------------------------------------------------------ *)
+(* Merge engine: model-checked on random streams *)
+
+(* a term's streams: long postings (rank, doc, ts) and short postings
+   (rank, doc, rem?, ts); generators keep keys unique per stream *)
+type term_streams = {
+  longs : (int * int * int) list;
+  shorts : (int * int * bool * int) list;
+}
+
+let stream_order (r1, d1) (r2, d2) =
+  match compare r2 r1 with 0 -> compare d1 d2 | c -> c
+
+let gen_term_streams =
+  QCheck2.Gen.(
+    let posting = triple (int_bound 5) (int_bound 8) (int_bound 1000) in
+    let short = pair posting bool in
+    map2
+      (fun longs shorts ->
+        let dedup key l =
+          List.sort_uniq (fun a b -> stream_order (key a) (key b)) l
+        in
+        { longs = dedup (fun (r, d, _) -> (r, d)) longs;
+          shorts =
+            dedup (fun (r, d, _, _) -> (r, d))
+              (List.map (fun ((r, d, ts), rem) -> (r, d, rem, ts)) shorts) })
+      (small_list posting) (small_list short))
+
+let merge_model_prop terms_streams =
+  let n_terms = List.length terms_streams in
+  if n_terms = 0 then true
+  else begin
+    let of_list entries =
+      let remaining = ref entries in
+      fun () ->
+        match !remaining with
+        | [] -> None
+        | e :: rest ->
+            remaining := rest;
+            Some e
+    in
+    let streams =
+      List.concat
+        (List.mapi
+           (fun term_idx ts ->
+             [ of_list
+                 (List.map
+                    (fun (r, d, tsq) ->
+                      { Core.Merge.rank = float_of_int r; doc = d; term_idx;
+                        long = true; rem = false; ts = tsq })
+                    ts.longs);
+               of_list
+                 (List.map
+                    (fun (r, d, rem, tsq) ->
+                      { Core.Merge.rank = float_of_int r; doc = d; term_idx;
+                        long = false; rem; ts = tsq })
+                    ts.shorts) ])
+           terms_streams)
+    in
+    let next = Core.Merge.groups ~n_terms streams in
+    let groups = ref [] in
+    let rec drain () =
+      match next () with
+      | None -> ()
+      | Some g ->
+          groups := g :: !groups;
+          drain ()
+    in
+    drain ();
+    let groups = List.rev !groups in
+    (* 1: groups strictly ordered by (rank desc, doc asc) *)
+    let rec ordered = function
+      | g1 :: (g2 :: _ as rest) ->
+          stream_order
+            (int_of_float g1.Core.Merge.g_rank, g1.Core.Merge.g_doc)
+            (int_of_float g2.Core.Merge.g_rank, g2.Core.Merge.g_doc)
+          < 0
+          && ordered rest
+      | _ -> true
+    in
+    (* 2: the set of group positions = union of all stream positions *)
+    let expected_positions =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun ts ->
+             List.map (fun (r, d, _) -> (r, d)) ts.longs
+             @ List.map (fun (r, d, _, _) -> (r, d)) ts.shorts)
+           terms_streams)
+    in
+    let got_positions =
+      List.sort compare
+        (List.map
+           (fun g -> (int_of_float g.Core.Merge.g_rank, g.Core.Merge.g_doc))
+           groups)
+    in
+    (* 3: presence and term scores per Appendix A semantics *)
+    let presence_ok =
+      List.for_all
+        (fun g ->
+          let pos = (int_of_float g.Core.Merge.g_rank, g.Core.Merge.g_doc) in
+          List.for_all2
+            (fun present ts_model -> present = Option.is_some ts_model)
+            (Array.to_list g.Core.Merge.present)
+            (List.map
+               (fun ts ->
+                 let long =
+                   List.find_opt (fun (r, d, _) -> (r, d) = pos) ts.longs
+                 in
+                 let short =
+                   List.find_opt (fun (r, d, _, _) -> (r, d) = pos) ts.shorts
+                 in
+                 (* short Add wins; REM kills the long posting *)
+                 match (long, short) with
+                 | _, Some (_, _, false, tsq) -> Some tsq
+                 | Some (_, _, tsq), (None | Some (_, _, true, _)) -> (
+                     match short with
+                     | Some (_, _, true, _) -> None
+                     | _ -> Some tsq)
+                 | None, _ -> None)
+               terms_streams))
+        groups
+    in
+    ordered groups && got_positions = expected_positions && presence_ok
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Oracle equivalence: the heart of the suite *)
+
+let vocab = Array.init 18 (fun i -> Printf.sprintf "w%02d" i)
+
+type op =
+  | Upd of int * float
+  | Spike of int * float
+  | Ins of string * float
+  | Del of int
+  | Content of int * string
+
+let gen_text =
+  QCheck2.Gen.(
+    map
+      (fun words -> String.concat " " words)
+      (list_size (int_range 3 9) (oneofa vocab)))
+
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [ map2 (fun d s -> Upd (d, s)) (int_bound 1000) (float_bound_inclusive 1000.0);
+        map2 (fun d s -> Spike (d, s)) (int_bound 1000)
+          (map (fun x -> 1000.0 +. x) (float_bound_inclusive 99000.0));
+        map2 (fun t s -> Ins (t, s)) gen_text (float_bound_inclusive 50000.0);
+        map (fun d -> Del d) (int_bound 1000);
+        map2 (fun d t -> Content (d, t)) (int_bound 1000) gen_text ])
+
+let gen_scenario =
+  QCheck2.Gen.(
+    triple
+      (list_size (return 25) (pair gen_text (float_bound_inclusive 1000.0)))
+      (list_size (int_range 0 40) gen_op)
+      (int_range 0 1000))
+
+let queries =
+  [ [ "w00" ]; [ "w01"; "w02" ]; [ "w03"; "w04"; "w05" ]; [ "w00"; "w17" ];
+    [ "zz" ]; [ "w06"; "zz" ] ]
+
+let print_scenario (corpus_spec, ops, qseed) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "corpus:\n";
+  List.iteri
+    (fun i (text, score) -> Buffer.add_string b (Printf.sprintf "  %d: %.4f %S\n" i score text))
+    corpus_spec;
+  Buffer.add_string b "ops:\n";
+  List.iter
+    (fun op ->
+      Buffer.add_string b
+        (match op with
+        | Upd (d, s) -> Printf.sprintf "  Upd(%d, %.4f)\n" d s
+        | Spike (d, s) -> Printf.sprintf "  Spike(%d, %.4f)\n" d s
+        | Ins (t, s) -> Printf.sprintf "  Ins(%S, %.4f)\n" t s
+        | Del d -> Printf.sprintf "  Del(%d)\n" d
+        | Content (d, t) -> Printf.sprintf "  Content(%d, %S)\n" d t))
+    ops;
+  Buffer.add_string b (Printf.sprintf "qseed: %d\n" qseed);
+  Buffer.contents b
+
+let same_results got want =
+  List.length got = List.length want
+  && List.for_all2
+       (fun (d1, s1) (d2, s2) -> d1 = d2 && abs_float (s1 -. s2) < 1e-9)
+       got want
+
+let scenario_prop kind (corpus_spec, ops, qseed) =
+  let allow_content = kind <> Core.Index.Chunk_termscore in
+  let corpus = List.mapi (fun i (text, _) -> (i, text)) corpus_spec in
+  let score_of = Array.of_list (List.map snd corpus_spec) in
+  let oracle = Core.Oracle.create test_cfg in
+  Core.Oracle.load oracle ~corpus:(List.to_seq corpus) ~scores:(fun d -> score_of.(d));
+  let idx =
+    Core.Index.build ~env:(small_env ()) kind test_cfg ~corpus:(List.to_seq corpus)
+      ~scores:(fun d -> score_of.(d))
+  in
+  let with_ts = Core.Index.ranks_with_term_scores kind in
+  let next_id = ref (List.length corpus) in
+  let live = ref (List.init (List.length corpus) Fun.id) in
+  let pick d = List.nth !live (d mod List.length !live) in
+  let apply = function
+    | Upd (d, s) | Spike (d, s) ->
+        let doc = pick d in
+        Core.Index.score_update idx ~doc s;
+        Core.Oracle.score_update oracle ~doc s
+    | Ins (text, s) ->
+        let doc = !next_id in
+        incr next_id;
+        live := doc :: !live;
+        Core.Index.insert idx ~doc text ~score:s;
+        Core.Oracle.insert oracle ~doc text ~score:s
+    | Del d ->
+        let doc = pick d in
+        Core.Index.delete idx ~doc;
+        Core.Oracle.delete oracle ~doc
+        (* keep the id in [live]: re-deleting or re-updating a deleted doc is
+           a legal (and interesting) history *)
+    | Content (d, text) when allow_content ->
+        let doc = pick d in
+        Core.Index.update_content idx ~doc text;
+        Core.Oracle.update_content oracle ~doc text
+    | Content _ -> ()
+  in
+  List.iter apply ops;
+  let modes = [ Core.Types.Conjunctive; Core.Types.Disjunctive ] in
+  let ks = [ 1; 4; 50 ] in
+  let q_extra = [ vocab.(qseed mod 18); vocab.(qseed / 18 mod 18) ] in
+  List.for_all
+    (fun q ->
+      List.for_all
+        (fun mode ->
+          List.for_all
+            (fun k ->
+              let got = Core.Index.query_terms idx ~mode q ~k in
+              let want = Core.Oracle.top_k oracle ~mode ~with_ts q ~k in
+              same_results got want)
+            ks)
+        modes)
+    (q_extra :: queries)
+
+let oracle_tests =
+  List.map
+    (fun kind ->
+      qtest ~print:print_scenario
+        (Printf.sprintf "%s matches oracle" (Core.Index.kind_name kind))
+        (scenario_prop kind) gen_scenario)
+    Core.Index.all_kinds
+
+(* same, but exercising the offline merge/rebuild mid-history *)
+let rebuild_prop kind (corpus_spec, ops, qseed) =
+  let corpus = List.mapi (fun i (text, _) -> (i, text)) corpus_spec in
+  let score_of = Array.of_list (List.map snd corpus_spec) in
+  let oracle = Core.Oracle.create test_cfg in
+  Core.Oracle.load oracle ~corpus:(List.to_seq corpus) ~scores:(fun d -> score_of.(d));
+  let idx =
+    Core.Index.build ~env:(small_env ()) kind test_cfg ~corpus:(List.to_seq corpus)
+      ~scores:(fun d -> score_of.(d))
+  in
+  let with_ts = Core.Index.ranks_with_term_scores kind in
+  let n = List.length ops in
+  List.iteri
+    (fun i op ->
+      (match op with
+      | Upd (d, s) | Spike (d, s) ->
+          let doc = d mod List.length corpus in
+          Core.Index.score_update idx ~doc s;
+          Core.Oracle.score_update oracle ~doc s
+      | _ -> ());
+      if i = n / 2 then Core.Index.rebuild idx)
+    ops;
+  Core.Index.rebuild idx;
+  let q = [ vocab.(qseed mod 18); vocab.(qseed / 18 mod 18) ] in
+  List.for_all
+    (fun mode ->
+      same_results
+        (Core.Index.query_terms idx ~mode q ~k:10)
+        (Core.Oracle.top_k oracle ~mode ~with_ts q ~k:10))
+    [ Core.Types.Conjunctive; Core.Types.Disjunctive ]
+
+let rebuild_tests =
+  List.filter_map
+    (fun kind ->
+      if kind = Core.Index.Score then None
+      else
+        Some
+          (qtest ~count:25
+             (Printf.sprintf "%s rebuild keeps answers" (Core.Index.kind_name kind))
+             (rebuild_prop kind) gen_scenario))
+    Core.Index.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Directed scenarios: the paper's running example and edge cases *)
+
+let archive_corpus =
+  [ (1, "a movie about the golden gate bridge in san francisco");
+    (2, "amateur film of the golden gate and the bay");
+    (3, "a documentary on new york city bridges");
+    (4, "golden retrievers playing near the gate") ]
+
+let archive_cfg = { test_cfg with analyzer = Svr_text.Analyzer.default }
+
+let archive_scores = function 1 -> 950.0 | 2 -> 120.0 | 3 -> 400.0 | _ -> 10.0
+
+let build_archive kind =
+  Core.Index.build ~env:(small_env ()) kind archive_cfg
+    ~corpus:(List.to_seq archive_corpus) ~scores:archive_scores
+
+let test_intro_example () =
+  (* Section 1: results ranked by structured values, not term statistics *)
+  List.iter
+    (fun kind ->
+      let idx = build_archive kind in
+      let docs = List.map fst (Core.Index.query idx [ "golden gate" ] ~k:10) in
+      check Alcotest.(list int)
+        (Core.Index.kind_name kind ^ " conjunctive order")
+        [ 1; 2; 4 ] docs)
+    Core.Index.all_kinds
+
+let test_flash_crowd () =
+  (* the motivating flash-crowd: an unpopular movie suddenly tops the list *)
+  List.iter
+    (fun kind ->
+      let idx = build_archive kind in
+      Core.Index.score_update idx ~doc:2 50000.0;
+      let docs = List.map fst (Core.Index.query idx [ "golden gate" ] ~k:2) in
+      check Alcotest.(list int) (Core.Index.kind_name kind ^ " after spike") [ 2; 1 ] docs;
+      (* and back down *)
+      Core.Index.score_update idx ~doc:2 1.0;
+      let docs = List.map fst (Core.Index.query idx [ "golden gate" ] ~k:2) in
+      check Alcotest.(list int) (Core.Index.kind_name kind ^ " after drop") [ 1; 4 ] docs)
+    Core.Index.all_kinds
+
+let test_delete_insert () =
+  List.iter
+    (fun kind ->
+      let idx = build_archive kind in
+      Core.Index.delete idx ~doc:1;
+      let docs = List.map fst (Core.Index.query idx [ "golden gate" ] ~k:10) in
+      check Alcotest.(list int) (Core.Index.kind_name kind ^ " delete") [ 2; 4 ] docs;
+      Core.Index.insert idx ~doc:99 "the golden gate at dawn" ~score:77777.0;
+      let docs = List.map fst (Core.Index.query idx [ "golden gate" ] ~k:10) in
+      check Alcotest.(list int) (Core.Index.kind_name kind ^ " insert") [ 99; 2; 4 ] docs)
+    Core.Index.all_kinds
+
+let test_content_update () =
+  List.iter
+    (fun kind ->
+      let idx = build_archive kind in
+      (* doc 3 gains the keywords, doc 4 loses them *)
+      Core.Index.update_content idx ~doc:3 "now also about the golden gate";
+      Core.Index.update_content idx ~doc:4 "golden retrievers playing fetch";
+      let docs = List.map fst (Core.Index.query idx [ "golden gate" ] ~k:10) in
+      check Alcotest.(list int) (Core.Index.kind_name kind ^ " content update")
+        [ 1; 3; 2 ] docs)
+    [ Core.Index.Id; Core.Index.Score; Core.Index.Score_threshold; Core.Index.Chunk;
+      Core.Index.Id_termscore ]
+
+let test_disjunctive () =
+  let idx = build_archive Core.Index.Chunk in
+  let docs =
+    List.map fst (Core.Index.query idx ~mode:Core.Types.Disjunctive [ "bridge" ] ~k:10)
+  in
+  (* "bridges" stems to the same term *)
+  check Alcotest.(list int) "disjunctive + stemming" [ 1; 3 ] docs
+
+let test_empty_query () =
+  let idx = build_archive Core.Index.Chunk in
+  check Alcotest.(list (pair int (float 0.0))) "no keywords" []
+    (Core.Index.query idx [] ~k:5);
+  check Alcotest.(list (pair int (float 0.0))) "unknown keyword" []
+    (Core.Index.query idx [ "xyzzy" ] ~k:5)
+
+let test_kind_names () =
+  List.iter
+    (fun kind ->
+      check Alcotest.bool "roundtrip" true
+        (Core.Index.kind_of_name (Core.Index.kind_name kind) = Some kind))
+    Core.Index.all_kinds;
+  check Alcotest.bool "unknown" true (Core.Index.kind_of_name "nope" = None)
+
+let test_config_validate () =
+  Alcotest.check_raises "bad threshold ratio"
+    (Invalid_argument "Config: threshold_ratio must be > 1") (fun () ->
+      Core.Config.validate { test_cfg with threshold_ratio = 1.0 });
+  Alcotest.check_raises "bad chunk ratio"
+    (Invalid_argument "Config: chunk_ratio must be > 1") (fun () ->
+      Core.Config.validate { test_cfg with chunk_ratio = 0.5 })
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "svr_core"
+    [ ( "result_heap",
+        [ Alcotest.test_case "basic" `Quick test_result_heap;
+          Alcotest.test_case "dedup" `Quick test_result_heap_dedup;
+          Alcotest.test_case "ties" `Quick test_result_heap_ties;
+          qtest ~count:200 "model" heap_model_prop
+            QCheck2.Gen.(small_list (pair (int_bound 12) (float_bound_inclusive 100.0)))
+        ] );
+      ( "chunk_policy",
+        [ Alcotest.test_case "ratio based" `Quick test_chunk_policy_ratio;
+          Alcotest.test_case "min docs" `Quick test_chunk_policy_min_docs;
+          Alcotest.test_case "baselines" `Quick test_chunk_policy_baselines;
+          qtest ~count:200 "chunk_of sound" chunk_policy_sound_prop
+            QCheck2.Gen.(small_list (float_bound_inclusive 100000.0)) ] );
+      ( "codecs",
+        [ Alcotest.test_case "id" `Quick test_id_codec;
+          Alcotest.test_case "score" `Quick test_score_codec;
+          Alcotest.test_case "chunk" `Quick test_chunk_codec;
+          qtest ~count:200 "id roundtrip" id_codec_roundtrip_prop
+            QCheck2.Gen.(small_list (int_bound 1_000_000)) ] );
+      ( "tables",
+        [ Alcotest.test_case "score table" `Quick test_score_table;
+          Alcotest.test_case "doc store" `Quick test_doc_store;
+          Alcotest.test_case "short list" `Quick test_short_list ] );
+      ( "merge",
+        [ qtest ~count:300 "merge vs model" merge_model_prop
+            QCheck2.Gen.(list_size (int_range 1 3) gen_term_streams) ] );
+      ("oracle", oracle_tests);
+      ("rebuild", rebuild_tests);
+      ( "scenarios",
+        [ Alcotest.test_case "intro example" `Quick test_intro_example;
+          Alcotest.test_case "flash crowd" `Quick test_flash_crowd;
+          Alcotest.test_case "delete/insert" `Quick test_delete_insert;
+          Alcotest.test_case "content update" `Quick test_content_update;
+          Alcotest.test_case "disjunctive" `Quick test_disjunctive;
+          Alcotest.test_case "empty query" `Quick test_empty_query;
+          Alcotest.test_case "kind names" `Quick test_kind_names;
+          Alcotest.test_case "config validation" `Quick test_config_validate ] )
+    ]

@@ -1,0 +1,190 @@
+(* Edge-case tests for the SQL engine and storage details that the main
+   suites do not pin down: NULL semantics, ordering, empty aggregates,
+   correlated subqueries, trigger fan-out, and pager/B+-tree corners. *)
+
+module R = Svr_relational
+module St = Svr_storage
+
+let check = Alcotest.check
+
+let engine () =
+  R.Engine.create
+    ~env:(St.Env.create ~table_pool_pages:512 ~blob_pool_pages:64 ())
+    ()
+
+let ints rows = List.map (fun r -> (r : R.Value.t array).(0)) rows
+
+(* ------------------------------------------------------------------ *)
+
+let test_null_semantics () =
+  let e = engine () in
+  ignore (R.Engine.exec e "CREATE TABLE T (a integer, b float, PRIMARY KEY (a))");
+  ignore (R.Engine.exec e "INSERT INTO T VALUES (1, 1.0), (2, NULL), (3, 3.0)");
+  (* NULL comparisons are unknown: the row neither matches nor anti-matches *)
+  let _, rows = R.Engine.query_rows e "SELECT a FROM T WHERE b > 0" in
+  check Alcotest.(list int) "null fails predicate" [ 1; 3 ]
+    (List.map R.Value.to_int (ints rows));
+  let _, rows = R.Engine.query_rows e "SELECT a FROM T WHERE NOT (b > 0)" in
+  check Alcotest.(list int) "NOT unknown is still not true" []
+    (List.map R.Value.to_int (ints rows));
+  (* aggregates skip NULLs; empty aggregates are NULL *)
+  let _, rows = R.Engine.query_rows e "SELECT avg(b), count(b) FROM T" in
+  (match rows with
+  | [ [| R.Value.Float avg; R.Value.Int 2 |] ] ->
+      check (Alcotest.float 1e-9) "avg skips null" 2.0 avg
+  | _ -> Alcotest.fail "unexpected aggregate row");
+  let _, rows = R.Engine.query_rows e "SELECT max(b) FROM T WHERE a > 99" in
+  check Alcotest.bool "empty max is NULL" true (rows = [ [| R.Value.Null |] ]);
+  (* arithmetic propagates NULL *)
+  let _, rows = R.Engine.query_rows e "SELECT b + 1 FROM T WHERE a = 2" in
+  check Alcotest.bool "null + 1 = null" true (rows = [ [| R.Value.Null |] ])
+
+let test_order_and_fetch () =
+  let e = engine () in
+  ignore (R.Engine.exec e "CREATE TABLE T (a integer, b integer, PRIMARY KEY (a))");
+  ignore
+    (R.Engine.exec e "INSERT INTO T VALUES (1, 5), (2, 2), (3, 9), (4, 2), (5, 7)");
+  let _, rows =
+    R.Engine.query_rows e "SELECT a FROM T ORDER BY b ASC FETCH TOP 3 RESULTS ONLY"
+  in
+  (* stable sort keeps insertion order among equal keys *)
+  check Alcotest.(list int) "asc + top" [ 2; 4; 1 ] (List.map R.Value.to_int (ints rows));
+  let _, rows = R.Engine.query_rows e "SELECT a FROM T ORDER BY b DESC" in
+  check Alcotest.int "desc first" 3 (R.Value.to_int (List.hd (ints rows)));
+  (* ordering by an expression *)
+  let _, rows = R.Engine.query_rows e "SELECT a FROM T ORDER BY b * -1 ASC" in
+  check Alcotest.int "expr order" 3 (R.Value.to_int (List.hd (ints rows)))
+
+let test_correlated_subquery () =
+  let e = engine () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE Dept (d integer, budget float, PRIMARY KEY (d));\n\
+        CREATE TABLE Emp (id integer, d integer, pay float, PRIMARY KEY (id));\n\
+        INSERT INTO Dept VALUES (1, 100.0), (2, 50.0);\n\
+        INSERT INTO Emp VALUES (10, 1, 30.0), (11, 1, 40.0), (12, 2, 55.0);\n\
+        create function spend (dep: integer) returns float \
+        return SELECT sum(E.pay) FROM Emp E WHERE E.d = dep;");
+  let _, rows = R.Engine.query_rows e "SELECT spend(1), spend(2)" in
+  check Alcotest.bool "function over subquery" true
+    (rows = [ [| R.Value.Float 70.0; R.Value.Float 55.0 |] ]);
+  (* functions compose inside predicates *)
+  let _, rows = R.Engine.query_rows e "SELECT d FROM Dept WHERE spend(d) < budget" in
+  check Alcotest.(list int) "under budget" [ 1 ] (List.map R.Value.to_int (ints rows))
+
+let test_multi_index_fanout () =
+  (* two text indexes over two tables, driven by one shared Statistics
+     table: an update must refresh both *)
+  let e = engine () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE A (id integer, body text, PRIMARY KEY (id));\n\
+        CREATE TABLE B (id integer, body text, PRIMARY KEY (id));\n\
+        CREATE TABLE Pop (id integer, hits integer, PRIMARY KEY (id));\n\
+        INSERT INTO A VALUES (1, 'shared words here'), (2, 'shared other');\n\
+        INSERT INTO B VALUES (1, 'shared words too');\n\
+        INSERT INTO Pop VALUES (1, 5), (2, 50);\n\
+        create function Hits (x: integer) returns float \
+        return SELECT P.hits FROM Pop P WHERE P.id = x;");
+  ignore
+    (R.Engine.exec e
+       "CREATE TEXT INDEX AIdx ON A (body) USING chunk SCORE (Hits);\n\
+        CREATE TEXT INDEX BIdx ON B (body) USING id SCORE (Hits);");
+  ignore (R.Engine.exec e "UPDATE Pop SET hits = 500 WHERE id = 1");
+  let _, rows =
+    R.Engine.query_rows e
+      "SELECT id FROM A ORDER BY score(body, 'shared') DESC FETCH TOP 1 RESULTS ONLY"
+  in
+  check Alcotest.(list int) "index A refreshed" [ 1 ] (List.map R.Value.to_int (ints rows));
+  check (Alcotest.float 1e-9) "index B sees it too" 500.0
+    (R.Engine.svr_score e ~index:"BIdx" ~doc:1)
+
+let test_constant_components () =
+  (* purely arithmetic scoring components need no triggers and work *)
+  let e = engine () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE D (id integer, t text, PRIMARY KEY (id));\n\
+        INSERT INTO D VALUES (7, 'only doc');\n\
+        create function Base (x: integer) returns float return x * 2 + 1;");
+  ignore (R.Engine.exec e "CREATE TEXT INDEX I ON D (t) USING chunk SCORE (Base)");
+  check (Alcotest.float 1e-9) "constant spec" 15.0 (R.Engine.svr_score e ~index:"I" ~doc:7)
+
+let test_select_without_from () =
+  let e = engine () in
+  let _, rows = R.Engine.query_rows e "SELECT 1 < 2, 'a', NULL, -(3 - 5)" in
+  check Alcotest.bool "row" true
+    (rows
+    = [ [| R.Value.Int 1; R.Value.Text "a"; R.Value.Null; R.Value.Int 2 |] ]);
+  Alcotest.check_raises "star needs from"
+    (R.Engine.Sql_error "SELECT * requires a FROM clause") (fun () ->
+      ignore (R.Engine.query_rows e "SELECT *"))
+
+let test_division_rules () =
+  let e = engine () in
+  let _, rows = R.Engine.query_rows e "SELECT 7 / 2" in
+  check Alcotest.bool "div is float" true (rows = [ [| R.Value.Float 3.5 |] ]);
+  Alcotest.check_raises "division by zero" (R.Engine.Sql_error "division by zero")
+    (fun () -> ignore (R.Engine.query_rows e "SELECT 1 / 0"))
+
+(* ------------------------------------------------------------------ *)
+(* storage corners *)
+
+let test_btree_reinsert_after_delete () =
+  let stats = St.Stats.create () in
+  let t = St.Btree.create (St.Pager.create ~pool_pages:16 ~stats (St.Disk.create ~name:"t" stats)) in
+  for i = 0 to 500 do
+    St.Btree.insert t (Printf.sprintf "%04d" i) "v"
+  done;
+  for i = 0 to 500 do
+    if i mod 2 = 0 then ignore (St.Btree.delete t (Printf.sprintf "%04d" i))
+  done;
+  for i = 0 to 500 do
+    if i mod 4 = 0 then St.Btree.insert t (Printf.sprintf "%04d" i) "w"
+  done;
+  St.Btree.check_invariants t;
+  check Alcotest.int "count" 376 (St.Btree.count t);
+  check Alcotest.(option string) "reinserted" (Some "w") (St.Btree.find t "0100");
+  check Alcotest.(option string) "still deleted" None (St.Btree.find t "0102")
+
+let test_pager_flush_idempotent () =
+  let stats = St.Stats.create () in
+  let disk = St.Disk.create ~name:"d" stats in
+  let pager = St.Pager.create ~pool_pages:4 ~stats disk in
+  let p = St.Pager.alloc pager in
+  St.Pager.put pager p (Bytes.make 4096 'z');
+  St.Pager.flush pager;
+  let writes = stats.St.Stats.page_writes in
+  St.Pager.flush pager;
+  check Alcotest.int "second flush writes nothing" writes stats.St.Stats.page_writes;
+  St.Pager.drop_cache pager;
+  check Alcotest.char "contents persisted" 'z' (Bytes.get (St.Pager.get pager p) 0)
+
+let test_env_cold_btree () =
+  let env = St.Env.create ~table_pool_pages:64 ~blob_pool_pages:8 () in
+  let t = St.Env.cold_btree env ~name:"coldlist" in
+  for i = 0 to 300 do
+    St.Btree.insert t (Printf.sprintf "key%04d" i) (String.make 40 'x')
+  done;
+  St.Env.drop_blob_caches env;
+  St.Env.reset_stats env;
+  ignore (St.Btree.find t "key0000");
+  let st = St.Env.stats env in
+  check Alcotest.bool "cold btree really cold" true
+    (st.St.Stats.seq_reads + st.St.Stats.rand_reads > 0)
+
+let () =
+  Alcotest.run "svr_engine_edge"
+    [ ( "sql",
+        [ Alcotest.test_case "null semantics" `Quick test_null_semantics;
+          Alcotest.test_case "order + fetch" `Quick test_order_and_fetch;
+          Alcotest.test_case "correlated subquery" `Quick test_correlated_subquery;
+          Alcotest.test_case "multi-index fanout" `Quick test_multi_index_fanout;
+          Alcotest.test_case "constant components" `Quick test_constant_components;
+          Alcotest.test_case "select without from" `Quick test_select_without_from;
+          Alcotest.test_case "division" `Quick test_division_rules ] );
+      ( "storage",
+        [ Alcotest.test_case "btree reinsert" `Quick test_btree_reinsert_after_delete;
+          Alcotest.test_case "pager flush" `Quick test_pager_flush_idempotent;
+          Alcotest.test_case "cold btree" `Quick test_env_cold_btree ] )
+    ]

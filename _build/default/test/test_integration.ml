@@ -1,0 +1,201 @@
+(* Integration tests across layers: synthetic workloads from svr_workload
+   drive every index method, and rankings must agree with the brute-force
+   oracle and with each other — the end-to-end guarantee behind the
+   benchmark harness's comparisons. *)
+
+module Core = Svr_core
+module W = Svr_workload
+module St = Svr_storage
+
+let check = Alcotest.check
+
+let small_corpus =
+  { W.Corpus_gen.n_docs = 300; vocab_size = 120; terms_per_doc = 25;
+    term_theta = 0.1; score_max = 100_000.0; score_theta = 0.75; seed = 9 }
+
+let cfg =
+  { Core.Config.default with
+    Core.Config.analyzer = W.Corpus_gen.analyzer; fancy_size = 8 }
+
+let small_env () = St.Env.create ~table_pool_pages:512 ~blob_pool_pages:64 ()
+
+let build_all () =
+  let scores = W.Corpus_gen.scores small_corpus in
+  let corpus () = W.Corpus_gen.corpus_seq small_corpus in
+  let oracle = Core.Oracle.create cfg in
+  Core.Oracle.load oracle ~corpus:(corpus ()) ~scores:(fun d -> scores.(d));
+  let indexes =
+    List.map
+      (fun kind ->
+        Core.Index.build ~env:(small_env ()) kind cfg ~corpus:(corpus ())
+          ~scores:(fun d -> scores.(d)))
+      Core.Index.all_kinds
+  in
+  (oracle, indexes, scores)
+
+let apply_workload oracle indexes scores =
+  let ops =
+    W.Update_gen.generate
+      { W.Update_gen.defaults with W.Update_gen.n_updates = 600; seed = 21 }
+      ~scores
+  in
+  let cur = Array.copy scores in
+  Array.iter
+    (fun (op : W.Update_gen.op) ->
+      let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+      cur.(op.W.Update_gen.doc) <- s;
+      Core.Oracle.score_update oracle ~doc:op.W.Update_gen.doc s;
+      List.iter (fun idx -> Core.Index.score_update idx ~doc:op.W.Update_gen.doc s) indexes)
+    ops
+
+let agree oracle idx ~queries ~ks =
+  let with_ts = Core.Index.ranks_with_term_scores (Core.Index.kind idx) in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun mode ->
+              let got = Core.Index.query_terms idx ~mode q ~k in
+              let want = Core.Oracle.top_k oracle ~mode ~with_ts q ~k in
+              let ok =
+                List.length got = List.length want
+                && List.for_all2
+                     (fun (d1, s1) (d2, s2) -> d1 = d2 && abs_float (s1 -. s2) < 1e-9)
+                     got want
+              in
+              if not ok then
+                Alcotest.fail
+                  (Printf.sprintf "%s disagrees with oracle on [%s] k=%d"
+                     (Core.Index.kind_name (Core.Index.kind idx))
+                     (String.concat " " q) k))
+            [ Core.Types.Conjunctive; Core.Types.Disjunctive ])
+        ks)
+    queries
+
+let workload_queries =
+  List.map Array.to_list
+    (Array.to_list
+       (W.Query_gen.generate
+          { W.Query_gen.defaults with W.Query_gen.n_queries = 8; seed = 33 }
+          small_corpus
+        |> Array.map Array.of_list))
+
+let test_all_methods_agree () =
+  let oracle, indexes, scores = build_all () in
+  apply_workload oracle indexes scores;
+  List.iter (fun idx -> agree oracle idx ~queries:workload_queries ~ks:[ 1; 10; 60 ]) indexes
+
+let test_agreement_survives_rebuild () =
+  let oracle, indexes, scores = build_all () in
+  apply_workload oracle indexes scores;
+  List.iter
+    (fun idx ->
+      Core.Index.rebuild idx;
+      agree oracle idx ~queries:workload_queries ~ks:[ 10 ])
+    indexes
+
+let test_focus_set_spike () =
+  (* flash-crowd regime: every update strictly increases a tiny focus set *)
+  let oracle, indexes, scores = build_all () in
+  let ops =
+    W.Update_gen.generate
+      { W.Update_gen.defaults with
+        W.Update_gen.n_updates = 400; focus_update_pct = 1.0;
+        mean_step = 5000.0; seed = 4 }
+      ~scores
+  in
+  let cur = Array.copy scores in
+  Array.iter
+    (fun (op : W.Update_gen.op) ->
+      let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+      cur.(op.W.Update_gen.doc) <- s;
+      Core.Oracle.score_update oracle ~doc:op.W.Update_gen.doc s;
+      List.iter (fun idx -> Core.Index.score_update idx ~doc:op.W.Update_gen.doc s) indexes)
+    ops;
+  List.iter (fun idx -> agree oracle idx ~queries:workload_queries ~ks:[ 5 ]) indexes
+
+let test_archive_events () =
+  (* the Internet Archive simulation drives a Chunk index; results always
+     reflect the latest aggregated scores *)
+  let db = W.Archive_sim.generate ~seed:12 ~n_movies:150 () in
+  let arch_cfg = { Core.Config.default with Core.Config.chunk_ratio = 2.0 } in
+  let oracle = Core.Oracle.create arch_cfg in
+  Core.Oracle.load oracle ~corpus:(W.Archive_sim.corpus_seq db)
+    ~scores:(W.Archive_sim.svr_score db);
+  let idx =
+    Core.Index.build ~env:(small_env ()) Core.Index.Chunk arch_cfg
+      ~corpus:(W.Archive_sim.corpus_seq db)
+      ~scores:(W.Archive_sim.svr_score db)
+  in
+  Array.iter
+    (fun ev ->
+      let doc, score = W.Archive_sim.apply_event db ev in
+      Core.Oracle.score_update oracle ~doc score;
+      Core.Index.score_update idx ~doc score)
+    (W.Archive_sim.event_trace ~seed:13 db ~n_events:1500);
+  List.iter
+    (fun kw ->
+      let got = Core.Index.query idx [ kw ] ~k:10 in
+      let terms = Svr_text.Analyzer.analyze kw in
+      let want = Core.Oracle.top_k oracle terms ~k:10 in
+      check Alcotest.bool (kw ^ " matches oracle") true
+        (List.length got = List.length want
+        && List.for_all2 (fun (d1, _) (d2, _) -> d1 = d2) got want))
+    [ "golden gate"; "city"; "harbor"; "railway" ]
+
+let test_early_termination_happens () =
+  (* the chunk method must not scan whole lists for small k: with long lists
+     spanning several (small) pages and a cold blob cache, it must touch
+     fewer physical long-list pages than the full-scanning ID method *)
+  let corpus =
+    { W.Corpus_gen.n_docs = 2000; vocab_size = 300; terms_per_doc = 120;
+      term_theta = 0.1; score_max = 100_000.0; score_theta = 0.75; seed = 2 }
+  in
+  let scores = W.Corpus_gen.scores corpus in
+  let queries =
+    Array.to_list
+      (W.Query_gen.generate
+         { W.Query_gen.defaults with
+           W.Query_gen.n_queries = 10; selectivity = W.Query_gen.Unselective;
+           seed = 5 }
+         corpus)
+  in
+  let measure kind =
+    let env =
+      St.Env.create ~page_size:256 ~table_pool_pages:8192 ~blob_pool_pages:64 ()
+    in
+    let idx =
+      Core.Index.build ~env kind cfg
+        ~corpus:(W.Corpus_gen.corpus_seq corpus)
+        ~scores:(fun d -> scores.(d))
+    in
+    let stats = St.Env.stats env in
+    let physical = ref 0 in
+    List.iter
+      (fun q ->
+        St.Env.drop_blob_caches env;
+        St.Stats.reset stats;
+        ignore (Core.Index.query_terms idx q ~k:3);
+        physical := !physical + stats.St.Stats.seq_reads + stats.St.Stats.rand_reads)
+      queries;
+    !physical
+  in
+  let id_reads = measure Core.Index.Id in
+  let chunk_reads = measure Core.Index.Chunk in
+  check Alcotest.bool
+    (Printf.sprintf "chunk fetches fewer list pages (chunk %d vs id %d)"
+       chunk_reads id_reads)
+    true
+    (chunk_reads * 2 <= id_reads)
+
+let () =
+  Alcotest.run "svr_integration"
+    [ ( "workload",
+        [ Alcotest.test_case "all methods agree with oracle" `Quick test_all_methods_agree;
+          Alcotest.test_case "agreement survives rebuild" `Quick test_agreement_survives_rebuild;
+          Alcotest.test_case "focus-set spike" `Quick test_focus_set_spike ] );
+      ("archive", [ Alcotest.test_case "event stream" `Quick test_archive_events ]);
+      ( "behaviour",
+        [ Alcotest.test_case "early termination" `Quick test_early_termination_happens ] )
+    ]

@@ -1,0 +1,448 @@
+(* Tests for the relational substrate and the Section 3 SVR integration. *)
+
+module R = Svr_relational
+
+let check = Alcotest.check
+let qtest ?(count = 200) name prop gen =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Values *)
+
+let test_value () =
+  check Alcotest.bool "ty parse" true (R.Value.ty_of_string "Integer" = Some R.Value.Int_t);
+  check Alcotest.bool "ty parse bad" true (R.Value.ty_of_string "blob" = None);
+  check (Alcotest.float 1e-9) "coerce" 3.0 (R.Value.to_float (R.Value.Int 3));
+  check Alcotest.bool "null compare" true
+    (R.Value.compare_sql R.Value.Null (R.Value.Int 0) < 0);
+  check Alcotest.bool "cross-numeric" true
+    (R.Value.compare_sql (R.Value.Int 2) (R.Value.Float 2.5) < 0);
+  check Alcotest.bool "null equality is false" false
+    (R.Value.equal_sql R.Value.Null R.Value.Null)
+
+let value_roundtrip_prop v =
+  let buf = Buffer.create 16 in
+  R.Value.encode buf v;
+  R.Value.decode (Buffer.contents buf) (ref 0) = v
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [ return R.Value.Null;
+        map (fun i -> R.Value.Int i) int;
+        map (fun f -> R.Value.Float f) (float_bound_inclusive 1e12);
+        map (fun s -> R.Value.Text s) (string_size ~gen:printable (int_range 0 40)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Schema + table *)
+
+let movie_schema () =
+  R.Schema.make
+    ~columns:
+      [ { R.Schema.name = "mID"; ty = R.Value.Int_t };
+        { R.Schema.name = "title"; ty = R.Value.Text_t };
+        { R.Schema.name = "rating"; ty = R.Value.Float_t } ]
+    ~primary_key:"mID"
+
+let test_schema () =
+  let s = movie_schema () in
+  check Alcotest.int "arity" 3 (R.Schema.arity s);
+  check Alcotest.(option int) "case-insensitive" (Some 0) (R.Schema.position s "mid");
+  check Alcotest.string "pk" "mID" (R.Schema.primary_key s);
+  Alcotest.check_raises "bad row arity"
+    (Invalid_argument "Schema: expected 3 values, got 1") (fun () ->
+      R.Schema.check_row s [| R.Value.Int 1 |]);
+  (* Int accepted for Float column *)
+  R.Schema.check_row s [| R.Value.Int 1; R.Value.Text "x"; R.Value.Int 4 |]
+
+let test_table () =
+  let env = Svr_storage.Env.create ~table_pool_pages:64 ~blob_pool_pages:16 () in
+  let t = R.Table.create env ~name:"Movies" (movie_schema ()) in
+  let events = ref [] in
+  R.Table.subscribe t (fun ch -> events := ch :: !events);
+  R.Table.insert t [| R.Value.Int 1; R.Value.Text "Golden Gate"; R.Value.Float 4.5 |];
+  R.Table.insert t [| R.Value.Int 2; R.Value.Text "Amateur Film"; R.Value.Float 2.0 |];
+  check Alcotest.int "count" 2 (R.Table.count t);
+  check Alcotest.bool "get" true
+    (match R.Table.get t (R.Value.Int 1) with
+    | Some row -> row.(1) = R.Value.Text "Golden Gate"
+    | None -> false);
+  Alcotest.check_raises "duplicate pk"
+    (Invalid_argument "Movies: duplicate primary key 1") (fun () ->
+      R.Table.insert t [| R.Value.Int 1; R.Value.Text "Dup"; R.Value.Float 0.0 |]);
+  R.Table.update t [| R.Value.Int 2; R.Value.Text "Amateur Film"; R.Value.Float 3.5 |];
+  check Alcotest.bool "delete" true (R.Table.delete t (R.Value.Int 1));
+  check Alcotest.bool "delete missing" false (R.Table.delete t (R.Value.Int 99));
+  check Alcotest.int "events" 4 (List.length !events);
+  (match !events with
+  | R.Table.Deleted _ :: R.Table.Updated { after; _ } :: _ ->
+      check Alcotest.bool "update event" true (after.(2) = R.Value.Float 3.5)
+  | _ -> Alcotest.fail "unexpected event order");
+  let seen = ref 0 in
+  R.Table.scan t (fun _ -> incr seen);
+  check Alcotest.int "scan" 1 !seen
+
+(* ------------------------------------------------------------------ *)
+(* Lexer / parser *)
+
+let test_lexer () =
+  let toks = R.Sql_lexer.tokenize "SELECT * FROM t WHERE a <= 'it''s' -- nope\n + 2.5" in
+  check Alcotest.int "token count" 11 (List.length toks);
+  check Alcotest.bool "string escape" true
+    (List.exists (fun t -> t = R.Sql_lexer.String_lit "it's") toks);
+  check Alcotest.bool "float" true
+    (List.exists (fun t -> t = R.Sql_lexer.Float_lit 2.5) toks);
+  Alcotest.check_raises "bad char" (R.Sql_lexer.Lex_error "unexpected character '#'")
+    (fun () -> ignore (R.Sql_lexer.tokenize "a # b"))
+
+let test_parser_select () =
+  match R.Sql_parser.parse_one
+          "SELECT * FROM Movies m ORDER BY score(m.description, 'golden gate') DESC \
+           FETCH TOP 10 RESULTS ONLY"
+  with
+  | R.Sql_ast.Select { projections = [ R.Sql_ast.Star ]; from = Some ("Movies", Some "m");
+                       order = Some { descending = true; _ }; fetch_top = Some 10; _ } -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parser_function () =
+  match R.Sql_parser.parse_one
+          "create function S1 (id: integer) returns float \
+           return SELECT avg(R.rating) FROM Reviews R WHERE R.mID = id"
+  with
+  | R.Sql_ast.Create_function
+      { fname = "s1"; params = [ ("id", R.Value.Int_t) ]; ret = R.Value.Float_t;
+        body = R.Sql_ast.Subquery
+            { projections = [ R.Sql_ast.Proj (R.Sql_ast.Agg (R.Sql_ast.Avg, _), None) ];
+              from = Some ("Reviews", Some "R"); where = Some _; _ } } -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parser_misc () =
+  check Alcotest.int "script" 3
+    (List.length
+       (R.Sql_parser.parse
+          "SELECT 1; INSERT INTO t VALUES (1, 'a'), (2, 'b'); DELETE FROM t WHERE a = 1;"));
+  (match R.Sql_parser.parse_expr "1 + 2 * 3" with
+  | R.Sql_ast.Binop (R.Sql_ast.Add, _, R.Sql_ast.Binop (R.Sql_ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "precedence");
+  (match R.Sql_parser.parse_expr "(s1*100 + s2/2 + s3)" with
+  | R.Sql_ast.Binop (R.Sql_ast.Add, _, _) -> ()
+  | _ -> Alcotest.fail "agg body");
+  Alcotest.check_raises "parse error"
+    (R.Sql_parser.Parse_error "empty input") (fun () ->
+      ignore (R.Sql_parser.parse_one ""))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer roundtrip *)
+
+let statement_corpus =
+  [ "CREATE TABLE Movies (mID integer, title text, description text, PRIMARY KEY (mID))";
+    "create function S1 (id: integer) returns float \
+     return SELECT avg(R.rating) FROM Reviews R WHERE R.mID = id";
+    "create function Agg (s1: float, s2: float, s3: float) returns float \
+     return (s1*100 + s2/2 + s3)";
+    "CREATE TEXT INDEX I ON Movies (description) USING chunk SCORE (S1, S2, tfidf) \
+     AGG Agg WEIGHT 0.5";
+    "REBUILD TEXT INDEX I";
+    "INSERT INTO t VALUES (1, 'it''s', 2.5), (2, NULL, -3)";
+    "UPDATE t SET a = a + 1, b = 'x' WHERE NOT (a >= 10 OR b <> 'y')";
+    "DELETE FROM t WHERE a = 1 AND b <= 2";
+    "SELECT a, count(*), avg(b) AS m FROM t WHERE c = 'x' ORDER BY a DESC \
+     FETCH TOP 3 RESULTS ONLY";
+    "SELECT * FROM Movies m ORDER BY score(m.description, 'golden gate') DESC \
+     FETCH TOP 10 RESULTS ONLY";
+    "SELECT (SELECT max(x) FROM u WHERE u.k = t.a) FROM t" ]
+
+let test_pp_roundtrip () =
+  List.iter
+    (fun sql ->
+      let ast = R.Sql_parser.parse_one sql in
+      let printed = R.Sql_pp.statement_to_string ast in
+      let reparsed =
+        try R.Sql_parser.parse_one printed
+        with R.Sql_parser.Parse_error m ->
+          Alcotest.fail (Printf.sprintf "re-parse of %S failed: %s" printed m)
+      in
+      if reparsed <> ast then
+        Alcotest.fail (Printf.sprintf "roundtrip changed AST for %S -> %S" sql printed))
+    statement_corpus
+
+(* random arithmetic/boolean expressions roundtrip through print + parse *)
+let rec expr_gen depth =
+  let open QCheck2.Gen in
+  if depth = 0 then
+    oneof
+      [ map (fun i -> R.Sql_ast.Lit (R.Value.Int i)) (int_range 0 50);
+        map (fun f -> R.Sql_ast.Lit (R.Value.Float f)) (float_bound_inclusive 100.0);
+        map (fun s -> R.Sql_ast.Lit (R.Value.Text s))
+          (string_size ~gen:(char_range 'a' 'z') (int_range 0 6));
+        return (R.Sql_ast.Lit R.Value.Null);
+        map (fun c -> R.Sql_ast.Col (None, "c" ^ string_of_int c)) (int_bound 5);
+        map (fun c -> R.Sql_ast.Col (Some "t", "c" ^ string_of_int c)) (int_bound 5) ]
+  else
+    let sub = expr_gen (depth - 1) in
+    oneof
+      [ expr_gen 0;
+        (* the parser folds Neg of a numeric literal into the literal, so a
+           canonical AST never has that shape *)
+        map
+          (fun e ->
+            match e with
+            | R.Sql_ast.Lit (R.Value.Int _ | R.Value.Float _) -> R.Sql_ast.Not e
+            | e -> R.Sql_ast.Neg e)
+          sub;
+        map (fun e -> R.Sql_ast.Not e) sub;
+        map (fun (op, a, b) -> R.Sql_ast.Binop (op, a, b))
+          (triple
+             (oneofl
+                [ R.Sql_ast.Add; R.Sql_ast.Sub; R.Sql_ast.Mul; R.Sql_ast.Div;
+                  R.Sql_ast.Eq; R.Sql_ast.Neq; R.Sql_ast.Lt; R.Sql_ast.Le;
+                  R.Sql_ast.Gt; R.Sql_ast.Ge; R.Sql_ast.And; R.Sql_ast.Or ])
+             sub sub);
+        map (fun args -> R.Sql_ast.Call ("f", args)) (list_size (int_range 0 3) sub);
+        map (fun e -> R.Sql_ast.Agg (R.Sql_ast.Avg, e)) sub ]
+
+let pp_expr_roundtrip_prop e =
+  R.Sql_parser.parse_expr (R.Sql_pp.expr_to_string e) = e
+
+(* ------------------------------------------------------------------ *)
+(* Engine: basic SQL *)
+
+let engine () =
+  R.Engine.create
+    ~env:(Svr_storage.Env.create ~table_pool_pages:512 ~blob_pool_pages:64 ())
+    ()
+
+let test_engine_basics () =
+  let e = engine () in
+  ignore (R.Engine.exec e "CREATE TABLE T (a integer, b float, c text, PRIMARY KEY (a))");
+  ignore (R.Engine.exec e "INSERT INTO T VALUES (1, 1.5, 'x'), (2, 2.5, 'y'), (3, 0.5, 'x')");
+  let _, rows = R.Engine.query_rows e "SELECT a FROM T WHERE c = 'x' ORDER BY b DESC" in
+  check Alcotest.bool "where + order" true
+    (List.map (fun r -> r.(0)) rows = [ R.Value.Int 1; R.Value.Int 3 ]);
+  let _, rows = R.Engine.query_rows e "SELECT count(*), avg(b), sum(a), min(b), max(b) FROM T" in
+  (match rows with
+  | [ [| R.Value.Int 3; R.Value.Float avg; R.Value.Int 6; R.Value.Float 0.5; R.Value.Float 2.5 |] ] ->
+      check (Alcotest.float 1e-9) "avg" 1.5 avg
+  | _ -> Alcotest.fail "aggregates");
+  ignore (R.Engine.exec e "UPDATE T SET b = b + 10 WHERE a = 2");
+  let _, rows = R.Engine.query_rows e "SELECT b FROM T WHERE a = 2" in
+  check Alcotest.bool "update" true (rows = [ [| R.Value.Float 12.5 |] ]);
+  ignore (R.Engine.exec e "DELETE FROM T WHERE c = 'x'");
+  let _, rows = R.Engine.query_rows e "SELECT count(*) FROM T" in
+  check Alcotest.bool "delete" true (rows = [ [| R.Value.Int 1 |] ]);
+  (* expression-only select and scalar functions *)
+  let _, rows = R.Engine.query_rows e "SELECT 2 + 3 * 4, abs(-2), coalesce(NULL, 7)" in
+  check Alcotest.bool "exprs" true
+    (rows = [ [| R.Value.Int 14; R.Value.Int 2; R.Value.Int 7 |] ]);
+  (* errors *)
+  Alcotest.check_raises "unknown table" (R.Engine.Sql_error "unknown table Nope")
+    (fun () -> ignore (R.Engine.exec e "SELECT * FROM Nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: the paper's Section 3 example, end to end *)
+
+let setup_archive () =
+  let e = engine () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE Movies (mID integer, title text, description text, PRIMARY KEY (mID));\n\
+        CREATE TABLE Reviews (rID integer, mID integer, rating float, PRIMARY KEY (rID));\n\
+        CREATE TABLE Statistics (mID integer, nVisit integer, nDownload integer, PRIMARY KEY (mID));");
+  ignore
+    (R.Engine.exec e
+       "INSERT INTO Movies VALUES \
+        (1, 'American Thrift', 'a big thrifty movie about the golden gate bridge'), \
+        (2, 'Amateur Film', 'an amateur film shot at the golden gate'), \
+        (3, 'City Rails', 'a documentary about city railways');\n\
+        INSERT INTO Reviews VALUES (10, 1, 5.0), (11, 1, 4.0), (12, 2, 2.0), (13, 3, 3.0);\n\
+        INSERT INTO Statistics VALUES (1, 2000, 300), (2, 100, 10), (3, 500, 50);");
+  ignore
+    (R.Engine.exec e
+       "create function S1 (id: integer) returns float \
+        return SELECT avg(R.rating) FROM Reviews R WHERE R.mID = id;\n\
+        create function S2 (id: integer) returns float \
+        return SELECT S.nVisit FROM Statistics S WHERE S.mID = id;\n\
+        create function S3 (id: integer) returns float \
+        return SELECT S.nDownload FROM Statistics S WHERE S.mID = id;\n\
+        create function Agg (s1: float, s2: float, s3: float) returns float \
+        return (s1*100 + s2/2 + s3);");
+  ignore
+    (R.Engine.exec e
+       "CREATE TEXT INDEX MoviesIdx ON Movies (description) USING chunk \
+        SCORE (S1, S2, S3) AGG Agg");
+  e
+
+let top_movies e =
+  let _, rows =
+    R.Engine.query_rows e
+      "SELECT mID FROM Movies ORDER BY score(description, 'golden gate') DESC \
+       FETCH TOP 10 RESULTS ONLY"
+  in
+  List.map (fun r -> R.Value.to_int r.(0)) rows
+
+let test_svr_example () =
+  let e = setup_archive () in
+  (* S1(1)=4.5 -> 450 + 1000 + 300 = 1750; movie 2: 200 + 50 + 10 = 260 *)
+  check (Alcotest.float 1e-9) "spec score movie 1" 1750.0
+    (R.Engine.svr_score e ~index:"MoviesIdx" ~doc:1);
+  check (Alcotest.float 1e-9) "spec score movie 2" 260.0
+    (R.Engine.svr_score e ~index:"MoviesIdx" ~doc:2);
+  check Alcotest.(list int) "initial ranking" [ 1; 2 ] (top_movies e)
+
+let test_incremental_maintenance () =
+  let e = setup_archive () in
+  (* flash crowd on the amateur film: the Statistics update flows through the
+     materialized-view triggers into the index *)
+  ignore (R.Engine.exec e "UPDATE Statistics SET nVisit = 500000 WHERE mID = 2");
+  check (Alcotest.float 1e-9) "new spec score" 250210.0
+    (R.Engine.svr_score e ~index:"MoviesIdx" ~doc:2);
+  check Alcotest.(list int) "flash crowd flips ranking" [ 2; 1 ] (top_movies e);
+  (* a new review for movie 1 also propagates (different component) *)
+  ignore (R.Engine.exec e "INSERT INTO Reviews VALUES (14, 2, 1.0)");
+  check (Alcotest.float 1e-9) "avg rating moved" 250160.0
+    (R.Engine.svr_score e ~index:"MoviesIdx" ~doc:2);
+  (* the index agrees with a fresh spec evaluation *)
+  let _, rows =
+    R.Engine.query_rows e
+      "SELECT mID, title FROM Movies ORDER BY score(description, 'golden gate') DESC \
+       FETCH TOP 1 RESULTS ONLY"
+  in
+  check Alcotest.bool "top row" true
+    (match rows with
+    | [ [| R.Value.Int 2; R.Value.Text "Amateur Film" |] ] -> true
+    | _ -> false)
+
+let test_document_lifecycle () =
+  let e = setup_archive () in
+  (* inserting a movie makes it searchable with its current spec score *)
+  ignore
+    (R.Engine.exec e
+       "INSERT INTO Movies VALUES (4, 'Gate Again', 'yet another golden gate story');\n\
+        INSERT INTO Statistics VALUES (4, 900000, 0);\n\
+        INSERT INTO Reviews VALUES (20, 4, 5.0);");
+  check Alcotest.(list int) "insert ranked first" [ 4; 1; 2 ] (top_movies e);
+  (* content update: movie 3 gains the keywords *)
+  ignore
+    (R.Engine.exec e
+       "UPDATE Movies SET description = 'city railways near the golden gate' WHERE mID = 3");
+  check Alcotest.bool "content update visible" true (List.mem 3 (top_movies e));
+  (* deletion drops it from results *)
+  ignore (R.Engine.exec e "DELETE FROM Movies WHERE mID = 4");
+  check Alcotest.(list int) "deleted gone" [ 1; 3; 2 ] (top_movies e)
+
+let test_svr_with_where () =
+  let e = setup_archive () in
+  let _, rows =
+    R.Engine.query_rows e
+      "SELECT mID FROM Movies WHERE mID <> 1 \
+       ORDER BY score(description, 'golden gate') DESC FETCH TOP 10 RESULTS ONLY"
+  in
+  check Alcotest.bool "where filters ranked rows" true
+    (List.map (fun r -> r.(0)) rows = [ R.Value.Int 2 ])
+
+let test_all_methods_via_sql () =
+  List.iter
+    (fun m ->
+      let e = engine () in
+      ignore
+        (R.Engine.exec e
+           "CREATE TABLE D (id integer, body text, PRIMARY KEY (id));\n\
+            CREATE TABLE Pop (id integer, hits integer, PRIMARY KEY (id));\n\
+            INSERT INTO D VALUES (1, 'alpha beta'), (2, 'alpha gamma'), (3, 'beta gamma');\n\
+            INSERT INTO Pop VALUES (1, 10), (2, 30), (3, 20);\n\
+            create function Hits (d: integer) returns float \
+            return SELECT P.hits FROM Pop P WHERE P.id = d;");
+      ignore
+        (R.Engine.exec e
+           (Printf.sprintf
+              "CREATE TEXT INDEX DIdx ON D (body) USING %s SCORE (Hits)" m));
+      let _, rows =
+        R.Engine.query_rows e
+          "SELECT id FROM D ORDER BY score(body, 'alpha') DESC FETCH TOP 5 RESULTS ONLY"
+      in
+      check Alcotest.bool (m ^ " ranking") true
+        (List.map (fun r -> r.(0)) rows = [ R.Value.Int 2; R.Value.Int 1 ]);
+      ignore (R.Engine.exec e "UPDATE Pop SET hits = 99 WHERE id = 1");
+      let _, rows =
+        R.Engine.query_rows e
+          "SELECT id FROM D ORDER BY score(body, 'alpha') DESC FETCH TOP 5 RESULTS ONLY"
+      in
+      check Alcotest.bool (m ^ " after update") true
+        (List.map (fun r -> r.(0)) rows = [ R.Value.Int 1; R.Value.Int 2 ]))
+    [ "id"; "score"; "score_threshold"; "chunk"; "id_termscore"; "chunk_termscore" ]
+
+let test_index_errors () =
+  let e = setup_archive () in
+  Alcotest.check_raises "no index on title"
+    (R.Engine.Sql_error "no text index on Movies(title)") (fun () ->
+      ignore
+        (R.Engine.query_rows e "SELECT * FROM Movies ORDER BY score(title, 'x') DESC"));
+  Alcotest.check_raises "bad method"
+    (R.Engine.Sql_error "unknown index method btree") (fun () ->
+      ignore
+        (R.Engine.exec e
+           "CREATE TEXT INDEX X ON Movies (title) USING btree SCORE (S1)"))
+
+let test_tfidf_component () =
+  let e = engine () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE D (id integer, body text, PRIMARY KEY (id));\n\
+        INSERT INTO D VALUES (1, 'apple apple apple pie'), (2, 'apple sauce'), (3, 'pie chart');\n\
+        create function One (d: integer) returns float return 10.0;");
+  (* chunk + TFIDF promotes to Chunk-TermScore; heavy-apple doc wins on the
+     term component despite equal structured scores *)
+  ignore
+    (R.Engine.exec e
+       "CREATE TEXT INDEX DIdx ON D (body) USING chunk SCORE (One, TFIDF) WEIGHT 100");
+  let _, rows =
+    R.Engine.query_rows e
+      "SELECT id FROM D ORDER BY score(body, 'apple') DESC FETCH TOP 3 RESULTS ONLY"
+  in
+  check Alcotest.bool "tf breaks the tie" true
+    (List.map (fun r -> r.(0)) rows = [ R.Value.Int 1; R.Value.Int 2 ]);
+  (* structured component still dominates when it moves *)
+  Alcotest.check_raises "tfidf needs a termscore-capable method"
+    (R.Engine.Sql_error "method Score cannot combine TFIDF(); use chunk or id")
+    (fun () ->
+      ignore
+        (R.Engine.exec e
+           "CREATE TEXT INDEX D2 ON D (body) USING score SCORE (One, TFIDF)"))
+
+let test_rebuild_statement () =
+  let e = setup_archive () in
+  ignore (R.Engine.exec e "UPDATE Statistics SET nVisit = 900000 WHERE mID = 2");
+  (match R.Engine.exec_one e "REBUILD TEXT INDEX MoviesIdx" with
+  | R.Engine.Done msg -> check Alcotest.string "ack" "text index MoviesIdx rebuilt" msg
+  | _ -> Alcotest.fail "expected Done");
+  check Alcotest.(list int) "ranking survives rebuild" [ 2; 1 ] (top_movies e);
+  Alcotest.check_raises "unknown index"
+    (R.Engine.Sql_error "unknown text index Nope") (fun () ->
+      ignore (R.Engine.exec e "REBUILD TEXT INDEX Nope"))
+
+let () =
+  Alcotest.run "svr_relational"
+    [ ( "value",
+        [ Alcotest.test_case "units" `Quick test_value;
+          qtest "codec roundtrip" value_roundtrip_prop value_gen ] );
+      ( "schema_table",
+        [ Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "table" `Quick test_table ] );
+      ( "sql_frontend",
+        [ Alcotest.test_case "lexer" `Quick test_lexer;
+          Alcotest.test_case "select" `Quick test_parser_select;
+          Alcotest.test_case "function" `Quick test_parser_function;
+          Alcotest.test_case "misc" `Quick test_parser_misc;
+          Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip;
+          qtest "pp expr roundtrip" pp_expr_roundtrip_prop (expr_gen 4) ] );
+      ("engine", [ Alcotest.test_case "basics" `Quick test_engine_basics ]);
+      ( "svr_integration",
+        [ Alcotest.test_case "section 3 example" `Quick test_svr_example;
+          Alcotest.test_case "incremental maintenance" `Quick test_incremental_maintenance;
+          Alcotest.test_case "document lifecycle" `Quick test_document_lifecycle;
+          Alcotest.test_case "where + ranking" `Quick test_svr_with_where;
+          Alcotest.test_case "all methods via SQL" `Quick test_all_methods_via_sql;
+          Alcotest.test_case "TFIDF component" `Quick test_tfidf_component;
+          Alcotest.test_case "REBUILD statement" `Quick test_rebuild_statement;
+          Alcotest.test_case "errors" `Quick test_index_errors ] )
+    ]

@@ -1,0 +1,434 @@
+(* Tests for the storage substrate: varint, order keys, LRU, pager stats,
+   B+-tree (model-checked against Map), blob store. *)
+
+module S = Svr_storage
+
+let check = Alcotest.check
+let qtest ?(count = 300) name prop gen =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Varint *)
+
+let varint_roundtrip n =
+  let buf = Buffer.create 16 in
+  S.Varint.write buf n;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  let decoded = S.Varint.read s pos in
+  decoded = n && !pos = String.length s && S.Varint.size n = String.length s
+
+let test_varint_units () =
+  List.iter
+    (fun (n, expect_len) ->
+      let buf = Buffer.create 16 in
+      S.Varint.write buf n;
+      check Alcotest.int (Printf.sprintf "len of %d" n) expect_len
+        (String.length (Buffer.contents buf)))
+    [ (0, 1); (127, 1); (128, 2); (16383, 2); (16384, 3); (max_int / 2, 9) ];
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Varint.write: negative")
+    (fun () -> S.Varint.write (Buffer.create 4) (-1))
+
+let test_varint_sequence () =
+  let buf = Buffer.create 64 in
+  let values = [ 0; 1; 300; 70000; 123456789 ] in
+  List.iter (S.Varint.write buf) values;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  let decoded = List.map (fun _ -> S.Varint.read s pos) values in
+  check Alcotest.(list int) "sequence" values decoded;
+  Alcotest.check_raises "truncated" (Invalid_argument "Varint.read: truncated")
+    (fun () -> ignore (S.Varint.read "\xff" (ref 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Order_key *)
+
+let enc f x =
+  let buf = Buffer.create 16 in
+  f buf x;
+  Buffer.contents buf
+
+let same_order cmp_vals a_enc b_enc =
+  let c1 = compare cmp_vals 0 and c2 = String.compare a_enc b_enc in
+  (c1 < 0) = (c2 < 0) && (c1 = 0) = (c2 = 0)
+
+let test_order_key_units () =
+  check Alcotest.int "u32 roundtrip" 12345 (S.Order_key.get_u32 (enc S.Order_key.u32 12345) 0);
+  check Alcotest.int "u32_desc roundtrip" 12345
+    (S.Order_key.get_u32_desc (enc S.Order_key.u32_desc 12345) 0);
+  check (Alcotest.float 0.0) "f64 roundtrip" 3.25 (S.Order_key.get_f64 (enc S.Order_key.f64 3.25) 0);
+  check (Alcotest.float 0.0) "f64_desc roundtrip" 3.25
+    (S.Order_key.get_f64_desc (enc S.Order_key.f64_desc 3.25) 0);
+  check (Alcotest.float 0.0) "f64 neg roundtrip" (-7.5)
+    (S.Order_key.get_f64 (enc S.Order_key.f64 (-7.5)) 0);
+  let pos = ref 0 in
+  check Alcotest.string "term roundtrip" "hello"
+    (S.Order_key.get_term (enc S.Order_key.term "hello") pos);
+  (* term prefix safety: "ab" must sort before "abc" in the term field
+     because of the NUL terminator, and composite keys must not interleave *)
+  let k t n = S.Order_key.compose [ (fun b -> S.Order_key.term b t); (fun b -> S.Order_key.u32 b n) ] in
+  check Alcotest.bool "term field isolation" true
+    (String.compare (k "ab" 999999) (k "abc" 0) < 0)
+
+let test_order_key_props =
+  [ qtest "u32 order-preserving"
+      (fun (a, b) -> same_order (compare a b) (enc S.Order_key.u32 a) (enc S.Order_key.u32 b))
+      QCheck2.Gen.(pair (int_bound 0xFFFFFF) (int_bound 0xFFFFFF));
+    qtest "u32_desc order-reversing"
+      (fun (a, b) ->
+        same_order (compare b a) (enc S.Order_key.u32_desc a) (enc S.Order_key.u32_desc b))
+      QCheck2.Gen.(pair (int_bound 0xFFFFFF) (int_bound 0xFFFFFF));
+    qtest "f64 order-preserving"
+      (fun (a, b) -> same_order (compare a b) (enc S.Order_key.f64 a) (enc S.Order_key.f64 b))
+      QCheck2.Gen.(pair (float_bound_inclusive 1e9) (float_bound_inclusive 1e9));
+    qtest "f64_desc order-reversing"
+      (fun (a, b) ->
+        same_order (compare b a) (enc S.Order_key.f64_desc a) (enc S.Order_key.f64_desc b))
+      QCheck2.Gen.(pair (float_bound_inclusive 1e9) (float_bound_inclusive 1e9))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* LRU *)
+
+let test_lru_basic () =
+  let lru = S.Lru.create ~cap:2 in
+  check Alcotest.(option unit) "evict none" None
+    (Option.map (fun _ -> ()) (S.Lru.add lru "a" 1));
+  ignore (S.Lru.add lru "b" 2);
+  check Alcotest.(option int) "find a" (Some 1) (S.Lru.find lru "a");
+  (* a is now MRU, adding c evicts b *)
+  (match S.Lru.add lru "c" 3 with
+  | Some ("b", 2) -> ()
+  | _ -> Alcotest.fail "expected eviction of b");
+  check Alcotest.(option int) "b gone" None (S.Lru.find lru "b");
+  check Alcotest.int "len" 2 (S.Lru.length lru);
+  S.Lru.remove lru "a";
+  check Alcotest.int "len after remove" 1 (S.Lru.length lru);
+  S.Lru.clear lru;
+  check Alcotest.int "len after clear" 0 (S.Lru.length lru)
+
+let test_lru_replace () =
+  let lru = S.Lru.create ~cap:2 in
+  ignore (S.Lru.add lru 1 "x");
+  ignore (S.Lru.add lru 1 "y");
+  check Alcotest.int "replace keeps one entry" 1 (S.Lru.length lru);
+  check Alcotest.(option string) "replaced" (Some "y") (S.Lru.find lru 1)
+
+(* LRU behaves like a reference model on random traces *)
+let lru_model_prop ops =
+  let cap = 4 in
+  let lru = S.Lru.create ~cap in
+  (* model: association list, most recent first *)
+  let model = ref [] in
+  let model_find k =
+    match List.assoc_opt k !model with
+    | None -> None
+    | Some v ->
+        model := (k, v) :: List.remove_assoc k !model;
+        Some v
+  in
+  let model_add k v =
+    model := (k, v) :: List.remove_assoc k !model;
+    if List.length !model > cap then
+      model := List.filteri (fun i _ -> i < cap) !model
+  in
+  List.for_all
+    (fun (op, k) ->
+      match op with
+      | 0 ->
+          let got = S.Lru.find lru k and want = model_find k in
+          got = want
+      | _ ->
+          ignore (S.Lru.add lru k (k * 10));
+          model_add k (k * 10);
+          S.Lru.length lru = List.length !model)
+    ops
+
+let test_lru_props =
+  [ qtest "lru model" lru_model_prop
+      QCheck2.Gen.(small_list (pair (int_bound 1) (int_bound 7))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Disk + Pager stats *)
+
+let test_pager_stats () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"d" stats in
+  let pager = S.Pager.create ~pool_pages:2 ~stats disk in
+  let p0 = S.Pager.alloc pager in
+  let p1 = S.Pager.alloc pager in
+  let p2 = S.Pager.alloc pager in
+  (* freshly allocated pages are cached: no physical reads yet *)
+  check Alcotest.int "no reads after alloc" 0 (stats.S.Stats.seq_reads + stats.S.Stats.rand_reads);
+  (* pool holds 2 pages, so p0 was evicted (clean, no write-back) *)
+  ignore (S.Pager.get pager p1);
+  check Alcotest.int "hit on cached" 1 stats.S.Stats.cache_hits;
+  ignore (S.Pager.get pager p0);
+  check Alcotest.int "miss reads disk" 1 (stats.S.Stats.seq_reads + stats.S.Stats.rand_reads);
+  (* dirty write-back on eviction *)
+  let page = Bytes.make 4096 'x' in
+  S.Pager.put pager p0 page;
+  ignore (S.Pager.get pager p1);
+  ignore (S.Pager.get pager p2);
+  (* p0 dirty got evicted -> one physical write *)
+  check Alcotest.int "write-back" 1 stats.S.Stats.page_writes;
+  let back = S.Pager.get pager p0 in
+  check Alcotest.char "contents survived" 'x' (Bytes.get back 0)
+
+let test_disk_seq_classification () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"d" stats in
+  for _ = 1 to 5 do
+    ignore (S.Disk.alloc disk)
+  done;
+  ignore (S.Disk.read disk 2);
+  ignore (S.Disk.read disk 3);
+  ignore (S.Disk.read disk 4);
+  ignore (S.Disk.read disk 0);
+  check Alcotest.int "seq" 2 stats.S.Stats.seq_reads;
+  check Alcotest.int "rand" 2 stats.S.Stats.rand_reads;
+  let d = S.Stats.diff ~after:(S.Stats.snapshot stats) ~before:(S.Stats.create ()) in
+  check Alcotest.int "diff rand" 2 d.S.Stats.rand_reads;
+  check Alcotest.bool "simulated time positive" true (S.Stats.simulated_ms stats > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree *)
+
+let fresh_btree ?(pool_pages = 64) () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"t" stats in
+  S.Btree.create (S.Pager.create ~pool_pages ~stats disk)
+
+let test_btree_basic () =
+  let t = fresh_btree () in
+  check Alcotest.(option string) "empty find" None (S.Btree.find t "k");
+  S.Btree.insert t "k" "v";
+  check Alcotest.(option string) "find" (Some "v") (S.Btree.find t "k");
+  S.Btree.insert t "k" "v2";
+  check Alcotest.(option string) "upsert" (Some "v2") (S.Btree.find t "k");
+  check Alcotest.int "count" 1 (S.Btree.count t);
+  check Alcotest.bool "delete" true (S.Btree.delete t "k");
+  check Alcotest.bool "delete again" false (S.Btree.delete t "k");
+  check Alcotest.int "count after delete" 0 (S.Btree.count t)
+
+let test_btree_many () =
+  let t = fresh_btree () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    (* shuffled order via multiplication mod prime *)
+    let k = i * 2654435761 mod 999983 in
+    S.Btree.insert t (Printf.sprintf "key%08d" k) (string_of_int k)
+  done;
+  S.Btree.check_invariants t;
+  check Alcotest.bool "height grew" true (S.Btree.height t > 1);
+  (* all present *)
+  for i = 0 to n - 1 do
+    let k = i * 2654435761 mod 999983 in
+    match S.Btree.find t (Printf.sprintf "key%08d" k) with
+    | Some v when v = string_of_int k -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "missing key %d" k)
+  done;
+  (* iteration is sorted *)
+  let prev = ref "" in
+  let sorted = ref true and seen = ref 0 in
+  S.Btree.iter_all t (fun k _ ->
+      if String.compare !prev k >= 0 then sorted := false;
+      prev := k;
+      incr seen;
+      true);
+  check Alcotest.bool "sorted" true !sorted;
+  check Alcotest.int "all visited" (S.Btree.count t) !seen
+
+let test_btree_cursor () =
+  let t = fresh_btree () in
+  List.iter (fun k -> S.Btree.insert t k k) [ "b"; "d"; "f"; "h" ];
+  let c = S.Btree.seek t "c" in
+  check Alcotest.(option (pair string string)) "first >= c" (Some ("d", "d"))
+    (S.Btree.cursor_next c);
+  check Alcotest.(option (pair string string)) "then f" (Some ("f", "f"))
+    (S.Btree.cursor_next c);
+  let c2 = S.Btree.seek t "z" in
+  check Alcotest.(option (pair string string)) "past end" None (S.Btree.cursor_next c2);
+  check Alcotest.(option (pair string string)) "min binding" (Some ("b", "b"))
+    (S.Btree.min_binding t)
+
+let test_btree_prefix () =
+  let t = fresh_btree () in
+  List.iter
+    (fun k -> S.Btree.insert t k k)
+    [ "app:1"; "app:2"; "apple:1"; "b:1" ];
+  let seen = ref [] in
+  S.Btree.iter_prefix t "app:" (fun k _ ->
+      seen := k :: !seen;
+      true);
+  check Alcotest.(list string) "prefix scan" [ "app:1"; "app:2" ] (List.rev !seen)
+
+let test_btree_large_values () =
+  let t = fresh_btree () in
+  (* multi-hundred-byte values force splits by byte budget, not key count *)
+  for i = 0 to 200 do
+    S.Btree.insert t (Printf.sprintf "%04d" i) (String.make 300 (Char.chr (65 + (i mod 26))))
+  done;
+  S.Btree.check_invariants t;
+  check Alcotest.(option string) "big value intact" (Some (String.make 300 'A'))
+    (S.Btree.find t "0000");
+  Alcotest.check_raises "oversized entry rejected"
+    (Invalid_argument "Btree.insert: entry larger than a page") (fun () ->
+      S.Btree.insert t "huge" (String.make 5000 'x'))
+
+let test_btree_clear () =
+  let t = fresh_btree () in
+  for i = 0 to 2000 do
+    S.Btree.insert t (Printf.sprintf "%05d" i) "v"
+  done;
+  S.Btree.clear t;
+  check Alcotest.int "empty" 0 (S.Btree.count t);
+  check Alcotest.(option string) "gone" None (S.Btree.find t "00042");
+  check Alcotest.int "height reset" 1 (S.Btree.height t);
+  (* a cursor over the cleared tree terminates immediately: no stale chain *)
+  check Alcotest.(option (pair string string)) "no stale chain" None
+    (S.Btree.cursor_next (S.Btree.seek t ""));
+  S.Btree.insert t "a" "1";
+  S.Btree.check_invariants t;
+  check Alcotest.int "usable again" 1 (S.Btree.count t)
+
+(* model test: random op sequences agree with Map *)
+let btree_model_prop ops =
+  let t = fresh_btree ~pool_pages:8 () in
+  let module M = Map.Make (String) in
+  let model = ref M.empty in
+  let ok = ref true in
+  List.iter
+    (fun (op, key_i, v) ->
+      let key = Printf.sprintf "k%03d" key_i in
+      match op mod 3 with
+      | 0 ->
+          S.Btree.insert t key (string_of_int v);
+          model := M.add key (string_of_int v) !model
+      | 1 ->
+          let got = S.Btree.delete t key and want = M.mem key !model in
+          model := M.remove key !model;
+          if got <> want then ok := false
+      | _ ->
+          if S.Btree.find t key <> M.find_opt key !model then ok := false)
+    ops;
+  S.Btree.check_invariants t;
+  let entries = ref [] in
+  S.Btree.iter_all t (fun k v ->
+      entries := (k, v) :: !entries;
+      true);
+  !ok && List.rev !entries = M.bindings !model
+
+let test_btree_props =
+  [ qtest ~count:100 "btree vs Map model" btree_model_prop
+      QCheck2.Gen.(list_size (int_range 0 400) (triple (int_bound 20) (int_bound 60) (int_bound 1000)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Blob store *)
+
+let fresh_blobs () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"b" stats in
+  (S.Blob_store.create (S.Pager.create ~pool_pages:4 ~stats disk), stats)
+
+let test_blob_roundtrip () =
+  let store, _ = fresh_blobs () in
+  let payload = String.init 10000 (fun i -> Char.chr (i mod 251)) in
+  let id = S.Blob_store.put store payload in
+  check Alcotest.int "length" 10000 (S.Blob_store.length store id);
+  check Alcotest.string "read_all" payload (S.Blob_store.read_all store id);
+  let id2 = S.Blob_store.put store "tiny" in
+  check Alcotest.string "second blob" "tiny" (S.Blob_store.read_all store id2);
+  check Alcotest.int "live bytes" 10004 (S.Blob_store.live_bytes store);
+  S.Blob_store.free store id;
+  check Alcotest.int "live bytes after free" 4 (S.Blob_store.live_bytes store);
+  Alcotest.check_raises "freed blob" Not_found (fun () ->
+      ignore (S.Blob_store.length store id))
+
+let test_blob_incremental () =
+  let store, stats = fresh_blobs () in
+  let payload = String.init 20000 (fun i -> Char.chr (i mod 7 + 48)) in
+  let id = S.Blob_store.put store payload in
+  (* cold cache *)
+  let _ = stats in
+  let r = S.Blob_store.reader store id in
+  check Alcotest.int "nothing fetched" 0 (S.Blob_store.fetched_bytes r);
+  S.Blob_store.ensure r 100;
+  check Alcotest.int "one page" 4096 (S.Blob_store.fetched_bytes r);
+  check Alcotest.string "prefix valid" (String.sub payload 0 100)
+    (String.sub (S.Blob_store.raw r) 0 100);
+  S.Blob_store.ensure r 5000;
+  check Alcotest.int "two pages" 8192 (S.Blob_store.fetched_bytes r);
+  S.Blob_store.ensure r 1_000_000;
+  check Alcotest.int "clamped to blob" 20000 (S.Blob_store.fetched_bytes r);
+  check Alcotest.string "full contents" payload
+    (String.sub (S.Blob_store.raw r) 0 20000)
+
+let test_blob_sequential_io () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"b" stats in
+  let store = S.Blob_store.create (S.Pager.create ~pool_pages:2 ~stats disk) in
+  let id = S.Blob_store.put store (String.make 40960 'z') in
+  S.Stats.reset stats;
+  (* pool too small to cache: reading straight through is ~all sequential *)
+  ignore (S.Blob_store.read_all store id);
+  check Alcotest.bool "mostly sequential" true (stats.S.Stats.seq_reads >= 8);
+  check Alcotest.bool "at most one seek" true (stats.S.Stats.rand_reads <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Env *)
+
+let test_env () =
+  let env = S.Env.create ~table_pool_pages:16 ~blob_pool_pages:16 () in
+  let t = S.Env.btree env ~name:"score" in
+  let b = S.Env.blob_store env ~name:"long" in
+  S.Btree.insert t "a" "1";
+  let id = S.Blob_store.put b (String.make 9000 'q') in
+  check Alcotest.bool "score device non-empty" true (S.Env.device_size env ~name:"score" > 0);
+  check Alcotest.int "long device footprint" (3 * 4096) (S.Env.device_size env ~name:"long");
+  check Alcotest.int "two devices" 2 (List.length (S.Env.device_sizes env));
+  S.Env.reset_stats env;
+  S.Env.drop_blob_caches env;
+  ignore (S.Blob_store.read_all b id);
+  check Alcotest.bool "cold read hits disk" true
+    ((S.Env.stats env).S.Stats.seq_reads + (S.Env.stats env).S.Stats.rand_reads >= 3);
+  S.Env.reset_stats env;
+  ignore (S.Blob_store.read_all b id);
+  check Alcotest.int "warm read all hits" 0
+    ((S.Env.stats env).S.Stats.seq_reads + (S.Env.stats env).S.Stats.rand_reads)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "svr_storage"
+    [ ( "varint",
+        [ Alcotest.test_case "units" `Quick test_varint_units;
+          Alcotest.test_case "sequence" `Quick test_varint_sequence;
+          qtest "roundtrip" varint_roundtrip QCheck2.Gen.(int_bound 1_000_000_000)
+        ] );
+      ( "order_key",
+        Alcotest.test_case "units" `Quick test_order_key_units
+        :: test_order_key_props );
+      ( "lru",
+        [ Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "replace" `Quick test_lru_replace ]
+        @ test_lru_props );
+      ( "pager",
+        [ Alcotest.test_case "stats" `Quick test_pager_stats;
+          Alcotest.test_case "seq classification" `Quick test_disk_seq_classification
+        ] );
+      ( "btree",
+        [ Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "many keys" `Quick test_btree_many;
+          Alcotest.test_case "cursor" `Quick test_btree_cursor;
+          Alcotest.test_case "prefix" `Quick test_btree_prefix;
+          Alcotest.test_case "large values" `Quick test_btree_large_values;
+          Alcotest.test_case "clear" `Quick test_btree_clear ]
+        @ test_btree_props );
+      ( "blob",
+        [ Alcotest.test_case "roundtrip" `Quick test_blob_roundtrip;
+          Alcotest.test_case "incremental" `Quick test_blob_incremental;
+          Alcotest.test_case "sequential io" `Quick test_blob_sequential_io ] );
+      ("env", [ Alcotest.test_case "env" `Quick test_env ])
+    ]

@@ -1,0 +1,185 @@
+(* Tests for the text-analysis substrate. *)
+
+module T = Svr_text
+
+let check = Alcotest.check
+let qtest ?(count = 300) name prop gen =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer *)
+
+let test_tokenizer () =
+  check Alcotest.(list string) "basic" [ "golden"; "gate"; "bridge" ]
+    (T.Tokenizer.tokens "Golden Gate bridge");
+  check Alcotest.(list string) "punctuation" [ "a1"; "b2"; "c" ]
+    (T.Tokenizer.tokens "a1, b2... (c)!");
+  check Alcotest.(list string) "empty" [] (T.Tokenizer.tokens "  \t\n ++--");
+  check Alcotest.(list string) "digits kept" [ "movie"; "2004" ]
+    (T.Tokenizer.tokens "movie 2004");
+  let long = String.make 200 'x' in
+  (match T.Tokenizer.tokens long with
+  | [ t ] -> check Alcotest.int "truncated" T.Tokenizer.max_token_len (String.length t)
+  | _ -> Alcotest.fail "expected a single token");
+  check Alcotest.int "fold counts" 3
+    (T.Tokenizer.fold "one two three" ~init:0 ~f:(fun n _ -> n + 1))
+
+let tokenizer_lowercase_prop s =
+  List.for_all
+    (fun t ->
+      String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) t
+      && String.length t > 0)
+    (T.Tokenizer.tokens s)
+
+(* ------------------------------------------------------------------ *)
+(* Porter stemmer: vectors from the published algorithm description *)
+
+let porter_vectors =
+  [ ("caresses", "caress"); ("ponies", "poni"); ("ties", "ti");
+    ("caress", "caress"); ("cats", "cat"); ("feed", "feed");
+    ("agreed", "agre"); ("plastered", "plaster"); ("bled", "bled");
+    ("motoring", "motor"); ("sing", "sing"); ("conflated", "conflat");
+    ("troubled", "troubl"); ("sized", "size"); ("hopping", "hop");
+    ("tanned", "tan"); ("falling", "fall"); ("hissing", "hiss");
+    ("fizzed", "fizz"); ("failing", "fail"); ("filing", "file");
+    ("happy", "happi"); ("sky", "sky"); ("relational", "relat");
+    ("conditional", "condit"); ("rational", "ration"); ("valenci", "valenc");
+    ("hesitanci", "hesit"); ("digitizer", "digit"); ("radicalli", "radic");
+    ("differentli", "differ"); ("vileli", "vile"); ("analogousli", "analog");
+    ("vietnamization", "vietnam"); ("predication", "predic");
+    ("operator", "oper"); ("feudalism", "feudal");
+    ("decisiveness", "decis"); ("hopefulness", "hope");
+    ("callousness", "callous"); ("formaliti", "formal");
+    ("sensitiviti", "sensit"); ("sensibiliti", "sensibl");
+    ("triplicate", "triplic"); ("formative", "form"); ("formalize", "formal");
+    ("electriciti", "electr"); ("electrical", "electr"); ("hopeful", "hope");
+    ("goodness", "good"); ("revival", "reviv"); ("allowance", "allow");
+    ("inference", "infer"); ("airliner", "airlin"); ("gyroscopic", "gyroscop");
+    ("adjustable", "adjust"); ("defensible", "defens"); ("irritant", "irrit");
+    ("replacement", "replac"); ("adjustment", "adjust");
+    ("dependent", "depend"); ("adoption", "adopt"); ("communism", "commun");
+    ("activate", "activ"); ("angulariti", "angular"); ("effective", "effect");
+    ("bowdlerize", "bowdler"); ("probate", "probat"); ("rate", "rate");
+    ("cease", "ceas"); ("controlling", "control"); ("rolling", "roll");
+    ("generalizations", "gener"); ("oscillators", "oscil") ]
+
+let test_porter_vectors () =
+  List.iter
+    (fun (w, expect) -> check Alcotest.string w expect (T.Porter.stem w))
+    porter_vectors
+
+let test_porter_short_words () =
+  List.iter
+    (fun w -> check Alcotest.string w w (T.Porter.stem w))
+    [ "a"; "is"; "be"; "on" ];
+  (* non-lowercase input passes through *)
+  check Alcotest.string "mixed case untouched" "Running" (T.Porter.stem "Running")
+
+let porter_total_prop w =
+  (* stemming never grows a word and always returns a non-empty result for
+     non-empty lowercase input *)
+  let s = T.Porter.stem w in
+  String.length s <= String.length w && (String.length w = 0 || String.length s > 0)
+
+let porter_idempotent_prop w =
+  (* a surprisingly strong sanity property that holds for Porter on lowercase
+     alphabetic input of the lengths we generate *)
+  let s = T.Porter.stem w in
+  String.length (T.Porter.stem s) <= String.length s
+
+let lowercase_word_gen =
+  QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 12))
+
+(* ------------------------------------------------------------------ *)
+(* Stopwords, analyzer *)
+
+let test_stopwords () =
+  check Alcotest.bool "the" true (T.Stopwords.is_stopword "the");
+  check Alcotest.bool "golden" false (T.Stopwords.is_stopword "golden");
+  check Alcotest.bool "list sane" true (List.length T.Stopwords.all > 100)
+
+let test_analyzer () =
+  check Alcotest.(list string) "pipeline"
+    [ "golden"; "gate"; "movi" ]
+    (T.Analyzer.analyze "The Golden Gate movies");
+  check Alcotest.(list string) "raw config"
+    [ "the"; "golden"; "gate"; "movies" ]
+    (T.Analyzer.analyze ~config:T.Analyzer.raw "The Golden Gate movies");
+  check Alcotest.(list (pair string int)) "frequencies"
+    [ ("gate", 2); ("golden", 1) ]
+    (T.Analyzer.term_frequencies "golden gate the gate");
+  check Alcotest.(list string) "distinct sorted" [ "gate"; "golden" ]
+    (T.Analyzer.distinct_terms "golden gate the gate")
+
+let analyzer_consistency_prop s =
+  (* distinct_terms = keys of term_frequencies; frequencies sum to the number
+     of analyzed tokens *)
+  let freqs = T.Analyzer.term_frequencies s in
+  let toks = T.Analyzer.analyze s in
+  List.map fst freqs = T.Analyzer.distinct_terms s
+  && List.fold_left (fun n (_, c) -> n + c) 0 freqs = List.length toks
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary *)
+
+let test_dictionary () =
+  let d = T.Dictionary.create () in
+  let a = T.Dictionary.intern d "alpha" in
+  let b = T.Dictionary.intern d "beta" in
+  check Alcotest.int "first id" 0 a;
+  check Alcotest.int "second id" 1 b;
+  check Alcotest.int "stable" a (T.Dictionary.intern d "alpha");
+  check Alcotest.(option int) "find" (Some b) (T.Dictionary.find d "beta");
+  check Alcotest.(option int) "find missing" None (T.Dictionary.find d "gamma");
+  check Alcotest.string "inverse" "beta" (T.Dictionary.term d b);
+  check Alcotest.int "size" 2 (T.Dictionary.size d);
+  Alcotest.check_raises "bad id" (Invalid_argument "Dictionary.term: unknown id")
+    (fun () -> ignore (T.Dictionary.term d 99))
+
+let test_dictionary_growth () =
+  let d = T.Dictionary.create () in
+  for i = 0 to 999 do
+    ignore (T.Dictionary.intern d (Printf.sprintf "term%d" i))
+  done;
+  check Alcotest.int "size" 1000 (T.Dictionary.size d);
+  check Alcotest.string "inverse after growth" "term512" (T.Dictionary.term d 512)
+
+(* ------------------------------------------------------------------ *)
+(* Term scores *)
+
+let test_term_score () =
+  check (Alcotest.float 1e-9) "ntf" 0.5 (T.Term_score.normalized_tf ~tf:2 ~max_tf:4);
+  check (Alcotest.float 1e-9) "ntf max" 1.0 (T.Term_score.normalized_tf ~tf:4 ~max_tf:4);
+  check (Alcotest.float 1e-9) "idf zero df" 0.0 (T.Term_score.idf ~n_docs:10 ~doc_freq:0);
+  check Alcotest.bool "idf decreasing in df" true
+    (T.Term_score.idf ~n_docs:100 ~doc_freq:1 > T.Term_score.idf ~n_docs:100 ~doc_freq:50);
+  check Alcotest.int "quantize bounds" 65535 (T.Term_score.quantize 2.0);
+  check Alcotest.int "quantize clamp" 0 (T.Term_score.quantize (-1.0))
+
+let quantize_roundtrip_prop x =
+  abs_float (T.Term_score.dequantize (T.Term_score.quantize x) -. x) < 1.0 /. 65535.0
+
+let () =
+  Alcotest.run "svr_text"
+    [ ( "tokenizer",
+        [ Alcotest.test_case "units" `Quick test_tokenizer;
+          qtest "lowercase alnum" tokenizer_lowercase_prop
+            QCheck2.Gen.(string_size ~gen:printable (int_range 0 80)) ] );
+      ( "porter",
+        [ Alcotest.test_case "vectors" `Quick test_porter_vectors;
+          Alcotest.test_case "short words" `Quick test_porter_short_words;
+          qtest "never grows" porter_total_prop lowercase_word_gen;
+          qtest "re-stem shrinks" porter_idempotent_prop lowercase_word_gen ] );
+      ("stopwords", [ Alcotest.test_case "units" `Quick test_stopwords ]);
+      ( "analyzer",
+        [ Alcotest.test_case "units" `Quick test_analyzer;
+          qtest "consistency" analyzer_consistency_prop
+            QCheck2.Gen.(string_size ~gen:printable (int_range 0 120)) ] );
+      ( "dictionary",
+        [ Alcotest.test_case "units" `Quick test_dictionary;
+          Alcotest.test_case "growth" `Quick test_dictionary_growth ] );
+      ( "term_score",
+        [ Alcotest.test_case "units" `Quick test_term_score;
+          qtest "quantize roundtrip" quantize_roundtrip_prop
+            QCheck2.Gen.(float_bound_inclusive 1.0) ] )
+    ]

@@ -1,0 +1,252 @@
+(* Tests for the workload generators. *)
+
+module W = Svr_workload
+
+let check = Alcotest.check
+let qtest ?(count = 200) name prop gen =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = W.Rng.create 123 and b = W.Rng.create 123 in
+  let xs = List.init 10 (fun _ -> W.Rng.next a) in
+  let ys = List.init 10 (fun _ -> W.Rng.next b) in
+  check Alcotest.bool "same stream" true (xs = ys);
+  let c = W.Rng.create 124 in
+  check Alcotest.bool "different seed differs" false
+    (List.init 10 (fun _ -> W.Rng.next c) = xs)
+
+let test_rng_split_pure () =
+  let base = W.Rng.create 5 in
+  let s1 = W.Rng.next (W.Rng.split base 7) in
+  let _ = W.Rng.next (W.Rng.split base 3) in
+  let s1' = W.Rng.next (W.Rng.split base 7) in
+  check Alcotest.bool "split is pure" true (s1 = s1')
+
+let rng_bounds_prop (seed, bound) =
+  let bound = 1 + abs bound in
+  let rng = W.Rng.create seed in
+  List.for_all
+    (fun _ ->
+      let i = W.Rng.int rng bound and f = W.Rng.float rng 10.0 in
+      i >= 0 && i < bound && f >= 0.0 && f < 10.0)
+    (List.init 50 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_pmf () =
+  let z = W.Zipf.create ~theta:1.0 ~n:100 in
+  let total = List.fold_left (fun acc k -> acc +. W.Zipf.pmf z k) 0.0 (List.init 100 (fun i -> i + 1)) in
+  check (Alcotest.float 1e-9) "pmf sums to 1" 1.0 total;
+  check Alcotest.bool "rank 1 most likely" true (W.Zipf.pmf z 1 > W.Zipf.pmf z 2);
+  check (Alcotest.float 0.0) "out of range" 0.0 (W.Zipf.pmf z 101)
+
+let test_zipf_skew () =
+  let z = W.Zipf.create ~theta:1.0 ~n:1000 in
+  let rng = W.Rng.create 1 in
+  let hits_top10 = ref 0 in
+  let samples = 20000 in
+  for _ = 1 to samples do
+    if W.Zipf.sample z rng <= 10 then incr hits_top10
+  done;
+  (* top 10 of 1000 ranks should absorb a large share under theta=1 *)
+  check Alcotest.bool "skewed towards head" true
+    (float_of_int !hits_top10 /. float_of_int samples > 0.3);
+  (* uniform-ish when theta = 0 *)
+  let z0 = W.Zipf.create ~theta:0.0 ~n:1000 in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if W.Zipf.sample z0 rng <= 10 then incr hits
+  done;
+  check Alcotest.bool "theta 0 roughly uniform" true
+    (float_of_int !hits /. float_of_int samples < 0.05)
+
+let zipf_range_prop seed =
+  let z = W.Zipf.create ~theta:0.75 ~n:50 in
+  let rng = W.Rng.create seed in
+  List.for_all
+    (fun _ ->
+      let k = W.Zipf.sample z rng in
+      k >= 1 && k <= 50)
+    (List.init 100 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+
+let small_params = W.Corpus_gen.scaled ~factor:1000 ()
+
+let test_corpus_shape () =
+  let p = small_params in
+  check Alcotest.bool "scaled docs" true (p.W.Corpus_gen.n_docs >= 100);
+  let text = W.Corpus_gen.doc_text p 0 in
+  check Alcotest.string "deterministic" text (W.Corpus_gen.doc_text p 0);
+  let tokens = String.split_on_char ' ' text in
+  check Alcotest.int "token count" p.W.Corpus_gen.terms_per_doc (List.length tokens);
+  List.iter
+    (fun tok ->
+      if String.length tok <> 7 || tok.[0] <> 't' then
+        Alcotest.fail ("bad token " ^ tok))
+    tokens;
+  let scores = W.Corpus_gen.scores p in
+  check Alcotest.int "score per doc" p.W.Corpus_gen.n_docs (Array.length scores);
+  let max_s = Array.fold_left max 0.0 scores in
+  check Alcotest.bool "max score below cap" true (max_s <= p.W.Corpus_gen.score_max);
+  check Alcotest.bool "heavy tail reaches up" true (max_s > p.W.Corpus_gen.score_max /. 10.0);
+  check Alcotest.bool "all non-negative" true (Array.for_all (fun s -> s >= 0.0) scores);
+  (* Zipf over values: the median sits far below the cap *)
+  let sorted = Array.copy scores in
+  Array.sort Float.compare sorted;
+  check Alcotest.bool "skewed low" true
+    (sorted.(Array.length sorted / 2) < p.W.Corpus_gen.score_max /. 4.0);
+  (* seq agrees with doc_text *)
+  (match (W.Corpus_gen.corpus_seq p) () with
+  | Seq.Cons ((0, t), _) -> check Alcotest.string "seq head" text t
+  | _ -> Alcotest.fail "empty seq");
+  let freq = W.Corpus_gen.frequent_terms p ~pool:5 in
+  check Alcotest.(array string) "frequent pool"
+    [| "t000001"; "t000002"; "t000003"; "t000004"; "t000005" |] freq
+
+let test_corpus_zipf_terms () =
+  (* the most frequent term should occur in far more docs than a mid-rank
+     term, even at theta = 0.1 over a small vocabulary *)
+  let p = small_params in
+  let count_term t =
+    let n = ref 0 in
+    for d = 0 to 99 do
+      if List.mem t (String.split_on_char ' ' (W.Corpus_gen.doc_text p d)) then incr n
+    done;
+    !n
+  in
+  check Alcotest.bool "head term common" true
+    (count_term (W.Corpus_gen.term 1) > count_term (W.Corpus_gen.term 400))
+
+(* ------------------------------------------------------------------ *)
+
+let test_update_gen () =
+  let scores = Array.init 200 (fun i -> float_of_int (200 - i)) in
+  let p =
+    { W.Update_gen.defaults with
+      W.Update_gen.n_updates = 2000; mean_step = 50.0; seed = 3 }
+  in
+  let ops = W.Update_gen.generate p ~scores in
+  check Alcotest.int "count" 2000 (Array.length ops);
+  Array.iter
+    (fun { W.Update_gen.doc; delta } ->
+      if doc < 0 || doc >= 200 then Alcotest.fail "doc out of range";
+      if abs_float delta > 100.0 then Alcotest.fail "step exceeds 2*mean")
+    ops;
+  (* high-score docs get updated more often than low-score docs *)
+  let hits_top = ref 0 and hits_bottom = ref 0 in
+  Array.iter
+    (fun { W.Update_gen.doc; _ } ->
+      if scores.(doc) > 180.0 then incr hits_top
+      else if scores.(doc) <= 20.0 then incr hits_bottom)
+    ops;
+  check Alcotest.bool "zipf bias" true (!hits_top > !hits_bottom);
+  check (Alcotest.float 0.0) "apply clamps" 0.0
+    (W.Update_gen.apply { W.Update_gen.doc = 0; delta = -50.0 } ~current:10.0)
+
+let test_update_gen_focus_increase () =
+  let scores = Array.make 100 10.0 in
+  let p =
+    { W.Update_gen.defaults with
+      W.Update_gen.n_updates = 500; focus_update_pct = 1.0;
+      focus_mode = W.Update_gen.Focus_increase; seed = 4 }
+  in
+  let ops = W.Update_gen.generate p ~scores in
+  check Alcotest.bool "all increases" true
+    (Array.for_all (fun o -> o.W.Update_gen.delta >= 0.0) ops);
+  let distinct = List.sort_uniq compare (Array.to_list (Array.map (fun o -> o.W.Update_gen.doc) ops)) in
+  check Alcotest.bool "focus set is small" true (List.length distinct <= 2)
+
+(* ------------------------------------------------------------------ *)
+
+let test_query_gen () =
+  let cp = small_params in
+  let p = { W.Query_gen.defaults with W.Query_gen.n_queries = 30; seed = 5 } in
+  let qs = W.Query_gen.generate p cp in
+  check Alcotest.int "count" 30 (Array.length qs);
+  Array.iter
+    (fun q ->
+      check Alcotest.int "keywords per query" 2 (List.length q);
+      check Alcotest.bool "distinct" true (List.length (List.sort_uniq compare q) = 2))
+    qs;
+  let pool = W.Query_gen.pool_size cp W.Query_gen.Unselective in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun kw ->
+          let rank = int_of_string (String.sub kw 1 6) in
+          if rank > pool then Alcotest.fail "keyword outside pool")
+        q)
+    (W.Query_gen.generate
+       { p with W.Query_gen.selectivity = W.Query_gen.Unselective }
+       cp);
+  check Alcotest.bool "pools ordered" true
+    (W.Query_gen.pool_size cp W.Query_gen.Unselective
+     < W.Query_gen.pool_size cp W.Query_gen.Medium
+    && W.Query_gen.pool_size cp W.Query_gen.Medium
+       < W.Query_gen.pool_size cp W.Query_gen.Selective)
+
+(* ------------------------------------------------------------------ *)
+
+let test_archive_sim () =
+  let db = W.Archive_sim.generate ~seed:1 ~n_movies:50 () in
+  check Alcotest.int "movies" 50 (W.Archive_sim.n_movies db);
+  check Alcotest.bool "has text" true (String.length (W.Archive_sim.description db 0) > 20);
+  check Alcotest.bool "title in description" true
+    (String.length (W.Archive_sim.title db 0) > 0);
+  let s0 = W.Archive_sim.svr_score db 0 in
+  check Alcotest.bool "score positive" true (s0 > 0.0);
+  (* a visit raises the score by exactly 1/2 per the Agg function *)
+  let m, s = W.Archive_sim.apply_event db (W.Archive_sim.Visit 0) in
+  check Alcotest.int "movie id" 0 m;
+  check (Alcotest.float 1e-9) "visit adds 1/2" (s0 +. 0.5) s;
+  let _, s2 = W.Archive_sim.apply_event db (W.Archive_sim.Download 0) in
+  check (Alcotest.float 1e-9) "download adds 1" (s +. 1.0) s2;
+  (* replication multiplies the collection *)
+  let db10 = W.Archive_sim.generate ~seed:1 ~replicate:10 ~n_movies:20 () in
+  check Alcotest.int "replicated" 200 (W.Archive_sim.n_movies db10);
+  check Alcotest.string "replica shares text" (W.Archive_sim.description db10 0)
+    (W.Archive_sim.description db10 20)
+
+let test_archive_trace () =
+  let db = W.Archive_sim.generate ~seed:2 ~n_movies:200 () in
+  let trace = W.Archive_sim.event_trace ~seed:3 ~flash_pct:0.6 db ~n_events:2000 in
+  check Alcotest.int "events" 2000 (Array.length trace);
+  let hits = Hashtbl.create 16 in
+  Array.iter
+    (fun ev ->
+      let m =
+        match ev with
+        | W.Archive_sim.Visit m | W.Archive_sim.Download m | W.Archive_sim.Review (m, _) -> m
+      in
+      Hashtbl.replace hits m (1 + Option.value ~default:0 (Hashtbl.find_opt hits m)))
+    trace;
+  let max_hits = Hashtbl.fold (fun _ n acc -> max n acc) hits 0 in
+  (* the flash set absorbs a big chunk of traffic *)
+  check Alcotest.bool "flash crowd" true (max_hits > 2000 / 10)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "svr_workload"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split pure" `Quick test_rng_split_pure;
+          qtest "bounds" rng_bounds_prop QCheck2.Gen.(pair int int) ] );
+      ( "zipf",
+        [ Alcotest.test_case "pmf" `Quick test_zipf_pmf;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          qtest "range" zipf_range_prop QCheck2.Gen.int ] );
+      ( "corpus",
+        [ Alcotest.test_case "shape" `Quick test_corpus_shape;
+          Alcotest.test_case "zipf terms" `Quick test_corpus_zipf_terms ] );
+      ( "updates",
+        [ Alcotest.test_case "basic" `Quick test_update_gen;
+          Alcotest.test_case "focus increase" `Quick test_update_gen_focus_increase ] );
+      ("queries", [ Alcotest.test_case "generate" `Quick test_query_gen ]);
+      ( "archive",
+        [ Alcotest.test_case "db" `Quick test_archive_sim;
+          Alcotest.test_case "trace" `Quick test_archive_trace ] )
+    ]
