@@ -1,0 +1,22 @@
+# Convenience entry points; dune is the build system.
+
+.PHONY: all check test bench clean
+
+all:
+	dune build
+
+# The gate a change must pass before review: full build (including every
+# executable), the whole test suite, and nothing left half-compiled.
+check:
+	dune build
+	dune runtest
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -59,6 +59,80 @@ let tests () =
       query_test ~mode:Core.Types.Disjunctive ~name:"fig10/disj/chunk" Core.Index.Chunk
     ]
 
+(* Intersection-heavy conjunctive workload: 4 medium-selectivity keywords
+   per query, the regime the skip-aware merge targets. Contrasts the plain
+   positional scan (gallop:false) with the galloping merge over the same
+   block-decoded cursors, on the two methods whose long lists carry skip
+   data, and records the ratios in BENCH_PR1.json. Caches are warmed first:
+   the contrast under measurement is merge and decode work, not page I/O
+   (Stats.blocks_decoded counts decodes either way). *)
+let conjunctive (p : Profile.t) =
+  let module W = Svr_workload in
+  let module St = Svr_storage in
+  let keywords = 4 and n_queries = 30 and reps = 5 in
+  Printf.printf "\nconjunctive merge, %d-keyword medium queries (%s profile):\n"
+    keywords p.Profile.name;
+  let queries =
+    W.Query_gen.generate
+      { W.Query_gen.n_queries; keywords_per_query = keywords;
+        selectivity = W.Query_gen.Medium; seed = 7 }
+      p.Profile.corpus
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let idx, _ = Harness.build p kind in
+        let stats = St.Env.stats (Core.Index.env idx) in
+        let pass gallop =
+          Array.iter
+            (fun q -> ignore (Core.Index.query_terms idx ~gallop q ~k:p.Profile.k))
+            queries
+        in
+        let measure gallop =
+          pass gallop;
+          St.Stats.reset stats;
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            pass gallop
+          done;
+          let per_q n = n / (reps * Array.length queries) in
+          ( (Unix.gettimeofday () -. t0)
+            *. 1e6
+            /. float_of_int (reps * Array.length queries),
+            per_q stats.St.Stats.blocks_decoded,
+            per_q stats.St.Stats.blocks_skipped )
+        in
+        let scan_us, scan_dec, _ = measure false in
+        let gallop_us, gallop_dec, gallop_skip = measure true in
+        Printf.printf
+          "  %-8s scan %8.1f us/q (%d blk)   gallop %8.1f us/q (%d blk, %d skipped)   speedup %.2fx\n"
+          (Core.Index.kind_name kind) scan_us scan_dec gallop_us gallop_dec
+          gallop_skip (scan_us /. gallop_us);
+        (kind, scan_us, gallop_us, scan_dec, gallop_dec, gallop_skip))
+      [ Core.Index.Id; Core.Index.Chunk ]
+  in
+  let oc = open_out "BENCH_PR1.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"conjunctive-skip-merge\",\n  \"profile\": %S,\n\
+    \  \"keywords_per_query\": %d,\n  \"selectivity\": \"medium\",\n\
+    \  \"n_queries\": %d,\n  \"k\": %d,\n  \"methods\": [" p.Profile.name
+    keywords n_queries p.Profile.k;
+  List.iteri
+    (fun i (kind, scan_us, gallop_us, scan_dec, gallop_dec, gallop_skip) ->
+      Printf.fprintf oc
+        "%s\n    { \"method\": %S, \"scan_us_per_query\": %.1f,\n\
+        \      \"gallop_us_per_query\": %.1f, \"speedup\": %.2f,\n\
+        \      \"scan_blocks_decoded_per_query\": %d,\n\
+        \      \"gallop_blocks_decoded_per_query\": %d,\n\
+        \      \"gallop_blocks_skipped_per_query\": %d }"
+        (if i = 0 then "" else ",")
+        (Core.Index.kind_name kind) scan_us gallop_us (scan_us /. gallop_us)
+        scan_dec gallop_dec gallop_skip)
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_PR1.json"
+
 let run () =
   print_endline "bechamel micro-benchmarks (quick profile, ns/op via OLS):";
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in

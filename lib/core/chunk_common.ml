@@ -143,18 +143,17 @@ let update_content t ~doc text =
         Short_list.put t.short ~term ~rank ~doc ~op:Short_list.Rem ~ts:0)
     old_terms
 
-let term_streams t terms =
+let term_cursors t terms =
   List.concat
     (List.mapi
        (fun term_idx term ->
-         let short = Merge.of_short_list ~term_idx t.short ~term in
+         let short = Short_list.cursor t.short ~term ~term_idx in
          match Term_dir.find t.dir ~term with
          | None -> [ short ]
          | Some { Term_dir.blob; _ } ->
              let reader = St.Blob_store.reader t.blobs blob in
-             [ Merge.of_chunk_stream
-                 (Posting_codec.Chunk_codec.stream ~with_ts:t.with_ts reader)
-                 ~term_idx;
+             [ Posting_codec.Chunk_codec.cursor ~with_ts:t.with_ts ~term_idx
+                 reader;
                short ])
        terms)
 

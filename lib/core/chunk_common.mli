@@ -40,8 +40,8 @@ val delete : t -> doc:int -> unit
 
 val update_content : t -> doc:int -> string -> unit
 
-val term_streams : t -> string list -> Merge.stream list
-(** short ∪ long streams for the query terms, in (chunk desc, doc asc)
+val term_cursors : t -> string list -> Posting_cursor.t list
+(** short ∪ long cursors for the query terms, in (chunk desc, doc asc)
     order. *)
 
 val process_candidate :

@@ -91,22 +91,22 @@ let update_content t ~doc text =
   | I_chunk i -> Method_chunk.update_content i ~doc text
   | I_cts i -> Method_chunk_termscore.update_content i ~doc text
 
-let query_terms t ?(mode = Types.Conjunctive) terms ~k =
+let query_terms t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   match t.impl with
-  | I_id i -> Method_id.query i ~mode terms ~k
-  | I_score i -> Method_score.query i ~mode terms ~k
-  | I_st i -> Method_score_threshold.query i ~mode terms ~k
-  | I_chunk i -> Method_chunk.query i ~mode terms ~k
-  | I_cts i -> Method_chunk_termscore.query i ~mode terms ~k
+  | I_id i -> Method_id.query i ~mode ~gallop terms ~k
+  | I_score i -> Method_score.query i ~mode ~gallop terms ~k
+  | I_st i -> Method_score_threshold.query i ~mode ~gallop terms ~k
+  | I_chunk i -> Method_chunk.query i ~mode ~gallop terms ~k
+  | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop terms ~k
 
-let query t ?(mode = Types.Conjunctive) keywords ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) keywords ~k =
   let terms =
     List.concat_map
       (fun kw -> Svr_text.Analyzer.analyze ~config:t.cfg.Config.analyzer kw)
       keywords
     |> List.sort_uniq String.compare
   in
-  query_terms t ~mode terms ~k
+  query_terms t ~mode ~gallop terms ~k
 
 let long_list_bytes t =
   match t.impl with

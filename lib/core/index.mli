@@ -50,13 +50,19 @@ val delete : t -> doc:int -> unit
 
 val update_content : t -> doc:int -> string -> unit
 
-val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+val query :
+  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
+  (int * float) list
 (** Top-k documents with their latest combined scores, best first. Keywords
     are analyzed with the index's analyzer configuration, so raw user text is
-    accepted. *)
+    accepted. [gallop] (default true) lets conjunctive queries skip posting
+    blocks via {!Posting_cursor.seek_geq}; pass [false] to force the full
+    sequential merge (same results — the knob exists for benchmarks and
+    equivalence tests). *)
 
 val query_terms :
-  t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
+  (int * float) list
 (** Like {!query} but takes pre-analyzed terms verbatim. *)
 
 val long_list_bytes : t -> int

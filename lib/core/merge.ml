@@ -1,113 +1,172 @@
-type entry = {
-  rank : float;
-  doc : int;
-  term_idx : int;
-  long : bool;
-  rem : bool;
-  ts : int;
-}
-
-type stream = unit -> entry option
+module Pc = Posting_cursor
 
 type group = {
-  g_rank : float;
-  g_doc : int;
+  mutable g_rank : float;
+  mutable g_doc : int;
   present : bool array;
-  n_present : int;
-  any_short : bool;
+  mutable n_present : int;
+  mutable any_short : bool;
   g_ts : float array;
-  ts_sum : float;
+  mutable ts_sum : float;
 }
 
-(* (rank desc, doc asc): e1 comes strictly before e2? *)
-let before e1 e2 =
-  match Float.compare e1.rank e2.rank with
-  | c when c > 0 -> true
-  | 0 -> e1.doc < e2.doc
-  | _ -> false
+type t = {
+  n_terms : int;
+  cursors : Pc.t array;
+  g : group; (* the one group record, overwritten by every [next] *)
+  (* per-term gather scratch, reused across candidates *)
+  seen_long : bool array;
+  seen_short : bool array;
+  seen_rem : bool array;
+  ts_of : int array;
+  (* per-term gallop scratch: the front position of each term's cursors *)
+  term_live : bool array;
+  term_rank : float array;
+  term_doc : int array;
+  (* cursors matching the last emitted group advance lazily, at the start of
+     the following [next]: if the caller's stop rule fires on a group, no
+     cursor fetches a byte past it *)
+  mutable emitted : bool;
+}
 
-let groups ~n_terms streams =
-  let streams = Array.of_list streams in
-  let heads = Array.map (fun s -> s ()) streams in
-  let advance i = heads.(i) <- streams.(i) () in
-  fun () ->
-    (* locate the front position among stream heads *)
-    let front = ref None in
+let create ~n_terms cursors =
+  { n_terms;
+    cursors = Array.of_list cursors;
+    g =
+      { g_rank = 0.0; g_doc = 0; present = Array.make n_terms false;
+        n_present = 0; any_short = false; g_ts = Array.make n_terms 0.0;
+        ts_sum = 0.0 };
+    seen_long = Array.make n_terms false;
+    seen_short = Array.make n_terms false;
+    seen_rem = Array.make n_terms false;
+    ts_of = Array.make n_terms 0;
+    term_live = Array.make n_terms false;
+    term_rank = Array.make n_terms 0.0;
+    term_doc = Array.make n_terms 0;
+    emitted = false }
+
+(* advance past the group the previous [next] emitted: exactly the cursors
+   still sitting at its position contributed to it *)
+let advance_emitted m =
+  if m.emitted then begin
+    let g = m.g in
     Array.iter
-      (fun head ->
-        match (head, !front) with
-        | Some e, None -> front := Some e
-        | Some e, Some f -> if before e f then front := Some e
-        | None, _ -> ())
-      heads;
-    match !front with
-    | None -> None
-    | Some f ->
-        let seen_long = Array.make n_terms false in
-        let seen_short = Array.make n_terms false in
-        let seen_rem = Array.make n_terms false in
-        let ts_of = Array.make n_terms 0 in
-        Array.iteri
-          (fun i head ->
-            match head with
-            | Some e when e.rank = f.rank && e.doc = f.doc ->
-                if e.rem then seen_rem.(e.term_idx) <- true
-                else begin
-                  if e.long then begin
-                    seen_long.(e.term_idx) <- true;
-                    if not seen_short.(e.term_idx) then ts_of.(e.term_idx) <- e.ts
-                  end
-                  else begin
-                    seen_short.(e.term_idx) <- true;
-                    (* short postings carry the freshest term score *)
-                    ts_of.(e.term_idx) <- e.ts
-                  end
-                end;
-                advance i
-            | _ -> ())
-          heads;
-        let present = Array.make n_terms false in
-        let g_ts = Array.make n_terms 0.0 in
-        let n_present = ref 0 and any_short = ref false and ts_sum = ref 0.0 in
-        for t = 0 to n_terms - 1 do
-          let p = (seen_long.(t) && not seen_rem.(t)) || seen_short.(t) in
-          present.(t) <- p;
-          if p then begin
-            incr n_present;
-            g_ts.(t) <- Svr_text.Term_score.dequantize ts_of.(t);
-            ts_sum := !ts_sum +. g_ts.(t)
-          end;
-          if seen_short.(t) then any_short := true
-        done;
-        Some
-          { g_rank = f.rank; g_doc = f.doc; present; n_present = !n_present;
-            any_short = !any_short; g_ts; ts_sum = !ts_sum }
+      (fun c ->
+        if (not (Pc.eof c)) && Pc.rank c = g.g_rank && Pc.doc c = g.g_doc then
+          Pc.advance c)
+      m.cursors;
+    m.emitted <- false
+  end
 
-let of_short_list ~term_idx short ~term =
-  let next = Short_list.stream short ~term in
-  fun () ->
-    Option.map
-      (fun (p : Short_list.posting) ->
-        { rank = p.rank; doc = p.doc; term_idx; long = false;
-          rem = (p.op = Short_list.Rem); ts = p.ts })
-      (next ())
+(* collect every posting sitting at position (fr, fd) into [m.g] *)
+let gather m fr fd =
+  let n = m.n_terms in
+  Array.fill m.seen_long 0 n false;
+  Array.fill m.seen_short 0 n false;
+  Array.fill m.seen_rem 0 n false;
+  Array.iter
+    (fun c ->
+      if (not (Pc.eof c)) && Pc.rank c = fr && Pc.doc c = fd then begin
+        let t = c.Pc.term_idx in
+        if Pc.rem c then m.seen_rem.(t) <- true
+        else if c.Pc.long then begin
+          m.seen_long.(t) <- true;
+          if not m.seen_short.(t) then m.ts_of.(t) <- Pc.ts c
+        end
+        else begin
+          m.seen_short.(t) <- true;
+          (* short postings carry the freshest term score *)
+          m.ts_of.(t) <- Pc.ts c
+        end
+      end)
+    m.cursors;
+  let g = m.g in
+  g.g_rank <- fr;
+  g.g_doc <- fd;
+  g.n_present <- 0;
+  g.any_short <- false;
+  g.ts_sum <- 0.0;
+  for t = 0 to n - 1 do
+    let p = (m.seen_long.(t) && not m.seen_rem.(t)) || m.seen_short.(t) in
+    g.present.(t) <- p;
+    if p then begin
+      g.n_present <- g.n_present + 1;
+      g.g_ts.(t) <- Svr_text.Term_score.dequantize m.ts_of.(t);
+      g.ts_sum <- g.ts_sum +. g.g_ts.(t)
+    end
+    else g.g_ts.(t) <- 0.0;
+    if m.seen_short.(t) then g.any_short <- true
+  done;
+  m.emitted <- true;
+  g
 
-let const_rank rank next ~term_idx =
-  fun () ->
-    Option.map
-      (fun (doc, ts) -> { rank; doc; term_idx; long = true; rem = false; ts })
-      (next ())
+(* sequential scan: the earliest position among all live cursors *)
+let next_scan m =
+  advance_emitted m;
+  let found = ref false and fr = ref 0.0 and fd = ref 0 in
+  Array.iter
+    (fun c ->
+      if not (Pc.eof c) then begin
+        let r = Pc.rank c and d = Pc.doc c in
+        if (not !found) || Pc.pos_before r d !fr !fd then begin
+          found := true;
+          fr := r;
+          fd := d
+        end
+      end)
+    m.cursors;
+  if !found then Some (gather m !fr !fd) else None
 
-let of_score_stream next ~term_idx =
-  fun () ->
-    Option.map
-      (fun (score, doc) ->
-        { rank = score; doc; term_idx; long = true; rem = false; ts = 0 })
-      (next ())
+(* galloping conjunctive scan: only positions where every term still has a
+   posting can match, so repeatedly seek all cursors to the latest per-term
+   front. Skipped positions lack at least one term (REM markers only remove
+   presence, never add it), so no conjunctive match is ever skipped; early
+   stopping rules are checked per emitted group and therefore only fire later
+   than they would under a full scan — never wrongly. *)
+let rec next_gallop m =
+  advance_emitted m;
+  Array.fill m.term_live 0 m.n_terms false;
+  Array.iter
+    (fun c ->
+      if not (Pc.eof c) then begin
+        let t = c.Pc.term_idx in
+        let r = Pc.rank c and d = Pc.doc c in
+        if
+          (not m.term_live.(t))
+          || Pc.pos_before r d m.term_rank.(t) m.term_doc.(t)
+        then begin
+          m.term_live.(t) <- true;
+          m.term_rank.(t) <- r;
+          m.term_doc.(t) <- d
+        end
+      end)
+    m.cursors;
+  let all_live = ref true in
+  for t = 0 to m.n_terms - 1 do
+    if not m.term_live.(t) then all_live := false
+  done;
+  if not !all_live then None (* some term is exhausted: no more matches *)
+  else begin
+    let tr = ref m.term_rank.(0) and td = ref m.term_doc.(0) in
+    for t = 1 to m.n_terms - 1 do
+      if Pc.pos_before !tr !td m.term_rank.(t) m.term_doc.(t) then begin
+        tr := m.term_rank.(t);
+        td := m.term_doc.(t)
+      end
+    done;
+    let aligned = ref true in
+    for t = 0 to m.n_terms - 1 do
+      if m.term_rank.(t) <> !tr || m.term_doc.(t) <> !td then aligned := false
+    done;
+    if !aligned then Some (gather m !tr !td)
+    else begin
+      (* at least one cursor is strictly before the target and will advance *)
+      Array.iter (fun c -> Pc.seek_geq c !tr !td) m.cursors;
+      next_gallop m
+    end
+  end
 
-let of_chunk_stream next ~term_idx =
-  fun () ->
-    Option.map
-      (fun (cid, doc, ts) ->
-        { rank = float_of_int cid; doc; term_idx; long = true; rem = false; ts })
-      (next ())
+let next ?(gallop = false) m =
+  if m.n_terms = 0 then None
+  else if gallop && m.n_terms > 1 then next_gallop m
+  else next_scan m

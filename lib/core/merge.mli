@@ -1,50 +1,46 @@
-(** K-way merge of per-term posting streams into candidate groups.
+(** K-way merge of per-term posting cursors into candidate groups.
 
     Every query algorithm (Algorithms 2 and 3 and the baselines) is a loop
     over groups: all postings sharing the same (rank, doc) position across the
-    query terms' short ∪ long lists. Streams must yield entries in
+    query terms' short ∪ long lists. Cursors must surface postings in
     (rank descending, doc ascending) order — which is how both the long-list
     codecs and the short-list B+-trees are laid out. ID-ordered methods use a
     constant rank of 0, degenerating to a doc-id merge.
 
     Presence of a term at a group follows Appendix A semantics: a long posting
     counts unless cancelled by a REM marker at the same position; a short Add
-    posting always counts. *)
+    posting always counts.
 
-type entry = {
-  rank : float;  (** list score, chunk id, or 0 for id-ordered lists *)
-  doc : int;
-  term_idx : int;  (** index of the query term this entry belongs to *)
-  long : bool;  (** from the long (immutable) list? *)
-  rem : bool;  (** a REM content-update marker *)
-  ts : int;  (** quantized term score (0 when unused) *)
-}
-
-type stream = unit -> entry option
+    A merger owns its scratch: the {!group} returned by {!next} and every
+    array inside it are reused by the following call — callers must copy
+    whatever outlives one iteration. *)
 
 type group = {
-  g_rank : float;
-  g_doc : int;
+  mutable g_rank : float;  (** list score, chunk id, or 0 for id order *)
+  mutable g_doc : int;
   present : bool array;  (** per query term *)
-  n_present : int;
-  any_short : bool;  (** some non-REM short posting contributed *)
+  mutable n_present : int;
+  mutable any_short : bool;  (** some non-REM short posting contributed *)
   g_ts : float array;  (** dequantized term score per present term, else 0 *)
-  ts_sum : float;  (** dequantized term scores summed over present terms *)
+  mutable ts_sum : float;  (** dequantized term scores over present terms *)
 }
 
-val groups : n_terms:int -> stream list -> unit -> group option
-(** Pull the next group in (rank desc, doc asc) order, or [None] when all
-    streams are exhausted. *)
+type t
 
-val of_short_list : term_idx:int -> Short_list.t -> term:string -> stream
+val create : n_terms:int -> Posting_cursor.t list -> t
+(** A merger over the given cursors (several cursors may share a
+    [term_idx] — e.g. a term's short and long list). *)
 
-val const_rank : float -> (unit -> (int * int) option) -> term_idx:int -> stream
-(** Wrap an id-ordered [(doc, ts)] stream (ID codec) as long-list entries at a
-    fixed rank. *)
+val next : ?gallop:bool -> t -> group option
+(** Pull the next group in (rank desc, doc asc) order, or [None] when
+    exhausted.
 
-val of_score_stream : (unit -> (float * int) option) -> term_idx:int -> stream
-(** Wrap a Score-codec stream as long-list entries ranked by score. *)
-
-val of_chunk_stream : (unit -> (int * int * int) option) -> term_idx:int -> stream
-(** Wrap a Chunk-codec [(cid, doc, ts)] stream as long-list entries ranked by
-    chunk id. *)
+    With [~gallop:true] (and at least two terms) the merge only surfaces
+    positions where {e every} term's cursors still have postings, repeatedly
+    {!Posting_cursor.seek_geq}-ing all cursors to the latest per-term front —
+    the skip-data-driven conjunctive intersection. Sound only when the caller
+    ignores groups with [n_present < n_terms] {e and} does not need to observe
+    every position (Algorithm 3's fancy-list stage parks partial matches, so
+    it must not gallop); a galloping merge returns [None] as soon as any term
+    exhausts. Default [false]: full sequential scan, identical group sequence
+    to the pre-block merge. *)

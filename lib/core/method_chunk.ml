@@ -12,14 +12,15 @@ let insert = C.insert
 let delete = C.delete
 let update_content = C.update_content
 
-let query t ?(mode = Types.Conjunctive) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
-    let next = Merge.groups ~n_terms (C.term_streams t terms) in
+    let gallop = gallop && mode = Types.Conjunctive in
+    let merger = Merge.create ~n_terms (C.term_cursors t terms) in
     let heap = Result_heap.create ~k in
     let rec scan () =
-      match next () with
+      match Merge.next ~gallop merger with
       | None -> ()
       | Some g ->
           (* a document whose postings sit at chunk <= cid currently scores

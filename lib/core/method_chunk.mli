@@ -27,7 +27,9 @@ val delete : t -> doc:int -> unit
 
 val update_content : t -> doc:int -> string -> unit
 
-val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+val query :
+  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
+  (int * float) list
 (** Exact top-k under the latest scores (Theorem 1 analogue): scanning stops
     when no document whose postings sit at or below the current chunk can
     possibly beat the current k-th score. *)

@@ -63,20 +63,18 @@ let insert t = C.insert t.base
 let delete t = C.delete t.base
 let update_content t = C.update_content t.base
 
-let fancy_streams t terms =
+let fancy_cursors t terms =
   List.filter_map
     (fun (term_idx, term) ->
       Option.map
         (fun { Term_dir.blob; _ } ->
           let reader = St.Blob_store.reader t.fancy_blobs blob in
-          Merge.const_rank 0.0
-            (Posting_codec.Id_codec.stream ~with_ts:true reader)
-            ~term_idx)
+          Posting_codec.Id_codec.cursor ~with_ts:true ~term_idx reader)
         (Term_dir.find t.fancy_dir ~term))
     (List.mapi (fun i term -> (i, term)) terms)
 
 (* Algorithm 3 *)
-let query t ?(mode = Types.Conjunctive) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   let base = t.base in
   let n_terms = List.length terms in
   if n_terms = 0 then []
@@ -100,11 +98,13 @@ let query t ?(mode = Types.Conjunctive) terms ~k =
            terms)
     in
     let th_term = w *. Array.fold_left ( +. ) 0.0 ts_bound in
-    (* stage 1: merge the fancy lists *)
+    let gallop = gallop && mode = Types.Conjunctive in
+    (* stage 1: merge the fancy lists. Never gallops: partial matches must be
+       parked in the remainList, and galloping would skip right over them *)
     let remain : (int, float option array) Hashtbl.t = Hashtbl.create 64 in
-    let next_fancy = Merge.groups ~n_terms (fancy_streams t terms) in
+    let fancy_merger = Merge.create ~n_terms (fancy_cursors t terms) in
     let rec fancy_stage () =
-      match next_fancy () with
+      match Merge.next fancy_merger with
       | None -> ()
       | Some g ->
           let doc = g.Merge.g_doc in
@@ -140,11 +140,15 @@ let query t ?(mode = Types.Conjunctive) terms ~k =
         remain;
       List.iter (Hashtbl.remove remain) !victims
     in
-    (* stage 2: merge the chunked short/long lists *)
-    let next = Merge.groups ~n_terms (C.term_streams base terms) in
+    (* stage 2: merge the chunked short/long lists. Galloping is only sound
+       once the remainList is empty: a parked document must be observed (and
+       removed) when its chunk postings come by, or it would block stopping
+       forever. Emptiness is monotone — docs are only ever removed — so the
+       merge switches to galloping for good as soon as the list drains. *)
+    let merger = Merge.create ~n_terms (C.term_cursors base terms) in
     let last_pruned_cid = ref max_int in
     let rec scan () =
-      match next () with
+      match Merge.next ~gallop:(gallop && Hashtbl.length remain = 0) merger with
       | None -> ()
       | Some g ->
           (* the stop check must precede removing the group's document from

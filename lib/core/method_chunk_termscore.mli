@@ -40,7 +40,9 @@ val delete : t -> doc:int -> unit
 
 val update_content : t -> doc:int -> string -> unit
 
-val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+val query :
+  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
+  (int * float) list
 (** Top-k by [svr + ts_weight * sum of term scores] (Theorem 2), conjunctive
     or disjunctive. *)
 

@@ -69,29 +69,28 @@ let update_content t ~doc text =
         Short_list.put t.short ~term ~rank:0.0 ~doc ~op:Short_list.Rem ~ts:0)
     old_terms
 
-let term_streams t terms =
+let term_cursors t terms =
   List.concat
     (List.mapi
        (fun term_idx term ->
-         let short = Merge.of_short_list ~term_idx t.short ~term in
+         let short = Short_list.cursor t.short ~term ~term_idx in
          match Term_dir.find t.dir ~term with
          | None -> [ short ]
          | Some { Term_dir.blob; _ } ->
              let reader = St.Blob_store.reader t.blobs blob in
-             [ Merge.const_rank 0.0
-                 (Posting_codec.Id_codec.stream ~with_ts:t.with_ts reader)
-                 ~term_idx;
+             [ Posting_codec.Id_codec.cursor ~with_ts:t.with_ts ~term_idx reader;
                short ])
        terms)
 
-let query t ?(mode = Types.Conjunctive) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
-    let next = Merge.groups ~n_terms (term_streams t terms) in
+    let gallop = gallop && mode = Types.Conjunctive in
+    let merger = Merge.create ~n_terms (term_cursors t terms) in
     let heap = Result_heap.create ~k in
     let rec scan () =
-      match next () with
+      match Merge.next ~gallop merger with
       | None -> ()
       | Some g ->
           if

@@ -29,7 +29,9 @@ val delete : t -> doc:int -> unit
 
 val update_content : t -> doc:int -> string -> unit
 
-val query : t -> ?mode:Types.mode -> string list -> k:int -> (int * float) list
+val query :
+  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
+  (int * float) list
 
 val long_list_bytes : t -> int
 

@@ -70,32 +70,46 @@ let update_content t ~doc text =
         ignore (St.Btree.delete t.list (posting_key term score doc)))
     old_terms
 
-let term_stream t ~term_idx term =
+let term_cursor t ~term_idx term =
+  let module Pc = Posting_cursor in
   let prefix = St.Order_key.compose [ (fun b -> St.Order_key.term b term) ] in
-  let cursor = St.Btree.seek t.list prefix in
   let plen = String.length prefix in
-  fun () ->
-    match St.Btree.cursor_next cursor with
-    | Some (k, _v)
-      when String.length k >= plen && String.equal (String.sub k 0 plen) prefix ->
-        Some
-          { Merge.rank = St.Order_key.get_f64_desc k plen;
-            doc = St.Order_key.get_u32 k (plen + 8); term_idx; long = true;
-            rem = false; ts = 0 }
-    | _ -> None
+  let bcur = ref (St.Btree.seek t.list prefix) in
+  let refill c =
+    match St.Btree.cursor_next !bcur with
+    | Some (k, _v) when String.starts_with ~prefix k ->
+        c.Pc.ranks.(0) <- St.Order_key.get_f64_desc k plen;
+        c.Pc.docs.(0) <- St.Order_key.get_u32 k (plen + 8);
+        c.Pc.i <- 0;
+        c.Pc.n <- 1
+    | _ -> c.Pc.n <- 0
+  in
+  let seek c r d =
+    (* re-descend the cold tree straight to the target key *)
+    bcur := St.Btree.seek t.list (posting_key term r d);
+    refill c
+  in
+  let c =
+    { Pc.term_idx; long = true; ranks = Array.make 1 0.0;
+      docs = Array.make 1 0; tss = Pc.zero_tss; rems = Pc.no_rems; n = 0;
+      i = 0; refill; seek }
+  in
+  refill c;
+  c
 
-let query t ?(mode = Types.Conjunctive) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
-    let streams = List.mapi (fun i term -> term_stream t ~term_idx:i term) terms in
-    let next = Merge.groups ~n_terms streams in
+    let gallop = gallop && mode = Types.Conjunctive in
+    let cursors = List.mapi (fun i term -> term_cursor t ~term_idx:i term) terms in
+    let merger = Merge.create ~n_terms cursors in
     let heap = Result_heap.create ~k in
     (* candidates arrive in exact (score desc, doc asc) order, so the scan can
        stop the moment the heap is full *)
     let rec scan () =
       if not (Result_heap.is_full heap) then
-        match next () with
+        match Merge.next ~gallop merger with
         | None -> ()
         | Some g ->
             if

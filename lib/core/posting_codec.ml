@@ -1,9 +1,22 @@
 module St = Svr_storage
+module Pc = Posting_cursor
 
-(* Largest number of bytes a single posting can occupy: a 10-byte varint
-   delta plus header varints plus a 2-byte term score. Streams ask the blob
-   reader to make this much available before each decode step. *)
-let lookahead = 32
+let block_size = Pc.block_size
+
+(* Read one varint through the reader, fetching exactly the bytes touched.
+   Header reads must not over-ask: a fixed lookahead would drag whole pages
+   past an early-termination stop into the cache. *)
+let read_varint_r reader pos =
+  let acc = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    St.Blob_store.ensure reader (!pos + 1);
+    let b = Char.code (St.Blob_store.raw reader).[!pos] in
+    incr pos;
+    acc := !acc lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  !acc
 
 let write_u16 buf n =
   Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
@@ -14,105 +27,419 @@ let read_u16 s pos =
   pos := !pos + 2;
   n
 
-module Id_codec = struct
-  let encode_postings buf ~with_ts postings =
-    let prev = ref (-1) in
-    Array.iter
-      (fun (doc, ts) ->
-        if doc <= !prev then invalid_arg "Id_codec: doc ids must ascend";
-        St.Varint.write buf (doc - !prev);
-        prev := doc;
-        if with_ts then write_u16 buf ts)
-      postings
+(* ------------------------------------------------------------------ *)
+(* Shared doc-ordered block layout (ID lists, fancy lists, the blocks inside
+   a chunk group). Postings are split into blocks of at most [block_size];
+   each block is
 
+     varint n  ·  varint (last_doc - prev_last)  ·  varint body_len  ·  body
+
+   where [body] is n delta+varint doc ids (the delta chain runs across block
+   boundaries) each optionally followed by a big-endian u16 term score, and
+   [prev_last] is the last doc id of the previous block (-1 before the first).
+   The header alone lets a reader skip the whole block: it learns the block's
+   last doc id and the byte length of the body without touching it. *)
+
+let encode_doc_blocks buf scratch ~with_ts postings =
+  let len = Array.length postings in
+  let prev = ref (-1) in
+  let lo = ref 0 in
+  while !lo < len do
+    let n = min block_size (len - !lo) in
+    Buffer.clear scratch;
+    let p = ref !prev in
+    for j = !lo to !lo + n - 1 do
+      let doc, ts = postings.(j) in
+      if doc <= !p then invalid_arg "Posting_codec: doc ids must ascend";
+      St.Varint.write scratch (doc - !p);
+      p := doc;
+      if with_ts then write_u16 scratch ts
+    done;
+    St.Varint.write buf n;
+    St.Varint.write buf (!p - !prev);
+    St.Varint.write buf (Buffer.length scratch);
+    Buffer.add_buffer buf scratch;
+    prev := !p;
+    lo := !lo + n
+  done
+
+module Id_codec = struct
   let encode ~with_ts postings =
     let buf = Buffer.create (8 * Array.length postings) in
-    St.Varint.write buf (Array.length postings);
-    encode_postings buf ~with_ts postings;
+    encode_doc_blocks buf (Buffer.create 1024) ~with_ts postings;
     Buffer.contents buf
 
-  let stream ~with_ts reader =
-    St.Blob_store.ensure reader lookahead;
+  let cursor ~with_ts ~term_idx reader =
+    let len = St.Blob_store.blob_length reader in
+    let stats = St.Blob_store.stats reader in
     let pos = ref 0 in
-    let raw () = St.Blob_store.raw reader in
-    let remaining = ref (St.Varint.read (raw ()) pos) in
     let prev = ref (-1) in
-    fun () ->
-      if !remaining = 0 then None
+    let docs = Array.make block_size 0 in
+    let tss = if with_ts then Array.make block_size 0 else Pc.zero_tss in
+    let read_header () =
+      let n = read_varint_r reader pos in
+      let last_delta = read_varint_r reader pos in
+      let blen = read_varint_r reader pos in
+      (n, last_delta, blen)
+    in
+    let decode_body c n blen =
+      St.Blob_store.ensure reader (!pos + blen);
+      let s = St.Blob_store.raw reader in
+      let p = ref !prev in
+      for j = 0 to n - 1 do
+        p := !p + St.Varint.read s pos;
+        docs.(j) <- !p;
+        if with_ts then tss.(j) <- read_u16 s pos
+      done;
+      prev := !p;
+      c.Pc.n <- n;
+      c.Pc.i <- 0;
+      stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+    in
+    let refill c =
+      if !pos >= len then c.Pc.n <- 0
       else begin
-        St.Blob_store.ensure reader (!pos + lookahead);
-        let s = raw () in
-        let doc = !prev + St.Varint.read s pos in
-        prev := doc;
-        let ts = if with_ts then read_u16 s pos else 0 in
-        decr remaining;
-        Some (doc, ts)
+        let n, _, blen = read_header () in
+        decode_body c n blen
       end
+    in
+    let seek c r d =
+      (* every posting sits at rank 0: a positive-rank target is already
+         behind us, a negative-rank one lies beyond the end of the list *)
+      if r > 0.0 then ()
+      else begin
+        let d = if r < 0.0 then max_int else d in
+        let continue = ref true in
+        while !continue do
+          if c.Pc.n > 0 then
+            if docs.(c.Pc.n - 1) >= d then begin
+              while docs.(c.Pc.i) < d do
+                c.Pc.i <- c.Pc.i + 1
+              done;
+              continue := false
+            end
+            else c.Pc.n <- 0
+          else if !pos >= len then continue := false
+          else begin
+            let n, last_delta, blen = read_header () in
+            if !prev + last_delta < d then begin
+              (* the skip data says the target is past this block *)
+              prev := !prev + last_delta;
+              pos := !pos + blen;
+              St.Blob_store.skip_to reader !pos;
+              stats.St.Stats.blocks_skipped <- stats.St.Stats.blocks_skipped + 1
+            end
+            else decode_body c n blen
+          end
+        done
+      end
+    in
+    let c =
+      { Pc.term_idx; long = true; ranks = Pc.zero_ranks; docs; tss;
+        rems = Pc.no_rems; n = 0; i = 0; refill; seek }
+    in
+    refill c;
+    c
 end
 
 module Score_codec = struct
+  (* blocks of at most [block_size] fixed-width (f64 score, u32 doc) pairs,
+     prefixed by a varint posting count; the body length is implied (12 n)
+     and the block's last posting — the skip datum — is peeked in place *)
   let encode postings =
-    let buf = Buffer.create (12 * Array.length postings) in
-    St.Varint.write buf (Array.length postings);
-    Array.iter
-      (fun (score, doc) ->
+    let buf = Buffer.create ((12 * Array.length postings) + 16) in
+    let len = Array.length postings in
+    let lo = ref 0 in
+    while !lo < len do
+      let n = min block_size (len - !lo) in
+      St.Varint.write buf n;
+      for j = !lo to !lo + n - 1 do
+        let score, doc = postings.(j) in
         St.Order_key.f64 buf score;
-        St.Order_key.u32 buf doc)
-      postings;
+        St.Order_key.u32 buf doc
+      done;
+      lo := !lo + n
+    done;
     Buffer.contents buf
 
-  let stream reader =
-    St.Blob_store.ensure reader lookahead;
+  let cursor ~term_idx reader =
+    let len = St.Blob_store.blob_length reader in
+    let stats = St.Blob_store.stats reader in
     let pos = ref 0 in
-    let raw () = St.Blob_store.raw reader in
-    let remaining = ref (St.Varint.read (raw ()) pos) in
-    fun () ->
-      if !remaining = 0 then None
-      else begin
-        St.Blob_store.ensure reader (!pos + lookahead);
-        let s = raw () in
-        let score = St.Order_key.get_f64 s !pos in
-        let doc = St.Order_key.get_u32 s (!pos + 8) in
-        pos := !pos + 12;
-        decr remaining;
-        Some (score, doc)
-      end
+    let ranks = Array.make block_size 0.0 in
+    let docs = Array.make block_size 0 in
+    (* a block is decoded in two phases: the first posting as soon as the
+       block is entered (that is all a merge front needs), the other [bpend]
+       on demand — so a threshold stop on a block's first posting never
+       fetches the rest of its pages *)
+    let bn = ref 0 in
+    let bpend = ref 0 in
+    let start_block c =
+      let n = read_varint_r reader pos in
+      St.Blob_store.ensure reader (!pos + 12);
+      let s = St.Blob_store.raw reader in
+      ranks.(0) <- St.Order_key.get_f64 s !pos;
+      docs.(0) <- St.Order_key.get_u32 s (!pos + 8);
+      pos := !pos + 12;
+      bn := n;
+      bpend := n - 1;
+      c.Pc.n <- 1;
+      c.Pc.i <- 0;
+      stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+    in
+    let finish_block c =
+      let n = !bn in
+      St.Blob_store.ensure reader (!pos + (12 * (n - 1)));
+      let s = St.Blob_store.raw reader in
+      for j = 1 to n - 1 do
+        ranks.(j) <- St.Order_key.get_f64 s !pos;
+        docs.(j) <- St.Order_key.get_u32 s (!pos + 8);
+        pos := !pos + 12
+      done;
+      bpend := 0;
+      c.Pc.n <- n;
+      c.Pc.i <- 1
+    in
+    let refill c =
+      if !bpend > 0 then finish_block c
+      else if !pos >= len then c.Pc.n <- 0
+      else start_block c
+    in
+    let seek c r d =
+      if !bpend > 0 then begin
+        (* block-level reasoning below needs the whole block in place *)
+        let i = c.Pc.i in
+        finish_block c;
+        c.Pc.i <- i
+      end;
+      let continue = ref true in
+      while !continue do
+        if c.Pc.n > 0 then begin
+          let last = c.Pc.n - 1 in
+          if Pc.pos_before ranks.(last) docs.(last) r d then c.Pc.n <- 0
+          else begin
+            while Pc.pos_before ranks.(c.Pc.i) docs.(c.Pc.i) r d do
+              c.Pc.i <- c.Pc.i + 1
+            done;
+            continue := false
+          end
+        end
+        else if !pos >= len then continue := false
+        else begin
+          let n = read_varint_r reader pos in
+          (* peek the block's last posting; skip the decode if it is still
+             before the target (the pages are fetched either way — scores sit
+             too densely for page skipping, the win is pure decode CPU) *)
+          St.Blob_store.ensure reader (!pos + (12 * n));
+          let s = St.Blob_store.raw reader in
+          let off = !pos + (12 * (n - 1)) in
+          let lr = St.Order_key.get_f64 s off in
+          let ld = St.Order_key.get_u32 s (off + 8) in
+          if Pc.pos_before lr ld r d then begin
+            pos := !pos + (12 * n);
+            stats.St.Stats.blocks_skipped <- stats.St.Stats.blocks_skipped + 1
+          end
+          else begin
+            for j = 0 to n - 1 do
+              ranks.(j) <- St.Order_key.get_f64 s !pos;
+              docs.(j) <- St.Order_key.get_u32 s (!pos + 8);
+              pos := !pos + 12
+            done;
+            bn := n;
+            bpend := 0;
+            c.Pc.n <- n;
+            c.Pc.i <- 0;
+            stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+          end
+        end
+      done
+    in
+    let c =
+      { Pc.term_idx; long = true; ranks; docs; tss = Pc.zero_tss;
+        rems = Pc.no_rems; n = 0; i = 0; refill; seek }
+    in
+    refill c;
+    c
 end
 
 module Chunk_codec = struct
+  (* groups in descending chunk-id order, each
+
+       varint cid  ·  varint n_postings  ·  varint group_body_len  ·  blocks
+
+     with the doc-ordered block layout above (delta chain restarting at -1
+     per group). The group header supports skipping the whole group; block
+     headers support skipping within it. *)
   let encode ~with_ts groups =
     let buf = Buffer.create 1024 in
+    let gbuf = Buffer.create 4096 in
+    let scratch = Buffer.create 1024 in
     let prev_cid = ref max_int in
     Array.iter
       (fun (cid, postings) ->
         if cid >= !prev_cid then invalid_arg "Chunk_codec: cids must descend";
         if Array.length postings = 0 then invalid_arg "Chunk_codec: empty group";
         prev_cid := cid;
+        Buffer.clear gbuf;
+        encode_doc_blocks gbuf scratch ~with_ts postings;
         St.Varint.write buf cid;
         St.Varint.write buf (Array.length postings);
-        Id_codec.encode_postings buf ~with_ts postings)
+        St.Varint.write buf (Buffer.length gbuf);
+        Buffer.add_buffer buf gbuf)
       groups;
     Buffer.contents buf
 
-  let stream ~with_ts reader =
-    let pos = ref 0 in
-    let raw () = St.Blob_store.raw reader in
+  let cursor ~with_ts ~term_idx reader =
     let len = St.Blob_store.blob_length reader in
-    let cid = ref 0 and in_chunk = ref 0 and prev = ref (-1) in
-    fun () ->
-      St.Blob_store.ensure reader (!pos + lookahead);
-      if !in_chunk = 0 && !pos >= len then None
+    let stats = St.Blob_store.stats reader in
+    let pos = ref 0 in
+    let gcid = ref 0 in
+    let gleft = ref 0 in (* postings of the current group still encoded *)
+    let gend = ref 0 in (* byte offset where the current group ends *)
+    let prev = ref (-1) in
+    let ranks = Array.make block_size 0.0 in
+    let docs = Array.make block_size 0 in
+    let tss = if with_ts then Array.make block_size 0 else Pc.zero_tss in
+    let read_group_header () =
+      gcid := read_varint_r reader pos;
+      gleft := read_varint_r reader pos;
+      let blen = read_varint_r reader pos in
+      gend := !pos + blen;
+      prev := -1
+    in
+    let read_block_header () =
+      let n = read_varint_r reader pos in
+      let last_delta = read_varint_r reader pos in
+      let blen = read_varint_r reader pos in
+      (n, last_delta, blen)
+    in
+    let decode_block c n blen =
+      St.Blob_store.ensure reader (!pos + blen);
+      let s = St.Blob_store.raw reader in
+      let p = ref !prev in
+      for j = 0 to n - 1 do
+        p := !p + St.Varint.read s pos;
+        docs.(j) <- !p;
+        if with_ts then tss.(j) <- read_u16 s pos
+      done;
+      prev := !p;
+      Array.fill ranks 0 n (float_of_int !gcid);
+      gleft := !gleft - n;
+      c.Pc.n <- n;
+      c.Pc.i <- 0;
+      stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+    in
+    (* two-phase refill: entering a block decodes only its first posting (all
+       a merge front needs, and all the chunk stop rule ever looks at), the
+       other [bpend] postings follow on demand — a stop firing on a group's
+       first document therefore never fetches the rest of its block *)
+    let bn = ref 0 in
+    let bpend = ref 0 in
+    let bend = ref 0 in
+    let start_block c =
+      let n, _, blen = read_block_header () in
+      bend := !pos + blen;
+      let d = !prev + read_varint_r reader pos in
+      docs.(0) <- d;
+      if with_ts then begin
+        St.Blob_store.ensure reader (!pos + 2);
+        tss.(0) <- read_u16 (St.Blob_store.raw reader) pos
+      end;
+      prev := d;
+      ranks.(0) <- float_of_int !gcid;
+      bn := n;
+      bpend := n - 1;
+      gleft := !gleft - n;
+      c.Pc.n <- 1;
+      c.Pc.i <- 0;
+      stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+    in
+    let finish_block c =
+      St.Blob_store.ensure reader !bend;
+      let s = St.Blob_store.raw reader in
+      let n = !bn in
+      let p = ref !prev in
+      for j = 1 to n - 1 do
+        p := !p + St.Varint.read s pos;
+        docs.(j) <- !p;
+        if with_ts then tss.(j) <- read_u16 s pos
+      done;
+      prev := !p;
+      Array.fill ranks 1 (n - 1) (float_of_int !gcid);
+      bpend := 0;
+      c.Pc.n <- n;
+      c.Pc.i <- 1
+    in
+    let rec refill c =
+      if !bpend > 0 then finish_block c
+      else if !gleft > 0 then start_block c
+      else if !pos >= len then c.Pc.n <- 0
       else begin
-        let s = raw () in
-        if !in_chunk = 0 then begin
-          cid := St.Varint.read s pos;
-          in_chunk := St.Varint.read s pos;
-          prev := -1
-        end;
-        let doc = !prev + St.Varint.read s pos in
-        prev := doc;
-        let ts = if with_ts then read_u16 s pos else 0 in
-        decr in_chunk;
-        Some (!cid, doc, ts)
+        read_group_header ();
+        refill c
       end
+    in
+    let skip_rest_of_group () =
+      pos := !gend;
+      gleft := 0;
+      St.Blob_store.skip_to reader !pos;
+      stats.St.Stats.blocks_skipped <- stats.St.Stats.blocks_skipped + 1
+    in
+    let seek c r d =
+      if !bpend > 0 then begin
+        (* block-level reasoning below needs the whole block in place *)
+        let i = c.Pc.i in
+        finish_block c;
+        c.Pc.i <- i
+      end;
+      let continue = ref true in
+      while !continue do
+        if c.Pc.n > 0 then begin
+          let br = ranks.(0) in
+          if br < r then continue := false (* already past the target *)
+          else if br > r then begin
+            (* this chunk — and whatever of it remains encoded — lies wholly
+               before the target chunk *)
+            c.Pc.n <- 0;
+            if !gleft > 0 then skip_rest_of_group ()
+          end
+          else if docs.(c.Pc.n - 1) >= d then begin
+            while docs.(c.Pc.i) < d do
+              c.Pc.i <- c.Pc.i + 1
+            done;
+            continue := false
+          end
+          else c.Pc.n <- 0
+        end
+        else if !gleft > 0 then begin
+          let cidf = float_of_int !gcid in
+          if cidf < r then begin
+            (* first posting of this group is already at-or-after the target *)
+            let n, _, blen = read_block_header () in
+            decode_block c n blen;
+            continue := false
+          end
+          else if cidf > r then skip_rest_of_group ()
+          else begin
+            let n, last_delta, blen = read_block_header () in
+            if !prev + last_delta < d then begin
+              prev := !prev + last_delta;
+              pos := !pos + blen;
+              gleft := !gleft - n;
+              St.Blob_store.skip_to reader !pos;
+              stats.St.Stats.blocks_skipped <- stats.St.Stats.blocks_skipped + 1
+            end
+            else decode_block c n blen
+          end
+        end
+        else if !pos >= len then continue := false (* exhausted *)
+        else read_group_header ()
+      done
+    in
+    let c =
+      { Pc.term_idx; long = true; ranks; docs; tss; rems = Pc.no_rems; n = 0;
+        i = 0; refill; seek }
+    in
+    refill c;
+    c
 end

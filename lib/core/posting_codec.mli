@@ -1,7 +1,8 @@
 (** Binary formats of the long inverted lists.
 
-    Long lists are immutable blobs decoded by pull streams so that an
-    early-terminating query touches only the pages of the prefix it scans.
+    Long lists are immutable blobs decoded a block at a time into reusable
+    {!Posting_cursor} buffers, so an early-terminating query touches only the
+    pages of the prefix it scans and the hot loop never allocates per posting.
     Three layouts (Section 4.2, 4.3):
 
     - {!Id_codec}: postings in ascending doc-id order, delta + varint encoded
@@ -14,34 +15,47 @@
       stored once per group header, doc ids delta-encoded inside a group
       (Chunk and Chunk-TermScore).
 
-    All streams return [None] at end of list and read their blob through
-    {!Svr_storage.Blob_store.ensure}, page by page. *)
+    Postings are packed into blocks of at most {!Posting_cursor.block_size},
+    each prefixed by skip data — the posting count, the block's last doc id
+    (as a delta) and the body byte length — so {!Posting_cursor.seek_geq} can
+    jump over blocks (and, for {!Chunk_codec}, whole groups) without decoding
+    them, skipping the underlying pages when they haven't been fetched yet.
+    Cursors account their work in the device's {!Svr_storage.Stats} record
+    ([blocks_decoded] / [blocks_skipped]).
+
+    See DESIGN.md, "Posting block format & skip data". *)
 
 module Id_codec : sig
   val encode : with_ts:bool -> (int * int) array -> string
   (** [(doc, quantized term score)] pairs, strictly ascending doc ids. *)
 
-  val stream :
-    with_ts:bool -> Svr_storage.Blob_store.reader -> unit -> (int * int) option
-  (** Yields [(doc, ts)] pairs; [ts = 0] when encoded without term scores. *)
+  val cursor :
+    with_ts:bool -> term_idx:int -> Svr_storage.Blob_store.reader ->
+    Posting_cursor.t
+  (** All postings surface at rank 0.0; [ts = 0] when encoded without term
+      scores. Seek skips blocks whose last doc id precedes the target. *)
 end
 
 module Score_codec : sig
   val encode : (float * int) array -> string
   (** [(score, doc)] pairs, sorted by score descending then doc ascending. *)
 
-  val stream : Svr_storage.Blob_store.reader -> unit -> (float * int) option
+  val cursor :
+    term_idx:int -> Svr_storage.Blob_store.reader -> Posting_cursor.t
+  (** Postings surface at their score. Seek peeks each block's last posting
+      in place and skips the decode when it is still before the target (the
+      fixed-width entries make the peek free; pages are fetched either way). *)
 end
 
 module Chunk_codec : sig
   val encode : with_ts:bool -> (int * (int * int) array) array -> string
   (** Groups [(cid, postings)] in descending cid order; postings are
-      [(doc, ts)] in ascending doc order. *)
+      [(doc, ts)] in ascending doc order. Groups must be non-empty. *)
 
-  val stream :
-    with_ts:bool ->
-    Svr_storage.Blob_store.reader ->
-    unit ->
-    (int * int * int) option
-  (** Yields [(cid, doc, ts)]. *)
+  val cursor :
+    with_ts:bool -> term_idx:int -> Svr_storage.Blob_store.reader ->
+    Posting_cursor.t
+  (** Postings surface at rank [float cid]. Seek skips whole groups above the
+      target chunk via the group header, then blocks within the target chunk
+      via block headers. *)
 end

@@ -1,0 +1,69 @@
+(* The block cursor every posting source decodes into. See the mli. *)
+
+let block_size = 128
+
+type t = {
+  term_idx : int;
+  long : bool;
+  mutable ranks : float array;
+  mutable docs : int array;
+  mutable tss : int array;
+  mutable rems : bool array;
+  mutable n : int;
+  mutable i : int;
+  refill : t -> unit;
+  seek : t -> float -> int -> unit;
+}
+
+(* shared read-only buffers for fields a source never writes *)
+let zero_ranks = Array.make block_size 0.0
+let zero_tss = Array.make block_size 0
+let no_rems = Array.make block_size false
+
+let eof c = c.n = 0
+let rank c = c.ranks.(c.i)
+let doc c = c.docs.(c.i)
+let ts c = c.tss.(c.i)
+let rem c = c.rems.(c.i)
+
+let advance c =
+  let i = c.i + 1 in
+  if i < c.n then c.i <- i else c.refill c
+
+(* (rank desc, doc asc) scan order: does (r1, d1) come strictly first? *)
+let pos_before r1 d1 r2 d2 = r1 > r2 || (r1 = r2 && d1 < d2)
+
+let at_or_past c r d = c.n = 0 || not (pos_before c.ranks.(c.i) c.docs.(c.i) r d)
+
+let seek_geq c r d = if not (at_or_past c r d) then c.seek c r d
+
+let rec seek_linear c r d =
+  if not (at_or_past c r d) then begin
+    advance c;
+    seek_linear c r d
+  end
+
+let of_array ~term_idx ~long entries =
+  (* test/helper source over an in-memory [(rank, doc, rem, ts)] array already
+     in scan order; linear seek *)
+  let next = ref 0 in
+  let refill c =
+    if !next >= Array.length entries then c.n <- 0
+    else begin
+      let r, d, rm, q = entries.(!next) in
+      incr next;
+      c.ranks.(0) <- r;
+      c.docs.(0) <- d;
+      c.tss.(0) <- q;
+      c.rems.(0) <- rm;
+      c.i <- 0;
+      c.n <- 1
+    end
+  in
+  let c =
+    { term_idx; long; ranks = Array.make 1 0.0; docs = Array.make 1 0;
+      tss = Array.make 1 0; rems = Array.make 1 false; n = 0; i = 0; refill;
+      seek = seek_linear }
+  in
+  refill c;
+  c

@@ -1,0 +1,80 @@
+(** Block-decoded posting cursors: the pull interface between posting sources
+    (long-list codecs, short-list B+-trees) and the k-way merge.
+
+    A source decodes postings a block at a time into the cursor's preallocated
+    parallel arrays — no per-posting closures, options or boxed tuples on the
+    query hot path. The current posting is
+    [(ranks.(i), docs.(i), tss.(i), rems.(i))]; a block holds [n] valid
+    postings and [n = 0] means the source is exhausted.
+
+    Sources advertise their position in the global (rank desc, doc asc) scan
+    order that every query algorithm walks. Besides sequential {!advance},
+    a cursor supports {!seek_geq}, which may use the codec's skip data to
+    jump over whole encoded blocks (or chunk groups) without decoding them —
+    the primitive the conjunctive merge gallops on.
+
+    Buffer ownership: the arrays belong to the cursor and are overwritten by
+    every refill/seek; copy anything that must outlive the current block.
+    Sources that never produce a field may alias the shared all-zero /
+    all-false buffers, so treat the arrays as read-only. *)
+
+val block_size : int
+(** Postings per encoded block (128). *)
+
+type t = {
+  term_idx : int;  (** which query term this source belongs to *)
+  long : bool;  (** from an immutable long list (vs a short list)? *)
+  mutable ranks : float array;  (** list score, chunk id, or 0.0 *)
+  mutable docs : int array;
+  mutable tss : int array;  (** quantized term scores (0 when unused) *)
+  mutable rems : bool array;  (** REM content-update markers *)
+  mutable n : int;  (** valid postings in the block; 0 = exhausted *)
+  mutable i : int;  (** current posting, [i < n] whenever [n > 0] *)
+  refill : t -> unit;  (** load the next block; sets [n = 0] at end *)
+  seek : t -> float -> int -> unit;
+      (** [seek c r d]: position at the first posting at-or-after position
+          [(r, d)] in (rank desc, doc asc) order. Only called by {!seek_geq},
+          which has already checked the cursor is strictly before [(r, d)]. *)
+}
+
+val eof : t -> bool
+
+val rank : t -> float
+
+val doc : t -> int
+
+val ts : t -> int
+
+val rem : t -> bool
+
+val advance : t -> unit
+(** Step to the next posting, refilling across block boundaries. *)
+
+val pos_before : float -> int -> float -> int -> bool
+(** [pos_before r1 d1 r2 d2]: does position 1 come strictly before position 2
+    in (rank desc, doc asc) scan order? *)
+
+val at_or_past : t -> float -> int -> bool
+(** Is the cursor exhausted or at/after the given position? *)
+
+val seek_geq : t -> float -> int -> unit
+(** Skip forward to the first posting at-or-after the given position (no-op
+    when already there). Never moves backwards. *)
+
+val seek_linear : t -> float -> int -> unit
+(** Fallback seek for sources without skip data: repeated {!advance}. *)
+
+val zero_ranks : float array
+(** Shared all-zero rank buffer of {!block_size} — alias it when a source's
+    rank is constantly 0 (id-ordered lists). Never write into it. *)
+
+val zero_tss : int array
+(** Shared all-zero term-score buffer, for sources without term scores. *)
+
+val no_rems : bool array
+(** Shared all-false REM buffer, for long lists (which never carry REMs). *)
+
+val of_array :
+  term_idx:int -> long:bool -> (float * int * bool * int) array -> t
+(** In-memory source over [(rank, doc, rem, ts)] entries already in scan
+    order, with linear seek. For tests and tiny ad-hoc lists. *)

@@ -1,4 +1,5 @@
 module St = Svr_storage
+module Pc = Posting_cursor
 
 type rank_kind = Score_rank | Chunk_rank | Id_rank
 type op = Add | Rem
@@ -47,37 +48,86 @@ let find t ~term ~rank ~doc =
 
 let term_prefix term = St.Order_key.compose [ (fun b -> St.Order_key.term b term) ]
 
+(* NUL-terminated term prefixes make this exact: "data\000" never prefixes a
+   key of the distinct term "database". Allocation-free, unlike
+   [String.sub]-then-compare. *)
+let has_prefix k prefix = String.starts_with ~prefix k
+
 let stream t ~term =
   let prefix = term_prefix term in
   let cursor = St.Btree.seek t.tree prefix in
   let term_len = String.length term in
   fun () ->
     match St.Btree.cursor_next cursor with
-    | None -> None
-    | Some (k, v) ->
-        if
-          String.length k >= String.length prefix
-          && String.equal (String.sub k 0 (String.length prefix)) prefix
-        then begin
-          let rank, doc = decode_key t k term_len in
-          let op, ts = decode_val v in
-          Some { rank; doc; op; ts }
-        end
-        else None
+    | Some (k, v) when has_prefix k prefix ->
+        let rank, doc = decode_key t k term_len in
+        let op, ts = decode_val v in
+        Some { rank; doc; op; ts }
+    | _ -> None
+
+let cursor t ~term ~term_idx =
+  let prefix = term_prefix term in
+  let term_len = String.length term in
+  let bcur = ref (St.Btree.seek t.tree prefix) in
+  let refill c =
+    match St.Btree.cursor_next !bcur with
+    | Some (k, v) when has_prefix k prefix ->
+        let off = term_len + 1 in
+        (match t.kind with
+        | Score_rank ->
+            c.Pc.ranks.(0) <- St.Order_key.get_f64_desc k off;
+            c.Pc.docs.(0) <- St.Order_key.get_u32 k (off + 8)
+        | Chunk_rank ->
+            c.Pc.ranks.(0) <- float_of_int (St.Order_key.get_u32_desc k off);
+            c.Pc.docs.(0) <- St.Order_key.get_u32 k (off + 4)
+        | Id_rank ->
+            c.Pc.ranks.(0) <- 0.0;
+            c.Pc.docs.(0) <- St.Order_key.get_u32 k off);
+        c.Pc.rems.(0) <- v.[0] = '\001';
+        c.Pc.tss.(0) <- St.Order_key.get_u32 v 1;
+        c.Pc.i <- 0;
+        c.Pc.n <- 1
+    | _ -> c.Pc.n <- 0
+  in
+  let seek c r d =
+    (* a fresh descent to the (term, rank, doc) key replaces the linear walk;
+       under Id_rank the rank component vanishes so only [d] steers *)
+    let r = match t.kind with Id_rank -> 0.0 | _ -> r in
+    bcur := St.Btree.seek t.tree (key t ~term ~rank:r ~doc:d);
+    refill c
+  in
+  let c =
+    { Pc.term_idx; long = false; ranks = Array.make 1 0.0;
+      docs = Array.make 1 0; tss = Array.make 1 0; rems = Array.make 1 false;
+      n = 0; i = 0; refill; seek }
+  in
+  refill c;
+  c
 
 let clear t = St.Btree.clear t.tree
 
 let count t = St.Btree.count t.tree
 
+(* Term_score.quantize saturates here; no Add posting can beat it *)
+let ts_ceiling = 65535
+
 let max_ts t ~term =
+  let prefix = term_prefix term in
+  let cur = St.Btree.seek t.tree prefix in
   let best = ref 0 in
-  let next = stream t ~term in
   let rec go () =
-    match next () with
-    | None -> ()
-    | Some p ->
-        if p.op = Add && p.ts > !best then best := p.ts;
-        go ()
+    if !best < ts_ceiling then
+      match St.Btree.cursor_next cur with
+      | Some (k, v) when has_prefix k prefix ->
+          (* peek the op byte first: REM markers carry no term score, so a
+             Rem-only tail costs one byte test per posting, no decode *)
+          if v.[0] = '\000' then begin
+            let ts = St.Order_key.get_u32 v 1 in
+            if ts > !best then best := ts
+          end;
+          go ()
+      | _ -> ()
   in
+  (* stop early once the quantized ceiling is reached *)
   go ();
   !best

@@ -31,7 +31,14 @@ val delete : t -> term:string -> rank:float -> doc:int -> unit
 val find : t -> term:string -> rank:float -> doc:int -> posting option
 
 val stream : t -> term:string -> unit -> posting option
-(** Pull stream of the term's postings in (rank desc, doc asc) order. *)
+(** Pull stream of the term's postings in (rank desc, doc asc) order. The
+    scan is bounded by the NUL-terminated term prefix, so a term never
+    swallows the postings of a longer term it prefixes ("data" / "database"). *)
+
+val cursor : t -> term:string -> term_idx:int -> Posting_cursor.t
+(** The term's postings as a merge cursor (REM markers included; [long =
+    false]). Seek re-descends the B+-tree to the target (term, rank, doc)
+    key instead of walking postings one by one. *)
 
 val clear : t -> unit
 (** Drop everything (offline merge). *)
@@ -42,4 +49,7 @@ val count : t -> int
 val max_ts : t -> term:string -> int
 (** Largest quantized term score among the term's Add postings — the bound
     the Chunk-TermScore stopping rule needs for documents that entered the
-    short lists after the fancy lists were built. O(postings of term). *)
+    short lists after the fancy lists were built. REM markers are skipped on
+    their op byte without decoding a score, and the scan stops early once the
+    quantization ceiling (65535) is reached, so Rem-heavy or saturated lists
+    cost less than a full decode. *)

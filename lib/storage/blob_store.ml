@@ -17,15 +17,9 @@ let pages_for t len = (len + t.page_size - 1) / t.page_size
 let put t payload =
   let len = String.length payload in
   let n_pages = max 1 (pages_for t len) in
-  let first = Pager.alloc t.pager in
-  let rec alloc_rest i last =
-    if i < n_pages then begin
-      let p = Pager.alloc t.pager in
-      assert (p = last + 1);
-      alloc_rest (i + 1) p
-    end
-  in
-  alloc_rest 1 first;
+  (* the run is allocated up front, so contiguity is a guarantee of the
+     allocator rather than an assumption about allocation order *)
+  let first = Pager.alloc_run t.pager n_pages in
   for i = 0 to n_pages - 1 do
     let page = Bytes.make t.page_size '\000' in
     let off = i * t.page_size in
@@ -58,30 +52,64 @@ type reader = {
   store : t;
   first : int;
   len : int;
-  buf : Bytes.t;
+  mutable buf : Bytes.t; (* grows on demand; index = offset within the blob *)
   mutable fetched : int; (* bytes made available so far *)
+  mutable resumed : bool; (* the next page fetch follows a forward skip *)
 }
+
+(* initial decode-buffer size: early-terminating queries shouldn't pay a
+   whole-list allocation just to peek at the first blocks *)
+let initial_buf_pages = 4
 
 let reader t id =
   let first, len = lookup t id in
-  { store = t; first; len; buf = Bytes.create (max len 1); fetched = 0 }
+  { store = t; first; len;
+    buf = Bytes.create (min (max len 1) (initial_buf_pages * t.page_size));
+    fetched = 0; resumed = false }
 
 let blob_length r = r.len
 let fetched_bytes r = r.fetched
+let stats r = Pager.stats r.store.pager
+
+let grow r upto =
+  let cur = Bytes.length r.buf in
+  if cur < upto then begin
+    let target = ref (max cur 1) in
+    while !target < upto do
+      target := !target * 2
+    done;
+    let bigger = Bytes.create (min !target (max r.len 1)) in
+    Bytes.blit r.buf 0 bigger 0 cur;
+    r.buf <- bigger
+  end
 
 let ensure r upto =
   let upto = min upto r.len in
-  while r.fetched < upto do
-    let page_idx = r.fetched / r.store.page_size in
-    (* within-blob page runs are readahead-friendly: only the first page of a
-       reader pays a seek, even when several lists are merged concurrently *)
-    let hint = if page_idx = 0 then `Auto else `Seq in
-    let page = Pager.get ~hint r.store.pager (r.first + page_idx) in
-    let off = page_idx * r.store.page_size in
-    let chunk = min r.store.page_size (r.len - off) in
-    Bytes.blit page 0 r.buf off chunk;
-    r.fetched <- off + chunk
-  done
+  if r.fetched < upto then begin
+    grow r upto;
+    while r.fetched < upto do
+      let page_idx = r.fetched / r.store.page_size in
+      (* within-blob page runs are readahead-friendly: only the first page of
+         a reader (or the first after a skip) pays a seek, even when several
+         lists are merged concurrently *)
+      let hint = if page_idx = 0 || r.resumed then `Auto else `Seq in
+      r.resumed <- false;
+      let page = Pager.get ~hint r.store.pager (r.first + page_idx) in
+      let off = page_idx * r.store.page_size in
+      let chunk = min r.store.page_size (r.len - off) in
+      Bytes.blit page 0 r.buf off chunk;
+      r.fetched <- off + chunk
+    done
+  end
+
+let skip_to r off =
+  (* page-aligned: whole pages strictly below [off] are never fetched; the
+     partially-needed page is re-fetched by the next [ensure] *)
+  let floor = off / r.store.page_size * r.store.page_size in
+  if floor > r.fetched then begin
+    r.fetched <- min floor r.len;
+    r.resumed <- true
+  end
 
 let raw r = Bytes.unsafe_to_string r.buf
 

@@ -37,19 +37,34 @@ val page_bytes : t -> int
 type reader
 
 val reader : t -> id -> reader
-(** A reader positioned at the start of the blob. Pages are fetched lazily. *)
+(** A reader positioned at the start of the blob. Pages are fetched lazily
+    into a decode buffer that starts small and grows geometrically, so an
+    early-terminating scan never allocates the whole list. *)
 
 val blob_length : reader -> int
 
 val ensure : reader -> int -> unit
 (** [ensure r upto] fetches pages until at least [upto] bytes of the blob are
-    available (clamped to the blob length). *)
+    available (clamped to the blob length). Fetches are page-aligned and
+    classified sequential except the first after {!reader} or {!skip_to}. *)
+
+val skip_to : reader -> int -> unit
+(** [skip_to r off] declares that bytes before [off] will not be read: whole
+    pages strictly below [off] are never fetched (skip-data-driven block
+    skipping). A no-op when [off] is already fetched; never moves backwards.
+    After a skip, the bytes below [off] are unspecified — do not read them. *)
 
 val raw : reader -> string
-(** The blob's byte buffer. Only the prefix made available by {!ensure} holds
-    valid data; the remainder reads as zeros. The returned string aliases the
-    reader's internal buffer — treat it as read-only and do not retain it past
-    the reader's lifetime. *)
+(** The blob's byte buffer, indexed by blob offset. Only byte ranges made
+    available by {!ensure} (and not bypassed by {!skip_to}) hold valid data.
+    The returned string aliases the reader's internal buffer and is
+    invalidated by the next {!ensure} (the buffer may be reallocated) —
+    re-fetch it after each [ensure], treat it as read-only, and do not retain
+    it past the reader's lifetime. *)
 
 val fetched_bytes : reader -> int
 (** How many bytes have been made available so far. *)
+
+val stats : reader -> Stats.t
+(** The I/O counter record of the underlying device — where posting cursors
+    account blocks decoded vs skipped. *)

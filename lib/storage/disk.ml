@@ -25,6 +25,14 @@ let alloc t =
   t.n_pages <- t.n_pages + 1;
   page_no
 
+let alloc_run t n =
+  if n <= 0 then invalid_arg "Disk.alloc_run: n must be positive";
+  let first = alloc t in
+  for _ = 2 to n do
+    ignore (alloc t)
+  done;
+  first
+
 let n_pages t = t.n_pages
 let size_bytes t = t.n_pages * t.page_size
 

@@ -20,6 +20,12 @@ val alloc : t -> int
 (** Allocate a fresh zeroed page and return its page number. Allocation is
     sequential, so consecutively allocated pages read back sequentially. *)
 
+val alloc_run : t -> int -> int
+(** [alloc_run t n] allocates [n] fresh zeroed pages guaranteed contiguous and
+    returns the first page number — the primitive blob writes rely on, so a
+    pager that one day reuses freed pages cannot break blob contiguity.
+    @raise Invalid_argument if [n <= 0]. *)
+
 val n_pages : t -> int
 (** Number of pages ever allocated (the device footprint). *)
 

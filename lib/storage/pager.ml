@@ -12,6 +12,7 @@ let create ?(pool_pages = 1024) ~stats disk =
 
 let disk t = t.disk
 let pool_pages t = t.pool_pages
+let stats t = t.stats
 
 let write_back t page_no entry =
   if entry.dirty then begin
@@ -29,6 +30,11 @@ let alloc t =
   insert t page_no
     { bytes = Bytes.make (Disk.page_size t.disk) '\000'; dirty = false };
   page_no
+
+let alloc_run t n =
+  (* the disk guarantees contiguity; freshly allocated pages are zeroed on
+     device, so they need not enter the pool until they are written *)
+  Disk.alloc_run t.disk n
 
 let get ?(hint = `Auto) t page_no =
   t.stats.Stats.logical_reads <- t.stats.Stats.logical_reads + 1;

@@ -21,6 +21,16 @@ val disk : t -> Disk.t
 val alloc : t -> int
 (** Allocate a fresh zeroed page; it enters the pool clean. *)
 
+val alloc_run : t -> int -> int
+(** Allocate [n] contiguous fresh pages up front and return the first page
+    number. Unlike repeated {!alloc} calls, contiguity is guaranteed by the
+    device rather than assumed, so blob writes survive any future page-reuse
+    policy. The pages stay out of the pool until written.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val stats : t -> Stats.t
+(** The shared I/O counters this pager reports into. *)
+
 val get : ?hint:[ `Auto | `Seq ] -> t -> int -> Bytes.t
 (** Fetch a page, reading through the pool ([hint] forwards to
     {!Disk.read} on a miss). See ownership note above. *)

@@ -4,6 +4,8 @@ type t = {
   mutable seq_reads : int;
   mutable rand_reads : int;
   mutable page_writes : int;
+  mutable blocks_decoded : int;
+  mutable blocks_skipped : int;
 }
 
 type cost_model = {
@@ -16,26 +18,31 @@ let default_cost = { seq_read_ms = 0.05; rand_read_ms = 8.0; write_ms = 8.0 }
 
 let create () =
   { logical_reads = 0; cache_hits = 0; seq_reads = 0; rand_reads = 0;
-    page_writes = 0 }
+    page_writes = 0; blocks_decoded = 0; blocks_skipped = 0 }
 
 let reset t =
   t.logical_reads <- 0;
   t.cache_hits <- 0;
   t.seq_reads <- 0;
   t.rand_reads <- 0;
-  t.page_writes <- 0
+  t.page_writes <- 0;
+  t.blocks_decoded <- 0;
+  t.blocks_skipped <- 0
 
 let snapshot t =
   { logical_reads = t.logical_reads; cache_hits = t.cache_hits;
     seq_reads = t.seq_reads; rand_reads = t.rand_reads;
-    page_writes = t.page_writes }
+    page_writes = t.page_writes; blocks_decoded = t.blocks_decoded;
+    blocks_skipped = t.blocks_skipped }
 
 let diff ~after ~before =
   { logical_reads = after.logical_reads - before.logical_reads;
     cache_hits = after.cache_hits - before.cache_hits;
     seq_reads = after.seq_reads - before.seq_reads;
     rand_reads = after.rand_reads - before.rand_reads;
-    page_writes = after.page_writes - before.page_writes }
+    page_writes = after.page_writes - before.page_writes;
+    blocks_decoded = after.blocks_decoded - before.blocks_decoded;
+    blocks_skipped = after.blocks_skipped - before.blocks_skipped }
 
 let simulated_ms ?(cost = default_cost) t =
   (float_of_int t.seq_reads *. cost.seq_read_ms)
@@ -44,5 +51,6 @@ let simulated_ms ?(cost = default_cost) t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "reads=%d hits=%d seq=%d rand=%d writes=%d (sim %.2f ms)" t.logical_reads
-    t.cache_hits t.seq_reads t.rand_reads t.page_writes (simulated_ms t)
+    "reads=%d hits=%d seq=%d rand=%d writes=%d blk-dec=%d blk-skip=%d (sim %.2f ms)"
+    t.logical_reads t.cache_hits t.seq_reads t.rand_reads t.page_writes
+    t.blocks_decoded t.blocks_skipped (simulated_ms t)

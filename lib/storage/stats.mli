@@ -13,6 +13,11 @@ type t = {
   mutable seq_reads : int;  (** physical reads contiguous with the previous *)
   mutable rand_reads : int;  (** physical reads requiring a seek *)
   mutable page_writes : int;  (** physical page writes (pool write-back) *)
+  mutable blocks_decoded : int;
+      (** posting blocks fully decoded by a long-list cursor *)
+  mutable blocks_skipped : int;
+      (** posting blocks (or whole chunk groups) skipped via their headers
+          without decoding — the payoff of the skip data *)
 }
 
 type cost_model = {

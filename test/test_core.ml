@@ -142,11 +142,21 @@ let chunk_policy_sound_prop scores =
 let blob_fixture () =
   let stats = St.Stats.create () in
   let disk = St.Disk.create ~name:"b" stats in
-  St.Blob_store.create (St.Pager.create ~pool_pages:8 ~stats disk)
+  St.Blob_store.create (St.Pager.create ~pool_pages:64 ~stats disk)
 
-let drain next =
-  let rec go acc = match next () with None -> List.rev acc | Some x -> go (x :: acc) in
-  go []
+module Pc = Core.Posting_cursor
+
+let drain_cursor f c =
+  let acc = ref [] in
+  while not (Pc.eof c) do
+    acc := f c :: !acc;
+    Pc.advance c
+  done;
+  List.rev !acc
+
+let id_entry c = (Pc.doc c, Pc.ts c)
+let score_entry c = (Pc.rank c, Pc.doc c)
+let chunk_entry c = (int_of_float (Pc.rank c), Pc.doc c, Pc.ts c)
 
 let test_id_codec () =
   let store = blob_fixture () in
@@ -155,7 +165,9 @@ let test_id_codec () =
     (fun with_ts ->
       let id = St.Blob_store.put store (Core.Posting_codec.Id_codec.encode ~with_ts postings) in
       let got =
-        drain (Core.Posting_codec.Id_codec.stream ~with_ts (St.Blob_store.reader store id))
+        drain_cursor id_entry
+          (Core.Posting_codec.Id_codec.cursor ~with_ts ~term_idx:0
+             (St.Blob_store.reader store id))
       in
       let expect =
         Array.to_list (if with_ts then postings else Array.map (fun (d, _) -> (d, 0)) postings)
@@ -163,14 +175,17 @@ let test_id_codec () =
       check Alcotest.(list (pair int int)) (Printf.sprintf "with_ts=%b" with_ts) expect got)
     [ true; false ];
   Alcotest.check_raises "non-ascending rejected"
-    (Invalid_argument "Id_codec: doc ids must ascend") (fun () ->
+    (Invalid_argument "Posting_codec: doc ids must ascend") (fun () ->
       ignore (Core.Posting_codec.Id_codec.encode ~with_ts:false [| (5, 0); (5, 0) |]))
 
 let test_score_codec () =
   let store = blob_fixture () in
   let postings = [| (90.5, 2); (90.5, 7); (10.25, 1); (0.0, 9) |] in
   let id = St.Blob_store.put store (Core.Posting_codec.Score_codec.encode postings) in
-  let got = drain (Core.Posting_codec.Score_codec.stream (St.Blob_store.reader store id)) in
+  let got =
+    drain_cursor score_entry
+      (Core.Posting_codec.Score_codec.cursor ~term_idx:0 (St.Blob_store.reader store id))
+  in
   check Alcotest.(list (pair (float 0.0) int)) "roundtrip" (Array.to_list postings) got
 
 let test_chunk_codec () =
@@ -180,7 +195,9 @@ let test_chunk_codec () =
     St.Blob_store.put store (Core.Posting_codec.Chunk_codec.encode ~with_ts:true groups)
   in
   let got =
-    drain (Core.Posting_codec.Chunk_codec.stream ~with_ts:true (St.Blob_store.reader store id))
+    drain_cursor chunk_entry
+      (Core.Posting_codec.Chunk_codec.cursor ~with_ts:true ~term_idx:0
+         (St.Blob_store.reader store id))
   in
   check
     Alcotest.(list (triple int int int))
@@ -190,15 +207,139 @@ let test_chunk_codec () =
   (* empty list *)
   let empty = St.Blob_store.put store (Core.Posting_codec.Chunk_codec.encode ~with_ts:false [||]) in
   check Alcotest.(list (triple int int int)) "empty" []
-    (drain (Core.Posting_codec.Chunk_codec.stream ~with_ts:false (St.Blob_store.reader store empty)))
+    (drain_cursor chunk_entry
+       (Core.Posting_codec.Chunk_codec.cursor ~with_ts:false ~term_idx:0
+          (St.Blob_store.reader store empty)))
+
+(* every codec at sizes straddling the 128-posting block boundary *)
+let test_block_boundaries () =
+  List.iter
+    (fun n ->
+      let store = blob_fixture () in
+      let postings = Array.init n (fun i -> ((i * 3) + 1, (i * 7) land 0xFFFF)) in
+      let id =
+        St.Blob_store.put store (Core.Posting_codec.Id_codec.encode ~with_ts:true postings)
+      in
+      check Alcotest.(list (pair int int)) (Printf.sprintf "id n=%d" n)
+        (Array.to_list postings)
+        (drain_cursor id_entry
+           (Core.Posting_codec.Id_codec.cursor ~with_ts:true ~term_idx:0
+              (St.Blob_store.reader store id)));
+      let scored = Array.init n (fun i -> (float_of_int (2 * (n - i)), i)) in
+      let sid = St.Blob_store.put store (Core.Posting_codec.Score_codec.encode scored) in
+      check Alcotest.(list (pair (float 0.0) int)) (Printf.sprintf "score n=%d" n)
+        (Array.to_list scored)
+        (drain_cursor score_entry
+           (Core.Posting_codec.Score_codec.cursor ~term_idx:0
+              (St.Blob_store.reader store sid)));
+      (* groups of 130 postings so a single group also crosses a block edge *)
+      let groups = ref [] and off = ref 0 and cid = ref ((n / 130) + 1) in
+      while !off < n do
+        let len = min 130 (n - !off) in
+        groups := (!cid, Array.sub postings !off len) :: !groups;
+        decr cid;
+        off := !off + len
+      done;
+      let groups = Array.of_list (List.rev !groups) in
+      let expect =
+        List.concat_map
+          (fun (cid, ps) -> List.map (fun (d, ts) -> (cid, d, ts)) (Array.to_list ps))
+          (Array.to_list groups)
+      in
+      let gid =
+        St.Blob_store.put store (Core.Posting_codec.Chunk_codec.encode ~with_ts:true groups)
+      in
+      check Alcotest.(list (triple int int int)) (Printf.sprintf "chunk n=%d" n) expect
+        (drain_cursor chunk_entry
+           (Core.Posting_codec.Chunk_codec.cursor ~with_ts:true ~term_idx:0
+              (St.Blob_store.reader store gid))))
+    [ 0; 1; 127; 128; 129; 300 ]
+
+(* seek_geq jumps over encoded blocks without decoding them, and the skips
+   show up in the device stats *)
+let test_seek_skips () =
+  let stats = St.Stats.create () in
+  let disk = St.Disk.create ~name:"b" stats in
+  let store = St.Blob_store.create (St.Pager.create ~pool_pages:64 ~stats disk) in
+  (* id codec: even doc ids *)
+  let postings = Array.init 2000 (fun i -> (2 * i, 0)) in
+  let id = St.Blob_store.put store (Core.Posting_codec.Id_codec.encode ~with_ts:false postings) in
+  let c =
+    Core.Posting_codec.Id_codec.cursor ~with_ts:false ~term_idx:0
+      (St.Blob_store.reader store id)
+  in
+  Pc.seek_geq c 0.0 3001;
+  check Alcotest.int "id seek lands" 3002 (Pc.doc c);
+  check Alcotest.bool "id blocks skipped" true (stats.St.Stats.blocks_skipped > 0);
+  Pc.seek_geq c 0.0 999_999;
+  check Alcotest.bool "id seek past end" true (Pc.eof c);
+  (* chunk codec: cids 40 down to 1, 100 docs each; seeking into a low chunk
+     skips whole groups via their headers *)
+  let groups =
+    Array.init 40 (fun g -> (40 - g, Array.init 100 (fun i -> ((100 * g) + i, 0))))
+  in
+  let gid = St.Blob_store.put store (Core.Posting_codec.Chunk_codec.encode ~with_ts:false groups) in
+  let ck =
+    Core.Posting_codec.Chunk_codec.cursor ~with_ts:false ~term_idx:0
+      (St.Blob_store.reader store gid)
+  in
+  let before = stats.St.Stats.blocks_skipped in
+  Pc.seek_geq ck 5.0 3540;
+  check Alcotest.(pair (float 0.0) int) "chunk seek lands" (5.0, 3540) (Pc.rank ck, Pc.doc ck);
+  check Alcotest.bool "chunk groups skipped" true (stats.St.Stats.blocks_skipped > before);
+  (* score codec: decode-skips only, still counted *)
+  let scored = Array.init 2000 (fun i -> (float_of_int (4000 - i), i)) in
+  let sid = St.Blob_store.put store (Core.Posting_codec.Score_codec.encode scored) in
+  let sc = Core.Posting_codec.Score_codec.cursor ~term_idx:0 (St.Blob_store.reader store sid) in
+  let before = stats.St.Stats.blocks_skipped in
+  Pc.seek_geq sc 2500.0 0;
+  check Alcotest.(pair (float 0.0) int) "score seek lands" (2500.0, 1500) (Pc.rank sc, Pc.doc sc);
+  check Alcotest.bool "score blocks skipped" true (stats.St.Stats.blocks_skipped > before)
 
 let id_codec_roundtrip_prop docs =
   let docs = List.sort_uniq compare (List.map abs docs) in
   let postings = Array.of_list (List.map (fun d -> (d, d land 0xFFFF)) docs) in
   let store = blob_fixture () in
   let id = St.Blob_store.put store (Core.Posting_codec.Id_codec.encode ~with_ts:true postings) in
-  drain (Core.Posting_codec.Id_codec.stream ~with_ts:true (St.Blob_store.reader store id))
+  drain_cursor id_entry
+    (Core.Posting_codec.Id_codec.cursor ~with_ts:true ~term_idx:0
+       (St.Blob_store.reader store id))
   = Array.to_list postings
+
+let score_codec_roundtrip_prop docs =
+  let docs = List.sort_uniq compare (List.map abs docs) in
+  let postings =
+    Array.of_list (List.mapi (fun i d -> (float_of_int (100000 - i), d)) docs)
+  in
+  let store = blob_fixture () in
+  let id = St.Blob_store.put store (Core.Posting_codec.Score_codec.encode postings) in
+  drain_cursor score_entry
+    (Core.Posting_codec.Score_codec.cursor ~term_idx:0 (St.Blob_store.reader store id))
+  = Array.to_list postings
+
+let chunk_codec_roundtrip_prop docs =
+  let docs = List.sort_uniq compare (List.map abs docs) in
+  (* consecutive runs of up to 7 docs per chunk, cids descending *)
+  let rec slice cid = function
+    | [] -> []
+    | l ->
+        let n = min 7 (List.length l) in
+        let g = List.filteri (fun i _ -> i < n) l in
+        let rest = List.filteri (fun i _ -> i >= n) l in
+        (cid, Array.of_list (List.map (fun d -> (d, d land 0xFFFF)) g)) :: slice (cid - 1) rest
+  in
+  let groups = Array.of_list (slice (1 + (List.length docs / 7)) docs) in
+  let expect =
+    List.concat_map
+      (fun (cid, ps) -> List.map (fun (d, ts) -> (cid, d, ts)) (Array.to_list ps))
+      (Array.to_list groups)
+  in
+  let store = blob_fixture () in
+  let id = St.Blob_store.put store (Core.Posting_codec.Chunk_codec.encode ~with_ts:true groups) in
+  drain_cursor chunk_entry
+    (Core.Posting_codec.Chunk_codec.cursor ~with_ts:true ~term_idx:0
+       (St.Blob_store.reader store id))
+  = expect
 
 (* ------------------------------------------------------------------ *)
 (* Support tables *)
@@ -270,6 +411,61 @@ let test_short_list () =
   Core.Short_list.clear s;
   check Alcotest.int "cleared" 0 (Core.Short_list.count s)
 
+let test_short_list_prefix_boundary () =
+  (* "data" must not swallow "database": the NUL terminator in the key bounds
+     the prefix scan exactly *)
+  let env = small_env () in
+  let s = Core.Short_list.create env ~name:"sl" Core.Short_list.Id_rank in
+  Core.Short_list.put s ~term:"dat" ~rank:0.0 ~doc:3 ~op:Core.Short_list.Add ~ts:1;
+  Core.Short_list.put s ~term:"data" ~rank:0.0 ~doc:1 ~op:Core.Short_list.Add ~ts:3;
+  Core.Short_list.put s ~term:"database" ~rank:0.0 ~doc:2 ~op:Core.Short_list.Add ~ts:9;
+  let docs_of term =
+    let next = Core.Short_list.stream s ~term in
+    let rec go acc =
+      match next () with None -> List.rev acc | Some p -> go (p.Core.Short_list.doc :: acc)
+    in
+    go []
+  in
+  check Alcotest.(list int) "stream stops at term boundary" [ 1 ] (docs_of "data");
+  check Alcotest.(list int) "longer term unaffected" [ 2 ] (docs_of "database");
+  let c = Core.Short_list.cursor s ~term:"data" ~term_idx:0 in
+  check Alcotest.(list int) "cursor stops at term boundary" [ 1 ]
+    (drain_cursor Pc.doc c);
+  check Alcotest.int "max_ts respects boundary" 3 (Core.Short_list.max_ts s ~term:"data")
+
+let test_short_list_max_ts () =
+  let env = small_env () in
+  let s = Core.Short_list.create env ~name:"sl" Core.Short_list.Chunk_rank in
+  (* Rem markers never contribute *)
+  Core.Short_list.put s ~term:"t" ~rank:5.0 ~doc:1 ~op:Core.Short_list.Add ~ts:7;
+  Core.Short_list.put s ~term:"t" ~rank:4.0 ~doc:2 ~op:Core.Short_list.Rem ~ts:0;
+  Core.Short_list.put s ~term:"t" ~rank:2.0 ~doc:4 ~op:Core.Short_list.Add ~ts:9;
+  Core.Short_list.put s ~term:"t" ~rank:1.0 ~doc:5 ~op:Core.Short_list.Rem ~ts:0;
+  check Alcotest.int "adds only" 9 (Core.Short_list.max_ts s ~term:"t");
+  (* a saturated posting lets the scan stop early but must still be exact *)
+  Core.Short_list.put s ~term:"t" ~rank:3.0 ~doc:3 ~op:Core.Short_list.Add ~ts:65535;
+  check Alcotest.int "saturated" 65535 (Core.Short_list.max_ts s ~term:"t");
+  (* a Rem-only list has no term-score bound *)
+  Core.Short_list.put s ~term:"u" ~rank:2.0 ~doc:9 ~op:Core.Short_list.Rem ~ts:0;
+  check Alcotest.int "rem-only" 0 (Core.Short_list.max_ts s ~term:"u");
+  check Alcotest.int "absent term" 0 (Core.Short_list.max_ts s ~term:"v")
+
+let test_short_list_cursor_seek () =
+  let env = small_env () in
+  let s = Core.Short_list.create env ~name:"sl" Core.Short_list.Chunk_rank in
+  List.iter
+    (fun (rank, doc) ->
+      Core.Short_list.put s ~term:"t" ~rank ~doc ~op:Core.Short_list.Add ~ts:1)
+    [ (9.0, 1); (9.0, 5); (7.0, 2); (7.0, 8); (3.0, 4) ];
+  let c = Core.Short_list.cursor s ~term:"t" ~term_idx:0 in
+  check Alcotest.(pair (float 0.0) int) "starts at front" (9.0, 1) (Pc.rank c, Pc.doc c);
+  Pc.seek_geq c 7.0 3;
+  check Alcotest.(pair (float 0.0) int) "seek within rank" (7.0, 8) (Pc.rank c, Pc.doc c);
+  Pc.seek_geq c 4.0 0;
+  check Alcotest.(pair (float 0.0) int) "seek across ranks" (3.0, 4) (Pc.rank c, Pc.doc c);
+  Pc.seek_geq c 1.0 0;
+  check Alcotest.bool "seek past end" true (Pc.eof c)
+
 (* ------------------------------------------------------------------ *)
 (* Merge engine: model-checked on random streams *)
 
@@ -302,52 +498,46 @@ let merge_model_prop terms_streams =
   let n_terms = List.length terms_streams in
   if n_terms = 0 then true
   else begin
-    let of_list entries =
-      let remaining = ref entries in
-      fun () ->
-        match !remaining with
-        | [] -> None
-        | e :: rest ->
-            remaining := rest;
-            Some e
-    in
-    let streams =
+    (* fresh single-posting cursors over the in-memory streams *)
+    let cursors () =
       List.concat
         (List.mapi
            (fun term_idx ts ->
-             [ of_list
-                 (List.map
-                    (fun (r, d, tsq) ->
-                      { Core.Merge.rank = float_of_int r; doc = d; term_idx;
-                        long = true; rem = false; ts = tsq })
-                    ts.longs);
-               of_list
-                 (List.map
-                    (fun (r, d, rem, tsq) ->
-                      { Core.Merge.rank = float_of_int r; doc = d; term_idx;
-                        long = false; rem; ts = tsq })
-                    ts.shorts) ])
+             [ Pc.of_array ~term_idx ~long:true
+                 (Array.of_list
+                    (List.map
+                       (fun (r, d, tsq) -> (float_of_int r, d, false, tsq))
+                       ts.longs));
+               Pc.of_array ~term_idx ~long:false
+                 (Array.of_list
+                    (List.map
+                       (fun (r, d, rem, tsq) -> (float_of_int r, d, rem, tsq))
+                       ts.shorts)) ])
            terms_streams)
     in
-    let next = Core.Merge.groups ~n_terms streams in
-    let groups = ref [] in
-    let rec drain () =
-      match next () with
-      | None -> ()
-      | Some g ->
-          groups := g :: !groups;
-          drain ()
+    (* the merger reuses its group record: copy what the checks need *)
+    let drain gallop =
+      let m = Core.Merge.create ~n_terms (cursors ()) in
+      let acc = ref [] in
+      let rec go () =
+        match Core.Merge.next ~gallop m with
+        | None -> ()
+        | Some g ->
+            acc :=
+              ( (int_of_float g.Core.Merge.g_rank, g.Core.Merge.g_doc),
+                Array.to_list g.Core.Merge.present,
+                g.Core.Merge.n_present )
+              :: !acc;
+            go ()
+      in
+      go ();
+      List.rev !acc
     in
-    drain ();
-    let groups = List.rev !groups in
+    let groups = drain false in
     (* 1: groups strictly ordered by (rank desc, doc asc) *)
     let rec ordered = function
-      | g1 :: (g2 :: _ as rest) ->
-          stream_order
-            (int_of_float g1.Core.Merge.g_rank, g1.Core.Merge.g_doc)
-            (int_of_float g2.Core.Merge.g_rank, g2.Core.Merge.g_doc)
-          < 0
-          && ordered rest
+      | (p1, _, _) :: ((p2, _, _) :: _ as rest) ->
+          stream_order p1 p2 < 0 && ordered rest
       | _ -> true
     in
     (* 2: the set of group positions = union of all stream positions *)
@@ -359,20 +549,14 @@ let merge_model_prop terms_streams =
              @ List.map (fun (r, d, _, _) -> (r, d)) ts.shorts)
            terms_streams)
     in
-    let got_positions =
-      List.sort compare
-        (List.map
-           (fun g -> (int_of_float g.Core.Merge.g_rank, g.Core.Merge.g_doc))
-           groups)
-    in
-    (* 3: presence and term scores per Appendix A semantics *)
+    let got_positions = List.sort compare (List.map (fun (p, _, _) -> p) groups) in
+    (* 3: presence per Appendix A semantics *)
     let presence_ok =
       List.for_all
-        (fun g ->
-          let pos = (int_of_float g.Core.Merge.g_rank, g.Core.Merge.g_doc) in
+        (fun (pos, present, _) ->
           List.for_all2
             (fun present ts_model -> present = Option.is_some ts_model)
-            (Array.to_list g.Core.Merge.present)
+            present
             (List.map
                (fun ts ->
                  let long =
@@ -392,7 +576,14 @@ let merge_model_prop terms_streams =
                terms_streams))
         groups
     in
-    ordered groups && got_positions = expected_positions && presence_ok
+    (* 4: the galloping merge finds exactly the full conjunctive matches *)
+    let full l =
+      List.filter_map (fun (p, _, np) -> if np = n_terms then Some p else None) l
+    in
+    ordered groups
+    && got_positions = expected_positions
+    && presence_ok
+    && full (drain true) = full groups
   end
 
 (* ------------------------------------------------------------------ *)
@@ -508,8 +699,11 @@ let scenario_prop kind (corpus_spec, ops, qseed) =
           List.for_all
             (fun k ->
               let got = Core.Index.query_terms idx ~mode q ~k in
+              let got_scan = Core.Index.query_terms idx ~mode ~gallop:false q ~k in
               let want = Core.Oracle.top_k oracle ~mode ~with_ts q ~k in
-              same_results got want)
+              (* the galloping and naive full-scan merges must both agree
+                 with the oracle *)
+              same_results got want && same_results got_scan want)
             ks)
         modes)
     (q_extra :: queries)
@@ -683,12 +877,23 @@ let () =
         [ Alcotest.test_case "id" `Quick test_id_codec;
           Alcotest.test_case "score" `Quick test_score_codec;
           Alcotest.test_case "chunk" `Quick test_chunk_codec;
+          Alcotest.test_case "block boundaries" `Quick test_block_boundaries;
+          Alcotest.test_case "seek skips blocks" `Quick test_seek_skips;
           qtest ~count:200 "id roundtrip" id_codec_roundtrip_prop
+            QCheck2.Gen.(small_list (int_bound 1_000_000));
+          qtest ~count:200 "score roundtrip" score_codec_roundtrip_prop
+            QCheck2.Gen.(small_list (int_bound 1_000_000));
+          qtest ~count:200 "chunk roundtrip" chunk_codec_roundtrip_prop
             QCheck2.Gen.(small_list (int_bound 1_000_000)) ] );
       ( "tables",
         [ Alcotest.test_case "score table" `Quick test_score_table;
           Alcotest.test_case "doc store" `Quick test_doc_store;
-          Alcotest.test_case "short list" `Quick test_short_list ] );
+          Alcotest.test_case "short list" `Quick test_short_list;
+          Alcotest.test_case "short list prefix boundary" `Quick
+            test_short_list_prefix_boundary;
+          Alcotest.test_case "short list max_ts" `Quick test_short_list_max_ts;
+          Alcotest.test_case "short list cursor seek" `Quick
+            test_short_list_cursor_seek ] );
       ( "merge",
         [ qtest ~count:300 "merge vs model" merge_model_prop
             QCheck2.Gen.(list_size (int_range 1 3) gen_term_streams) ] );

@@ -161,7 +161,7 @@ let test_early_termination_happens () =
            seed = 5 }
          corpus)
   in
-  let measure kind =
+  let measure kind ~gallop =
     let env =
       St.Env.create ~page_size:256 ~table_pool_pages:8192 ~blob_pool_pages:64 ()
     in
@@ -176,18 +176,51 @@ let test_early_termination_happens () =
       (fun q ->
         St.Env.drop_blob_caches env;
         St.Stats.reset stats;
-        ignore (Core.Index.query_terms idx q ~k:3);
+        ignore (Core.Index.query_terms idx ~gallop q ~k:3);
         physical := !physical + stats.St.Stats.seq_reads + stats.St.Stats.rand_reads)
       queries;
     !physical
   in
-  let id_reads = measure Core.Index.Id in
-  let chunk_reads = measure Core.Index.Chunk in
+  (* galloping off: the classic contrast of chunk early termination against
+     an ID method that scans its lists end to end *)
+  let id_reads = measure Core.Index.Id ~gallop:false in
+  let chunk_reads = measure Core.Index.Chunk ~gallop:false in
   check Alcotest.bool
     (Printf.sprintf "chunk fetches fewer list pages (chunk %d vs id %d)"
        chunk_reads id_reads)
     true
-    (chunk_reads * 2 <= id_reads)
+    (chunk_reads * 2 <= id_reads);
+  (* and the skip-aware conjunctive merge must cut page fetches on its own
+     when a rare term gallops across a dense one: "alpha" is in every
+     document, "rare" in every 1000th, so seek_geq leaps whole blocks of
+     alpha's list between consecutive rare docs (small pages make the
+     block bodies span pages that skipping then never fetches) *)
+  let sparse_corpus () =
+    Seq.init 4000 (fun d -> (d, if d mod 1000 = 0 then "alpha rare" else "alpha"))
+  in
+  let measure_sparse ~gallop =
+    let env =
+      St.Env.create ~page_size:64 ~table_pool_pages:8192 ~blob_pool_pages:256 ()
+    in
+    let idx =
+      Core.Index.build ~env Core.Index.Id cfg ~corpus:(sparse_corpus ())
+        ~scores:(fun d -> float_of_int (d mod 97))
+    in
+    let stats = St.Env.stats env in
+    St.Env.drop_blob_caches env;
+    St.Stats.reset stats;
+    ignore (Core.Index.query_terms idx ~gallop [ "alpha"; "rare" ] ~k:3);
+    (stats.St.Stats.seq_reads + stats.St.Stats.rand_reads,
+     stats.St.Stats.blocks_skipped)
+  in
+  let scan_pages, _ = measure_sparse ~gallop:false in
+  let gallop_pages, skipped = measure_sparse ~gallop:true in
+  check Alcotest.bool
+    (Printf.sprintf
+       "galloping skips long-list pages (gallop %d vs scan %d, %d skipped)"
+       gallop_pages scan_pages skipped)
+    true
+    (skipped > 0 && gallop_pages < scan_pages)
 
 let () =
   Alcotest.run "svr_integration"
