@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check test bench clean
+.PHONY: all check test bench bench-par clean
 
 all:
 	dune build
@@ -17,6 +17,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# parallel query-serving sweep (1/2/4/8 domains; SVR_BENCH_DOMAINS overrides)
+bench-par:
+	dune exec bench/main.exe -- par
 
 clean:
 	dune clean

@@ -64,7 +64,7 @@ let queries_for ?(selectivity = W.Query_gen.Medium) ?n (p : Profile.t) =
 let measure_queries ?(mode = Core.Types.Conjunctive) ?k (p : Profile.t) idx queries =
   let k = Option.value ~default:p.Profile.k k in
   let env = Core.Index.env idx in
-  let wall = ref 0.0 and acc = St.Stats.create () in
+  let wall = ref 0.0 and acc = St.Stats.zero () in
   Array.iter
     (fun q ->
       St.Env.drop_blob_caches env;

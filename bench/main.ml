@@ -12,7 +12,8 @@ let experiments =
     ("step_size", Exp_step_size.run); ("fig9", Exp_fig9.run);
     ("fig10", Exp_fig10.run); ("table3", Exp_table3.run);
     ("archive", Exp_archive.run); ("ablation", Exp_ablation.run);
-    ("appendix", Exp_appendix.run); ("conjunctive", Micro.conjunctive) ]
+    ("appendix", Exp_appendix.run); ("conjunctive", Micro.conjunctive);
+    ("par", Exp_par.run) ]
 
 let usage () =
   Printf.printf "usage: main.exe [micro | %s]...\n"

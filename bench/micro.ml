@@ -59,8 +59,10 @@ let tests () =
       query_test ~mode:Core.Types.Disjunctive ~name:"fig10/disj/chunk" Core.Index.Chunk
     ]
 
-(* Intersection-heavy conjunctive workload: 4 medium-selectivity keywords
-   per query, the regime the skip-aware merge targets. Contrasts the plain
+(* Intersection-heavy conjunctive workload: 4 keywords per query, the regime
+   the skip-aware merge targets, in two skew profiles — uniformly medium
+   keywords, and one rare keyword over dense ones (the asymmetry where
+   seek_geq leaps whole blocks of the dense lists). Contrasts the plain
    positional scan (gallop:false) with the galloping merge over the same
    block-decoded cursors, on the two methods whose long lists carry skip
    data, and records the ratios in BENCH_PR1.json. Caches are warmed first:
@@ -70,65 +72,87 @@ let conjunctive (p : Profile.t) =
   let module W = Svr_workload in
   let module St = Svr_storage in
   let keywords = 4 and n_queries = 30 and reps = 5 in
-  Printf.printf "\nconjunctive merge, %d-keyword medium queries (%s profile):\n"
-    keywords p.Profile.name;
-  let queries =
-    W.Query_gen.generate
-      { W.Query_gen.n_queries; keywords_per_query = keywords;
-        selectivity = W.Query_gen.Medium; seed = 7 }
-      p.Profile.corpus
+  let measure_profile (sel_name, selectivity, theta) =
+    (* the bench corpus's near-uniform term skew (theta 0.1) has no genuinely
+       rare terms, so the rare-over-dense profile measures on a heavily
+       skewed variant of the same corpus: at theta 2.5 the tail of the
+       selective pool lands in a handful of documents while the head covers
+       nearly all of them — the regime where seek_geq leaps whole blocks *)
+    let p = { p with Profile.corpus = { p.Profile.corpus with W.Corpus_gen.term_theta = theta } } in
+    Printf.printf "\nconjunctive merge, %d-keyword %s queries (%s profile, theta %.1f):\n"
+      keywords sel_name p.Profile.name theta;
+    let queries =
+      W.Query_gen.generate
+        { W.Query_gen.n_queries; keywords_per_query = keywords; selectivity;
+          seed = 7 }
+        p.Profile.corpus
+    in
+    let rows =
+      List.map
+        (fun kind ->
+          let idx, _ = Harness.build p kind in
+          let stats = St.Env.stats (Core.Index.env idx) in
+          let pass gallop =
+            Array.iter
+              (fun q ->
+                ignore (Core.Index.query_terms idx ~gallop q ~k:p.Profile.k))
+              queries
+          in
+          let measure gallop =
+            pass gallop;
+            St.Stats.reset stats;
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to reps do
+              pass gallop
+            done;
+            let per_q n = n / (reps * Array.length queries) in
+            let dt = Unix.gettimeofday () -. t0 in
+            let snap = St.Stats.snapshot stats in
+            ( dt *. 1e6 /. float_of_int (reps * Array.length queries),
+              per_q snap.St.Stats.blocks_decoded,
+              per_q snap.St.Stats.blocks_skipped )
+          in
+          let scan_us, scan_dec, _ = measure false in
+          let gallop_us, gallop_dec, gallop_skip = measure true in
+          Printf.printf
+            "  %-8s scan %8.1f us/q (%d blk)   gallop %8.1f us/q (%d blk, %d skipped)   speedup %.2fx\n"
+            (Core.Index.kind_name kind) scan_us scan_dec gallop_us gallop_dec
+            gallop_skip (scan_us /. gallop_us);
+          (kind, scan_us, gallop_us, scan_dec, gallop_dec, gallop_skip))
+        [ Core.Index.Id; Core.Index.Chunk ]
+    in
+    (sel_name, theta, rows)
   in
-  let rows =
-    List.map
-      (fun kind ->
-        let idx, _ = Harness.build p kind in
-        let stats = St.Env.stats (Core.Index.env idx) in
-        let pass gallop =
-          Array.iter
-            (fun q -> ignore (Core.Index.query_terms idx ~gallop q ~k:p.Profile.k))
-            queries
-        in
-        let measure gallop =
-          pass gallop;
-          St.Stats.reset stats;
-          let t0 = Unix.gettimeofday () in
-          for _ = 1 to reps do
-            pass gallop
-          done;
-          let per_q n = n / (reps * Array.length queries) in
-          ( (Unix.gettimeofday () -. t0)
-            *. 1e6
-            /. float_of_int (reps * Array.length queries),
-            per_q stats.St.Stats.blocks_decoded,
-            per_q stats.St.Stats.blocks_skipped )
-        in
-        let scan_us, scan_dec, _ = measure false in
-        let gallop_us, gallop_dec, gallop_skip = measure true in
-        Printf.printf
-          "  %-8s scan %8.1f us/q (%d blk)   gallop %8.1f us/q (%d blk, %d skipped)   speedup %.2fx\n"
-          (Core.Index.kind_name kind) scan_us scan_dec gallop_us gallop_dec
-          gallop_skip (scan_us /. gallop_us);
-        (kind, scan_us, gallop_us, scan_dec, gallop_dec, gallop_skip))
-      [ Core.Index.Id; Core.Index.Chunk ]
+  let profiles =
+    List.map measure_profile
+      [ ("medium", W.Query_gen.Medium, p.Profile.corpus.W.Corpus_gen.term_theta);
+        ("rare-over-dense", W.Query_gen.Rare_over_dense, 2.5) ]
   in
   let oc = open_out "BENCH_PR1.json" in
   Printf.fprintf oc
     "{\n  \"bench\": \"conjunctive-skip-merge\",\n  \"profile\": %S,\n\
-    \  \"keywords_per_query\": %d,\n  \"selectivity\": \"medium\",\n\
-    \  \"n_queries\": %d,\n  \"k\": %d,\n  \"methods\": [" p.Profile.name
-    keywords n_queries p.Profile.k;
+    \  \"keywords_per_query\": %d,\n  \"n_queries\": %d,\n  \"k\": %d,\n\
+    \  \"selectivities\": [" p.Profile.name keywords n_queries p.Profile.k;
   List.iteri
-    (fun i (kind, scan_us, gallop_us, scan_dec, gallop_dec, gallop_skip) ->
+    (fun pi (sel_name, theta, rows) ->
       Printf.fprintf oc
-        "%s\n    { \"method\": %S, \"scan_us_per_query\": %.1f,\n\
-        \      \"gallop_us_per_query\": %.1f, \"speedup\": %.2f,\n\
-        \      \"scan_blocks_decoded_per_query\": %d,\n\
-        \      \"gallop_blocks_decoded_per_query\": %d,\n\
-        \      \"gallop_blocks_skipped_per_query\": %d }"
-        (if i = 0 then "" else ",")
-        (Core.Index.kind_name kind) scan_us gallop_us (scan_us /. gallop_us)
-        scan_dec gallop_dec gallop_skip)
-    rows;
+        "%s\n    { \"selectivity\": %S, \"term_theta\": %.1f, \"methods\": ["
+        (if pi = 0 then "" else ",")
+        sel_name theta;
+      List.iteri
+        (fun i (kind, scan_us, gallop_us, scan_dec, gallop_dec, gallop_skip) ->
+          Printf.fprintf oc
+            "%s\n      { \"method\": %S, \"scan_us_per_query\": %.1f,\n\
+            \        \"gallop_us_per_query\": %.1f, \"speedup\": %.2f,\n\
+            \        \"scan_blocks_decoded_per_query\": %d,\n\
+            \        \"gallop_blocks_decoded_per_query\": %d,\n\
+            \        \"gallop_blocks_skipped_per_query\": %d }"
+            (if i = 0 then "" else ",")
+            (Core.Index.kind_name kind) scan_us gallop_us
+            (scan_us /. gallop_us) scan_dec gallop_dec gallop_skip)
+        rows;
+      Printf.fprintf oc "\n    ] }")
+    profiles;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;
   print_endline "  wrote BENCH_PR1.json"

@@ -48,14 +48,77 @@ let meta eng line =
         \  SELECT ... FROM t [WHERE ...]\n\
         \    [ORDER BY score(textcol, 'keywords') DESC] [FETCH TOP k RESULTS ONLY];\n\
          methods: id | score | score_threshold | chunk | id_termscore | chunk_termscore\n\
-         meta: .help .tables .stats .quit\n%!"
+         meta: .help .tables .stats .quit\n\
+        \  .par <index> <domains> <reps> <keywords...>  run the keyword query\n\
+        \       <reps> times as one batch over <domains> domains and report\n\
+        \       wall time, per-domain cache hits and the top-10 results\n%!"
   | ".stats" ->
       List.iter
         (fun (name, bytes) -> Printf.printf "  %-24s %8d KB\n" name (bytes / 1024))
         (Svr_storage.Env.device_sizes (R.Engine.env eng));
       Printf.printf "  %s\n%!"
         (Format.asprintf "%a" Svr_storage.Stats.pp
-           (Svr_storage.Env.stats (R.Engine.env eng)))
+           (Svr_storage.Stats.snapshot (Svr_storage.Env.stats (R.Engine.env eng))))
+  | meta_line when String.length meta_line >= 4 && String.sub meta_line 0 4 = ".par"
+    -> begin
+      match
+        String.split_on_char ' ' meta_line
+        |> List.filter (fun s -> String.length s > 0)
+      with
+      | ".par" :: index :: domains :: reps :: (_ :: _ as keywords) -> begin
+          match (int_of_string_opt domains, int_of_string_opt reps) with
+          | Some domains, Some reps when domains >= 1 && reps >= 1 -> begin
+              let env = R.Engine.env eng in
+              let stats = Svr_storage.Env.stats env in
+              let before = Svr_storage.Stats.snapshot stats in
+              let dom_before = Svr_storage.Stats.per_domain stats in
+              let batch = Array.make reps keywords in
+              let t0 = Unix.gettimeofday () in
+              match R.Engine.query_index_batch eng ~index ~domains batch with
+              | results ->
+                  let dt = Unix.gettimeofday () -. t0 in
+                  let after = Svr_storage.Stats.snapshot stats in
+                  let d = Svr_storage.Stats.diff ~after ~before in
+                  Printf.printf
+                    "%d quer%s over %d domain(s): %.1f ms wall (%.0f q/s)\n"
+                    reps
+                    (if reps = 1 then "y" else "ies")
+                    domains (1000.0 *. dt)
+                    (float_of_int reps /. dt);
+                  Printf.printf "  batch I/O: %s\n"
+                    (Format.asprintf "%a" Svr_storage.Stats.pp d);
+                  List.iter
+                    (fun (dom, c) ->
+                      (* batch-relative: discount whatever the domain did
+                         before (index builds, earlier queries) *)
+                      let reads, hits =
+                        match List.assoc_opt dom dom_before with
+                        | Some b ->
+                            ( c.Svr_storage.Stats.logical_reads
+                              - b.Svr_storage.Stats.logical_reads,
+                              c.Svr_storage.Stats.cache_hits
+                              - b.Svr_storage.Stats.cache_hits )
+                        | None ->
+                            ( c.Svr_storage.Stats.logical_reads,
+                              c.Svr_storage.Stats.cache_hits )
+                      in
+                      if reads > 0 then
+                        Printf.printf
+                          "  domain %d: %d logical reads, %d cache hits\n" dom
+                          reads hits)
+                    (Svr_storage.Stats.per_domain stats);
+                  List.iter
+                    (fun (doc, score) ->
+                      Printf.printf "  doc %d  score %.4f\n" doc score)
+                    results.(0);
+                  flush stdout
+              | exception R.Engine.Sql_error msg ->
+                  Printf.printf "error: %s\n%!" msg
+            end
+          | _ -> Printf.printf ".par: domains and reps must be positive ints\n%!"
+        end
+      | _ -> Printf.printf "usage: .par <index> <domains> <reps> <keywords...>\n%!"
+    end
   | ".tables" ->
       List.iter
         (fun name ->

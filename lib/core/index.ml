@@ -99,14 +99,28 @@ let query_terms t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   | I_chunk i -> Method_chunk.query i ~mode ~gallop terms ~k
   | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop terms ~k
 
+let analyze t keywords =
+  List.concat_map
+    (fun kw -> Svr_text.Analyzer.analyze ~config:t.cfg.Config.analyzer kw)
+    keywords
+  |> List.sort_uniq String.compare
+
 let query t ?(mode = Types.Conjunctive) ?(gallop = true) keywords ~k =
-  let terms =
-    List.concat_map
-      (fun kw -> Svr_text.Analyzer.analyze ~config:t.cfg.Config.analyzer kw)
-      keywords
-    |> List.sort_uniq String.compare
-  in
-  query_terms t ~mode ~gallop terms ~k
+  query_terms t ~mode ~gallop (analyze t keywords) ~k
+
+let query_terms_batch t ?pool ?(mode = Types.Conjunctive) ?(gallop = true)
+    batch ~k =
+  let out = Array.make (Array.length batch) [] in
+  let run i = out.(i) <- query_terms t ~mode ~gallop batch.(i) ~k in
+  (match pool with
+  | None -> Array.iteri (fun i _ -> run i) batch
+  | Some pool -> Query_pool.map pool ~f:run (Array.length batch));
+  out
+
+let query_batch t ?pool ?(mode = Types.Conjunctive) ?(gallop = true) batch ~k =
+  (* analyze serially (cheap, and the analyzer contract is per-domain);
+     only the merge/scan work fans out *)
+  query_terms_batch t ?pool ~mode ~gallop (Array.map (analyze t) batch) ~k
 
 let long_list_bytes t =
   match t.impl with

@@ -65,6 +65,30 @@ val query_terms :
   (int * float) list
 (** Like {!query} but takes pre-analyzed terms verbatim. *)
 
+val query_batch :
+  t ->
+  ?pool:Query_pool.t ->
+  ?mode:Types.mode ->
+  ?gallop:bool ->
+  string list array ->
+  k:int ->
+  (int * float) list array
+(** Run a batch of keyword queries; result [i] answers query [i]. With a
+    [pool], queries are distributed over its domains against the index as an
+    immutable snapshot — do not run updates concurrently. Without one, the
+    batch runs serially on the calling domain, producing bit-identical
+    results (the oracle the property tests compare against). *)
+
+val query_terms_batch :
+  t ->
+  ?pool:Query_pool.t ->
+  ?mode:Types.mode ->
+  ?gallop:bool ->
+  string list array ->
+  k:int ->
+  (int * float) list array
+(** {!query_batch} over pre-analyzed term lists. *)
+
 val long_list_bytes : t -> int
 
 val rebuild : t -> unit

@@ -170,3 +170,5 @@ let next ?(gallop = false) m =
   if m.n_terms = 0 then None
   else if gallop && m.n_terms > 1 then next_gallop m
   else next_scan m
+
+let recycle m = Array.iter Pc.recycle m.cursors

@@ -44,3 +44,8 @@ val next : ?gallop:bool -> t -> group option
     it must not gallop); a galloping merge returns [None] as soon as any term
     exhausts. Default [false]: full sequential scan, identical group sequence
     to the pre-block merge. *)
+
+val recycle : t -> unit
+(** Hand every cursor's pooled decode buffers back to the current domain's
+    freelist ({!Posting_cursor.recycle}) and leave the merger exhausted. Call
+    when a query finishes with its merger — on the domain that ran it. *)

@@ -121,6 +121,7 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           fancy_stage ()
     in
     fancy_stage ();
+    Merge.recycle fancy_merger;
     (* pruning condition from [21]: drop a parked document once its combined
        upper bound cannot beat the current k-th score *)
     let prune_remain () =
@@ -175,6 +176,7 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           end
     in
     scan ();
+    Merge.recycle merger;
     Result_heap.to_list heap
   end
 

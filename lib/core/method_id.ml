@@ -107,6 +107,7 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           scan ()
     in
     scan ();
+    Merge.recycle merger;
     Result_heap.to_list heap
   end
 

@@ -92,7 +92,7 @@ let term_cursor t ~term_idx term =
   let c =
     { Pc.term_idx; long = true; ranks = Array.make 1 0.0;
       docs = Array.make 1 0; tss = Pc.zero_tss; rems = Pc.no_rems; n = 0;
-      i = 0; refill; seek }
+      i = 0; refill; seek; bufs = None }
   in
   refill c;
   c
@@ -119,6 +119,7 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
             scan ()
     in
     scan ();
+    Merge.recycle merger;
     Result_heap.to_list heap
   end
 

@@ -163,6 +163,7 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           end
     in
     scan ();
+    Merge.recycle merger;
     Result_heap.to_list heap
   end
 

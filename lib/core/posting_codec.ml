@@ -71,11 +71,12 @@ module Id_codec = struct
 
   let cursor ~with_ts ~term_idx reader =
     let len = St.Blob_store.blob_length reader in
-    let stats = St.Blob_store.stats reader in
+    let cell = St.Stats.cell (St.Blob_store.stats reader) in
     let pos = ref 0 in
     let prev = ref (-1) in
-    let docs = Array.make block_size 0 in
-    let tss = if with_ts then Array.make block_size 0 else Pc.zero_tss in
+    let bufs = Pc.take_buffers () in
+    let docs = bufs.Pc.b_docs in
+    let tss = if with_ts then bufs.Pc.b_tss else Pc.zero_tss in
     let read_header () =
       let n = read_varint_r reader pos in
       let last_delta = read_varint_r reader pos in
@@ -94,7 +95,7 @@ module Id_codec = struct
       prev := !p;
       c.Pc.n <- n;
       c.Pc.i <- 0;
-      stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
     in
     let refill c =
       if !pos >= len then c.Pc.n <- 0
@@ -127,7 +128,7 @@ module Id_codec = struct
               prev := !prev + last_delta;
               pos := !pos + blen;
               St.Blob_store.skip_to reader !pos;
-              stats.St.Stats.blocks_skipped <- stats.St.Stats.blocks_skipped + 1
+              cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1
             end
             else decode_body c n blen
           end
@@ -136,7 +137,7 @@ module Id_codec = struct
     in
     let c =
       { Pc.term_idx; long = true; ranks = Pc.zero_ranks; docs; tss;
-        rems = Pc.no_rems; n = 0; i = 0; refill; seek }
+        rems = Pc.no_rems; n = 0; i = 0; refill; seek; bufs = Some bufs }
     in
     refill c;
     c
@@ -164,10 +165,11 @@ module Score_codec = struct
 
   let cursor ~term_idx reader =
     let len = St.Blob_store.blob_length reader in
-    let stats = St.Blob_store.stats reader in
+    let cell = St.Stats.cell (St.Blob_store.stats reader) in
     let pos = ref 0 in
-    let ranks = Array.make block_size 0.0 in
-    let docs = Array.make block_size 0 in
+    let bufs = Pc.take_buffers () in
+    let ranks = bufs.Pc.b_ranks in
+    let docs = bufs.Pc.b_docs in
     (* a block is decoded in two phases: the first posting as soon as the
        block is entered (that is all a merge front needs), the other [bpend]
        on demand — so a threshold stop on a block's first posting never
@@ -185,7 +187,7 @@ module Score_codec = struct
       bpend := n - 1;
       c.Pc.n <- 1;
       c.Pc.i <- 0;
-      stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
     in
     let finish_block c =
       let n = !bn in
@@ -237,7 +239,7 @@ module Score_codec = struct
           let ld = St.Order_key.get_u32 s (off + 8) in
           if Pc.pos_before lr ld r d then begin
             pos := !pos + (12 * n);
-            stats.St.Stats.blocks_skipped <- stats.St.Stats.blocks_skipped + 1
+            cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1
           end
           else begin
             for j = 0 to n - 1 do
@@ -249,14 +251,14 @@ module Score_codec = struct
             bpend := 0;
             c.Pc.n <- n;
             c.Pc.i <- 0;
-            stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+            cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
           end
         end
       done
     in
     let c =
       { Pc.term_idx; long = true; ranks; docs; tss = Pc.zero_tss;
-        rems = Pc.no_rems; n = 0; i = 0; refill; seek }
+        rems = Pc.no_rems; n = 0; i = 0; refill; seek; bufs = Some bufs }
     in
     refill c;
     c
@@ -291,15 +293,16 @@ module Chunk_codec = struct
 
   let cursor ~with_ts ~term_idx reader =
     let len = St.Blob_store.blob_length reader in
-    let stats = St.Blob_store.stats reader in
+    let cell = St.Stats.cell (St.Blob_store.stats reader) in
     let pos = ref 0 in
     let gcid = ref 0 in
     let gleft = ref 0 in (* postings of the current group still encoded *)
     let gend = ref 0 in (* byte offset where the current group ends *)
     let prev = ref (-1) in
-    let ranks = Array.make block_size 0.0 in
-    let docs = Array.make block_size 0 in
-    let tss = if with_ts then Array.make block_size 0 else Pc.zero_tss in
+    let bufs = Pc.take_buffers () in
+    let ranks = bufs.Pc.b_ranks in
+    let docs = bufs.Pc.b_docs in
+    let tss = if with_ts then bufs.Pc.b_tss else Pc.zero_tss in
     let read_group_header () =
       gcid := read_varint_r reader pos;
       gleft := read_varint_r reader pos;
@@ -327,7 +330,7 @@ module Chunk_codec = struct
       gleft := !gleft - n;
       c.Pc.n <- n;
       c.Pc.i <- 0;
-      stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
     in
     (* two-phase refill: entering a block decodes only its first posting (all
        a merge front needs, and all the chunk stop rule ever looks at), the
@@ -352,7 +355,7 @@ module Chunk_codec = struct
       gleft := !gleft - n;
       c.Pc.n <- 1;
       c.Pc.i <- 0;
-      stats.St.Stats.blocks_decoded <- stats.St.Stats.blocks_decoded + 1
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
     in
     let finish_block c =
       St.Blob_store.ensure reader !bend;
@@ -383,7 +386,7 @@ module Chunk_codec = struct
       pos := !gend;
       gleft := 0;
       St.Blob_store.skip_to reader !pos;
-      stats.St.Stats.blocks_skipped <- stats.St.Stats.blocks_skipped + 1
+      cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1
     in
     let seek c r d =
       if !bpend > 0 then begin
@@ -427,7 +430,7 @@ module Chunk_codec = struct
               pos := !pos + blen;
               gleft := !gleft - n;
               St.Blob_store.skip_to reader !pos;
-              stats.St.Stats.blocks_skipped <- stats.St.Stats.blocks_skipped + 1
+              cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1
             end
             else decode_block c n blen
           end
@@ -438,7 +441,7 @@ module Chunk_codec = struct
     in
     let c =
       { Pc.term_idx; long = true; ranks; docs; tss; rems = Pc.no_rems; n = 0;
-        i = 0; refill; seek }
+        i = 0; refill; seek; bufs = Some bufs }
     in
     refill c;
     c

@@ -2,6 +2,13 @@
 
 let block_size = 128
 
+type buffers = {
+  b_ranks : float array;
+  b_docs : int array;
+  b_tss : int array;
+  b_rems : bool array;
+}
+
 type t = {
   term_idx : int;
   long : bool;
@@ -13,12 +20,48 @@ type t = {
   mutable i : int;
   refill : t -> unit;
   seek : t -> float -> int -> unit;
+  mutable bufs : buffers option;
 }
 
 (* shared read-only buffers for fields a source never writes *)
 let zero_ranks = Array.make block_size 0.0
 let zero_tss = Array.make block_size 0
 let no_rems = Array.make block_size false
+
+(* Per-domain freelist of block buffers. A query decodes into whichever quad
+   its cursor took; recycling pushes the quad back onto the *current* domain's
+   stack, so a worker domain serving a batch of queries reuses the same few
+   quads instead of allocating ~4 KiB of fresh arrays per cursor. DLS keeps
+   the stacks unsynchronised — a quad never crosses domains. *)
+let freelist_key : buffers Stack.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Stack.create ())
+
+let take_buffers () =
+  let fl = Domain.DLS.get freelist_key in
+  if Stack.is_empty fl then
+    { b_ranks = Array.make block_size 0.0;
+      b_docs = Array.make block_size 0;
+      b_tss = Array.make block_size 0;
+      b_rems = Array.make block_size false }
+  else Stack.pop fl
+
+let recycle_buffers b = Stack.push b (Domain.DLS.get freelist_key)
+
+let dead_docs = Array.make 0 0
+
+let recycle c =
+  match c.bufs with
+  | None -> ()
+  | Some b ->
+      (* detach before recycling: the quad may be handed to another cursor
+         while [c] is still reachable, and a dead cursor must not alias it *)
+      c.bufs <- None;
+      c.n <- 0;
+      c.ranks <- zero_ranks;
+      c.docs <- dead_docs;
+      c.tss <- zero_tss;
+      c.rems <- no_rems;
+      recycle_buffers b
 
 let eof c = c.n = 0
 let rank c = c.ranks.(c.i)
@@ -63,7 +106,7 @@ let of_array ~term_idx ~long entries =
   let c =
     { term_idx; long; ranks = Array.make 1 0.0; docs = Array.make 1 0;
       tss = Array.make 1 0; rems = Array.make 1 false; n = 0; i = 0; refill;
-      seek = seek_linear }
+      seek = seek_linear; bufs = None }
   in
   refill c;
   c

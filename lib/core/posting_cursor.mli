@@ -21,6 +21,17 @@
 val block_size : int
 (** Postings per encoded block (128). *)
 
+type buffers = {
+  b_ranks : float array;
+  b_docs : int array;
+  b_tss : int array;
+  b_rems : bool array;
+}
+(** A quad of {!block_size}-sized decode arrays, owned by one cursor at a
+    time and pooled per domain so batch query serving reuses them instead of
+    allocating fresh arrays per cursor. Recycled arrays carry stale contents:
+    a source must write every slot it will later read. *)
+
 type t = {
   term_idx : int;  (** which query term this source belongs to *)
   long : bool;  (** from an immutable long list (vs a short list)? *)
@@ -35,6 +46,9 @@ type t = {
       (** [seek c r d]: position at the first posting at-or-after position
           [(r, d)] in (rank desc, doc asc) order. Only called by {!seek_geq},
           which has already checked the cursor is strictly before [(r, d)]. *)
+  mutable bufs : buffers option;
+      (** The pooled quad this cursor decodes into, if it took one — handed
+          back to the current domain's freelist by {!recycle}. *)
 }
 
 val eof : t -> bool
@@ -73,6 +87,22 @@ val zero_tss : int array
 
 val no_rems : bool array
 (** Shared all-false REM buffer, for long lists (which never carry REMs). *)
+
+val take_buffers : unit -> buffers
+(** Pop a quad from the current domain's freelist, or allocate a fresh one if
+    the freelist is empty. Store it in the cursor's [bufs] field so {!recycle}
+    can return it. *)
+
+val recycle_buffers : buffers -> unit
+(** Push a quad back onto the current domain's freelist. The caller must no
+    longer read or write it. *)
+
+val recycle : t -> unit
+(** Return the cursor's pooled quad (if any) to the current domain's freelist
+    and leave the cursor exhausted with its arrays detached. Safe to call
+    twice; a no-op on cursors that never took pooled buffers. Only recycle on
+    the domain that will next consume the freelist — quads must not cross
+    domains. *)
 
 val of_array :
   term_idx:int -> long:bool -> (float * int * bool * int) array -> t

@@ -1,0 +1,114 @@
+(* A hand-rolled domain worker pool (stdlib only — Domain + Mutex/Condition,
+   no domainslib). Workers park on a condition variable between batches; each
+   [map] bumps an epoch, wakes everyone, and the caller joins the workers in
+   stealing items off a shared atomic counter. The caller participates, so a
+   pool of [domains = d] runs a batch on exactly [d] domains and [domains = 1]
+   spawns nothing and degenerates to a serial loop on the calling domain. *)
+
+type job = { run : int -> unit; n_items : int; next : int Atomic.t }
+
+type t = {
+  domains : int;
+  mu : Mutex.t;
+  wake : Condition.t; (* workers wait here for a new epoch *)
+  done_ : Condition.t; (* the caller waits here for workers to finish *)
+  mutable epoch : int; (* bumped once per batch *)
+  mutable job : job option;
+  mutable active : int; (* workers still inside the current batch *)
+  mutable error : exn option; (* first exception raised by any domain *)
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let domains t = t.domains
+
+(* Steal items until the counter runs dry. Exceptions are captured (first one
+   wins) rather than propagated, so one bad query cannot tear down a worker
+   domain and hang the pool. *)
+let drain t job =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.n_items then continue := false
+    else
+      try job.run i
+      with e ->
+        Mutex.protect t.mu (fun () ->
+            if t.error = None then t.error <- Some e)
+  done
+
+let worker_loop t () =
+  let my_epoch = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let job =
+      Mutex.protect t.mu (fun () ->
+          while (not t.shutdown) && t.epoch = !my_epoch do
+            Condition.wait t.wake t.mu
+          done;
+          if t.shutdown then None
+          else begin
+            my_epoch := t.epoch;
+            t.job
+          end)
+    in
+    match job with
+    | None -> continue := false
+    | Some job ->
+        drain t job;
+        Mutex.protect t.mu (fun () ->
+            t.active <- t.active - 1;
+            if t.active = 0 then Condition.signal t.done_)
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Query_pool.create: domains < 1";
+  let t =
+    { domains; mu = Mutex.create (); wake = Condition.create ();
+      done_ = Condition.create (); epoch = 0; job = None; active = 0;
+      error = None; shutdown = false; workers = [||] }
+  in
+  t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let map t ~f n_items =
+  if n_items = 0 then ()
+  else begin
+    let job = { run = f; n_items; next = Atomic.make 0 } in
+    Mutex.protect t.mu (fun () ->
+        if t.shutdown then invalid_arg "Query_pool.map: pool is shut down";
+        if t.job <> None then invalid_arg "Query_pool.map: concurrent map";
+        t.job <- Some job;
+        t.error <- None;
+        t.active <- Array.length t.workers;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.wake);
+    (* the caller is one of the pool's [domains] executing domains *)
+    drain t job;
+    Mutex.protect t.mu (fun () ->
+        while t.active > 0 do
+          Condition.wait t.done_ t.mu
+        done;
+        t.job <- None);
+    match t.error with
+    | Some e ->
+        t.error <- None;
+        raise e
+    | None -> ()
+  end
+
+let shutdown t =
+  let workers =
+    Mutex.protect t.mu (fun () ->
+        if t.shutdown then [||]
+        else begin
+          t.shutdown <- true;
+          Condition.broadcast t.wake;
+          t.workers
+        end)
+  in
+  Array.iter Domain.join workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,41 @@
+(** A fixed pool of worker domains for serving batches of read-only top-k
+    queries in parallel against an immutable index snapshot.
+
+    Hand-rolled on the stdlib ([Domain], [Mutex], [Condition], [Atomic]) —
+    no external task library. The calling domain participates in every
+    {!map}, so a pool created with [~domains:d] executes each batch on
+    exactly [d] domains and [~domains:1] spawns no workers at all: the batch
+    degenerates to a serial loop, which is also the oracle the parallel path
+    is tested against.
+
+    Work distribution is dynamic: domains steal item indices off a shared
+    atomic counter, so a batch of skewed queries (one slow conjunctive query
+    among many cheap ones) still balances.
+
+    Safety contract: [f] must only perform operations that are domain-safe
+    on shared state — in this codebase, read-only index queries through the
+    sharded {!Svr_storage.Pager} and lock-free {!Svr_storage.Disk}. Running
+    updates concurrently with a batch is not supported. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains - 1] worker domains parked on a condition variable.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** The number of executing domains (workers + the caller). *)
+
+val map : t -> f:(int -> unit) -> int -> unit
+(** [map t ~f n] runs [f i] once for every [0 <= i < n], distributed over the
+    pool's domains; returns when all [n] calls have finished. If any call
+    raises, the batch still runs to completion (a worker never dies mid-pool)
+    and the first exception is re-raised here. Not reentrant: one batch at a
+    time per pool.
+    @raise Invalid_argument on concurrent or post-{!shutdown} use. *)
+
+val shutdown : t -> unit
+(** Wake and join all workers. Idempotent. The pool is unusable afterwards. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} (also on exception). *)

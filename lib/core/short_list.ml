@@ -99,7 +99,7 @@ let cursor t ~term ~term_idx =
   let c =
     { Pc.term_idx; long = false; ranks = Array.make 1 0.0;
       docs = Array.make 1 0; tss = Array.make 1 0; rems = Array.make 1 false;
-      n = 0; i = 0; refill; seek }
+      n = 0; i = 0; refill; seek; bufs = None }
   in
   refill c;
   c

@@ -54,6 +54,16 @@ let text_index t name =
     (fun ti -> ti.ti_index)
     (List.find_opt (fun ti -> norm ti.ti_name = norm name) t.indexes)
 
+let query_index_batch t ~index ?(domains = 1) ?(k = 10) batch =
+  match text_index t index with
+  | None -> fail "unknown text index %s" index
+  | Some idx ->
+      if domains < 1 then fail "query_index_batch: domains < 1";
+      if domains = 1 then Core.Index.query_batch idx batch ~k
+      else
+        Core.Query_pool.with_pool ~domains (fun pool ->
+            Core.Index.query_batch idx ~pool batch ~k)
+
 (* ---------------------------------------------------------------- *)
 (* expression evaluation *)
 

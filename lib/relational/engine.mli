@@ -41,6 +41,20 @@ val table_names : t -> string list
 val text_index : t -> string -> Svr_core.Index.t option
 (** The underlying index of a CREATE TEXT INDEX, by index name. *)
 
+val query_index_batch :
+  t ->
+  index:string ->
+  ?domains:int ->
+  ?k:int ->
+  string list array ->
+  (int * float) list array
+(** Serve a batch of keyword queries against a named text index, fanned out
+    over [domains] domains (default 1 = serial on the caller;
+    a {!Svr_core.Query_pool} is created and torn down around the batch).
+    The index is treated as an immutable snapshot: do not [exec] updates on
+    this engine while a batch is in flight.
+    @raise Sql_error on an unknown index or [domains < 1]. *)
+
 val svr_score : t -> index:string -> doc:int -> float
 (** Evaluate the index's scoring spec for one document right now (reads the
     base tables; used by tests to cross-check the incremental path). *)

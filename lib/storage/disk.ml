@@ -1,28 +1,42 @@
+(* Readers are lock-free: [pages] and [n_pages] are published with release
+   stores and read with acquire loads, so a read that observes a page number
+   below [n_pages] also observes the fully-initialized page array behind it.
+   Allocation and writes are single-writer operations (the update path);
+   concurrent read-only queries never call them. *)
+
 type t = {
   name : string;
   page_size : int;
   stats : Stats.t;
-  mutable pages : Bytes.t array;
-  mutable n_pages : int;
-  mutable last_read : int;
+  pages : Bytes.t array Atomic.t;
+  n_pages : int Atomic.t;
+  last_read : int Atomic.t;
 }
 
 let page_size t = t.page_size
 let name t = t.name
 
 let create ?(page_size = 4096) ~name stats =
-  { name; page_size; stats; pages = Array.make 64 Bytes.empty; n_pages = 0;
-    last_read = -2 }
+  { name; page_size; stats;
+    pages = Atomic.make (Array.make 64 Bytes.empty);
+    n_pages = Atomic.make 0; last_read = Atomic.make (-2) }
 
 let alloc t =
-  if t.n_pages = Array.length t.pages then begin
-    let bigger = Array.make (2 * t.n_pages) Bytes.empty in
-    Array.blit t.pages 0 bigger 0 t.n_pages;
-    t.pages <- bigger
-  end;
-  let page_no = t.n_pages in
-  t.pages.(page_no) <- Bytes.make t.page_size '\000';
-  t.n_pages <- t.n_pages + 1;
+  let n = Atomic.get t.n_pages in
+  let arr = Atomic.get t.pages in
+  let arr =
+    if n = Array.length arr then begin
+      let bigger = Array.make (2 * n) Bytes.empty in
+      Array.blit arr 0 bigger 0 n;
+      (* publish the grown array before the count that makes it reachable *)
+      Atomic.set t.pages bigger;
+      bigger
+    end
+    else arr
+  in
+  let page_no = n in
+  arr.(page_no) <- Bytes.make t.page_size '\000';
+  Atomic.set t.n_pages (page_no + 1);
   page_no
 
 let alloc_run t n =
@@ -33,27 +47,31 @@ let alloc_run t n =
   done;
   first
 
-let n_pages t = t.n_pages
-let size_bytes t = t.n_pages * t.page_size
+let n_pages t = Atomic.get t.n_pages
+let size_bytes t = n_pages t * t.page_size
 
 let check t page_no op =
-  if page_no < 0 || page_no >= t.n_pages then
+  if page_no < 0 || page_no >= Atomic.get t.n_pages then
     invalid_arg
       (Printf.sprintf "Disk.%s: page %d out of range on %s" op page_no t.name)
 
 let read ?(hint = `Auto) t page_no =
   check t page_no "read";
   let sequential =
-    match hint with `Seq -> true | `Auto -> page_no = t.last_read + 1
+    match hint with
+    | `Seq -> true
+    | `Auto -> page_no = Atomic.exchange t.last_read page_no + 1
   in
-  if sequential then t.stats.Stats.seq_reads <- t.stats.Stats.seq_reads + 1
-  else t.stats.Stats.rand_reads <- t.stats.Stats.rand_reads + 1;
-  t.last_read <- page_no;
-  Bytes.copy t.pages.(page_no)
+  (match hint with `Seq -> Atomic.set t.last_read page_no | `Auto -> ());
+  let c = Stats.cell t.stats in
+  if sequential then c.Stats.seq_reads <- c.Stats.seq_reads + 1
+  else c.Stats.rand_reads <- c.Stats.rand_reads + 1;
+  Bytes.copy (Atomic.get t.pages).(page_no)
 
 let write t page_no bytes =
   check t page_no "write";
   if Bytes.length bytes <> t.page_size then
     invalid_arg "Disk.write: page size mismatch";
-  t.stats.Stats.page_writes <- t.stats.Stats.page_writes + 1;
-  t.pages.(page_no) <- Bytes.copy bytes
+  let c = Stats.cell t.stats in
+  c.Stats.page_writes <- c.Stats.page_writes + 1;
+  (Atomic.get t.pages).(page_no) <- Bytes.copy bytes

@@ -4,7 +4,13 @@
     access is recorded in a shared {!Stats.t}; reads of the page following the
     previously read page are classified sequential, everything else random.
     All accesses normally go through a {!Buffer_pool}, so a [Disk] read/write
-    here corresponds to a cache miss / write-back in the real system. *)
+    here corresponds to a cache miss / write-back in the real system.
+
+    Concurrency: {!read} is lock-free and safe from any number of domains
+    (the seq/rand classification interleaves across concurrent readers, as it
+    would on a real shared spindle). {!alloc}, {!alloc_run} and {!write} are
+    single-writer — the update path must not run concurrently with itself,
+    though lock-free readers may overlap an allocation safely. *)
 
 type t
 

@@ -2,6 +2,7 @@ type t = {
   page_size : int;
   table_pool_pages : int;
   blob_pool_pages : int;
+  pager_shards : int;
   cost : Stats.cost_model;
   stats : Stats.t;
   mutable table_pagers : (string * Pager.t) list;
@@ -9,25 +10,35 @@ type t = {
 }
 
 let create ?(page_size = 4096) ?(table_pool_pages = 8192)
-    ?(blob_pool_pages = 25600) ?(cost = Stats.default_cost) () =
-  { page_size; table_pool_pages; blob_pool_pages; cost;
+    ?(blob_pool_pages = 25600) ?(pager_shards = Pager.default_shards)
+    ?(cost = Stats.default_cost) () =
+  { page_size; table_pool_pages; blob_pool_pages; pager_shards; cost;
     stats = Stats.create (); table_pagers = []; blob_pagers = [] }
 
 let btree t ~name =
   let disk = Disk.create ~page_size:t.page_size ~name t.stats in
-  let pager = Pager.create ~pool_pages:t.table_pool_pages ~stats:t.stats disk in
+  let pager =
+    Pager.create ~pool_pages:t.table_pool_pages ~shards:t.pager_shards
+      ~stats:t.stats disk
+  in
   t.table_pagers <- (name, pager) :: t.table_pagers;
   Btree.create pager
 
 let blob_store t ~name =
   let disk = Disk.create ~page_size:t.page_size ~name t.stats in
-  let pager = Pager.create ~pool_pages:t.blob_pool_pages ~stats:t.stats disk in
+  let pager =
+    Pager.create ~pool_pages:t.blob_pool_pages ~shards:t.pager_shards
+      ~stats:t.stats disk
+  in
   t.blob_pagers <- (name, pager) :: t.blob_pagers;
   Blob_store.create pager
 
 let cold_btree t ~name =
   let disk = Disk.create ~page_size:t.page_size ~name t.stats in
-  let pager = Pager.create ~pool_pages:t.blob_pool_pages ~stats:t.stats disk in
+  let pager =
+    Pager.create ~pool_pages:t.blob_pool_pages ~shards:t.pager_shards
+      ~stats:t.stats disk
+  in
   t.blob_pagers <- (name, pager) :: t.blob_pagers;
   Btree.create pager
 

@@ -14,11 +14,14 @@ val create :
   ?page_size:int ->
   ?table_pool_pages:int ->
   ?blob_pool_pages:int ->
+  ?pager_shards:int ->
   ?cost:Stats.cost_model ->
   unit ->
   t
 (** Defaults: 4 KiB pages; 8192-page (32 MiB) pools per table; a 25600-page
-    (100 MiB) pool per blob store, matching the paper's BerkeleyDB cache. *)
+    (100 MiB) pool per blob store, matching the paper's BerkeleyDB cache.
+    [pager_shards] (default {!Pager.default_shards}) is the lock-sharding
+    factor of every buffer pool created by this environment. *)
 
 val btree : t -> name:string -> Btree.t
 (** A fresh B+-tree on its own hot device. *)

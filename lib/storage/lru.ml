@@ -57,7 +57,10 @@ let remove t key =
   | None -> ()
   | Some node ->
       unlink node;
-      Hashtbl.remove t.table key
+      Hashtbl.remove t.table key;
+      (* dropping the sentinel when the map empties releases the first-ever
+         key/value it captured and restarts the lazy build on the next add *)
+      if Hashtbl.length t.table = 0 then t.sentinel <- None
 
 let add t key value =
   (match Hashtbl.find_opt t.table key with
@@ -78,6 +81,8 @@ let add t key value =
   else None
 
 let iter f t = Hashtbl.iter (fun k node -> f k node.value) t.table
+
+let sentinel_allocated t = t.sentinel <> None
 
 let clear t =
   Hashtbl.reset t.table;

@@ -16,8 +16,14 @@ val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
     evicted to stay within capacity, if any. *)
 
 val remove : ('k, 'v) t -> 'k -> unit
+(** Removing the last binding also drops the internal sentinel node, so the
+    map holds no reference to any key or value ever inserted. *)
 
 val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
 (** Iterates in unspecified order. *)
 
 val clear : ('k, 'v) t -> unit
+
+val sentinel_allocated : ('k, 'v) t -> bool
+(** Introspection for tests: is the lazily-built sentinel node currently
+    allocated? It exists iff the map is non-empty. *)

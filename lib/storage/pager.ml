@@ -1,18 +1,38 @@
+(* The buffer pool is split into independently-locked LRU shards keyed by
+   page number, so concurrent readers on different shards never contend.
+   Holding a shard's mutex across the miss path (Disk.read + insert +
+   victim write-back) keeps the invariant "a page lives in exactly one
+   shard's pool" trivially true; Disk reads are lock-free, so a held shard
+   lock never blocks another shard's progress. *)
+
 type entry = { mutable bytes : Bytes.t; mutable dirty : bool }
+
+type shard = { mu : Mutex.t; pool : (int, entry) Lru.t }
 
 type t = {
   disk : Disk.t;
   stats : Stats.t;
   pool_pages : int;
-  pool : (int, entry) Lru.t;
+  shards : shard array;
 }
 
-let create ?(pool_pages = 1024) ~stats disk =
-  { disk; stats; pool_pages; pool = Lru.create ~cap:pool_pages }
+let default_shards = 8
+
+let create ?(pool_pages = 1024) ?(shards = default_shards) ~stats disk =
+  if shards < 1 then invalid_arg "Pager.create: shards < 1";
+  let n_shards = max 1 (min shards pool_pages) in
+  let cap = max 1 (pool_pages / n_shards) in
+  { disk; stats; pool_pages;
+    shards =
+      Array.init n_shards (fun _ ->
+          { mu = Mutex.create (); pool = Lru.create ~cap }) }
 
 let disk t = t.disk
 let pool_pages t = t.pool_pages
+let n_shards t = Array.length t.shards
 let stats t = t.stats
+
+let shard_of t page_no = t.shards.(page_no mod Array.length t.shards)
 
 let write_back t page_no entry =
   if entry.dirty then begin
@@ -20,15 +40,18 @@ let write_back t page_no entry =
     entry.dirty <- false
   end
 
-let insert t page_no entry =
-  match Lru.add t.pool page_no entry with
+(* caller holds [s.mu] *)
+let insert t s page_no entry =
+  match Lru.add s.pool page_no entry with
   | None -> ()
   | Some (victim_no, victim) -> write_back t victim_no victim
 
 let alloc t =
   let page_no = Disk.alloc t.disk in
-  insert t page_no
-    { bytes = Bytes.make (Disk.page_size t.disk) '\000'; dirty = false };
+  let s = shard_of t page_no in
+  Mutex.protect s.mu (fun () ->
+      insert t s page_no
+        { bytes = Bytes.make (Disk.page_size t.disk) '\000'; dirty = false });
   page_no
 
 let alloc_run t n =
@@ -37,27 +60,47 @@ let alloc_run t n =
   Disk.alloc_run t.disk n
 
 let get ?(hint = `Auto) t page_no =
-  t.stats.Stats.logical_reads <- t.stats.Stats.logical_reads + 1;
-  match Lru.find t.pool page_no with
-  | Some entry ->
-      t.stats.Stats.cache_hits <- t.stats.Stats.cache_hits + 1;
-      entry.bytes
-  | None ->
-      let bytes = Disk.read ~hint t.disk page_no in
-      insert t page_no { bytes; dirty = false };
-      bytes
+  let c = Stats.cell t.stats in
+  c.Stats.logical_reads <- c.Stats.logical_reads + 1;
+  let s = shard_of t page_no in
+  Mutex.protect s.mu (fun () ->
+      match Lru.find s.pool page_no with
+      | Some entry ->
+          c.Stats.cache_hits <- c.Stats.cache_hits + 1;
+          entry.bytes
+      | None ->
+          let bytes = Disk.read ~hint t.disk page_no in
+          insert t s page_no { bytes; dirty = false };
+          bytes)
 
 let put t page_no bytes =
   if Bytes.length bytes <> Disk.page_size t.disk then
     invalid_arg "Pager.put: page size mismatch";
-  match Lru.find t.pool page_no with
-  | Some entry ->
-      entry.bytes <- bytes;
-      entry.dirty <- true
-  | None -> insert t page_no { bytes; dirty = true }
+  let s = shard_of t page_no in
+  Mutex.protect s.mu (fun () ->
+      match Lru.find s.pool page_no with
+      | Some entry ->
+          entry.bytes <- bytes;
+          entry.dirty <- true
+      | None -> insert t s page_no { bytes; dirty = true })
 
-let flush t = Lru.iter (fun page_no entry -> write_back t page_no entry) t.pool
+let flush t =
+  (* gather, then write back in ascending page order: Lru.iter walks a
+     hashtable, and nondeterministic write sequencing would leak into
+     page_writes accounting (and any future WAL ordering) *)
+  let dirty = ref [] in
+  Array.iter
+    (fun s ->
+      Mutex.protect s.mu (fun () ->
+          Lru.iter
+            (fun page_no entry ->
+              if entry.dirty then dirty := (page_no, entry) :: !dirty)
+            s.pool))
+    t.shards;
+  List.iter
+    (fun (page_no, entry) -> write_back t page_no entry)
+    (List.sort (fun (a, _) (b, _) -> compare a b) !dirty)
 
 let drop_cache t =
   flush t;
-  Lru.clear t.pool
+  Array.iter (fun s -> Mutex.protect s.mu (fun () -> Lru.clear s.pool)) t.shards

@@ -1,20 +1,35 @@
-(** Read-through, write-back page cache over a {!Disk}.
+(** Read-through, write-back page cache over a {!Disk}, sharded for
+    multicore query serving.
 
     Plays the role of BerkeleyDB's buffer pool. Reads served from the pool
     count as cache hits in the shared {!Stats}; misses trigger a physical
     {!Disk.read}; dirty pages are written back on eviction, {!flush} or
     {!drop_cache}.
 
+    The pool is split into independently-locked LRU shards keyed by
+    [page_no mod shards]: concurrent {!get}/{!put} calls from different
+    domains contend only when they touch the same shard, and {!Disk} reads
+    under a shard lock are themselves lock-free. {!flush} and {!drop_cache}
+    are quiescent-point operations — do not race them against writers.
+
     Buffer ownership: the bytes returned by {!get} belong to the pool and are
     only valid until the next pager operation — decode them immediately. To
-    modify a page, build fresh contents and {!put} them. *)
+    modify a page, build fresh contents and {!put} them ([put] installs a new
+    buffer rather than mutating in place, so a concurrent reader holding the
+    old bytes keeps a consistent snapshot). *)
 
 type t
 
-val create : ?pool_pages:int -> stats:Stats.t -> Disk.t -> t
-(** [pool_pages] is the cache capacity in pages (default 1024 = 4 MiB).
-    [stats] should be the same record the disk counts physical I/O into, so
-    logical reads, hits and misses land in one place. *)
+val default_shards : int
+(** Default lock-sharding factor (8). *)
+
+val create : ?pool_pages:int -> ?shards:int -> stats:Stats.t -> Disk.t -> t
+(** [pool_pages] is the cache capacity in pages (default 1024 = 4 MiB),
+    divided evenly among [shards] (default 8, clamped to [pool_pages] so
+    every shard holds at least one page). [stats] should be the same record
+    the disk counts physical I/O into, so logical reads, hits and misses
+    land in one place.
+    @raise Invalid_argument if [shards < 1]. *)
 
 val disk : t -> Disk.t
 
@@ -33,18 +48,24 @@ val stats : t -> Stats.t
 
 val get : ?hint:[ `Auto | `Seq ] -> t -> int -> Bytes.t
 (** Fetch a page, reading through the pool ([hint] forwards to
-    {!Disk.read} on a miss). See ownership note above. *)
+    {!Disk.read} on a miss). Safe to call concurrently from many domains.
+    See ownership note above. *)
 
 val put : t -> int -> Bytes.t -> unit
 (** Install new page contents (marked dirty; written back lazily).
     @raise Invalid_argument if the buffer is not exactly one page. *)
 
 val flush : t -> unit
-(** Write back all dirty pages (they stay cached). *)
+(** Write back all dirty pages (they stay cached), in ascending page order —
+    deterministic [page_writes] sequencing across runs regardless of
+    hashtable iteration order. *)
 
 val drop_cache : t -> unit
-(** [flush] then empty the pool — the "cold cache" state the paper puts long
-    inverted lists in before each timed query. *)
+(** [flush] then empty every shard — the "cold cache" state the paper puts
+    long inverted lists in before each timed query. *)
 
 val pool_pages : t -> int
 (** Configured capacity. *)
+
+val n_shards : t -> int
+(** Number of independently-locked LRU shards. *)

@@ -1,4 +1,10 @@
-type t = {
+(* Per-domain counter cells: each domain that touches a [t] gets its own
+   cell via domain-local storage, so hot-path increments are plain mutable
+   writes to memory no other domain touches. Aggregation (snapshot / reset /
+   per_domain) walks the registry under a mutex; it is meant for quiescent
+   measurement points, not for racing against live increments. *)
+
+type counters = {
   mutable logical_reads : int;
   mutable cache_hits : int;
   mutable seq_reads : int;
@@ -6,6 +12,12 @@ type t = {
   mutable page_writes : int;
   mutable blocks_decoded : int;
   mutable blocks_skipped : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  cells : (int * counters) list ref; (* (domain id, cell), insertion order *)
+  key : counters Domain.DLS.key;
 }
 
 type cost_model = {
@@ -16,24 +28,67 @@ type cost_model = {
 
 let default_cost = { seq_read_ms = 0.05; rand_read_ms = 8.0; write_ms = 8.0 }
 
-let create () =
+let zero () =
   { logical_reads = 0; cache_hits = 0; seq_reads = 0; rand_reads = 0;
     page_writes = 0; blocks_decoded = 0; blocks_skipped = 0 }
 
+let create () =
+  let mu = Mutex.create () in
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let c = zero () in
+        let id = (Domain.self () :> int) in
+        Mutex.lock mu;
+        cells := (id, c) :: !cells;
+        Mutex.unlock mu;
+        c)
+  in
+  { mu; cells; key }
+
+let cell t = Domain.DLS.get t.key
+
+let zero_counters c =
+  c.logical_reads <- 0;
+  c.cache_hits <- 0;
+  c.seq_reads <- 0;
+  c.rand_reads <- 0;
+  c.page_writes <- 0;
+  c.blocks_decoded <- 0;
+  c.blocks_skipped <- 0
+
 let reset t =
-  t.logical_reads <- 0;
-  t.cache_hits <- 0;
-  t.seq_reads <- 0;
-  t.rand_reads <- 0;
-  t.page_writes <- 0;
-  t.blocks_decoded <- 0;
-  t.blocks_skipped <- 0
+  Mutex.lock t.mu;
+  List.iter (fun (_, c) -> zero_counters c) !(t.cells);
+  Mutex.unlock t.mu
+
+let copy c =
+  { logical_reads = c.logical_reads; cache_hits = c.cache_hits;
+    seq_reads = c.seq_reads; rand_reads = c.rand_reads;
+    page_writes = c.page_writes; blocks_decoded = c.blocks_decoded;
+    blocks_skipped = c.blocks_skipped }
+
+let accumulate acc c =
+  acc.logical_reads <- acc.logical_reads + c.logical_reads;
+  acc.cache_hits <- acc.cache_hits + c.cache_hits;
+  acc.seq_reads <- acc.seq_reads + c.seq_reads;
+  acc.rand_reads <- acc.rand_reads + c.rand_reads;
+  acc.page_writes <- acc.page_writes + c.page_writes;
+  acc.blocks_decoded <- acc.blocks_decoded + c.blocks_decoded;
+  acc.blocks_skipped <- acc.blocks_skipped + c.blocks_skipped
 
 let snapshot t =
-  { logical_reads = t.logical_reads; cache_hits = t.cache_hits;
-    seq_reads = t.seq_reads; rand_reads = t.rand_reads;
-    page_writes = t.page_writes; blocks_decoded = t.blocks_decoded;
-    blocks_skipped = t.blocks_skipped }
+  let acc = zero () in
+  Mutex.lock t.mu;
+  List.iter (fun (_, c) -> accumulate acc c) !(t.cells);
+  Mutex.unlock t.mu;
+  acc
+
+let per_domain t =
+  Mutex.lock t.mu;
+  let cells = List.rev_map (fun (id, c) -> (id, copy c)) !(t.cells) in
+  Mutex.unlock t.mu;
+  cells
 
 let diff ~after ~before =
   { logical_reads = after.logical_reads - before.logical_reads;
@@ -44,13 +99,13 @@ let diff ~after ~before =
     blocks_decoded = after.blocks_decoded - before.blocks_decoded;
     blocks_skipped = after.blocks_skipped - before.blocks_skipped }
 
-let simulated_ms ?(cost = default_cost) t =
-  (float_of_int t.seq_reads *. cost.seq_read_ms)
-  +. (float_of_int t.rand_reads *. cost.rand_read_ms)
-  +. (float_of_int t.page_writes *. cost.write_ms)
+let simulated_ms ?(cost = default_cost) c =
+  (float_of_int c.seq_reads *. cost.seq_read_ms)
+  +. (float_of_int c.rand_reads *. cost.rand_read_ms)
+  +. (float_of_int c.page_writes *. cost.write_ms)
 
-let pp ppf t =
+let pp ppf c =
   Format.fprintf ppf
     "reads=%d hits=%d seq=%d rand=%d writes=%d blk-dec=%d blk-skip=%d (sim %.2f ms)"
-    t.logical_reads t.cache_hits t.seq_reads t.rand_reads t.page_writes
-    t.blocks_decoded t.blocks_skipped (simulated_ms t)
+    c.logical_reads c.cache_hits c.seq_reads c.rand_reads c.page_writes
+    c.blocks_decoded c.blocks_skipped (simulated_ms c)

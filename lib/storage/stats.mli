@@ -1,13 +1,21 @@
-(** I/O accounting for the simulated storage layer.
+(** I/O accounting for the simulated storage layer, safe under domains.
 
     The paper's measurements are disk-dominated (cold-cache queries against
     long inverted lists far larger than the 100 MB BerkeleyDB cache). We count
     every physical page access, classified as sequential or random, and derive
     a simulated elapsed time from a configurable cost model. Benchmarks report
     both wall time and this simulated time; the latter is what reproduces the
-    paper's shapes on arbitrary hardware. *)
+    paper's shapes on arbitrary hardware.
 
-type t = {
+    Counters live in {e per-domain cells}: {!cell} hands the calling domain
+    its own mutable record, so the hot path increments plain fields that no
+    other domain touches — zero contention, no atomics. {!snapshot} sums the
+    cells; {!per_domain} exposes them individually (the parallel-query bench
+    derives per-domain cache-hit rates and a modeled parallel elapsed time
+    from them). Aggregation is exact at quiescent points; while other domains
+    are actively counting it may observe in-flight values. *)
+
+type counters = {
   mutable logical_reads : int;  (** page reads requested (incl. cache hits) *)
   mutable cache_hits : int;  (** reads served from a buffer pool *)
   mutable seq_reads : int;  (** physical reads contiguous with the previous *)
@@ -19,6 +27,9 @@ type t = {
       (** posting blocks (or whole chunk groups) skipped via their headers
           without decoding — the payoff of the skip data *)
 }
+
+type t
+(** A set of per-domain counter cells sharing one registry. *)
 
 type cost_model = {
   seq_read_ms : float;  (** cost of a sequential 4 KiB page read *)
@@ -32,15 +43,27 @@ val default_cost : cost_model
 
 val create : unit -> t
 
+val cell : t -> counters
+(** The calling domain's private cell — created and registered on first use.
+    Increment its fields directly; never share the record across domains. *)
+
+val zero : unit -> counters
+(** A fresh all-zero record, for accumulators. *)
+
 val reset : t -> unit
+(** Zero every registered cell. Call only at quiescent points. *)
 
-val snapshot : t -> t
-(** An independent copy, for before/after diffing. *)
+val snapshot : t -> counters
+(** Field-wise sum of every domain's cell, as an independent record. *)
 
-val diff : after:t -> before:t -> t
+val per_domain : t -> (int * counters) list
+(** Copies of each registered cell with its domain id, in registration
+    order. Cells of terminated domains persist (their counts still matter). *)
+
+val diff : after:counters -> before:counters -> counters
 (** Field-wise [after - before]. *)
 
-val simulated_ms : ?cost:cost_model -> t -> float
+val simulated_ms : ?cost:cost_model -> counters -> float
 (** Simulated elapsed time implied by the physical I/O counts. *)
 
-val pp : Format.formatter -> t -> unit
+val pp : Format.formatter -> counters -> unit

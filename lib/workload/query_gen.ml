@@ -1,4 +1,4 @@
-type selectivity = Unselective | Medium | Selective
+type selectivity = Unselective | Medium | Selective | Rare_over_dense
 
 let pool_size (cp : Corpus_gen.params) sel =
   (* 350 / 1600 / 15000 at the paper's 200k vocabulary, proportional below;
@@ -7,7 +7,7 @@ let pool_size (cp : Corpus_gen.params) sel =
     match sel with
     | Unselective -> (350, 8)
     | Medium -> (1600, 20)
-    | Selective -> (15000, 80)
+    | Selective | Rare_over_dense -> (15000, 80)
   in
   min cp.Corpus_gen.vocab_size
     (max floor (base * cp.Corpus_gen.vocab_size / 200_000))
@@ -22,16 +22,37 @@ type params = {
 let defaults =
   { n_queries = 50; keywords_per_query = 2; selectivity = Medium; seed = 11 }
 
+(* draw [remaining] distinct keywords from [pool] on top of [acc] *)
+let rec draw rng pool acc remaining =
+  if remaining = 0 then acc
+  else begin
+    let kw = pool.(Rng.int rng (Array.length pool)) in
+    if List.mem kw acc then draw rng pool acc remaining
+    else draw rng pool (kw :: acc) (remaining - 1)
+  end
+
 let generate p cp =
-  let pool = Corpus_gen.frequent_terms cp ~pool:(pool_size cp p.selectivity) in
   let rng = Rng.create p.seed in
-  Array.init p.n_queries (fun _ ->
-      let rec draw acc remaining =
-        if remaining = 0 then acc
-        else begin
-          let kw = pool.(Rng.int rng (Array.length pool)) in
-          if List.mem kw acc then draw acc remaining
-          else draw (kw :: acc) (remaining - 1)
-        end
+  match p.selectivity with
+  | Unselective | Medium | Selective ->
+      let pool = Corpus_gen.frequent_terms cp ~pool:(pool_size cp p.selectivity) in
+      Array.init p.n_queries (fun _ ->
+          draw rng pool [] (min p.keywords_per_query (Array.length pool)))
+  | Rare_over_dense ->
+      (* one rare keyword (bottom quarter of the selective-class pool) paired
+         with dense head-of-vocabulary keywords: the intersection is driven
+         by the rare term's few postings, so a skip-aware conjunctive merge
+         leaps over most blocks of the dense lists *)
+      let dense =
+        Corpus_gen.frequent_terms cp ~pool:(pool_size cp Unselective)
       in
-      draw [] (min p.keywords_per_query (Array.length pool)))
+      let wide = Corpus_gen.frequent_terms cp ~pool:(pool_size cp Selective) in
+      let tail_start = 3 * Array.length wide / 4 in
+      let rare = Array.sub wide tail_start (Array.length wide - tail_start) in
+      Array.init p.n_queries (fun _ ->
+          let r = rare.(Rng.int rng (Array.length rare)) in
+          let n_dense =
+            min (p.keywords_per_query - 1)
+              (Array.length dense - if Array.mem r dense then 1 else 0)
+          in
+          draw rng dense [ r ] n_dense)

@@ -3,9 +3,14 @@
     Keywords are drawn uniformly from a pool of the most frequent vocabulary
     terms. The paper's three classes, at full scale: unselective = top 350
     terms, medium = top 1600, selective = top 15000; pools scale with the
-    vocabulary when the corpus is scaled down. *)
+    vocabulary when the corpus is scaled down.
 
-type selectivity = Unselective | Medium | Selective
+    [Rare_over_dense] is an additional skew class (not from the paper): each
+    query pairs one rare keyword — drawn from the bottom quarter of the
+    selective pool — with dense head-of-vocabulary keywords, the asymmetry
+    under which a skip-aware conjunctive merge shines. *)
+
+type selectivity = Unselective | Medium | Selective | Rare_over_dense
 
 val pool_size : Corpus_gen.params -> selectivity -> int
 (** The class's pool size, scaled in proportion to the vocabulary. *)

@@ -177,7 +177,8 @@ let test_early_termination_happens () =
         St.Env.drop_blob_caches env;
         St.Stats.reset stats;
         ignore (Core.Index.query_terms idx ~gallop q ~k:3);
-        physical := !physical + stats.St.Stats.seq_reads + stats.St.Stats.rand_reads)
+        let snap = St.Stats.snapshot stats in
+        physical := !physical + snap.St.Stats.seq_reads + snap.St.Stats.rand_reads)
       queries;
     !physical
   in
@@ -210,8 +211,9 @@ let test_early_termination_happens () =
     St.Env.drop_blob_caches env;
     St.Stats.reset stats;
     ignore (Core.Index.query_terms idx ~gallop [ "alpha"; "rare" ] ~k:3);
-    (stats.St.Stats.seq_reads + stats.St.Stats.rand_reads,
-     stats.St.Stats.blocks_skipped)
+    let snap = St.Stats.snapshot stats in
+    (snap.St.Stats.seq_reads + snap.St.Stats.rand_reads,
+     snap.St.Stats.blocks_skipped)
   in
   let scan_pages, _ = measure_sparse ~gallop:false in
   let gallop_pages, skipped = measure_sparse ~gallop:true in
@@ -222,6 +224,69 @@ let test_early_termination_happens () =
     true
     (skipped > 0 && gallop_pages < scan_pages)
 
+let test_parallel_matches_serial () =
+  (* oracle equivalence for the domain worker pool: a batch served through a
+     4-domain Query_pool must return byte-identical answers to the serial
+     path, for every index method and both merge modes — queries read the
+     index as an immutable snapshot, so parallelism must be invisible *)
+  let oracle, indexes, scores = build_all () in
+  apply_workload oracle indexes scores;
+  let uniq = Array.of_list workload_queries in
+  (* tile the batch well past the domain count so work stealing interleaves *)
+  let batch = Array.init (8 * Array.length uniq) (fun i -> uniq.(i mod Array.length uniq)) in
+  List.iter
+    (fun idx ->
+      List.iter
+        (fun mode ->
+          let serial = Core.Index.query_terms_batch idx ~mode batch ~k:10 in
+          let parallel =
+            Core.Query_pool.with_pool ~domains:4 (fun pool ->
+                Core.Index.query_terms_batch idx ~pool ~mode batch ~k:10)
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s: 4 domains = serial"
+               (Core.Index.kind_name (Core.Index.kind idx)))
+            true (serial = parallel))
+        [ Core.Types.Conjunctive; Core.Types.Disjunctive ])
+    indexes
+
+let test_rare_over_dense_skips () =
+  (* the Rare_over_dense query profile manufactures exactly the asymmetry the
+     skip-aware merge exploits — one rare keyword galloping across dense
+     ones. The corpus must be genuinely skewed for rare terms to exist at
+     all: at theta 2.5 the pool's tail lands in a handful of documents while
+     head terms cover nearly every document, so consecutive rare postings
+     straddle whole blocks of the dense lists *)
+  let corpus =
+    { W.Corpus_gen.n_docs = 4000; vocab_size = 800; terms_per_doc = 100;
+      term_theta = 2.5; score_max = 100_000.0; score_theta = 0.75; seed = 7 }
+  in
+  let scores = W.Corpus_gen.scores corpus in
+  let env =
+    St.Env.create ~page_size:256 ~table_pool_pages:8192 ~blob_pool_pages:64 ()
+  in
+  let idx =
+    Core.Index.build ~env Core.Index.Id cfg
+      ~corpus:(W.Corpus_gen.corpus_seq corpus)
+      ~scores:(fun d -> scores.(d))
+  in
+  let queries =
+    W.Query_gen.generate
+      { W.Query_gen.defaults with
+        W.Query_gen.n_queries = 12;
+        selectivity = W.Query_gen.Rare_over_dense; seed = 11 }
+      corpus
+  in
+  let stats = St.Env.stats env in
+  St.Stats.reset stats;
+  Array.iter
+    (fun q -> ignore (Core.Index.query_terms idx ~gallop:true q ~k:5))
+    queries;
+  let skipped = (St.Stats.snapshot stats).St.Stats.blocks_skipped in
+  check Alcotest.bool
+    (Printf.sprintf "rare-over-dense queries skip blocks (%d skipped)" skipped)
+    true (skipped > 0)
+
 let () =
   Alcotest.run "svr_integration"
     [ ( "workload",
@@ -230,5 +295,8 @@ let () =
           Alcotest.test_case "focus-set spike" `Quick test_focus_set_spike ] );
       ("archive", [ Alcotest.test_case "event stream" `Quick test_archive_events ]);
       ( "behaviour",
-        [ Alcotest.test_case "early termination" `Quick test_early_termination_happens ] )
+        [ Alcotest.test_case "early termination" `Quick test_early_termination_happens;
+          Alcotest.test_case "rare-over-dense skips" `Quick test_rare_over_dense_skips ] );
+      ( "parallel",
+        [ Alcotest.test_case "4 domains match serial" `Quick test_parallel_matches_serial ] )
     ]

@@ -114,6 +114,76 @@ let test_lru_replace () =
   check Alcotest.int "replace keeps one entry" 1 (S.Lru.length lru);
   check Alcotest.(option string) "replaced" (Some "y") (S.Lru.find lru 1)
 
+(* directed eviction-order scenario: recency is updated by find and add *)
+let test_lru_eviction_order () =
+  let lru = S.Lru.create ~cap:3 in
+  ignore (S.Lru.add lru "a" 1);
+  ignore (S.Lru.add lru "b" 2);
+  ignore (S.Lru.add lru "c" 3);
+  (* recency now c > b > a; touch a, then b: b > a > c *)
+  ignore (S.Lru.find lru "a");
+  ignore (S.Lru.find lru "b");
+  (match S.Lru.add lru "d" 4 with
+  | Some ("c", 3) -> ()
+  | _ -> Alcotest.fail "expected eviction of c (least recently touched)");
+  (match S.Lru.add lru "e" 5 with
+  | Some ("a", 1) -> ()
+  | _ -> Alcotest.fail "expected eviction of a");
+  (match S.Lru.add lru "f" 6 with
+  | Some ("b", 2) -> ()
+  | _ -> Alcotest.fail "expected eviction of b")
+
+let test_lru_readd_after_remove () =
+  let lru = S.Lru.create ~cap:2 in
+  ignore (S.Lru.add lru "a" 1);
+  ignore (S.Lru.add lru "b" 2);
+  S.Lru.remove lru "a";
+  check Alcotest.(option int) "removed" None (S.Lru.find lru "a");
+  check Alcotest.(option unit) "re-add fits" None
+    (Option.map (fun _ -> ()) (S.Lru.add lru "a" 10));
+  check Alcotest.(option int) "re-added value" (Some 10) (S.Lru.find lru "a");
+  check Alcotest.int "len" 2 (S.Lru.length lru);
+  (* removing a key twice, or a key never present, is a no-op *)
+  S.Lru.remove lru "a";
+  S.Lru.remove lru "a";
+  S.Lru.remove lru "zzz";
+  check Alcotest.int "len after double remove" 1 (S.Lru.length lru)
+
+let test_lru_cap_one () =
+  let lru = S.Lru.create ~cap:1 in
+  check Alcotest.(option unit) "first fits" None
+    (Option.map (fun _ -> ()) (S.Lru.add lru 1 "a"));
+  (match S.Lru.add lru 2 "b" with
+  | Some (1, "a") -> ()
+  | _ -> Alcotest.fail "expected eviction of the only entry");
+  check Alcotest.(option string) "survivor" (Some "b") (S.Lru.find lru 2);
+  (* replacing the sole key evicts nothing *)
+  check Alcotest.(option unit) "replace sole key" None
+    (Option.map (fun _ -> ()) (S.Lru.add lru 2 "b2"));
+  check Alcotest.int "still one" 1 (S.Lru.length lru);
+  Alcotest.check_raises "cap 0 rejected" (Invalid_argument "Lru.create: cap < 1")
+    (fun () -> ignore (S.Lru.create ~cap:0))
+
+(* the lazily-built sentinel must not pin the first-ever key/value after the
+   map empties — by remove as well as by clear *)
+let test_lru_sentinel_release () =
+  let lru = S.Lru.create ~cap:4 in
+  check Alcotest.bool "no sentinel when fresh" false (S.Lru.sentinel_allocated lru);
+  ignore (S.Lru.add lru "first" 1);
+  check Alcotest.bool "sentinel after add" true (S.Lru.sentinel_allocated lru);
+  S.Lru.remove lru "first";
+  check Alcotest.bool "sentinel dropped on empty" false (S.Lru.sentinel_allocated lru);
+  ignore (S.Lru.add lru "second" 2);
+  ignore (S.Lru.add lru "third" 3);
+  S.Lru.remove lru "second";
+  check Alcotest.bool "sentinel kept while non-empty" true (S.Lru.sentinel_allocated lru);
+  S.Lru.remove lru "third";
+  check Alcotest.bool "sentinel dropped again" false (S.Lru.sentinel_allocated lru);
+  ignore (S.Lru.add lru "fourth" 4);
+  check Alcotest.(option int) "usable after release" (Some 4) (S.Lru.find lru "fourth");
+  S.Lru.clear lru;
+  check Alcotest.bool "sentinel dropped on clear" false (S.Lru.sentinel_allocated lru)
+
 (* LRU behaves like a reference model on random traces *)
 let lru_model_prop ops =
   let cap = 4 in
@@ -153,27 +223,66 @@ let test_lru_props =
 
 let test_pager_stats () =
   let stats = S.Stats.create () in
+  let snap () = S.Stats.snapshot stats in
   let disk = S.Disk.create ~name:"d" stats in
-  let pager = S.Pager.create ~pool_pages:2 ~stats disk in
+  (* one shard so the 2-page pool is a single LRU, as the scenario assumes *)
+  let pager = S.Pager.create ~pool_pages:2 ~shards:1 ~stats disk in
   let p0 = S.Pager.alloc pager in
   let p1 = S.Pager.alloc pager in
   let p2 = S.Pager.alloc pager in
   (* freshly allocated pages are cached: no physical reads yet *)
-  check Alcotest.int "no reads after alloc" 0 (stats.S.Stats.seq_reads + stats.S.Stats.rand_reads);
+  check Alcotest.int "no reads after alloc" 0 ((snap ()).S.Stats.seq_reads + (snap ()).S.Stats.rand_reads);
   (* pool holds 2 pages, so p0 was evicted (clean, no write-back) *)
   ignore (S.Pager.get pager p1);
-  check Alcotest.int "hit on cached" 1 stats.S.Stats.cache_hits;
+  check Alcotest.int "hit on cached" 1 (snap ()).S.Stats.cache_hits;
   ignore (S.Pager.get pager p0);
-  check Alcotest.int "miss reads disk" 1 (stats.S.Stats.seq_reads + stats.S.Stats.rand_reads);
+  check Alcotest.int "miss reads disk" 1 ((snap ()).S.Stats.seq_reads + (snap ()).S.Stats.rand_reads);
   (* dirty write-back on eviction *)
   let page = Bytes.make 4096 'x' in
   S.Pager.put pager p0 page;
   ignore (S.Pager.get pager p1);
   ignore (S.Pager.get pager p2);
   (* p0 dirty got evicted -> one physical write *)
-  check Alcotest.int "write-back" 1 stats.S.Stats.page_writes;
+  check Alcotest.int "write-back" 1 (snap ()).S.Stats.page_writes;
   let back = S.Pager.get pager p0 in
   check Alcotest.char "contents survived" 'x' (Bytes.get back 0)
+
+(* many domains hammering Pager.get on a small sharded pool: every read must
+   return the page's true contents (no torn entries, no cross-page mixups)
+   and the per-domain stats cells must add up to the exact number of gets *)
+let test_pager_concurrent_get () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"c" stats in
+  let n_pages = 64 in
+  let pager = S.Pager.create ~pool_pages:16 ~shards:4 ~stats disk in
+  for i = 0 to n_pages - 1 do
+    let p = S.Pager.alloc pager in
+    S.Pager.put pager p (Bytes.make 4096 (Char.chr (i land 0xff)))
+  done;
+  S.Pager.flush pager;
+  S.Stats.reset stats;
+  let n_domains = 4 and gets_per_domain = 5000 in
+  let bad = Atomic.make 0 in
+  let worker seed () =
+    let rng = ref (seed + 1) in
+    for _ = 1 to gets_per_domain do
+      rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+      let p = !rng mod n_pages in
+      let b = S.Pager.get pager p in
+      if Bytes.get b 0 <> Char.chr (p land 0xff) then Atomic.incr bad
+    done
+  in
+  let doms = Array.init (n_domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  Array.iter Domain.join doms;
+  check Alcotest.int "no torn or misrouted reads" 0 (Atomic.get bad);
+  let snap = S.Stats.snapshot stats in
+  check Alcotest.int "every get counted across domain cells"
+    (n_domains * gets_per_domain)
+    snap.S.Stats.logical_reads;
+  check Alcotest.int "hits + misses = gets"
+    (n_domains * gets_per_domain)
+    (snap.S.Stats.cache_hits + snap.S.Stats.seq_reads + snap.S.Stats.rand_reads)
 
 let test_disk_seq_classification () =
   let stats = S.Stats.create () in
@@ -185,11 +294,12 @@ let test_disk_seq_classification () =
   ignore (S.Disk.read disk 3);
   ignore (S.Disk.read disk 4);
   ignore (S.Disk.read disk 0);
-  check Alcotest.int "seq" 2 stats.S.Stats.seq_reads;
-  check Alcotest.int "rand" 2 stats.S.Stats.rand_reads;
-  let d = S.Stats.diff ~after:(S.Stats.snapshot stats) ~before:(S.Stats.create ()) in
+  let snap = S.Stats.snapshot stats in
+  check Alcotest.int "seq" 2 snap.S.Stats.seq_reads;
+  check Alcotest.int "rand" 2 snap.S.Stats.rand_reads;
+  let d = S.Stats.diff ~after:snap ~before:(S.Stats.zero ()) in
   check Alcotest.int "diff rand" 2 d.S.Stats.rand_reads;
-  check Alcotest.bool "simulated time positive" true (S.Stats.simulated_ms stats > 0.0)
+  check Alcotest.bool "simulated time positive" true (S.Stats.simulated_ms snap > 0.0)
 
 (* ------------------------------------------------------------------ *)
 (* B+-tree *)
@@ -373,8 +483,9 @@ let test_blob_sequential_io () =
   S.Stats.reset stats;
   (* pool too small to cache: reading straight through is ~all sequential *)
   ignore (S.Blob_store.read_all store id);
-  check Alcotest.bool "mostly sequential" true (stats.S.Stats.seq_reads >= 8);
-  check Alcotest.bool "at most one seek" true (stats.S.Stats.rand_reads <= 2)
+  let snap = S.Stats.snapshot stats in
+  check Alcotest.bool "mostly sequential" true (snap.S.Stats.seq_reads >= 8);
+  check Alcotest.bool "at most one seek" true (snap.S.Stats.rand_reads <= 2)
 
 (* ------------------------------------------------------------------ *)
 (* Env *)
@@ -391,12 +502,13 @@ let test_env () =
   S.Env.reset_stats env;
   S.Env.drop_blob_caches env;
   ignore (S.Blob_store.read_all b id);
+  let snap () = S.Stats.snapshot (S.Env.stats env) in
   check Alcotest.bool "cold read hits disk" true
-    ((S.Env.stats env).S.Stats.seq_reads + (S.Env.stats env).S.Stats.rand_reads >= 3);
+    ((snap ()).S.Stats.seq_reads + (snap ()).S.Stats.rand_reads >= 3);
   S.Env.reset_stats env;
   ignore (S.Blob_store.read_all b id);
   check Alcotest.int "warm read all hits" 0
-    ((S.Env.stats env).S.Stats.seq_reads + (S.Env.stats env).S.Stats.rand_reads)
+    ((snap ()).S.Stats.seq_reads + (snap ()).S.Stats.rand_reads)
 
 (* ------------------------------------------------------------------ *)
 
@@ -412,10 +524,15 @@ let () =
         :: test_order_key_props );
       ( "lru",
         [ Alcotest.test_case "basic" `Quick test_lru_basic;
-          Alcotest.test_case "replace" `Quick test_lru_replace ]
+          Alcotest.test_case "replace" `Quick test_lru_replace;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "re-add after remove" `Quick test_lru_readd_after_remove;
+          Alcotest.test_case "cap one" `Quick test_lru_cap_one;
+          Alcotest.test_case "sentinel release" `Quick test_lru_sentinel_release ]
         @ test_lru_props );
       ( "pager",
         [ Alcotest.test_case "stats" `Quick test_pager_stats;
+          Alcotest.test_case "concurrent get" `Quick test_pager_concurrent_get;
           Alcotest.test_case "seq classification" `Quick test_disk_seq_classification
         ] );
       ( "btree",
