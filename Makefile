@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check test bench bench-par clean
+.PHONY: all check check-crash test bench bench-par bench-recovery clean
 
 all:
 	dune build
@@ -21,6 +21,15 @@ bench:
 # parallel query-serving sweep (1/2/4/8 domains; SVR_BENCH_DOMAINS overrides)
 bench-par:
 	dune exec bench/main.exe -- par
+
+# WAL overhead + recovery-time sweep (writes BENCH_PR3.json)
+bench-recovery:
+	dune exec bench/main.exe -- recovery
+
+# crash-safety gate: seeded crash/recover property harness across every
+# index method, plus SQL-level recovery and codec damage fuzz
+check-crash:
+	dune exec test/test_recovery.exe
 
 clean:
 	dune clean

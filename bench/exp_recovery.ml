@@ -1,0 +1,206 @@
+(* Durability experiment: WAL overhead on the update path and recovery
+   time versus log length. Writes BENCH_PR3.json.
+
+   Part 1 — WAL overhead. The same score-update stream runs twice per
+   method: once on a plain environment (batch + flush_all, the cheapest
+   honest persistence baseline) and once on a durable one (batch +
+   checkpoint = WAL force, pool write-back, log truncation). Both clocks
+   are reported; the headline number is the modeled-cost overhead, which
+   the ISSUE budget caps at 15%. Group commit keeps the log cost to a few
+   sequential page writes per batch, so the overhead is dominated by the
+   checkpoint's header write and stays far under budget.
+
+   Part 2 — recovery time vs log length. One durable Chunk index takes a
+   checkpoint, applies L logged updates, forces the log, crashes (pools
+   and in-memory state dropped) and recovers. Recovery cost is the
+   sequential WAL scan plus replaying L updates against cold pools, so it
+   grows linearly in L — the trade the WAL makes: cheap commits, paid for
+   at recovery time. *)
+
+module Core = Svr_core
+module St = Svr_storage
+module W = Svr_workload
+
+let checkpoint_every = 200
+
+let build_with (p : Profile.t) ~durable kind =
+  let corpus = p.Profile.corpus in
+  let scores = W.Corpus_gen.scores corpus in
+  let env =
+    St.Env.create ~page_size:p.page_size
+      ~table_pool_pages:p.table_pool_pages ~blob_pool_pages:p.blob_pool_pages
+      ~durable ()
+  in
+  let idx =
+    Core.Index.build ~env kind (Harness.cfg p)
+      ~corpus:(W.Corpus_gen.corpus_seq corpus)
+      ~scores:(fun d -> scores.(d))
+  in
+  (idx, scores)
+
+type leg = {
+  leg_wall_ms : float;
+  leg_modeled_ms : float;
+  leg_wal_appends : int;
+  leg_wal_bytes : int;
+}
+
+(* run the update stream in checkpoint_every-sized batches, syncing after
+   each batch; everything (updates + syncs) lands in the measured section *)
+let run_leg idx ~scores ~(ops : W.Update_gen.op array) =
+  let env = Core.Index.env idx in
+  let sync () = if St.Env.durable env then St.Env.checkpoint env else St.Env.flush_all env in
+  let cur = Array.copy scores in
+  let stats = St.Env.stats env in
+  let cost = St.Env.cost env in
+  (* build's write-back happens before the clock starts: on a non-durable
+     env the build's trailing checkpoint is a no-op, so without this the
+     plain leg would get billed the whole build's dirty pages *)
+  St.Env.flush_all env;
+  St.Env.drop_blob_caches env;
+  let before = St.Stats.snapshot stats in
+  let t0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun i (op : W.Update_gen.op) ->
+      let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+      cur.(op.W.Update_gen.doc) <- s;
+      Core.Index.score_update idx ~doc:op.W.Update_gen.doc s;
+      if (i + 1) mod checkpoint_every = 0 then sync ())
+    ops;
+  sync ();
+  let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let d = St.Stats.diff ~after:(St.Stats.snapshot stats) ~before in
+  { leg_wall_ms = wall_ms;
+    leg_modeled_ms = St.Stats.simulated_ms ~cost d;
+    leg_wal_appends = d.St.Stats.wal_appends;
+    leg_wal_bytes = d.St.Stats.wal_bytes }
+
+type overhead_row = {
+  oh_kind : Core.Index.kind;
+  oh_updates : int;
+  oh_plain : leg;
+  oh_durable : leg;
+}
+
+let overhead_pct r =
+  if r.oh_plain.leg_modeled_ms > 0.0 then
+    100.0
+    *. (r.oh_durable.leg_modeled_ms -. r.oh_plain.leg_modeled_ms)
+    /. r.oh_plain.leg_modeled_ms
+  else 0.0
+
+type recovery_point = {
+  rp_log_records : int;
+  rp_replayed : int;
+  rp_wall_ms : float;
+  rp_modeled_ms : float;
+}
+
+let run_recovery_sweep (p : Profile.t) =
+  let idx, scores = build_with p ~durable:true Core.Index.Chunk in
+  let env = Core.Index.env idx in
+  let stats = St.Env.stats env in
+  let cost = St.Env.cost env in
+  let cur = Array.copy scores in
+  let lengths =
+    let n = p.Profile.n_updates in
+    List.sort_uniq compare [ max 1 (n / 16); max 1 (n / 4); n ]
+  in
+  List.map
+    (fun len ->
+      let ops = Harness.update_ops ~n:len p ~scores:cur in
+      St.Env.checkpoint env;
+      Array.iter
+        (fun (op : W.Update_gen.op) ->
+          let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+          cur.(op.W.Update_gen.doc) <- s;
+          Core.Index.score_update idx ~doc:op.W.Update_gen.doc s)
+        ops;
+      (* force the tail so the whole stream survives, then lose the pools *)
+      St.Env.log_flush env;
+      St.Env.crash env;
+      let before = St.Stats.snapshot stats in
+      let t0 = Unix.gettimeofday () in
+      let records = Core.Index.recover idx in
+      let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      let d = St.Stats.diff ~after:(St.Stats.snapshot stats) ~before in
+      { rp_log_records = len;
+        rp_replayed = List.length records;
+        rp_wall_ms = wall_ms;
+        rp_modeled_ms = St.Stats.simulated_ms ~cost d })
+    lengths
+
+let run (p : Profile.t) =
+  Harness.banner "Crash recovery: WAL overhead and replay cost" p;
+  let methods = [ Core.Index.Id; Core.Index.Chunk; Core.Index.Chunk_termscore ] in
+  Printf.printf "update stream: %d score updates, checkpoint every %d\n"
+    p.Profile.n_updates checkpoint_every;
+  Harness.header
+    [ "method            "; "plain ms"; "durable ms"; "overhead";
+      "wal pages"; " wall ms (p/d)" ];
+  let rows =
+    List.map
+      (fun kind ->
+        let plain_idx, scores = build_with p ~durable:false kind in
+        let ops = Harness.update_ops p ~scores in
+        let plain = run_leg plain_idx ~scores ~ops in
+        let durable_idx, _ = build_with p ~durable:true kind in
+        let durable = run_leg durable_idx ~scores ~ops in
+        let r =
+          { oh_kind = kind; oh_updates = Array.length ops;
+            oh_plain = plain; oh_durable = durable }
+        in
+        Harness.row
+          (Printf.sprintf "%-18s" (Core.Index.kind_name kind))
+          [ Printf.sprintf "%8.1f" plain.leg_modeled_ms;
+            Printf.sprintf "%10.1f" durable.leg_modeled_ms;
+            Printf.sprintf "%7.1f%%" (overhead_pct r);
+            Printf.sprintf "%9d" (durable.leg_wal_bytes / p.Profile.page_size);
+            Printf.sprintf "%6.0f/%.0f" plain.leg_wall_ms durable.leg_wall_ms ];
+        r)
+      methods
+  in
+  let recovery = run_recovery_sweep p in
+  Harness.header [ "log records"; "replayed"; "recover ms (modeled)"; "wall ms" ];
+  List.iter
+    (fun rp ->
+      Harness.row
+        (Printf.sprintf "%-18d" rp.rp_log_records)
+        [ Printf.sprintf "%8d" rp.rp_replayed;
+          Printf.sprintf "%20.1f" rp.rp_modeled_ms;
+          Printf.sprintf "%7.1f" rp.rp_wall_ms ])
+    recovery;
+  let oc = open_out "BENCH_PR3.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"crash-recovery\",\n  \"profile\": %S,\n\
+    \  \"updates\": %d,\n  \"checkpoint_every\": %d,\n\
+    \  \"overhead_budget_pct\": 15.0,\n  \"wal_overhead\": ["
+    p.Profile.name p.Profile.n_updates checkpoint_every;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "%s\n    { \"method\": %S, \"updates\": %d,\n\
+        \      \"plain\": { \"wall_ms\": %.1f, \"modeled_ms\": %.1f },\n\
+        \      \"durable\": { \"wall_ms\": %.1f, \"modeled_ms\": %.1f,\n\
+        \        \"wal_appends\": %d, \"wal_bytes\": %d },\n\
+        \      \"modeled_overhead_pct\": %.2f, \"within_budget\": %b }"
+        (if i = 0 then "" else ",")
+        (Core.Index.kind_name r.oh_kind)
+        r.oh_updates r.oh_plain.leg_wall_ms r.oh_plain.leg_modeled_ms
+        r.oh_durable.leg_wall_ms r.oh_durable.leg_modeled_ms
+        r.oh_durable.leg_wal_appends r.oh_durable.leg_wal_bytes
+        (overhead_pct r)
+        (overhead_pct r <= 15.0))
+    rows;
+  Printf.fprintf oc "\n  ],\n  \"recovery\": [";
+  List.iteri
+    (fun i rp ->
+      Printf.fprintf oc
+        "%s\n    { \"log_records\": %d, \"replayed\": %d,\n\
+        \      \"wall_ms\": %.1f, \"modeled_ms\": %.1f }"
+        (if i = 0 then "" else ",")
+        rp.rp_log_records rp.rp_replayed rp.rp_wall_ms rp.rp_modeled_ms)
+    recovery;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_PR3.json"

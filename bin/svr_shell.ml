@@ -48,10 +48,13 @@ let meta eng line =
         \  SELECT ... FROM t [WHERE ...]\n\
         \    [ORDER BY score(textcol, 'keywords') DESC] [FETCH TOP k RESULTS ONLY];\n\
          methods: id | score | score_threshold | chunk | id_termscore | chunk_termscore\n\
-         meta: .help .tables .stats .quit\n\
+         meta: .help .tables .stats .checkpoint .crash .recover .quit\n\
         \  .par <index> <domains> <reps> <keywords...>  run the keyword query\n\
         \       <reps> times as one batch over <domains> domains and report\n\
-        \       wall time, per-domain cache hits and the top-10 results\n%!"
+        \       wall time, per-domain cache hits and the top-10 results\n\
+        \  .checkpoint  force the WAL and make applied statements crash-proof\n\
+        \  .crash       simulate process death (buffer pools + log tail lost)\n\
+        \  .recover     roll back to the last checkpoint and replay the log\n%!"
   | ".stats" ->
       List.iter
         (fun (name, bytes) -> Printf.printf "  %-24s %8d KB\n" name (bytes / 1024))
@@ -119,6 +122,16 @@ let meta eng line =
         end
       | _ -> Printf.printf "usage: .par <index> <domains> <reps> <keywords...>\n%!"
     end
+  | ".checkpoint" ->
+      R.Engine.checkpoint eng;
+      Printf.printf "checkpoint complete (log truncated)\n%!"
+  | ".crash" -> (
+      match R.Engine.crash eng with
+      | () -> Printf.printf "crashed: pools and unforced log tail dropped (.recover to restore)\n%!"
+      | exception Invalid_argument msg -> Printf.printf "error: %s\n%!" msg)
+  | ".recover" ->
+      let records = R.Engine.recover eng in
+      Printf.printf "recovered: replayed %d logged record(s)\n%!" (List.length records)
   | ".tables" ->
       List.iter
         (fun name ->
@@ -154,7 +167,10 @@ let repl eng =
   loop ()
 
 let main init_file =
-  let eng = R.Engine.create () in
+  (* durable by default so .checkpoint/.crash/.recover work out of the box *)
+  let eng =
+    R.Engine.create ~env:(Svr_storage.Env.create ~durable:true ()) ()
+  in
   (match init_file with
   | Some path ->
       let ic = open_in path in

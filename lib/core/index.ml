@@ -34,11 +34,24 @@ type impl =
   | I_chunk of Method_chunk.t
   | I_cts of Method_chunk_termscore.t
 
-type t = { kind : kind; cfg : Config.t; impl : impl }
+type t = { kind : kind; cfg : Config.t; impl : impl; tag : string }
 
 let kind t = t.kind
+let tag t = t.tag
 
-let build ?env kind cfg ~corpus ~scores =
+module St = Svr_storage
+
+let env t =
+  match t.impl with
+  | I_id i -> Method_id.env i
+  | I_score i -> Method_score.env i
+  | I_st i -> Method_score_threshold.env i
+  | I_chunk i -> Method_chunk.env i
+  | I_cts i -> Method_chunk_termscore.env i
+
+let env_of = env
+
+let build ?env ?(tag = "index") kind cfg ~corpus ~scores =
   let impl =
     match kind with
     | Id -> I_id (Method_id.build ?env ~with_ts:false cfg ~corpus ~scores)
@@ -49,17 +62,20 @@ let build ?env kind cfg ~corpus ~scores =
     | Chunk_termscore ->
         I_cts (Method_chunk_termscore.build ?env cfg ~corpus ~scores)
   in
-  { kind; cfg; impl }
+  let t = { kind; cfg; impl; tag } in
+  (* bulk loads bypass the WAL, so the freshly built state must become the
+     recovery baseline before any logged update arrives *)
+  St.Env.checkpoint (env_of t);
+  t
 
-let env t =
-  match t.impl with
-  | I_id i -> Method_id.env i
-  | I_score i -> Method_score.env i
-  | I_st i -> Method_score_threshold.env i
-  | I_chunk i -> Method_chunk.env i
-  | I_cts i -> Method_chunk_termscore.env i
+(* Write-ahead logging happens here, at the method-dispatch boundary: one
+   logical record per update, before any B+-tree or short-list mutation the
+   method performs. The [apply_*] family below is the same dispatch without
+   the logging — what recovery replays records through. *)
 
-let score_update t ~doc score =
+let log t op = St.Env.log (env t) { St.Wal.tag = t.tag; op }
+
+let apply_score_update t ~doc score =
   match t.impl with
   | I_id i -> Method_id.score_update i ~doc score
   | I_score i -> Method_score.score_update i ~doc score
@@ -67,7 +83,7 @@ let score_update t ~doc score =
   | I_chunk i -> Method_chunk.score_update i ~doc score
   | I_cts i -> Method_chunk_termscore.score_update i ~doc score
 
-let insert t ~doc text ~score =
+let apply_insert t ~doc text ~score =
   match t.impl with
   | I_id i -> Method_id.insert i ~doc text ~score
   | I_score i -> Method_score.insert i ~doc text ~score
@@ -75,7 +91,7 @@ let insert t ~doc text ~score =
   | I_chunk i -> Method_chunk.insert i ~doc text ~score
   | I_cts i -> Method_chunk_termscore.insert i ~doc text ~score
 
-let delete t ~doc =
+let apply_delete t ~doc =
   match t.impl with
   | I_id i -> Method_id.delete i ~doc
   | I_score i -> Method_score.delete i ~doc
@@ -83,13 +99,48 @@ let delete t ~doc =
   | I_chunk i -> Method_chunk.delete i ~doc
   | I_cts i -> Method_chunk_termscore.delete i ~doc
 
-let update_content t ~doc text =
+let apply_update_content t ~doc text =
   match t.impl with
   | I_id i -> Method_id.update_content i ~doc text
   | I_score i -> Method_score.update_content i ~doc text
   | I_st i -> Method_score_threshold.update_content i ~doc text
   | I_chunk i -> Method_chunk.update_content i ~doc text
   | I_cts i -> Method_chunk_termscore.update_content i ~doc text
+
+let score_update t ~doc score =
+  log t (St.Wal.Score_update { doc; score });
+  apply_score_update t ~doc score
+
+let insert t ~doc text ~score =
+  log t (St.Wal.Doc_insert { doc; text; score });
+  apply_insert t ~doc text ~score
+
+let delete t ~doc =
+  log t (St.Wal.Doc_delete { doc });
+  apply_delete t ~doc
+
+let update_content t ~doc text =
+  log t (St.Wal.Doc_update { doc; text });
+  apply_update_content t ~doc text
+
+let apply_op t (op : St.Wal.op) =
+  match op with
+  | St.Wal.Score_update { doc; score } -> apply_score_update t ~doc score
+  | St.Wal.Doc_insert { doc; text; score } -> apply_insert t ~doc text ~score
+  | St.Wal.Doc_delete { doc } -> apply_delete t ~doc
+  | St.Wal.Doc_update { doc; text } -> apply_update_content t ~doc text
+  | St.Wal.Row_put _ | St.Wal.Row_delete _ ->
+      invalid_arg "Index.apply_op: relational record routed to a text index"
+
+let recover t =
+  let records = St.Env.recover (env t) in
+  List.iter
+    (fun { St.Wal.tag; op } -> if String.equal tag t.tag then apply_op t op)
+    records;
+  (* the replayed state is fully applied but not yet stable: make it the new
+     baseline so a second crash does not replay a truncated log *)
+  St.Env.checkpoint (env t);
+  records
 
 let query_terms t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   match t.impl with
@@ -131,9 +182,12 @@ let long_list_bytes t =
   | I_cts i -> Method_chunk_termscore.long_list_bytes i
 
 let rebuild t =
-  match t.impl with
+  (match t.impl with
   | I_id i -> Method_id.rebuild i
   | I_score _ -> ()
   | I_st i -> Method_score_threshold.rebuild i
   | I_chunk i -> Method_chunk.rebuild i
-  | I_cts i -> Method_chunk_termscore.rebuild i
+  | I_cts i -> Method_chunk_termscore.rebuild i);
+  (* like build, a rebuild is unlogged bulk work: checkpoint so the compacted
+     state is the new recovery baseline *)
+  St.Env.checkpoint (env t)

@@ -28,15 +28,22 @@ type t
 
 val build :
   ?env:Svr_storage.Env.t ->
+  ?tag:string ->
   kind ->
   Config.t ->
   corpus:(int * string) Seq.t ->
   scores:(int -> float) ->
   t
 (** Bulk-load an index of the given kind. A fresh storage environment is
-    created unless one is supplied. *)
+    created unless one is supplied. [tag] (default ["index"]) labels this
+    index's WAL records so recovery can route them when several components
+    share a durable environment. The bulk load itself bypasses the WAL, so
+    [build] ends with a checkpoint: a crash {e during} build is not
+    recoverable, a crash any time after is. *)
 
 val kind : t -> kind
+
+val tag : t -> string
 
 val env : t -> Svr_storage.Env.t
 
@@ -49,6 +56,17 @@ val insert : t -> doc:int -> string -> score:float -> unit
 val delete : t -> doc:int -> unit
 
 val update_content : t -> doc:int -> string -> unit
+
+val apply_op : t -> Svr_storage.Wal.op -> unit
+(** Apply one logged operation {e without} re-logging it — the replay half
+    of recovery. @raise Invalid_argument on a relational ([Row_*]) record. *)
+
+val recover : t -> Svr_storage.Wal.record list
+(** Crash recovery for an index that owns its environment: revert storage to
+    the last checkpoint ({!Svr_storage.Env.recover}), replay the surviving
+    records whose tag matches this index, and checkpoint the result. Returns
+    {e all} surviving records (callers sharing the environment can route the
+    rest). Returns [[]] when the environment is not durable. *)
 
 val query :
   t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->

@@ -3,18 +3,34 @@ module Pc = Posting_cursor
 
 let block_size = Pc.block_size
 
+let corrupt fmt = St.Storage_error.error St.Storage_error.Corrupt fmt
+
 (* Read one varint through the reader, fetching exactly the bytes touched.
    Header reads must not over-ask: a fixed lookahead would drag whole pages
-   past an early-termination stop into the cache. *)
+   past an early-termination stop into the cache. Hardened like
+   {!St.Varint.read}: a hostile blob cannot push the shift past 63 bits,
+   read beyond the blob, or sneak in an overlong encoding — it gets a typed
+   [Corrupt] instead. *)
 let read_varint_r reader pos =
+  let len = St.Blob_store.blob_length reader in
   let acc = ref 0 and shift = ref 0 and continue = ref true in
   while !continue do
+    if !pos >= len then corrupt "Posting_codec: varint truncated at byte %d" !pos;
     St.Blob_store.ensure reader (!pos + 1);
     let b = Char.code (St.Blob_store.raw reader).[!pos] in
     incr pos;
-    acc := !acc lor ((b land 0x7f) lsl !shift);
-    shift := !shift + 7;
-    if b land 0x80 = 0 then continue := false
+    if b land 0x80 = 0 then begin
+      if b = 0 && !shift > 0 then
+        corrupt "Posting_codec: overlong varint at byte %d" (!pos - 1);
+      acc := !acc lor (b lsl !shift);
+      continue := false
+    end
+    else begin
+      if !shift >= 56 then
+        corrupt "Posting_codec: varint exceeds 63 bits at byte %d" (!pos - 1);
+      acc := !acc lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7
+    end
   done;
   !acc
 
@@ -23,6 +39,8 @@ let write_u16 buf n =
   Buffer.add_char buf (Char.chr (n land 0xff))
 
 let read_u16 s pos =
+  if !pos + 2 > String.length s then
+    corrupt "Posting_codec: u16 truncated at byte %d" !pos;
   let n = (Char.code s.[!pos] lsl 8) lor Char.code s.[!pos + 1] in
   pos := !pos + 2;
   n
@@ -81,6 +99,12 @@ module Id_codec = struct
       let n = read_varint_r reader pos in
       let last_delta = read_varint_r reader pos in
       let blen = read_varint_r reader pos in
+      (* the buffers sized for [block_size] and the strictly-advancing skip
+         arithmetic both depend on these bounds, so a corrupt header must
+         die here rather than index out of range or loop in place *)
+      if n < 1 || n > block_size || blen < 1 || !pos + blen > len then
+        corrupt "Posting_codec: bad block header n=%d blen=%d at byte %d/%d"
+          n blen !pos len;
       (n, last_delta, blen)
     in
     let decode_body c n blen =
@@ -176,8 +200,14 @@ module Score_codec = struct
        fetches the rest of its pages *)
     let bn = ref 0 in
     let bpend = ref 0 in
-    let start_block c =
+    let read_count () =
       let n = read_varint_r reader pos in
+      if n < 1 || n > block_size || !pos + (12 * n) > len then
+        corrupt "Score_codec: bad block count %d at byte %d/%d" n !pos len;
+      n
+    in
+    let start_block c =
+      let n = read_count () in
       St.Blob_store.ensure reader (!pos + 12);
       let s = St.Blob_store.raw reader in
       ranks.(0) <- St.Order_key.get_f64 s !pos;
@@ -228,7 +258,7 @@ module Score_codec = struct
         end
         else if !pos >= len then continue := false
         else begin
-          let n = read_varint_r reader pos in
+          let n = read_count () in
           (* peek the block's last posting; skip the decode if it is still
              before the target (the pages are fetched either way — scores sit
              too densely for page skipping, the win is pure decode CPU) *)
@@ -307,6 +337,9 @@ module Chunk_codec = struct
       gcid := read_varint_r reader pos;
       gleft := read_varint_r reader pos;
       let blen = read_varint_r reader pos in
+      if !gleft < 1 || blen < 1 || !pos + blen > len then
+        corrupt "Chunk_codec: bad group header n=%d blen=%d at byte %d/%d"
+          !gleft blen !pos len;
       gend := !pos + blen;
       prev := -1
     in
@@ -314,6 +347,9 @@ module Chunk_codec = struct
       let n = read_varint_r reader pos in
       let last_delta = read_varint_r reader pos in
       let blen = read_varint_r reader pos in
+      if n < 1 || n > block_size || blen < 1 || !pos + blen > !gend then
+        corrupt "Chunk_codec: bad block header n=%d blen=%d at byte %d/%d"
+          n blen !pos !gend;
       (n, last_delta, blen)
     in
     let decode_block c n blen =

@@ -620,7 +620,7 @@ let create_text_index eng ~idx_name ~tbl ~text_col ~method_name ~score_funcs
   let ti =
     { ti_name = idx_name; ti_table = table; ti_text_pos = text_pos;
       ti_index =
-        Core.Index.build ~env:eng.env kind cfg
+        Core.Index.build ~env:eng.env ~tag:(norm idx_name) kind cfg
           ~corpus:(List.to_seq corpus)
           ~scores:(fun doc -> Hashtbl.find score_cache doc);
       ti_score_funcs = score_funcs; ti_agg = agg_func }
@@ -701,6 +701,42 @@ let exec_statement eng = function
   | Select sel ->
       let columns, rows = exec_select eng sel in
       Rows { columns; rows }
+
+(* ---------------------------------------------------------------- *)
+(* durability: checkpoint / crash / recover over the whole engine *)
+
+let checkpoint eng = St.Env.checkpoint eng.env
+
+let crash eng = St.Env.crash eng.env
+
+(* Replay in append order, routing each record by its tag: "table:NAME" to
+   that table's raw B+-tree path (no subscriber notification — the index
+   effects were logged separately and follow in the same scan), anything
+   else to the text index of that name. The engine object itself models the
+   restarted process's catalog, so every tag written before the crash has a
+   live component to land on; a record whose component is gone can only come
+   from DDL after the last checkpoint, which — like bulk builds — is
+   documented as not crash-recoverable, so it is dropped. *)
+let recover eng =
+  let records = St.Env.recover eng.env in
+  List.iter
+    (fun { St.Wal.tag; op } ->
+      match op with
+      | St.Wal.Row_put _ | St.Wal.Row_delete _ ->
+          let tbl_name =
+            if String.length tag > 6 && String.sub tag 0 6 = "table:" then
+              String.sub tag 6 (String.length tag - 6)
+            else tag
+          in
+          Option.iter (fun tbl -> Table.apply_op tbl op)
+            (Hashtbl.find_opt eng.tables (norm tbl_name))
+      | St.Wal.Score_update _ | St.Wal.Doc_insert _ | St.Wal.Doc_delete _
+      | St.Wal.Doc_update _ ->
+          Option.iter (fun ti -> Core.Index.apply_op ti.ti_index op)
+            (List.find_opt (fun ti -> norm ti.ti_name = norm tag) eng.indexes))
+    records;
+  St.Env.checkpoint eng.env;
+  records
 
 let wrap f =
   try f () with

@@ -59,4 +59,24 @@ val svr_score : t -> index:string -> doc:int -> float
 (** Evaluate the index's scoring spec for one document right now (reads the
     base tables; used by tests to cross-check the incremental path). *)
 
+(** {2 Durability}
+
+    Available when the engine was created over a [~durable:true]
+    environment; see {!Svr_storage.Env} for the fault model. *)
+
+val checkpoint : t -> unit
+(** Force and truncate the WAL, making all applied statements crash-proof.
+    No-op on a non-durable environment. *)
+
+val crash : t -> unit
+(** Simulate process death (pools and unforced log tail lost).
+    @raise Invalid_argument on a non-durable environment. *)
+
+val recover : t -> Svr_storage.Wal.record list
+(** Revert storage to the last checkpoint, replay every surviving record —
+    row operations through the tables (without re-firing triggers), document
+    operations through the text indexes — and checkpoint. Returns the
+    replayed records. DDL and index builds are not logged: a crash before
+    their first checkpoint loses them. *)
+
 val pp_result : Format.formatter -> result -> unit

@@ -8,16 +8,21 @@ type change =
 type t = {
   name : string;
   schema : Schema.t;
+  env : St.Env.t;
   tree : St.Btree.t;
   mutable subscribers : (change -> unit) list;
 }
 
 let create env ~name schema =
-  { name; schema; tree = St.Env.btree env ~name:("table:" ^ name);
+  { name; schema; env; tree = St.Env.btree env ~name:("table:" ^ name);
     subscribers = [] }
 
 let name t = t.name
 let schema t = t.schema
+
+let wal_tag t = "table:" ^ t.name
+
+let log t op = St.Env.log t.env { St.Wal.tag = wal_tag t; op }
 
 let pk_key v =
   let buf = Buffer.create 16 in
@@ -46,6 +51,7 @@ let insert t row =
   if St.Btree.mem t.tree (pk_key pk) then
     invalid_arg
       (Format.asprintf "%s: duplicate primary key %a" t.name Value.pp pk);
+  log t (St.Wal.Row_put { key = pk_key pk; row = encode_row row });
   St.Btree.insert t.tree (pk_key pk) (encode_row row);
   notify t (Inserted row)
 
@@ -56,6 +62,7 @@ let update t row =
   | None ->
       invalid_arg (Format.asprintf "%s: no row with key %a" t.name Value.pp pk)
   | Some before ->
+      log t (St.Wal.Row_put { key = pk_key pk; row = encode_row row });
       St.Btree.insert t.tree (pk_key pk) (encode_row row);
       notify t (Updated { before; after = row })
 
@@ -63,6 +70,7 @@ let delete t pk =
   match get t pk with
   | None -> false
   | Some row ->
+      log t (St.Wal.Row_delete { key = pk_key pk });
       ignore (St.Btree.delete t.tree (pk_key pk));
       notify t (Deleted row);
       true
@@ -75,3 +83,14 @@ let scan t f =
 let count t = St.Btree.count t.tree
 
 let subscribe t f = t.subscribers <- f :: t.subscribers
+
+(* Recovery replay: raw B+-tree mutation, no re-logging, no notifications —
+   index-side effects of a row change were logged (and are replayed) as their
+   own records, so firing subscribers here would apply them twice. *)
+let apply_op t (op : St.Wal.op) =
+  match op with
+  | St.Wal.Row_put { key; row } -> St.Btree.insert t.tree key row
+  | St.Wal.Row_delete { key } -> ignore (St.Btree.delete t.tree key)
+  | St.Wal.Score_update _ | St.Wal.Doc_insert _ | St.Wal.Doc_delete _
+  | St.Wal.Doc_update _ ->
+      invalid_arg "Table.apply_op: text-index record routed to a table"

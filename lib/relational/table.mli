@@ -38,3 +38,11 @@ val count : t -> int
 
 val subscribe : t -> (change -> unit) -> unit
 (** Callbacks fire after the change is applied, in subscription order. *)
+
+val wal_tag : t -> string
+(** The tag (["table:" ^ name]) this table stamps on its WAL records. *)
+
+val apply_op : t -> Svr_storage.Wal.op -> unit
+(** Replay one logged row operation without re-logging and {e without}
+    firing subscribers (the downstream index effects carry their own
+    records). @raise Invalid_argument on a text-index record. *)

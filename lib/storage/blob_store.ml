@@ -4,13 +4,31 @@ type t = {
   blobs : (int, int * int) Hashtbl.t; (* id -> (first page, byte length) *)
   mutable next_id : int;
   mutable live_bytes : int;
+  (* directory snapshot at the last checkpoint — the in-memory state
+     recovery restores alongside the device revert, so a blob whose run was
+     torn by a crash simply never becomes visible *)
+  mutable stable_blobs : (int * (int * int)) list;
+  mutable stable_next_id : int;
+  mutable stable_live_bytes : int;
 }
 
 type id = int
 
 let create pager =
   { pager; page_size = Disk.page_size (Pager.disk pager);
-    blobs = Hashtbl.create 1024; next_id = 0; live_bytes = 0 }
+    blobs = Hashtbl.create 1024; next_id = 0; live_bytes = 0;
+    stable_blobs = []; stable_next_id = 0; stable_live_bytes = 0 }
+
+let mark_stable t =
+  t.stable_blobs <- Hashtbl.fold (fun id e acc -> (id, e) :: acc) t.blobs [];
+  t.stable_next_id <- t.next_id;
+  t.stable_live_bytes <- t.live_bytes
+
+let revert_to_stable t =
+  Hashtbl.reset t.blobs;
+  List.iter (fun (id, e) -> Hashtbl.replace t.blobs id e) t.stable_blobs;
+  t.next_id <- t.stable_next_id;
+  t.live_bytes <- t.stable_live_bytes
 
 let pages_for t len = (len + t.page_size - 1) / t.page_size
 
@@ -36,7 +54,9 @@ let put t payload =
 let lookup t id =
   match Hashtbl.find_opt t.blobs id with
   | Some entry -> entry
-  | None -> raise Not_found
+  | None ->
+      Storage_error.error Missing "Blob_store(%s): unknown blob id %d (%d live)"
+        (Disk.name (Pager.disk t.pager)) id (Hashtbl.length t.blobs)
 
 let length t id = snd (lookup t id)
 

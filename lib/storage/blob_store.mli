@@ -17,7 +17,9 @@ val put : t -> string -> id
 (** Write a blob; returns its handle. *)
 
 val length : t -> id -> int
-(** Payload length in bytes. @raise Not_found for an unknown id. *)
+(** Payload length in bytes.
+    @raise Storage_error.Error [(Missing, _)], naming the device and id,
+    for an unknown (or freed, or rolled-back) blob. *)
 
 val free : t -> id -> unit
 (** Forget a blob. Pages are not reused (reclaimed by offline rebuilds). *)
@@ -68,3 +70,12 @@ val fetched_bytes : reader -> int
 val stats : reader -> Stats.t
 (** The I/O counter record of the underlying device — where posting cursors
     account blocks decoded vs skipped. *)
+
+val mark_stable : t -> unit
+(** Snapshot the blob directory (ids, runs, lengths) as the checkpointed
+    state. Called by [Env.checkpoint] after the store's pages are flushed. *)
+
+val revert_to_stable : t -> unit
+(** Restore the directory snapshotted by the last {!mark_stable}: blobs
+    written since — including any torn mid-run by a crash — cease to
+    exist. *)

@@ -29,6 +29,11 @@ type t = {
   page_size : int;
   mutable root : int;
   mutable count : int;
+  (* the (root, count) pair at the last checkpoint: the only state of a tree
+     that lives outside its pages, so recovery restores it alongside the
+     device-level revert *)
+  mutable stable_root : int;
+  mutable stable_count : int;
 }
 
 (* -- raw byte helpers ----------------------------------------------------- *)
@@ -80,7 +85,7 @@ let decode page_bytes =
         off := !off + 6 + klen
       done;
       Internal { ikeys; children }
-  | k -> invalid_arg (Printf.sprintf "Btree.decode: bad node kind %d" k)
+  | k -> Storage_error.error Corrupt "Btree.decode: bad node kind %d" k
 
 let leaf_bytes l =
   Array.fold_left (fun acc k -> acc + 4 + String.length k) 7 l.lkeys
@@ -163,9 +168,19 @@ let array_remove a i =
 let create pager =
   let page_size = Disk.page_size (Pager.disk pager) in
   let root = Pager.alloc pager in
-  let t = { pager; page_size; root; count = 0 } in
+  let t =
+    { pager; page_size; root; count = 0; stable_root = root; stable_count = 0 }
+  in
   store t root (Leaf { lkeys = [||]; lvals = [||]; next = none_page });
   t
+
+let mark_stable t =
+  t.stable_root <- t.root;
+  t.stable_count <- t.count
+
+let revert_to_stable t =
+  t.root <- t.stable_root;
+  t.count <- t.stable_count
 
 let count t = t.count
 
@@ -329,7 +344,8 @@ let rec cursor_next c =
   else begin
     (match load c.tree c.leaf.next with
     | Leaf l -> c.leaf <- l
-    | Internal _ -> failwith "Btree: leaf chain points at internal node");
+    | Internal _ ->
+        Storage_error.error Corrupt "Btree: leaf chain points at internal node");
     c.idx <- 0;
     cursor_next c
   end

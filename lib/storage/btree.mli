@@ -61,3 +61,12 @@ val height : t -> int
 val check_invariants : t -> unit
 (** Walk the whole tree asserting ordering and structural invariants.
     @raise Failure with a description on the first violation. Test use. *)
+
+val mark_stable : t -> unit
+(** Record the current (root, count) as the checkpointed state. Called by
+    [Env.checkpoint] after the tree's pages are flushed and its device
+    marked stable. *)
+
+val revert_to_stable : t -> unit
+(** Reset (root, count) to the last {!mark_stable} — the in-memory half of
+    recovery; the pages themselves come back via [Disk.revert_to_stable]. *)

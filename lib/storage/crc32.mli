@@ -1,0 +1,10 @@
+(** CRC-32 checksums (IEEE polynomial, as in zlib/gzip).
+
+    Used two ways: as the per-page sidecar checksum {!Disk} verifies on every
+    miss-path read, and as the per-record payload checksum framing WAL
+    entries so recovery can stop at the first torn record. *)
+
+val bytes : Bytes.t -> int
+val bytes_sub : Bytes.t -> int -> int -> int
+val string : string -> int
+val string_sub : string -> int -> int -> int

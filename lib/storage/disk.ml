@@ -2,7 +2,24 @@
    stores and read with acquire loads, so a read that observes a page number
    below [n_pages] also observes the fully-initialized page array behind it.
    Allocation and writes are single-writer operations (the update path);
-   concurrent read-only queries never call them. *)
+   concurrent read-only queries never call them.
+
+   Durability additions (all single-writer, like allocation):
+   - a CRC32 sidecar, one checksum per page, updated on every write and
+     checked by [read_verified] — the stand-in for the per-page checksum a
+     real pager keeps in the page header. Our pages have no spare header
+     room (B+-tree nodes fill all [page_size] bytes), hence the sidecar.
+   - a before-image journal: the first write to a page since the last
+     [mark_stable] saves the old (bytes, crc) pair, so [revert_to_stable]
+     can roll the device back to its last checkpoint — the rollback-journal
+     half of recovery, with the logical WAL replayed on top. The journal
+     also remembers the stable page count, so pages allocated mid-epoch
+     vanish again on revert.
+   - optional fault hooks ([Fault.t]): write ticks (crash-at-op-N fires
+     before the write lands, keeping page writes atomic), post-write bit
+     flips on the stored copy (the sidecar keeps the honest checksum, so
+     verification catches the flip), and transient read failures absorbed by
+     [read_verified]'s bounded retry. *)
 
 type t = {
   name : string;
@@ -11,15 +28,28 @@ type t = {
   pages : Bytes.t array Atomic.t;
   n_pages : int Atomic.t;
   last_read : int Atomic.t;
+  last_write : int Atomic.t;
+  crcs : int array Atomic.t; (* sidecar: crcs.(i) = CRC32 of pages.(i) *)
+  zero_crc : int; (* checksum of an all-zero page, set at alloc *)
+  fault : Fault.t option;
+  journal : (int, Bytes.t * int) Hashtbl.t; (* before images since mark_stable *)
+  journaled : bool;
+  mutable stable_n_pages : int;
 }
 
 let page_size t = t.page_size
 let name t = t.name
+let stats t = t.stats
 
-let create ?(page_size = 4096) ~name stats =
+let create ?(page_size = 4096) ?fault ?(journal = false) ~name stats =
   { name; page_size; stats;
     pages = Atomic.make (Array.make 64 Bytes.empty);
-    n_pages = Atomic.make 0; last_read = Atomic.make (-2) }
+    n_pages = Atomic.make 0; last_read = Atomic.make (-2);
+    last_write = Atomic.make (-2);
+    crcs = Atomic.make (Array.make 64 0);
+    zero_crc = Crc32.bytes (Bytes.make page_size '\000');
+    fault; journal = Hashtbl.create 32; journaled = journal;
+    stable_n_pages = 0 }
 
 let alloc t =
   let n = Atomic.get t.n_pages in
@@ -28,6 +58,9 @@ let alloc t =
     if n = Array.length arr then begin
       let bigger = Array.make (2 * n) Bytes.empty in
       Array.blit arr 0 bigger 0 n;
+      let crc_bigger = Array.make (2 * n) 0 in
+      Array.blit (Atomic.get t.crcs) 0 crc_bigger 0 n;
+      Atomic.set t.crcs crc_bigger;
       (* publish the grown array before the count that makes it reachable *)
       Atomic.set t.pages bigger;
       bigger
@@ -36,6 +69,7 @@ let alloc t =
   in
   let page_no = n in
   arr.(page_no) <- Bytes.make t.page_size '\000';
+  (Atomic.get t.crcs).(page_no) <- t.zero_crc;
   Atomic.set t.n_pages (page_no + 1);
   page_no
 
@@ -72,6 +106,94 @@ let write t page_no bytes =
   check t page_no "write";
   if Bytes.length bytes <> t.page_size then
     invalid_arg "Disk.write: page size mismatch";
+  (match t.fault with
+  | Some f -> Fault.tick_write f ~device:t.name
+  | None -> ());
+  if
+    t.journaled && page_no < t.stable_n_pages
+    && not (Hashtbl.mem t.journal page_no)
+  then
+    Hashtbl.add t.journal page_no
+      ((Atomic.get t.pages).(page_no), (Atomic.get t.crcs).(page_no));
   let c = Stats.cell t.stats in
   c.Stats.page_writes <- c.Stats.page_writes + 1;
-  (Atomic.get t.pages).(page_no) <- Bytes.copy bytes
+  (* same-or-next position: appends and tail-page rewrites ride the head,
+     so the WAL's group-commit flushes bill at sequential cost *)
+  let last = Atomic.exchange t.last_write page_no in
+  if page_no = last || page_no = last + 1 then
+    c.Stats.seq_writes <- c.Stats.seq_writes + 1;
+  let stored = Bytes.copy bytes in
+  (Atomic.get t.crcs).(page_no) <- Crc32.bytes stored;
+  (* a flip after the checksum was taken models media corruption: the
+     sidecar keeps the honest value and the next verified read trips *)
+  (match t.fault with Some f -> ignore (Fault.maybe_flip f stored) | None -> ());
+  (Atomic.get t.pages).(page_no) <- stored
+
+let crc t page_no =
+  check t page_no "crc";
+  (Atomic.get t.crcs).(page_no)
+
+let corrupt_page t page_no ~bit =
+  check t page_no "corrupt_page";
+  let stored = Bytes.copy (Atomic.get t.pages).(page_no) in
+  let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+  if byte >= t.page_size then invalid_arg "Disk.corrupt_page: bit out of range";
+  Bytes.set stored byte (Char.chr (Char.code (Bytes.get stored byte) lxor mask));
+  (Atomic.get t.pages).(page_no) <- stored
+
+(* -- verified reads ------------------------------------------------------- *)
+
+let backoff spins = for _ = 1 to spins do Domain.cpu_relax () done
+
+let read_verified ?(hint = `Auto) ?(attempts = 4) t page_no =
+  let c = Stats.cell t.stats in
+  let rec attempt n spins =
+    let transient =
+      match t.fault with Some f -> Fault.should_fail_read f | None -> false
+    in
+    if transient then
+      if n + 1 >= attempts then
+        Storage_error.error Io_transient
+          "Disk.read_verified: page %d on %s still failing after %d attempts"
+          page_no t.name attempts
+      else begin
+        c.Stats.read_retries <- c.Stats.read_retries + 1;
+        backoff spins;
+        attempt (n + 1) (2 * spins)
+      end
+    else begin
+      let bytes = read ~hint t page_no in
+      let expect = (Atomic.get t.crcs).(page_no) in
+      if Crc32.bytes bytes <> expect then begin
+        c.Stats.checksum_failures <- c.Stats.checksum_failures + 1;
+        Storage_error.error Corrupt
+          "Disk.read_verified: checksum mismatch on page %d of %s" page_no
+          t.name
+      end;
+      bytes
+    end
+  in
+  attempt 0 8
+
+(* -- checkpoint / revert -------------------------------------------------- *)
+
+let mark_stable t =
+  Hashtbl.reset t.journal;
+  t.stable_n_pages <- Atomic.get t.n_pages
+
+let revert_to_stable t =
+  if not t.journaled then
+    invalid_arg (Printf.sprintf "Disk.revert_to_stable: %s is not journaled" t.name);
+  let pages = Atomic.get t.pages and crcs = Atomic.get t.crcs in
+  Hashtbl.iter
+    (fun page_no (bytes, crc) ->
+      pages.(page_no) <- bytes;
+      crcs.(page_no) <- crc)
+    t.journal;
+  Hashtbl.reset t.journal;
+  (* pages allocated since the stable point evaporate; the slots stay in the
+     array and are re-zeroed by the next alloc *)
+  Atomic.set t.n_pages t.stable_n_pages;
+  Atomic.set t.last_read (-2)
+
+let journal_pages t = Hashtbl.length t.journal

@@ -6,21 +6,37 @@
     All accesses normally go through a {!Buffer_pool}, so a [Disk] read/write
     here corresponds to a cache miss / write-back in the real system.
 
+    Durability: every page has a CRC32 in a sidecar array, refreshed on write
+    and checked by {!read_verified} (the {!Pager} miss path and WAL recovery
+    scans read through it). A device created with [~journal:true] keeps
+    before-images of every page overwritten since the last {!mark_stable},
+    so {!revert_to_stable} rolls it back to its last checkpoint; devices
+    whose contents must survive revert (the WAL's own device) stay
+    unjournaled. An optional {!Fault.t} injects deterministic crashes,
+    transient read failures and bit flips.
+
     Concurrency: {!read} is lock-free and safe from any number of domains
     (the seq/rand classification interleaves across concurrent readers, as it
-    would on a real shared spindle). {!alloc}, {!alloc_run} and {!write} are
-    single-writer — the update path must not run concurrently with itself,
-    though lock-free readers may overlap an allocation safely. *)
+    would on a real shared spindle). {!alloc}, {!alloc_run}, {!write} and the
+    checkpoint/revert operations are single-writer — the update path must not
+    run concurrently with itself, though lock-free readers may overlap an
+    allocation safely. *)
 
 type t
 
 val page_size : t -> int
 
-val create : ?page_size:int -> name:string -> Stats.t -> t
+val create :
+  ?page_size:int -> ?fault:Fault.t -> ?journal:bool -> name:string ->
+  Stats.t -> t
 (** [create ~name stats] makes an empty device. [page_size] defaults to
-    4096 bytes, the BerkeleyDB default used in the paper's setup. *)
+    4096 bytes, the BerkeleyDB default used in the paper's setup. [fault]
+    (default none) injects failures; [journal] (default false) enables
+    before-image journaling for {!revert_to_stable}. *)
 
 val name : t -> string
+
+val stats : t -> Stats.t
 
 val alloc : t -> int
 (** Allocate a fresh zeroed page and return its page number. Allocation is
@@ -39,13 +55,49 @@ val size_bytes : t -> int
 (** [n_pages * page_size]: the on-"disk" footprint, used for Table 1. *)
 
 val read : ?hint:[ `Auto | `Seq ] -> t -> int -> Bytes.t
-(** Physical read. Returns a fresh buffer of [page_size] bytes. [`Auto]
-    (default) classifies the read sequential iff it follows the previously
-    read page; [`Seq] forces sequential accounting — used by blob readers,
-    whose within-blob page runs a real disk would serve via per-stream
-    readahead even when several lists are merged concurrently.
+(** Raw physical read — no checksum verification, no fault injection.
+    Returns a fresh buffer of [page_size] bytes. [`Auto] (default)
+    classifies the read sequential iff it follows the previously read page;
+    [`Seq] forces sequential accounting — used by blob readers, whose
+    within-blob page runs a real disk would serve via per-stream readahead
+    even when several lists are merged concurrently.
     @raise Invalid_argument on an unallocated page. *)
 
+val read_verified : ?hint:[ `Auto | `Seq ] -> ?attempts:int -> t -> int -> Bytes.t
+(** Like {!read}, but the miss-path contract: injected transient faults are
+    retried with exponential backoff up to [attempts] (default 4) total
+    tries (each retry counted in [read_retries]), and the page is checked
+    against its sidecar CRC32.
+    @raise Storage_error.Error [(Io_transient, _)] when the attempt budget is
+    exhausted, [(Corrupt, _)] on checksum mismatch (also counted in
+    [checksum_failures]). *)
+
 val write : t -> int -> Bytes.t -> unit
-(** Physical write of a full page.
-    @raise Invalid_argument on size mismatch or unallocated page. *)
+(** Physical write of a full page: ticks the fault clock (a crash-at-op-N
+    fires {e before} anything lands, so page writes are atomic), saves a
+    before-image if journaling and this is the first write to the page since
+    {!mark_stable}, stores the bytes, refreshes the sidecar CRC — then
+    possibly flips a stored bit if a fault says so.
+    @raise Invalid_argument on size mismatch or unallocated page.
+    @raise Fault.Crash when the fault clock trips. *)
+
+val crc : t -> int -> int
+(** The sidecar checksum of a page (tests). *)
+
+val corrupt_page : t -> int -> bit:int -> unit
+(** Deterministically flip bit [bit] of the stored page, leaving the sidecar
+    checksum untouched — the next {!read_verified} must raise [Corrupt].
+    Test hook; {!Fault.t} does the same at random. *)
+
+val mark_stable : t -> unit
+(** Declare the current on-device state a checkpoint: clear the before-image
+    journal and remember the page count. Called by [Env.checkpoint] after
+    all pools are flushed. *)
+
+val revert_to_stable : t -> unit
+(** Roll every page back to its state at the last {!mark_stable} and forget
+    pages allocated since. Recovery only; readers must be quiescent.
+    @raise Invalid_argument if the device is not journaled. *)
+
+val journal_pages : t -> int
+(** Before-images currently held (diagnostics). *)

@@ -5,42 +5,88 @@ type t = {
   pager_shards : int;
   cost : Stats.cost_model;
   stats : Stats.t;
+  fault : Fault.t option;
+  wal : Wal.t option; (* Some iff the environment is durable *)
   mutable table_pagers : (string * Pager.t) list;
   mutable blob_pagers : (string * Pager.t) list;
+  (* component registry: the in-memory state (tree roots, blob directories)
+     that checkpoint snapshots and recovery restores alongside the
+     device-level journal *)
+  mutable trees : Btree.t list;
+  mutable blob_stores : Blob_store.t list;
 }
 
 let create ?(page_size = 4096) ?(table_pool_pages = 8192)
     ?(blob_pool_pages = 25600) ?(pager_shards = Pager.default_shards)
-    ?(cost = Stats.default_cost) () =
-  { page_size; table_pool_pages; blob_pool_pages; pager_shards; cost;
-    stats = Stats.create (); table_pagers = []; blob_pagers = [] }
+    ?(cost = Stats.default_cost) ?fault ?(durable = false) ?(wal_group = 32)
+    () =
+  let stats = Stats.create () in
+  let wal =
+    if durable then
+      (* the log device is unjournaled on purpose: it must survive the
+         revert that rolls every data device back to its checkpoint *)
+      Some (Wal.create ~group:wal_group (Disk.create ~page_size ?fault ~name:"wal" stats))
+    else None
+  in
+  { page_size; table_pool_pages; blob_pool_pages; pager_shards; cost; stats;
+    fault; wal; table_pagers = []; blob_pagers = []; trees = [];
+    blob_stores = [] }
+
+let durable t = Option.is_some t.wal
+let wal t = t.wal
+let fault t = t.fault
+
+let all_pagers t = List.rev_append t.table_pagers t.blob_pagers
+
+(* A component created after the last checkpoint would be rolled back to a
+   zeroed, unreadable root if recovery reverted its device wholesale — so a
+   fresh device is immediately flushed and marked stable, making "empty"
+   the component's own recovery point. Creation between checkpoints is thus
+   safe; filling the component (build/rebuild) must still end with
+   [checkpoint], because bulk loads bypass the WAL. *)
+let component_stable pager =
+  Pager.flush pager;
+  Disk.mark_stable (Pager.disk pager)
+
+let new_disk t ~name =
+  Disk.create ~page_size:t.page_size ?fault:t.fault ~journal:(durable t)
+    ~name t.stats
 
 let btree t ~name =
-  let disk = Disk.create ~page_size:t.page_size ~name t.stats in
+  let disk = new_disk t ~name in
   let pager =
     Pager.create ~pool_pages:t.table_pool_pages ~shards:t.pager_shards
       ~stats:t.stats disk
   in
   t.table_pagers <- (name, pager) :: t.table_pagers;
-  Btree.create pager
+  let tree = Btree.create pager in
+  t.trees <- tree :: t.trees;
+  if durable t then component_stable pager;
+  tree
 
 let blob_store t ~name =
-  let disk = Disk.create ~page_size:t.page_size ~name t.stats in
+  let disk = new_disk t ~name in
   let pager =
     Pager.create ~pool_pages:t.blob_pool_pages ~shards:t.pager_shards
       ~stats:t.stats disk
   in
   t.blob_pagers <- (name, pager) :: t.blob_pagers;
-  Blob_store.create pager
+  let store = Blob_store.create pager in
+  t.blob_stores <- store :: t.blob_stores;
+  if durable t then component_stable pager;
+  store
 
 let cold_btree t ~name =
-  let disk = Disk.create ~page_size:t.page_size ~name t.stats in
+  let disk = new_disk t ~name in
   let pager =
     Pager.create ~pool_pages:t.blob_pool_pages ~shards:t.pager_shards
       ~stats:t.stats disk
   in
   t.blob_pagers <- (name, pager) :: t.blob_pagers;
-  Btree.create pager
+  let tree = Btree.create pager in
+  t.trees <- tree :: t.trees;
+  if durable t then component_stable pager;
+  tree
 
 let stats t = t.stats
 let cost t = t.cost
@@ -53,11 +99,66 @@ let drop_all_caches t =
   drop_blob_caches t;
   List.iter (fun (_, pager) -> Pager.drop_cache pager) t.table_pagers
 
+let flush_all t = List.iter (fun (_, pager) -> Pager.flush pager) (all_pagers t)
+
 let device_sizes t =
   let size (name, pager) = (name, Disk.size_bytes (Pager.disk pager)) in
-  List.rev_map size t.table_pagers @ List.rev_map size t.blob_pagers
+  let wal_size =
+    match t.wal with
+    | Some w -> [ ("wal", Disk.size_bytes (Wal.device w)) ]
+    | None -> []
+  in
+  List.rev_map size t.table_pagers @ List.rev_map size t.blob_pagers @ wal_size
 
 let device_size t ~name =
   match List.assoc_opt name (device_sizes t) with
   | Some size -> size
-  | None -> raise Not_found
+  | None ->
+      Storage_error.error Missing "Env.device_size: unknown device %S (have %s)"
+        name
+        (String.concat ", "
+           (List.map (fun (n, _) -> Printf.sprintf "%S" n) (device_sizes t)))
+
+(* -- durability ----------------------------------------------------------- *)
+
+let log t record =
+  match t.wal with None -> () | Some wal -> Wal.append wal record
+
+let log_flush t =
+  match t.wal with None -> () | Some wal -> Wal.flush wal
+
+let checkpoint t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      (* order matters: (1) force the log, so a crash during (2) finds every
+         applied update in it; (2) force the data pages; (3) truncate — one
+         atomic header write, the commit point; (4) snapshot, which touches
+         no device, so no crash can split (3) from (4) *)
+      Wal.flush wal;
+      flush_all t;
+      Wal.truncate wal;
+      List.iter (fun (_, p) -> Disk.mark_stable (Pager.disk p)) (all_pagers t);
+      List.iter Btree.mark_stable t.trees;
+      List.iter Blob_store.mark_stable t.blob_stores
+
+let crash t =
+  if not (durable t) then
+    invalid_arg "Env.crash: environment was created without ~durable:true";
+  (* everything volatile dies: pool pages (dirty ones unwritten) and the
+     unforced WAL tail. The devices keep whatever had been written. *)
+  List.iter (fun (_, p) -> Pager.discard p) (all_pagers t);
+  (match t.wal with Some wal -> Wal.lose_pending wal | None -> ())
+
+let recover t =
+  match t.wal with
+  | None -> []
+  | Some wal ->
+      List.iter (fun (_, p) -> Pager.discard p) (all_pagers t);
+      List.iter (fun (_, p) -> Disk.revert_to_stable (Pager.disk p)) (all_pagers t);
+      List.iter Btree.revert_to_stable t.trees;
+      List.iter Blob_store.revert_to_stable t.blob_stores;
+      let records = Wal.recover_scan wal in
+      let c = Stats.cell t.stats in
+      c.Stats.recovery_replays <- c.Stats.recovery_replays + List.length records;
+      records

@@ -1,0 +1,86 @@
+(* Seeded xorshift64* stream shared by every device of an environment: the
+   update path is single-threaded, so the sequence of tick_write/tick_read
+   calls — and therefore every injected failure — is a deterministic function
+   of (seed, workload). *)
+
+exception Crash of string
+
+type t = {
+  mutable state : int64;
+  mutable writes : int;
+  mutable reads : int;
+  mutable crash_at : int; (* crash when [writes] reaches this; 0 = disarmed *)
+  mutable read_fail_rate : float;
+  mutable bitflip_rate : float;
+  mutable consecutive_fails : int;
+  max_consecutive : int;
+}
+
+let create ?(crash_at_write = 0) ?(read_fail_rate = 0.0) ?(bitflip_rate = 0.0)
+    ?(max_consecutive_read_fails = 2) ~seed () =
+  { state = Int64.of_int ((seed * 2654435761) lor 1);
+    writes = 0; reads = 0; crash_at = crash_at_write;
+    read_fail_rate; bitflip_rate; consecutive_fails = 0;
+    max_consecutive = max 1 max_consecutive_read_fails }
+
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  x
+
+let uniform t =
+  (* top 53 bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. (1.0 /. 9007199254740992.0)
+
+let int_below t n = Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let writes_seen t = t.writes
+let reads_seen t = t.reads
+
+let arm_crash t ~after =
+  if after <= 0 then invalid_arg "Fault.arm_crash: after must be positive";
+  t.crash_at <- t.writes + after
+
+let disarm t = t.crash_at <- 0
+
+let tick_write t ~device =
+  t.writes <- t.writes + 1;
+  if t.crash_at > 0 && t.writes >= t.crash_at then begin
+    t.crash_at <- 0;
+    (* raised BEFORE the page write is applied: page writes are atomic, so a
+       crash mid multi-page operation tears it at a page boundary *)
+    raise (Crash (Printf.sprintf "simulated crash at write #%d on %s" t.writes device))
+  end
+
+let should_fail_read t =
+  t.reads <- t.reads + 1;
+  if t.read_fail_rate <= 0.0 then false
+  else if t.consecutive_fails >= t.max_consecutive then begin
+    (* bound runs of failures so a bounded retry loop always succeeds *)
+    t.consecutive_fails <- 0;
+    false
+  end
+  else if uniform t < t.read_fail_rate then begin
+    t.consecutive_fails <- t.consecutive_fails + 1;
+    true
+  end
+  else begin
+    t.consecutive_fails <- 0;
+    false
+  end
+
+let maybe_flip t bytes =
+  if t.bitflip_rate > 0.0 && uniform t < t.bitflip_rate then begin
+    let nbits = 8 * Bytes.length bytes in
+    if nbits = 0 then false
+    else begin
+      let bit = int_below t nbits in
+      let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+      Bytes.set bytes byte (Char.chr (Char.code (Bytes.get bytes byte) lxor mask));
+      true
+    end
+  end
+  else false

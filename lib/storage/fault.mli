@@ -1,0 +1,56 @@
+(** Deterministic fault injection for the simulated storage stack.
+
+    One [Fault.t] is shared by every {!Disk} of an environment (pass it to
+    {!Env.create}); the injected failure sequence is a pure function of the
+    seed and the workload, so every crash test replays exactly. Knobs:
+
+    - {b crash-at-op-N}: {!tick_write} raises {!Crash} when the N-th physical
+      page write is attempted — {e before} the write lands, so page writes
+      stay atomic and multi-page operations tear at page boundaries. The trap
+      is one-shot; re-arm with {!arm_crash} for the next round.
+    - {b transient read errors}: {!should_fail_read} fails reads at
+      [read_fail_rate], but never more than [max_consecutive_read_fails]
+      times in a row, so {!Disk.read_verified}'s bounded retry always
+      terminates.
+    - {b bit flips}: {!maybe_flip} flips one random bit of a stored page at
+      [bitflip_rate]; the sidecar checksum then catches it on the next
+      verified read. *)
+
+exception Crash of string
+(** The simulated machine died. Nothing below the raise point ran; volatile
+    state (buffer pools, unflushed WAL tail) is garbage until
+    {!Env.recover}. *)
+
+type t
+
+val create :
+  ?crash_at_write:int ->
+  ?read_fail_rate:float ->
+  ?bitflip_rate:float ->
+  ?max_consecutive_read_fails:int ->
+  seed:int ->
+  unit ->
+  t
+(** All injection off by default ([crash_at_write = 0] means disarmed). *)
+
+val arm_crash : t -> after:int -> unit
+(** Crash at the [after]-th physical write from now (one-shot).
+    @raise Invalid_argument if [after <= 0]. *)
+
+val disarm : t -> unit
+
+val writes_seen : t -> int
+(** Physical writes observed so far (across all devices sharing this fault). *)
+
+val reads_seen : t -> int
+
+val tick_write : t -> device:string -> unit
+(** Called by {!Disk.write} before applying a write. @raise Crash when armed
+    and the counter trips. *)
+
+val should_fail_read : t -> bool
+(** Called by {!Disk.read_verified} per attempt; [true] = inject a transient
+    failure for this attempt. *)
+
+val maybe_flip : t -> Bytes.t -> bool
+(** Possibly flip one random bit in place; [true] if a bit was flipped. *)

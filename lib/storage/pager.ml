@@ -63,15 +63,19 @@ let get ?(hint = `Auto) t page_no =
   let c = Stats.cell t.stats in
   c.Stats.logical_reads <- c.Stats.logical_reads + 1;
   let s = shard_of t page_no in
+  (* defensive copies on both paths: the pool's buffer must never leak by
+     reference, or a caller mutating its "own" bytes would silently corrupt
+     the cached page (and, now that pages are checksummed on write-back,
+     eventually trip verification on an innocent read) *)
   Mutex.protect s.mu (fun () ->
       match Lru.find s.pool page_no with
       | Some entry ->
           c.Stats.cache_hits <- c.Stats.cache_hits + 1;
-          entry.bytes
+          Bytes.copy entry.bytes
       | None ->
-          let bytes = Disk.read ~hint t.disk page_no in
+          let bytes = Disk.read_verified ~hint t.disk page_no in
           insert t s page_no { bytes; dirty = false };
-          bytes)
+          Bytes.copy bytes)
 
 let put t page_no bytes =
   if Bytes.length bytes <> Disk.page_size t.disk then
@@ -103,4 +107,8 @@ let flush t =
 
 let drop_cache t =
   flush t;
+  Array.iter (fun s -> Mutex.protect s.mu (fun () -> Lru.clear s.pool)) t.shards
+
+let discard t =
+  (* crash semantics: dirty pages die with the pool, nothing is written back *)
   Array.iter (fun s -> Mutex.protect s.mu (fun () -> Lru.clear s.pool)) t.shards

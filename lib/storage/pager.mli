@@ -12,11 +12,12 @@
     under a shard lock are themselves lock-free. {!flush} and {!drop_cache}
     are quiescent-point operations — do not race them against writers.
 
-    Buffer ownership: the bytes returned by {!get} belong to the pool and are
-    only valid until the next pager operation — decode them immediately. To
-    modify a page, build fresh contents and {!put} them ([put] installs a new
-    buffer rather than mutating in place, so a concurrent reader holding the
-    old bytes keeps a consistent snapshot). *)
+    Buffer ownership: {!get} returns a defensive copy on both the hit and
+    miss paths — the caller owns it outright and may mutate or retain it
+    without corrupting the cached page. To modify a page, build fresh
+    contents and {!put} them ([put] installs a new buffer rather than
+    mutating in place, so a concurrent reader holding the old bytes keeps a
+    consistent snapshot). *)
 
 type t
 
@@ -47,9 +48,11 @@ val stats : t -> Stats.t
 (** The shared I/O counters this pager reports into. *)
 
 val get : ?hint:[ `Auto | `Seq ] -> t -> int -> Bytes.t
-(** Fetch a page, reading through the pool ([hint] forwards to
-    {!Disk.read} on a miss). Safe to call concurrently from many domains.
-    See ownership note above. *)
+(** Fetch a page, reading through the pool. Misses go through
+    {!Disk.read_verified} ([hint] forwarded), so a transient fault is
+    retried and a corrupt page raises {!Storage_error.Error} rather than
+    decoding garbage. Safe to call concurrently from many domains. See
+    ownership note above. *)
 
 val put : t -> int -> Bytes.t -> unit
 (** Install new page contents (marked dirty; written back lazily).
@@ -63,6 +66,11 @@ val flush : t -> unit
 val drop_cache : t -> unit
 (** [flush] then empty every shard — the "cold cache" state the paper puts
     long inverted lists in before each timed query. *)
+
+val discard : t -> unit
+(** Empty every shard {e without} writing anything back: the crash
+    semantics of a dying buffer pool. Dirty pages are lost by design —
+    recovery reverts the device and replays the WAL instead. *)
 
 val pool_pages : t -> int
 (** Configured capacity. *)

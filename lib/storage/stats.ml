@@ -10,8 +10,14 @@ type counters = {
   mutable seq_reads : int;
   mutable rand_reads : int;
   mutable page_writes : int;
+  mutable seq_writes : int;
   mutable blocks_decoded : int;
   mutable blocks_skipped : int;
+  mutable wal_appends : int;
+  mutable wal_bytes : int;
+  mutable checksum_failures : int;
+  mutable read_retries : int;
+  mutable recovery_replays : int;
 }
 
 type t = {
@@ -24,13 +30,18 @@ type cost_model = {
   seq_read_ms : float;
   rand_read_ms : float;
   write_ms : float;
+  seq_write_ms : float;
 }
 
-let default_cost = { seq_read_ms = 0.05; rand_read_ms = 8.0; write_ms = 8.0 }
+let default_cost =
+  { seq_read_ms = 0.05; rand_read_ms = 8.0; write_ms = 8.0;
+    seq_write_ms = 0.05 }
 
 let zero () =
   { logical_reads = 0; cache_hits = 0; seq_reads = 0; rand_reads = 0;
-    page_writes = 0; blocks_decoded = 0; blocks_skipped = 0 }
+    page_writes = 0; seq_writes = 0; blocks_decoded = 0; blocks_skipped = 0;
+    wal_appends = 0; wal_bytes = 0; checksum_failures = 0; read_retries = 0;
+    recovery_replays = 0 }
 
 let create () =
   let mu = Mutex.create () in
@@ -54,8 +65,14 @@ let zero_counters c =
   c.seq_reads <- 0;
   c.rand_reads <- 0;
   c.page_writes <- 0;
+  c.seq_writes <- 0;
   c.blocks_decoded <- 0;
-  c.blocks_skipped <- 0
+  c.blocks_skipped <- 0;
+  c.wal_appends <- 0;
+  c.wal_bytes <- 0;
+  c.checksum_failures <- 0;
+  c.read_retries <- 0;
+  c.recovery_replays <- 0
 
 let reset t =
   Mutex.lock t.mu;
@@ -65,8 +82,11 @@ let reset t =
 let copy c =
   { logical_reads = c.logical_reads; cache_hits = c.cache_hits;
     seq_reads = c.seq_reads; rand_reads = c.rand_reads;
-    page_writes = c.page_writes; blocks_decoded = c.blocks_decoded;
-    blocks_skipped = c.blocks_skipped }
+    page_writes = c.page_writes; seq_writes = c.seq_writes;
+    blocks_decoded = c.blocks_decoded;
+    blocks_skipped = c.blocks_skipped; wal_appends = c.wal_appends;
+    wal_bytes = c.wal_bytes; checksum_failures = c.checksum_failures;
+    read_retries = c.read_retries; recovery_replays = c.recovery_replays }
 
 let accumulate acc c =
   acc.logical_reads <- acc.logical_reads + c.logical_reads;
@@ -74,8 +94,14 @@ let accumulate acc c =
   acc.seq_reads <- acc.seq_reads + c.seq_reads;
   acc.rand_reads <- acc.rand_reads + c.rand_reads;
   acc.page_writes <- acc.page_writes + c.page_writes;
+  acc.seq_writes <- acc.seq_writes + c.seq_writes;
   acc.blocks_decoded <- acc.blocks_decoded + c.blocks_decoded;
-  acc.blocks_skipped <- acc.blocks_skipped + c.blocks_skipped
+  acc.blocks_skipped <- acc.blocks_skipped + c.blocks_skipped;
+  acc.wal_appends <- acc.wal_appends + c.wal_appends;
+  acc.wal_bytes <- acc.wal_bytes + c.wal_bytes;
+  acc.checksum_failures <- acc.checksum_failures + c.checksum_failures;
+  acc.read_retries <- acc.read_retries + c.read_retries;
+  acc.recovery_replays <- acc.recovery_replays + c.recovery_replays
 
 let snapshot t =
   let acc = zero () in
@@ -96,16 +122,31 @@ let diff ~after ~before =
     seq_reads = after.seq_reads - before.seq_reads;
     rand_reads = after.rand_reads - before.rand_reads;
     page_writes = after.page_writes - before.page_writes;
+    seq_writes = after.seq_writes - before.seq_writes;
     blocks_decoded = after.blocks_decoded - before.blocks_decoded;
-    blocks_skipped = after.blocks_skipped - before.blocks_skipped }
+    blocks_skipped = after.blocks_skipped - before.blocks_skipped;
+    wal_appends = after.wal_appends - before.wal_appends;
+    wal_bytes = after.wal_bytes - before.wal_bytes;
+    checksum_failures = after.checksum_failures - before.checksum_failures;
+    read_retries = after.read_retries - before.read_retries;
+    recovery_replays = after.recovery_replays - before.recovery_replays }
 
 let simulated_ms ?(cost = default_cost) c =
   (float_of_int c.seq_reads *. cost.seq_read_ms)
   +. (float_of_int c.rand_reads *. cost.rand_read_ms)
-  +. (float_of_int c.page_writes *. cost.write_ms)
+  +. (float_of_int (c.page_writes - c.seq_writes) *. cost.write_ms)
+  +. (float_of_int c.seq_writes *. cost.seq_write_ms)
 
 let pp ppf c =
   Format.fprintf ppf
-    "reads=%d hits=%d seq=%d rand=%d writes=%d blk-dec=%d blk-skip=%d (sim %.2f ms)"
+    "reads=%d hits=%d seq=%d rand=%d writes=%d seq-w=%d blk-dec=%d blk-skip=%d (sim %.2f ms)"
     c.logical_reads c.cache_hits c.seq_reads c.rand_reads c.page_writes
-    c.blocks_decoded c.blocks_skipped (simulated_ms c)
+    c.seq_writes c.blocks_decoded c.blocks_skipped (simulated_ms c);
+  if
+    c.wal_appends <> 0 || c.wal_bytes <> 0 || c.checksum_failures <> 0
+    || c.read_retries <> 0 || c.recovery_replays <> 0
+  then
+    Format.fprintf ppf
+      " wal=%d/%dB crc-fail=%d retries=%d replays=%d"
+      c.wal_appends c.wal_bytes c.checksum_failures c.read_retries
+      c.recovery_replays

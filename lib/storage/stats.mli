@@ -21,11 +21,22 @@ type counters = {
   mutable seq_reads : int;  (** physical reads contiguous with the previous *)
   mutable rand_reads : int;  (** physical reads requiring a seek *)
   mutable page_writes : int;  (** physical page writes (pool write-back) *)
+  mutable seq_writes : int;
+      (** the subset of [page_writes] contiguous with the device's previous
+          write — WAL appends, bulk-load runs *)
   mutable blocks_decoded : int;
       (** posting blocks fully decoded by a long-list cursor *)
   mutable blocks_skipped : int;
       (** posting blocks (or whole chunk groups) skipped via their headers
           without decoding — the payoff of the skip data *)
+  mutable wal_appends : int;  (** logical records appended to the WAL *)
+  mutable wal_bytes : int;  (** framed bytes those records occupied *)
+  mutable checksum_failures : int;
+      (** verified reads whose page failed its sidecar CRC32 *)
+  mutable read_retries : int;
+      (** transient read faults absorbed by retry-with-backoff *)
+  mutable recovery_replays : int;
+      (** WAL records replayed by {!Env.recover} *)
 }
 
 type t
@@ -34,12 +45,14 @@ type t
 type cost_model = {
   seq_read_ms : float;  (** cost of a sequential 4 KiB page read *)
   rand_read_ms : float;  (** cost of a random page read (seek + transfer) *)
-  write_ms : float;  (** cost of a physical page write *)
+  write_ms : float;  (** cost of a random physical page write *)
+  seq_write_ms : float;  (** cost of a write contiguous with the previous *)
 }
 
 val default_cost : cost_model
 (** Commodity-disk model matching the paper's 2004-era hardware:
-    8 ms random read, 0.05 ms sequential read, 8 ms write. *)
+    8 ms random read/write, 0.05 ms sequential read/write (appends ride
+    the same head position — the economics the WAL exists to exploit). *)
 
 val create : unit -> t
 

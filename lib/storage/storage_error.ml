@@ -1,0 +1,21 @@
+type kind = Corrupt | Torn | Io_transient | Missing
+
+exception Error of kind * string
+
+let kind_name = function
+  | Corrupt -> "corrupt"
+  | Torn -> "torn"
+  | Io_transient -> "io-transient"
+  | Missing -> "missing"
+
+let error kind fmt =
+  Printf.ksprintf (fun msg -> raise (Error (kind, msg))) fmt
+
+let pp ppf (kind, msg) =
+  Format.fprintf ppf "storage error [%s]: %s" (kind_name kind) msg
+
+let () =
+  Printexc.register_printer (function
+    | Error (kind, msg) ->
+        Some (Printf.sprintf "Storage_error.Error(%s, %S)" (kind_name kind) msg)
+    | _ -> None)

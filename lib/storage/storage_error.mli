@@ -1,0 +1,27 @@
+(** Typed storage failures — the one exception read paths are allowed to
+    raise, replacing the ad-hoc [Invalid_argument]/[Not_found]/[Failure] mix.
+
+    - [Corrupt]: bytes that fail validation — a page whose CRC32 does not
+      match its sidecar checksum, an overlong or truncated varint, a B+-tree
+      node with an unknown kind byte, a posting block whose header claims an
+      impossible size. Retrying cannot help.
+    - [Torn]: a multi-page structure cut short by a crash — a WAL record
+      whose frame runs past the written tail, a blob run missing pages.
+      Recovery truncates at the first torn record.
+    - [Io_transient]: an injected (or, one day, real) transient read fault.
+      Callers retry with bounded backoff; {!Disk.read_verified} does this
+      automatically and only raises after its attempt budget is exhausted.
+    - [Missing]: a lookup for an object that does not exist (unknown blob id,
+      unknown device name) — the informative replacement for bare
+      [Not_found]. *)
+
+type kind = Corrupt | Torn | Io_transient | Missing
+
+exception Error of kind * string
+
+val kind_name : kind -> string
+
+val error : kind -> ('a, unit, string, 'b) format4 -> 'a
+(** [error kind fmt ...] raises {!Error} with a formatted message. *)
+
+val pp : Format.formatter -> kind * string -> unit

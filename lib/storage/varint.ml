@@ -9,13 +9,30 @@ let write buf n =
   in
   go n
 
+(* Decoding is hardened against hostile bytes: an OCaml int has 63 bits, so
+   any encoding needs at most 9 continuation groups (shifts 0..56). A tenth
+   byte would shift past bit 62 — unspecified in OCaml — so it is rejected
+   before the shift happens. Overlong encodings (a continuation byte followed
+   by a redundant 0x00 terminator, e.g. "\x80\x00" for 0) are rejected too:
+   [write] never emits them, so their presence means corrupt input, and
+   accepting them would make the encoding non-canonical. *)
+let max_shift = 56
+
 let read s pos =
   let rec go acc shift =
-    if !pos >= String.length s then invalid_arg "Varint.read: truncated";
+    if !pos >= String.length s then
+      Storage_error.error Corrupt "Varint.read: truncated at byte %d" !pos;
     let b = Char.code s.[!pos] in
     incr pos;
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 = 0 then acc else go acc (shift + 7)
+    if b land 0x80 = 0 then
+      if b = 0 && shift > 0 then
+        Storage_error.error Corrupt "Varint.read: overlong encoding at byte %d"
+          (!pos - 1)
+      else acc lor (b lsl shift)
+    else if shift >= max_shift then
+      Storage_error.error Corrupt
+        "Varint.read: value exceeds 63 bits at byte %d" (!pos - 1)
+    else go (acc lor ((b land 0x7f) lsl shift)) (shift + 7)
   in
   go 0 0
 

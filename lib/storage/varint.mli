@@ -2,7 +2,12 @@
 
     Used to delta-compress document ids in inverted-list postings (the paper
     credits the ID method's small lists to differential encoding, Section 5.2).
-    Only non-negative integers are supported. *)
+    Only non-negative integers are supported.
+
+    Decoding is total over arbitrary bytes: it either returns a value [write]
+    could have produced or raises {!Storage_error.Error}[ (Corrupt, _)] —
+    never an unbounded shift, an out-of-bounds read, or a non-canonical
+    (overlong) acceptance. *)
 
 val write : Buffer.t -> int -> unit
 (** [write buf n] appends the varint encoding of [n] to [buf].
@@ -10,7 +15,9 @@ val write : Buffer.t -> int -> unit
 
 val read : string -> int ref -> int
 (** [read s pos] decodes a varint at [!pos], advancing [pos] past it.
-    @raise Invalid_argument on truncated input. *)
+    @raise Storage_error.Error [(Corrupt, _)] on truncated input, on an
+    encoding longer than 63 bits, and on overlong (non-canonical)
+    encodings. *)
 
 val size : int -> int
 (** [size n] is the number of bytes [write] would emit for [n]. *)

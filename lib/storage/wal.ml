@@ -1,0 +1,306 @@
+(* Log layout on the (unjournaled) WAL device:
+
+     page 0           : header = magic "SVRWAL1\n" + u32 epoch
+     pages 1..        : a byte stream of framed records
+
+   Frame: [u32 epoch][u32 len][u32 crc32(payload)][payload], big-endian,
+   spanning page boundaries freely. The epoch is bumped by [truncate] with a
+   single atomic header-page write, which is the checkpoint commit point:
+   records of older epochs left behind on the data pages become unreachable
+   because the recovery scan stops at the first frame whose epoch does not
+   match the header. Zero-filled space parses as epoch 0, which is never
+   valid (epochs start at 1), so the scan also stops cleanly at the log's
+   natural end. A crash mid-flush leaves a frame prefix whose length or
+   payload CRC fails — the torn record recovery truncates at.
+
+   Group commit: [append] serializes into a pending buffer and only writes
+   pages every [group] records (or on [flush]). A crash loses the pending
+   tail — exactly the unforced updates a real group-committing WAL trades
+   for throughput; recovery reports only the records that reached the
+   device.
+
+   Payload: varint-framed tag (the index or table the record belongs to),
+   an opcode byte, then opcode-specific fields. Scores travel as raw IEEE
+   bits so replay is bit-exact. *)
+
+type op =
+  | Score_update of { doc : int; score : float }
+  | Doc_insert of { doc : int; text : string; score : float }
+  | Doc_delete of { doc : int }
+  | Doc_update of { doc : int; text : string }
+  | Row_put of { key : string; row : string }
+  | Row_delete of { key : string }
+
+type record = { tag : string; op : op }
+
+type t = {
+  disk : Disk.t;
+  stats : Stats.t;
+  page_size : int;
+  group : int;
+  mutable epoch : int;
+  mutable tail_page : int; (* data page currently being filled *)
+  mutable tail_off : int; (* next free byte within it *)
+  mutable tail_bytes : Bytes.t; (* in-memory image of the tail page *)
+  pending : Buffer.t;
+  mutable pending_records : int;
+}
+
+let magic = "SVRWAL1\n"
+
+let set_u32 b off n =
+  Bytes.set b off (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (n land 0xff))
+
+let buf_u32 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff))
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let write_header t =
+  let b = Bytes.make t.page_size '\000' in
+  Bytes.blit_string magic 0 b 0 (String.length magic);
+  set_u32 b (String.length magic) t.epoch;
+  Disk.write t.disk 0 b
+
+let create ?(group = 32) disk =
+  if group < 1 then invalid_arg "Wal.create: group < 1";
+  let page_size = Disk.page_size disk in
+  if page_size < String.length magic + 4 then
+    invalid_arg "Wal.create: page size too small for the header";
+  let t =
+    { disk; stats = Disk.stats disk; page_size; group; epoch = 1;
+      tail_page = 0; tail_off = 0; tail_bytes = Bytes.make page_size '\000';
+      pending = Buffer.create 512; pending_records = 0 }
+  in
+  assert (Disk.n_pages disk = 0);
+  ignore (Disk.alloc disk); (* header *)
+  write_header t;
+  t.tail_page <- Disk.alloc disk; (* first data page *)
+  t
+
+let group_size t = t.group
+let device t = t.disk
+
+(* -- serialization -------------------------------------------------------- *)
+
+let add_string buf s =
+  Varint.write buf (String.length s);
+  Buffer.add_string buf s
+
+let add_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let read_string s pos =
+  let len = Varint.read s pos in
+  if len < 0 || !pos + len > String.length s then
+    Storage_error.error Corrupt "Wal: string field runs past the record";
+  let out = String.sub s !pos len in
+  pos := !pos + len;
+  out
+
+let read_float s pos =
+  if !pos + 8 > String.length s then
+    Storage_error.error Corrupt "Wal: float field runs past the record";
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[!pos]));
+    incr pos
+  done;
+  Int64.float_of_bits !bits
+
+let encode_payload buf { tag; op } =
+  add_string buf tag;
+  match op with
+  | Score_update { doc; score } ->
+      Buffer.add_char buf '\000';
+      Varint.write buf doc;
+      add_float buf score
+  | Doc_insert { doc; text; score } ->
+      Buffer.add_char buf '\001';
+      Varint.write buf doc;
+      add_string buf text;
+      add_float buf score
+  | Doc_delete { doc } ->
+      Buffer.add_char buf '\002';
+      Varint.write buf doc
+  | Doc_update { doc; text } ->
+      Buffer.add_char buf '\003';
+      Varint.write buf doc;
+      add_string buf text
+  | Row_put { key; row } ->
+      Buffer.add_char buf '\004';
+      add_string buf key;
+      add_string buf row
+  | Row_delete { key } ->
+      Buffer.add_char buf '\005';
+      add_string buf key
+
+let decode_payload s =
+  let pos = ref 0 in
+  let tag = read_string s pos in
+  if !pos >= String.length s then
+    Storage_error.error Corrupt "Wal: record missing opcode";
+  let opcode = Char.code s.[!pos] in
+  incr pos;
+  let op =
+    match opcode with
+    | 0 ->
+        let doc = Varint.read s pos in
+        Score_update { doc; score = read_float s pos }
+    | 1 ->
+        let doc = Varint.read s pos in
+        let text = read_string s pos in
+        Doc_insert { doc; text; score = read_float s pos }
+    | 2 -> Doc_delete { doc = Varint.read s pos }
+    | 3 ->
+        let doc = Varint.read s pos in
+        Doc_update { doc; text = read_string s pos }
+    | 4 ->
+        let key = read_string s pos in
+        Row_put { key; row = read_string s pos }
+    | 5 -> Row_delete { key = read_string s pos }
+    | k -> Storage_error.error Corrupt "Wal: unknown opcode %d" k
+  in
+  if !pos <> String.length s then
+    Storage_error.error Corrupt "Wal: %d trailing bytes after record"
+      (String.length s - !pos);
+  { tag; op }
+
+(* -- appending ------------------------------------------------------------ *)
+
+let flush t =
+  if Buffer.length t.pending > 0 then begin
+    let data = Buffer.contents t.pending in
+    Buffer.clear t.pending;
+    t.pending_records <- 0;
+    let len = String.length data in
+    let pos = ref 0 in
+    while !pos < len do
+      let space = t.page_size - t.tail_off in
+      let n = min space (len - !pos) in
+      Bytes.blit_string data !pos t.tail_bytes t.tail_off n;
+      t.tail_off <- t.tail_off + n;
+      pos := !pos + n;
+      (* the tail page is rewritten on every flush that touches it — the
+         read-modify-write a real log pays at its unaligned tail *)
+      Disk.write t.disk t.tail_page t.tail_bytes;
+      if t.tail_off = t.page_size then begin
+        t.tail_page <-
+          (if t.tail_page + 1 < Disk.n_pages t.disk then t.tail_page + 1
+           else Disk.alloc t.disk);
+        t.tail_off <- 0;
+        Bytes.fill t.tail_bytes 0 t.page_size '\000'
+      end
+    done
+  end
+
+let append t record =
+  let payload = Buffer.create 64 in
+  encode_payload payload record;
+  let payload = Buffer.contents payload in
+  buf_u32 t.pending t.epoch;
+  buf_u32 t.pending (String.length payload);
+  buf_u32 t.pending (Crc32.string payload);
+  Buffer.add_string t.pending payload;
+  t.pending_records <- t.pending_records + 1;
+  let c = Stats.cell t.stats in
+  c.Stats.wal_appends <- c.Stats.wal_appends + 1;
+  c.Stats.wal_bytes <- c.Stats.wal_bytes + 12 + String.length payload;
+  if t.pending_records >= t.group then flush t
+
+let lose_pending t =
+  Buffer.clear t.pending;
+  t.pending_records <- 0
+
+(* -- truncation ----------------------------------------------------------- *)
+
+let truncate t =
+  (* the single header write is the atomic commit point of a checkpoint *)
+  lose_pending t;
+  t.epoch <- t.epoch + 1;
+  write_header t;
+  t.tail_page <- 1;
+  t.tail_off <- 0;
+  Bytes.fill t.tail_bytes 0 t.page_size '\000'
+
+(* -- recovery scan -------------------------------------------------------- *)
+
+(* The scan re-reads everything from the device — the in-memory tail state
+   is untrusted after a crash. It rebuilds the tail position at the end of
+   the last intact record and returns the surviving records in order. *)
+
+let recover_scan t =
+  lose_pending t;
+  let header = Bytes.unsafe_to_string (Disk.read_verified t.disk 0) in
+  if String.sub header 0 (String.length magic) <> magic then
+    Storage_error.error Corrupt "Wal: bad magic on %s" (Disk.name t.disk);
+  t.epoch <- get_u32 header (String.length magic);
+  let n_data_pages = Disk.n_pages t.disk - 1 in
+  let limit = n_data_pages * t.page_size in
+  (* one linear pass; pages are fetched lazily and sequentially *)
+  let cache_page = ref (-1) and cache = ref "" in
+  let byte i =
+    let p = i / t.page_size in
+    if p <> !cache_page then begin
+      cache := Bytes.unsafe_to_string (Disk.read_verified ~hint:`Seq t.disk (p + 1));
+      cache_page := p
+    end;
+    !cache.[i mod t.page_size]
+  in
+  let read_sub off len =
+    String.init len (fun i -> byte (off + i))
+  in
+  let records = ref [] in
+  let pos = ref 0 in
+  (try
+     let stop = ref false in
+     while not !stop do
+       if !pos + 12 > limit then stop := true
+       else begin
+         let frame = read_sub !pos 12 in
+         let epoch = get_u32 frame 0 in
+         if epoch <> t.epoch then stop := true
+         else begin
+           let len = get_u32 frame 4 in
+           let crc = get_u32 frame 8 in
+           if len = 0 || !pos + 12 + len > limit then stop := true
+           else begin
+             let payload = read_sub (!pos + 12) len in
+             if Crc32.string payload <> crc then stop := true
+             else begin
+               records := decode_payload payload :: !records;
+               pos := !pos + 12 + len
+             end
+           end
+         end
+       end
+     done
+   with Storage_error.Error ((Corrupt | Torn), _) ->
+     (* a record that frames correctly but decodes badly (or sits on a
+        bit-flipped page) is torn too: truncate here *)
+     ());
+  (* reposition the tail at the truncation point, re-reading the partial
+     page so intact earlier records on it survive future appends *)
+  t.tail_page <- 1 + (!pos / t.page_size);
+  t.tail_off <- !pos mod t.page_size;
+  Bytes.fill t.tail_bytes 0 t.page_size '\000';
+  if t.tail_page >= Disk.n_pages t.disk then t.tail_page <- Disk.alloc t.disk
+  else if t.tail_off > 0 then
+    Bytes.blit
+      (Disk.read_verified t.disk t.tail_page)
+      0 t.tail_bytes 0 t.tail_off;
+  List.rev !records

@@ -1,0 +1,65 @@
+(** Write-ahead log of logical update records.
+
+    The durability contract of the update path: every score update, document
+    lifecycle event and relational row mutation is appended here {e before}
+    it is applied to any B+-tree or short list, so [Env.recover] can rebuild
+    the post-checkpoint state by replaying the log against the reverted
+    (checkpointed) storage through the very same update code.
+
+    Records are framed [epoch ∥ length ∥ CRC32(payload) ∥ payload] on a
+    dedicated unjournaled device; the header page carries the current epoch,
+    bumped by {!truncate} with one atomic page write (the checkpoint commit
+    point). {!recover_scan} replays from the device and stops at the first
+    torn record: wrong epoch, impossible length, payload checksum mismatch,
+    or undecodable payload.
+
+    Appends are group-committed: records buffer in memory and are forced to
+    the device every [group] records or on {!flush}. A crash loses the
+    unforced tail — those updates simply never happened as far as recovery
+    is concerned, which is the usual group-commit durability trade. *)
+
+type op =
+  | Score_update of { doc : int; score : float }
+  | Doc_insert of { doc : int; text : string; score : float }
+  | Doc_delete of { doc : int }
+  | Doc_update of { doc : int; text : string }
+  | Row_put of { key : string; row : string }  (** encoded pk ∥ encoded row *)
+  | Row_delete of { key : string }
+
+type record = { tag : string; op : op }
+(** [tag] routes the record at replay time: the text-index name for
+    [Score_update]/[Doc_*] ops, ["table:<name>"] for [Row_*] ops. *)
+
+type t
+
+val create : ?group:int -> Disk.t -> t
+(** Initialize a log on a {e fresh} device ([group] defaults to 32 records
+    per commit). The device must not be journaled — the log must survive
+    [revert_to_stable] of the data devices. *)
+
+val append : t -> record -> unit
+(** Buffer a record (counted in [wal_appends]/[wal_bytes]); forces a
+    {!flush} when the pending batch reaches the group size. *)
+
+val flush : t -> unit
+(** Force all pending records to the device.
+    @raise Fault.Crash if the fault clock trips mid-write — the log then
+    ends in a torn record. *)
+
+val truncate : t -> unit
+(** Discard the whole log by bumping the epoch (one atomic header write).
+    Call only when a checkpoint has made every logged effect stable. *)
+
+val lose_pending : t -> unit
+(** Drop buffered-but-unforced records — what a crash does to them. *)
+
+val recover_scan : t -> record list
+(** Re-read the log from the device, trusting nothing in memory: returns
+    the records of the current epoch up to the first torn record, in append
+    order, and repositions the append tail at the truncation point.
+    @raise Storage_error.Error [(Corrupt, _)] only for an unreadable header
+    (torn or corrupt records merely end the scan). *)
+
+val group_size : t -> int
+
+val device : t -> Disk.t

@@ -7,6 +7,11 @@ let check = Alcotest.check
 let qtest ?(count = 300) name prop gen =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* Varint *)
 
@@ -37,8 +42,17 @@ let test_varint_sequence () =
   let pos = ref 0 in
   let decoded = List.map (fun _ -> S.Varint.read s pos) values in
   check Alcotest.(list int) "sequence" values decoded;
-  Alcotest.check_raises "truncated" (Invalid_argument "Varint.read: truncated")
-    (fun () -> ignore (S.Varint.read "\xff" (ref 0)))
+  let expect_corrupt label f =
+    match f () with
+    | _ -> Alcotest.fail (label ^ ": expected Storage_error Corrupt")
+    | exception S.Storage_error.Error (S.Storage_error.Corrupt, _) -> ()
+  in
+  expect_corrupt "truncated" (fun () -> S.Varint.read "\xff" (ref 0));
+  (* overlong encoding: 0x80 0x00 is a 2-byte spelling of 0 *)
+  expect_corrupt "overlong" (fun () -> S.Varint.read "\x80\x00" (ref 0));
+  (* unbounded continuation bytes must not shift forever *)
+  expect_corrupt "shift overflow" (fun () ->
+      S.Varint.read (String.make 12 '\xff') (ref 0))
 
 (* ------------------------------------------------------------------ *)
 (* Order_key *)
@@ -453,8 +467,11 @@ let test_blob_roundtrip () =
   check Alcotest.int "live bytes" 10004 (S.Blob_store.live_bytes store);
   S.Blob_store.free store id;
   check Alcotest.int "live bytes after free" 4 (S.Blob_store.live_bytes store);
-  Alcotest.check_raises "freed blob" Not_found (fun () ->
-      ignore (S.Blob_store.length store id))
+  (match S.Blob_store.length store id with
+  | _ -> Alcotest.fail "freed blob: expected Storage_error Missing"
+  | exception S.Storage_error.Error (S.Storage_error.Missing, msg) ->
+      (* the error names the store's device, not a bare Not_found *)
+      check Alcotest.bool "names the device" true (contains msg "Blob_store"))
 
 let test_blob_incremental () =
   let store, stats = fresh_blobs () in
@@ -486,6 +503,193 @@ let test_blob_sequential_io () =
   let snap = S.Stats.snapshot stats in
   check Alcotest.bool "mostly sequential" true (snap.S.Stats.seq_reads >= 8);
   check Alcotest.bool "at most one seek" true (snap.S.Stats.rand_reads <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Durability: checksums, faults, WAL, journal *)
+
+(* regression: the buffer returned by Pager.get is the caller's own copy —
+   writing into it must not alter the cached page or the device *)
+let test_pager_get_aliasing () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"alias" stats in
+  let pager = S.Pager.create ~pool_pages:4 ~stats disk in
+  let p = S.Pager.alloc pager in
+  S.Pager.put pager p (Bytes.make 4096 'a');
+  let b1 = S.Pager.get pager p in
+  Bytes.fill b1 0 4096 '!';
+  let b2 = S.Pager.get pager p in
+  check Alcotest.char "cache hit unaffected by caller writes" 'a' (Bytes.get b2 0);
+  S.Pager.flush pager;
+  S.Pager.drop_cache pager;
+  let b3 = S.Pager.get pager p in
+  Bytes.fill b3 0 4096 '?';
+  let b4 = S.Pager.get pager p in
+  check Alcotest.char "miss path unaffected too" 'a' (Bytes.get b4 0)
+
+let test_disk_checksums () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"crc" stats in
+  let p = S.Disk.alloc disk in
+  S.Disk.write disk p (Bytes.make 4096 'x');
+  check Alcotest.bytes "verified read returns the page" (Bytes.make 4096 'x')
+    (S.Disk.read_verified disk p);
+  S.Disk.corrupt_page disk p ~bit:12345;
+  (match S.Disk.read_verified disk p with
+  | _ -> Alcotest.fail "bit flip escaped the checksum"
+  | exception S.Storage_error.Error (S.Storage_error.Corrupt, msg) ->
+      check Alcotest.bool "error names the device" true (contains msg "crc"));
+  check Alcotest.int "flip counted" 1 (S.Stats.snapshot stats).S.Stats.checksum_failures;
+  (* rewriting the page heals it: write refreshes the sidecar *)
+  S.Disk.write disk p (Bytes.make 4096 'y');
+  check Alcotest.bytes "healed" (Bytes.make 4096 'y') (S.Disk.read_verified disk p)
+
+let test_transient_retry () =
+  let stats = S.Stats.create () in
+  (* rate 1.0: every read attempt fails, but never more than 2 in a row *)
+  let fault = S.Fault.create ~read_fail_rate:1.0 ~max_consecutive_read_fails:2 ~seed:7 () in
+  let disk = S.Disk.create ~fault ~name:"flaky" stats in
+  let p = S.Disk.alloc disk in
+  S.Disk.write disk p (Bytes.make 4096 'r');
+  check Alcotest.bytes "retry wins within budget" (Bytes.make 4096 'r')
+    (S.Disk.read_verified ~attempts:4 disk p);
+  check Alcotest.int "retries counted" 2 (S.Stats.snapshot stats).S.Stats.read_retries;
+  (match S.Disk.read_verified ~attempts:2 disk p with
+  | _ -> Alcotest.fail "attempt budget of 2 cannot survive 2 consecutive failures"
+  | exception S.Storage_error.Error (S.Storage_error.Io_transient, _) -> ())
+
+let sample_records =
+  [ { S.Wal.tag = "idx"; op = S.Wal.Score_update { doc = 7; score = 3.25 } };
+    { S.Wal.tag = "idx"; op = S.Wal.Doc_insert { doc = 8; text = "hello wal"; score = 0.5 } };
+    { S.Wal.tag = "idx"; op = S.Wal.Doc_delete { doc = 3 } };
+    { S.Wal.tag = "idx"; op = S.Wal.Doc_update { doc = 8; text = "bye" } };
+    { S.Wal.tag = "table:t"; op = S.Wal.Row_put { key = "k\x00"; row = "r\xffbytes" } };
+    { S.Wal.tag = "table:t"; op = S.Wal.Row_delete { key = "k\x00" } } ]
+
+let test_wal_roundtrip () =
+  let stats = S.Stats.create () in
+  let wal = S.Wal.create ~group:4 (S.Disk.create ~name:"wal" stats) in
+  List.iter (S.Wal.append wal) sample_records;
+  S.Wal.flush wal;
+  check Alcotest.int "appends counted" (List.length sample_records)
+    (S.Stats.snapshot stats).S.Stats.wal_appends;
+  let got = S.Wal.recover_scan wal in
+  check Alcotest.bool "roundtrip" true (got = sample_records);
+  (* scanning is idempotent *)
+  check Alcotest.bool "second scan agrees" true (S.Wal.recover_scan wal = sample_records);
+  (* the rebuilt tail accepts further appends *)
+  let extra = { S.Wal.tag = "idx"; op = S.Wal.Doc_delete { doc = 99 } } in
+  S.Wal.append wal extra;
+  S.Wal.flush wal;
+  check Alcotest.bool "append after scan" true
+    (S.Wal.recover_scan wal = sample_records @ [ extra ]);
+  S.Wal.truncate wal;
+  check Alcotest.bool "truncate empties" true (S.Wal.recover_scan wal = []);
+  (* pre-truncation frames are still on the device but carry a stale epoch *)
+  S.Wal.append wal extra;
+  S.Wal.flush wal;
+  check Alcotest.bool "only new epoch survives" true (S.Wal.recover_scan wal = [ extra ])
+
+let test_wal_torn () =
+  let stats = S.Stats.create () in
+  let disk = S.Disk.create ~name:"wal" stats in
+  let wal = S.Wal.create ~group:100 disk in
+  List.iter (S.Wal.append wal) sample_records;
+  S.Wal.flush wal;
+  (* flip one stored bit in the first data page: the scan must stop at the
+     damaged record instead of raising *)
+  S.Disk.corrupt_page disk 1 ~bit:(8 * 40);
+  let got = S.Wal.recover_scan wal in
+  check Alcotest.bool "prefix only" true
+    (List.length got < List.length sample_records);
+  check Alcotest.bool "surviving prefix is verbatim" true
+    (got = List.filteri (fun i _ -> i < List.length got) sample_records);
+  (* losing the unflushed tail = group-commit durability *)
+  let wal2 = S.Wal.create ~group:100 (S.Disk.create ~name:"wal2" stats) in
+  List.iter (S.Wal.append wal2) sample_records;
+  S.Wal.lose_pending wal2;
+  check Alcotest.bool "unforced tail is gone" true (S.Wal.recover_scan wal2 = [])
+
+(* crash mid-checkpoint while a multi-page blob is being written back: at
+   every possible page-boundary crash point, recovery must roll the store
+   back to the previous checkpoint and never expose a half-written blob *)
+let test_torn_blob_write () =
+  let n_crashes = ref 0 in
+  let crash_point = ref 1 in
+  let continue = ref true in
+  while !continue do
+    let fault = S.Fault.create ~seed:42 () in
+    let env =
+      S.Env.create ~table_pool_pages:16 ~blob_pool_pages:16 ~fault ~durable:true ()
+    in
+    let store = S.Env.blob_store env ~name:"blobs" in
+    let before = S.Blob_store.put store (String.make 5000 'A') in
+    S.Env.checkpoint env;
+    (* a 5-page blob: its write-back spans multiple physical writes *)
+    let payload = String.init 20000 (fun i -> Char.chr (i mod 256)) in
+    let id = S.Blob_store.put store payload in
+    S.Fault.arm_crash fault ~after:!crash_point;
+    (match S.Env.checkpoint env with
+    | () ->
+        (* crash point beyond this checkpoint's write count: we are done *)
+        S.Fault.disarm fault;
+        continue := false
+    | exception S.Fault.Crash _ ->
+        incr n_crashes;
+        S.Env.crash env;
+        let records = S.Env.recover env in
+        check Alcotest.bool "no records were logged" true (records = []);
+        (* the torn blob is gone... *)
+        (match S.Blob_store.length store id with
+        | _ -> Alcotest.fail "half-written blob still visible after recovery"
+        | exception S.Storage_error.Error (S.Storage_error.Missing, _) -> ());
+        (* ...and the checkpointed one is intact, with a clean checksum *)
+        check Alcotest.string "old blob intact" (String.make 5000 'A')
+          (S.Blob_store.read_all store before));
+    incr crash_point
+  done;
+  check Alcotest.bool "exercised several boundaries" true (!n_crashes >= 3)
+
+let test_env_crash_recover () =
+  let env = S.Env.create ~table_pool_pages:16 ~blob_pool_pages:16 ~durable:true () in
+  let t = S.Env.btree env ~name:"data" in
+  S.Btree.insert t "stable" "1";
+  S.Env.checkpoint env;
+  (* logged-and-flushed post-checkpoint work survives as replayable records *)
+  S.Env.log env { S.Wal.tag = "data"; op = S.Wal.Row_put { key = "new"; row = "2" } };
+  S.Btree.insert t "new" "2";
+  S.Env.log_flush env;
+  S.Env.crash env;
+  let records = S.Env.recover env in
+  check Alcotest.int "one record survived" 1 (List.length records);
+  check Alcotest.(option string) "checkpointed key back" (Some "1")
+    (S.Btree.find t "stable");
+  check Alcotest.(option string) "post-checkpoint mutation reverted" None
+    (S.Btree.find t "new");
+  (* replaying the record (what Index/Engine do) brings the state forward *)
+  List.iter
+    (fun { S.Wal.op; _ } ->
+      match op with
+      | S.Wal.Row_put { key; row } -> S.Btree.insert t key row
+      | _ -> ())
+    records;
+  check Alcotest.(option string) "replayed" (Some "2") (S.Btree.find t "new");
+  check Alcotest.bool "replay counted" true
+    ((S.Stats.snapshot (S.Env.stats env)).S.Stats.recovery_replays >= 1);
+  (* non-durable envs refuse to crash and recover to nothing *)
+  let plain = S.Env.create ~table_pool_pages:16 ~blob_pool_pages:16 () in
+  (match S.Env.crash plain with
+  | _ -> Alcotest.fail "crash on non-durable env should be rejected"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.bool "recover on non-durable is empty" true (S.Env.recover plain = [])
+
+let test_missing_device_error () =
+  let env = S.Env.create ~table_pool_pages:16 ~blob_pool_pages:16 () in
+  ignore (S.Env.btree env ~name:"present");
+  (match S.Env.device_size env ~name:"absent" with
+  | _ -> Alcotest.fail "unknown device should raise"
+  | exception S.Storage_error.Error (S.Storage_error.Missing, msg) ->
+      check Alcotest.bool "names the missing device" true (contains msg "absent");
+      check Alcotest.bool "lists the existing devices" true (contains msg "present"))
 
 (* ------------------------------------------------------------------ *)
 (* Env *)
@@ -547,5 +751,15 @@ let () =
         [ Alcotest.test_case "roundtrip" `Quick test_blob_roundtrip;
           Alcotest.test_case "incremental" `Quick test_blob_incremental;
           Alcotest.test_case "sequential io" `Quick test_blob_sequential_io ] );
-      ("env", [ Alcotest.test_case "env" `Quick test_env ])
+      ("env", [ Alcotest.test_case "env" `Quick test_env ]);
+      ( "durability",
+        [ Alcotest.test_case "pager get aliasing" `Quick test_pager_get_aliasing;
+          Alcotest.test_case "page checksums" `Quick test_disk_checksums;
+          Alcotest.test_case "transient retry" `Quick test_transient_retry;
+          Alcotest.test_case "wal roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "wal torn tail" `Quick test_wal_torn;
+          Alcotest.test_case "torn blob write" `Quick test_torn_blob_write;
+          Alcotest.test_case "env crash recover" `Quick test_env_crash_recover;
+          Alcotest.test_case "missing device error" `Quick test_missing_device_error
+        ] )
     ]
