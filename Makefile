@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check check-crash test bench bench-par bench-recovery clean
+.PHONY: all check check-crash test bench bench-par bench-recovery bench-obs clean
 
 all:
 	dune build
@@ -25,6 +25,10 @@ bench-par:
 # WAL overhead + recovery-time sweep (writes BENCH_PR3.json)
 bench-recovery:
 	dune exec bench/main.exe -- recovery
+
+# tracing/metrics overhead gate (writes BENCH_PR4.json + BENCH_PR4.prom)
+bench-obs:
+	dune exec bench/main.exe -- obs
 
 # crash-safety gate: seeded crash/recover property harness across every
 # index method, plus SQL-level recovery and codec damage fuzz

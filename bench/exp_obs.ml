@@ -1,0 +1,157 @@
+(* Observability overhead: what does tracing cost the query path?
+
+   For ID, Chunk and Chunk-TermScore conjunctive queries, the same cold-cache
+   query set runs three ways per repetition — tracing disabled, disabled
+   again, and sampling every query — interleaved so machine drift hits all
+   modes equally. Each repetition yields two paired ratios (on/off and
+   off2/off); the reported overheads are the medians over repetitions, which
+   a single slow rep cannot move. Reported per method (BENCH_PR4.json):
+
+   - overhead_disabled_pct: second disabled run vs the first within the same
+     rep, i.e. pure measurement noise; the disabled tracing path is one
+     atomic load per hook, so this is also its measured cost (target < 1%).
+   - overhead_sample1_pct: sampling-every-query vs disabled (target < 5%).
+   - pages_match: tracing must not change what the engine reads — logical
+     page counts are compared between disabled and sampled runs.
+
+   The run also exports the metric registry as a Prometheus scrape
+   (BENCH_PR4.prom), the artifact CI uploads. *)
+
+module Core = Svr_core
+module St = Svr_storage
+module Obs = Svr_obs
+
+let reps = 11
+
+let run_set idx queries ~k =
+  let env = Core.Index.env idx in
+  let stats = St.Env.stats env in
+  let before = St.Stats.snapshot stats in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun q ->
+      St.Env.drop_blob_caches env;
+      ignore (Core.Index.query_terms idx q ~k))
+    queries;
+  let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let d = St.Stats.diff ~after:(St.Stats.snapshot stats) ~before in
+  (wall_ms, d.St.Stats.logical_reads)
+
+type point = {
+  meth : string;
+  off_ms : float;
+  off2_ms : float;
+  on_ms : float;
+  noise_pct : float;
+  on_pct : float;
+  reads_off : int;
+  reads_on : int;
+}
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let run (p : Profile.t) =
+  Harness.banner "Observability: tracing overhead" p;
+  let base = Harness.queries_for p in
+  (* tile the query set so each timed section is long enough to time but
+     short enough that machine drift within an off/on/off triple stays
+     small — the overhead estimate is a median of per-triple ratios *)
+  let tile = max 1 ((40 + Array.length base - 1) / Array.length base) in
+  let queries =
+    Array.init (tile * Array.length base) (fun i ->
+        base.(i mod Array.length base))
+  in
+  let k = p.Profile.k in
+  Printf.printf "%d conjunctive queries per mode, %d reps, k=%d\n"
+    (Array.length queries) reps k;
+  Harness.header
+    [ "method          "; "  off ms"; " off2 ms"; "   on ms"; "  noise%";
+      " sample1%"; "pages" ];
+  let methods = [ Core.Index.Id; Core.Index.Chunk; Core.Index.Chunk_termscore ] in
+  let points =
+    List.map
+      (fun kind ->
+        let idx, _ = Harness.build p kind in
+        Obs.Trace.set_sampling 0;
+        (* one untimed pass warms allocator and code paths for every mode *)
+        ignore (run_set idx queries ~k);
+        let off = ref infinity and off2 = ref infinity and on = ref infinity in
+        let noise_ratios = ref [] and on_ratios = ref [] in
+        let reads_off = ref 0 and reads_on = ref 0 in
+        for _ = 1 to reps do
+          (* settle the GC, then one untimed section: the run right after a
+             major collection is systematically slower, and it must not be
+             the triple's first mode *)
+          Gc.full_major ();
+          Obs.Trace.set_sampling 0;
+          ignore (run_set idx queries ~k);
+          let off_ms, reads = run_set idx queries ~k in
+          off := Float.min !off off_ms;
+          reads_off := reads;
+          Obs.Trace.set_sampling 1;
+          let on_ms, reads = run_set idx queries ~k in
+          on := Float.min !on on_ms;
+          reads_on := reads;
+          Obs.Trace.set_sampling 0;
+          let off2_ms, _ = run_set idx queries ~k in
+          off2 := Float.min !off2 off2_ms;
+          on_ratios := (on_ms /. off_ms) :: !on_ratios;
+          noise_ratios := (off2_ms /. off_ms) :: !noise_ratios
+        done;
+        Obs.Trace.set_sampling 0;
+        let pt =
+          { meth = Core.Index.kind_name kind; off_ms = !off; off2_ms = !off2;
+            on_ms = !on;
+            noise_pct = 100.0 *. (median !noise_ratios -. 1.0);
+            on_pct = 100.0 *. (median !on_ratios -. 1.0);
+            reads_off = !reads_off; reads_on = !reads_on }
+        in
+        if pt.reads_off <> pt.reads_on then
+          Printf.printf
+            "  WARNING: %s read %d pages traced vs %d untraced — tracing \
+             changed the I/O!\n"
+            pt.meth pt.reads_on pt.reads_off;
+        Harness.row
+          (Printf.sprintf "%-16s" pt.meth)
+          [ Printf.sprintf "%8.1f" pt.off_ms;
+            Printf.sprintf "%8.1f" pt.off2_ms;
+            Printf.sprintf "%8.1f" pt.on_ms;
+            Printf.sprintf "%7.2f%%" pt.noise_pct;
+            Printf.sprintf "%8.2f%%" pt.on_pct;
+            (if pt.reads_off = pt.reads_on then "match" else "DIFFER") ];
+        pt)
+      methods
+  in
+  let oc = open_out "BENCH_PR4.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"observability-overhead\",\n  \"profile\": %S,\n\
+    \  \"queries_per_mode\": %d,\n  \"reps\": %d,\n  \"k\": %d,\n\
+    \  \"protocol\": \"median of per-rep paired ratios over interleaved \
+     reps; disabled vs disabled is measurement noise\",\n  \"methods\": ["
+    p.Profile.name (Array.length queries) reps k;
+  List.iteri
+    (fun i pt ->
+      Printf.fprintf oc
+        "%s\n    { \"method\": %S, \"wall_ms_disabled\": %.2f,\n\
+        \      \"wall_ms_disabled_2\": %.2f, \"wall_ms_sample1\": %.2f,\n\
+        \      \"overhead_disabled_pct\": %.2f, \"overhead_sample1_pct\": %.2f,\n\
+        \      \"logical_reads_disabled\": %d, \"logical_reads_sample1\": %d,\n\
+        \      \"pages_match\": %b }"
+        (if i = 0 then "" else ",")
+        pt.meth pt.off_ms pt.off2_ms pt.on_ms pt.noise_pct pt.on_pct
+        pt.reads_off pt.reads_on
+        (pt.reads_off = pt.reads_on))
+    points;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_PR4.json";
+  let oc = open_out "BENCH_PR4.prom" in
+  output_string oc (Obs.Metrics.to_prometheus ());
+  close_out oc;
+  print_endline "  wrote BENCH_PR4.prom (sample Prometheus scrape)"

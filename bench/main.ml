@@ -13,7 +13,8 @@ let experiments =
     ("fig10", Exp_fig10.run); ("table3", Exp_table3.run);
     ("archive", Exp_archive.run); ("ablation", Exp_ablation.run);
     ("appendix", Exp_appendix.run); ("conjunctive", Micro.conjunctive);
-    ("par", Exp_par.run); ("recovery", Exp_recovery.run) ]
+    ("par", Exp_par.run); ("recovery", Exp_recovery.run);
+    ("obs", Exp_obs.run) ]
 
 let usage () =
   Printf.printf "usage: main.exe [micro | %s]...\n"

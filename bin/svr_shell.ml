@@ -7,6 +7,10 @@
    Statements end with ';'. Meta commands: .help .tables .quit *)
 
 module R = Svr_relational
+module Obs = Svr_obs
+
+(* .timer on|off: per-statement wall + simulated-I/O time *)
+let timer = ref false
 
 let print_result = function
   | R.Engine.Done msg -> Printf.printf "ok: %s\n%!" msg
@@ -31,9 +35,21 @@ let print_result = function
       Printf.printf "(%d row(s))\n%!" (List.length rows)
 
 let exec_and_print eng sql =
-  match R.Engine.exec eng sql with
+  let env = R.Engine.env eng in
+  let stats = Svr_storage.Env.stats env in
+  let before = Svr_storage.Stats.snapshot stats in
+  let t0 = Unix.gettimeofday () in
+  (match R.Engine.exec eng sql with
   | results -> List.iter print_result results
-  | exception R.Engine.Sql_error msg -> Printf.printf "error: %s\n%!" msg
+  | exception R.Engine.Sql_error msg -> Printf.printf "error: %s\n%!" msg);
+  if !timer then begin
+    let d =
+      Svr_storage.Stats.diff ~after:(Svr_storage.Stats.snapshot stats) ~before
+    in
+    Printf.printf "-- %.3f ms wall, %.2f ms simulated I/O\n%!"
+      (1000.0 *. (Unix.gettimeofday () -. t0))
+      (Svr_storage.Stats.simulated_ms ~cost:(Svr_storage.Env.cost env) d)
+  end
 
 let meta eng line =
   match String.trim line with
@@ -54,7 +70,14 @@ let meta eng line =
         \       wall time, per-domain cache hits and the top-10 results\n\
         \  .checkpoint  force the WAL and make applied statements crash-proof\n\
         \  .crash       simulate process death (buffer pools + log tail lost)\n\
-        \  .recover     roll back to the last checkpoint and replay the log\n%!"
+        \  .recover     roll back to the last checkpoint and replay the log\n\
+        \  .explain <sql>;      run the statement traced and print its span\n\
+        \       tree, including the method's stop-condition narrative\n\
+        \  .metrics [json]      metric registry as Prometheus text (or JSON)\n\
+        \  .trace [on|off|sample N]  trace every query / none / every Nth\n\
+        \  .timer on|off        per-statement wall + simulated-I/O time\n\
+        \  .slow [N]            recent slow traces (threshold .slowms)\n\
+        \  .slowms <ms>         slow-query retention threshold\n%!"
   | ".stats" ->
       List.iter
         (fun (name, bytes) -> Printf.printf "  %-24s %8d KB\n" name (bytes / 1024))
@@ -62,6 +85,67 @@ let meta eng line =
       Printf.printf "  %s\n%!"
         (Format.asprintf "%a" Svr_storage.Stats.pp
            (Svr_storage.Stats.snapshot (Svr_storage.Env.stats (R.Engine.env eng))))
+  | ".metrics" -> print_string (Obs.Metrics.to_prometheus ()); flush stdout
+  | ".metrics json" ->
+      print_string (Obs.Metrics.to_json ());
+      print_newline ();
+      flush stdout
+  | ".trace" ->
+      Printf.printf "trace sampling: %s\n%!"
+        (match Obs.Trace.sampling () with
+        | 0 -> "off"
+        | 1 -> "on (every query)"
+        | n -> Printf.sprintf "every %dth query" n)
+  | ".trace on" ->
+      Obs.Trace.set_sampling 1;
+      Printf.printf "tracing every query\n%!"
+  | ".trace off" ->
+      Obs.Trace.set_sampling 0;
+      Printf.printf "tracing off\n%!"
+  | ".timer on" ->
+      timer := true;
+      Printf.printf "timer on\n%!"
+  | ".timer off" ->
+      timer := false;
+      Printf.printf "timer off\n%!"
+  | ".slow" -> (
+      match Obs.Slow_log.entries () with
+      | [] ->
+          Printf.printf "no traces above %.0f ms retained (.slowms to lower)\n%!"
+            (Obs.Slow_log.threshold_ms ())
+      | (recent :: _) as all ->
+          List.iteri
+            (fun i e ->
+              Printf.printf "  [%d] trace %d  %-12s %8.3f ms wall\n" i
+                e.Obs.Slow_log.sl_trace e.Obs.Slow_log.sl_root.Obs.Trace.e_name
+                e.Obs.Slow_log.sl_root.Obs.Trace.e_wall_ms)
+            all;
+          print_string (Obs.Slow_log.render recent.Obs.Slow_log.sl_events);
+          flush stdout)
+  | meta_line
+    when String.length meta_line > 9 && String.sub meta_line 0 9 = ".explain " -> (
+      let sql = String.sub meta_line 9 (String.length meta_line - 9) in
+      Obs.Trace.force_next ();
+      exec_and_print eng sql;
+      match Obs.Trace.last_trace_id () with
+      | 0 -> Printf.printf "no trace captured\n%!"
+      | tid ->
+          print_string (Obs.Slow_log.render_trace tid);
+          flush stdout)
+  | meta_line
+    when String.length meta_line > 14 && String.sub meta_line 0 14 = ".trace sample " -> (
+      match int_of_string_opt (String.trim (String.sub meta_line 14 (String.length meta_line - 14))) with
+      | Some n when n >= 0 ->
+          Obs.Trace.set_sampling n;
+          Printf.printf "tracing every %dth query\n%!" n
+      | _ -> Printf.printf "usage: .trace sample <n>\n%!")
+  | meta_line
+    when String.length meta_line > 8 && String.sub meta_line 0 8 = ".slowms " -> (
+      match float_of_string_opt (String.trim (String.sub meta_line 8 (String.length meta_line - 8))) with
+      | Some ms ->
+          Obs.Slow_log.set_threshold_ms ms;
+          Printf.printf "retaining traces above %.1f ms\n%!" ms
+      | None -> Printf.printf "usage: .slowms <ms>\n%!")
   | meta_line when String.length meta_line >= 4 && String.sub meta_line 0 4 = ".par"
     -> begin
       match
@@ -171,6 +255,7 @@ let main init_file =
   let eng =
     R.Engine.create ~env:(Svr_storage.Env.create ~durable:true ()) ()
   in
+  Obs.Slow_log.install ();
   (match init_file with
   | Some path ->
       let ic = open_in path in

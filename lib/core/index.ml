@@ -75,6 +75,16 @@ let build ?env ?(tag = "index") kind cfg ~corpus ~scores =
 
 let log t op = St.Env.log (env t) { St.Wal.tag = t.tag; op }
 
+(* One trace root per logical update. Replay during recovery goes through
+   [apply_op] directly and is covered by the "recover" span instead. *)
+let update_span t name =
+  let sp = Qobs.Tr.root "update" in
+  if Qobs.Tr.is_on sp then begin
+    Qobs.Tr.annotate sp "op" name;
+    Qobs.Tr.annotate sp "method" (kind_name t.kind)
+  end;
+  sp
+
 let apply_score_update t ~doc score =
   match t.impl with
   | I_id i -> Method_id.score_update i ~doc score
@@ -108,20 +118,36 @@ let apply_update_content t ~doc text =
   | I_cts i -> Method_chunk_termscore.update_content i ~doc text
 
 let score_update t ~doc score =
-  log t (St.Wal.Score_update { doc; score });
-  apply_score_update t ~doc score
+  let sp = update_span t "score-update" in
+  Fun.protect
+    ~finally:(fun () -> Qobs.Tr.pop sp)
+    (fun () ->
+      log t (St.Wal.Score_update { doc; score });
+      apply_score_update t ~doc score)
 
 let insert t ~doc text ~score =
-  log t (St.Wal.Doc_insert { doc; text; score });
-  apply_insert t ~doc text ~score
+  let sp = update_span t "insert" in
+  Fun.protect
+    ~finally:(fun () -> Qobs.Tr.pop sp)
+    (fun () ->
+      log t (St.Wal.Doc_insert { doc; text; score });
+      apply_insert t ~doc text ~score)
 
 let delete t ~doc =
-  log t (St.Wal.Doc_delete { doc });
-  apply_delete t ~doc
+  let sp = update_span t "delete" in
+  Fun.protect
+    ~finally:(fun () -> Qobs.Tr.pop sp)
+    (fun () ->
+      log t (St.Wal.Doc_delete { doc });
+      apply_delete t ~doc)
 
 let update_content t ~doc text =
-  log t (St.Wal.Doc_update { doc; text });
-  apply_update_content t ~doc text
+  let sp = update_span t "update-content" in
+  Fun.protect
+    ~finally:(fun () -> Qobs.Tr.pop sp)
+    (fun () ->
+      log t (St.Wal.Doc_update { doc; text });
+      apply_update_content t ~doc text)
 
 let apply_op t (op : St.Wal.op) =
   match op with
@@ -143,12 +169,40 @@ let recover t =
   records
 
 let query_terms t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
-  match t.impl with
-  | I_id i -> Method_id.query i ~mode ~gallop terms ~k
-  | I_score i -> Method_score.query i ~mode ~gallop terms ~k
-  | I_st i -> Method_score_threshold.query i ~mode ~gallop terms ~k
-  | I_chunk i -> Method_chunk.query i ~mode ~gallop terms ~k
-  | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop terms ~k
+  let dispatch () =
+    match t.impl with
+    | I_id i -> Method_id.query i ~mode ~gallop terms ~k
+    | I_score i -> Method_score.query i ~mode ~gallop terms ~k
+    | I_st i -> Method_score_threshold.query i ~mode ~gallop terms ~k
+    | I_chunk i -> Method_chunk.query i ~mode ~gallop terms ~k
+    | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop terms ~k
+  in
+  (* the calling domain's private counter cell: the delta across the dispatch
+     is exactly this query's I/O, even with other domains querying *)
+  let cell = St.Stats.cell (St.Env.stats (env t)) in
+  let before = St.Stats.diff ~after:cell ~before:(St.Stats.zero ()) in
+  let t0 = Svr_obs.Clock.now_ms () in
+  let sp = Qobs.Tr.root "query" in
+  if Qobs.Tr.is_on sp then begin
+    Qobs.Tr.annotate sp "method" (kind_name t.kind);
+    Qobs.Tr.annotate sp "terms" (String.concat "," terms);
+    Qobs.Tr.annotate sp "k" (string_of_int k)
+  end;
+  Fun.protect
+    ~finally:(fun () -> Qobs.Tr.pop sp)
+    (fun () ->
+      let out = dispatch () in
+      let d = St.Stats.diff ~after:cell ~before in
+      if Qobs.Tr.is_on sp then begin
+        Qobs.Tr.annotate sp "blocks" (string_of_int d.St.Stats.blocks_decoded);
+        Qobs.Tr.annotate sp "skips" (string_of_int d.St.Stats.blocks_skipped)
+      end;
+      Qobs.query_metrics ~meth:(kind_name t.kind)
+        ~wall_ms:(Svr_obs.Clock.now_ms () -. t0)
+        ~sim_ms:(St.Stats.simulated_ms ~cost:(St.Env.cost (env t)) d)
+        ~blocks_decoded:d.St.Stats.blocks_decoded
+        ~blocks_skipped:d.St.Stats.blocks_skipped;
+      out)
 
 let analyze t keywords =
   List.concat_map

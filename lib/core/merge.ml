@@ -27,6 +27,7 @@ type t = {
      the following [next]: if the caller's stop rule fires on a group, no
      cursor fetches a byte past it *)
   mutable emitted : bool;
+  mutable n_groups : int; (* groups emitted so far — the query's scan depth *)
 }
 
 let create ~n_terms cursors =
@@ -43,7 +44,8 @@ let create ~n_terms cursors =
     term_live = Array.make n_terms false;
     term_rank = Array.make n_terms 0.0;
     term_doc = Array.make n_terms 0;
-    emitted = false }
+    emitted = false;
+    n_groups = 0 }
 
 (* advance past the group the previous [next] emitted: exactly the cursors
    still sitting at its position contributed to it *)
@@ -98,6 +100,7 @@ let gather m fr fd =
     if m.seen_short.(t) then g.any_short <- true
   done;
   m.emitted <- true;
+  m.n_groups <- m.n_groups + 1;
   g
 
 (* sequential scan: the earliest position among all live cursors *)
@@ -170,5 +173,7 @@ let next ?(gallop = false) m =
   if m.n_terms = 0 then None
   else if gallop && m.n_terms > 1 then next_gallop m
   else next_scan m
+
+let groups_emitted m = m.n_groups
 
 let recycle m = Array.iter Pc.recycle m.cursors

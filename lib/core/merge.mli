@@ -45,6 +45,10 @@ val next : ?gallop:bool -> t -> group option
     exhausts. Default [false]: full sequential scan, identical group sequence
     to the pre-block merge. *)
 
+val groups_emitted : t -> int
+(** Groups emitted by {!next} so far — the scan depth the observability
+    layer records per query. *)
+
 val recycle : t -> unit
 (** Hand every cursor's pooled decode buffers back to the current domain's
     freelist ({!Posting_cursor.recycle}) and leave the merger exhausted. Call

@@ -17,7 +17,10 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
+    let csp = Qobs.Tr.push "cursor-open" in
     let merger = Merge.create ~n_terms (C.term_cursors t terms) in
+    Qobs.Tr.pop csp;
+    let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
     let rec scan () =
       match Merge.next ~gallop merger with
@@ -31,13 +34,27 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           if
             Result_heap.is_full heap
             && Chunk_policy.stop_bound t.C.policy ~cid <= Result_heap.min_score heap
-          then ()
+          then begin
+            if Qobs.Tr.is_on msp then
+              Qobs.Tr.annotate msp "stop"
+                (Printf.sprintf
+                   "stopped at chunk %d because its stop bound %.4f <= heap \
+                    min %.4f (scan-one-extra-chunk rule)"
+                   cid
+                   (Chunk_policy.stop_bound t.C.policy ~cid)
+                   (Result_heap.min_score heap))
+          end
           else begin
             C.process_candidate t mode ~n_terms g heap;
             scan ()
           end
     in
     scan ();
+    Qobs.finish_merge ~meth:"Chunk" ~merger ~span:msp ~stop:(fun () ->
+        Printf.sprintf
+          "exhausted the chunk-ordered list after %d groups: no chunk's stop \
+           bound fell to the heap min"
+          (Merge.groups_emitted merger));
     Merge.recycle merger;
     Result_heap.to_list heap
   end

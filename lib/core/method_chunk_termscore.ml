@@ -102,6 +102,7 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
     (* stage 1: merge the fancy lists. Never gallops: partial matches must be
        parked in the remainList, and galloping would skip right over them *)
     let remain : (int, float option array) Hashtbl.t = Hashtbl.create 64 in
+    let fsp = Qobs.Tr.push "fancy-merge" in
     let fancy_merger = Merge.create ~n_terms (fancy_cursors t terms) in
     let rec fancy_stage () =
       match Merge.next fancy_merger with
@@ -121,6 +122,12 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           fancy_stage ()
     in
     fancy_stage ();
+    if Qobs.Tr.is_on fsp then begin
+      Qobs.Tr.annotate fsp "groups"
+        (string_of_int (Merge.groups_emitted fancy_merger));
+      Qobs.Tr.annotate fsp "parked" (string_of_int (Hashtbl.length remain))
+    end;
+    Qobs.Tr.pop fsp;
     Merge.recycle fancy_merger;
     (* pruning condition from [21]: drop a parked document once its combined
        upper bound cannot beat the current k-th score *)
@@ -146,7 +153,10 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
        removed) when its chunk postings come by, or it would block stopping
        forever. Emptiness is monotone — docs are only ever removed — so the
        merge switches to galloping for good as soon as the list drains. *)
+    let csp = Qobs.Tr.push "cursor-open" in
     let merger = Merge.create ~n_terms (C.term_cursors base terms) in
+    Qobs.Tr.pop csp;
+    let msp = Qobs.Tr.push "merge" in
     let last_pruned_cid = ref max_int in
     let rec scan () =
       match Merge.next ~gallop:(gallop && Hashtbl.length remain = 0) merger with
@@ -169,13 +179,31 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
                  Hashtbl.length remain = 0
                end
           in
-          if not stop then begin
+          if stop then begin
+            if Qobs.Tr.is_on msp then
+              Qobs.Tr.annotate msp "stop"
+                (Printf.sprintf
+                   "stopped at chunk %d because stop bound %.4f + term-score \
+                    bound %.4f <= heap min %.4f and the remainList drained \
+                    (Algorithm 3)"
+                   cid
+                   (Chunk_policy.stop_bound base.C.policy ~cid)
+                   th_term (Result_heap.min_score heap))
+          end
+          else begin
             Hashtbl.remove remain g.Merge.g_doc;
             C.process_candidate base mode ~n_terms g heap;
             scan ()
           end
     in
     scan ();
+    Qobs.finish_merge ~meth:"Chunk-TermScore" ~merger ~span:msp
+      ~stop:(fun () ->
+        Printf.sprintf
+          "exhausted the chunk-ordered list after %d groups (%d documents \
+           still parked in the remainList)"
+          (Merge.groups_emitted merger)
+          (Hashtbl.length remain));
     Merge.recycle merger;
     Result_heap.to_list heap
   end

@@ -82,12 +82,17 @@ let term_cursors t terms =
                short ])
        terms)
 
+let meth_name t = if t.with_ts then "ID-TermScore" else "ID"
+
 let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
+    let csp = Qobs.Tr.push "cursor-open" in
     let merger = Merge.create ~n_terms (term_cursors t terms) in
+    Qobs.Tr.pop csp;
+    let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
     let rec scan () =
       match Merge.next ~gallop merger with
@@ -107,6 +112,11 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           scan ()
     in
     scan ();
+    Qobs.finish_merge ~meth:(meth_name t) ~merger ~span:msp ~stop:(fun () ->
+        Printf.sprintf
+          "no early termination: %s lists are doc-id ordered, so every \
+           candidate's exact score must be probed — scanned all %d groups"
+          (meth_name t) (Merge.groups_emitted merger));
     Merge.recycle merger;
     Result_heap.to_list heap
   end

@@ -102,8 +102,11 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
+    let csp = Qobs.Tr.push "cursor-open" in
     let cursors = List.mapi (fun i term -> term_cursor t ~term_idx:i term) terms in
     let merger = Merge.create ~n_terms cursors in
+    Qobs.Tr.pop csp;
+    let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
     (* candidates arrive in exact (score desc, doc asc) order, so the scan can
        stop the moment the heap is full *)
@@ -119,6 +122,18 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
             scan ()
     in
     scan ();
+    Qobs.finish_merge ~meth:"Score" ~merger ~span:msp ~stop:(fun () ->
+        if Result_heap.is_full heap then
+          Printf.sprintf
+            "stopped after %d groups because the heap filled at min %.4f: \
+             the score-ordered list guarantees no later candidate beats it"
+            (Merge.groups_emitted merger)
+            (Result_heap.min_score heap)
+        else
+          Printf.sprintf
+            "exhausted the score-ordered list after %d groups with the heap \
+             still short of k"
+            (Merge.groups_emitted merger));
     Merge.recycle merger;
     Result_heap.to_list heap
   end

@@ -125,7 +125,10 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
+    let csp = Qobs.Tr.push "cursor-open" in
     let merger = Merge.create ~n_terms (term_cursors t terms) in
+    Qobs.Tr.pop csp;
+    let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
     let rec scan () =
       match Merge.next ~gallop merger with
@@ -136,7 +139,17 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           if
             Result_heap.is_full heap
             && threshold_value_of t g.Merge.g_rank < Result_heap.min_score heap
-          then ()
+          then begin
+            if Qobs.Tr.is_on msp then
+              Qobs.Tr.annotate msp "stop"
+                (Printf.sprintf
+                   "stopped at listScore %.4f because \
+                    thresholdValueOf(listScore) = %.4f < heap min %.4f \
+                    (Algorithm 2)"
+                   g.Merge.g_rank
+                   (threshold_value_of t g.Merge.g_rank)
+                   (Result_heap.min_score heap))
+          end
           else begin
             let doc = g.Merge.g_doc in
             if
@@ -163,6 +176,12 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           end
     in
     scan ();
+    Qobs.finish_merge ~meth:"Score-Threshold" ~merger ~span:msp
+      ~stop:(fun () ->
+        Printf.sprintf
+          "exhausted the list-score-ordered list after %d groups: \
+           thresholdValueOf never undercut the heap min"
+          (Merge.groups_emitted merger));
     Merge.recycle merger;
     Result_heap.to_list heap
   end

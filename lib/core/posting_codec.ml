@@ -1,7 +1,25 @@
 module St = Svr_storage
 module Pc = Posting_cursor
+module Tr = Svr_obs.Trace
 
 let block_size = Pc.block_size
+
+(* Trace hook at the per-block (never per-posting) decode points.
+   [Tr.hot] is one atomic load when tracing is off. No attributes and no
+   clock read: these events render aggregated ("block-decode [xN]") and a
+   traced cold query emits hundreds of them, so anything beyond one record
+   per block would dominate the sampled-path cost. Skips are even more
+   frequent (one per galloped-past group) and carry no tree structure, so
+   they stay out of the ring entirely — their totals ride on the Stats
+   counters and surface as the query span's skip annotation. *)
+let ev_decode ~term_idx n =
+  ignore term_idx;
+  ignore n;
+  if Tr.hot () then Tr.event "block-decode"
+
+let ev_skip ?name ~term_idx () =
+  ignore name;
+  ignore term_idx
 
 let corrupt fmt = St.Storage_error.error St.Storage_error.Corrupt fmt
 
@@ -119,7 +137,8 @@ module Id_codec = struct
       prev := !p;
       c.Pc.n <- n;
       c.Pc.i <- 0;
-      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1;
+      ev_decode ~term_idx n
     in
     let refill c =
       if !pos >= len then c.Pc.n <- 0
@@ -152,7 +171,8 @@ module Id_codec = struct
               prev := !prev + last_delta;
               pos := !pos + blen;
               St.Blob_store.skip_to reader !pos;
-              cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1
+              cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1;
+              ev_skip ~term_idx ()
             end
             else decode_body c n blen
           end
@@ -217,7 +237,8 @@ module Score_codec = struct
       bpend := n - 1;
       c.Pc.n <- 1;
       c.Pc.i <- 0;
-      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1;
+      ev_decode ~term_idx n
     in
     let finish_block c =
       let n = !bn in
@@ -269,7 +290,8 @@ module Score_codec = struct
           let ld = St.Order_key.get_u32 s (off + 8) in
           if Pc.pos_before lr ld r d then begin
             pos := !pos + (12 * n);
-            cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1
+            cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1;
+            ev_skip ~term_idx ()
           end
           else begin
             for j = 0 to n - 1 do
@@ -281,7 +303,8 @@ module Score_codec = struct
             bpend := 0;
             c.Pc.n <- n;
             c.Pc.i <- 0;
-            cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
+            cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1;
+            ev_decode ~term_idx n
           end
         end
       done
@@ -366,7 +389,8 @@ module Chunk_codec = struct
       gleft := !gleft - n;
       c.Pc.n <- n;
       c.Pc.i <- 0;
-      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1;
+      ev_decode ~term_idx n
     in
     (* two-phase refill: entering a block decodes only its first posting (all
        a merge front needs, and all the chunk stop rule ever looks at), the
@@ -391,7 +415,8 @@ module Chunk_codec = struct
       gleft := !gleft - n;
       c.Pc.n <- 1;
       c.Pc.i <- 0;
-      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1;
+      ev_decode ~term_idx n
     in
     let finish_block c =
       St.Blob_store.ensure reader !bend;
@@ -422,7 +447,8 @@ module Chunk_codec = struct
       pos := !gend;
       gleft := 0;
       St.Blob_store.skip_to reader !pos;
-      cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1
+      cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1;
+      ev_skip ~name:"group-skip" ~term_idx ()
     in
     let seek c r d =
       if !bpend > 0 then begin
@@ -466,7 +492,8 @@ module Chunk_codec = struct
               pos := !pos + blen;
               gleft := !gleft - n;
               St.Blob_store.skip_to reader !pos;
-              cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1
+              cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1;
+              ev_skip ~term_idx ()
             end
             else decode_block c n blen
           end

@@ -1,0 +1,48 @@
+(* Shared observability hooks for the query methods and the dispatch layer.
+   Everything here is per-query (never per-posting): one histogram lookup is
+   a mutex + hashtable probe, dwarfed by the I/O a query performs, and spans
+   cost nothing when tracing is off. *)
+
+module Tr = Svr_obs.Trace
+module M = Svr_obs.Metrics
+
+let scan_depth ~meth groups =
+  M.observe
+    (M.histogram ~base:1.0 ~labels:[ ("method", meth) ]
+       ~help:"merge groups examined per query" "svr_query_scan_depth")
+    (float_of_int groups)
+
+let query_metrics ~meth ~wall_ms ~sim_ms ~blocks_decoded ~blocks_skipped =
+  let labels = [ ("method", meth) ] in
+  M.observe
+    (M.histogram ~base:0.001 ~labels ~help:"query wall latency (ms)"
+       "svr_query_wall_ms")
+    wall_ms;
+  M.observe
+    (M.histogram ~base:0.001 ~labels
+       ~help:"query latency under the simulated I/O cost model (ms)"
+       "svr_query_sim_ms")
+    sim_ms;
+  M.observe
+    (M.histogram ~base:1.0 ~labels ~help:"posting blocks decoded per query"
+       "svr_query_blocks_decoded")
+    (float_of_int blocks_decoded);
+  M.observe
+    (M.histogram ~base:1.0 ~labels
+       ~help:"posting blocks skipped via headers per query"
+       "svr_query_blocks_skipped")
+    (float_of_int blocks_skipped)
+
+(* Finish a method's merge span: record the scan depth on the span and in
+   the metrics, and surface the method-specific stop narrative (lazily —
+   the thunk runs only for traced queries). *)
+let finish_merge ~meth ~merger ~span ~stop =
+  let groups = Merge.groups_emitted merger in
+  if Tr.is_on span then begin
+    Tr.annotate span "groups" (string_of_int groups);
+    (* a stop-rule narrative attached at the stop point wins; [stop] is the
+       fallback for scans that ran the lists dry *)
+    if not (Tr.has_attr span "stop") then Tr.annotate span "stop" (stop ())
+  end;
+  Tr.pop span;
+  scan_depth ~meth groups

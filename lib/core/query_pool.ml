@@ -74,6 +74,13 @@ let create ~domains =
 let map t ~f n_items =
   if n_items = 0 then ()
   else begin
+    (* caller-domain span only: worker domains trace their own query roots *)
+    let sp = Svr_obs.Trace.root "query-batch" in
+    if Svr_obs.Trace.is_on sp then begin
+      Svr_obs.Trace.annotate sp "items" (string_of_int n_items);
+      Svr_obs.Trace.annotate sp "domains" (string_of_int t.domains)
+    end;
+    Fun.protect ~finally:(fun () -> Svr_obs.Trace.pop sp) @@ fun () ->
     let job = { run = f; n_items; next = Atomic.make 0 } in
     Mutex.protect t.mu (fun () ->
         if t.shutdown then invalid_arg "Query_pool.map: pool is shut down";

@@ -35,6 +35,9 @@ let encode_val ~op ~ts =
 let decode_val v = ((if v.[0] = '\001' then Rem else Add), St.Order_key.get_u32 v 1)
 
 let put t ~term ~rank ~doc ~op ~ts =
+  if Svr_obs.Trace.hot () then
+    Svr_obs.Trace.event "short-list-insert"
+      ~attrs:[ ("term", term); ("doc", string_of_int doc) ];
   St.Btree.insert t.tree (key t ~term ~rank ~doc) (encode_val ~op ~ts)
 
 let delete t ~term ~rank ~doc = ignore (St.Btree.delete t.tree (key t ~term ~rank ~doc))

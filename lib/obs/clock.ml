@@ -1,0 +1,5 @@
+(* The one wall-clock source for the observability layer (and for layers
+   below it that do not link unix themselves). *)
+
+let now_s () = Unix.gettimeofday ()
+let now_ms () = Unix.gettimeofday () *. 1000.

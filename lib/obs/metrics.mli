@@ -1,0 +1,68 @@
+(** Counters, gauges and log-bucketed histograms with per-domain cells.
+
+    Collectors live in a process-global registry keyed by (name, labels).
+    Counters and histograms store their values in {e per-domain cells}
+    (domain-local records registered under a mutex, exactly the
+    [Stats.per_domain] pattern): the hot path increments plain fields no
+    other domain touches, and {!snapshot} sums the cells — a commutative
+    reduction, so a serial run and a 4-domain run of the same work produce
+    identical snapshots at quiescence. Gauges are read-time callbacks
+    (e.g. a pager shard's hit rate computed from its counters at scrape).
+
+    Registration is idempotent for counters and histograms (the existing
+    collector is returned, so components re-created across environments
+    share one series) and last-wins for gauges (a fresh component's
+    callback replaces its predecessor's). *)
+
+type counter
+type histogram
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Get or create the counter named [name] with [labels]. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+(** Sum over all domains' cells. *)
+
+val gauge :
+  ?help:string -> ?labels:(string * string) list -> string ->
+  (unit -> float) -> unit
+(** Register a callback gauge, replacing any previous one of the same
+    (name, labels). The callback runs at scrape/snapshot time. *)
+
+val histogram :
+  ?help:string -> ?labels:(string * string) list -> ?base:float ->
+  string -> histogram
+(** Get or create a log-bucketed histogram: bucket upper bounds are
+    [base * 2^i] (default [base] 0.001, 40 doublings, then +inf). *)
+
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+(** {2 Export} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : (float * int) list; sum : float; count : int }
+      (** [buckets] are (upper-bound, count) pairs, non-cumulative,
+          zero-count buckets omitted; the +inf bound prints as [inf]. *)
+
+val snapshot : unit -> ((string * (string * string) list) * value) list
+(** Every collector's aggregated value, sorted by (name, labels) — the
+    structure the serial-vs-parallel equality test compares. *)
+
+val to_json : unit -> string
+(** The snapshot as a JSON array of collector objects. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition (version 0.0.4): HELP/TYPE comments,
+    cumulative [_bucket{le=...}] series plus [_sum]/[_count]. *)
+
+val reset : unit -> unit
+(** Zero every counter and histogram cell (gauges are stateless). Call at
+    quiescent points only. *)

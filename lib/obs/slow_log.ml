@@ -1,0 +1,116 @@
+type entry = {
+  sl_trace : int;
+  sl_root : Trace.event;
+  sl_events : Trace.event list;
+}
+
+let capacity = 32
+let mu = Mutex.create ()
+let threshold = Atomic.make 100.0
+let log : entry list ref = ref [] (* most recent first, <= capacity *)
+let installed = Atomic.make false
+
+let retain root =
+  let events = Trace.trace_events root.Trace.e_trace in
+  Mutex.lock mu;
+  let keep =
+    { sl_trace = root.Trace.e_trace; sl_root = root; sl_events = events }
+    :: List.filteri (fun i _ -> i < capacity - 1) !log
+  in
+  log := keep;
+  Mutex.unlock mu
+
+let install () =
+  if Atomic.compare_and_set installed false true then
+    Trace.on_root_finish (fun root ->
+        if root.Trace.e_wall_ms >= Atomic.get threshold then retain root)
+
+let set_threshold_ms ms =
+  Atomic.set threshold ms;
+  install ()
+
+let threshold_ms () = Atomic.get threshold
+
+let entries () =
+  install ();
+  Mutex.lock mu;
+  let l = !log in
+  Mutex.unlock mu;
+  l
+
+let clear () =
+  Mutex.lock mu;
+  log := [];
+  Mutex.unlock mu
+
+(* -- rendering ------------------------------------------------------------ *)
+
+let pp_attrs attrs =
+  match
+    List.filter (fun (k, _) -> k <> "stop") attrs
+    |> List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v)
+  with
+  | [] -> ""
+  | kvs -> "  [" ^ String.concat " " kvs ^ "]"
+
+let render events =
+  let b = Buffer.create 512 in
+  (* children grouped by parent span id; events arrive sorted by span id,
+     so each child list stays in creation order *)
+  let children = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let siblings =
+        Option.value ~default:[] (Hashtbl.find_opt children ev.Trace.e_parent)
+      in
+      Hashtbl.replace children ev.Trace.e_parent (siblings @ [ ev ]))
+    events;
+  let leaf ev = not (Hashtbl.mem children ev.Trace.e_span) in
+  let rec walk depth ev =
+    let indent = String.make (2 * depth) ' ' in
+    Buffer.add_string b
+      (Printf.sprintf "%s%-18s %8.3f ms wall  %8.2f ms sim%s\n" indent
+         ev.Trace.e_name ev.Trace.e_wall_ms ev.Trace.e_sim_ms
+         (pp_attrs ev.Trace.e_attrs));
+    (match List.assoc_opt "stop" ev.Trace.e_attrs with
+    | Some why -> Buffer.add_string b (Printf.sprintf "%s  ~ %s\n" indent why)
+    | None -> ());
+    walk_children (depth + 1)
+      (Option.value ~default:[] (Hashtbl.find_opt children ev.Trace.e_span))
+  (* runs of >= 4 same-named childless siblings (block decodes, WAL appends)
+     collapse to one "×N" line — a cold query emits hundreds of them *)
+  and walk_children depth = function
+    | [] -> ()
+    | ev :: _ as kids when leaf ev ->
+        let rec run n wall sim = function
+          | e :: rest when leaf e && String.equal e.Trace.e_name ev.Trace.e_name
+            ->
+              run (n + 1) (wall +. e.Trace.e_wall_ms) (sim +. e.Trace.e_sim_ms)
+                rest
+          | rest -> (n, wall, sim, rest)
+        in
+        let n, wall, sim, rest = run 0 0.0 0.0 kids in
+        if n >= 4 then
+          Buffer.add_string b
+            (Printf.sprintf "%s%-18s %8.3f ms wall  %8.2f ms sim  [x%d]\n"
+               (String.make (2 * depth) ' ')
+               ev.Trace.e_name wall sim n)
+        else
+          List.iteri (fun i e -> if i < n then walk depth e) kids;
+        walk_children depth rest
+    | ev :: rest ->
+        walk depth ev;
+        walk_children depth rest
+  in
+  (* roots: events whose parent is not among the events *)
+  let ids = Hashtbl.create 16 in
+  List.iter (fun ev -> Hashtbl.replace ids ev.Trace.e_span ()) events;
+  List.iter
+    (fun ev -> if not (Hashtbl.mem ids ev.Trace.e_parent) then walk 0 ev)
+    events;
+  Buffer.contents b
+
+let render_trace trace =
+  match Trace.trace_events trace with
+  | [] -> Printf.sprintf "trace %d: no events retained\n" trace
+  | events -> render events

@@ -1,0 +1,39 @@
+(** Slow-query retention and span-tree rendering.
+
+    {!install} hooks {!Trace.on_root_finish}: whenever a trace's root span
+    finishes with a wall duration at or above the threshold, the full span
+    tree is copied out of the ring buffers and retained (bounded, oldest
+    dropped). {!render} turns any trace's events into the indented tree the
+    shell prints for [.explain] — span name, wall/simulated durations, and
+    attributes, with the [stop] attribute surfaced as the "stopped because"
+    narrative line. *)
+
+type entry = {
+  sl_trace : int;
+  sl_root : Trace.event;
+  sl_events : Trace.event list;  (** full tree, sorted by span id *)
+}
+
+val install : unit -> unit
+(** Idempotent; called by anything that sets or reads the log. *)
+
+val set_threshold_ms : float -> unit
+(** Retain traces whose root wall duration is >= this (default 100 ms).
+    Installs the hook. *)
+
+val threshold_ms : unit -> float
+
+val entries : unit -> entry list
+(** Retained slow queries, most recent first (at most {!capacity}). *)
+
+val capacity : int
+
+val clear : unit -> unit
+
+val render : Trace.event list -> string
+(** Indented span tree with per-span wall/sim durations and attributes.
+    Spans carrying a [stop] attribute get a trailing narrative line. *)
+
+val render_trace : int -> string
+(** [render (Trace.trace_events id)], with a fallback message when the
+    trace left no events. *)

@@ -631,7 +631,17 @@ let create_text_index eng ~idx_name ~tbl ~text_col ~method_name ~score_funcs
 (* ---------------------------------------------------------------- *)
 (* statements *)
 
-let exec_statement eng = function
+let statement_kind = function
+  | Create_table _ -> "create-table"
+  | Create_function _ -> "create-function"
+  | Create_text_index _ -> "create-text-index"
+  | Rebuild_index _ -> "rebuild-index"
+  | Insert _ -> "insert"
+  | Update _ -> "update"
+  | Delete _ -> "delete"
+  | Select _ -> "select"
+
+let run_statement eng = function
   | Create_table { tbl; cols; pk } ->
       if Hashtbl.mem eng.tables (norm tbl) then fail "table %s already exists" tbl;
       let schema =
@@ -701,6 +711,17 @@ let exec_statement eng = function
   | Select sel ->
       let columns, rows = exec_select eng sel in
       Rows { columns; rows }
+
+(* The trace root for the whole SQL statement: index-level query/update roots
+   opened further down nest under it, so one .explain shows the full path
+   from SQL dispatch to the method's stop decision. *)
+let exec_statement eng stmt =
+  let sp = Svr_obs.Trace.root "statement" in
+  if Svr_obs.Trace.is_on sp then
+    Svr_obs.Trace.annotate sp "kind" (statement_kind stmt);
+  Fun.protect
+    ~finally:(fun () -> Svr_obs.Trace.pop sp)
+    (fun () -> run_statement eng stmt)
 
 (* ---------------------------------------------------------------- *)
 (* durability: checkpoint / crash / recover over the whole engine *)

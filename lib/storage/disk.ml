@@ -158,6 +158,11 @@ let read_verified ?(hint = `Auto) ?(attempts = 4) t page_no =
           page_no t.name attempts
       else begin
         c.Stats.read_retries <- c.Stats.read_retries + 1;
+        if Svr_obs.Trace.hot () then
+          Svr_obs.Trace.event "read-retry"
+            ~attrs:
+              [ ("device", t.name); ("page", string_of_int page_no);
+                ("attempt", string_of_int (n + 1)) ];
         backoff spins;
         attempt (n + 1) (2 * spins)
       end
@@ -166,6 +171,9 @@ let read_verified ?(hint = `Auto) ?(attempts = 4) t page_no =
       let expect = (Atomic.get t.crcs).(page_no) in
       if Crc32.bytes bytes <> expect then begin
         c.Stats.checksum_failures <- c.Stats.checksum_failures + 1;
+        if Svr_obs.Trace.hot () then
+          Svr_obs.Trace.event "checksum-failure"
+            ~attrs:[ ("device", t.name); ("page", string_of_int page_no) ];
         Storage_error.error Corrupt
           "Disk.read_verified: checksum mismatch on page %d of %s" page_no
           t.name

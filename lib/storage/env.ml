@@ -21,6 +21,12 @@ let create ?(page_size = 4096) ?(table_pool_pages = 8192)
     ?(cost = Stats.default_cost) ?fault ?(durable = false) ?(wal_group = 32)
     () =
   let stats = Stats.create () in
+  (* span sim-durations come straight from the calling domain's counter
+     cell, so a span's sim-ms is exactly the I/O cost model applied to the
+     I/O that domain performed inside it. Last environment created wins —
+     the tracer is process-global, environments in practice are not. *)
+  Svr_obs.Trace.set_sim_clock (fun () ->
+      Stats.simulated_ms ~cost (Stats.cell stats));
   let wal =
     if durable then
       (* the log device is unjournaled on purpose: it must survive the
@@ -135,12 +141,22 @@ let checkpoint t =
          applied update in it; (2) force the data pages; (3) truncate — one
          atomic header write, the commit point; (4) snapshot, which touches
          no device, so no crash can split (3) from (4) *)
-      Wal.flush wal;
-      flush_all t;
-      Wal.truncate wal;
-      List.iter (fun (_, p) -> Disk.mark_stable (Pager.disk p)) (all_pagers t);
-      List.iter Btree.mark_stable t.trees;
-      List.iter Blob_store.mark_stable t.blob_stores
+      let sp = Svr_obs.Trace.root "checkpoint" in
+      let phase name f =
+        let p = Svr_obs.Trace.push name in
+        Fun.protect ~finally:(fun () -> Svr_obs.Trace.pop p) f
+      in
+      Fun.protect
+        ~finally:(fun () -> Svr_obs.Trace.pop sp)
+        (fun () ->
+          phase "wal-force" (fun () -> Wal.flush wal);
+          phase "pool-flush" (fun () -> flush_all t);
+          phase "log-truncate" (fun () -> Wal.truncate wal);
+          List.iter
+            (fun (_, p) -> Disk.mark_stable (Pager.disk p))
+            (all_pagers t);
+          List.iter Btree.mark_stable t.trees;
+          List.iter Blob_store.mark_stable t.blob_stores)
 
 let crash t =
   if not (durable t) then
@@ -154,11 +170,25 @@ let recover t =
   match t.wal with
   | None -> []
   | Some wal ->
+      let sp = Svr_obs.Trace.root "recover" in
+      let t0 = Svr_obs.Clock.now_ms () in
+      let revert = Svr_obs.Trace.push "device-revert" in
       List.iter (fun (_, p) -> Pager.discard p) (all_pagers t);
       List.iter (fun (_, p) -> Disk.revert_to_stable (Pager.disk p)) (all_pagers t);
       List.iter Btree.revert_to_stable t.trees;
       List.iter Blob_store.revert_to_stable t.blob_stores;
+      Svr_obs.Trace.pop revert;
+      let scan = Svr_obs.Trace.push "log-scan" in
       let records = Wal.recover_scan wal in
+      Svr_obs.Trace.pop scan;
       let c = Stats.cell t.stats in
       c.Stats.recovery_replays <- c.Stats.recovery_replays + List.length records;
+      Svr_obs.Metrics.observe
+        (Svr_obs.Metrics.histogram ~base:0.001
+           ~help:"wall ms spent reverting devices and scanning the log"
+           "svr_recovery_replay_ms")
+        (Svr_obs.Clock.now_ms () -. t0);
+      Svr_obs.Trace.annotate_f sp "records" (fun () ->
+          string_of_int (List.length records));
+      Svr_obs.Trace.pop sp;
       records

@@ -7,7 +7,14 @@
 
 type entry = { mutable bytes : Bytes.t; mutable dirty : bool }
 
-type shard = { mu : Mutex.t; pool : (int, entry) Lru.t }
+type shard = {
+  mu : Mutex.t;
+  pool : (int, entry) Lru.t;
+  (* per-shard traffic counts, incremented under [mu]; read lock-free by
+     the hit-rate gauge at scrape time (a stale read is fine there) *)
+  mutable hits : int;
+  mutable misses : int;
+}
 
 type t = {
   disk : Disk.t;
@@ -22,10 +29,26 @@ let create ?(pool_pages = 1024) ?(shards = default_shards) ~stats disk =
   if shards < 1 then invalid_arg "Pager.create: shards < 1";
   let n_shards = max 1 (min shards pool_pages) in
   let cap = max 1 (pool_pages / n_shards) in
-  { disk; stats; pool_pages;
-    shards =
-      Array.init n_shards (fun _ ->
-          { mu = Mutex.create (); pool = Lru.create ~cap }) }
+  let t =
+    { disk; stats; pool_pages;
+      shards =
+        Array.init n_shards (fun _ ->
+            { mu = Mutex.create (); pool = Lru.create ~cap; hits = 0;
+              misses = 0 }) }
+  in
+  (* one hit-rate gauge per shard, computed from the counters at scrape;
+     re-creating a pager for the same device replaces its predecessor's *)
+  Array.iteri
+    (fun i s ->
+      Svr_obs.Metrics.gauge "svr_pager_hit_rate"
+        ~help:"buffer-pool hit rate per shard since creation"
+        ~labels:[ ("device", Disk.name disk); ("shard", string_of_int i) ]
+        (fun () ->
+          let total = s.hits + s.misses in
+          if total = 0 then Float.nan
+          else float_of_int s.hits /. float_of_int total))
+    t.shards;
+  t
 
 let disk t = t.disk
 let pool_pages t = t.pool_pages
@@ -71,8 +94,10 @@ let get ?(hint = `Auto) t page_no =
       match Lru.find s.pool page_no with
       | Some entry ->
           c.Stats.cache_hits <- c.Stats.cache_hits + 1;
+          s.hits <- s.hits + 1;
           Bytes.copy entry.bytes
       | None ->
+          s.misses <- s.misses + 1;
           let bytes = Disk.read_verified ~hint t.disk page_no in
           insert t s page_no { bytes; dirty = false };
           Bytes.copy bytes)

@@ -137,16 +137,13 @@ let simulated_ms ?(cost = default_cost) c =
   +. (float_of_int (c.page_writes - c.seq_writes) *. cost.write_ms)
   +. (float_of_int c.seq_writes *. cost.seq_write_ms)
 
+(* every field prints, every time: partial output hid the PR 3 counters
+   whenever a run happened not to touch the WAL, which made "is durability
+   even on?" unanswerable from a stats line *)
 let pp ppf c =
   Format.fprintf ppf
-    "reads=%d hits=%d seq=%d rand=%d writes=%d seq-w=%d blk-dec=%d blk-skip=%d (sim %.2f ms)"
+    "reads=%d hits=%d seq=%d rand=%d writes=%d seq-w=%d blk-dec=%d \
+     blk-skip=%d wal=%d/%dB crc-fail=%d retries=%d replays=%d (sim %.2f ms)"
     c.logical_reads c.cache_hits c.seq_reads c.rand_reads c.page_writes
-    c.seq_writes c.blocks_decoded c.blocks_skipped (simulated_ms c);
-  if
-    c.wal_appends <> 0 || c.wal_bytes <> 0 || c.checksum_failures <> 0
-    || c.read_retries <> 0 || c.recovery_replays <> 0
-  then
-    Format.fprintf ppf
-      " wal=%d/%dB crc-fail=%d retries=%d replays=%d"
-      c.wal_appends c.wal_bytes c.checksum_failures c.read_retries
-      c.recovery_replays
+    c.seq_writes c.blocks_decoded c.blocks_skipped c.wal_appends c.wal_bytes
+    c.checksum_failures c.read_retries c.recovery_replays (simulated_ms c)

@@ -44,6 +44,7 @@ type t = {
   mutable tail_bytes : Bytes.t; (* in-memory image of the tail page *)
   pending : Buffer.t;
   mutable pending_records : int;
+  commit_size_h : Svr_obs.Metrics.histogram;
 }
 
 let magic = "SVRWAL1\n"
@@ -80,7 +81,11 @@ let create ?(group = 32) disk =
   let t =
     { disk; stats = Disk.stats disk; page_size; group; epoch = 1;
       tail_page = 0; tail_off = 0; tail_bytes = Bytes.make page_size '\000';
-      pending = Buffer.create 512; pending_records = 0 }
+      pending = Buffer.create 512; pending_records = 0;
+      commit_size_h =
+        Svr_obs.Metrics.histogram ~base:1.0
+          ~help:"records per WAL group-commit flush"
+          "svr_wal_group_commit_records" }
   in
   assert (Disk.n_pages disk = 0);
   ignore (Disk.alloc disk); (* header *)
@@ -185,6 +190,12 @@ let decode_payload s =
 let flush t =
   if Buffer.length t.pending > 0 then begin
     let data = Buffer.contents t.pending in
+    Svr_obs.Metrics.observe t.commit_size_h (float_of_int t.pending_records);
+    if Svr_obs.Trace.hot () then
+      Svr_obs.Trace.event "wal-group-commit"
+        ~attrs:
+          [ ("records", string_of_int t.pending_records);
+            ("bytes", string_of_int (String.length data)) ];
     Buffer.clear t.pending;
     t.pending_records <- 0;
     let len = String.length data in
@@ -220,6 +231,11 @@ let append t record =
   let c = Stats.cell t.stats in
   c.Stats.wal_appends <- c.Stats.wal_appends + 1;
   c.Stats.wal_bytes <- c.Stats.wal_bytes + 12 + String.length payload;
+  if Svr_obs.Trace.hot () then
+    Svr_obs.Trace.event "wal-append"
+      ~attrs:
+        [ ("tag", record.tag);
+          ("bytes", string_of_int (12 + String.length payload)) ];
   if t.pending_records >= t.group then flush t
 
 let lose_pending t =
