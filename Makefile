@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check check-crash test bench bench-par bench-recovery bench-obs clean
+.PHONY: all check check-crash check-maintain test bench bench-par bench-recovery bench-obs bench-maintain clean
 
 all:
 	dune build
@@ -34,6 +34,18 @@ bench-obs:
 # index method, plus SQL-level recovery and codec damage fuzz
 check-crash:
 	dune exec test/test_recovery.exe
+
+# online-compaction gate: interleaved update/query/compaction stress
+# (serial and 4-domain), invalid-score rejection, MAINTAIN statement,
+# plus the compaction crash points inside the recovery harness
+check-maintain:
+	dune exec test/test_maintain.exe
+	dune exec test/test_recovery.exe -- test "crash points"
+
+# maintenance-policy comparison: none / offline rebuild / online
+# compaction over an update-heavy timeline (writes BENCH_PR5.json)
+bench-maintain:
+	dune exec bench/main.exe -- maintain
 
 clean:
 	dune clean

@@ -1,0 +1,182 @@
+(* Online maintenance experiment: query latency and short-list size over an
+   update-heavy timeline under three maintenance policies. Writes
+   BENCH_PR5.json.
+
+   The same flash-crowd score-update stream (large random-walk steps, so
+   documents keep crossing thresholds/chunks into the short lists) is
+   replayed in epochs against three copies of each index:
+
+   - none:    short lists grow unboundedly; cold-cache query cost drifts up
+              as every query re-merges an ever longer update backlog;
+   - offline: a full REBUILD after every epoch — the paper's Section 5.1
+              offline merge. Queries stay fast but each rebuild is a
+              stop-the-world pause on the update path;
+   - online:  auto-maintenance on the update path ([maint_auto]) plus a
+              final bounded drain. Short lists stay bounded, queries match
+              the offline leg, and the worst single pause is one bounded
+              compaction step, orders of magnitude below a rebuild.
+
+   Pauses are measured as the longest single blocking call on the update
+   path of each leg: the slowest score_update (which for the online leg
+   includes any piggybacked compaction step) and, for the offline leg, the
+   rebuild itself. *)
+
+module Core = Svr_core
+module St = Svr_storage
+module W = Svr_workload
+
+let epochs = 6
+
+type policy = P_none | P_offline | P_online
+
+let policy_name = function
+  | P_none -> "none"
+  | P_offline -> "offline-rebuild"
+  | P_online -> "online-compaction"
+
+type epoch_point = {
+  ep_short : int; (* short-list postings after the epoch's maintenance *)
+  ep_query : Harness.timing;
+  ep_pause_ms : float; (* longest single blocking call this epoch *)
+}
+
+type leg_result = {
+  lr_policy : policy;
+  lr_points : epoch_point list;
+  lr_max_pause_ms : float;
+  lr_final_query : Harness.timing;
+}
+
+let build_leg (p : Profile.t) kind policy =
+  let cfg_mod c =
+    { c with
+      (* trigger early enough that the scaled-down timeline exercises many
+         steps; budgets keep each step small relative to a rebuild *)
+      Core.Config.maint_ratio = 0.01;
+      maint_min_short = 256;
+      maint_auto = (policy = P_online) }
+  in
+  Harness.build ~cfg_mod p kind
+
+let run_leg (p : Profile.t) kind policy ~queries =
+  let idx, scores = build_leg p kind policy in
+  let cur = Array.copy scores in
+  let ops = Harness.update_ops ~mean_step:5000.0 p ~scores in
+  let per_epoch = max 1 (Array.length ops / epochs) in
+  let points = ref [] in
+  for e = 0 to epochs - 1 do
+    let lo = e * per_epoch in
+    let hi = if e = epochs - 1 then Array.length ops else lo + per_epoch in
+    (* update path: apply one epoch's stream, tracking the slowest call *)
+    let max_pause = ref 0.0 in
+    for i = lo to hi - 1 do
+      let op = ops.(i) in
+      let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+      cur.(op.W.Update_gen.doc) <- s;
+      let t0 = Unix.gettimeofday () in
+      Core.Index.score_update idx ~doc:op.W.Update_gen.doc s;
+      max_pause := max !max_pause (Unix.gettimeofday () -. t0)
+    done;
+    (* per-policy epoch maintenance *)
+    (match policy with
+    | P_none | P_online -> ()
+    | P_offline ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Core.Index.rebuild idx);
+        max_pause := max !max_pause (Unix.gettimeofday () -. t0));
+    let q = Harness.measure_queries p idx queries in
+    points :=
+      { ep_short = Core.Index.short_list_postings idx;
+        ep_query = q;
+        ep_pause_ms = 1000.0 *. !max_pause }
+      :: !points
+  done;
+  (* end of the timeline: the online leg drains its residue in bounded
+     steps (each timed like an update-path pause), then every leg takes a
+     final post-maintenance query measurement *)
+  let drain_pause = ref 0.0 in
+  (match policy with
+  | P_none | P_offline -> ()
+  | P_online ->
+      let continue_ = ref true in
+      while !continue_ do
+        let t0 = Unix.gettimeofday () in
+        let s = Core.Index.maintain ~steps:1 idx in
+        drain_pause := max !drain_pause (Unix.gettimeofday () -. t0);
+        if s.Core.Index.steps = 0 then continue_ := false
+      done);
+  let final_query = Harness.measure_queries p idx queries in
+  let pts = List.rev !points in
+  { lr_policy = policy;
+    lr_points = pts;
+    lr_max_pause_ms =
+      List.fold_left
+        (fun m pt -> max m pt.ep_pause_ms)
+        (1000.0 *. !drain_pause) pts;
+    lr_final_query = final_query }
+
+let run (p : Profile.t) =
+  Harness.banner "Online short-list compaction vs offline rebuild" p;
+  let methods = [ Core.Index.Score_threshold; Core.Index.Chunk ] in
+  let queries = Harness.queries_for p in
+  let results =
+    List.map
+      (fun kind ->
+        let legs =
+          List.map
+            (fun policy -> run_leg p kind policy ~queries)
+            [ P_none; P_offline; P_online ]
+        in
+        Printf.printf "\n%s — final epoch (query ms are modeled I/O):\n"
+          (Core.Index.kind_name kind);
+        Harness.header
+          [ "policy            "; " short"; " query ms"; " max pause ms" ];
+        List.iter
+          (fun lr ->
+            let last = List.nth lr.lr_points (List.length lr.lr_points - 1) in
+            Harness.row (policy_name lr.lr_policy)
+              [ Printf.sprintf "%6d" last.ep_short;
+                Printf.sprintf "%9.2f" lr.lr_final_query.Harness.sim_ms;
+                Printf.sprintf "%13.2f" lr.lr_max_pause_ms ])
+          legs;
+        (kind, legs))
+      methods
+  in
+  let oc = open_out "BENCH_PR5.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"online-maintenance\",\n  \"profile\": %S,\n\
+    \  \"epochs\": %d,\n  \"n_updates\": %d,\n  \"n_queries\": %d,\n\
+    \  \"k\": %d,\n  \"methods\": ["
+    p.Profile.name epochs p.Profile.n_updates p.Profile.n_queries p.Profile.k;
+  List.iteri
+    (fun mi (kind, legs) ->
+      Printf.fprintf oc "%s\n    { \"method\": %S, \"legs\": ["
+        (if mi = 0 then "" else ",")
+        (Core.Index.kind_name kind);
+      List.iteri
+        (fun li lr ->
+          Printf.fprintf oc
+            "%s\n      { \"policy\": %S,\n        \"max_pause_ms\": %.3f,\n\
+            \        \"final_query_wall_ms\": %.3f,\n\
+            \        \"final_query_sim_ms\": %.3f,\n\
+            \        \"epochs\": ["
+            (if li = 0 then "" else ",")
+            (policy_name lr.lr_policy) lr.lr_max_pause_ms
+            lr.lr_final_query.Harness.wall_ms lr.lr_final_query.Harness.sim_ms;
+          List.iteri
+            (fun ei pt ->
+              Printf.fprintf oc
+                "%s\n          { \"epoch\": %d, \"short_postings\": %d,\n\
+                \            \"query_wall_ms\": %.3f, \"query_sim_ms\": %.3f,\n\
+                \            \"pause_ms\": %.3f }"
+                (if ei = 0 then "" else ",")
+                (ei + 1) pt.ep_short pt.ep_query.Harness.wall_ms
+                pt.ep_query.Harness.sim_ms pt.ep_pause_ms)
+            lr.lr_points;
+          Printf.fprintf oc "\n        ] }")
+        legs;
+      Printf.fprintf oc "\n    ] }")
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_PR5.json"

@@ -64,7 +64,7 @@ let meta eng line =
         \  SELECT ... FROM t [WHERE ...]\n\
         \    [ORDER BY score(textcol, 'keywords') DESC] [FETCH TOP k RESULTS ONLY];\n\
          methods: id | score | score_threshold | chunk | id_termscore | chunk_termscore\n\
-         meta: .help .tables .stats .checkpoint .crash .recover .quit\n\
+         meta: .help .tables .stats .maintain .checkpoint .crash .recover .quit\n\
         \  .par <index> <domains> <reps> <keywords...>  run the keyword query\n\
         \       <reps> times as one batch over <domains> domains and report\n\
         \       wall time, per-domain cache hits and the top-10 results\n\
@@ -77,7 +77,10 @@ let meta eng line =
         \  .trace [on|off|sample N]  trace every query / none / every Nth\n\
         \  .timer on|off        per-statement wall + simulated-I/O time\n\
         \  .slow [N]            recent slow traces (threshold .slowms)\n\
-        \  .slowms <ms>         slow-query retention threshold\n%!"
+        \  .slowms <ms>         slow-query retention threshold\n\
+        \  .maintain <index> [steps]  drain short lists into the long lists\n\
+        \       in bounded online steps (all of them without a step count);\n\
+        \       same as MAINTAIN TEXT INDEX <index> [STEP n];\n%!"
   | ".stats" ->
       List.iter
         (fun (name, bytes) -> Printf.printf "  %-24s %8d KB\n" name (bytes / 1024))
@@ -205,6 +208,23 @@ let meta eng line =
           | _ -> Printf.printf ".par: domains and reps must be positive ints\n%!"
         end
       | _ -> Printf.printf "usage: .par <index> <domains> <reps> <keywords...>\n%!"
+    end
+  | meta_line
+    when String.length meta_line >= 9 && String.sub meta_line 0 9 = ".maintain"
+    -> begin
+      match
+        String.split_on_char ' ' meta_line
+        |> List.filter (fun s -> String.length s > 0)
+      with
+      | [ ".maintain"; index ] ->
+          exec_and_print eng (Printf.sprintf "MAINTAIN TEXT INDEX %s" index)
+      | [ ".maintain"; index; steps ] -> (
+          match int_of_string_opt steps with
+          | Some n when n >= 1 ->
+              exec_and_print eng
+                (Printf.sprintf "MAINTAIN TEXT INDEX %s STEP %d" index n)
+          | _ -> Printf.printf ".maintain: steps must be a positive int\n%!")
+      | _ -> Printf.printf "usage: .maintain <index> [steps]\n%!"
     end
   | ".checkpoint" ->
       R.Engine.checkpoint eng;

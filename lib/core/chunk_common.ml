@@ -174,12 +174,104 @@ let process_candidate t mode ~n_terms (g : Merge.group) heap =
     if g.Merge.any_short then offer ()
     else
       match Cs.find t.cstate ~doc with
-      | Some { Cs.in_short = true; _ } -> () (* stale long postings *)
+      | Some { Cs.in_short = true; lchunk } ->
+          (* every short posting sits at the document's current list chunk,
+             so postings drained by online compaction re-enter the long list
+             at exactly that chunk: a long-only group is authoritative iff
+             its chunk matches, and stale at any other (older) chunk *)
+          if lchunk = int_of_float g.Merge.g_rank then offer ()
       | Some { Cs.in_short = false; _ } | None -> offer ()
   end
 
 let long_list_bytes t = St.Blob_store.live_bytes t.blobs
 let short_list_postings t = Short_list.count t.short
+
+(* -- online compaction ----------------------------------------------------
+
+   Drain one term's short postings into its long blob. Adds carry the doc's
+   current list chunk (see the invariant in [process_candidate]); the merged
+   blob places each added doc at that chunk and drops the doc's other-chunk
+   long postings, which the query already treated as stale. Rem markers
+   remove the doc from the list outright. [in_short] flags are left alone —
+   after the swap the chunk-equality rule makes the drained postings
+   authoritative again. *)
+
+let compact_term ?on_drained t term =
+  let shorts = Short_list.term_postings t.short ~term in
+  if shorts = [] then 0
+  else begin
+    let adds : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+    let rems : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let max_add_ts = ref 0 in
+    List.iter
+      (fun (p : Short_list.posting) ->
+        match p.Short_list.op with
+        | Short_list.Add ->
+            Hashtbl.replace adds p.Short_list.doc
+              (int_of_float p.Short_list.rank, p.Short_list.ts);
+            if p.Short_list.ts > !max_add_ts then max_add_ts := p.Short_list.ts
+        | Short_list.Rem -> Hashtbl.replace rems p.Short_list.doc ())
+      shorts;
+    let old_entry = Term_dir.find t.dir ~term in
+    let keep = ref [] in
+    (match old_entry with
+    | None -> ()
+    | Some { Term_dir.blob; _ } ->
+        let c =
+          Posting_codec.Chunk_codec.cursor ~with_ts:t.with_ts ~term_idx:0
+            (St.Blob_store.reader t.blobs blob)
+        in
+        while not (Posting_cursor.eof c) do
+          let doc = Posting_cursor.doc c in
+          (* a doc with any short marker is rewritten (Add) or removed (Rem);
+             either way its old long postings are dropped *)
+          if not (Hashtbl.mem adds doc || Hashtbl.mem rems doc) then
+            keep :=
+              (int_of_float (Posting_cursor.rank c), doc, Posting_cursor.ts c)
+              :: !keep;
+          Posting_cursor.advance c
+        done);
+    Hashtbl.iter (fun doc (cid, ts) -> keep := (cid, doc, ts) :: !keep) adds;
+    let merged =
+      List.sort
+        (fun (c1, d1, _) (c2, d2, _) ->
+          match compare c2 c1 with 0 -> compare d1 d2 | c -> c)
+        !keep
+    in
+    (* regroup for the codec: descending chunk ids, non-empty groups *)
+    let groups = ref [] and cur_cid = ref (-1) and cur = ref [] in
+    let flush () =
+      if !cur <> [] then
+        groups := (!cur_cid, Array.of_list (List.rev !cur)) :: !groups;
+      cur := []
+    in
+    List.iter
+      (fun (cid, doc, ts) ->
+        if cid <> !cur_cid then begin
+          flush ();
+          cur_cid := cid
+        end;
+        cur := (doc, ts) :: !cur)
+      merged;
+    flush ();
+    let groups = Array.of_list (List.rev !groups) in
+    (if Array.length groups = 0 then Term_dir.remove t.dir ~term
+     else
+       let payload = Posting_codec.Chunk_codec.encode ~with_ts:t.with_ts groups in
+       Term_dir.set t.dir ~term
+         { Term_dir.blob = St.Blob_store.put t.blobs payload; meta = 0 });
+    (match old_entry with
+    | Some { Term_dir.blob; _ } -> St.Blob_store.free t.blobs blob
+    | None -> ());
+    let drained = Short_list.drop_term t.short ~term in
+    (match on_drained with
+    | Some f -> f ~term ~max_add_ts:!max_add_ts
+    | None -> ());
+    drained
+  end
+
+let compact_terms ?on_drained t terms =
+  List.fold_left (fun n term -> n + compact_term ?on_drained t term) 0 terms
 
 let rebuild t =
   let deleted = ref [] in

@@ -53,6 +53,17 @@ val long_list_bytes : t -> int
 
 val short_list_postings : t -> int
 
+val compact_terms :
+  ?on_drained:(term:string -> max_add_ts:int -> unit) -> t -> string list -> int
+(** One online-compaction drain: merge each term's short postings into its
+    long blob (Adds re-enter at the doc's current list chunk, replacing its
+    older-chunk postings; Rems remove the doc), swap the blob, and delete
+    the short postings. Returns short postings drained. [on_drained] reports
+    each drained term's largest Add term score — what Chunk-TermScore's
+    stopping bound must keep remembering once the postings leave the short
+    list. Queries remain exact throughout because [process_candidate] admits
+    a long-only group exactly when its chunk equals the doc's list chunk. *)
+
 val rebuild : t -> (string, (int * int) list ref) Hashtbl.t
 (** Offline merge: drop deleted docs, re-chunk from current scores, rebuild
     long lists, clear short lists and ListChunk. Returns the fresh per-term

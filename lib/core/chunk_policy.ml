@@ -42,10 +42,18 @@ let ratio_based ~ratio ~min_docs scores =
       chunk_start := boundary_rank
     end
   done;
-  (match !kept with
-  | top :: rest when top > 0.0 && Array.length sorted - rank top < min_docs ->
-      kept := rest
-  | _ -> ());
+  (* a heavy-tailed sample can leave several consecutive sparse top chunks:
+     keep dropping the highest boundary until the top chunk reaches min_docs
+     or only the base chunk remains (a single drop is not enough — each drop
+     only merges the top chunk into the next sparse one below it) *)
+  let rec trim_top () =
+    match !kept with
+    | top :: rest when top > 0.0 && Array.length sorted - rank top < min_docs ->
+        kept := rest;
+        trim_top ()
+    | _ -> ()
+  in
+  trim_top ();
   of_boundaries (Array.of_list (List.rev !kept))
 
 let equal_width ~n_chunks scores =

@@ -5,12 +5,18 @@ type t = {
   min_chunk_docs : int;
   fancy_size : int;
   ts_weight : float;
+  maint_ratio : float;
+  maint_min_short : int;
+  maint_step_terms : int;
+  maint_step_postings : int;
+  maint_auto : bool;
 }
 
 let default =
   { analyzer = Svr_text.Analyzer.default; threshold_ratio = 11.24;
     chunk_ratio = 6.12; min_chunk_docs = 100; fancy_size = 64;
-    ts_weight = 1.0 }
+    ts_weight = 1.0; maint_ratio = 0.05; maint_min_short = 512;
+    maint_step_terms = 32; maint_step_postings = 4096; maint_auto = false }
 
 let validate t =
   if t.threshold_ratio <= 1.0 then
@@ -18,4 +24,9 @@ let validate t =
   if t.chunk_ratio <= 1.0 then invalid_arg "Config: chunk_ratio must be > 1";
   if t.min_chunk_docs < 1 then invalid_arg "Config: min_chunk_docs must be >= 1";
   if t.fancy_size < 1 then invalid_arg "Config: fancy_size must be >= 1";
-  if t.ts_weight < 0.0 then invalid_arg "Config: ts_weight must be >= 0"
+  if t.ts_weight < 0.0 then invalid_arg "Config: ts_weight must be >= 0";
+  if not (t.maint_ratio > 0.0) then invalid_arg "Config: maint_ratio must be > 0";
+  if t.maint_min_short < 1 then invalid_arg "Config: maint_min_short must be >= 1";
+  if t.maint_step_terms < 1 then invalid_arg "Config: maint_step_terms must be >= 1";
+  if t.maint_step_postings < 1 then
+    invalid_arg "Config: maint_step_postings must be >= 1"

@@ -18,11 +18,30 @@ type t = {
   ts_weight : float;
       (** weight of the summed term scores in the combined scoring function
           [f = svr + ts_weight * sum of term scores] (Section 4.3.3). *)
+  maint_ratio : float;
+      (** online maintenance trigger: compact once the short lists' estimated
+          size exceeds [maint_ratio] of the long lists' live bytes (the
+          short/long size ratio of Section 5.1's merge policy); must be
+          > 0. *)
+  maint_min_short : int;
+      (** never trigger below this many short-list postings — tiny short
+          lists are cheaper to merge at query time than to compact. *)
+  maint_step_terms : int;
+      (** bound on terms drained per maintenance step. *)
+  maint_step_postings : int;
+      (** bound on short-list postings drained per maintenance step; a step
+          stops picking terms once the budget is reached (the term that
+          crosses it is still drained whole). *)
+  maint_auto : bool;
+      (** piggyback one maintenance step on the update path whenever the
+          trigger fires (off by default: explicit [MAINTAIN] only). *)
 }
 
 val default : t
 (** Paper defaults: threshold ratio 11.24, chunk ratio 6.12, min chunk 100,
-    fancy size 64, ts weight 1.0, default analyzer. *)
+    fancy size 64, ts weight 1.0, default analyzer. Maintenance defaults:
+    ratio 0.05, min short 512, 32 terms / 4096 postings per step, auto
+    off. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument when a knob is out of its documented range. *)

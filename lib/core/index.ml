@@ -34,12 +34,35 @@ type impl =
   | I_chunk of Method_chunk.t
   | I_cts of Method_chunk_termscore.t
 
-type t = { kind : kind; cfg : Config.t; impl : impl; tag : string }
+type t = {
+  kind : kind;
+  cfg : Config.t;
+  impl : impl;
+  tag : string;
+  lock : Rw_lock.t;
+      (* queries shared; updates and maintenance steps exclusive. Never held
+         by [apply_op]/[recover]: replay is single-threaded and the lock is
+         not reentrant. *)
+  maint : Maintenance.t;
+}
 
 let kind t = t.kind
 let tag t = t.tag
 
 module St = Svr_storage
+
+exception Invalid_score of string
+
+(* Update-path validation (the long-standing hole: a NaN silently poisons
+   every rank-ordered structure downstream, because [f64_desc] orders NaN
+   bits like any other payload and every comparison against NaN is false).
+   Checked before logging so a rejected update leaves neither WAL record nor
+   state change. *)
+let check_score score =
+  if not (Float.is_finite score) || score < 0.0 then
+    raise
+      (Invalid_score
+         (Printf.sprintf "SVR score must be finite and >= 0, got %g" score))
 
 let env t =
   match t.impl with
@@ -50,6 +73,38 @@ let env t =
   | I_cts i -> Method_chunk_termscore.env i
 
 let env_of = env
+
+let maint_target impl =
+  match impl with
+  | I_id i ->
+      { Maintenance.short_postings = (fun () -> Method_id.short_list_postings i);
+        long_bytes = (fun () -> Method_id.long_list_bytes i);
+        next_term = (fun after -> Method_id.short_next_term i ~after);
+        term_count = (fun term -> Method_id.short_term_count i ~term);
+        compact = (fun terms -> Method_id.compact_terms i terms) }
+  | I_score _ ->
+      (* the Score method's B+-tree is updated in place: no short lists *)
+      Maintenance.null_target
+  | I_st i ->
+      { Maintenance.short_postings =
+          (fun () -> Method_score_threshold.short_list_postings i);
+        long_bytes = (fun () -> Method_score_threshold.long_list_bytes i);
+        next_term = (fun after -> Method_score_threshold.short_next_term i ~after);
+        term_count = (fun term -> Method_score_threshold.short_term_count i ~term);
+        compact = (fun terms -> Method_score_threshold.compact_terms i terms) }
+  | I_chunk i ->
+      { Maintenance.short_postings = (fun () -> Method_chunk.short_list_postings i);
+        long_bytes = (fun () -> Method_chunk.long_list_bytes i);
+        next_term = (fun after -> Method_chunk.short_next_term i ~after);
+        term_count = (fun term -> Method_chunk.short_term_count i ~term);
+        compact = (fun terms -> Method_chunk.compact_terms i terms) }
+  | I_cts i ->
+      { Maintenance.short_postings =
+          (fun () -> Method_chunk_termscore.short_list_postings i);
+        long_bytes = (fun () -> Method_chunk_termscore.long_list_bytes i);
+        next_term = (fun after -> Method_chunk_termscore.short_next_term i ~after);
+        term_count = (fun term -> Method_chunk_termscore.short_term_count i ~term);
+        compact = (fun terms -> Method_chunk_termscore.compact_terms i terms) }
 
 let build ?env ?(tag = "index") kind cfg ~corpus ~scores =
   let impl =
@@ -62,7 +117,10 @@ let build ?env ?(tag = "index") kind cfg ~corpus ~scores =
     | Chunk_termscore ->
         I_cts (Method_chunk_termscore.build ?env cfg ~corpus ~scores)
   in
-  let t = { kind; cfg; impl; tag } in
+  let t =
+    { kind; cfg; impl; tag; lock = Rw_lock.create ();
+      maint = Maintenance.create cfg (maint_target impl) }
+  in
   (* bulk loads bypass the WAL, so the freshly built state must become the
      recovery baseline before any logged update arrives *)
   St.Env.checkpoint (env_of t);
@@ -117,37 +175,84 @@ let apply_update_content t ~doc text =
   | I_chunk i -> Method_chunk.update_content i ~doc text
   | I_cts i -> Method_chunk_termscore.update_content i ~doc text
 
+(* One maintenance step, write lock already held: plan, WAL-log the chosen
+   terms, drain them. Replay applies the logged terms through the same
+   [Maintenance.compact], so a crash between the log flush and the next
+   checkpoint re-runs the identical drain — the step is a deterministic
+   function of the state left by the records before it. *)
+let step_locked t =
+  let terms =
+    Maintenance.plan t.maint ~max_terms:t.cfg.Config.maint_step_terms
+      ~max_postings:t.cfg.Config.maint_step_postings
+  in
+  match terms with
+  | [] -> None
+  | terms ->
+      let sp = Qobs.Tr.root "maintain-step" in
+      if Qobs.Tr.is_on sp then begin
+        Qobs.Tr.annotate sp "method" (kind_name t.kind);
+        Qobs.Tr.annotate sp "terms" (string_of_int (List.length terms))
+      end;
+      Fun.protect
+        ~finally:(fun () -> Qobs.Tr.pop sp)
+        (fun () ->
+          log t (St.Wal.Maintain_step { terms });
+          let drained = Maintenance.compact t.maint terms in
+          if Qobs.Tr.is_on sp then
+            Qobs.Tr.annotate sp "postings" (string_of_int drained);
+          Some (List.length terms, drained))
+
+(* Piggyback one step on the update path when the trigger fires. The write
+   lock is already held, so the swap wait is zero by construction. *)
+let auto_maintain_locked t =
+  if t.cfg.Config.maint_auto && Maintenance.should_run t.maint then
+    match step_locked t with
+    | None -> ()
+    | Some (_, drained) ->
+        Qobs.maint_step ~meth:(kind_name t.kind) ~postings:drained
+          ~swap_wait_ms:0.0
+
 let score_update t ~doc score =
+  check_score score;
   let sp = update_span t "score-update" in
   Fun.protect
     ~finally:(fun () -> Qobs.Tr.pop sp)
     (fun () ->
-      log t (St.Wal.Score_update { doc; score });
-      apply_score_update t ~doc score)
+      Rw_lock.with_write t.lock (fun () ->
+          log t (St.Wal.Score_update { doc; score });
+          apply_score_update t ~doc score;
+          auto_maintain_locked t))
 
 let insert t ~doc text ~score =
+  check_score score;
   let sp = update_span t "insert" in
   Fun.protect
     ~finally:(fun () -> Qobs.Tr.pop sp)
     (fun () ->
-      log t (St.Wal.Doc_insert { doc; text; score });
-      apply_insert t ~doc text ~score)
+      Rw_lock.with_write t.lock (fun () ->
+          log t (St.Wal.Doc_insert { doc; text; score });
+          apply_insert t ~doc text ~score;
+          auto_maintain_locked t))
 
 let delete t ~doc =
   let sp = update_span t "delete" in
   Fun.protect
     ~finally:(fun () -> Qobs.Tr.pop sp)
     (fun () ->
-      log t (St.Wal.Doc_delete { doc });
-      apply_delete t ~doc)
+      Rw_lock.with_write t.lock (fun () ->
+          log t (St.Wal.Doc_delete { doc });
+          apply_delete t ~doc;
+          auto_maintain_locked t))
 
 let update_content t ~doc text =
   let sp = update_span t "update-content" in
   Fun.protect
     ~finally:(fun () -> Qobs.Tr.pop sp)
     (fun () ->
-      log t (St.Wal.Doc_update { doc; text });
-      apply_update_content t ~doc text)
+      Rw_lock.with_write t.lock (fun () ->
+          log t (St.Wal.Doc_update { doc; text });
+          apply_update_content t ~doc text;
+          auto_maintain_locked t))
 
 let apply_op t (op : St.Wal.op) =
   match op with
@@ -155,6 +260,10 @@ let apply_op t (op : St.Wal.op) =
   | St.Wal.Doc_insert { doc; text; score } -> apply_insert t ~doc text ~score
   | St.Wal.Doc_delete { doc } -> apply_delete t ~doc
   | St.Wal.Doc_update { doc; text } -> apply_update_content t ~doc text
+  | St.Wal.Maintain_step { terms } ->
+      (* no planning, no logging: drain exactly the terms the live step
+         logged (deterministic given the state the preceding records left) *)
+      ignore (Maintenance.compact t.maint terms)
   | St.Wal.Row_put _ | St.Wal.Row_delete _ ->
       invalid_arg "Index.apply_op: relational record routed to a text index"
 
@@ -163,6 +272,9 @@ let recover t =
   List.iter
     (fun { St.Wal.tag; op } -> if String.equal tag t.tag then apply_op t op)
     records;
+  (* the round-robin cursor is volatile state; restart it rather than point
+     it at terms that may no longer have short postings *)
+  Maintenance.reset t.maint;
   (* the replayed state is fully applied but not yet stable: make it the new
      baseline so a second crash does not replay a truncated log *)
   St.Env.checkpoint (env t);
@@ -170,12 +282,16 @@ let recover t =
 
 let query_terms t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   let dispatch () =
-    match t.impl with
-    | I_id i -> Method_id.query i ~mode ~gallop terms ~k
-    | I_score i -> Method_score.query i ~mode ~gallop terms ~k
-    | I_st i -> Method_score_threshold.query i ~mode ~gallop terms ~k
-    | I_chunk i -> Method_chunk.query i ~mode ~gallop terms ~k
-    | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop terms ~k
+    (* shared for the whole merge: a query must never observe a term
+       mid-swap, and the writer-preferring lock keeps a stream of queries
+       from starving updates and maintenance steps *)
+    Rw_lock.with_read t.lock (fun () ->
+        match t.impl with
+        | I_id i -> Method_id.query i ~mode ~gallop terms ~k
+        | I_score i -> Method_score.query i ~mode ~gallop terms ~k
+        | I_st i -> Method_score_threshold.query i ~mode ~gallop terms ~k
+        | I_chunk i -> Method_chunk.query i ~mode ~gallop terms ~k
+        | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop terms ~k)
   in
   (* the calling domain's private counter cell: the delta across the dispatch
      is exactly this query's I/O, even with other domains querying *)
@@ -235,13 +351,75 @@ let long_list_bytes t =
   | I_chunk i -> Method_chunk.long_list_bytes i
   | I_cts i -> Method_chunk_termscore.long_list_bytes i
 
+let short_list_postings t = Maintenance.short_postings t.maint
+
+let should_maintain t = Maintenance.should_run t.maint
+
+type maint_stats = {
+  steps : int;
+  terms_drained : int;
+  postings_drained : int;
+  swap_wait_ms : float;
+}
+
+let maintain ?steps t =
+  let n_steps = ref 0 and terms = ref 0 and postings = ref 0 in
+  let wait = ref 0.0 in
+  let step () =
+    let t0 = Svr_obs.Clock.now_ms () in
+    Rw_lock.with_write t.lock (fun () ->
+        let w = Svr_obs.Clock.now_ms () -. t0 in
+        match step_locked t with
+        | None -> false
+        | Some (nt, np) ->
+            incr n_steps;
+            terms := !terms + nt;
+            postings := !postings + np;
+            wait := !wait +. w;
+            Qobs.maint_step ~meth:(kind_name t.kind) ~postings:np
+              ~swap_wait_ms:w;
+            true)
+  in
+  (match steps with
+  | Some n ->
+      let continue = ref true in
+      for _ = 1 to n do
+        if !continue then continue := step ()
+      done
+  | None -> while step () do () done);
+  { steps = !n_steps; terms_drained = !terms; postings_drained = !postings;
+    swap_wait_ms = !wait }
+
+type rebuild_status = Rebuilt | Purged of int | Nothing_to_rebuild
+
 let rebuild t =
-  (match t.impl with
-  | I_id i -> Method_id.rebuild i
-  | I_score _ -> ()
-  | I_st i -> Method_score_threshold.rebuild i
-  | I_chunk i -> Method_chunk.rebuild i
-  | I_cts i -> Method_chunk_termscore.rebuild i);
-  (* like build, a rebuild is unlogged bulk work: checkpoint so the compacted
-     state is the new recovery baseline *)
-  St.Env.checkpoint (env t)
+  Rw_lock.with_write t.lock (fun () ->
+      let status =
+        match t.impl with
+        | I_id i ->
+            Method_id.rebuild i;
+            Rebuilt
+        | I_score i -> (
+            (* the Score long list is maintained in place; only deleted
+               documents' postings are left to purge. Surfacing the count
+               replaces the old silent no-op that still checkpointed and
+               reported success. *)
+            match Method_score.rebuild i with
+            | 0 -> Nothing_to_rebuild
+            | n -> Purged n)
+        | I_st i ->
+            Method_score_threshold.rebuild i;
+            Rebuilt
+        | I_chunk i ->
+            Method_chunk.rebuild i;
+            Rebuilt
+        | I_cts i ->
+            Method_chunk_termscore.rebuild i;
+            Rebuilt
+      in
+      (* the rebuilt short lists are empty: restart the round-robin *)
+      Maintenance.reset t.maint;
+      (* like build, a rebuild is unlogged bulk work: checkpoint so the
+         compacted state is the new recovery baseline *)
+      St.Env.checkpoint (env t);
+      status)

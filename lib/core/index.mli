@@ -26,6 +26,14 @@ val ranks_with_term_scores : kind -> bool
 
 type t
 
+exception Invalid_score of string
+(** Raised by {!score_update} and {!insert} — before anything is logged or
+    mutated — when the SVR score is NaN, infinite or negative. Every
+    rank-ordered structure (the [f64_desc] key order, threshold and chunk
+    arithmetic, result heaps) assumes finite non-negative scores; a NaN in
+    particular would poison them silently, since every comparison against it
+    is false. *)
+
 val build :
   ?env:Svr_storage.Env.t ->
   ?tag:string ->
@@ -49,9 +57,11 @@ val env : t -> Svr_storage.Env.t
 
 val score_update : t -> doc:int -> float -> unit
 (** Notify the index that the document's SVR score changed (the paper's
-    materialized-view callback). *)
+    materialized-view callback).
+    @raise Invalid_score on a NaN, infinite or negative score. *)
 
 val insert : t -> doc:int -> string -> score:float -> unit
+(** @raise Invalid_score on a NaN, infinite or negative score. *)
 
 val delete : t -> doc:int -> unit
 
@@ -109,6 +119,45 @@ val query_terms_batch :
 
 val long_list_bytes : t -> int
 
-val rebuild : t -> unit
-(** Offline maintenance (no-op for the Score method, whose list is always
-    current). *)
+val short_list_postings : t -> int
+(** Postings currently awaiting compaction in short lists (0 for the Score
+    method, which has none). *)
+
+val should_maintain : t -> bool
+(** The {!Maintenance} trigger: enough short postings that their estimated
+    size exceeds [maint_ratio] of the long lists. Purely advisory —
+    {!maintain} may be called regardless. *)
+
+type maint_stats = {
+  steps : int;
+  terms_drained : int;
+  postings_drained : int;
+  swap_wait_ms : float;
+      (** total time steps waited for the index write lock — the only
+          stop-the-world component of online compaction *)
+}
+
+val maintain : ?steps:int -> t -> maint_stats
+(** Online compaction: drain short-list postings into the long lists in
+    bounded steps (at most [maint_step_terms] terms / [maint_step_postings]
+    postings each, from {!Config}). Each step runs under the index write
+    lock — queries and updates interleave {e between} steps — and is
+    WAL-logged before it drains, so a crash anywhere recovers to a
+    consistent prefix of completed steps. With [steps] run at most that many
+    steps; without, run until the short lists are empty. Query results are
+    unchanged by compaction at every intermediate point. Safe no-op for the
+    Score method. When [maint_auto] is set, the update path runs one step
+    itself whenever {!should_maintain} fires. *)
+
+type rebuild_status =
+  | Rebuilt  (** short lists folded in, deleted docs dropped, lists rebuilt *)
+  | Purged of int
+      (** Score method: postings of that many deleted documents purged *)
+  | Nothing_to_rebuild
+      (** Score method with no deletions pending: the in-place long list was
+          already current (previously a silent no-op that still reported
+          success) *)
+
+val rebuild : t -> rebuild_status
+(** Offline maintenance. Ends with a checkpoint either way, making the
+    (possibly unchanged) state the recovery baseline. *)

@@ -1,0 +1,82 @@
+(* Incremental short-list compaction: the planning half.
+
+   The paper's Section 5.1 merges short lists back into long lists as an
+   offline pass; this module turns that into bounded online steps. It owns
+   the trigger policy (short/long size ratio) and the round-robin term
+   planner; the actual drain, locking and WAL logging stay in [Index], which
+   hands us the index internals as a record of closures so one planner
+   serves all six methods. *)
+
+type target = {
+  short_postings : unit -> int;
+  long_bytes : unit -> int;
+  next_term : string option -> string option;
+      (* first short-list term strictly after the argument (None = start) *)
+  term_count : string -> int;
+  compact : string list -> int;
+}
+
+(* A target for methods with nothing to maintain (Score keeps its long list
+   current in place). *)
+let null_target =
+  { short_postings = (fun () -> 0);
+    long_bytes = (fun () -> 0);
+    next_term = (fun _ -> None);
+    term_count = (fun _ -> 0);
+    compact = (fun _ -> 0) }
+
+type t = {
+  cfg : Config.t;
+  target : target;
+  mutable cursor : string option;
+      (* last term drained; volatile — replay never plans, it drains the
+         logged terms, so losing the cursor in a crash only restarts the
+         round-robin, it cannot change what any logged step did *)
+}
+
+let create cfg target = { cfg; target; cursor = None }
+
+let reset t = t.cursor <- None
+
+let short_postings t = t.target.short_postings ()
+
+(* ~24 bytes per short posting: a B+-tree entry holding the composed
+   (term, rank, doc) key plus the op/timestamp value. An estimate is fine —
+   the trigger tunes when compaction happens, never whether it is correct. *)
+let estimated_short_bytes t = float_of_int (short_postings t) *. 24.0
+
+let should_run t =
+  let n = short_postings t in
+  n >= t.cfg.Config.maint_min_short
+  && estimated_short_bytes t
+     >= t.cfg.Config.maint_ratio *. float_of_int (t.target.long_bytes ())
+
+(* Plan one step: walk the short-list terms round-robin from the cursor,
+   wrapping at most once, until the term or posting budget is hit. The term
+   that crosses the posting budget is still drained whole (terms are the
+   atomic unit of a drain). Budgets come from the step caller so explicit
+   [MAINTAIN ... STEP] and the auto trigger share the planner. *)
+let plan t ~max_terms ~max_postings =
+  let picked = Hashtbl.create 16 in
+  let acc = ref [] and n_terms = ref 0 and n_postings = ref 0 in
+  let cur = ref t.cursor and wrapped = ref false and stop = ref false in
+  while (not !stop) && !n_terms < max_terms && !n_postings < max_postings do
+    match t.target.next_term !cur with
+    | Some term when not (Hashtbl.mem picked term) ->
+        Hashtbl.add picked term ();
+        acc := term :: !acc;
+        incr n_terms;
+        n_postings := !n_postings + t.target.term_count term;
+        cur := Some term
+    | Some _ -> stop := true (* completed a full cycle *)
+    | None ->
+        if !wrapped || !cur = None then stop := true
+        else begin
+          wrapped := true;
+          cur := None
+        end
+  done;
+  (match !acc with last :: _ -> t.cursor <- Some last | [] -> ());
+  List.rev !acc
+
+let compact t terms = t.target.compact terms

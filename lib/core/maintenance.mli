@@ -1,0 +1,49 @@
+(** Planning for incremental online compaction of short lists.
+
+    Section 5.1 of the paper merges short lists into long lists offline;
+    this module schedules that merge as bounded steps so it can interleave
+    with live queries and updates. It decides {e when} to compact (the
+    short/long size-ratio trigger) and {e which terms} each step drains
+    (a round-robin walk of the short-list terms under per-step term and
+    posting budgets). The drain itself, the index-level locking and the WAL
+    logging live in {!Index}, which supplies the method internals as a
+    {!target} record of closures. *)
+
+type target = {
+  short_postings : unit -> int;  (** total short-list postings *)
+  long_bytes : unit -> int;  (** live long-list bytes *)
+  next_term : string option -> string option;
+      (** first short-list term strictly after the argument; [None] starts
+          from the beginning *)
+  term_count : string -> int;  (** short postings of one term *)
+  compact : string list -> int;
+      (** drain these terms; returns postings drained *)
+}
+
+val null_target : target
+(** For methods with nothing to maintain (the Score method's long list is
+    updated in place): never triggers, plans nothing, drains nothing. *)
+
+type t
+
+val create : Config.t -> target -> t
+
+val reset : t -> unit
+(** Forget the round-robin cursor (after an offline rebuild emptied the
+    short lists). *)
+
+val short_postings : t -> int
+
+val should_run : t -> bool
+(** Trigger policy: at least [maint_min_short] short postings {e and} their
+    estimated bytes exceed [maint_ratio] of the long lists' live bytes. *)
+
+val plan : t -> max_terms:int -> max_postings:int -> string list
+(** Pick the next step's terms round-robin from the cursor (wrapping at most
+    once) until a budget is hit; the term crossing the posting budget is
+    included whole. Advances the cursor to the last picked term. Returns
+    [[]] iff the short lists are empty. The cursor is volatile: recovery
+    replays logged steps by their recorded terms, never by re-planning. *)
+
+val compact : t -> string list -> int
+(** Drain the given terms through the target. Returns postings drained. *)

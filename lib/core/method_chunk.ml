@@ -61,4 +61,7 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
 
 let long_list_bytes = C.long_list_bytes
 let short_list_postings = C.short_list_postings
+let short_next_term (t : t) ~after = Short_list.next_term t.C.short ~after
+let short_term_count (t : t) ~term = Short_list.term_count t.C.short ~term
+let compact_terms t terms = C.compact_terms t terms
 let rebuild t = ignore (C.rebuild t)

@@ -38,4 +38,13 @@ val long_list_bytes : t -> int
 
 val short_list_postings : t -> int
 
+val short_next_term : t -> after:string option -> string option
+
+val short_term_count : t -> term:string -> int
+
+val compact_terms : t -> string list -> int
+(** Online compaction (Section 5.1's merge, done incrementally): drain the
+    given terms' short postings into their long blobs. Query-invisible; see
+    {!Chunk_common.compact_terms}. Returns postings drained. *)
+
 val rebuild : t -> unit

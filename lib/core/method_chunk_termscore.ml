@@ -5,9 +5,26 @@ type t = {
   base : C.t;
   fancy_blobs : St.Blob_store.t;
   fancy_dir : Term_dir.t;
+  ts_bounds : St.Btree.t;
+      (* per-term monotone upper bound on the term scores online compaction
+         has drained out of the short list; without it the query's
+         [ts_bound] would shrink when high-term-score postings move long,
+         breaking the Theorem 2 stopping rule *)
 }
 
 let env t = t.base.C.env
+
+let tsb_key term = St.Order_key.compose [ (fun b -> St.Order_key.term b term) ]
+
+let tsb_get t term =
+  match St.Btree.find t.ts_bounds (tsb_key term) with
+  | Some v -> St.Order_key.get_u32 v 0
+  | None -> 0
+
+let tsb_bump t ~term ~max_add_ts =
+  if max_add_ts > tsb_get t term then
+    St.Btree.insert t.ts_bounds (tsb_key term)
+      (St.Order_key.compose [ (fun b -> St.Order_key.u32 b max_add_ts) ])
 
 let build_fancy t by_term =
   let fancy_size = t.base.C.cfg.Config.fancy_size in
@@ -53,7 +70,8 @@ let build ?env cfg ~corpus ~scores =
   let t =
     { base;
       fancy_blobs = St.Env.blob_store base.C.env ~name:"fancy";
-      fancy_dir = Term_dir.create base.C.env ~name:"fancydir" }
+      fancy_dir = Term_dir.create base.C.env ~name:"fancydir";
+      ts_bounds = St.Env.btree base.C.env ~name:"tsbound" }
   in
   build_fancy t (postings_by_term base);
   t
@@ -94,7 +112,8 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
                | None -> 0
              in
              Svr_text.Term_score.dequantize
-               (max fancy_min (Short_list.max_ts base.C.short ~term)))
+               (max fancy_min
+                  (max (Short_list.max_ts base.C.short ~term) (tsb_get t term))))
            terms)
     in
     let th_term = w *. Array.fold_left ( +. ) 0.0 ts_bound in
@@ -211,7 +230,18 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
 let long_list_bytes t =
   C.long_list_bytes t.base + St.Blob_store.live_bytes t.fancy_blobs
 
+let short_list_postings t = C.short_list_postings t.base
+let short_next_term t ~after = Short_list.next_term t.base.C.short ~after
+let short_term_count t ~term = Short_list.term_count t.base.C.short ~term
+
+let compact_terms t terms =
+  C.compact_terms t.base terms
+    ~on_drained:(fun ~term ~max_add_ts -> tsb_bump t ~term ~max_add_ts)
+
 let rebuild t =
+  (* rebuilt fancy lists cover all live postings again, so the compaction
+     bounds can be forgotten *)
+  St.Btree.clear t.ts_bounds;
   let by_term = C.rebuild t.base in
   let old = ref [] in
   Term_dir.iter t.fancy_dir (fun ~term entry -> old := (term, entry) :: !old);

@@ -49,4 +49,17 @@ val query :
 val long_list_bytes : t -> int
 (** Chunked long lists plus fancy lists. *)
 
+val short_list_postings : t -> int
+
+val short_next_term : t -> after:string option -> string option
+
+val short_term_count : t -> term:string -> int
+
+val compact_terms : t -> string list -> int
+(** Online compaction of the chunked lists. A per-term [tsbound] table
+    remembers the highest term score ever drained, so the stopping bound of
+    Algorithm 3 keeps covering postings that left the short lists (cleared
+    by {!rebuild}, whose fresh fancy lists cover everything again). Returns
+    postings drained. *)
+
 val rebuild : t -> unit

@@ -122,6 +122,58 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
   end
 
 let long_list_bytes t = St.Blob_store.live_bytes t.blobs
+let short_list_postings t = Short_list.count t.short
+let short_next_term t ~after = Short_list.next_term t.short ~after
+let short_term_count t ~term = Short_list.term_count t.short ~term
+
+(* Online compaction: fold one term's short postings into its doc-id-ordered
+   long blob. An Add inserts the doc or refreshes its term score; a Rem
+   removes it. No list-state bookkeeping exists for the ID methods, so the
+   swap is query-invisible by construction. *)
+let compact_term t term =
+  let shorts = Short_list.term_postings t.short ~term in
+  if shorts = [] then 0
+  else begin
+    let adds : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let rems : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Short_list.posting) ->
+        match p.Short_list.op with
+        | Short_list.Add -> Hashtbl.replace adds p.Short_list.doc p.Short_list.ts
+        | Short_list.Rem -> Hashtbl.replace rems p.Short_list.doc ())
+      shorts;
+    let old_entry = Term_dir.find t.dir ~term in
+    let keep = ref [] in
+    (match old_entry with
+    | None -> ()
+    | Some { Term_dir.blob; _ } ->
+        let c =
+          Posting_codec.Id_codec.cursor ~with_ts:t.with_ts ~term_idx:0
+            (St.Blob_store.reader t.blobs blob)
+        in
+        while not (Posting_cursor.eof c) do
+          let doc = Posting_cursor.doc c in
+          if not (Hashtbl.mem adds doc || Hashtbl.mem rems doc) then
+            keep := (doc, Posting_cursor.ts c) :: !keep;
+          Posting_cursor.advance c
+        done);
+    Hashtbl.iter (fun doc ts -> keep := (doc, ts) :: !keep) adds;
+    let arr = Array.of_list !keep in
+    Array.sort (fun (d1, _) (d2, _) -> compare d1 d2) arr;
+    (if Array.length arr = 0 then Term_dir.remove t.dir ~term
+     else
+       let blob =
+         St.Blob_store.put t.blobs (Posting_codec.Id_codec.encode ~with_ts:t.with_ts arr)
+       in
+       Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 });
+    (match old_entry with
+    | Some { Term_dir.blob; _ } -> St.Blob_store.free t.blobs blob
+    | None -> ());
+    Short_list.drop_term t.short ~term
+  end
+
+let compact_terms t terms =
+  List.fold_left (fun n term -> n + compact_term t term) 0 terms
 
 let rebuild t =
   (* drop deleted docs for real, then re-encode every term from the forward

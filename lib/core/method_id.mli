@@ -35,6 +35,20 @@ val query :
 
 val long_list_bytes : t -> int
 
+val short_list_postings : t -> int
+
+val short_next_term : t -> after:string option -> string option
+(** Next term (ascending) with short postings strictly after [after];
+    [after:None] starts from the first — the maintenance planner's
+    round-robin cursor walk. *)
+
+val short_term_count : t -> term:string -> int
+
+val compact_terms : t -> string list -> int
+(** Online compaction: drain the given terms' short postings (Add/Rem
+    markers from inserts and content updates) into their doc-ordered long
+    blobs. Returns postings drained. *)
+
 val rebuild : t -> unit
 (** Offline maintenance: fold short-list postings into fresh long lists and
     physically drop deleted documents. *)

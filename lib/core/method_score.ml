@@ -140,3 +140,21 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
 
 let long_list_bytes t =
   St.Env.device_size t.env ~name:"long"
+
+(* The Score method's long list is updated in place, so there are no short
+   lists to fold back in; the only rebuildable state is the postings of
+   deleted documents, which [delete] merely marks. Returns how many deleted
+   documents were purged — 0 means the rebuild had nothing to do. *)
+let rebuild t =
+  let deleted = ref [] in
+  Score_table.iter t.scores (fun ~doc ~score ~deleted:d ->
+      if d then deleted := (doc, score) :: !deleted);
+  List.iter
+    (fun (doc, score) ->
+      List.iter
+        (fun (term, _tf) -> ignore (St.Btree.delete t.list (posting_key term score doc)))
+        (Doc_store.terms t.docs ~doc);
+      Doc_store.remove t.docs ~doc;
+      Score_table.remove t.scores ~doc)
+    !deleted;
+  List.length !deleted

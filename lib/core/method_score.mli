@@ -33,3 +33,9 @@ val query :
   (int * float) list
 
 val long_list_bytes : t -> int
+
+val rebuild : t -> int
+(** The score-ordered B+-tree is maintained in place, so the only
+    rebuildable state is the postings of deleted documents (which {!delete}
+    merely marks). Purges them and returns how many documents were dropped —
+    0 means there was nothing to rebuild. *)

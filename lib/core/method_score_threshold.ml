@@ -160,10 +160,16 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
                 Result_heap.offer heap ~doc ~score:(Score_table.get_exn t.scores ~doc)
               else begin
                 match Ss.find t.lstate ~doc with
-                | Some { Ss.in_short = true; _ } ->
-                    (* the short-list occurrence of this document is
-                       authoritative; ignore its stale long postings *)
-                    ()
+                | Some { Ss.in_short = true; lscore } ->
+                    (* short postings always sit at the current list score, so
+                       online compaction re-enters drained postings at exactly
+                       that score: a long-only group is authoritative iff its
+                       score matches, stale at any other (lower) score. The
+                       comparison is bit-exact — both sides round-trip the
+                       same float through the codecs unchanged. *)
+                    if lscore = g.Merge.g_rank then
+                      Result_heap.offer heap ~doc
+                        ~score:(Score_table.get_exn t.scores ~doc)
                 | Some { Ss.in_short = false; _ } ->
                     Result_heap.offer heap ~doc
                       ~score:(Score_table.get_exn t.scores ~doc)
@@ -188,6 +194,59 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
 
 let long_list_bytes t = St.Blob_store.live_bytes t.blobs
 let short_list_postings t = Short_list.count t.short
+let short_next_term t ~after = Short_list.next_term t.short ~after
+let short_term_count t ~term = Short_list.term_count t.short ~term
+
+(* Online compaction: drain one term's short postings into its long blob.
+   Adds re-enter at their short rank — the doc's current list score — and the
+   doc's postings at any other score are dropped (the query already treated
+   them as stale); Rems remove the doc. [lstate] is untouched: the
+   score-equality rule in [query] keeps drained postings authoritative. *)
+let compact_term t term =
+  let shorts = Short_list.term_postings t.short ~term in
+  if shorts = [] then 0
+  else begin
+    let adds : (int, float) Hashtbl.t = Hashtbl.create 64 in
+    let rems : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Short_list.posting) ->
+        match p.Short_list.op with
+        | Short_list.Add -> Hashtbl.replace adds p.Short_list.doc p.Short_list.rank
+        | Short_list.Rem -> Hashtbl.replace rems p.Short_list.doc ())
+      shorts;
+    let old_entry = Term_dir.find t.dir ~term in
+    let keep = ref [] in
+    (match old_entry with
+    | None -> ()
+    | Some { Term_dir.blob; _ } ->
+        let c =
+          Posting_codec.Score_codec.cursor ~term_idx:0
+            (St.Blob_store.reader t.blobs blob)
+        in
+        while not (Posting_cursor.eof c) do
+          let doc = Posting_cursor.doc c in
+          if not (Hashtbl.mem adds doc || Hashtbl.mem rems doc) then
+            keep := (Posting_cursor.rank c, doc) :: !keep;
+          Posting_cursor.advance c
+        done);
+    Hashtbl.iter (fun doc rank -> keep := (rank, doc) :: !keep) adds;
+    let arr = Array.of_list !keep in
+    Array.sort
+      (fun (s1, d1) (s2, d2) ->
+        match Float.compare s2 s1 with 0 -> compare d1 d2 | c -> c)
+      arr;
+    (if Array.length arr = 0 then Term_dir.remove t.dir ~term
+     else
+       let blob = St.Blob_store.put t.blobs (Posting_codec.Score_codec.encode arr) in
+       Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 });
+    (match old_entry with
+    | Some { Term_dir.blob; _ } -> St.Blob_store.free t.blobs blob
+    | None -> ());
+    Short_list.drop_term t.short ~term
+  end
+
+let compact_terms t terms =
+  List.fold_left (fun n term -> n + compact_term t term) 0 terms
 
 let rebuild t =
   let deleted = ref [] in

@@ -40,6 +40,16 @@ val short_list_postings : t -> int
 (** Number of postings currently in short lists — the growth the offline
     merge amortises. *)
 
+val short_next_term : t -> after:string option -> string option
+
+val short_term_count : t -> term:string -> int
+
+val compact_terms : t -> string list -> int
+(** Online compaction: drain the given terms' short postings into their
+    score-ordered long blobs at the documents' current list scores. Queries
+    stay exact via the score-equality staleness rule. Returns postings
+    drained. *)
+
 val rebuild : t -> unit
 (** Offline merge: fold short lists back into fresh long lists at current
     scores and reset the ListScore table. *)

@@ -33,6 +33,25 @@ let query_metrics ~meth ~wall_ms ~sim_ms ~blocks_decoded ~blocks_skipped =
        "svr_query_blocks_skipped")
     (float_of_int blocks_skipped)
 
+(* One online-compaction step: how much it drained and how long it waited
+   for the index write lock (the only stop-the-world component — the drain
+   itself runs with queries merely queued, not cancelled). *)
+let maint_step ~meth ~postings ~swap_wait_ms =
+  let labels = [ ("method", meth) ] in
+  M.inc
+    (M.counter ~labels ~help:"online-compaction maintenance steps run"
+       "svr_maint_steps_total");
+  M.add
+    (M.counter ~labels
+       ~help:"short-list postings drained into long lists by maintenance"
+       "svr_maint_postings_drained_total")
+    postings;
+  M.observe
+    (M.histogram ~base:0.001 ~labels
+       ~help:"wait to acquire the index write lock for a maintenance step (ms)"
+       "svr_maint_swap_wait_ms")
+    swap_wait_ms
+
 (* Finish a method's merge span: record the scan depth on the span and in
    the metrics, and surface the method-specific stop narrative (lazily —
    the thunk runs only for traced queries). *)

@@ -1,0 +1,22 @@
+(** Writer-preferring reader/writer lock: the index-level coordination layer
+    between concurrent queries (shared side) and updates / online-maintenance
+    steps (exclusive side).
+
+    A query holds the shared lock for its whole merge, so it can never
+    observe a term mid-swap: a compaction step swaps a term's long blob,
+    directory entry and short postings inside one exclusive section. Writer
+    preference bounds maintenance latency under query load; since every
+    exclusive section is one bounded step, readers in turn wait at most one
+    step. Not reentrant — do not acquire either side while holding one. *)
+
+type t
+
+val create : unit -> t
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

@@ -111,6 +111,35 @@ let clear t = St.Btree.clear t.tree
 
 let count t = St.Btree.count t.tree
 
+let next_term t ~after =
+  (* keys are term ∥ '\000' ∥ rank/doc, so term ∥ '\001' is past every key of
+     [after] and at-or-before every key of any later term (terms are NUL-free) *)
+  let start = match after with None -> "" | Some term -> term ^ "\001" in
+  match St.Btree.cursor_next (St.Btree.seek t.tree start) with
+  | Some (k, _) -> Some (St.Order_key.get_term k (ref 0))
+  | None -> None
+
+let term_postings t ~term =
+  let next = stream t ~term in
+  let rec go acc = match next () with Some p -> go (p :: acc) | None -> List.rev acc in
+  go []
+
+let term_count t ~term =
+  let n = ref 0 in
+  St.Btree.iter_prefix t.tree (term_prefix term) (fun _ _ ->
+      incr n;
+      true);
+  !n
+
+let drop_term t ~term =
+  (* cursors must not span mutations of the same tree: collect first *)
+  let keys = ref [] in
+  St.Btree.iter_prefix t.tree (term_prefix term) (fun k _ ->
+      keys := k :: !keys;
+      true);
+  List.iter (fun k -> ignore (St.Btree.delete t.tree k)) !keys;
+  List.length !keys
+
 (* Term_score.quantize saturates here; no Add posting can beat it *)
 let ts_ceiling = 65535
 

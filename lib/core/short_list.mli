@@ -46,6 +46,23 @@ val clear : t -> unit
 val count : t -> int
 (** Total postings across all terms. *)
 
+val next_term : t -> after:string option -> string option
+(** First term with at least one posting strictly after [after] in term
+    order ([None] starts from the beginning) — the round-robin enumeration
+    online maintenance plans its bounded steps with. *)
+
+val term_postings : t -> term:string -> posting list
+(** Materialize the term's postings in (rank desc, doc asc) order — the
+    input of a compaction step's merge. *)
+
+val term_count : t -> term:string -> int
+(** Number of postings (Add and Rem) currently held for the term. *)
+
+val drop_term : t -> term:string -> int
+(** Delete every posting of the term, returning how many were removed.
+    Keys are collected before the bulk delete, respecting the B+-tree's
+    no-cursor-across-mutation constraint. *)
+
 val max_ts : t -> term:string -> int
 (** Largest quantized term score among the term's Add postings — the bound
     the Chunk-TermScore stopping rule needs for documents that entered the

@@ -636,6 +636,7 @@ let statement_kind = function
   | Create_function _ -> "create-function"
   | Create_text_index _ -> "create-text-index"
   | Rebuild_index _ -> "rebuild-index"
+  | Maintain_index _ -> "maintain-index"
   | Insert _ -> "insert"
   | Update _ -> "update"
   | Delete _ -> "delete"
@@ -663,9 +664,31 @@ let run_statement eng = function
   | Rebuild_index name -> (
       match List.find_opt (fun ti -> norm ti.ti_name = norm name) eng.indexes with
       | None -> fail "unknown text index %s" name
+      | Some ti -> (
+          match Core.Index.rebuild ti.ti_index with
+          | Core.Index.Rebuilt -> Done (Printf.sprintf "text index %s rebuilt" name)
+          | Core.Index.Purged n ->
+              Done
+                (Printf.sprintf "text index %s rebuilt (%d deleted document(s) purged)"
+                   name n)
+          | Core.Index.Nothing_to_rebuild ->
+              Done
+                (Printf.sprintf
+                   "text index %s: nothing to rebuild (score-ordered list is \
+                    maintained in place)"
+                   name)))
+  | Maintain_index { name; steps } -> (
+      match List.find_opt (fun ti -> norm ti.ti_name = norm name) eng.indexes with
+      | None -> fail "unknown text index %s" name
       | Some ti ->
-          Core.Index.rebuild ti.ti_index;
-          Done (Printf.sprintf "text index %s rebuilt" name))
+          let s = Core.Index.maintain ?steps ti.ti_index in
+          Done
+            (Printf.sprintf
+               "text index %s: %d step(s) drained %d posting(s) over %d term(s); \
+                %d posting(s) remain in short lists"
+               name s.Core.Index.steps s.Core.Index.postings_drained
+               s.Core.Index.terms_drained
+               (Core.Index.short_list_postings ti.ti_index)))
   | Insert { tbl; rows } ->
       let table = table_exn eng tbl in
       let ctx = { eng; binding = None; params = [] } in
@@ -752,7 +775,7 @@ let recover eng =
           Option.iter (fun tbl -> Table.apply_op tbl op)
             (Hashtbl.find_opt eng.tables (norm tbl_name))
       | St.Wal.Score_update _ | St.Wal.Doc_insert _ | St.Wal.Doc_delete _
-      | St.Wal.Doc_update _ ->
+      | St.Wal.Doc_update _ | St.Wal.Maintain_step _ ->
           Option.iter (fun ti -> Core.Index.apply_op ti.ti_index op)
             (List.find_opt (fun ti -> norm ti.ti_name = norm tag) eng.indexes))
     records;
@@ -764,6 +787,7 @@ let wrap f =
   | Sql_lexer.Lex_error m -> raise (Sql_error ("lex error: " ^ m))
   | Sql_parser.Parse_error m -> raise (Sql_error ("parse error: " ^ m))
   | Invalid_argument m -> raise (Sql_error m)
+  | Core.Index.Invalid_score m -> raise (Sql_error ("invalid score: " ^ m))
 
 let exec eng src =
   wrap (fun () -> List.map (exec_statement eng) (Sql_parser.parse src))

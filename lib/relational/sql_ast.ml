@@ -57,6 +57,9 @@ type statement =
   | Update of { tbl : string; assignments : (string * expr) list; where : expr option }
   | Delete of { tbl : string; where : expr option }
   | Rebuild_index of string (* offline merge of short lists (Section 5.1) *)
+  | Maintain_index of { name : string; steps : int option }
+    (* online compaction: drain short lists in bounded steps; STEP n caps
+       the number of steps, the default runs until the short lists drain *)
   | Select of select
 
 (* case-insensitive keyword equality used throughout the front end *)

@@ -415,6 +415,21 @@ let parse_statement st =
     expect_kw st "index";
     Rebuild_index (ident st)
   end
+  else if eat_kw st "maintain" then begin
+    expect_kw st "text";
+    expect_kw st "index";
+    let name = ident st in
+    let steps =
+      if eat_kw st "step" then (
+        match peek st with
+        | L.Int_lit n when n > 0 ->
+            advance st;
+            Some n
+        | t -> fail "expected a positive step count after STEP, found %s" (L.pp_token t))
+      else None
+    in
+    Maintain_index { name; steps }
+  end
   else if is_kw st "select" then Select (parse_select st)
   else fail "unexpected start of statement: %s" (L.pp_token (peek st))
 

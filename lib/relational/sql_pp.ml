@@ -92,6 +92,9 @@ let statement ppf = function
         | None -> ""
         | Some w -> Printf.sprintf " WEIGHT %.17g" w)
   | Rebuild_index name -> Format.fprintf ppf "REBUILD TEXT INDEX %s" name
+  | Maintain_index { name; steps } ->
+      Format.fprintf ppf "MAINTAIN TEXT INDEX %s%s" name
+        (match steps with None -> "" | Some n -> Printf.sprintf " STEP %d" n)
   | Insert { tbl; rows } ->
       Format.fprintf ppf "INSERT INTO %s VALUES %a" tbl
         (Format.pp_print_list

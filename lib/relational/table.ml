@@ -92,5 +92,5 @@ let apply_op t (op : St.Wal.op) =
   | St.Wal.Row_put { key; row } -> St.Btree.insert t.tree key row
   | St.Wal.Row_delete { key } -> ignore (St.Btree.delete t.tree key)
   | St.Wal.Score_update _ | St.Wal.Doc_insert _ | St.Wal.Doc_delete _
-  | St.Wal.Doc_update _ ->
+  | St.Wal.Doc_update _ | St.Wal.Maintain_step _ ->
       invalid_arg "Table.apply_op: text-index record routed to a table"

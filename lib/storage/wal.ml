@@ -30,6 +30,7 @@ type op =
   | Doc_update of { doc : int; text : string }
   | Row_put of { key : string; row : string }
   | Row_delete of { key : string }
+  | Maintain_step of { terms : string list }
 
 type record = { tag : string; op : op }
 
@@ -153,6 +154,10 @@ let encode_payload buf { tag; op } =
   | Row_delete { key } ->
       Buffer.add_char buf '\005';
       add_string buf key
+  | Maintain_step { terms } ->
+      Buffer.add_char buf '\006';
+      Varint.write buf (List.length terms);
+      List.iter (add_string buf) terms
 
 let decode_payload s =
   let pos = ref 0 in
@@ -178,6 +183,15 @@ let decode_payload s =
         let key = read_string s pos in
         Row_put { key; row = read_string s pos }
     | 5 -> Row_delete { key = read_string s pos }
+    | 6 ->
+        let n = Varint.read s pos in
+        if n < 0 || n > String.length s then
+          Storage_error.error Corrupt "Wal: impossible term count %d" n;
+        let terms = ref [] in
+        for _ = 1 to n do
+          terms := read_string s pos :: !terms
+        done;
+        Maintain_step { terms = List.rev !terms }
     | k -> Storage_error.error Corrupt "Wal: unknown opcode %d" k
   in
   if !pos <> String.length s then

@@ -25,6 +25,12 @@ type op =
   | Doc_update of { doc : int; text : string }
   | Row_put of { key : string; row : string }  (** encoded pk ∥ encoded row *)
   | Row_delete of { key : string }
+  | Maintain_step of { terms : string list }
+      (** one bounded online-compaction step: drain these terms' short-list
+          postings into their long lists. Logged {e before} the drain like
+          any update, so a crash mid-step replays the whole step against the
+          reverted state — the drain is a deterministic function of the
+          state left by the preceding records. *)
 
 type record = { tag : string; op : op }
 (** [tag] routes the record at replay time: the text-index name for

@@ -11,7 +11,8 @@ let qtest ?(count = 60) ?print name prop gen =
 
 (* raw tokens, tiny thresholds so small corpora exercise every code path *)
 let test_cfg =
-  { Core.Config.analyzer = Svr_text.Analyzer.raw;
+  { Core.Config.default with
+    Core.Config.analyzer = Svr_text.Analyzer.raw;
     threshold_ratio = 2.0;
     chunk_ratio = 2.0;
     min_chunk_docs = 2;
@@ -112,6 +113,31 @@ let test_chunk_policy_min_docs () =
   let p = Core.Chunk_policy.ratio_based ~ratio:2.0 ~min_docs:100 scores in
   (* every chunk boundary leaves at least min_docs below it *)
   check Alcotest.bool "few chunks under skew" true (Core.Chunk_policy.n_chunks p <= 3)
+
+let test_chunk_policy_heavy_tail () =
+  (* regression: a dense floor with a long geometric tail of outliers used to
+     leave an under-populated top chunk after a single boundary drop — the
+     merge must loop until the top chunk holds min_docs (or everything
+     collapses into one chunk) *)
+  let tail = Array.init 40 (fun i -> 10.0 *. (1.8 ** float_of_int i)) in
+  let scores = Array.append (Array.make 300 1.0) tail in
+  let p = Core.Chunk_policy.ratio_based ~ratio:2.0 ~min_docs:100 scores in
+  let top = Core.Chunk_policy.n_chunks p in
+  let in_top =
+    Array.fold_left
+      (fun n s -> if Core.Chunk_policy.chunk_of p s = top then n + 1 else n)
+      0 scores
+  in
+  check Alcotest.bool "top chunk populated" true (top = 1 || in_top >= 100);
+  (* and every lower chunk honours min_docs too *)
+  for cid = 1 to top do
+    let n =
+      Array.fold_left
+        (fun n s -> if Core.Chunk_policy.chunk_of p s = cid then n + 1 else n)
+        0 scores
+    in
+    check Alcotest.bool (Printf.sprintf "chunk %d populated" cid) true (n >= 100)
+  done
 
 let test_chunk_policy_baselines () =
   let scores = Array.init 100 (fun i -> float_of_int i) in
@@ -737,9 +763,9 @@ let rebuild_prop kind (corpus_spec, ops, qseed) =
           Core.Index.score_update idx ~doc s;
           Core.Oracle.score_update oracle ~doc s
       | _ -> ());
-      if i = n / 2 then Core.Index.rebuild idx)
+      if i = n / 2 then ignore (Core.Index.rebuild idx))
     ops;
-  Core.Index.rebuild idx;
+  ignore (Core.Index.rebuild idx);
   let q = [ vocab.(qseed mod 18); vocab.(qseed / 18 mod 18) ] in
   List.for_all
     (fun mode ->
@@ -871,6 +897,7 @@ let () =
       ( "chunk_policy",
         [ Alcotest.test_case "ratio based" `Quick test_chunk_policy_ratio;
           Alcotest.test_case "min docs" `Quick test_chunk_policy_min_docs;
+          Alcotest.test_case "heavy tail" `Quick test_chunk_policy_heavy_tail;
           Alcotest.test_case "baselines" `Quick test_chunk_policy_baselines;
           qtest ~count:200 "chunk_of sound" chunk_policy_sound_prop
             QCheck2.Gen.(small_list (float_bound_inclusive 100000.0)) ] );

@@ -91,7 +91,7 @@ let test_agreement_survives_rebuild () =
   apply_workload oracle indexes scores;
   List.iter
     (fun idx ->
-      Core.Index.rebuild idx;
+      ignore (Core.Index.rebuild idx);
       agree oracle idx ~queries:workload_queries ~ks:[ 10 ])
     indexes
 

@@ -1,0 +1,451 @@
+(* Online short-list compaction (maintenance) tests.
+
+   Covers the PR's tentpole and satellites end to end at the core and SQL
+   layers: interleaved update/query/compaction stress against the oracle
+   (serial and with a 4-domain query pool racing a compaction domain),
+   invalid-score rejection on every method, the [f64_desc] key-order
+   property the score-sorted lists rely on, the Score method's rebuild
+   status, the MAINTAIN statement, and the auto-maintenance trigger keeping
+   short lists bounded under an update burst. Crash points inside compaction
+   live in test_recovery. *)
+
+module Core = Svr_core
+module W = Svr_workload
+module St = Svr_storage
+module R = Svr_relational
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) ?print name prop gen =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen prop)
+
+(* deterministic PRNG so failures replay *)
+let lcg state =
+  state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+  !state lsr 17
+
+let corpus_spec =
+  { W.Corpus_gen.n_docs = 200; vocab_size = 100; terms_per_doc = 20;
+    term_theta = 0.1; score_max = 100_000.0; score_theta = 0.75; seed = 5 }
+
+(* small fancy lists and tiny step budgets so a few hundred operations push
+   every method through many partial compaction steps *)
+let cfg =
+  { Core.Config.default with
+    Core.Config.analyzer = W.Corpus_gen.analyzer;
+    fancy_size = 8;
+    maint_min_short = 8;
+    maint_ratio = 1e-6;
+    maint_step_terms = 4;
+    maint_step_postings = 64 }
+
+let build_pair ?(cfg = cfg) kind =
+  let scores = W.Corpus_gen.scores corpus_spec in
+  let idx =
+    Core.Index.build kind cfg
+      ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+      ~scores:(fun d -> scores.(d))
+  in
+  let oracle = Core.Oracle.create cfg in
+  Core.Oracle.load oracle
+    ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+    ~scores:(fun d -> scores.(d));
+  (idx, oracle)
+
+let queries =
+  Array.to_list
+    (W.Query_gen.generate
+       { W.Query_gen.defaults with W.Query_gen.n_queries = 10; seed = 77 }
+       corpus_spec)
+
+let agree_one ~ctx oracle idx q ~mode ~k =
+  let with_ts = Core.Index.ranks_with_term_scores (Core.Index.kind idx) in
+  let got = Core.Index.query_terms idx ~mode q ~k in
+  let want = Core.Oracle.top_k oracle ~mode ~with_ts q ~k in
+  let ok =
+    List.length got = List.length want
+    && List.for_all2
+         (fun (d1, s1) (d2, s2) -> d1 = d2 && abs_float (s1 -. s2) < 1e-9)
+         got want
+  in
+  if not ok then
+    Alcotest.fail
+      (Printf.sprintf "%s (%s) disagrees with oracle on [%s] k=%d"
+         (Core.Index.kind_name (Core.Index.kind idx))
+         ctx (String.concat " " q) k)
+
+let agree ~ctx oracle idx =
+  List.iter
+    (fun q ->
+      List.iter
+        (fun mode -> agree_one ~ctx oracle idx q ~mode ~k:10)
+        [ Core.Types.Conjunctive; Core.Types.Disjunctive ])
+    queries
+
+let random_text rng =
+  String.concat " "
+    (List.init 12 (fun _ -> W.Corpus_gen.term (1 + (lcg rng mod 100))))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: invalid-score rejection at the dispatch layer *)
+
+let test_invalid_scores () =
+  List.iter
+    (fun kind ->
+      let name = Core.Index.kind_name kind in
+      let idx, oracle = build_pair kind in
+      let expect_reject what f =
+        match f () with
+        | () -> Alcotest.fail (name ^ ": accepted " ^ what)
+        | exception Core.Index.Invalid_score _ -> ()
+      in
+      expect_reject "nan score_update" (fun () ->
+          Core.Index.score_update idx ~doc:0 Float.nan);
+      expect_reject "+inf score_update" (fun () ->
+          Core.Index.score_update idx ~doc:0 Float.infinity);
+      expect_reject "-inf score_update" (fun () ->
+          Core.Index.score_update idx ~doc:0 Float.neg_infinity);
+      expect_reject "negative score_update" (fun () ->
+          Core.Index.score_update idx ~doc:0 (-1.0));
+      expect_reject "nan insert" (fun () ->
+          Core.Index.insert idx ~doc:9999 "alpha beta" ~score:Float.nan);
+      expect_reject "negative insert" (fun () ->
+          Core.Index.insert idx ~doc:9999 "alpha beta" ~score:(-0.5));
+      (* the rejections happened before anything was logged or applied *)
+      agree ~ctx:"after rejects" oracle idx;
+      (* zero and ordinary scores still pass *)
+      Core.Index.score_update idx ~doc:0 0.0;
+      Core.Oracle.score_update oracle ~doc:0 0.0;
+      Core.Index.score_update idx ~doc:1 123.5;
+      Core.Oracle.score_update oracle ~doc:1 123.5;
+      agree ~ctx:"after valid updates" oracle idx)
+    Core.Index.all_kinds
+
+let test_invalid_score_via_sql () =
+  let e = R.Engine.create () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE D (id integer, body text, PRIMARY KEY (id));\n\
+        CREATE TABLE Pop (id integer, hits integer, PRIMARY KEY (id));\n\
+        INSERT INTO D VALUES (1, 'alpha beta'), (2, 'alpha gamma');\n\
+        INSERT INTO Pop VALUES (1, 10), (2, 30);\n\
+        create function Hits (d: integer) returns float \
+        return SELECT P.hits FROM Pop P WHERE P.id = d;\n\
+        CREATE TEXT INDEX DIdx ON D (body) USING chunk SCORE (Hits)");
+  (match R.Engine.exec e "UPDATE Pop SET hits = -5 WHERE id = 1" with
+  | _ -> Alcotest.fail "negative score accepted through the trigger path"
+  | exception R.Engine.Sql_error m ->
+      check Alcotest.bool "message names the invalid score" true
+        (String.length m >= 13 && String.sub m 0 13 = "invalid score"));
+  (* a sane update still flows *)
+  ignore (R.Engine.exec e "UPDATE Pop SET hits = 99 WHERE id = 2")
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: f64_desc key order across the float range *)
+
+let desc_key f =
+  St.Order_key.compose [ (fun b -> St.Order_key.f64_desc b f) ]
+
+let sign c = compare c 0
+
+let f64_desc_order_prop (a, b) =
+  if Float.is_nan a || Float.is_nan b then true
+  else
+    let ka = desc_key a and kb = desc_key b in
+    (* bit-exact roundtrip: compaction re-encodes ranks read back from keys *)
+    Int64.bits_of_float (St.Order_key.get_f64_desc ka 0) = Int64.bits_of_float a
+    &&
+    if Int64.bits_of_float a = Int64.bits_of_float b then ka = kb
+    else if a = b then true (* -0.0 vs 0.0: distinct keys, equal floats *)
+    else sign (String.compare ka kb) = sign (Float.compare b a)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: Score-method REBUILD reports and purges *)
+
+let test_score_rebuild_status () =
+  let idx, oracle = build_pair Core.Index.Score in
+  (match Core.Index.rebuild idx with
+  | Core.Index.Nothing_to_rebuild -> ()
+  | _ -> Alcotest.fail "fresh score index: expected Nothing_to_rebuild");
+  Core.Index.delete idx ~doc:3;
+  Core.Oracle.delete oracle ~doc:3;
+  Core.Index.delete idx ~doc:7;
+  Core.Oracle.delete oracle ~doc:7;
+  (match Core.Index.rebuild idx with
+  | Core.Index.Purged 2 -> ()
+  | Core.Index.Purged n -> Alcotest.fail (Printf.sprintf "purged %d, wanted 2" n)
+  | _ -> Alcotest.fail "expected Purged 2");
+  agree ~ctx:"after purge" oracle idx;
+  (match Core.Index.rebuild idx with
+  | Core.Index.Nothing_to_rebuild -> ()
+  | _ -> Alcotest.fail "second rebuild: expected Nothing_to_rebuild");
+  (* the other methods still report a plain rebuild *)
+  let cidx, _ = build_pair Core.Index.Chunk in
+  match Core.Index.rebuild cidx with
+  | Core.Index.Rebuilt -> ()
+  | _ -> Alcotest.fail "chunk rebuild: expected Rebuilt"
+
+let test_rebuild_status_via_sql () =
+  let e = R.Engine.create () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE D (id integer, body text, PRIMARY KEY (id));\n\
+        CREATE TABLE Pop (id integer, hits integer, PRIMARY KEY (id));\n\
+        INSERT INTO D VALUES (1, 'alpha beta'), (2, 'alpha gamma'), (3, 'beta gamma');\n\
+        INSERT INTO Pop VALUES (1, 10), (2, 30), (3, 20);\n\
+        create function Hits (d: integer) returns float \
+        return SELECT P.hits FROM Pop P WHERE P.id = d;\n\
+        CREATE TEXT INDEX SIdx ON D (body) USING score SCORE (Hits)");
+  (match R.Engine.exec_one e "REBUILD TEXT INDEX SIdx" with
+  | R.Engine.Done msg ->
+      check Alcotest.string "no-op surfaced"
+        "text index SIdx: nothing to rebuild (score-ordered list is \
+         maintained in place)"
+        msg
+  | _ -> Alcotest.fail "expected Done");
+  ignore (R.Engine.exec e "DELETE FROM D WHERE id = 3");
+  (match R.Engine.exec_one e "REBUILD TEXT INDEX SIdx" with
+  | R.Engine.Done msg ->
+      check Alcotest.string "purge surfaced"
+        "text index SIdx rebuilt (1 deleted document(s) purged)" msg
+  | _ -> Alcotest.fail "expected Done");
+  let _, rows =
+    R.Engine.query_rows e
+      "SELECT id FROM D ORDER BY score(body, 'alpha') DESC FETCH TOP 5 RESULTS ONLY"
+  in
+  check Alcotest.bool "ranking survives the purge" true
+    (List.map (fun r -> r.(0)) rows = [ R.Value.Int 2; R.Value.Int 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* MAINTAIN statement *)
+
+let test_maintain_statement () =
+  let e = R.Engine.create () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE D (id integer, body text, PRIMARY KEY (id));\n\
+        CREATE TABLE Pop (id integer, hits integer, PRIMARY KEY (id));\n\
+        INSERT INTO D VALUES (1, 'alpha beta'), (2, 'alpha gamma'), (3, 'beta gamma');\n\
+        INSERT INTO Pop VALUES (1, 10), (2, 30), (3, 20);\n\
+        create function Hits (d: integer) returns float \
+        return SELECT P.hits FROM Pop P WHERE P.id = d;\n\
+        CREATE TEXT INDEX DIdx ON D (body) USING score_threshold SCORE (Hits)");
+  let idx =
+    match R.Engine.text_index e "DIdx" with
+    | Some i -> i
+    | None -> Alcotest.fail "index not registered"
+  in
+  (* jumps past thresholdValueOf move documents into short lists *)
+  ignore (R.Engine.exec e "UPDATE Pop SET hits = 500 WHERE id = 1");
+  ignore (R.Engine.exec e "UPDATE Pop SET hits = 400 WHERE id = 3");
+  check Alcotest.bool "updates landed in short lists" true
+    (Core.Index.short_list_postings idx > 0);
+  (match R.Engine.exec_one e "MAINTAIN TEXT INDEX DIdx STEP 1" with
+  | R.Engine.Done msg ->
+      check Alcotest.bool "step acknowledged" true
+        (String.length msg > 0
+        && String.sub msg 0 (String.length "text index DIdx:")
+           = "text index DIdx:")
+  | _ -> Alcotest.fail "expected Done");
+  ignore (R.Engine.exec_one e "MAINTAIN TEXT INDEX DIdx");
+  check Alcotest.int "short lists drained" 0 (Core.Index.short_list_postings idx);
+  let _, rows =
+    R.Engine.query_rows e
+      "SELECT id FROM D ORDER BY score(body, 'beta') DESC FETCH TOP 5 RESULTS ONLY"
+  in
+  check Alcotest.bool "ranking correct after compaction" true
+    (List.map (fun r -> r.(0)) rows = [ R.Value.Int 1; R.Value.Int 3 ]);
+  Alcotest.check_raises "unknown index"
+    (R.Engine.Sql_error "unknown text index Nope") (fun () ->
+      ignore (R.Engine.exec e "MAINTAIN TEXT INDEX Nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Tentpole: interleaved update/query/compaction stress, serial *)
+
+let run_stress kind =
+  let name = Core.Index.kind_name kind in
+  let rng = ref (1 + Hashtbl.hash name) in
+  let idx, oracle = build_pair kind in
+  let alive = ref (List.init corpus_spec.W.Corpus_gen.n_docs Fun.id) in
+  let next_doc = ref corpus_spec.W.Corpus_gen.n_docs in
+  let allow_content = kind <> Core.Index.Chunk_termscore in
+  let n_queried = ref 0 and n_stepped = ref 0 in
+  let pick_doc () = List.nth !alive (lcg rng mod List.length !alive) in
+  let fresh_score () = float_of_int (lcg rng mod 100_000) +. 0.25 in
+  for _step = 1 to 600 do
+    match lcg rng mod 12 with
+    | 0 | 1 | 2 | 3 | 4 ->
+        let doc = pick_doc () and s = fresh_score () in
+        Core.Index.score_update idx ~doc s;
+        Core.Oracle.score_update oracle ~doc s
+    | 5 ->
+        let doc = !next_doc in
+        incr next_doc;
+        let text = random_text rng and s = fresh_score () in
+        Core.Index.insert idx ~doc text ~score:s;
+        Core.Oracle.insert oracle ~doc text ~score:s;
+        alive := doc :: !alive
+    | 6 when List.length !alive > 50 ->
+        let doc = pick_doc () in
+        Core.Index.delete idx ~doc;
+        Core.Oracle.delete oracle ~doc;
+        alive := List.filter (fun d -> d <> doc) !alive
+    | 7 when allow_content ->
+        let doc = pick_doc () in
+        let text = random_text rng in
+        Core.Index.update_content idx ~doc text;
+        Core.Oracle.update_content oracle ~doc text
+    | 8 | 9 ->
+        incr n_stepped;
+        let before = Core.Index.short_list_postings idx in
+        let stats = Core.Index.maintain ~steps:1 idx in
+        check Alcotest.int (name ^ ": step drains what it claims")
+          (before - stats.Core.Index.postings_drained)
+          (Core.Index.short_list_postings idx)
+    | _ ->
+        incr n_queried;
+        let q = List.nth queries (lcg rng mod List.length queries) in
+        let mode =
+          if lcg rng mod 2 = 0 then Core.Types.Conjunctive
+          else Core.Types.Disjunctive
+        in
+        agree_one ~ctx:"mid-stress" oracle idx q ~mode ~k:(1 + (lcg rng mod 20))
+  done;
+  check Alcotest.bool (name ^ ": schedule exercised all arms") true
+    (!n_queried > 20 && !n_stepped > 20);
+  (* drain to empty and re-check: compaction must be query-invisible *)
+  ignore (Core.Index.maintain idx);
+  if kind <> Core.Index.Score then
+    check Alcotest.int (name ^ ": fully drained") 0
+      (Core.Index.short_list_postings idx);
+  agree ~ctx:"after full drain" oracle idx
+
+let test_stress_serial () = List.iter run_stress Core.Index.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Tentpole: compaction domain racing a 4-domain query pool *)
+
+let run_concurrent kind =
+  let name = Core.Index.kind_name kind in
+  let rng = ref 424242 in
+  let idx, oracle = build_pair kind in
+  let allow_content = kind <> Core.Index.Chunk_termscore in
+  (* update burst fills the short lists, then updates pause while queries and
+     compaction race — Query_pool's contract plus the index write lock *)
+  for _i = 1 to 300 do
+    let doc = lcg rng mod corpus_spec.W.Corpus_gen.n_docs in
+    if allow_content && lcg rng mod 10 = 0 then begin
+      let text = random_text rng in
+      Core.Index.update_content idx ~doc text;
+      Core.Oracle.update_content oracle ~doc text
+    end
+    else begin
+      let s = float_of_int (lcg rng mod 100_000) +. 0.25 in
+      Core.Index.score_update idx ~doc s;
+      Core.Oracle.score_update oracle ~doc s
+    end
+  done;
+  let with_ts = Core.Index.ranks_with_term_scores kind in
+  let batch = Array.of_list queries in
+  let want =
+    Array.map
+      (fun q -> Core.Oracle.top_k oracle ~mode:Core.Types.Conjunctive ~with_ts q ~k:10)
+      batch
+  in
+  let stop = Atomic.make false in
+  let compactor =
+    Domain.spawn (fun () ->
+        let drained = ref 0 in
+        while not (Atomic.get stop) do
+          let s = Core.Index.maintain ~steps:1 idx in
+          if s.Core.Index.steps = 0 then Domain.cpu_relax ()
+          else drained := !drained + s.Core.Index.postings_drained
+        done;
+        !drained)
+  in
+  Core.Query_pool.with_pool ~domains:4 (fun pool ->
+      for _round = 1 to 6 do
+        let got =
+          Core.Index.query_terms_batch idx ~pool ~mode:Core.Types.Conjunctive
+            batch ~k:10
+        in
+        Array.iteri
+          (fun i g ->
+            let ok =
+              List.length g = List.length want.(i)
+              && List.for_all2
+                   (fun (d1, s1) (d2, s2) -> d1 = d2 && abs_float (s1 -. s2) < 1e-9)
+                   g want.(i)
+            in
+            if not ok then
+              Alcotest.fail
+                (Printf.sprintf "%s: pooled query [%s] diverged mid-compaction"
+                   name
+                   (String.concat " " batch.(i))))
+          got
+      done);
+  Atomic.set stop true;
+  let _drained = Domain.join compactor in
+  ignore (Core.Index.maintain idx);
+  agree ~ctx:"after concurrent compaction" oracle idx
+
+let test_stress_concurrent () = List.iter run_concurrent Core.Index.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Auto-maintenance keeps short lists bounded on the update path *)
+
+let burst_short_postings ~auto =
+  let bcfg =
+    { cfg with
+      Core.Config.maint_auto = auto;
+      maint_min_short = 32;
+      maint_step_terms = 8;
+      maint_step_postings = 256;
+      (* fine-grained chunks so random jumps actually relocate documents *)
+      chunk_ratio = 3.0;
+      min_chunk_docs = 4 }
+  in
+  let idx, oracle = build_pair ~cfg:bcfg Core.Index.Chunk in
+  let rng = ref 7 in
+  for _i = 1 to 400 do
+    let doc = lcg rng mod corpus_spec.W.Corpus_gen.n_docs in
+    let s = float_of_int (lcg rng mod 100_000) +. 0.25 in
+    Core.Index.score_update idx ~doc s;
+    Core.Oracle.score_update oracle ~doc s
+  done;
+  agree ~ctx:(if auto then "auto burst" else "manual burst") oracle idx;
+  Core.Index.short_list_postings idx
+
+let test_auto_trigger () =
+  let unmaintained = burst_short_postings ~auto:false in
+  let maintained = burst_short_postings ~auto:true in
+  check Alcotest.bool "burst actually builds up short lists" true
+    (unmaintained > 500);
+  check Alcotest.bool
+    (Printf.sprintf "auto keeps short lists bounded (%d vs %d)" maintained
+       unmaintained)
+    true
+    (maintained < unmaintained / 2 && maintained <= 500)
+
+let () =
+  Alcotest.run "svr_maintain"
+    [ ( "invalid_scores",
+        [ Alcotest.test_case "rejected on all six methods" `Quick
+            test_invalid_scores;
+          Alcotest.test_case "surfaced as Sql_error" `Quick
+            test_invalid_score_via_sql;
+          qtest "f64_desc orders like descending floats" f64_desc_order_prop
+            QCheck2.Gen.(pair float float) ] );
+      ( "rebuild",
+        [ Alcotest.test_case "score purge status" `Quick
+            test_score_rebuild_status;
+          Alcotest.test_case "status via SQL" `Quick test_rebuild_status_via_sql ] );
+      ( "maintain_sql",
+        [ Alcotest.test_case "MAINTAIN statement" `Quick test_maintain_statement ] );
+      ( "stress",
+        [ Alcotest.test_case "interleaved serial, all methods" `Slow
+            test_stress_serial;
+          Alcotest.test_case "4-domain pool vs compaction domain" `Slow
+            test_stress_concurrent;
+          Alcotest.test_case "auto trigger bounds short lists" `Quick
+            test_auto_trigger ] ) ]

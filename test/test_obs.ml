@@ -167,7 +167,8 @@ let test_force_next () =
 (* Index fixture shared by the end-to-end observability tests *)
 
 let test_cfg =
-  { Core.Config.analyzer = Svr_text.Analyzer.raw;
+  { Core.Config.default with
+    Core.Config.analyzer = Svr_text.Analyzer.raw;
     threshold_ratio = 2.0;
     chunk_ratio = 2.0;
     min_chunk_docs = 2;

@@ -39,7 +39,10 @@ let apply_index idx (op : St.Wal.op) =
   | St.Wal.Doc_insert { doc; text; score } -> Core.Index.insert idx ~doc text ~score
   | St.Wal.Doc_delete { doc } -> Core.Index.delete idx ~doc
   | St.Wal.Doc_update { doc; text } -> Core.Index.update_content idx ~doc text
-  | St.Wal.Row_put _ | St.Wal.Row_delete _ -> assert false
+  (* the generator never emits maintenance records: live steps are injected
+     through [Core.Index.maintain], which logs them itself *)
+  | St.Wal.Maintain_step _ | St.Wal.Row_put _ | St.Wal.Row_delete _ ->
+      assert false
 
 let apply_oracle oracle (op : St.Wal.op) =
   match op with
@@ -47,7 +50,8 @@ let apply_oracle oracle (op : St.Wal.op) =
   | St.Wal.Doc_insert { doc; text; score } -> Core.Oracle.insert oracle ~doc text ~score
   | St.Wal.Doc_delete { doc } -> Core.Oracle.delete oracle ~doc
   | St.Wal.Doc_update { doc; text } -> Core.Oracle.update_content oracle ~doc text
-  | St.Wal.Row_put _ | St.Wal.Row_delete _ -> ()
+  (* compaction is query-invisible, so it is a no-op against the oracle *)
+  | St.Wal.Maintain_step _ | St.Wal.Row_put _ | St.Wal.Row_delete _ -> ()
 
 let agree ~ctx oracle idx =
   let with_ts = Core.Index.ranks_with_term_scores (Core.Index.kind idx) in
@@ -147,6 +151,9 @@ let run_method ~crashes kind =
     St.Fault.arm_crash fault ~after:(1 + (lcg rng mod 12));
     (match
        List.iter (apply_index idx) ops;
+       (* every other round a bounded compaction step rides inside the armed
+          window, so crash points also land mid-drain and mid-swap *)
+       if round mod 2 = 0 then ignore (Core.Index.maintain ~steps:1 idx);
        St.Env.checkpoint env
      with
     | () ->
@@ -157,8 +164,17 @@ let run_method ~crashes kind =
         incr crashes;
         St.Env.crash env;
         let records = Core.Index.recover idx in
-        (* group commit: what survived is a prefix of this round's ops *)
-        let survived = List.map (fun r -> r.St.Wal.op) records in
+        (* group commit: what survived is a prefix of this round's ops —
+           modulo any Maintain_step the injected compaction logged, which is
+           query-invisible and carries no durable truth of its own *)
+        let survived =
+          List.filter_map
+            (fun r ->
+              match r.St.Wal.op with
+              | St.Wal.Maintain_step _ -> None
+              | op -> Some op)
+            records
+        in
         let n = List.length survived in
         if survived <> List.filteri (fun i _ -> i < n) ops then
           Alcotest.fail
@@ -187,6 +203,102 @@ let test_crash_points () =
   check Alcotest.bool
     (Printf.sprintf "enough crash points hit (%d)" !crashes)
     true (!crashes >= 50)
+
+(* Crash points aimed squarely at online compaction: commit a round of
+   updates durably, then hammer [maintain ~steps:1] with a fault armed at a
+   random physical-write count until the short lists drain. Whatever the
+   crash interrupts — the step's WAL append, the drain itself, the
+   checkpoint — recovery must land on a consistent prefix of completed
+   steps, and since compaction is query-invisible the recovered index must
+   keep answering exactly like the oracle. *)
+let run_compaction_crashes ~crashes kind =
+  let name = Core.Index.kind_name kind in
+  let seed = 4242 + (Hashtbl.hash name mod 1000) in
+  let rng = ref seed in
+  let scores = W.Corpus_gen.scores corpus_spec in
+  let fault = St.Fault.create ~seed () in
+  (* tiny step budgets: a round's backlog takes many steps to drain, so the
+     armed window sees many distinct step boundaries *)
+  let mcfg =
+    { cfg with Core.Config.maint_step_terms = 4; maint_step_postings = 64 }
+  in
+  let env =
+    St.Env.create ~table_pool_pages:128 ~blob_pool_pages:32 ~fault ~durable:true
+      ~wal_group:4 ()
+  in
+  let idx =
+    Core.Index.build ~env kind mcfg
+      ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+      ~scores:(fun d -> scores.(d))
+  in
+  let oracle = Core.Oracle.create mcfg in
+  Core.Oracle.load oracle
+    ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+    ~scores:(fun d -> scores.(d));
+  let alive = ref (List.init corpus_spec.W.Corpus_gen.n_docs (fun d -> d)) in
+  let next_doc = ref corpus_spec.W.Corpus_gen.n_docs in
+  let allow_content = kind <> Core.Index.Chunk_termscore in
+  for round = 1 to 6 do
+    (* a round of updates, committed durably with no fault armed *)
+    let ops = gen_round rng ~allow_content ~alive:!alive ~next_doc in
+    List.iter
+      (fun op ->
+        apply_index idx op;
+        apply_oracle oracle op;
+        alive := alive_after !alive op)
+      ops;
+    St.Env.checkpoint env;
+    (* drain the backlog one step at a time, crashing along the way *)
+    let draining = ref true and iters = ref 0 in
+    while !draining && !iters < 200 do
+      incr iters;
+      (* every few iterations run unarmed so the drain always makes
+         progress even if the armed write count keeps landing early *)
+      let armed = lcg rng mod 4 <> 0 in
+      if armed then St.Fault.arm_crash fault ~after:(1 + (lcg rng mod 20));
+      match
+        let stats = Core.Index.maintain ~steps:1 idx in
+        St.Env.checkpoint env;
+        stats
+      with
+      | stats ->
+          if armed then St.Fault.disarm fault;
+          if stats.Core.Index.steps = 0 then draining := false
+      | exception St.Fault.Crash _ ->
+          incr crashes;
+          St.Env.crash env;
+          let records = Core.Index.recover idx in
+          (* only compaction was in flight in this window *)
+          List.iter
+            (fun r ->
+              match r.St.Wal.op with
+              | St.Wal.Maintain_step _ -> ()
+              | _ ->
+                  Alcotest.fail
+                    (Printf.sprintf
+                       "%s round %d: non-maintenance record in a \
+                        compaction-only window"
+                       name round))
+            records;
+          agree ~ctx:(Printf.sprintf "%s round %d post-crash" name round)
+            oracle idx
+    done;
+    if !draining then
+      Alcotest.fail (Printf.sprintf "%s round %d: drain never completed" name round);
+    agree ~ctx:(Printf.sprintf "%s round %d drained" name round) oracle idx
+  done;
+  check Alcotest.int (name ^ ": backlog fully drained") 0
+    (Core.Index.short_list_postings idx)
+
+let test_compaction_crash_points () =
+  let crashes = ref 0 in
+  List.iter
+    (fun kind ->
+      if kind <> Core.Index.Score then run_compaction_crashes ~crashes kind)
+    Core.Index.all_kinds;
+  check Alcotest.bool
+    (Printf.sprintf "enough compaction crash points hit (%d)" !crashes)
+    true (!crashes >= 20)
 
 (* ------------------------------------------------------------------ *)
 (* SQL-level crash/recover through the engine *)
@@ -357,7 +469,9 @@ let () =
   Alcotest.run "svr_recovery"
     [ ( "crash points",
         [ Alcotest.test_case "all methods, seeded crash/recover cycles" `Slow
-            test_crash_points ] );
+            test_crash_points;
+          Alcotest.test_case "compaction steps, seeded crash/recover cycles"
+            `Slow test_compaction_crash_points ] );
       ("engine", [ Alcotest.test_case "sql crash/recover" `Quick test_engine_recover ]);
       ( "codec fuzz",
         [ qfuzz "id codec damaged input" C_id;
