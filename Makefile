@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check check-crash check-maintain test bench bench-par bench-recovery bench-obs bench-maintain clean
+.PHONY: all check check-crash check-maintain check-codec test bench bench-par bench-recovery bench-obs bench-maintain bench-codec clean
 
 all:
 	dune build
@@ -46,6 +46,17 @@ check-maintain:
 # compaction over an update-heavy timeline (writes BENCH_PR5.json)
 bench-maintain:
 	dune exec bench/main.exe -- maintain
+
+# posting-codec gate: parametric round-trip/seek/oracle suite over every
+# codec, plus the packed-codec crash points and damage fuzz
+check-codec:
+	dune exec test/test_codec.exe
+	dune exec test/test_recovery.exe
+
+# per-codec bytes/posting, decode throughput and conjunctive query cost
+# (writes BENCH_PR6.json)
+bench-codec:
+	dune exec bench/main.exe -- codec
 
 clean:
 	dune clean

@@ -1,0 +1,208 @@
+(* Posting-codec experiment: bytes per posting, raw decode throughput and
+   cold-cache conjunctive query cost for each pluggable codec. Writes
+   BENCH_PR6.json.
+
+   Three measurements per codec, on the ID-TermScore method (its long lists
+   are pure Id_codec blobs, so the codec dominates their size):
+
+   - index size: live long-list bytes over the number of postings the
+     corpus produces — Table 1's bytes-per-posting, now per codec;
+   - decode throughput: a synthetic 200k-posting list (mixed dense runs and
+     jumps, like real doc-id distributions) drained start to finish through
+     a cursor, reported as encoded MB/s — the word-at-a-time unpack vs the
+     per-byte varint loop;
+   - query cost: cold-cache conjunctive top-k under two workloads — the
+     default medium-selectivity mix, and [Rare_over_dense] (a rare term
+     filtered against dense ones), where seek_geq dives into blocks and
+     pef answers from the unary upper bits ([Stats.upper_seeks]).
+
+   The acceptance bar printed at the end: at least one packed codec >= 20%
+   smaller than varint with no conjunctive regression at the default
+   workload. *)
+
+module Core = Svr_core
+module St = Svr_storage
+module W = Svr_workload
+
+type workload = { w_name : string; w_queries : string list array }
+
+type codec_result = {
+  cr_codec : Core.Types.codec;
+  cr_long_bytes : int;
+  cr_bytes_per_posting : float;
+  cr_encoded_mb : float;
+  cr_decode_mb_s : float; (* encoded MB drained per second *)
+  cr_decode_mp_s : float; (* million postings per second *)
+  cr_queries : (string * Harness.timing * int) list;
+      (* workload name, timing, ef upper-bit seeks across the workload *)
+}
+
+(* total postings the corpus produces = sum of distinct terms per doc —
+   the denominator Table 1 uses for bytes/posting *)
+let count_postings (p : Profile.t) =
+  let n = ref 0 in
+  Seq.iter
+    (fun (_doc, text) ->
+      n :=
+        !n
+        + List.length
+            (Svr_text.Analyzer.distinct_terms ~config:W.Corpus_gen.analyzer text))
+    (W.Corpus_gen.corpus_seq p.Profile.corpus);
+  !n
+
+(* synthetic long list shaped like a real one: dense runs broken by jumps *)
+let micro_postings =
+  lazy
+    (let rng = ref 4242 in
+     let next () =
+       rng := ((!rng * 25214903917) + 11) land ((1 lsl 48) - 1);
+       !rng lsr 17
+     in
+     let doc = ref 0 in
+     Array.init 200_000 (fun _ ->
+         let gap =
+           match next () mod 10 with
+           | 0 -> 1 + (next () mod 5000) (* jump *)
+           | _ -> 1 + (next () mod 6) (* dense run *)
+         in
+         doc := !doc + gap;
+         (!doc, 8 * (1 + (next () mod 16)))))
+
+let micro_decode codec =
+  let postings = Lazy.force micro_postings in
+  let payload = Core.Posting_codec.Id_codec.encode ~codec ~with_ts:true postings in
+  let stats = St.Stats.create () in
+  let store =
+    St.Blob_store.create
+      (St.Pager.create ~pool_pages:4096 ~stats (St.Disk.create ~name:"micro" stats))
+  in
+  let blob = St.Blob_store.put store payload in
+  (* one warm-up drain (page cache, buffers), then timed drains *)
+  let drain () =
+    let c =
+      Core.Posting_codec.Id_codec.cursor ~codec ~with_ts:true ~term_idx:0
+        (St.Blob_store.reader store blob)
+    in
+    let acc = ref 0 in
+    while not (Core.Posting_cursor.eof c) do
+      acc := !acc + Core.Posting_cursor.doc c + Core.Posting_cursor.ts c;
+      Core.Posting_cursor.advance c
+    done;
+    !acc
+  in
+  ignore (drain ());
+  let reps = 5 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (drain ()))
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let mb = float_of_int (String.length payload) /. 1048576.0 in
+  let mpostings =
+    float_of_int (reps * Array.length postings) /. 1e6 /. dt
+  in
+  (mb, float_of_int reps *. mb /. dt, mpostings)
+
+let run_codec (p : Profile.t) ~n_postings ~workloads codec =
+  let cfg_mod c = { c with Core.Config.codec } in
+  let idx, _scores = Harness.build ~cfg_mod p Core.Index.Id_termscore in
+  let long_bytes = Core.Index.long_list_bytes idx in
+  let encoded_mb, decode_mb_s, decode_mp_s = micro_decode codec in
+  let env = Core.Index.env idx in
+  let queries =
+    List.map
+      (fun w ->
+        let before = St.Stats.snapshot (St.Env.stats env) in
+        let t = Harness.measure_queries p idx w.w_queries in
+        let d =
+          St.Stats.diff ~after:(St.Stats.snapshot (St.Env.stats env)) ~before
+        in
+        (w.w_name, t, d.St.Stats.upper_seeks))
+      workloads
+  in
+  { cr_codec = codec;
+    cr_long_bytes = long_bytes;
+    cr_bytes_per_posting = float_of_int long_bytes /. float_of_int n_postings;
+    cr_encoded_mb = encoded_mb;
+    cr_decode_mb_s = decode_mb_s;
+    cr_decode_mp_s = decode_mp_s;
+    cr_queries = queries }
+
+let run (p : Profile.t) =
+  Harness.banner "Pluggable posting codecs (bytes, decode rate, query cost)" p;
+  let n_postings = count_postings p in
+  let workloads =
+    [ { w_name = "medium"; w_queries = Harness.queries_for p };
+      { w_name = "rare-over-dense";
+        w_queries = Harness.queries_for ~selectivity:W.Query_gen.Rare_over_dense p }
+    ]
+  in
+  let results =
+    List.map (run_codec p ~n_postings ~workloads) Core.Types.all_codecs
+  in
+  Printf.printf "\npostings indexed: %d\n\n" n_postings;
+  Harness.header
+    [ "codec             "; " B/posting"; " Mposting/s"; " medium ms";
+      " rare ms"; " ef-seeks" ];
+  List.iter
+    (fun r ->
+      let timing name =
+        let _, t, _ = List.find (fun (n, _, _) -> n = name) r.cr_queries in
+        t
+      in
+      let _, _, seeks = List.find (fun (n, _, _) -> n = "rare-over-dense") r.cr_queries in
+      Harness.row
+        (Core.Types.codec_name r.cr_codec)
+        [ Printf.sprintf "%10.2f" r.cr_bytes_per_posting;
+          Printf.sprintf "%10.1f" r.cr_decode_mp_s;
+          Printf.sprintf "%9.2f" (timing "medium").Harness.sim_ms;
+          Printf.sprintf "%7.2f" (timing "rare-over-dense").Harness.sim_ms;
+          Printf.sprintf "%8d" seeks ])
+    results;
+  (* acceptance: a packed codec >= 20% smaller, no conjunctive regression *)
+  let find c = List.find (fun r -> r.cr_codec = c) results in
+  let v = find Core.Types.Varint in
+  let medium r =
+    let _, t, _ = List.find (fun (n, _, _) -> n = "medium") r.cr_queries in
+    t.Harness.sim_ms
+  in
+  List.iter
+    (fun codec ->
+      let r = find codec in
+      Printf.printf "  %s: %.1f%% smaller than varint, medium sim %.2f ms vs %.2f ms\n"
+        (Core.Types.codec_name codec)
+        (100.0 *. (1.0 -. (r.cr_bytes_per_posting /. v.cr_bytes_per_posting)))
+        (medium r) (medium v))
+    [ Core.Types.Bitpack; Core.Types.Pef ];
+  let oc = open_out "BENCH_PR6.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"posting-codecs\",\n  \"profile\": %S,\n\
+    \  \"method\": \"ID-TermScore\",\n  \"index_postings\": %d,\n\
+    \  \"codecs\": ["
+    p.Profile.name n_postings;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "%s\n    { \"codec\": %S,\n      \"long_list_bytes\": %d,\n\
+        \      \"bytes_per_posting\": %.3f,\n\
+        \      \"micro_encoded_mb\": %.3f,\n      \"decode_mb_s\": %.1f,\n\
+        \      \"decode_mpostings_s\": %.2f,\n\
+        \      \"queries\": ["
+        (if i = 0 then "" else ",")
+        (Core.Types.codec_name r.cr_codec)
+        r.cr_long_bytes r.cr_bytes_per_posting r.cr_encoded_mb r.cr_decode_mb_s
+        r.cr_decode_mp_s;
+      List.iteri
+        (fun qi (name, t, seeks) ->
+          Printf.fprintf oc
+            "%s\n        { \"workload\": %S, \"wall_ms\": %.3f, \"sim_ms\": %.3f,\n\
+            \          \"rand_pages\": %.1f, \"seq_pages\": %.1f, \"upper_seeks\": %d }"
+            (if qi = 0 then "" else ",")
+            name t.Harness.wall_ms t.Harness.sim_ms t.Harness.rand_pages
+            t.Harness.seq_pages seeks)
+        r.cr_queries;
+      Printf.fprintf oc "\n      ] }")
+    results;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_PR6.json"

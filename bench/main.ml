@@ -14,7 +14,8 @@ let experiments =
     ("archive", Exp_archive.run); ("ablation", Exp_ablation.run);
     ("appendix", Exp_appendix.run); ("conjunctive", Micro.conjunctive);
     ("par", Exp_par.run); ("recovery", Exp_recovery.run);
-    ("obs", Exp_obs.run); ("maintain", Exp_maintain.run) ]
+    ("obs", Exp_obs.run); ("maintain", Exp_maintain.run);
+    ("codec", Exp_codec.run) ]
 
 let usage () =
   Printf.printf "usage: main.exe [micro | %s]...\n"

@@ -7,6 +7,7 @@
    Statements end with ';'. Meta commands: .help .tables .quit *)
 
 module R = Svr_relational
+module Core = Svr_core
 module Obs = Svr_obs
 
 (* .timer on|off: per-statement wall + simulated-I/O time *)
@@ -59,12 +60,14 @@ let meta eng line =
         "statements end with ';'. Supported SQL:\n\
         \  CREATE TABLE t (col type, ..., PRIMARY KEY (col));\n\
         \  CREATE FUNCTION f (x: type, ...) RETURNS type RETURN expr;\n\
-        \  CREATE TEXT INDEX i ON t (textcol) USING chunk SCORE (f1, ...) AGG g;\n\
+        \  CREATE TEXT INDEX i ON t (textcol) USING chunk SCORE (f1, ...)\n\
+        \    [AGG g] [WEIGHT w] [CODEC varint|bitpack|pef];\n\
         \  INSERT INTO t VALUES (...), (...); UPDATE ... ; DELETE ... ;\n\
         \  SELECT ... FROM t [WHERE ...]\n\
         \    [ORDER BY score(textcol, 'keywords') DESC] [FETCH TOP k RESULTS ONLY];\n\
          methods: id | score | score_threshold | chunk | id_termscore | chunk_termscore\n\
-         meta: .help .tables .stats .maintain .checkpoint .crash .recover .quit\n\
+         meta: .help .tables .stats .codecs .maintain .checkpoint .crash\n\
+        \       .recover .quit\n\
         \  .par <index> <domains> <reps> <keywords...>  run the keyword query\n\
         \       <reps> times as one batch over <domains> domains and report\n\
         \       wall time, per-domain cache hits and the top-10 results\n\
@@ -78,6 +81,7 @@ let meta eng line =
         \  .timer on|off        per-statement wall + simulated-I/O time\n\
         \  .slow [N]            recent slow traces (threshold .slowms)\n\
         \  .slowms <ms>         slow-query retention threshold\n\
+        \  .codecs              posting codec and list sizes of every index\n\
         \  .maintain <index> [steps]  drain short lists into the long lists\n\
         \       in bounded online steps (all of them without a step count);\n\
         \       same as MAINTAIN TEXT INDEX <index> [STEP n];\n%!"
@@ -88,6 +92,29 @@ let meta eng line =
       Printf.printf "  %s\n%!"
         (Format.asprintf "%a" Svr_storage.Stats.pp
            (Svr_storage.Stats.snapshot (Svr_storage.Env.stats (R.Engine.env eng))))
+  | ".codecs" -> (
+      match R.Engine.text_indexes eng with
+      | [] -> Printf.printf "no text indexes\n%!"
+      | indexes ->
+          let c =
+            Svr_storage.Stats.snapshot
+              (Svr_storage.Env.stats (R.Engine.env eng))
+          in
+          Printf.printf "  %-16s %-16s %-8s %12s %10s\n" "index" "method"
+            "codec" "long bytes" "short"
+          ;
+          List.iter
+            (fun (name, idx) ->
+              Printf.printf "  %-16s %-16s %-8s %12d %10d\n" name
+                (Core.Index.kind_name (Core.Index.kind idx))
+                (Core.Types.codec_name (Core.Index.codec idx))
+                (Core.Index.long_list_bytes idx)
+                (Core.Index.short_list_postings idx))
+            indexes;
+          Printf.printf
+            "  codec bytes written: %d  ef upper-bit seeks: %d\n%!"
+            c.Svr_storage.Stats.codec_bytes_written
+            c.Svr_storage.Stats.upper_seeks)
   | ".metrics" -> print_string (Obs.Metrics.to_prometheus ()); flush stdout
   | ".metrics json" ->
       print_string (Obs.Metrics.to_json ());

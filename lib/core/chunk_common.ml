@@ -42,7 +42,8 @@ let encode_term t term postings current_score =
     sorted;
   flush ();
   let payload =
-    Posting_codec.Chunk_codec.encode ~with_ts:t.with_ts
+    Posting_codec.Chunk_codec.encode ~codec:t.cfg.Config.codec
+      ~with_ts:t.with_ts
       (Array.of_list (List.rev !groups))
   in
   Term_dir.set t.dir ~term { Term_dir.blob = St.Blob_store.put t.blobs payload; meta = 0 }
@@ -152,8 +153,8 @@ let term_cursors t terms =
          | None -> [ short ]
          | Some { Term_dir.blob; _ } ->
              let reader = St.Blob_store.reader t.blobs blob in
-             [ Posting_codec.Chunk_codec.cursor ~with_ts:t.with_ts ~term_idx
-                 reader;
+             [ Posting_codec.Chunk_codec.cursor ~codec:t.cfg.Config.codec
+                 ~with_ts:t.with_ts ~term_idx reader;
                short ])
        terms)
 
@@ -218,7 +219,8 @@ let compact_term ?on_drained t term =
     | None -> ()
     | Some { Term_dir.blob; _ } ->
         let c =
-          Posting_codec.Chunk_codec.cursor ~with_ts:t.with_ts ~term_idx:0
+          Posting_codec.Chunk_codec.cursor ~codec:t.cfg.Config.codec
+            ~with_ts:t.with_ts ~term_idx:0
             (St.Blob_store.reader t.blobs blob)
         in
         while not (Posting_cursor.eof c) do
@@ -255,14 +257,24 @@ let compact_term ?on_drained t term =
       merged;
     flush ();
     let groups = Array.of_list (List.rev !groups) in
-    (if Array.length groups = 0 then Term_dir.remove t.dir ~term
+    (* re-encode replaces the old blob's page run in place when it fits *)
+    let replacing =
+      match old_entry with Some { Term_dir.blob; _ } -> Some blob | None -> None
+    in
+    (if Array.length groups = 0 then begin
+       Term_dir.remove t.dir ~term;
+       match replacing with
+       | Some blob -> St.Blob_store.free t.blobs blob
+       | None -> ()
+     end
      else
-       let payload = Posting_codec.Chunk_codec.encode ~with_ts:t.with_ts groups in
+       let payload =
+         Posting_codec.Chunk_codec.encode ~codec:t.cfg.Config.codec
+           ~with_ts:t.with_ts groups
+       in
        Term_dir.set t.dir ~term
-         { Term_dir.blob = St.Blob_store.put t.blobs payload; meta = 0 });
-    (match old_entry with
-    | Some { Term_dir.blob; _ } -> St.Blob_store.free t.blobs blob
-    | None -> ());
+         { Term_dir.blob = St.Blob_store.put ?replacing t.blobs payload;
+           meta = 0 });
     let drained = Short_list.drop_term t.short ~term in
     (match on_drained with
     | Some f -> f ~term ~max_add_ts:!max_add_ts

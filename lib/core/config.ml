@@ -10,13 +10,15 @@ type t = {
   maint_step_terms : int;
   maint_step_postings : int;
   maint_auto : bool;
+  codec : Types.codec;
 }
 
 let default =
   { analyzer = Svr_text.Analyzer.default; threshold_ratio = 11.24;
     chunk_ratio = 6.12; min_chunk_docs = 100; fancy_size = 64;
     ts_weight = 1.0; maint_ratio = 0.05; maint_min_short = 512;
-    maint_step_terms = 32; maint_step_postings = 4096; maint_auto = false }
+    maint_step_terms = 32; maint_step_postings = 4096; maint_auto = false;
+    codec = Types.Varint }
 
 let validate t =
   if t.threshold_ratio <= 1.0 then

@@ -35,13 +35,17 @@ type t = {
   maint_auto : bool;
       (** piggyback one maintenance step on the update path whenever the
           trigger fires (off by default: explicit [MAINTAIN] only). *)
+  codec : Types.codec;
+      (** on-disk layout of long-list posting blocks ({!Posting_codec});
+          fixed at build time and persisted in the index header — recovery
+          refuses a mismatching configuration. *)
 }
 
 val default : t
 (** Paper defaults: threshold ratio 11.24, chunk ratio 6.12, min chunk 100,
     fancy size 64, ts weight 1.0, default analyzer. Maintenance defaults:
     ratio 0.05, min short 512, 32 terms / 4096 postings per step, auto
-    off. *)
+    off. Codec: [Varint]. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument when a knob is out of its documented range. *)

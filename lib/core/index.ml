@@ -44,12 +44,46 @@ type t = {
          by [apply_op]/[recover]: replay is single-threaded and the lock is
          not reentrant. *)
   maint : Maintenance.t;
+  hdr : Svr_storage.Btree.t;
+      (* durable index header: the facts a reader must know before it can
+         decode a single blob — today the posting codec *)
 }
 
 let kind t = t.kind
 let tag t = t.tag
+let codec t = t.cfg.Config.codec
 
 module St = Svr_storage
+
+let hdr_codec_key = "codec"
+
+let persisted_codec t =
+  match St.Btree.find t.hdr hdr_codec_key with
+  | None -> None
+  | Some name -> Types.codec_of_name name
+
+let stamp_codec t name = St.Btree.insert t.hdr hdr_codec_key name
+
+(* The codec is not recorded inside each blob (blocks stay dense), so a
+   reader configured with the wrong codec would misparse every body.
+   Recovery therefore refuses to proceed when the persisted header and the
+   supplied configuration disagree. *)
+let verify_header t =
+  match St.Btree.find t.hdr hdr_codec_key with
+  | None ->
+      St.Storage_error.error St.Storage_error.Corrupt
+        "Index(%s): no codec in the index header" t.tag
+  | Some name -> (
+      match Types.codec_of_name name with
+      | Some c when c = t.cfg.Config.codec -> ()
+      | Some c ->
+          St.Storage_error.error St.Storage_error.Corrupt
+            "Index(%s): built with codec %s but recovered with %s" t.tag
+            (Types.codec_name c)
+            (Types.codec_name t.cfg.Config.codec)
+      | None ->
+          St.Storage_error.error St.Storage_error.Corrupt
+            "Index(%s): unknown codec %S in the index header" t.tag name)
 
 exception Invalid_score of string
 
@@ -64,14 +98,14 @@ let check_score score =
       (Invalid_score
          (Printf.sprintf "SVR score must be finite and >= 0, got %g" score))
 
-let env t =
-  match t.impl with
+let impl_env = function
   | I_id i -> Method_id.env i
   | I_score i -> Method_score.env i
   | I_st i -> Method_score_threshold.env i
   | I_chunk i -> Method_chunk.env i
   | I_cts i -> Method_chunk_termscore.env i
 
+let env t = impl_env t.impl
 let env_of = env
 
 let maint_target impl =
@@ -119,10 +153,13 @@ let build ?env ?(tag = "index") kind cfg ~corpus ~scores =
   in
   let t =
     { kind; cfg; impl; tag; lock = Rw_lock.create ();
-      maint = Maintenance.create cfg (maint_target impl) }
+      maint = Maintenance.create cfg (maint_target impl);
+      hdr = St.Env.btree (impl_env impl) ~name:(tag ^ ":hdr") }
   in
+  St.Btree.insert t.hdr hdr_codec_key (Types.codec_name cfg.Config.codec);
   (* bulk loads bypass the WAL, so the freshly built state must become the
-     recovery baseline before any logged update arrives *)
+     recovery baseline before any logged update arrives — the header rides
+     the same checkpoint *)
   St.Env.checkpoint (env_of t);
   t
 
@@ -269,6 +306,7 @@ let apply_op t (op : St.Wal.op) =
 
 let recover t =
   let records = St.Env.recover (env t) in
+  verify_header t;
   List.iter
     (fun { St.Wal.tag; op } -> if String.equal tag t.tag then apply_op t op)
     records;
@@ -311,7 +349,11 @@ let query_terms t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
       let d = St.Stats.diff ~after:cell ~before in
       if Qobs.Tr.is_on sp then begin
         Qobs.Tr.annotate sp "blocks" (string_of_int d.St.Stats.blocks_decoded);
-        Qobs.Tr.annotate sp "skips" (string_of_int d.St.Stats.blocks_skipped)
+        Qobs.Tr.annotate sp "skips" (string_of_int d.St.Stats.blocks_skipped);
+        Qobs.Tr.annotate sp "codec" (Types.codec_name t.cfg.Config.codec);
+        if d.St.Stats.upper_seeks > 0 then
+          Qobs.Tr.annotate sp "ef-seeks"
+            (string_of_int d.St.Stats.upper_seeks)
       end;
       Qobs.query_metrics ~meth:(kind_name t.kind)
         ~wall_ms:(Svr_obs.Clock.now_ms () -. t0)

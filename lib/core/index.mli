@@ -55,6 +55,21 @@ val tag : t -> string
 
 val env : t -> Svr_storage.Env.t
 
+val codec : t -> Types.codec
+(** The posting codec this index encodes and decodes long lists with
+    (from its {!Config.t}; fixed at build time). *)
+
+val persisted_codec : t -> Types.codec option
+(** The codec recorded in the index's durable header at build time — what
+    {!recover} verifies the configuration against. [None] before a header
+    exists or when the persisted name is unknown. *)
+
+val stamp_codec : t -> string -> unit
+(** Overwrite the codec name in the durable index header (any string, not
+    just known codec names — migration tooling and the recovery tests use it
+    to construct mismatches). The next {!recover} verifies the header
+    against the configuration and refuses to proceed on disagreement. *)
+
 val score_update : t -> doc:int -> float -> unit
 (** Notify the index that the document's SVR score changed (the paper's
     materialized-view callback).
@@ -76,7 +91,10 @@ val recover : t -> Svr_storage.Wal.record list
     the last checkpoint ({!Svr_storage.Env.recover}), replay the surviving
     records whose tag matches this index, and checkpoint the result. Returns
     {e all} surviving records (callers sharing the environment can route the
-    rest). Returns [[]] when the environment is not durable. *)
+    rest). Returns [[]] when the environment is not durable.
+    @raise Svr_storage.Storage_error.Error [(Corrupt, _)] when the recovered
+    index header names a different codec than this index is configured
+    with — decoding blobs under the wrong codec would misparse them. *)
 
 val query :
   t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->

@@ -42,7 +42,8 @@ let build_fancy t by_term =
         Array.sort (fun (d1, _) (d2, _) -> compare d1 d2) top;
         let blob =
           St.Blob_store.put t.fancy_blobs
-            (Posting_codec.Id_codec.encode ~with_ts:true top)
+            (Posting_codec.Id_codec.encode
+               ~codec:t.base.C.cfg.Config.codec ~with_ts:true top)
         in
         Term_dir.set t.fancy_dir ~term { Term_dir.blob; meta = min_ts }
       end)
@@ -87,7 +88,8 @@ let fancy_cursors t terms =
       Option.map
         (fun { Term_dir.blob; _ } ->
           let reader = St.Blob_store.reader t.fancy_blobs blob in
-          Posting_codec.Id_codec.cursor ~with_ts:true ~term_idx reader)
+          Posting_codec.Id_codec.cursor ~codec:t.base.C.cfg.Config.codec
+            ~with_ts:true ~term_idx reader)
         (Term_dir.find t.fancy_dir ~term))
     (List.mapi (fun i term -> (i, term)) terms)
 

@@ -15,7 +15,11 @@ let env t = t.env
 
 let encode_term t by_term term postings =
   let arr = Build_util.sort_by_doc postings in
-  let blob = St.Blob_store.put t.blobs (Posting_codec.Id_codec.encode ~with_ts:t.with_ts arr) in
+  let blob =
+    St.Blob_store.put t.blobs
+      (Posting_codec.Id_codec.encode ~codec:t.cfg.Config.codec
+         ~with_ts:t.with_ts arr)
+  in
   Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 };
   ignore by_term
 
@@ -78,7 +82,8 @@ let term_cursors t terms =
          | None -> [ short ]
          | Some { Term_dir.blob; _ } ->
              let reader = St.Blob_store.reader t.blobs blob in
-             [ Posting_codec.Id_codec.cursor ~with_ts:t.with_ts ~term_idx reader;
+             [ Posting_codec.Id_codec.cursor ~codec:t.cfg.Config.codec
+                 ~with_ts:t.with_ts ~term_idx reader;
                short ])
        terms)
 
@@ -148,7 +153,8 @@ let compact_term t term =
     | None -> ()
     | Some { Term_dir.blob; _ } ->
         let c =
-          Posting_codec.Id_codec.cursor ~with_ts:t.with_ts ~term_idx:0
+          Posting_codec.Id_codec.cursor ~codec:t.cfg.Config.codec
+            ~with_ts:t.with_ts ~term_idx:0
             (St.Blob_store.reader t.blobs blob)
         in
         while not (Posting_cursor.eof c) do
@@ -160,15 +166,24 @@ let compact_term t term =
     Hashtbl.iter (fun doc ts -> keep := (doc, ts) :: !keep) adds;
     let arr = Array.of_list !keep in
     Array.sort (fun (d1, _) (d2, _) -> compare d1 d2) arr;
-    (if Array.length arr = 0 then Term_dir.remove t.dir ~term
+    (* the re-encode replaces the old blob in place when it fits its page
+       run, so steady-state compaction stops leaking pages *)
+    let replacing =
+      match old_entry with Some { Term_dir.blob; _ } -> Some blob | None -> None
+    in
+    (if Array.length arr = 0 then begin
+       Term_dir.remove t.dir ~term;
+       match replacing with
+       | Some blob -> St.Blob_store.free t.blobs blob
+       | None -> ()
+     end
      else
        let blob =
-         St.Blob_store.put t.blobs (Posting_codec.Id_codec.encode ~with_ts:t.with_ts arr)
+         St.Blob_store.put ?replacing t.blobs
+           (Posting_codec.Id_codec.encode ~codec:t.cfg.Config.codec
+              ~with_ts:t.with_ts arr)
        in
        Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 });
-    (match old_entry with
-    | Some { Term_dir.blob; _ } -> St.Blob_store.free t.blobs blob
-    | None -> ());
     Short_list.drop_term t.short ~term
   end
 

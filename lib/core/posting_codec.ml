@@ -99,13 +99,623 @@ let encode_doc_blocks buf scratch ~with_ts postings =
     lo := !lo + n
   done
 
-module Id_codec = struct
-  let encode ~with_ts postings =
-    let buf = Buffer.create (8 * Array.length postings) in
-    encode_doc_blocks buf (Buffer.create 1024) ~with_ts postings;
+(* ------------------------------------------------------------------ *)
+(* Packed block codecs: [bitpack] and [pef] share the varint baseline's
+   block framing (varint n · varint last_delta · varint body_len · body, and
+   the chunk group headers around it) so header-driven block and group
+   skipping is codec-independent; only the body changes.
+
+   - bitpack: one width byte [w], then n doc-id gaps (gap = doc − prev − 1)
+     packed [w] bits each, LSB-first — a whole block decodes with
+     word-at-a-time shifts, no per-byte branch on continuation bits.
+   - pef: one width byte [l], then Elias-Fano over v_j = doc_j − prev − 1:
+     n lower halves of [l] bits, then the upper halves as a unary bitvector
+     of n + (u >> l) bits (u = last_delta − 1). [seek_geq] into an encoded
+     block searches the unary upper bits for the target bucket instead of
+     decoding gaps — counted in [Stats.upper_seeks].
+
+   Term scores are not stored raw: a packed blob opens with a per-term
+   dictionary of its distinct quantized scores (varint count · u16 values),
+   and each block's body ends with n bit-packed indices into it. *)
+
+let max_packed_width = 55
+(* widths ≤ 55 keep every bit-gather below 63 bits even mid-byte; a gap or
+   lower-half needing more would mean doc ids ~2^55 apart, which the packed
+   codecs reject at encode time and treat as corruption at decode time *)
+
+let bits_needed v =
+  let b = ref 0 and x = ref v in
+  while !x > 0 do
+    incr b;
+    x := !x lsr 1
+  done;
+  !b
+
+let packed_bytes n width = ((n * width) + 7) / 8
+
+let pack_bits buf ~width get n =
+  if width > 0 then begin
+    let acc = ref 0 and bits = ref 0 in
+    for j = 0 to n - 1 do
+      acc := !acc lor (get j lsl !bits);
+      bits := !bits + width;
+      while !bits >= 8 do
+        Buffer.add_char buf (Char.unsafe_chr (!acc land 0xff));
+        acc := !acc lsr 8;
+        bits := !bits - 8
+      done
+    done;
+    if !bits > 0 then Buffer.add_char buf (Char.unsafe_chr (!acc land 0xff))
+  end
+
+(* word-at-a-time sequential unpack: bytes accumulate into one int and
+   values shift out, so the loop never re-reads a byte *)
+let unpack_bits s ~off ~width dst n =
+  if width = 0 then Array.fill dst 0 n 0
+  else begin
+    let mask = (1 lsl width) - 1 in
+    let acc = ref 0 and bits = ref 0 and k = ref off in
+    for j = 0 to n - 1 do
+      while !bits < width do
+        acc := !acc lor (Char.code s.[!k] lsl !bits);
+        incr k;
+        bits := !bits + 8
+      done;
+      dst.(j) <- !acc land mask;
+      acc := !acc lsr width;
+      bits := !bits - width
+    done
+  end
+
+(* random access to the j-th packed value (the pef seek path compares a few
+   lower halves without unpacking the block) *)
+let get_bits s ~off ~width j =
+  if width = 0 then 0
+  else begin
+    let bitpos = j * width in
+    let k = ref (off + (bitpos lsr 3)) in
+    let shift = bitpos land 7 in
+    let v = ref (Char.code s.[!k] lsr shift) in
+    let bits = ref (8 - shift) in
+    while !bits < width do
+      incr k;
+      v := !v lor (Char.code s.[!k] lsl !bits);
+      bits := !bits + 8
+    done;
+    !v land ((1 lsl width) - 1)
+  end
+
+module Ts_dict = struct
+  type t = {
+    values : int array; (* distinct quantized scores, ascending *)
+    index_width : int;
+    index : (int, int) Hashtbl.t; (* encode side only *)
+  }
+
+  let build iter_ts =
+    let seen = Hashtbl.create 64 in
+    iter_ts (fun ts -> Hashtbl.replace seen (ts land 0xffff) ());
+    let values = Array.of_seq (Hashtbl.to_seq_keys seen) in
+    Array.sort compare values;
+    let index = Hashtbl.create (max 1 (Array.length values)) in
+    Array.iteri (fun i v -> Hashtbl.replace index v i) values;
+    { values; index_width = bits_needed (max 0 (Array.length values - 1));
+      index }
+
+  let index_of d ts = Hashtbl.find d.index (ts land 0xffff)
+
+  let write buf d =
+    St.Varint.write buf (Array.length d.values);
+    Array.iter (fun v -> write_u16 buf v) d.values
+
+  let read reader pos =
+    let len = St.Blob_store.blob_length reader in
+    let n = read_varint_r reader pos in
+    if n < 1 || n > 65536 || !pos + (2 * n) > len then
+      corrupt "Posting_codec: bad ts-dict size %d at byte %d/%d" n !pos len;
+    St.Blob_store.ensure reader (!pos + (2 * n));
+    let s = St.Blob_store.raw reader in
+    let values = Array.init n (fun _ -> read_u16 s pos) in
+    { values; index_width = bits_needed (n - 1); index = Hashtbl.create 1 }
+end
+
+module Packed = struct
+  let ts_bytes ~dict n =
+    match dict with
+    | Some d -> packed_bytes n d.Ts_dict.index_width
+    | None -> 0
+
+  let decode_ts_section s ~off ~n ~(dict : Ts_dict.t) tss =
+    unpack_bits s ~off ~width:dict.Ts_dict.index_width tss n;
+    let dn = Array.length dict.Ts_dict.values in
+    for j = 0 to n - 1 do
+      let ix = tss.(j) in
+      if ix >= dn then
+        corrupt "Posting_codec: ts-dict index %d out of range (dict %d)" ix dn;
+      tss.(j) <- dict.Ts_dict.values.(ix)
+    done
+
+  let check_ascending ~prev postings ~lo ~n =
+    let p = ref prev in
+    for j = lo to lo + n - 1 do
+      let doc, _ = postings.(j) in
+      if doc <= !p then invalid_arg "Posting_codec: doc ids must ascend";
+      p := doc
+    done
+
+  let encode_bitpack_body scratch ~prev postings ~lo ~n =
+    check_ascending ~prev postings ~lo ~n;
+    let w = ref 0 in
+    let p = ref prev in
+    for j = lo to lo + n - 1 do
+      let doc, _ = postings.(j) in
+      w := max !w (bits_needed (doc - !p - 1));
+      p := doc
+    done;
+    if !w > max_packed_width then
+      invalid_arg "Posting_codec: doc gap too wide for the bitpack codec";
+    Buffer.add_char scratch (Char.chr !w);
+    pack_bits scratch ~width:!w
+      (fun j ->
+        let doc, _ = postings.(lo + j) in
+        let before = if j = 0 then prev else fst postings.(lo + j - 1) in
+        doc - before - 1)
+      n
+
+  let encode_pef_body scratch ~prev postings ~lo ~n =
+    check_ascending ~prev postings ~lo ~n;
+    let base = prev + 1 in
+    let u = fst postings.(lo + n - 1) - base in
+    let l =
+      if u <= 0 then 0
+      else
+        min max_packed_width
+          (let q = u / n in
+           if q <= 0 then 0 else bits_needed q - 1)
+    in
+    Buffer.add_char scratch (Char.chr l);
+    let mask = (1 lsl l) - 1 in
+    pack_bits scratch ~width:l
+      (fun j -> (fst postings.(lo + j) - base) land mask)
+      n;
+    let upper = Bytes.make ((n + (u lsr l) + 7) / 8) '\000' in
+    for j = 0 to n - 1 do
+      let v = fst postings.(lo + j) - base in
+      let posn = (v lsr l) + j in
+      Bytes.set upper (posn lsr 3)
+        (Char.unsafe_chr
+           (Char.code (Bytes.get upper (posn lsr 3)) lor (1 lsl (posn land 7))))
+    done;
+    Buffer.add_bytes scratch upper
+
+  (* one blob's blocks under the shared framing; [dict] appends each block's
+     bit-packed score indices after the doc section *)
+  let encode_blocks buf scratch ~codec ~dict postings =
+    let len = Array.length postings in
+    let prev = ref (-1) in
+    let lo = ref 0 in
+    while !lo < len do
+      let n = min block_size (len - !lo) in
+      Buffer.clear scratch;
+      (match codec with
+      | Types.Bitpack -> encode_bitpack_body scratch ~prev:!prev postings ~lo:!lo ~n
+      | Types.Pef -> encode_pef_body scratch ~prev:!prev postings ~lo:!lo ~n
+      | Types.Varint -> invalid_arg "Posting_codec: varint has no packed body");
+      (match dict with
+      | Some d ->
+          pack_bits scratch ~width:d.Ts_dict.index_width
+            (fun j -> Ts_dict.index_of d (snd postings.(!lo + j)))
+            n
+      | None -> ());
+      let last = fst postings.(!lo + n - 1) in
+      St.Varint.write buf n;
+      St.Varint.write buf (last - !prev);
+      St.Varint.write buf (Buffer.length scratch);
+      Buffer.add_buffer buf scratch;
+      prev := last;
+      lo := !lo + n
+    done
+
+  let encode_id ~codec ~with_ts postings =
+    let buf = Buffer.create ((4 * Array.length postings) + 16) in
+    let dict =
+      if with_ts && Array.length postings > 0 then begin
+        let d =
+          Ts_dict.build (fun f -> Array.iter (fun (_, ts) -> f ts) postings)
+        in
+        Ts_dict.write buf d;
+        Some d
+      end
+      else None
+    in
+    encode_blocks buf (Buffer.create 1024) ~codec ~dict postings;
     Buffer.contents buf
 
-  let cursor ~with_ts ~term_idx reader =
+  let encode_chunk ~codec ~with_ts groups =
+    let buf = Buffer.create 1024 in
+    let gbuf = Buffer.create 4096 in
+    let scratch = Buffer.create 1024 in
+    let dict =
+      if with_ts && Array.length groups > 0 then begin
+        let d =
+          Ts_dict.build (fun f ->
+              Array.iter
+                (fun (_, postings) -> Array.iter (fun (_, ts) -> f ts) postings)
+                groups)
+        in
+        Ts_dict.write buf d;
+        Some d
+      end
+      else None
+    in
+    let prev_cid = ref max_int in
+    Array.iter
+      (fun (cid, postings) ->
+        if cid >= !prev_cid then invalid_arg "Chunk_codec: cids must descend";
+        if Array.length postings = 0 then invalid_arg "Chunk_codec: empty group";
+        prev_cid := cid;
+        Buffer.clear gbuf;
+        encode_blocks gbuf scratch ~codec ~dict postings;
+        St.Varint.write buf cid;
+        St.Varint.write buf (Array.length postings);
+        St.Varint.write buf (Buffer.length gbuf);
+        Buffer.add_buffer buf gbuf)
+      groups;
+    Buffer.contents buf
+
+  (* -- decode --------------------------------------------------------- *)
+
+  (* both return the block's last doc id so the cursor can cross-check the
+     body against the skip header it already trusted for gallop arithmetic *)
+
+  let decode_bitpack_body s pos ~blen ~n ~prev ~dict docs tss =
+    let w = Char.code s.[!pos] in
+    if w > max_packed_width then
+      corrupt "Posting_codec: bitpack width %d exceeds %d" w max_packed_width;
+    let gap_bytes = packed_bytes n w in
+    let expect = 1 + gap_bytes + ts_bytes ~dict n in
+    if blen <> expect then
+      corrupt "Posting_codec: bitpack body %dB (expected %dB)" blen expect;
+    unpack_bits s ~off:(!pos + 1) ~width:w docs n;
+    let p = ref prev in
+    for j = 0 to n - 1 do
+      p := !p + docs.(j) + 1;
+      docs.(j) <- !p
+    done;
+    (match dict with
+    | Some d -> decode_ts_section s ~off:(!pos + 1 + gap_bytes) ~n ~dict:d tss
+    | None -> ());
+    pos := !pos + blen;
+    !p
+
+  let decode_pef_body s pos ~blen ~n ~last_delta ~prev ~dict docs tss =
+    let l = Char.code s.[!pos] in
+    if l > max_packed_width then
+      corrupt "Posting_codec: pef lower width %d exceeds %d" l max_packed_width;
+    let u = last_delta - 1 in
+    if u < 0 then corrupt "Posting_codec: pef block with zero last_delta";
+    let lower_bytes = packed_bytes n l in
+    let ub = (n + (u lsr l) + 7) / 8 in
+    let expect = 1 + lower_bytes + ub + ts_bytes ~dict n in
+    if blen <> expect then
+      corrupt "Posting_codec: pef body %dB (expected %dB)" blen expect;
+    let lower_off = !pos + 1 in
+    let upper_off = lower_off + lower_bytes in
+    let base = prev + 1 in
+    let last_v = ref (-1) in
+    let j = ref 0 and k = ref 0 and bitbase = ref 0 in
+    while !j < n do
+      if !k >= ub then corrupt "Posting_codec: pef upper bits truncated";
+      let byte = Char.code s.[upper_off + !k] in
+      if byte <> 0 then
+        for b = 0 to 7 do
+          if byte land (1 lsl b) <> 0 && !j < n then begin
+            let high = !bitbase + b - !j in
+            let v = (high lsl l) lor get_bits s ~off:lower_off ~width:l !j in
+            if v <= !last_v then
+              corrupt "Posting_codec: pef doc ids must ascend";
+            last_v := v;
+            docs.(!j) <- base + v;
+            incr j
+          end
+        done;
+      bitbase := !bitbase + 8;
+      incr k
+    done;
+    (match dict with
+    | Some d -> decode_ts_section s ~off:(upper_off + ub) ~n ~dict:d tss
+    | None -> ());
+    pos := !pos + blen;
+    base + !last_v
+
+  (* first in-block index whose doc id is >= [target], answered from the
+     unary upper bits (at most a few lower-half probes at the target bucket)
+     without decoding the block — pef's native [seek_geq] *)
+  let pef_find_geq s ~body_pos ~blen ~n ~last_delta ~prev ~target =
+    let l = Char.code s.[body_pos] in
+    if l > max_packed_width then
+      corrupt "Posting_codec: pef lower width %d exceeds %d" l max_packed_width;
+    let u = last_delta - 1 in
+    if u < 0 then corrupt "Posting_codec: pef universe must be positive";
+    let lower_off = body_pos + 1 in
+    let upper_off = lower_off + packed_bytes n l in
+    let ub = (n + (u lsr l) + 7) / 8 in
+    (* the decoder's exact-size check runs after this probe, so the probe
+       must bound itself: both halves have to fit inside the body *)
+    if 1 + packed_bytes n l + ub > blen then
+      corrupt "Posting_codec: pef body %dB too short for its halves" blen;
+    let t = target - prev - 1 in
+    if t <= 0 then 0
+    else begin
+      let th = t lsr l in
+      let tl = t land ((1 lsl l) - 1) in
+      let idx = ref (-1) in
+      let j = ref 0 and k = ref 0 and bitbase = ref 0 in
+      while !idx < 0 && !j < n do
+        if !k >= ub then corrupt "Posting_codec: pef upper bits truncated";
+        let byte = Char.code s.[upper_off + !k] in
+        if byte <> 0 then begin
+          let b = ref 0 in
+          while !idx < 0 && !b < 8 do
+            if byte land (1 lsl !b) <> 0 && !j < n then begin
+              let high = !bitbase + !b - !j in
+              if
+                high > th
+                || (high = th && get_bits s ~off:lower_off ~width:l !j >= tl)
+              then idx := !j
+              else incr j
+            end;
+            incr b
+          done
+        end;
+        bitbase := !bitbase + 8;
+        incr k
+      done;
+      if !idx < 0 then n else !idx
+    end
+
+  (* -- cursors: same skip discipline as the varint cursors, bodies decoded
+     through the packed decoders, pef entering a sought block through
+     [pef_find_geq] ------------------------------------------------------ *)
+
+  let id_cursor ~codec ~with_ts ~term_idx reader =
+    let len = St.Blob_store.blob_length reader in
+    let cell = St.Stats.cell (St.Blob_store.stats reader) in
+    let pos = ref 0 in
+    let dict = if with_ts && len > 0 then Some (Ts_dict.read reader pos) else None in
+    let prev = ref (-1) in
+    let bufs = Pc.take_buffers () in
+    let docs = bufs.Pc.b_docs in
+    let tss = if with_ts then bufs.Pc.b_tss else Pc.zero_tss in
+    let read_header () =
+      let n = read_varint_r reader pos in
+      let last_delta = read_varint_r reader pos in
+      let blen = read_varint_r reader pos in
+      if n < 1 || n > block_size || blen < 1 || !pos + blen > len then
+        corrupt "Posting_codec: bad block header n=%d blen=%d at byte %d/%d"
+          n blen !pos len;
+      (n, last_delta, blen)
+    in
+    let decode_body c n last_delta blen =
+      St.Blob_store.ensure reader (!pos + blen);
+      let s = St.Blob_store.raw reader in
+      let last =
+        match codec with
+        | Types.Bitpack -> decode_bitpack_body s pos ~blen ~n ~prev:!prev ~dict docs tss
+        | Types.Pef ->
+            decode_pef_body s pos ~blen ~n ~last_delta ~prev:!prev ~dict docs tss
+        | Types.Varint -> assert false
+      in
+      if last <> !prev + last_delta then
+        corrupt "Posting_codec: block body disagrees with its skip header";
+      prev := last;
+      c.Pc.n <- n;
+      c.Pc.i <- 0;
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1;
+      ev_decode ~term_idx n
+    in
+    let refill c =
+      if !pos >= len then c.Pc.n <- 0
+      else begin
+        let n, last_delta, blen = read_header () in
+        decode_body c n last_delta blen
+      end
+    in
+    let seek c r d =
+      if r > 0.0 then ()
+      else begin
+        let d = if r < 0.0 then max_int else d in
+        let continue = ref true in
+        while !continue do
+          if c.Pc.n > 0 then
+            if docs.(c.Pc.n - 1) >= d then begin
+              while docs.(c.Pc.i) < d do
+                c.Pc.i <- c.Pc.i + 1
+              done;
+              continue := false
+            end
+            else c.Pc.n <- 0
+          else if !pos >= len then continue := false
+          else begin
+            let n, last_delta, blen = read_header () in
+            if !prev + last_delta < d then begin
+              prev := !prev + last_delta;
+              pos := !pos + blen;
+              St.Blob_store.skip_to reader !pos;
+              cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1;
+              ev_skip ~term_idx ()
+            end
+            else if codec = Types.Pef then begin
+              St.Blob_store.ensure reader (!pos + blen);
+              let s = St.Blob_store.raw reader in
+              let idx =
+                pef_find_geq s ~body_pos:!pos ~blen ~n ~last_delta ~prev:!prev ~target:d
+              in
+              cell.St.Stats.upper_seeks <- cell.St.Stats.upper_seeks + 1;
+              decode_body c n last_delta blen;
+              if idx >= c.Pc.n then c.Pc.n <- 0
+              else begin
+                c.Pc.i <- idx;
+                continue := false
+              end
+            end
+            else decode_body c n last_delta blen
+          end
+        done
+      end
+    in
+    let c =
+      { Pc.term_idx; long = true; ranks = Pc.zero_ranks; docs; tss;
+        rems = Pc.no_rems; n = 0; i = 0; refill; seek; bufs = Some bufs }
+    in
+    refill c;
+    c
+
+  let chunk_cursor ~codec ~with_ts ~term_idx reader =
+    let len = St.Blob_store.blob_length reader in
+    let cell = St.Stats.cell (St.Blob_store.stats reader) in
+    let pos = ref 0 in
+    let dict = if with_ts && len > 0 then Some (Ts_dict.read reader pos) else None in
+    let gcid = ref 0 in
+    let gleft = ref 0 in
+    let gend = ref 0 in
+    let prev = ref (-1) in
+    let bufs = Pc.take_buffers () in
+    let ranks = bufs.Pc.b_ranks in
+    let docs = bufs.Pc.b_docs in
+    let tss = if with_ts then bufs.Pc.b_tss else Pc.zero_tss in
+    let read_group_header () =
+      gcid := read_varint_r reader pos;
+      gleft := read_varint_r reader pos;
+      let blen = read_varint_r reader pos in
+      if !gleft < 1 || blen < 1 || !pos + blen > len then
+        corrupt "Chunk_codec: bad group header n=%d blen=%d at byte %d/%d"
+          !gleft blen !pos len;
+      gend := !pos + blen;
+      prev := -1
+    in
+    let read_block_header () =
+      let n = read_varint_r reader pos in
+      let last_delta = read_varint_r reader pos in
+      let blen = read_varint_r reader pos in
+      if n < 1 || n > block_size || blen < 1 || !pos + blen > !gend then
+        corrupt "Chunk_codec: bad block header n=%d blen=%d at byte %d/%d"
+          n blen !pos !gend;
+      (n, last_delta, blen)
+    in
+    let decode_block c n last_delta blen =
+      St.Blob_store.ensure reader (!pos + blen);
+      let s = St.Blob_store.raw reader in
+      let last =
+        match codec with
+        | Types.Bitpack -> decode_bitpack_body s pos ~blen ~n ~prev:!prev ~dict docs tss
+        | Types.Pef ->
+            decode_pef_body s pos ~blen ~n ~last_delta ~prev:!prev ~dict docs tss
+        | Types.Varint -> assert false
+      in
+      if last <> !prev + last_delta then
+        corrupt "Chunk_codec: block body disagrees with its skip header";
+      prev := last;
+      Array.fill ranks 0 n (float_of_int !gcid);
+      gleft := !gleft - n;
+      c.Pc.n <- n;
+      c.Pc.i <- 0;
+      cell.St.Stats.blocks_decoded <- cell.St.Stats.blocks_decoded + 1;
+      ev_decode ~term_idx n
+    in
+    let rec refill c =
+      if !gleft > 0 then begin
+        let n, last_delta, blen = read_block_header () in
+        decode_block c n last_delta blen
+      end
+      else if !pos >= len then c.Pc.n <- 0
+      else begin
+        read_group_header ();
+        refill c
+      end
+    in
+    let skip_rest_of_group () =
+      pos := !gend;
+      gleft := 0;
+      St.Blob_store.skip_to reader !pos;
+      cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1;
+      ev_skip ~name:"group-skip" ~term_idx ()
+    in
+    let seek c r d =
+      let continue = ref true in
+      while !continue do
+        if c.Pc.n > 0 then begin
+          let br = ranks.(0) in
+          if br < r then continue := false
+          else if br > r then begin
+            c.Pc.n <- 0;
+            if !gleft > 0 then skip_rest_of_group ()
+          end
+          else if docs.(c.Pc.n - 1) >= d then begin
+            while docs.(c.Pc.i) < d do
+              c.Pc.i <- c.Pc.i + 1
+            done;
+            continue := false
+          end
+          else c.Pc.n <- 0
+        end
+        else if !gleft > 0 then begin
+          let cidf = float_of_int !gcid in
+          if cidf < r then begin
+            let n, last_delta, blen = read_block_header () in
+            decode_block c n last_delta blen;
+            continue := false
+          end
+          else if cidf > r then skip_rest_of_group ()
+          else begin
+            let n, last_delta, blen = read_block_header () in
+            if !prev + last_delta < d then begin
+              prev := !prev + last_delta;
+              pos := !pos + blen;
+              gleft := !gleft - n;
+              St.Blob_store.skip_to reader !pos;
+              cell.St.Stats.blocks_skipped <- cell.St.Stats.blocks_skipped + 1;
+              ev_skip ~term_idx ()
+            end
+            else if codec = Types.Pef then begin
+              St.Blob_store.ensure reader (!pos + blen);
+              let s = St.Blob_store.raw reader in
+              let idx =
+                pef_find_geq s ~body_pos:!pos ~blen ~n ~last_delta ~prev:!prev ~target:d
+              in
+              cell.St.Stats.upper_seeks <- cell.St.Stats.upper_seeks + 1;
+              decode_block c n last_delta blen;
+              if idx >= c.Pc.n then c.Pc.n <- 0
+              else begin
+                c.Pc.i <- idx;
+                continue := false
+              end
+            end
+            else decode_block c n last_delta blen
+          end
+        end
+        else if !pos >= len then continue := false
+        else read_group_header ()
+      done
+    in
+    let c =
+      { Pc.term_idx; long = true; ranks; docs; tss; rems = Pc.no_rems; n = 0;
+        i = 0; refill; seek; bufs = Some bufs }
+    in
+    refill c;
+    c
+end
+
+module Id_codec = struct
+  let encode ?(codec = Types.Varint) ~with_ts postings =
+    match codec with
+    | Types.Bitpack | Types.Pef -> Packed.encode_id ~codec ~with_ts postings
+    | Types.Varint ->
+        let buf = Buffer.create (8 * Array.length postings) in
+        encode_doc_blocks buf (Buffer.create 1024) ~with_ts postings;
+        Buffer.contents buf
+
+  let varint_cursor ~with_ts ~term_idx reader =
     let len = St.Blob_store.blob_length reader in
     let cell = St.Stats.cell (St.Blob_store.stats reader) in
     let pos = ref 0 in
@@ -185,6 +795,11 @@ module Id_codec = struct
     in
     refill c;
     c
+
+  let cursor ?(codec = Types.Varint) ~with_ts ~term_idx reader =
+    match codec with
+    | Types.Varint -> varint_cursor ~with_ts ~term_idx reader
+    | Types.Bitpack | Types.Pef -> Packed.id_cursor ~codec ~with_ts ~term_idx reader
 end
 
 module Score_codec = struct
@@ -325,26 +940,31 @@ module Chunk_codec = struct
      with the doc-ordered block layout above (delta chain restarting at -1
      per group). The group header supports skipping the whole group; block
      headers support skipping within it. *)
-  let encode ~with_ts groups =
-    let buf = Buffer.create 1024 in
-    let gbuf = Buffer.create 4096 in
-    let scratch = Buffer.create 1024 in
-    let prev_cid = ref max_int in
-    Array.iter
-      (fun (cid, postings) ->
-        if cid >= !prev_cid then invalid_arg "Chunk_codec: cids must descend";
-        if Array.length postings = 0 then invalid_arg "Chunk_codec: empty group";
-        prev_cid := cid;
-        Buffer.clear gbuf;
-        encode_doc_blocks gbuf scratch ~with_ts postings;
-        St.Varint.write buf cid;
-        St.Varint.write buf (Array.length postings);
-        St.Varint.write buf (Buffer.length gbuf);
-        Buffer.add_buffer buf gbuf)
-      groups;
-    Buffer.contents buf
+  let encode ?(codec = Types.Varint) ~with_ts groups =
+    match codec with
+    | Types.Bitpack | Types.Pef -> Packed.encode_chunk ~codec ~with_ts groups
+    | Types.Varint ->
+        let buf = Buffer.create 1024 in
+        let gbuf = Buffer.create 4096 in
+        let scratch = Buffer.create 1024 in
+        let prev_cid = ref max_int in
+        Array.iter
+          (fun (cid, postings) ->
+            if cid >= !prev_cid then
+              invalid_arg "Chunk_codec: cids must descend";
+            if Array.length postings = 0 then
+              invalid_arg "Chunk_codec: empty group";
+            prev_cid := cid;
+            Buffer.clear gbuf;
+            encode_doc_blocks gbuf scratch ~with_ts postings;
+            St.Varint.write buf cid;
+            St.Varint.write buf (Array.length postings);
+            St.Varint.write buf (Buffer.length gbuf);
+            Buffer.add_buffer buf gbuf)
+          groups;
+        Buffer.contents buf
 
-  let cursor ~with_ts ~term_idx reader =
+  let varint_cursor ~with_ts ~term_idx reader =
     let len = St.Blob_store.blob_length reader in
     let cell = St.Stats.cell (St.Blob_store.stats reader) in
     let pos = ref 0 in
@@ -508,4 +1128,10 @@ module Chunk_codec = struct
     in
     refill c;
     c
+
+  let cursor ?(codec = Types.Varint) ~with_ts ~term_idx reader =
+    match codec with
+    | Types.Varint -> varint_cursor ~with_ts ~term_idx reader
+    | Types.Bitpack | Types.Pef ->
+        Packed.chunk_cursor ~codec ~with_ts ~term_idx reader
 end

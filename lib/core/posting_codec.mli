@@ -5,9 +5,9 @@
     pages of the prefix it scans and the hot loop never allocates per posting.
     Three layouts (Section 4.2, 4.3):
 
-    - {!Id_codec}: postings in ascending doc-id order, delta + varint encoded
-      (the ID and ID-TermScore methods; also fancy lists), optionally carrying
-      a quantized term score per posting;
+    - {!Id_codec}: postings in ascending doc-id order (the ID and ID-TermScore
+      methods; also fancy lists), optionally carrying a quantized term score
+      per posting;
     - {!Score_codec}: (score, doc) pairs in (score desc, doc asc) order with
       full 8-byte scores (the Score-Threshold method's long lists — the paper
       notes these lists are bigger precisely because they carry scores);
@@ -21,19 +21,52 @@
     jump over blocks (and, for {!Chunk_codec}, whole groups) without decoding
     them, skipping the underlying pages when they haven't been fetched yet.
     Cursors account their work in the device's {!Svr_storage.Stats} record
-    ([blocks_decoded] / [blocks_skipped]).
+    ([blocks_decoded] / [blocks_skipped] / [upper_seeks]).
 
-    See DESIGN.md, "Posting block format & skip data". *)
+    {2 Pluggable block bodies}
+
+    {!Id_codec} and {!Chunk_codec} take a {!Types.codec} selecting how block
+    bodies are laid out; the framing above (block and group headers, skip
+    data) is codec-independent, so header-driven skipping works identically
+    under every codec. The codec is a property of the index configuration —
+    blobs are deliberately not self-describing; readers must pass the codec
+    the blob was encoded with (persisted in the index header, see
+    [Index.codec]).
+
+    - [Varint] (default): delta + varint doc ids, u16 score interleaved —
+      byte-identical to the format before codecs became pluggable;
+    - [Bitpack]: per block, one width byte then fixed-width bit-packed doc-id
+      gaps, decoded word-at-a-time; smallest and fastest on dense lists;
+    - [Pef]: partitioned Elias-Fano — per block, bit-packed lower halves plus
+      a unary upper-bits vector that [seek_geq] searches {e without decoding
+      the block} (billed to [Stats.upper_seeks]).
+
+    Under [Bitpack] and [Pef], term scores are not stored inline: a blob
+    encoded [~with_ts:true] opens with a per-term dictionary of its distinct
+    quantized scores and each block stores bit-packed dictionary indices —
+    typically a fraction of the u16-per-posting the varint layout pays.
+
+    {!Score_codec} is codec-independent: its fixed-width (f64, u32) entries
+    exist so thresholds can be peeked in place, which no packed layout
+    improves on.
+
+    See DESIGN.md, "Posting block format & skip data" and "Posting codecs". *)
 
 module Id_codec : sig
-  val encode : with_ts:bool -> (int * int) array -> string
-  (** [(doc, quantized term score)] pairs, strictly ascending doc ids. *)
+  val encode : ?codec:Types.codec -> with_ts:bool -> (int * int) array -> string
+  (** [(doc, quantized term score)] pairs, strictly ascending doc ids.
+      [codec] defaults to [Varint].
+      @raise Invalid_argument on unordered doc ids, or gaps beyond the packed
+      codecs' 55-bit width cap. *)
 
   val cursor :
-    with_ts:bool -> term_idx:int -> Svr_storage.Blob_store.reader ->
-    Posting_cursor.t
+    ?codec:Types.codec -> with_ts:bool -> term_idx:int ->
+    Svr_storage.Blob_store.reader -> Posting_cursor.t
   (** All postings surface at rank 0.0; [ts = 0] when encoded without term
-      scores. Seek skips blocks whose last doc id precedes the target. *)
+      scores. Seek skips blocks whose last doc id precedes the target; under
+      [Pef] the landing block is entered through its upper-bits structure
+      instead of a scan. [codec] must match the one the blob was encoded
+      with. *)
 end
 
 module Score_codec : sig
@@ -48,14 +81,19 @@ module Score_codec : sig
 end
 
 module Chunk_codec : sig
-  val encode : with_ts:bool -> (int * (int * int) array) array -> string
+  val encode :
+    ?codec:Types.codec -> with_ts:bool -> (int * (int * int) array) array ->
+    string
   (** Groups [(cid, postings)] in descending cid order; postings are
-      [(doc, ts)] in ascending doc order. Groups must be non-empty. *)
+      [(doc, ts)] in ascending doc order. Groups must be non-empty.
+      [codec] defaults to [Varint]; the delta chain restarts per group under
+      every codec. *)
 
   val cursor :
-    with_ts:bool -> term_idx:int -> Svr_storage.Blob_store.reader ->
-    Posting_cursor.t
+    ?codec:Types.codec -> with_ts:bool -> term_idx:int ->
+    Svr_storage.Blob_store.reader -> Posting_cursor.t
   (** Postings surface at rank [float cid]. Seek skips whole groups above the
       target chunk via the group header, then blocks within the target chunk
-      via block headers. *)
+      via block headers ([Pef]: via the upper-bits structure). [codec] must
+      match the one the blob was encoded with. *)
 end

@@ -4,3 +4,17 @@ let matches mode ~n_present ~n_terms =
   match mode with
   | Conjunctive -> n_present = n_terms
   | Disjunctive -> n_present >= 1
+
+type codec = Varint | Bitpack | Pef
+
+let all_codecs = [ Varint; Bitpack; Pef ]
+
+let codec_name = function
+  | Varint -> "varint"
+  | Bitpack -> "bitpack"
+  | Pef -> "pef"
+
+let codec_of_name name =
+  List.find_opt
+    (fun c -> String.equal (codec_name c) (String.lowercase_ascii name))
+    all_codecs

@@ -6,3 +6,23 @@ type mode =
 
 val matches : mode -> n_present:int -> n_terms:int -> bool
 (** Does a candidate with [n_present] of [n_terms] keywords qualify? *)
+
+type codec =
+  | Varint  (** delta + varint doc ids, raw u16 term scores (the baseline) *)
+  | Bitpack
+      (** fixed-width bit-packed doc-id gaps with a per-block width header;
+          term scores become bit-packed indices into a per-term dictionary *)
+  | Pef
+      (** per-block Elias-Fano doc-id sequences whose in-block seek searches
+          the upper-bits structure; term scores as dictionary indices *)
+
+(** Which on-disk posting-list layout an index's long lists use; see
+    {!Posting_codec} for the formats and DESIGN.md §11 for the trade-offs. *)
+
+val all_codecs : codec list
+
+val codec_name : codec -> string
+(** Lowercase wire/SQL name: ["varint"], ["bitpack"], ["pef"]. *)
+
+val codec_of_name : string -> codec option
+(** Case-insensitive inverse of {!codec_name}. *)

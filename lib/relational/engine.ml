@@ -54,6 +54,9 @@ let text_index t name =
     (fun ti -> ti.ti_index)
     (List.find_opt (fun ti -> norm ti.ti_name = norm name) t.indexes)
 
+(* creation order (indexes are consed onto the list) *)
+let text_indexes t = List.rev_map (fun ti -> (ti.ti_name, ti.ti_index)) t.indexes
+
 let query_index_batch t ~index ?(domains = 1) ?(k = 10) batch =
   match text_index t index with
   | None -> fail "unknown text index %s" index
@@ -573,7 +576,7 @@ let install_triggers eng ti =
     (dependencies eng ti)
 
 let create_text_index eng ~idx_name ~tbl ~text_col ~method_name ~score_funcs
-    ~agg_func ~ts_weight =
+    ~agg_func ~ts_weight ~codec =
   if List.exists (fun ti -> norm ti.ti_name = norm idx_name) eng.indexes then
     fail "text index %s already exists" idx_name;
   let table = table_exn eng tbl in
@@ -601,9 +604,20 @@ let create_text_index eng ~idx_name ~tbl ~text_col ~method_name ~score_funcs
           (Core.Index.kind_name k)
     | None, _ -> fail "unknown index method %s" method_name
   in
+  let codec =
+    match codec with
+    | None -> Core.Types.Varint
+    | Some name -> (
+        match Core.Types.codec_of_name name with
+        | Some c -> c
+        | None ->
+            fail "unknown codec %s (expected %s)" name
+              (String.concat ", "
+                 (List.map Core.Types.codec_name Core.Types.all_codecs)))
+  in
   let cfg =
     { Core.Config.default with
-      Core.Config.ts_weight = Option.value ~default:1.0 ts_weight }
+      Core.Config.ts_weight = Option.value ~default:1.0 ts_weight; codec }
   in
   let pk_pos = Schema.pk_position schema in
   let corpus = ref [] in
@@ -657,10 +671,21 @@ let run_statement eng = function
       Hashtbl.replace eng.funcs (norm fname) { params; ret; body };
       Done (Printf.sprintf "function %s created" fname)
   | Create_text_index
-      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight } ->
+      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight;
+        codec } ->
       create_text_index eng ~idx_name ~tbl ~text_col ~method_name ~score_funcs
-        ~agg_func ~ts_weight;
-      Done (Printf.sprintf "text index %s created (%s method)" idx_name method_name)
+        ~agg_func ~ts_weight ~codec;
+      Done
+        (Printf.sprintf "text index %s created (%s method, %s codec)" idx_name
+           method_name
+           (Core.Types.codec_name
+              (match
+                 List.find_opt
+                   (fun ti -> norm ti.ti_name = norm idx_name)
+                   eng.indexes
+               with
+              | Some ti -> Core.Index.codec ti.ti_index
+              | None -> Core.Types.Varint)))
   | Rebuild_index name -> (
       match List.find_opt (fun ti -> norm ti.ti_name = norm name) eng.indexes with
       | None -> fail "unknown text index %s" name

@@ -41,6 +41,10 @@ val table_names : t -> string list
 val text_index : t -> string -> Svr_core.Index.t option
 (** The underlying index of a CREATE TEXT INDEX, by index name. *)
 
+val text_indexes : t -> (string * Svr_core.Index.t) list
+(** Every text index with its name, in creation order — what the shell's
+    [.codecs] listing walks. *)
+
 val query_index_batch :
   t ->
   index:string ->

@@ -52,6 +52,9 @@ type statement =
       agg_func : string option; (* None: sum the components *)
       ts_weight : float option;
           (* WEIGHT w: weight of the TFIDF component in the combined score *)
+      codec : string option;
+          (* CODEC name: on-disk posting-list layout (varint | bitpack | pef);
+             validated by the engine against Types.all_codecs *)
     }
   | Insert of { tbl : string; rows : expr list list }
   | Update of { tbl : string; assignments : (string * expr) list; where : expr option }

@@ -365,8 +365,13 @@ let parse_create st =
           | t -> fail "expected a number after WEIGHT, found %s" (L.pp_token t))
       else None
     in
+    let codec =
+      if eat_kw st "codec" then Some (String.lowercase_ascii (ident st))
+      else None
+    in
     Create_text_index
-      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight }
+      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight;
+        codec }
   end
   else fail "expected TABLE, FUNCTION or TEXT INDEX after CREATE"
 

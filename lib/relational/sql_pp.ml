@@ -80,8 +80,10 @@ let statement ppf = function
            (fun ppf (p, ty) -> Format.fprintf ppf "%s %s" p (Value.ty_name ty)))
         params (Value.ty_name ret) expr body
   | Create_text_index
-      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight } ->
-      Format.fprintf ppf "CREATE TEXT INDEX %s ON %s (%s) USING %s SCORE (%a)%s%s"
+      { idx_name; tbl; text_col; method_name; score_funcs; agg_func; ts_weight;
+        codec } ->
+      Format.fprintf ppf
+        "CREATE TEXT INDEX %s ON %s (%s) USING %s SCORE (%a)%s%s%s"
         idx_name tbl text_col method_name
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
@@ -91,6 +93,7 @@ let statement ppf = function
         (match ts_weight with
         | None -> ""
         | Some w -> Printf.sprintf " WEIGHT %.17g" w)
+        (match codec with None -> "" | Some c -> " CODEC " ^ c)
   | Rebuild_index name -> Format.fprintf ppf "REBUILD TEXT INDEX %s" name
   | Maintain_index { name; steps } ->
       Format.fprintf ppf "MAINTAIN TEXT INDEX %s%s" name

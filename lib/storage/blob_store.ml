@@ -32,25 +32,6 @@ let revert_to_stable t =
 
 let pages_for t len = (len + t.page_size - 1) / t.page_size
 
-let put t payload =
-  let len = String.length payload in
-  let n_pages = max 1 (pages_for t len) in
-  (* the run is allocated up front, so contiguity is a guarantee of the
-     allocator rather than an assumption about allocation order *)
-  let first = Pager.alloc_run t.pager n_pages in
-  for i = 0 to n_pages - 1 do
-    let page = Bytes.make t.page_size '\000' in
-    let off = i * t.page_size in
-    let chunk = min t.page_size (len - off) in
-    if chunk > 0 then Bytes.blit_string payload off page 0 chunk;
-    Pager.put t.pager (first + i) page
-  done;
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  Hashtbl.replace t.blobs id (first, len);
-  t.live_bytes <- t.live_bytes + len;
-  id
-
 let lookup t id =
   match Hashtbl.find_opt t.blobs id with
   | Some entry -> entry
@@ -64,6 +45,51 @@ let free t id =
   let _, len = lookup t id in
   Hashtbl.remove t.blobs id;
   t.live_bytes <- t.live_bytes - len
+
+let put ?replacing t payload =
+  let len = String.length payload in
+  let n_pages = max 1 (pages_for t len) in
+  (* [replacing old] frees [old] and — when the new payload fits within the
+     old page run — writes over that run instead of allocating a fresh one,
+     so repeated re-encodes of a term (online compaction) stop growing the
+     device. Safe under recovery: durable devices journal before-images, so
+     a crash before the next checkpoint reverts the overwritten pages right
+     along with the directory entry that pointed at them. Any tail pages of
+     a strictly larger old run are orphaned, not recycled — bounded by the
+     blob's own historical high-water mark, unlike the per-put leak. *)
+  let reuse =
+    match replacing with
+    | None -> None
+    | Some old_id ->
+        let old_first, old_len = lookup t old_id in
+        let old_pages = max 1 (pages_for t old_len) in
+        free t old_id;
+        if n_pages <= old_pages then Some old_first else None
+  in
+  let first =
+    match reuse with
+    | Some first -> first
+    | None ->
+        (* the run is allocated up front, so contiguity is a guarantee of the
+           allocator rather than an assumption about allocation order *)
+        Pager.alloc_run t.pager n_pages
+  in
+  for i = 0 to n_pages - 1 do
+    let page = Bytes.make t.page_size '\000' in
+    let off = i * t.page_size in
+    let chunk = min t.page_size (len - off) in
+    if chunk > 0 then Bytes.blit_string payload off page 0 chunk;
+    Pager.put t.pager (first + i) page
+  done;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.blobs id (first, len);
+  t.live_bytes <- t.live_bytes + len;
+  (* exact encoded bytes, headers included: the payload is precisely what a
+     posting codec produced, so this is the size-accounting ground truth *)
+  let c = Stats.cell (Pager.stats t.pager) in
+  c.Stats.codec_bytes_written <- c.Stats.codec_bytes_written + len;
+  id
 
 let live_bytes t = t.live_bytes
 let page_bytes t = Disk.size_bytes (Pager.disk t.pager)

@@ -13,8 +13,15 @@ type id = int
 
 val create : Pager.t -> t
 
-val put : t -> string -> id
-(** Write a blob; returns its handle. *)
+val put : ?replacing:id -> t -> string -> id
+(** Write a blob; returns its handle. Bills the payload's exact byte length
+    to {!Stats.counters.codec_bytes_written}.
+
+    [replacing old] frees [old] first and reuses its page run in place when
+    the new payload needs no more pages — the compaction path's re-encode,
+    which would otherwise leak a full run per drain. The old blob must not
+    be read afterwards (its pages may now hold the new payload).
+    @raise Storage_error.Error [(Missing, _)] when [old] is unknown. *)
 
 val length : t -> id -> int
 (** Payload length in bytes.

@@ -13,6 +13,8 @@ type counters = {
   mutable seq_writes : int;
   mutable blocks_decoded : int;
   mutable blocks_skipped : int;
+  mutable upper_seeks : int;
+  mutable codec_bytes_written : int;
   mutable wal_appends : int;
   mutable wal_bytes : int;
   mutable checksum_failures : int;
@@ -40,6 +42,7 @@ let default_cost =
 let zero () =
   { logical_reads = 0; cache_hits = 0; seq_reads = 0; rand_reads = 0;
     page_writes = 0; seq_writes = 0; blocks_decoded = 0; blocks_skipped = 0;
+    upper_seeks = 0; codec_bytes_written = 0;
     wal_appends = 0; wal_bytes = 0; checksum_failures = 0; read_retries = 0;
     recovery_replays = 0 }
 
@@ -68,6 +71,8 @@ let zero_counters c =
   c.seq_writes <- 0;
   c.blocks_decoded <- 0;
   c.blocks_skipped <- 0;
+  c.upper_seeks <- 0;
+  c.codec_bytes_written <- 0;
   c.wal_appends <- 0;
   c.wal_bytes <- 0;
   c.checksum_failures <- 0;
@@ -84,7 +89,8 @@ let copy c =
     seq_reads = c.seq_reads; rand_reads = c.rand_reads;
     page_writes = c.page_writes; seq_writes = c.seq_writes;
     blocks_decoded = c.blocks_decoded;
-    blocks_skipped = c.blocks_skipped; wal_appends = c.wal_appends;
+    blocks_skipped = c.blocks_skipped; upper_seeks = c.upper_seeks;
+    codec_bytes_written = c.codec_bytes_written; wal_appends = c.wal_appends;
     wal_bytes = c.wal_bytes; checksum_failures = c.checksum_failures;
     read_retries = c.read_retries; recovery_replays = c.recovery_replays }
 
@@ -97,6 +103,8 @@ let accumulate acc c =
   acc.seq_writes <- acc.seq_writes + c.seq_writes;
   acc.blocks_decoded <- acc.blocks_decoded + c.blocks_decoded;
   acc.blocks_skipped <- acc.blocks_skipped + c.blocks_skipped;
+  acc.upper_seeks <- acc.upper_seeks + c.upper_seeks;
+  acc.codec_bytes_written <- acc.codec_bytes_written + c.codec_bytes_written;
   acc.wal_appends <- acc.wal_appends + c.wal_appends;
   acc.wal_bytes <- acc.wal_bytes + c.wal_bytes;
   acc.checksum_failures <- acc.checksum_failures + c.checksum_failures;
@@ -125,6 +133,8 @@ let diff ~after ~before =
     seq_writes = after.seq_writes - before.seq_writes;
     blocks_decoded = after.blocks_decoded - before.blocks_decoded;
     blocks_skipped = after.blocks_skipped - before.blocks_skipped;
+    upper_seeks = after.upper_seeks - before.upper_seeks;
+    codec_bytes_written = after.codec_bytes_written - before.codec_bytes_written;
     wal_appends = after.wal_appends - before.wal_appends;
     wal_bytes = after.wal_bytes - before.wal_bytes;
     checksum_failures = after.checksum_failures - before.checksum_failures;
@@ -143,7 +153,9 @@ let simulated_ms ?(cost = default_cost) c =
 let pp ppf c =
   Format.fprintf ppf
     "reads=%d hits=%d seq=%d rand=%d writes=%d seq-w=%d blk-dec=%d \
-     blk-skip=%d wal=%d/%dB crc-fail=%d retries=%d replays=%d (sim %.2f ms)"
+     blk-skip=%d ef-seek=%d codec-w=%dB wal=%d/%dB crc-fail=%d retries=%d \
+     replays=%d (sim %.2f ms)"
     c.logical_reads c.cache_hits c.seq_reads c.rand_reads c.page_writes
-    c.seq_writes c.blocks_decoded c.blocks_skipped c.wal_appends c.wal_bytes
+    c.seq_writes c.blocks_decoded c.blocks_skipped c.upper_seeks
+    c.codec_bytes_written c.wal_appends c.wal_bytes
     c.checksum_failures c.read_retries c.recovery_replays (simulated_ms c)

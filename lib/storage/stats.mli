@@ -29,6 +29,13 @@ type counters = {
   mutable blocks_skipped : int;
       (** posting blocks (or whole chunk groups) skipped via their headers
           without decoding — the payoff of the skip data *)
+  mutable upper_seeks : int;
+      (** in-block seeks answered by searching an Elias-Fano upper-bits
+          structure (the [pef] codec's native [seek_geq]) *)
+  mutable codec_bytes_written : int;
+      (** exact encoded posting-list bytes handed to {!Blob_store.put} —
+          headers and bodies alike, no estimates — so the cost model bills
+          what the codec actually produced *)
   mutable wal_appends : int;  (** logical records appended to the WAL *)
   mutable wal_bytes : int;  (** framed bytes those records occupied *)
   mutable checksum_failures : int;

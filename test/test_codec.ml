@@ -1,0 +1,588 @@
+(* Codec-parametric posting-codec tests (PR 6).
+
+   One functor generalizes the PR 1 codec harness over
+   {!Svr_core.Types.codec}: QCheck round-trips (Id with and without term
+   scores, Chunk), a seek-vs-naive-scan oracle, block-boundary sizes, the
+   quantized score dictionary's degenerate shapes, and index-level oracle
+   agreement through update + compaction cycles (which re-encode long lists
+   under the codec). It is instantiated for every codec in
+   [Types.all_codecs]. Cross-codec cases follow: packed encodings beating
+   varint on clustered lists, exact [codec_bytes_written] billing, the
+   [put ?replacing] page-run reuse (and the leak it prevents), pef's
+   upper-bits seek counter, and serial-vs-4-domain batch equivalence on the
+   non-default codecs. Crash recovery per codec lives in test_recovery. *)
+
+module Core = Svr_core
+module St = Svr_storage
+module W = Svr_workload
+module Pc = Core.Posting_cursor
+
+let check = Alcotest.check
+
+let qtest ?(count = 80) ?print name prop gen =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen prop)
+
+let blob_fixture () =
+  let stats = St.Stats.create () in
+  let disk = St.Disk.create ~name:"b" stats in
+  (stats, St.Blob_store.create (St.Pager.create ~pool_pages:128 ~stats disk))
+
+let drain f c =
+  let acc = ref [] in
+  while not (Pc.eof c) do
+    acc := f c :: !acc;
+    Pc.advance c
+  done;
+  List.rev !acc
+
+let id_entry c = (Pc.doc c, Pc.ts c)
+let chunk_entry c = (int_of_float (Pc.rank c), Pc.doc c, Pc.ts c)
+
+(* deterministic PRNG so failures replay *)
+let lcg state =
+  state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+  !state lsr 17
+
+(* docs lists mixing dense runs with wide jumps, so packed widths vary *)
+let docs_gen =
+  QCheck2.Gen.(
+    map
+      (fun steps ->
+        let doc = ref 0 in
+        List.map
+          (fun s ->
+            doc := !doc + 1 + s;
+            !doc)
+          steps)
+      (list (oneof [ int_bound 3; int_bound 1000; int_bound 500_000 ])))
+
+let postings_of docs =
+  Array.of_list (List.map (fun d -> (d, (d * 31) land 0xFFFF)) docs)
+
+(* ------------------------------------------------------------------ *)
+(* The parametric harness *)
+
+module type CODEC = sig
+  val codec : Core.Types.codec
+end
+
+module Make (C : CODEC) = struct
+  let codec = C.codec
+  let cname = Core.Types.codec_name codec
+  let n name = cname ^ ": " ^ name
+
+  let put_id store ~with_ts postings =
+    St.Blob_store.put store
+      (Core.Posting_codec.Id_codec.encode ~codec ~with_ts postings)
+
+  let id_cursor store ~with_ts blob =
+    Core.Posting_codec.Id_codec.cursor ~codec ~with_ts ~term_idx:0
+      (St.Blob_store.reader store blob)
+
+  let put_chunk store ~with_ts groups =
+    St.Blob_store.put store
+      (Core.Posting_codec.Chunk_codec.encode ~codec ~with_ts groups)
+
+  let chunk_cursor store ~with_ts blob =
+    Core.Posting_codec.Chunk_codec.cursor ~codec ~with_ts ~term_idx:0
+      (St.Blob_store.reader store blob)
+
+  let id_roundtrip_prop with_ts docs =
+    let postings = postings_of docs in
+    let _, store = blob_fixture () in
+    let blob = put_id store ~with_ts postings in
+    let expect =
+      Array.to_list
+        (if with_ts then postings else Array.map (fun (d, _) -> (d, 0)) postings)
+    in
+    drain id_entry (id_cursor store ~with_ts blob) = expect
+
+  (* consecutive runs of up to 7 docs per chunk, cids descending *)
+  let groups_of docs =
+    let rec slice cid = function
+      | [] -> []
+      | l ->
+          let m = min 7 (List.length l) in
+          let g = List.filteri (fun i _ -> i < m) l in
+          let rest = List.filteri (fun i _ -> i >= m) l in
+          (cid, postings_of g) :: slice (cid - 1) rest
+    in
+    Array.of_list (slice (1 + (List.length docs / 7)) docs)
+
+  let chunk_roundtrip_prop docs =
+    let groups = groups_of docs in
+    let expect =
+      List.concat_map
+        (fun (cid, ps) -> List.map (fun (d, ts) -> (cid, d, ts)) (Array.to_list ps))
+        (Array.to_list groups)
+    in
+    let _, store = blob_fixture () in
+    let blob = put_chunk store ~with_ts:true groups in
+    drain chunk_entry (chunk_cursor store ~with_ts:true blob) = expect
+
+  (* seek_geq against a naive forward scan over the decoded array; targets
+     ascend, matching the cursor's forward-only contract *)
+  let id_seek_prop (docs, targets) =
+    match docs with
+    | [] -> true
+    | _ ->
+        let postings = postings_of docs in
+        let _, store = blob_fixture () in
+        let blob = put_id store ~with_ts:true postings in
+        let c = id_cursor store ~with_ts:true blob in
+        let targets = List.sort compare (List.map abs targets) in
+        let m = Array.length postings in
+        let i = ref 0 in
+        List.for_all
+          (fun t ->
+            Pc.seek_geq c 0.0 t;
+            while !i < m && fst postings.(!i) < t do
+              incr i
+            done;
+            if !i >= m then Pc.eof c
+            else
+              (not (Pc.eof c))
+              && Pc.doc c = fst postings.(!i)
+              && Pc.ts c = snd postings.(!i))
+          targets
+
+  (* chunk seek: (rank, doc) targets with non-increasing rank, model scans
+     the flattened (cid desc, doc asc) stream *)
+  let chunk_seek_prop docs =
+    match docs with
+    | [] | [ _ ] -> true
+    | _ ->
+        let groups = groups_of docs in
+        let flat =
+          Array.of_list
+            (List.concat_map
+               (fun (cid, ps) ->
+                 List.map (fun (d, ts) -> (cid, d, ts)) (Array.to_list ps))
+               (Array.to_list groups))
+        in
+        let _, store = blob_fixture () in
+        let blob = put_chunk store ~with_ts:true groups in
+        let c = chunk_cursor store ~with_ts:true blob in
+        let m = Array.length flat in
+        let i = ref 0 in
+        (* visit every other (cid, doc) position as a seek target *)
+        let ok = ref true in
+        let j = ref 0 in
+        while !ok && !j < m do
+          let tcid, tdoc, _ = flat.(!j) in
+          Pc.seek_geq c (float_of_int tcid) tdoc;
+          while
+            !i < m
+            &&
+            let cid, d, _ = flat.(!i) in
+            cid > tcid || (cid = tcid && d < tdoc)
+          do
+            incr i
+          done;
+          (ok :=
+             if !i >= m then Pc.eof c
+             else
+               let cid, d, ts = flat.(!i) in
+               (not (Pc.eof c))
+               && int_of_float (Pc.rank c) = cid
+               && Pc.doc c = d
+               && Pc.ts c = ts);
+          j := !j + 2
+        done;
+        !ok
+
+  (* exact sizes straddling the 128-posting block boundary, with wide gaps *)
+  let test_block_boundaries () =
+    List.iter
+      (fun m ->
+        let _, store = blob_fixture () in
+        let postings = Array.init m (fun i -> ((i * 997) + 1, (i * 7) land 0xFFFF)) in
+        let blob = put_id store ~with_ts:true postings in
+        check
+          Alcotest.(list (pair int int))
+          (n (Printf.sprintf "id m=%d" m))
+          (Array.to_list postings)
+          (drain id_entry (id_cursor store ~with_ts:true blob));
+        (* groups of 130 postings so a single group crosses a block edge *)
+        let groups = ref [] and off = ref 0 and cid = ref ((m / 130) + 1) in
+        while !off < m do
+          let len = min 130 (m - !off) in
+          groups := (!cid, Array.sub postings !off len) :: !groups;
+          decr cid;
+          off := !off + len
+        done;
+        let groups = Array.of_list (List.rev !groups) in
+        let expect =
+          List.concat_map
+            (fun (cid, ps) -> List.map (fun (d, ts) -> (cid, d, ts)) (Array.to_list ps))
+            (Array.to_list groups)
+        in
+        let gid = put_chunk store ~with_ts:true groups in
+        check
+          Alcotest.(list (triple int int int))
+          (n (Printf.sprintf "chunk m=%d" m))
+          expect
+          (drain chunk_entry (chunk_cursor store ~with_ts:true gid)))
+      [ 0; 1; 127; 128; 129; 300 ]
+
+  (* score-dictionary degenerate shapes: one distinct score (0-bit indices),
+     two scores, and the 16-bit extremes *)
+  let test_ts_dict_shapes () =
+    let _, store = blob_fixture () in
+    List.iter
+      (fun (what, tss) ->
+        let postings =
+          Array.of_list (List.mapi (fun i ts -> ((i * 13) + 2, ts)) tss)
+        in
+        let blob = put_id store ~with_ts:true postings in
+        check
+          Alcotest.(list (pair int int))
+          (n what)
+          (Array.to_list postings)
+          (drain id_entry (id_cursor store ~with_ts:true blob)))
+      [ ("single score", List.init 200 (fun _ -> 7));
+        ("two scores", List.init 200 (fun i -> if i mod 3 = 0 then 9 else 3));
+        ("extremes", [ 0; 65535; 0; 65535; 1 ]) ]
+
+  (* seek lands correctly and bills the right counter family *)
+  let test_seek_counters () =
+    let stats, store = blob_fixture () in
+    let postings = Array.init 3000 (fun i -> (2 * i, (i * 7) land 0xFFFF)) in
+    let blob = put_id store ~with_ts:true postings in
+    let c = id_cursor store ~with_ts:true blob in
+    let seeks () = (St.Stats.snapshot stats).St.Stats.upper_seeks in
+    Pc.seek_geq c 0.0 4001;
+    check Alcotest.int (n "id seek lands") 4002 (Pc.doc c);
+    check Alcotest.bool (n "id blocks skipped") true
+      ((St.Stats.snapshot stats).St.Stats.blocks_skipped > 0);
+    (if codec = Core.Types.Pef then
+       check Alcotest.bool (n "pef counts upper-bit seeks") true (seeks () > 0)
+     else check Alcotest.int (n "no upper-bit seeks") 0 (seeks ()));
+    Pc.seek_geq c 0.0 999_999;
+    check Alcotest.bool (n "id seek past end") true (Pc.eof c);
+    (* chunk: cids 40 down to 1, 100 docs each *)
+    let groups =
+      Array.init 40 (fun g -> (40 - g, Array.init 100 (fun i -> ((100 * g) + i, 0))))
+    in
+    let gid = put_chunk store ~with_ts:false groups in
+    let ck = chunk_cursor store ~with_ts:false gid in
+    Pc.seek_geq ck 5.0 3540;
+    check
+      Alcotest.(pair (float 0.0) int)
+      (n "chunk seek lands") (5.0, 3540)
+      (Pc.rank ck, Pc.doc ck)
+
+  (* index-level: update + compaction cycles re-encode long lists under the
+     codec; results must track the oracle throughout *)
+  let corpus_spec =
+    { W.Corpus_gen.n_docs = 150; vocab_size = 60; terms_per_doc = 15;
+      term_theta = 0.1; score_max = 100_000.0; score_theta = 0.75; seed = 11 }
+
+  let cfg =
+    { Core.Config.default with
+      Core.Config.analyzer = W.Corpus_gen.analyzer;
+      fancy_size = 8;
+      maint_min_short = 8;
+      maint_ratio = 1e-6;
+      maint_step_terms = 4;
+      maint_step_postings = 64;
+      codec }
+
+  let queries =
+    Array.to_list
+      (W.Query_gen.generate
+         { W.Query_gen.defaults with W.Query_gen.n_queries = 8; seed = 21 }
+         corpus_spec)
+
+  let build_pair kind =
+    let scores = W.Corpus_gen.scores corpus_spec in
+    let idx =
+      Core.Index.build kind cfg
+        ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+        ~scores:(fun d -> scores.(d))
+    in
+    let oracle = Core.Oracle.create cfg in
+    Core.Oracle.load oracle
+      ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+      ~scores:(fun d -> scores.(d));
+    (idx, oracle)
+
+  let agree ~ctx oracle idx =
+    let with_ts = Core.Index.ranks_with_term_scores (Core.Index.kind idx) in
+    List.iter
+      (fun q ->
+        List.iter
+          (fun mode ->
+            let got = Core.Index.query_terms idx ~mode q ~k:10 in
+            let want = Core.Oracle.top_k oracle ~mode ~with_ts q ~k:10 in
+            let ok =
+              List.length got = List.length want
+              && List.for_all2
+                   (fun (d1, s1) (d2, s2) -> d1 = d2 && abs_float (s1 -. s2) < 1e-9)
+                   got want
+            in
+            if not ok then
+              Alcotest.fail
+                (Printf.sprintf "%s %s (%s) disagrees with oracle on [%s]" cname
+                   (Core.Index.kind_name (Core.Index.kind idx))
+                   ctx (String.concat " " q)))
+          [ Core.Types.Conjunctive; Core.Types.Disjunctive ])
+      queries
+
+  let test_index_agree () =
+    List.iter
+      (fun kind ->
+        let idx, oracle = build_pair kind in
+        check Alcotest.string
+          (n "configured codec")
+          cname
+          (Core.Types.codec_name (Core.Index.codec idx));
+        agree ~ctx:"fresh build" oracle idx;
+        let rng = ref 20260808 in
+        let allow_content = kind <> Core.Index.Chunk_termscore in
+        for _i = 1 to 200 do
+          let doc = lcg rng mod corpus_spec.W.Corpus_gen.n_docs in
+          if allow_content && lcg rng mod 8 = 0 then begin
+            let text =
+              String.concat " "
+                (List.init 10 (fun _ -> W.Corpus_gen.term (1 + (lcg rng mod 60))))
+            in
+            Core.Index.update_content idx ~doc text;
+            Core.Oracle.update_content oracle ~doc text
+          end
+          else begin
+            let s = float_of_int (lcg rng mod 100_000) +. 0.5 in
+            Core.Index.score_update idx ~doc s;
+            Core.Oracle.score_update oracle ~doc s
+          end
+        done;
+        agree ~ctx:"after updates" oracle idx;
+        ignore (Core.Index.maintain idx);
+        agree ~ctx:"after compaction" oracle idx)
+      [ Core.Index.Id; Core.Index.Id_termscore; Core.Index.Chunk;
+        Core.Index.Chunk_termscore ]
+
+  let tests =
+    [ qtest ~count:120 (n "id roundtrip (ts)") (id_roundtrip_prop true) docs_gen;
+      qtest (n "id roundtrip (no ts)") (id_roundtrip_prop false) docs_gen;
+      qtest (n "chunk roundtrip") chunk_roundtrip_prop docs_gen;
+      qtest ~count:120 (n "id seek = naive scan") id_seek_prop
+        QCheck2.Gen.(pair docs_gen (list (int_bound 2_000_000)));
+      qtest (n "chunk seek = naive scan") chunk_seek_prop docs_gen;
+      Alcotest.test_case (n "block boundaries") `Quick test_block_boundaries;
+      Alcotest.test_case (n "score dictionary shapes") `Quick test_ts_dict_shapes;
+      Alcotest.test_case (n "seek counters") `Quick test_seek_counters;
+      Alcotest.test_case (n "index agrees with oracle") `Quick test_index_agree ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cross-codec properties *)
+
+(* the acceptance claim in miniature: on a clustered list the packed codecs
+   beat varint's bytes-per-posting by a wide margin *)
+let test_size_win () =
+  let rng = ref 99 in
+  let doc = ref 0 in
+  let postings =
+    Array.init 20_000 (fun _ ->
+        doc := !doc + 1 + (lcg rng mod 4);
+        (!doc, 8 * (1 + (lcg rng mod 12))))
+  in
+  let bytes codec =
+    String.length (Core.Posting_codec.Id_codec.encode ~codec ~with_ts:true postings)
+  in
+  let v = bytes Core.Types.Varint in
+  List.iter
+    (fun codec ->
+      let b = bytes codec in
+      if float_of_int b > 0.8 *. float_of_int v then
+        Alcotest.fail
+          (Printf.sprintf "%s not >=20%% smaller: %d vs varint %d bytes"
+             (Core.Types.codec_name codec) b v))
+    [ Core.Types.Bitpack; Core.Types.Pef ]
+
+(* Blob_store bills the exact encoded length to codec_bytes_written *)
+let test_codec_bytes_billing () =
+  let stats, store = blob_fixture () in
+  let postings = Array.init 500 (fun i -> (3 * i, i land 0xFFFF)) in
+  let total = ref 0 in
+  List.iter
+    (fun codec ->
+      let payload = Core.Posting_codec.Id_codec.encode ~codec ~with_ts:true postings in
+      ignore (St.Blob_store.put store payload);
+      total := !total + String.length payload;
+      check Alcotest.int
+        ("billed after " ^ Core.Types.codec_name codec)
+        !total
+        (St.Stats.snapshot stats).St.Stats.codec_bytes_written)
+    Core.Types.all_codecs
+
+(* put ?replacing reuses the page run: repeated same-size re-encodes keep the
+   device footprint flat, while the old free-then-put path leaked a run per
+   cycle *)
+let test_replacing_reuse () =
+  let _, store = blob_fixture () in
+  let payload = String.make 10_000 'x' in
+  let blob = ref (St.Blob_store.put store payload) in
+  let baseline = St.Blob_store.page_bytes store in
+  for i = 1 to 20 do
+    blob := St.Blob_store.put ~replacing:!blob store payload;
+    check Alcotest.int
+      (Printf.sprintf "footprint flat after replace %d" i)
+      baseline
+      (St.Blob_store.page_bytes store);
+    check Alcotest.string "payload intact" payload (St.Blob_store.read_all store !blob)
+  done;
+  (* a larger payload no longer fits the run and allocates a fresh one *)
+  let big = String.make 20_000 'y' in
+  blob := St.Blob_store.put ~replacing:!blob store big;
+  check Alcotest.bool "growth allocates" true
+    (St.Blob_store.page_bytes store > baseline);
+  check Alcotest.string "big payload intact" big (St.Blob_store.read_all store !blob);
+  (* shrink reuses again from the new baseline *)
+  let grown = St.Blob_store.page_bytes store in
+  blob := St.Blob_store.put ~replacing:!blob store payload;
+  check Alcotest.int "shrink reuses run" grown (St.Blob_store.page_bytes store)
+
+(* compaction cycles must not leak page runs: with run reuse the footprint
+   stays bounded across many drain/re-encode rounds *)
+let test_compaction_no_leak () =
+  let spec =
+    { W.Corpus_gen.n_docs = 120; vocab_size = 40; terms_per_doc = 12;
+      term_theta = 0.1; score_max = 100_000.0; score_theta = 0.75; seed = 3 }
+  in
+  let cfg =
+    { Core.Config.default with
+      Core.Config.analyzer = W.Corpus_gen.analyzer;
+      maint_min_short = 1;
+      maint_ratio = 1e-9;
+      codec = Core.Types.Bitpack }
+  in
+  let scores = W.Corpus_gen.scores spec in
+  let idx =
+    Core.Index.build Core.Index.Id_termscore cfg
+      ~corpus:(W.Corpus_gen.corpus_seq spec)
+      ~scores:(fun d -> scores.(d))
+  in
+  let rng = ref 5 in
+  let footprint_after_round () =
+    for _i = 1 to 30 do
+      let doc = lcg rng mod spec.W.Corpus_gen.n_docs in
+      let text =
+        String.concat " "
+          (List.init 12 (fun _ -> W.Corpus_gen.term (1 + (lcg rng mod 40))))
+      in
+      Core.Index.update_content idx ~doc text
+    done;
+    ignore (Core.Index.maintain idx);
+    Core.Index.long_list_bytes idx
+  in
+  let first = footprint_after_round () in
+  let last = ref first in
+  for _round = 2 to 12 do
+    last := footprint_after_round ()
+  done;
+  (* live bytes hover around the corpus size; a leaked run per drained term
+     per round would blow past 4x in 12 rounds *)
+  check Alcotest.bool
+    (Printf.sprintf "long-list bytes bounded (%d -> %d)" first !last)
+    true
+    (!last < 4 * first)
+
+(* serial and 4-domain pooled batches are bit-identical on the packed codecs *)
+let test_pool_equivalence () =
+  let spec =
+    { W.Corpus_gen.n_docs = 150; vocab_size = 60; terms_per_doc = 15;
+      term_theta = 0.1; score_max = 100_000.0; score_theta = 0.75; seed = 13 }
+  in
+  let batch =
+    W.Query_gen.generate
+      { W.Query_gen.defaults with W.Query_gen.n_queries = 12; seed = 31 }
+      spec
+  in
+  List.iter
+    (fun codec ->
+      List.iter
+        (fun kind ->
+          let cfg =
+            { Core.Config.default with
+              Core.Config.analyzer = W.Corpus_gen.analyzer;
+              fancy_size = 8;
+              codec }
+          in
+          let scores = W.Corpus_gen.scores spec in
+          let idx =
+            Core.Index.build kind cfg
+              ~corpus:(W.Corpus_gen.corpus_seq spec)
+              ~scores:(fun d -> scores.(d))
+          in
+          let serial =
+            Core.Index.query_terms_batch idx ~mode:Core.Types.Conjunctive batch
+              ~k:10
+          in
+          Core.Query_pool.with_pool ~domains:4 (fun pool ->
+              let pooled =
+                Core.Index.query_terms_batch idx ~pool
+                  ~mode:Core.Types.Conjunctive batch ~k:10
+              in
+              Array.iteri
+                (fun i got ->
+                  if got <> serial.(i) then
+                    Alcotest.fail
+                      (Printf.sprintf "%s %s: pooled batch diverged on [%s]"
+                         (Core.Types.codec_name codec)
+                         (Core.Index.kind_name kind)
+                         (String.concat " " batch.(i))))
+                pooled))
+        [ Core.Index.Id_termscore; Core.Index.Chunk_termscore ])
+    [ Core.Types.Bitpack; Core.Types.Pef ]
+
+(* 55-bit width cap: a gap too wide to bit-pack is rejected at encode, while
+   pef absorbs it in the unary upper bits and still round-trips *)
+let test_width_cap () =
+  let postings = [| (0, 0); (1 lsl 60, 0) |] in
+  (match
+     Core.Posting_codec.Id_codec.encode ~codec:Core.Types.Bitpack ~with_ts:false
+       postings
+   with
+  | _ -> Alcotest.fail "bitpack: accepted a 60-bit gap"
+  | exception Invalid_argument _ -> ());
+  let _, store = blob_fixture () in
+  let blob =
+    St.Blob_store.put store
+      (Core.Posting_codec.Id_codec.encode ~codec:Core.Types.Pef ~with_ts:false
+         postings)
+  in
+  check
+    Alcotest.(list (pair int int))
+    "pef round-trips a 60-bit gap"
+    [ (0, 0); (1 lsl 60, 0) ]
+    (drain id_entry
+       (Core.Posting_codec.Id_codec.cursor ~codec:Core.Types.Pef ~with_ts:false
+          ~term_idx:0
+          (St.Blob_store.reader store blob)))
+
+let codec_suites =
+  List.concat_map
+    (fun codec ->
+      let module M = Make (struct
+        let codec = codec
+      end) in
+      M.tests)
+    Core.Types.all_codecs
+
+let () =
+  Alcotest.run "svr codecs"
+    [ ("parametric", codec_suites);
+      ( "cross-codec",
+        [ Alcotest.test_case "packed beats varint on clustered lists" `Quick
+            test_size_win;
+          Alcotest.test_case "codec bytes billed exactly" `Quick
+            test_codec_bytes_billing;
+          Alcotest.test_case "put ?replacing reuses the page run" `Quick
+            test_replacing_reuse;
+          Alcotest.test_case "compaction cycles do not leak pages" `Quick
+            test_compaction_no_leak;
+          Alcotest.test_case "serial = 4-domain pool on packed codecs" `Quick
+            test_pool_equivalence;
+          Alcotest.test_case "width cap enforced" `Quick test_width_cap ] ) ]

@@ -118,7 +118,8 @@ let alive_after alive (op : St.Wal.op) =
 
 let rounds_per_method = 16
 
-let run_method ~crashes kind =
+let run_method ~crashes ?(codec = Core.Types.Varint) kind =
+  let cfg = { cfg with Core.Config.codec } in
   let seed = 1000 + Hashtbl.hash (Core.Index.kind_name kind) mod 1000 in
   let rng = ref seed in
   let scores = W.Corpus_gen.scores corpus_spec in
@@ -164,6 +165,13 @@ let run_method ~crashes kind =
         incr crashes;
         St.Env.crash env;
         let records = Core.Index.recover idx in
+        (* the recovered header must name the codec the index was built
+           with — recover already verified it, this pins the observable *)
+        check Alcotest.(option string)
+          (Printf.sprintf "%s round %d: codec header recovered"
+             (Core.Index.kind_name kind) round)
+          (Some (Core.Types.codec_name codec))
+          (Option.map Core.Types.codec_name (Core.Index.persisted_codec idx));
         (* group commit: what survived is a prefix of this round's ops —
            modulo any Maintain_step the injected compaction logged, which is
            query-invisible and carries no durable truth of its own *)
@@ -203,6 +211,21 @@ let test_crash_points () =
   check Alcotest.bool
     (Printf.sprintf "enough crash points hit (%d)" !crashes)
     true (!crashes >= 50)
+
+(* the same harness under each non-default posting codec: recovery replays
+   land on packed-encoded long lists, and every re-encode after a crash goes
+   through the codec under test *)
+let test_crash_points_codecs () =
+  let crashes = ref 0 in
+  List.iter
+    (fun codec ->
+      List.iter
+        (run_method ~crashes ~codec)
+        [ Core.Index.Id_termscore; Core.Index.Chunk_termscore ])
+    [ Core.Types.Bitpack; Core.Types.Pef ];
+  check Alcotest.bool
+    (Printf.sprintf "enough packed-codec crash points hit (%d)" !crashes)
+    true (!crashes >= 8)
 
 (* Crash points aimed squarely at online compaction: commit a round of
    updates durably, then hammer [maintain ~steps:1] with a fault armed at a
@@ -354,6 +377,68 @@ let test_engine_recover () =
   check Alcotest.bool "state stable across double crash" true
     (R.Table.get tbl (R.Value.Int 4) <> None)
 
+(* Two indexes with different codecs sharing one durable environment: each
+   persists its own codec header, and both recover and answer correctly *)
+let test_mixed_codec_recover () =
+  let env = St.Env.create ~table_pool_pages:128 ~blob_pool_pages:32 ~durable:true () in
+  let eng = R.Engine.create ~env () in
+  ignore
+    (R.Engine.exec eng
+       "CREATE TABLE docs (id INT, body TEXT, pts INT, PRIMARY KEY (id));\n\
+        CREATE FUNCTION sc (d: INT) RETURNS FLOAT RETURN\n\
+        \  (SELECT pts FROM docs WHERE docs.id = d);\n\
+        INSERT INTO docs VALUES (1, 'red apples', 10), (2, 'green apples', 20),\n\
+        \  (3, 'red grapes', 30);\n\
+        CREATE TEXT INDEX bp ON docs (body) USING id_termscore SCORE (sc) CODEC bitpack;\n\
+        CREATE TEXT INDEX ef ON docs (body) USING chunk_termscore SCORE (sc) CODEC pef;");
+  R.Engine.checkpoint eng;
+  ignore (R.Engine.exec eng "INSERT INTO docs VALUES (4, 'red berries', 40);");
+  St.Env.log_flush env;
+  R.Engine.crash eng;
+  ignore (R.Engine.recover eng);
+  let codec_of name =
+    let idx = Option.get (R.Engine.text_index eng name) in
+    ( Core.Types.codec_name (Core.Index.codec idx),
+      Option.map Core.Types.codec_name (Core.Index.persisted_codec idx) )
+  in
+  check Alcotest.(pair string (option string)) "bp header" ("bitpack", Some "bitpack")
+    (codec_of "bp");
+  check Alcotest.(pair string (option string)) "ef header" ("pef", Some "pef")
+    (codec_of "ef");
+  (* both indexes replayed the post-checkpoint insert *)
+  List.iter
+    (fun index ->
+      let got = R.Engine.query_index_batch eng ~index ~k:4 [| [ "red" ] |] in
+      if not (List.mem 4 (List.map fst got.(0))) then
+        Alcotest.fail (index ^ ": replayed insert not searchable"))
+    [ "bp"; "ef" ]
+
+(* a recovered header naming a different codec than the configuration is a
+   refusal, not a misparse: decoding blobs under the wrong codec is unsafe *)
+let test_codec_header_mismatch () =
+  let env = St.Env.create ~table_pool_pages:128 ~blob_pool_pages:32 ~durable:true () in
+  let scores = W.Corpus_gen.scores corpus_spec in
+  let idx =
+    Core.Index.build ~env Core.Index.Id_termscore cfg
+      ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+      ~scores:(fun d -> scores.(d))
+  in
+  (* sabotage the persisted header the way a mis-configured restart would
+     see it, then make the change the durable truth *)
+  Core.Index.stamp_codec idx "pef";
+  St.Env.checkpoint env;
+  St.Env.crash env;
+  (match Core.Index.recover idx with
+  | _ -> Alcotest.fail "recover accepted a mismatching codec header"
+  | exception St.Storage_error.Error (St.Storage_error.Corrupt, _) -> ());
+  (* an unknown codec name is refused the same way *)
+  Core.Index.stamp_codec idx "zstd";
+  St.Env.checkpoint env;
+  St.Env.crash env;
+  match Core.Index.recover idx with
+  | _ -> Alcotest.fail "recover accepted an unknown codec header"
+  | exception St.Storage_error.Error (St.Storage_error.Corrupt, _) -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Codec robustness: damaged long-list blobs must fail typed, never hang *)
 
@@ -388,15 +473,17 @@ let fuzz_store () =
   St.Blob_store.create
     (St.Pager.create ~pool_pages:16 ~stats (St.Disk.create ~name:"fuzz" stats))
 
-let valid_encoding rng codec =
+let valid_encoding rng ~tc codec =
   let n = 1 + (lcg rng mod 400) in
   let docs =
     Array.init n (fun i -> (3 * i) + 1 + (lcg rng mod 3)) (* strictly ascending *)
   in
   match codec with
-  | C_id -> Core.Posting_codec.Id_codec.encode ~with_ts:false (Array.map (fun d -> (d, 0)) docs)
+  | C_id ->
+      Core.Posting_codec.Id_codec.encode ~codec:tc ~with_ts:false
+        (Array.map (fun d -> (d, 0)) docs)
   | C_id_ts ->
-      Core.Posting_codec.Id_codec.encode ~with_ts:true
+      Core.Posting_codec.Id_codec.encode ~codec:tc ~with_ts:true
         (Array.map (fun d -> (d, lcg rng mod 64)) docs)
   | C_score ->
       let arr = Array.map (fun d -> (float_of_int (1000 - d), d)) docs in
@@ -415,24 +502,24 @@ let valid_encoding rng codec =
                   (docs.(min (n - 1) (base + i)) + (i * 3),
                    if with_ts then lcg rng mod 64 else 0)) ))
       in
-      Core.Posting_codec.Chunk_codec.encode ~with_ts groups
+      Core.Posting_codec.Chunk_codec.encode ~codec:tc ~with_ts groups
 
-let cursor_of store codec blob =
+let cursor_of store ~tc codec blob =
   let reader = St.Blob_store.reader store blob in
   match codec with
-  | C_id -> Core.Posting_codec.Id_codec.cursor ~with_ts:false ~term_idx:0 reader
-  | C_id_ts -> Core.Posting_codec.Id_codec.cursor ~with_ts:true ~term_idx:0 reader
+  | C_id -> Core.Posting_codec.Id_codec.cursor ~codec:tc ~with_ts:false ~term_idx:0 reader
+  | C_id_ts -> Core.Posting_codec.Id_codec.cursor ~codec:tc ~with_ts:true ~term_idx:0 reader
   | C_score -> Core.Posting_codec.Score_codec.cursor ~term_idx:0 reader
-  | C_chunk -> Core.Posting_codec.Chunk_codec.cursor ~with_ts:false ~term_idx:0 reader
-  | C_chunk_ts -> Core.Posting_codec.Chunk_codec.cursor ~with_ts:true ~term_idx:0 reader
+  | C_chunk -> Core.Posting_codec.Chunk_codec.cursor ~codec:tc ~with_ts:false ~term_idx:0 reader
+  | C_chunk_ts -> Core.Posting_codec.Chunk_codec.cursor ~codec:tc ~with_ts:true ~term_idx:0 reader
 
 (* decoding damaged input either completes (the damage landed somewhere
    harmless or re-parsed as a shorter valid list) or raises a typed storage
    error; anything else — a hang, an Index_out_of_bounds, a negative-length
    Bytes.create — fails the property *)
-let fuzz_prop codec (seed, mode) =
+let fuzz_prop ~tc codec (seed, mode) =
   let rng = ref (seed + 1) in
-  let payload = valid_encoding rng codec in
+  let payload = valid_encoding rng ~tc codec in
   let damaged =
     match mode with
     | 0 ->
@@ -451,17 +538,17 @@ let fuzz_prop codec (seed, mode) =
   let store = fuzz_store () in
   let blob = St.Blob_store.put store damaged in
   let survives f =
-    match f (cursor_of store codec blob) with
+    match f (cursor_of store ~tc codec blob) with
     | () -> true
     | exception St.Storage_error.Error (_, _) -> true
   in
   survives drain_cursor && survives seek_cursor
 
-let qfuzz name codec =
+let qfuzz ?(tc = Core.Types.Varint) name codec =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count:250 ~name
        QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 2))
-       (fuzz_prop codec))
+       (fuzz_prop ~tc codec))
 
 (* ------------------------------------------------------------------ *)
 
@@ -470,13 +557,26 @@ let () =
     [ ( "crash points",
         [ Alcotest.test_case "all methods, seeded crash/recover cycles" `Slow
             test_crash_points;
+          Alcotest.test_case "packed codecs, seeded crash/recover cycles" `Slow
+            test_crash_points_codecs;
           Alcotest.test_case "compaction steps, seeded crash/recover cycles"
             `Slow test_compaction_crash_points ] );
-      ("engine", [ Alcotest.test_case "sql crash/recover" `Quick test_engine_recover ]);
+      ( "engine",
+        [ Alcotest.test_case "sql crash/recover" `Quick test_engine_recover;
+          Alcotest.test_case "mixed codecs in one environment" `Quick
+            test_mixed_codec_recover;
+          Alcotest.test_case "codec header mismatch refused" `Quick
+            test_codec_header_mismatch ] );
       ( "codec fuzz",
         [ qfuzz "id codec damaged input" C_id;
           qfuzz "id+ts codec damaged input" C_id_ts;
           qfuzz "score codec damaged input" C_score;
           qfuzz "chunk codec damaged input" C_chunk;
-          qfuzz "chunk+ts codec damaged input" C_chunk_ts ] )
+          qfuzz "chunk+ts codec damaged input" C_chunk_ts;
+          qfuzz ~tc:Core.Types.Bitpack "bitpack id damaged input" C_id;
+          qfuzz ~tc:Core.Types.Bitpack "bitpack id+ts damaged input" C_id_ts;
+          qfuzz ~tc:Core.Types.Bitpack "bitpack chunk+ts damaged input" C_chunk_ts;
+          qfuzz ~tc:Core.Types.Pef "pef id damaged input" C_id;
+          qfuzz ~tc:Core.Types.Pef "pef id+ts damaged input" C_id_ts;
+          qfuzz ~tc:Core.Types.Pef "pef chunk+ts damaged input" C_chunk_ts ] )
     ]
