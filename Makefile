@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check check-crash check-maintain check-codec test bench bench-par bench-recovery bench-obs bench-maintain bench-codec clean
+.PHONY: all check check-crash check-maintain check-codec check-planner test bench bench-par bench-recovery bench-obs bench-maintain bench-codec bench-planner clean
 
 all:
 	dune build
@@ -57,6 +57,18 @@ check-codec:
 # (writes BENCH_PR6.json)
 bench-codec:
 	dune exec bench/main.exe -- codec
+
+# planner gate: strategy thresholds, planned-vs-manual result equality
+# across every method x codec, adversarial re-plan corpus, table-scan
+# fallback, stats-catalog counts, plus catalog crash/recovery coverage
+check-planner:
+	dune exec test/test_planner.exe
+	dune exec test/test_recovery.exe -- test engine
+
+# planner vs manual merge strategies over skewed / flat / misestimated
+# workloads (writes BENCH_PR7.json)
+bench-planner:
+	dune exec bench/main.exe -- planner
 
 clean:
 	dune clean

@@ -60,8 +60,10 @@ let queries_for ?(selectivity = W.Query_gen.Medium) ?n (p : Profile.t) =
     p.Profile.corpus
   |> Array.map (List.map Fun.id)
 
-(* average cold-cache query cost over a query set *)
-let measure_queries ?(mode = Core.Types.Conjunctive) ?k (p : Profile.t) idx queries =
+(* average cold-cache query cost over a query set; [gallop] pins the merge
+   strategy (the manual arms of the planner bench) — omitted, the index's
+   [Config.planner] decides *)
+let measure_queries ?(mode = Core.Types.Conjunctive) ?gallop ?k (p : Profile.t) idx queries =
   let k = Option.value ~default:p.Profile.k k in
   let env = Core.Index.env idx in
   let wall = ref 0.0 and acc = St.Stats.zero () in
@@ -70,7 +72,7 @@ let measure_queries ?(mode = Core.Types.Conjunctive) ?k (p : Profile.t) idx quer
       St.Env.drop_blob_caches env;
       let before = St.Stats.snapshot (St.Env.stats env) in
       let t0 = Unix.gettimeofday () in
-      ignore (Core.Index.query idx ~mode q ~k);
+      ignore (Core.Index.query idx ~mode ?gallop q ~k);
       wall := !wall +. (Unix.gettimeofday () -. t0);
       let d = St.Stats.diff ~after:(St.Stats.snapshot (St.Env.stats env)) ~before in
       acc.St.Stats.rand_reads <- acc.St.Stats.rand_reads + d.St.Stats.rand_reads;
@@ -78,8 +80,10 @@ let measure_queries ?(mode = Core.Types.Conjunctive) ?k (p : Profile.t) idx quer
       acc.St.Stats.page_writes <- acc.St.Stats.page_writes + d.St.Stats.page_writes)
     queries;
   let n = float_of_int (Array.length queries) in
+  (* bill with the environment's cost model — identical to the default for
+     every env that doesn't override it *)
   { wall_ms = !wall *. 1000.0 /. n;
-    sim_ms = St.Stats.simulated_ms acc /. n;
+    sim_ms = St.Stats.simulated_ms ~cost:(St.Env.cost env) acc /. n;
     rand_pages = float_of_int acc.St.Stats.rand_reads /. n;
     seq_pages = float_of_int acc.St.Stats.seq_reads /. n;
     n_ops = Array.length queries }

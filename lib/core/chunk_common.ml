@@ -12,7 +12,18 @@ type t = {
   short : Short_list.t;
   cstate : Cs.t;
   mutable policy : Chunk_policy.t;
+  catalog : Planner.Catalog.t option;
 }
+
+let record_long t term postings =
+  match t.catalog with
+  | None -> ()
+  | Some cat ->
+      let n = List.length postings in
+      let blocks, max_ts, mean_ts =
+        Planner.long_stats_of_ts ~postings:n (List.map snd postings)
+      in
+      Planner.Catalog.set_long cat ~term ~postings:n ~blocks ~max_ts ~mean_ts
 
 let encode_term t term postings current_score =
   (* group by chunk id, descending; ascending doc ids inside a chunk *)
@@ -46,9 +57,10 @@ let encode_term t term postings current_score =
       ~with_ts:t.with_ts
       (Array.of_list (List.rev !groups))
   in
-  Term_dir.set t.dir ~term { Term_dir.blob = St.Blob_store.put t.blobs payload; meta = 0 }
+  Term_dir.set t.dir ~term { Term_dir.blob = St.Blob_store.put t.blobs payload; meta = 0 };
+  record_long t term postings
 
-let build ?env:env_opt ?policy_of_scores ~with_ts cfg ~corpus ~scores =
+let build ?env:env_opt ?catalog ?policy_of_scores ~with_ts cfg ~corpus ~scores =
   Config.validate cfg;
   let env = match env_opt with Some e -> e | None -> St.Env.create () in
   let t =
@@ -59,7 +71,8 @@ let build ?env:env_opt ?policy_of_scores ~with_ts cfg ~corpus ~scores =
       blobs = St.Env.blob_store env ~name:"long";
       short = Short_list.create env ~name:"short" Short_list.Chunk_rank;
       cstate = Cs.create env ~name:"listchunk";
-      policy = Chunk_policy.ratio_based ~ratio:2.0 ~min_docs:1 [| 1.0 |] }
+      policy = Chunk_policy.ratio_based ~ratio:2.0 ~min_docs:1 [| 1.0 |];
+      catalog }
   in
   let by_term = Build_util.collect cfg t.docs t.scores ~corpus ~scores in
   let sample = ref [] in
@@ -275,6 +288,7 @@ let compact_term ?on_drained t term =
        Term_dir.set t.dir ~term
          { Term_dir.blob = St.Blob_store.put ?replacing t.blobs payload;
            meta = 0 });
+    record_long t term (List.map (fun (_, doc, ts) -> (doc, ts)) merged);
     let drained = Short_list.drop_term t.short ~term in
     (match on_drained with
     | Some f -> f ~term ~max_add_ts:!max_add_ts
@@ -321,6 +335,7 @@ let rebuild t =
       St.Blob_store.free t.blobs blob;
       Term_dir.remove t.dir ~term)
     !old;
+  (match t.catalog with Some cat -> Planner.Catalog.clear cat | None -> ());
   Hashtbl.iter
     (fun term cell ->
       encode_term t term !cell (fun doc -> Score_table.get_exn t.scores ~doc))

@@ -18,10 +18,12 @@ type t = {
   short : Short_list.t;
   cstate : List_state.Chunk_state.t;
   mutable policy : Chunk_policy.t;
+  catalog : Planner.Catalog.t option;
 }
 
 val build :
   ?env:Svr_storage.Env.t ->
+  ?catalog:Planner.Catalog.t ->
   ?policy_of_scores:(float array -> Chunk_policy.t) ->
   with_ts:bool ->
   Config.t ->
@@ -29,7 +31,8 @@ val build :
   scores:(int -> float) ->
   t
 (** [policy_of_scores] overrides the default ratio-based chunking (used by the
-    ablation bench to compare equal-width / equal-population policies). *)
+    ablation bench to compare equal-width / equal-population policies).
+    [catalog] is kept current at every long-list rewrite. *)
 
 val score_update : t -> doc:int -> float -> unit
 (** Algorithm 1, chunk flavour. *)

@@ -1,3 +1,7 @@
+type planner_mode = Auto | Manual
+
+let planner_mode_name = function Auto -> "auto" | Manual -> "manual"
+
 type t = {
   analyzer : Svr_text.Analyzer.config;
   threshold_ratio : float;
@@ -11,6 +15,10 @@ type t = {
   maint_step_postings : int;
   maint_auto : bool;
   codec : Types.codec;
+  planner : planner_mode;
+  replan_factor : float;
+  replan_check : int;
+  table_scan_ratio : float;
 }
 
 let default =
@@ -18,7 +26,8 @@ let default =
     chunk_ratio = 6.12; min_chunk_docs = 100; fancy_size = 64;
     ts_weight = 1.0; maint_ratio = 0.05; maint_min_short = 512;
     maint_step_terms = 32; maint_step_postings = 4096; maint_auto = false;
-    codec = Types.Varint }
+    codec = Types.Varint; planner = Manual; replan_factor = 4.0;
+    replan_check = 128; table_scan_ratio = 0.5 }
 
 let validate t =
   if t.threshold_ratio <= 1.0 then
@@ -31,4 +40,9 @@ let validate t =
   if t.maint_min_short < 1 then invalid_arg "Config: maint_min_short must be >= 1";
   if t.maint_step_terms < 1 then invalid_arg "Config: maint_step_terms must be >= 1";
   if t.maint_step_postings < 1 then
-    invalid_arg "Config: maint_step_postings must be >= 1"
+    invalid_arg "Config: maint_step_postings must be >= 1";
+  if not (t.replan_factor > 1.0) then
+    invalid_arg "Config: replan_factor must be > 1";
+  if t.replan_check < 1 then invalid_arg "Config: replan_check must be >= 1";
+  if not (t.table_scan_ratio > 0.0) then
+    invalid_arg "Config: table_scan_ratio must be > 0"

@@ -1,5 +1,11 @@
 (** Tuning knobs shared by the index methods. *)
 
+type planner_mode =
+  | Auto  (** queries without an explicit [gallop] run through {!Planner} *)
+  | Manual  (** the caller's [gallop] argument (or its default) is law *)
+
+val planner_mode_name : planner_mode -> string
+
 type t = {
   analyzer : Svr_text.Analyzer.config;
       (** how text columns are turned into terms *)
@@ -39,13 +45,31 @@ type t = {
       (** on-disk layout of long-list posting blocks ({!Posting_codec});
           fixed at build time and persisted in the index header — recovery
           refuses a mismatching configuration. *)
+  planner : planner_mode;
+      (** whether queries that do not pin a merge strategy are planned from
+          the per-term statistics catalog. [Manual] by default so direct
+          library users (and the regression benches) keep the historical
+          behaviour; the SQL engine creates its indexes with [Auto]. *)
+  replan_factor : float;
+      (** adaptive execution: re-plan mid-query once the observed match (or
+          gallop-alignment) rate diverges from the estimate by more than
+          this factor either way; must be > 1 (bands on both sides of the
+          estimate are disjoint, so a correct estimate never flaps). *)
+  replan_check : int;
+      (** groups between observed-vs-estimated checks — the "block group"
+          granularity; defaults to one posting block (128). *)
+  table_scan_ratio : float;
+      (** fall back to a forward-index table scan when the query's lists
+          cover at least this fraction of all indexed postings (and the
+          method would not terminate early); must be > 0. *)
 }
 
 val default : t
 (** Paper defaults: threshold ratio 11.24, chunk ratio 6.12, min chunk 100,
     fancy size 64, ts weight 1.0, default analyzer. Maintenance defaults:
     ratio 0.05, min short 512, 32 terms / 4096 postings per step, auto
-    off. Codec: [Varint]. *)
+    off. Codec: [Varint]. Planner: [Manual], replan factor 4 checked every
+    128 groups, table-scan ratio 0.5. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument when a knob is out of its documented range. *)

@@ -46,16 +46,23 @@ type t = {
   maint : Maintenance.t;
   hdr : Svr_storage.Btree.t;
       (* durable index header: the facts a reader must know before it can
-         decode a single blob — today the posting codec *)
+         decode a single blob — the posting codec, and the statistics
+         generation the planner catalog must match *)
+  catalog : Planner.Catalog.t;
+      (* per-term statistics, persisted next to the header; the methods keep
+         it current at every long-list rewrite *)
 }
 
 let kind t = t.kind
 let tag t = t.tag
 let codec t = t.cfg.Config.codec
+let catalog t = t.catalog
 
 module St = Svr_storage
 
 let hdr_codec_key = "codec"
+let hdr_stats_gen_key = "stats_gen"
+let stats_gen_current = "1"
 
 let persisted_codec t =
   match St.Btree.find t.hdr hdr_codec_key with
@@ -63,13 +70,16 @@ let persisted_codec t =
   | Some name -> Types.codec_of_name name
 
 let stamp_codec t name = St.Btree.insert t.hdr hdr_codec_key name
+let stamp_stats_gen t g = St.Btree.insert t.hdr hdr_stats_gen_key g
+
+let persisted_stats_gen t = St.Btree.find t.hdr hdr_stats_gen_key
 
 (* The codec is not recorded inside each blob (blocks stay dense), so a
    reader configured with the wrong codec would misparse every body.
    Recovery therefore refuses to proceed when the persisted header and the
    supplied configuration disagree. *)
 let verify_header t =
-  match St.Btree.find t.hdr hdr_codec_key with
+  (match St.Btree.find t.hdr hdr_codec_key with
   | None ->
       St.Storage_error.error St.Storage_error.Corrupt
         "Index(%s): no codec in the index header" t.tag
@@ -83,7 +93,22 @@ let verify_header t =
             (Types.codec_name t.cfg.Config.codec)
       | None ->
           St.Storage_error.error St.Storage_error.Corrupt
-            "Index(%s): unknown codec %S in the index header" t.tag name)
+            "Index(%s): unknown codec %S in the index header" t.tag name));
+  (* a statistics catalog out of step with its index would silently
+     mis-plan every Auto query: refuse it like a codec mismatch *)
+  match (St.Btree.find t.hdr hdr_stats_gen_key, Planner.Catalog.gen t.catalog) with
+  | Some h, Some c when String.equal h c -> ()
+  | Some h, Some c ->
+      St.Storage_error.error St.Storage_error.Corrupt
+        "Index(%s): header statistics generation %S does not match the \
+         catalog's %S — the stats catalog is stale"
+        t.tag h c
+  | None, _ ->
+      St.Storage_error.error St.Storage_error.Corrupt
+        "Index(%s): no statistics generation in the index header" t.tag
+  | _, None ->
+      St.Storage_error.error St.Storage_error.Corrupt
+        "Index(%s): statistics catalog carries no generation stamp" t.tag
 
 exception Invalid_score of string
 
@@ -141,25 +166,34 @@ let maint_target impl =
         compact = (fun terms -> Method_chunk_termscore.compact_terms i terms) }
 
 let build ?env ?(tag = "index") kind cfg ~corpus ~scores =
+  (* the environment is resolved here (not in the method) so the statistics
+     catalog exists before the bulk load starts writing long lists *)
+  let env = match env with Some e -> e | None -> St.Env.create () in
+  let catalog = Planner.Catalog.create (St.Env.btree env ~name:(tag ^ ":stats")) in
   let impl =
     match kind with
-    | Id -> I_id (Method_id.build ?env ~with_ts:false cfg ~corpus ~scores)
-    | Id_termscore -> I_id (Method_id.build ?env ~with_ts:true cfg ~corpus ~scores)
-    | Score -> I_score (Method_score.build ?env cfg ~corpus ~scores)
-    | Score_threshold -> I_st (Method_score_threshold.build ?env cfg ~corpus ~scores)
-    | Chunk -> I_chunk (Method_chunk.build ?env cfg ~corpus ~scores)
+    | Id -> I_id (Method_id.build ~env ~catalog ~with_ts:false cfg ~corpus ~scores)
+    | Id_termscore ->
+        I_id (Method_id.build ~env ~catalog ~with_ts:true cfg ~corpus ~scores)
+    | Score -> I_score (Method_score.build ~env ~catalog cfg ~corpus ~scores)
+    | Score_threshold ->
+        I_st (Method_score_threshold.build ~env ~catalog cfg ~corpus ~scores)
+    | Chunk -> I_chunk (Method_chunk.build ~env ~catalog cfg ~corpus ~scores)
     | Chunk_termscore ->
-        I_cts (Method_chunk_termscore.build ?env cfg ~corpus ~scores)
+        I_cts (Method_chunk_termscore.build ~env ~catalog cfg ~corpus ~scores)
   in
   let t =
     { kind; cfg; impl; tag; lock = Rw_lock.create ();
       maint = Maintenance.create cfg (maint_target impl);
-      hdr = St.Env.btree (impl_env impl) ~name:(tag ^ ":hdr") }
+      hdr = St.Env.btree env ~name:(tag ^ ":hdr");
+      catalog }
   in
   St.Btree.insert t.hdr hdr_codec_key (Types.codec_name cfg.Config.codec);
+  St.Btree.insert t.hdr hdr_stats_gen_key stats_gen_current;
+  Planner.Catalog.set_gen catalog stats_gen_current;
   (* bulk loads bypass the WAL, so the freshly built state must become the
-     recovery baseline before any logged update arrives — the header rides
-     the same checkpoint *)
+     recovery baseline before any logged update arrives — the header and the
+     statistics catalog ride the same checkpoint *)
   St.Env.checkpoint (env_of t);
   t
 
@@ -318,18 +352,133 @@ let recover t =
   St.Env.checkpoint (env t);
   records
 
-let query_terms t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
+let short_count_of impl =
+  match impl with
+  | I_id i -> fun term -> Method_id.short_term_count i ~term
+  | I_score _ -> fun _ -> 0 (* in-place long list: no short lists *)
+  | I_st i -> fun term -> Method_score_threshold.short_term_count i ~term
+  | I_chunk i -> fun term -> Method_chunk.short_term_count i ~term
+  | I_cts i -> fun term -> Method_chunk_termscore.short_term_count i ~term
+
+(* methods whose merge stops on a score bound never benefit from a table
+   scan: they read a prefix of the lists, not the whole corpus *)
+let early_terminating = function
+  | Score | Score_threshold | Chunk | Chunk_termscore -> true
+  | Id | Id_termscore -> false
+
+let doc_store_of = function
+  | I_id i -> Method_id.doc_store i
+  | I_score i -> Method_score.doc_store i
+  | I_st i -> Method_score_threshold.doc_store i
+  | I_chunk i -> Method_chunk.doc_store i
+  | I_cts i -> Method_chunk_termscore.doc_store i
+
+let score_table_of = function
+  | I_id i -> Method_id.score_table i
+  | I_score i -> Method_score.score_table i
+  | I_st i -> Method_score_threshold.score_table i
+  | I_chunk i -> Method_chunk.score_table i
+  | I_cts i -> Method_chunk_termscore.score_table i
+
+(* The planner's fallback for non-selective predicates: walk the forward
+   index once instead of merging lists that cover most of the corpus. The
+   per-document work mirrors the merge exactly — presence and term-score sum
+   are taken over the query terms in their original order, so the float
+   summation order (and thus the score, to the last ulp) matches the
+   list-based execution. *)
+let table_scan_locked t ~mode terms ~k =
+  let docs = doc_store_of t.impl and scores = score_table_of t.impl in
+  let with_ts = ranks_with_term_scores t.kind in
+  let n_terms = List.length terms in
+  let sp = Qobs.Tr.push "table-scan" in
+  let heap = Result_heap.create ~k in
+  let scanned = ref 0 in
+  Doc_store.iter_docs docs (fun ~doc tfs ->
+      incr scanned;
+      if not (Score_table.is_deleted scores ~doc) then begin
+        let qts = Build_util.quantized_ts tfs in
+        let n_present = ref 0 and ts_sum = ref 0.0 in
+        List.iter
+          (fun term ->
+            match List.assoc_opt term qts with
+            | Some ts ->
+                incr n_present;
+                ts_sum := !ts_sum +. Svr_text.Term_score.dequantize ts
+            | None -> ())
+          terms;
+        if Types.matches mode ~n_present:!n_present ~n_terms then begin
+          let svr = Score_table.get_exn scores ~doc in
+          let score =
+            if with_ts then svr +. (t.cfg.Config.ts_weight *. !ts_sum) else svr
+          in
+          Result_heap.offer heap ~doc ~score
+        end
+      end);
+  if Qobs.Tr.is_on sp then
+    Qobs.Tr.annotate sp "docs" (string_of_int !scanned);
+  Qobs.Tr.pop sp;
+  Result_heap.to_list heap
+
+(* [gallop] distinguishes three cases: [Some g] pins the merge strategy (the
+   historical manual knob); [None] defers to the configuration — [Manual]
+   keeps the historical default (gallop where sound), [Auto] plans the query
+   from the statistics catalog. *)
+let query_terms t ?(mode = Types.Conjunctive) ?gallop terms ~k =
+  (* (plan, executor) of the planned dispatch, for metrics and the trace *)
+  let planned = ref None in
   let dispatch () =
     (* shared for the whole merge: a query must never observe a term
        mid-swap, and the writer-preferring lock keeps a stream of queries
        from starving updates and maintenance steps *)
     Rw_lock.with_read t.lock (fun () ->
-        match t.impl with
-        | I_id i -> Method_id.query i ~mode ~gallop terms ~k
-        | I_score i -> Method_score.query i ~mode ~gallop terms ~k
-        | I_st i -> Method_score_threshold.query i ~mode ~gallop terms ~k
-        | I_chunk i -> Method_chunk.query i ~mode ~gallop terms ~k
-        | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop terms ~k)
+        let manual g =
+          match t.impl with
+          | I_id i -> Method_id.query i ~mode ~gallop:g terms ~k
+          | I_score i -> Method_score.query i ~mode ~gallop:g terms ~k
+          | I_st i -> Method_score_threshold.query i ~mode ~gallop:g terms ~k
+          | I_chunk i -> Method_chunk.query i ~mode ~gallop:g terms ~k
+          | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop:g terms ~k
+        in
+        match (gallop, t.cfg.Config.planner) with
+        | Some g, _ -> manual g
+        | None, Config.Manual -> manual true
+        | None, Config.Auto ->
+            let stats =
+              List.map
+                (Planner.Catalog.stats_for t.catalog
+                   ~short_count:(short_count_of t.impl))
+                terms
+            in
+            let p =
+              Planner.plan ~cfg:t.cfg ~cost:(St.Env.cost (env t)) ~mode
+                ~early_term:(early_terminating t.kind)
+                ~total_postings:(Planner.Catalog.total_postings t.catalog)
+                stats
+            in
+            if p.Planner.p_table_scan then begin
+              planned := Some (p, None);
+              table_scan_locked t ~mode terms ~k
+            end
+            else begin
+              let exec =
+                Planner.Exec.create t.cfg p ~n_terms:(List.length terms)
+              in
+              planned := Some (p, Some exec);
+              (* the caller-level gate stays permissive; the executor (and
+                 each method's own soundness rules) decide per merge step *)
+              match t.impl with
+              | I_id i -> Method_id.query i ~mode ~gallop:true ~exec terms ~k
+              | I_score i ->
+                  Method_score.query i ~mode ~gallop:true ~exec terms ~k
+              | I_st i ->
+                  Method_score_threshold.query i ~mode ~gallop:true ~exec terms
+                    ~k
+              | I_chunk i ->
+                  Method_chunk.query i ~mode ~gallop:true ~exec terms ~k
+              | I_cts i ->
+                  Method_chunk_termscore.query i ~mode ~gallop:true ~exec terms
+                    ~k
+            end)
   in
   (* the calling domain's private counter cell: the delta across the dispatch
      is exactly this query's I/O, even with other domains querying *)
@@ -355,6 +504,35 @@ let query_terms t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
           Qobs.Tr.annotate sp "ef-seeks"
             (string_of_int d.St.Stats.upper_seeks)
       end;
+      (match !planned with
+      | None -> ()
+      | Some (p, exec_opt) ->
+          let replans =
+            match exec_opt with
+            | Some e -> Planner.Exec.replans e
+            | None -> 0
+          in
+          let strategy =
+            if p.Planner.p_table_scan then "table-scan"
+            else Planner.strategy_name p.Planner.p_strategy
+          in
+          Qobs.plan_metrics ~meth:(kind_name t.kind) ~strategy ~replans
+            ~table_scan:p.Planner.p_table_scan;
+          if Qobs.Tr.is_on sp then begin
+            Qobs.Tr.annotate sp "plan" (Planner.describe p);
+            if replans > 0 then begin
+              Qobs.Tr.annotate sp "replans" (string_of_int replans);
+              match exec_opt with
+              | Some e ->
+                  List.iteri
+                    (fun i msg ->
+                      Qobs.Tr.annotate sp
+                        (Printf.sprintf "replan-%d" (i + 1))
+                        msg)
+                    (Planner.Exec.narrative e)
+              | None -> ()
+            end
+          end);
       Qobs.query_metrics ~meth:(kind_name t.kind)
         ~wall_ms:(Svr_obs.Clock.now_ms () -. t0)
         ~sim_ms:(St.Stats.simulated_ms ~cost:(St.Env.cost (env t)) d)
@@ -368,22 +546,21 @@ let analyze t keywords =
     keywords
   |> List.sort_uniq String.compare
 
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) keywords ~k =
-  query_terms t ~mode ~gallop (analyze t keywords) ~k
+let query t ?(mode = Types.Conjunctive) ?gallop keywords ~k =
+  query_terms t ~mode ?gallop (analyze t keywords) ~k
 
-let query_terms_batch t ?pool ?(mode = Types.Conjunctive) ?(gallop = true)
-    batch ~k =
+let query_terms_batch t ?pool ?(mode = Types.Conjunctive) ?gallop batch ~k =
   let out = Array.make (Array.length batch) [] in
-  let run i = out.(i) <- query_terms t ~mode ~gallop batch.(i) ~k in
+  let run i = out.(i) <- query_terms t ~mode ?gallop batch.(i) ~k in
   (match pool with
   | None -> Array.iteri (fun i _ -> run i) batch
   | Some pool -> Query_pool.map pool ~f:run (Array.length batch));
   out
 
-let query_batch t ?pool ?(mode = Types.Conjunctive) ?(gallop = true) batch ~k =
+let query_batch t ?pool ?(mode = Types.Conjunctive) ?gallop batch ~k =
   (* analyze serially (cheap, and the analyzer contract is per-domain);
      only the merge/scan work fans out *)
-  query_terms_batch t ?pool ~mode ~gallop (Array.map (analyze t) batch) ~k
+  query_terms_batch t ?pool ~mode ?gallop (Array.map (analyze t) batch) ~k
 
 let long_list_bytes t =
   match t.impl with

@@ -70,6 +70,22 @@ val stamp_codec : t -> string -> unit
     to construct mismatches). The next {!recover} verifies the header
     against the configuration and refuses to proceed on disagreement. *)
 
+val catalog : t -> Planner.Catalog.t
+(** The per-term statistics catalog the planner reads. Maintained
+    incrementally at every long-list rewrite site (build, compaction,
+    rebuild, the Score method's in-place mutations), persisted in the same
+    environment as the index, and replayed by {!recover}. *)
+
+val persisted_stats_gen : t -> string option
+(** The statistics-catalog generation recorded in the durable index header —
+    what {!recover} cross-checks against the catalog's own stamp. *)
+
+val stamp_stats_gen : t -> string -> unit
+(** Overwrite the statistics generation in the durable index header only
+    (the catalog keeps its own stamp), desynchronizing the two — the
+    recovery tests use it to construct a stale catalog. The next {!recover}
+    refuses to proceed on the mismatch. *)
+
 val score_update : t -> doc:int -> float -> unit
 (** Notify the index that the document's SVR score changed (the paper's
     materialized-view callback).
@@ -94,17 +110,27 @@ val recover : t -> Svr_storage.Wal.record list
     rest). Returns [[]] when the environment is not durable.
     @raise Svr_storage.Storage_error.Error [(Corrupt, _)] when the recovered
     index header names a different codec than this index is configured
-    with — decoding blobs under the wrong codec would misparse them. *)
+    with — decoding blobs under the wrong codec would misparse them — or
+    when the header's statistics generation disagrees with the catalog's
+    own stamp — a stale catalog would silently misplan every query. *)
 
 val query :
   t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
   (int * float) list
 (** Top-k documents with their latest combined scores, best first. Keywords
     are analyzed with the index's analyzer configuration, so raw user text is
-    accepted. [gallop] (default true) lets conjunctive queries skip posting
-    blocks via {!Posting_cursor.seek_geq}; pass [false] to force the full
-    sequential merge (same results — the knob exists for benchmarks and
-    equivalence tests). *)
+    accepted.
+
+    Passing [gallop] explicitly pins the merge strategy: [true] lets
+    conjunctive queries skip posting blocks via {!Posting_cursor.seek_geq},
+    [false] forces the full sequential merge (same results — the manual knob
+    exists for benchmarks and equivalence tests). Omitting it defers to
+    [Config.planner]: under [Manual] the historical default ([gallop:true])
+    applies; under [Auto] the query is planned from the statistics catalog —
+    terms ordered rarest-first for gallop seeding, scan vs gallop chosen by
+    estimated cost, a forward-index table scan substituted for
+    non-selective predicates, and the strategy re-planned mid-query when
+    observed selectivity diverges from the estimate. *)
 
 val query_terms :
   t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->

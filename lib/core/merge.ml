@@ -28,9 +28,28 @@ type t = {
      cursor fetches a byte past it *)
   mutable emitted : bool;
   mutable n_groups : int; (* groups emitted so far — the query's scan depth *)
+  (* gallop seeding: the term whose cursors alone advance past an emitted
+     group, so its next posting — not cursor-creation order — picks the seek
+     target every other list gallops to. -1 = advance all (legacy). *)
+  static_leader : int;
+  exec : Planner.Exec.t option;
 }
 
-let create ~n_terms cursors =
+let create ~n_terms ?weights ?exec cursors =
+  let static_leader =
+    match weights with
+    | None -> -1
+    | Some w ->
+        let ldr = ref (-1) and best = ref max_int in
+        Array.iteri
+          (fun t wt ->
+            if t < n_terms && wt < !best then begin
+              best := wt;
+              ldr := t
+            end)
+          w;
+        !ldr
+  in
   { n_terms;
     cursors = Array.of_list cursors;
     g =
@@ -45,7 +64,12 @@ let create ~n_terms cursors =
     term_rank = Array.make n_terms 0.0;
     term_doc = Array.make n_terms 0;
     emitted = false;
-    n_groups = 0 }
+    n_groups = 0;
+    static_leader;
+    exec }
+
+let leader m =
+  match m.exec with Some e -> Planner.Exec.leader e | None -> m.static_leader
 
 (* advance past the group the previous [next] emitted: exactly the cursors
    still sitting at its position contributed to it *)
@@ -58,6 +82,32 @@ let advance_emitted m =
           Pc.advance c)
       m.cursors;
     m.emitted <- false
+  end
+
+(* galloping variant: advance only the leader term's cursors, so the leader's
+   next posting becomes the seek target and every other list skips straight
+   to it. Falls back to advancing all (and thus never re-emitting the same
+   position) when no leader cursor sits at the emitted group — e.g. right
+   after a scan-to-gallop re-plan emitted a partial group. *)
+let advance_emitted_leader m ldr =
+  if m.emitted then begin
+    if ldr < 0 then advance_emitted m
+    else begin
+      let g = m.g in
+      let led = ref false in
+      Array.iter
+        (fun c ->
+          if
+            c.Pc.term_idx = ldr
+            && (not (Pc.eof c))
+            && Pc.rank c = g.g_rank && Pc.doc c = g.g_doc
+          then begin
+            Pc.advance c;
+            led := true
+          end)
+        m.cursors;
+      if not !led then advance_emitted m else m.emitted <- false
+    end
   end
 
 (* collect every posting sitting at position (fr, fd) into [m.g] *)
@@ -127,7 +177,8 @@ let next_scan m =
    stopping rules are checked per emitted group and therefore only fire later
    than they would under a full scan — never wrongly. *)
 let rec next_gallop m =
-  advance_emitted m;
+  advance_emitted_leader m (leader m);
+  (match m.exec with Some e -> Planner.Exec.observe_round e | None -> ());
   Array.fill m.term_live 0 m.n_terms false;
   Array.iter
     (fun c ->
@@ -170,9 +221,20 @@ let rec next_gallop m =
   end
 
 let next ?(gallop = false) m =
-  if m.n_terms = 0 then None
-  else if gallop && m.n_terms > 1 then next_gallop m
-  else next_scan m
+  let gallop =
+    gallop
+    && (match m.exec with Some e -> Planner.Exec.gallop e | None -> true)
+  in
+  let r =
+    if m.n_terms = 0 then None
+    else if gallop && m.n_terms > 1 then next_gallop m
+    else next_scan m
+  in
+  (match (r, m.exec) with
+  | Some g, Some e ->
+      Planner.Exec.observe_group e ~present:g.present ~n_present:g.n_present
+  | _ -> ());
+  r
 
 let groups_emitted m = m.n_groups
 

@@ -27,9 +27,23 @@ type group = {
 
 type t
 
-val create : n_terms:int -> Posting_cursor.t list -> t
+val create :
+  n_terms:int -> ?weights:int array -> ?exec:Planner.Exec.t ->
+  Posting_cursor.t list -> t
 (** A merger over the given cursors (several cursors may share a
-    [term_idx] — e.g. a term's short and long list). *)
+    [term_idx] — e.g. a term's short and long list).
+
+    [weights] (per-term posting counts, indexed by [term_idx]) seeds the
+    gallop from the {e rarest} term: after an emitted group, only that term's
+    cursors advance, so its next posting — not cursor-creation order — picks
+    the position every other list seeks to. Without [weights] the merge
+    advances all cursors past an emitted group, the historical behaviour.
+
+    [exec] plugs in the adaptive executor: its scan-vs-gallop choice is
+    consulted before every step (ANDed with the caller's [gallop] soundness
+    gate, which still wins), its leader overrides [weights], and the merge
+    reports every emitted group and every gallop seek round back to it so it
+    can re-plan mid-query. *)
 
 val next : ?gallop:bool -> t -> group option
 (** Pull the next group in (rank desc, doc asc) order, or [None] when
@@ -43,7 +57,9 @@ val next : ?gallop:bool -> t -> group option
     every position (Algorithm 3's fancy-list stage parks partial matches, so
     it must not gallop); a galloping merge returns [None] as soon as any term
     exhausts. Default [false]: full sequential scan, identical group sequence
-    to the pre-block merge. *)
+    to the pre-block merge. An attached {!Planner.Exec.t} may downgrade a
+    [~gallop:true] step to a scan (or upgrade later steps back) — never the
+    reverse of the caller's gate. *)
 
 val groups_emitted : t -> int
 (** Groups emitted by {!next} so far — the scan depth the observability

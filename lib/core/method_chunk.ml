@@ -2,23 +2,25 @@ module C = Chunk_common
 
 type t = C.t
 
-let build ?env ?policy_of_scores cfg ~corpus ~scores =
-  C.build ?env ?policy_of_scores ~with_ts:false cfg ~corpus ~scores
+let build ?env ?catalog ?policy_of_scores cfg ~corpus ~scores =
+  C.build ?env ?catalog ?policy_of_scores ~with_ts:false cfg ~corpus ~scores
 
 let env (t : t) = t.C.env
+let doc_store (t : t) = t.C.docs
+let score_table (t : t) = t.C.scores
 let policy (t : t) = t.C.policy
 let score_update = C.score_update
 let insert = C.insert
 let delete = C.delete
 let update_content = C.update_content
 
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
     let csp = Qobs.Tr.push "cursor-open" in
-    let merger = Merge.create ~n_terms (C.term_cursors t terms) in
+    let merger = Merge.create ~n_terms ?exec (C.term_cursors t terms) in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in

@@ -9,6 +9,7 @@ type t
 
 val build :
   ?env:Svr_storage.Env.t ->
+  ?catalog:Planner.Catalog.t ->
   ?policy_of_scores:(float array -> Chunk_policy.t) ->
   Config.t ->
   corpus:(int * string) Seq.t ->
@@ -16,6 +17,9 @@ val build :
   t
 
 val env : t -> Svr_storage.Env.t
+
+val doc_store : t -> Doc_store.t
+val score_table : t -> Score_table.t
 
 val policy : t -> Chunk_policy.t
 
@@ -28,8 +32,8 @@ val delete : t -> doc:int -> unit
 val update_content : t -> doc:int -> string -> unit
 
 val query :
-  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
-  (int * float) list
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
+  string list -> k:int -> (int * float) list
 (** Exact top-k under the latest scores (Theorem 1 analogue): scanning stops
     when no document whose postings sit at or below the current chunk can
     possibly beat the current k-th score. *)

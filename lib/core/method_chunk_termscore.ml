@@ -13,6 +13,8 @@ type t = {
 }
 
 let env t = t.base.C.env
+let doc_store t = t.base.C.docs
+let score_table t = t.base.C.scores
 
 let tsb_key term = St.Order_key.compose [ (fun b -> St.Order_key.term b term) ]
 
@@ -66,8 +68,8 @@ let postings_by_term base =
         (Build_util.quantized_ts tfs));
   by_term
 
-let build ?env cfg ~corpus ~scores =
-  let base = C.build ?env ~with_ts:true cfg ~corpus ~scores in
+let build ?env ?catalog cfg ~corpus ~scores =
+  let base = C.build ?env ?catalog ~with_ts:true cfg ~corpus ~scores in
   let t =
     { base;
       fancy_blobs = St.Env.blob_store base.C.env ~name:"fancy";
@@ -94,7 +96,7 @@ let fancy_cursors t terms =
     (List.mapi (fun i term -> (i, term)) terms)
 
 (* Algorithm 3 *)
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
   let base = t.base in
   let n_terms = List.length terms in
   if n_terms = 0 then []
@@ -175,7 +177,10 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
        forever. Emptiness is monotone — docs are only ever removed — so the
        merge switches to galloping for good as soon as the list drains. *)
     let csp = Qobs.Tr.push "cursor-open" in
-    let merger = Merge.create ~n_terms (C.term_cursors base terms) in
+    (* [exec] only drives the chunk-list stage; the fancy merge above never
+       gallops, so attaching the executor there would let a re-plan break
+       Algorithm 3's parking invariant *)
+    let merger = Merge.create ~n_terms ?exec (C.term_cursors base terms) in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let last_pruned_cid = ref max_int in

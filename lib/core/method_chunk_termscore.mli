@@ -25,12 +25,16 @@ type t
 
 val build :
   ?env:Svr_storage.Env.t ->
+  ?catalog:Planner.Catalog.t ->
   Config.t ->
   corpus:(int * string) Seq.t ->
   scores:(int -> float) ->
   t
 
 val env : t -> Svr_storage.Env.t
+
+val doc_store : t -> Doc_store.t
+val score_table : t -> Score_table.t
 
 val score_update : t -> doc:int -> float -> unit
 
@@ -41,10 +45,11 @@ val delete : t -> doc:int -> unit
 val update_content : t -> doc:int -> string -> unit
 
 val query :
-  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
-  (int * float) list
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
+  string list -> k:int -> (int * float) list
 (** Top-k by [svr + ts_weight * sum of term scores] (Theorem 2), conjunctive
-    or disjunctive. *)
+    or disjunctive. [exec] drives only the chunk-list stage — the fancy merge
+    must observe every position, so it stays a plain scan. *)
 
 val long_list_bytes : t -> int
 (** Chunked long lists plus fancy lists. *)

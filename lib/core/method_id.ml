@@ -9,9 +9,26 @@ type t = {
   dir : Term_dir.t;
   blobs : St.Blob_store.t;
   short : Short_list.t;
+  catalog : Planner.Catalog.t option;
 }
 
 let env t = t.env
+let doc_store t = t.docs
+let score_table t = t.scores
+
+(* statistics-catalog hook: every site that rewrites a term's long list
+   records its new shape (the WAL replays those sites, so the catalog is
+   reproduced deterministically at recovery) *)
+let record_long t term (arr : (int * int) array) =
+  match t.catalog with
+  | None -> ()
+  | Some cat ->
+      let postings = Array.length arr in
+      let blocks, max_ts, mean_ts =
+        Planner.long_stats_of_ts ~postings
+          (Array.to_list (Array.map snd arr))
+      in
+      Planner.Catalog.set_long cat ~term ~postings ~blocks ~max_ts ~mean_ts
 
 let encode_term t by_term term postings =
   let arr = Build_util.sort_by_doc postings in
@@ -21,9 +38,10 @@ let encode_term t by_term term postings =
          ~with_ts:t.with_ts arr)
   in
   Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 };
+  record_long t term arr;
   ignore by_term
 
-let build ?env:env_opt ~with_ts cfg ~corpus ~scores =
+let build ?env:env_opt ?catalog ~with_ts cfg ~corpus ~scores =
   Config.validate cfg;
   let env = match env_opt with Some e -> e | None -> St.Env.create () in
   let t =
@@ -32,7 +50,8 @@ let build ?env:env_opt ~with_ts cfg ~corpus ~scores =
       docs = Doc_store.create env ~name:"content";
       dir = Term_dir.create env ~name:"dir";
       blobs = St.Env.blob_store env ~name:"long";
-      short = Short_list.create env ~name:"short" Short_list.Id_rank }
+      short = Short_list.create env ~name:"short" Short_list.Id_rank;
+      catalog }
   in
   let by_term = Build_util.collect cfg t.docs t.scores ~corpus ~scores in
   Hashtbl.iter (fun term cell -> encode_term t by_term term !cell) by_term;
@@ -89,13 +108,13 @@ let term_cursors t terms =
 
 let meth_name t = if t.with_ts then "ID-TermScore" else "ID"
 
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
     let csp = Qobs.Tr.push "cursor-open" in
-    let merger = Merge.create ~n_terms (term_cursors t terms) in
+    let merger = Merge.create ~n_terms ?exec (term_cursors t terms) in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
@@ -184,6 +203,7 @@ let compact_term t term =
               ~with_ts:t.with_ts arr)
        in
        Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 });
+    record_long t term arr;
     Short_list.drop_term t.short ~term
   end
 
@@ -223,5 +243,7 @@ let rebuild t =
       St.Blob_store.free t.blobs blob;
       Term_dir.remove t.dir ~term)
     !old;
+  (* terms that vanish with their deleted docs must leave the catalog too *)
+  (match t.catalog with Some cat -> Planner.Catalog.clear cat | None -> ());
   Hashtbl.iter (fun term cell -> encode_term t by_term term !cell) by_term;
   Short_list.clear t.short

@@ -11,15 +11,22 @@ type t
 
 val build :
   ?env:Svr_storage.Env.t ->
+  ?catalog:Planner.Catalog.t ->
   with_ts:bool ->
   Config.t ->
   corpus:(int * string) Seq.t ->
   scores:(int -> float) ->
   t
 (** [with_ts:true] gives the ID-TermScore variant whose queries rank by
-    [svr + ts_weight * sum of term scores]. *)
+    [svr + ts_weight * sum of term scores]. [catalog] is kept up to date at
+    every long-list rewrite (build, compaction, rebuild). *)
 
 val env : t -> Svr_storage.Env.t
+
+val doc_store : t -> Doc_store.t
+val score_table : t -> Score_table.t
+(** The forward index and score table, for the planner's table-scan
+    fallback. *)
 
 val score_update : t -> doc:int -> float -> unit
 
@@ -30,8 +37,8 @@ val delete : t -> doc:int -> unit
 val update_content : t -> doc:int -> string -> unit
 
 val query :
-  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
-  (int * float) list
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
+  string list -> k:int -> (int * float) list
 
 val long_list_bytes : t -> int
 

@@ -6,9 +6,12 @@ type t = {
   scores : Score_table.t;
   docs : Doc_store.t;
   list : St.Btree.t; (* cold device: far larger than the cache *)
+  catalog : Planner.Catalog.t option;
 }
 
 let env t = t.env
+let doc_store t = t.docs
+let score_table t = t.scores
 
 let posting_key term score doc =
   St.Order_key.compose
@@ -16,21 +19,30 @@ let posting_key term score doc =
       (fun b -> St.Order_key.f64_desc b score);
       (fun b -> St.Order_key.u32 b doc) ]
 
-let build ?env:env_opt cfg ~corpus ~scores =
+(* the long list is a B+-tree mutated in place, so the catalog tracks it by
+   posting-count deltas at exactly the insert/delete sites the WAL replays *)
+let bump t term delta =
+  match t.catalog with
+  | None -> ()
+  | Some cat -> Planner.Catalog.bump_long cat ~term delta
+
+let build ?env:env_opt ?catalog cfg ~corpus ~scores =
   Config.validate cfg;
   let env = match env_opt with Some e -> e | None -> St.Env.create () in
   let t =
     { cfg; env;
       scores = Score_table.create env ~name:"score";
       docs = Doc_store.create env ~name:"content";
-      list = St.Env.cold_btree env ~name:"long" }
+      list = St.Env.cold_btree env ~name:"long";
+      catalog }
   in
   let by_term = Build_util.collect cfg t.docs t.scores ~corpus ~scores in
   Hashtbl.iter
     (fun term cell ->
       List.iter
         (fun (doc, _ts) -> St.Btree.insert t.list (posting_key term (scores doc) doc) "")
-        !cell)
+        !cell;
+      bump t term (List.length !cell))
     by_term;
   t
 
@@ -49,7 +61,11 @@ let insert t ~doc text ~score =
   let tfs = Svr_text.Analyzer.term_frequencies ~config:t.cfg.Config.analyzer text in
   Doc_store.set t.docs ~doc tfs;
   Score_table.set t.scores ~doc ~score;
-  List.iter (fun (term, _) -> St.Btree.insert t.list (posting_key term score doc) "") tfs
+  List.iter
+    (fun (term, _) ->
+      St.Btree.insert t.list (posting_key term score doc) "";
+      bump t term 1)
+    tfs
 
 let delete t ~doc = Score_table.mark_deleted t.scores ~doc
 
@@ -61,13 +77,16 @@ let update_content t ~doc text =
   let new_terms = List.map fst tfs in
   List.iter
     (fun term ->
-      if not (List.mem term old_terms) then
-        St.Btree.insert t.list (posting_key term score doc) "")
+      if not (List.mem term old_terms) then begin
+        St.Btree.insert t.list (posting_key term score doc) "";
+        bump t term 1
+      end)
     new_terms;
   List.iter
     (fun term ->
       if not (List.mem term new_terms) then
-        ignore (St.Btree.delete t.list (posting_key term score doc)))
+        if St.Btree.delete t.list (posting_key term score doc) then
+          bump t term (-1))
     old_terms
 
 let term_cursor t ~term_idx term =
@@ -97,14 +116,14 @@ let term_cursor t ~term_idx term =
   refill c;
   c
 
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
     let csp = Qobs.Tr.push "cursor-open" in
     let cursors = List.mapi (fun i term -> term_cursor t ~term_idx:i term) terms in
-    let merger = Merge.create ~n_terms cursors in
+    let merger = Merge.create ~n_terms ?exec cursors in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
@@ -152,7 +171,9 @@ let rebuild t =
   List.iter
     (fun (doc, score) ->
       List.iter
-        (fun (term, _tf) -> ignore (St.Btree.delete t.list (posting_key term score doc)))
+        (fun (term, _tf) ->
+          if St.Btree.delete t.list (posting_key term score doc) then
+            bump t term (-1))
         (Doc_store.terms t.docs ~doc);
       Doc_store.remove t.docs ~doc;
       Score_table.remove t.scores ~doc)

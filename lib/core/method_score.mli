@@ -12,12 +12,19 @@ type t
 
 val build :
   ?env:Svr_storage.Env.t ->
+  ?catalog:Planner.Catalog.t ->
   Config.t ->
   corpus:(int * string) Seq.t ->
   scores:(int -> float) ->
   t
+(** [catalog] tracks per-term posting counts by deltas at the in-place
+    B+-tree mutation sites (no block or term-score statistics — the tree has
+    neither). *)
 
 val env : t -> Svr_storage.Env.t
+
+val doc_store : t -> Doc_store.t
+val score_table : t -> Score_table.t
 
 val score_update : t -> doc:int -> float -> unit
 (** Rewrites one posting per distinct term of the document. *)
@@ -29,8 +36,8 @@ val delete : t -> doc:int -> unit
 val update_content : t -> doc:int -> string -> unit
 
 val query :
-  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
-  (int * float) list
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
+  string list -> k:int -> (int * float) list
 
 val long_list_bytes : t -> int
 

@@ -10,10 +10,21 @@ type t = {
   blobs : St.Blob_store.t;
   short : Short_list.t;
   lstate : Ss.t;
+  catalog : Planner.Catalog.t option;
 }
 
 let env t = t.env
+let doc_store t = t.docs
+let score_table t = t.scores
 let threshold_value_of t s = t.cfg.Config.threshold_ratio *. s
+
+(* score-ordered lists carry no term scores: only shape stats are kept *)
+let record_long t term ~postings =
+  match t.catalog with
+  | None -> ()
+  | Some cat ->
+      let blocks, max_ts, mean_ts = Planner.long_stats_of_ts ~postings [] in
+      Planner.Catalog.set_long cat ~term ~postings ~blocks ~max_ts ~mean_ts
 
 let encode_term t term postings current_score =
   (* (score desc, doc asc) with the score replicated in every posting - the
@@ -26,9 +37,10 @@ let encode_term t term postings current_score =
       match Float.compare s2 s1 with 0 -> compare d1 d2 | c -> c)
     arr;
   let blob = St.Blob_store.put t.blobs (Posting_codec.Score_codec.encode arr) in
-  Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 }
+  Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 };
+  record_long t term ~postings:(Array.length arr)
 
-let build ?env:env_opt cfg ~corpus ~scores =
+let build ?env:env_opt ?catalog cfg ~corpus ~scores =
   Config.validate cfg;
   let env = match env_opt with Some e -> e | None -> St.Env.create () in
   let t =
@@ -38,7 +50,8 @@ let build ?env:env_opt cfg ~corpus ~scores =
       dir = Term_dir.create env ~name:"dir";
       blobs = St.Env.blob_store env ~name:"long";
       short = Short_list.create env ~name:"short" Short_list.Score_rank;
-      lstate = Ss.create env ~name:"listscore" }
+      lstate = Ss.create env ~name:"listscore";
+      catalog }
   in
   let by_term = Build_util.collect cfg t.docs t.scores ~corpus ~scores in
   Hashtbl.iter (fun term cell -> encode_term t term !cell scores) by_term;
@@ -120,13 +133,13 @@ let term_cursors t terms =
        terms)
 
 (* Algorithm 2 *)
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
     let csp = Qobs.Tr.push "cursor-open" in
-    let merger = Merge.create ~n_terms (term_cursors t terms) in
+    let merger = Merge.create ~n_terms ?exec (term_cursors t terms) in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
@@ -239,6 +252,7 @@ let compact_term t term =
      else
        let blob = St.Blob_store.put t.blobs (Posting_codec.Score_codec.encode arr) in
        Term_dir.set t.dir ~term { Term_dir.blob; meta = 0 });
+    record_long t term ~postings:(Array.length arr);
     (match old_entry with
     | Some { Term_dir.blob; _ } -> St.Blob_store.free t.blobs blob
     | None -> ());
@@ -278,6 +292,7 @@ let rebuild t =
       St.Blob_store.free t.blobs blob;
       Term_dir.remove t.dir ~term)
     !old;
+  (match t.catalog with Some cat -> Planner.Catalog.clear cat | None -> ());
   Hashtbl.iter
     (fun term cell ->
       encode_term t term !cell (fun doc -> Score_table.get_exn t.scores ~doc))

@@ -13,12 +13,16 @@ type t
 
 val build :
   ?env:Svr_storage.Env.t ->
+  ?catalog:Planner.Catalog.t ->
   Config.t ->
   corpus:(int * string) Seq.t ->
   scores:(int -> float) ->
   t
 
 val env : t -> Svr_storage.Env.t
+
+val doc_store : t -> Doc_store.t
+val score_table : t -> Score_table.t
 
 val score_update : t -> doc:int -> float -> unit
 (** Algorithm 1. *)
@@ -30,8 +34,8 @@ val delete : t -> doc:int -> unit
 val update_content : t -> doc:int -> string -> unit
 
 val query :
-  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
-  (int * float) list
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
+  string list -> k:int -> (int * float) list
 (** Algorithm 2 (Theorem 1: exact top-k under the latest scores). *)
 
 val long_list_bytes : t -> int

@@ -1,0 +1,402 @@
+(* Cost-based query planning over the per-term statistics catalog.
+
+   Three layers, all below the method modules so the merge can consult them:
+
+   - [Catalog]: a durable B+-tree of per-term long-list statistics (posting
+     count, block count, max/mean quantized term score) plus two aggregates
+     (a generation stamp and the total posting count). It is maintained by
+     the methods at exactly the sites that rewrite long lists — bulk build,
+     online compaction, offline rebuild — and, for the in-place Score
+     method, at its B+-tree insert/delete sites. Every mutation happens
+     inside an operation the WAL replays, so recovery reproduces the
+     catalog deterministically; the generation stamp is cross-checked
+     against the index header so a catalog restored out of step with its
+     index is refused as [Corrupt] rather than silently misplanning.
+
+   - [plan]: the estimator. Orders the query's terms rarest first (long
+     postings from the catalog + live short-list counts), derives the
+     density ratio between the densest and rarest term, and picks
+     scan-vs-gallop against a per-codec threshold: pef answers in-block
+     seeks from its upper bits (gallop pays almost nothing), varint decodes
+     a block per landing, bitpack decodes so cheaply that galloping must
+     save whole blocks to win. Costs in simulated ms come from the same
+     {!Svr_storage.Stats.cost_model} the benches bill I/O with. A query
+     whose lists cover most of the indexed postings (and whose method would
+     not terminate early) is sent to the forward-index table scan instead.
+
+   - [Exec]: the adaptive executor. The merge reports every emitted group
+     and every gallop seek round; at block-group granularity the executor
+     compares the observed match (scan) or alignment (gallop) rate against
+     the estimate and, past [replan_factor] divergence, flips the strategy
+     and re-seeds the gallop leader from the observed per-term presence —
+     the mid-query repair for correlated corpora the independence estimate
+     cannot see. *)
+
+module St = Svr_storage
+
+(* ---------------------------------------------------------------- *)
+(* statistics catalog *)
+
+type term_stats = {
+  ts_term : string;
+  ts_long : int;  (* postings in the long list *)
+  ts_blocks : int;  (* posting blocks (0 for the Score method's B+-tree) *)
+  ts_short : int;  (* live short-list postings, read at plan time *)
+  ts_max_ts : int;  (* largest quantized term score in the long list *)
+  ts_mean_ts : int;  (* mean quantized term score in the long list *)
+}
+
+module Catalog = struct
+  type t = { tree : St.Btree.t }
+
+  (* data keys are "t<term>"; aggregates live under a distinct prefix so no
+     term can collide with them *)
+  let term_key term = "t" ^ term
+  let gen_key = "g"
+  let total_key = "n"
+
+  let u32s vals =
+    St.Order_key.compose (List.map (fun v b -> St.Order_key.u32 b v) vals)
+
+  let create tree = { tree }
+
+  let find t ~term =
+    match St.Btree.find t.tree (term_key term) with
+    | None -> None
+    | Some v ->
+        Some
+          ( St.Order_key.get_u32 v 0,
+            St.Order_key.get_u32 v 4,
+            St.Order_key.get_u32 v 8,
+            St.Order_key.get_u32 v 12 )
+
+  let total_postings t =
+    match St.Btree.find t.tree total_key with
+    | None -> 0
+    | Some v -> St.Order_key.get_u32 v 0
+
+  let set_total t n = St.Btree.insert t.tree total_key (u32s [ max 0 n ])
+
+  (* absolute per-term facts, written whenever a long list is re-encoded;
+     the total aggregate absorbs the delta so it self-heals with the lists *)
+  let set_long t ~term ~postings ~blocks ~max_ts ~mean_ts =
+    let old = match find t ~term with Some (p, _, _, _) -> p | None -> 0 in
+    (if postings = 0 then ignore (St.Btree.delete t.tree (term_key term))
+     else
+       St.Btree.insert t.tree (term_key term)
+         (u32s [ postings; blocks; max_ts; mean_ts ]));
+    set_total t (total_postings t + postings - old)
+
+  (* incremental +-delta for the Score method, whose long list is a B+-tree
+     updated in place (no blocks, no term scores) *)
+  let bump_long t ~term delta =
+    if delta <> 0 then begin
+      let old = match find t ~term with Some (p, _, _, _) -> p | None -> 0 in
+      let postings = max 0 (old + delta) in
+      (if postings = 0 then ignore (St.Btree.delete t.tree (term_key term))
+       else St.Btree.insert t.tree (term_key term) (u32s [ postings; 0; 0; 0 ]));
+      set_total t (total_postings t + postings - old)
+    end
+
+  let gen t =
+    match St.Btree.find t.tree gen_key with None -> None | Some g -> Some g
+
+  let set_gen t g = St.Btree.insert t.tree gen_key g
+
+  (* offline rebuild starts from scratch: wipe the per-term entries but keep
+     the generation stamp the header was built with *)
+  let clear t =
+    let g = gen t in
+    St.Btree.clear t.tree;
+    (match g with Some g -> set_gen t g | None -> ());
+    set_total t 0
+
+  let stats_for t ~short_count term =
+    let long, blocks, max_ts, mean_ts =
+      match find t ~term with Some e -> e | None -> (0, 0, 0, 0)
+    in
+    { ts_term = term; ts_long = long; ts_blocks = blocks;
+      ts_short = short_count term; ts_max_ts = max_ts; ts_mean_ts = mean_ts }
+end
+
+(* helper for the encode sites: blocks/max/mean of a quantized-ts array *)
+let long_stats_of_ts ~postings ts_list =
+  let blocks = (postings + Posting_cursor.block_size - 1) / Posting_cursor.block_size in
+  let mx = ref 0 and sum = ref 0 and n = ref 0 in
+  List.iter
+    (fun ts ->
+      if ts > !mx then mx := ts;
+      sum := !sum + ts;
+      incr n)
+    ts_list;
+  (blocks, !mx, if !n = 0 then 0 else !sum / !n)
+
+(* ---------------------------------------------------------------- *)
+(* the cost estimator *)
+
+type strategy = Scan | Gallop
+
+let strategy_name = function Scan -> "scan" | Gallop -> "gallop"
+
+(* Per-codec density threshold for galloping, reflecting each codec's
+   seek/decode cost ratio (DESIGN.md section 12): pef's seek_geq is answered
+   from the Elias-Fano upper bits without touching the packed lower words;
+   varint pays one block decode per landing; bitpack decodes blocks so fast
+   that only large skips beat a straight scan. *)
+let gallop_threshold = function
+  | Types.Pef -> 2.0
+  | Types.Varint -> 4.0
+  | Types.Bitpack -> 8.0
+
+(* relative per-block decode weight, for the simulated-ms estimates *)
+let decode_weight = function
+  | Types.Bitpack -> 0.4
+  | Types.Pef -> 0.8
+  | Types.Varint -> 1.0
+
+(* relative per-seek weight (skip-header walk + landing-block work) *)
+let seek_weight = function
+  | Types.Pef -> 0.3
+  | Types.Bitpack -> 0.7
+  | Types.Varint -> 1.0
+
+type plan = {
+  p_terms : term_stats array;  (* rarest first — the display/seed order *)
+  p_leader : int;  (* rarest term's index in the caller's term order *)
+  p_strategy : strategy;
+  p_density : float;  (* densest / rarest posting count *)
+  p_est_rate : float;  (* estimated full-match rate among emitted groups *)
+  p_est_scan_ms : float;
+  p_est_gallop_ms : float;
+  p_table_scan : bool;
+  p_total_postings : int;  (* catalog total at plan time *)
+  p_reason : string;
+}
+
+let term_total s = s.ts_long + s.ts_short
+
+let describe p =
+  Printf.sprintf
+    "%s; terms rarest-first: %s; density %.1f, est match rate %.4f, est scan \
+     %.2f ms vs gallop %.2f ms; %s"
+    (if p.p_table_scan then "table-scan"
+     else "strategy " ^ strategy_name p.p_strategy)
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun s -> Printf.sprintf "%s(%d)" s.ts_term (term_total s))
+             p.p_terms)))
+    p.p_density p.p_est_rate p.p_est_scan_ms p.p_est_gallop_ms p.p_reason
+
+let plan ~(cfg : Config.t) ~(cost : St.Stats.cost_model) ~mode ~early_term
+    ~total_postings (stats : term_stats list) =
+  let by_size = Array.of_list stats in
+  Array.sort
+    (fun a b ->
+      match compare (term_total a) (term_total b) with
+      | 0 -> compare a.ts_term b.ts_term
+      | c -> c)
+    by_size;
+  let n_terms = Array.length by_size in
+  let rarest = if n_terms = 0 then 0 else term_total by_size.(0) in
+  let densest = if n_terms = 0 then 0 else term_total by_size.(n_terms - 1) in
+  let density =
+    if n_terms < 2 then 1.0
+    else float_of_int densest /. float_of_int (max 1 rarest)
+  in
+  (* estimated full-match rate among emitted positions. A scan emits every
+     union position and at most [rarest] of them can be full matches, so
+     rarest / sum-of-list-sizes (the union's upper bound) is the natural
+     estimate: exact for nested lists, at most 2x low for identical ones —
+     well inside any sane [replan_factor]. The same figure serves as the
+     gallop alignment estimate (rounds are driven by the rarest list). *)
+  let sum_totals =
+    Array.fold_left (fun acc s -> acc + term_total s) 0 by_size
+  in
+  let est_rate =
+    if n_terms < 2 then 1.0
+    else float_of_int rarest /. float_of_int (max 1 sum_totals)
+  in
+  let dw = decode_weight cfg.Config.codec and sw = seek_weight cfg.Config.codec in
+  let total_blocks =
+    Array.fold_left (fun acc s -> acc + s.ts_blocks) 0 by_size
+  in
+  (* scan: open every list (one random descent each), decode every block *)
+  let est_scan_ms =
+    (float_of_int n_terms *. cost.St.Stats.rand_read_ms)
+    +. (float_of_int total_blocks *. cost.St.Stats.seq_read_ms *. dw)
+  in
+  (* gallop: per expected aligned position, each term walks skip headers and
+     lands in roughly one block *)
+  let est_matches = est_rate *. float_of_int rarest in
+  let est_gallop_ms =
+    (float_of_int n_terms *. cost.St.Stats.rand_read_ms)
+    +. ((est_matches +. 1.0)
+       *. float_of_int (max 1 n_terms)
+       *. cost.St.Stats.seq_read_ms *. sw *. 2.0)
+  in
+  let gallopable = mode = Types.Conjunctive && n_terms > 1 in
+  let threshold = gallop_threshold cfg.Config.codec in
+  let strategy =
+    if gallopable && density >= threshold then Gallop else Scan
+  in
+  let table_scan =
+    total_postings > 0
+    && (mode = Types.Disjunctive || not early_term)
+    && float_of_int sum_totals
+       >= cfg.Config.table_scan_ratio *. float_of_int total_postings
+  in
+  let reason =
+    if table_scan then
+      Printf.sprintf
+        "lists cover %d of %d indexed postings (>= %.0f%%) with no early \
+         termination: forward-index scan is cheaper"
+        sum_totals total_postings
+        (100.0 *. cfg.Config.table_scan_ratio)
+    else if not gallopable then
+      if n_terms < 2 then "single list: sequential scan"
+      else "disjunctive: every position must be observed, gallop unsound"
+    else if strategy = Gallop then
+      Printf.sprintf "density %.1f >= %s threshold %.1f" density
+        (Types.codec_name cfg.Config.codec)
+        threshold
+    else
+      Printf.sprintf "density %.1f < %s threshold %.1f" density
+        (Types.codec_name cfg.Config.codec)
+        threshold
+  in
+  { p_terms = by_size;
+    p_leader =
+      (if n_terms = 0 then 0
+       else
+         (* index of the rarest term in the caller's original order *)
+         let target = by_size.(0).ts_term in
+         let rec find i = function
+           | [] -> 0
+           | s :: rest -> if s.ts_term = target then i else find (i + 1) rest
+         in
+         find 0 stats);
+    p_strategy = strategy;
+    p_density = density;
+    p_est_rate = est_rate;
+    p_est_scan_ms = est_scan_ms;
+    p_est_gallop_ms = est_gallop_ms;
+    p_table_scan = table_scan;
+    p_total_postings = total_postings;
+    p_reason = reason }
+
+(* ---------------------------------------------------------------- *)
+(* adaptive execution *)
+
+module Exec = struct
+  type t = {
+    n_terms : int;
+    factor : float;
+    check_every : int;
+    est_rate : float;
+    mutable use_gallop : bool;
+    mutable leader : int;
+    (* window since the last check *)
+    mutable groups : int;
+    mutable matches : int;
+    mutable rounds : int;
+    present : int array;  (* per-term presence over the window *)
+    mutable replans : int;
+    mutable frozen : bool;  (* stop re-planning after repeated flips *)
+    mutable log : string list;  (* replan narrative, oldest first *)
+  }
+
+  let max_replans = 4
+
+  let create (cfg : Config.t) (p : plan) ~n_terms =
+    { n_terms;
+      factor = cfg.Config.replan_factor;
+      check_every = cfg.Config.replan_check;
+      est_rate = p.p_est_rate;
+      use_gallop = (p.p_strategy = Gallop);
+      leader = p.p_leader;
+      groups = 0; matches = 0; rounds = 0;
+      present = Array.make (max 1 n_terms) 0;
+      replans = 0; frozen = false; log = [] }
+
+  let gallop e = e.use_gallop
+  let leader e = e.leader
+  let replans e = e.replans
+  let narrative e = List.rev e.log
+
+  let reset_window e =
+    e.groups <- 0;
+    e.matches <- 0;
+    e.rounds <- 0;
+    Array.fill e.present 0 (Array.length e.present) 0
+
+  let flip e ~to_gallop ~observed =
+    e.replans <- e.replans + 1;
+    if e.replans >= max_replans then e.frozen <- true;
+    (* re-seed the gallop leader from the observed per-term presence: the
+       term seen least over the window is the most selective right now *)
+    let ldr = ref e.leader in
+    if to_gallop then begin
+      let best = ref max_int in
+      Array.iteri
+        (fun i c ->
+          if c < !best then begin
+            best := c;
+            ldr := i
+          end)
+        e.present
+    end;
+    let msg =
+      Printf.sprintf
+        "replan #%d at group %s: observed %s rate %.4f vs estimate %.4f \
+         (factor %.1f) -> %s%s"
+        e.replans
+        (string_of_int e.groups)
+        (if e.use_gallop then "gallop-alignment" else "match")
+        observed e.est_rate e.factor
+        (if to_gallop then "gallop" else "scan")
+        (if to_gallop && !ldr <> e.leader then
+           Printf.sprintf ", leader -> term %d" !ldr
+         else "")
+    in
+    e.log <- msg :: e.log;
+    if Svr_obs.Trace.hot () then
+      Svr_obs.Trace.event "replan"
+        ~attrs:
+          [ ("observed", Printf.sprintf "%.4f" observed);
+            ("estimated", Printf.sprintf "%.4f" e.est_rate);
+            ("to", if to_gallop then "gallop" else "scan") ];
+    e.use_gallop <- to_gallop;
+    e.leader <- !ldr;
+    reset_window e
+
+  let check e =
+    if (not e.frozen) && e.groups >= e.check_every then begin
+      if e.use_gallop then begin
+        (* under gallop only aligned positions are emitted, so the signal is
+           how often a seek round aligns: near-certain alignment means the
+           lists are correlated and a plain scan avoids the seek overhead *)
+        let rate = float_of_int e.groups /. float_of_int (max 1 e.rounds) in
+        if rate > e.est_rate *. e.factor && rate > 0.5 then
+          flip e ~to_gallop:false ~observed:rate
+        else reset_window e
+      end
+      else begin
+        let rate = float_of_int e.matches /. float_of_int e.groups in
+        if e.n_terms > 1 && rate < e.est_rate /. e.factor then
+          flip e ~to_gallop:true ~observed:rate
+        else reset_window e
+      end
+    end
+
+  let observe_round e = e.rounds <- e.rounds + 1
+
+  let observe_group e ~(present : bool array) ~n_present =
+    e.groups <- e.groups + 1;
+    if n_present >= e.n_terms then e.matches <- e.matches + 1;
+    let n = min (Array.length present) (Array.length e.present) in
+    for i = 0 to n - 1 do
+      if present.(i) then e.present.(i) <- e.present.(i) + 1
+    done;
+    check e
+end

@@ -1,0 +1,130 @@
+(** Cost-based query planning: per-term statistics, a scan-vs-gallop
+    estimator over the simulated-I/O cost model, and an adaptive executor
+    that re-plans mid-query when the estimate proves wrong.
+
+    The planner sits below the method modules: {!Index} builds a {!plan}
+    from the {!Catalog} when [Config.planner = Auto], wraps it in an
+    {!Exec.t} and hands that to the method's query function, which threads
+    it into {!Merge}. The merge consults the executor before every step
+    (scan or gallop, and which cursor seeds the gallop) and reports what it
+    observed; the executor flips the strategy once observation and estimate
+    diverge past [Config.replan_factor]. *)
+
+type term_stats = {
+  ts_term : string;
+  ts_long : int;  (** postings in the long (on-disk) list *)
+  ts_blocks : int;  (** posting blocks; 0 for the Score method's B+-tree *)
+  ts_short : int;  (** live short-list postings, read at plan time *)
+  ts_max_ts : int;  (** largest quantized term score in the long list *)
+  ts_mean_ts : int;  (** mean quantized term score in the long list *)
+}
+
+(** The per-term statistics catalog: a B+-tree maintained at every site that
+    rewrites a long list (bulk build, compaction, offline rebuild, and the
+    Score method's in-place mutations). All writes happen inside WAL-replayed
+    operations, so recovery reproduces the catalog deterministically. *)
+module Catalog : sig
+  type t
+
+  val create : Svr_storage.Btree.t -> t
+
+  val find : t -> term:string -> (int * int * int * int) option
+  (** [(postings, blocks, max_ts, mean_ts)] for the term's long list. *)
+
+  val set_long :
+    t -> term:string -> postings:int -> blocks:int -> max_ts:int ->
+    mean_ts:int -> unit
+  (** Record the long list's shape after a re-encode. [postings = 0] deletes
+      the entry. The total-postings aggregate absorbs the delta. *)
+
+  val bump_long : t -> term:string -> int -> unit
+  (** Add a (possibly negative) posting-count delta for the Score method,
+      whose long list is updated in place (blocks/score stats stay 0). *)
+
+  val total_postings : t -> int
+  (** Sum of long-list postings over all terms — the table-scan denominator. *)
+
+  val gen : t -> string option
+  val set_gen : t -> string -> unit
+  (** Generation stamp cross-checked against the index header at recovery. *)
+
+  val clear : t -> unit
+  (** Drop every per-term entry and zero the total, keeping the generation
+      stamp — the offline rebuild starts from scratch. *)
+
+  val stats_for : t -> short_count:(string -> int) -> string -> term_stats
+  (** Catalog entry + live short-list count, as the estimator consumes it.
+      Unknown terms yield all-zero statistics. *)
+end
+
+val long_stats_of_ts : postings:int -> int list -> int * int * int
+(** [(blocks, max_ts, mean_ts)] for an encode site, from the posting count
+    and the quantized term scores being written. *)
+
+type strategy = Scan | Gallop
+
+val strategy_name : strategy -> string
+
+val gallop_threshold : Types.codec -> float
+(** Density ratio above which galloping beats scanning for a codec: pef 2.0
+    (upper-bit seeks are ~free), varint 4.0, bitpack 8.0 (decodes are ~free,
+    so only large skips pay off). *)
+
+type plan = {
+  p_terms : term_stats array;  (** rarest first — display and seed order *)
+  p_leader : int;  (** rarest term's index in the caller's term order *)
+  p_strategy : strategy;
+  p_density : float;  (** densest / rarest posting count *)
+  p_est_rate : float;  (** estimated full-match rate among emitted groups *)
+  p_est_scan_ms : float;  (** simulated cost of the scan merge *)
+  p_est_gallop_ms : float;  (** simulated cost of the gallop merge *)
+  p_table_scan : bool;  (** true: bypass the lists, scan the forward index *)
+  p_total_postings : int;  (** catalog total at plan time *)
+  p_reason : string;  (** one-line human-readable justification *)
+}
+
+val plan :
+  cfg:Config.t ->
+  cost:Svr_storage.Stats.cost_model ->
+  mode:Types.mode ->
+  early_term:bool ->
+  total_postings:int ->
+  term_stats list ->
+  plan
+(** Estimate a plan for a query over the given terms (in caller order).
+    [early_term] is whether the executing method stops on a score bound —
+    such methods never fall back to a table scan. *)
+
+val describe : plan -> string
+(** One line for traces and [.explain]. *)
+
+(** Adaptive execution state, shared between {!Index} (which creates it and
+    reads the re-plan tally) and {!Merge} (which consults and feeds it). *)
+module Exec : sig
+  type t
+
+  val create : Config.t -> plan -> n_terms:int -> t
+
+  val gallop : t -> bool
+  (** Current strategy; the merge's caller-level soundness gate still wins
+      (a gallop request is honoured only where partial groups are safe to
+      skip). *)
+
+  val leader : t -> int
+  (** Index (caller term order) of the cursor that seeds the next gallop. *)
+
+  val observe_group : t -> present:bool array -> n_present:int -> unit
+  (** Report an emitted group; every [Config.replan_check] groups the
+      observed match (scan) or alignment (gallop) rate is compared against
+      the estimate and the strategy may flip — recorded as a "replan" trace
+      event with the live numbers. *)
+
+  val observe_round : t -> unit
+  (** Report one gallop seek round (aligned or not). *)
+
+  val replans : t -> int
+  (** Mid-query re-plans so far. *)
+
+  val narrative : t -> string list
+  (** Human-readable description of each re-plan, oldest first. *)
+end

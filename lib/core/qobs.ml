@@ -33,6 +33,29 @@ let query_metrics ~meth ~wall_ms ~sim_ms ~blocks_decoded ~blocks_skipped =
        "svr_query_blocks_skipped")
     (float_of_int blocks_skipped)
 
+(* One planned query: which strategy the cost estimator chose, how many
+   times the adaptive executor overrode it mid-query, and whether the lists
+   were bypassed for a forward-index table scan. Recorded at the Index
+   dispatch layer — the planner itself stays metrics-free so it can sit
+   below the merge without a dependency cycle. *)
+let plan_metrics ~meth ~strategy ~replans ~table_scan =
+  M.inc
+    (M.counter
+       ~labels:[ ("method", meth); ("strategy", strategy) ]
+       ~help:"queries planned from the per-term statistics catalog"
+       "svr_plans_total");
+  if replans > 0 then
+    M.add
+      (M.counter ~labels:[ ("method", meth) ]
+         ~help:"mid-query re-plans by the adaptive executor"
+         "svr_replans_total")
+      replans;
+  if table_scan then
+    M.inc
+      (M.counter ~labels:[ ("method", meth) ]
+         ~help:"planned queries answered by a forward-index table scan"
+         "svr_table_scans_total")
+
 (* One online-compaction step: how much it drained and how long it waited
    for the index write lock (the only stop-the-world component — the drain
    itself runs with queries merely queued, not cancelled). *)

@@ -617,7 +617,10 @@ let create_text_index eng ~idx_name ~tbl ~text_col ~method_name ~score_funcs
   in
   let cfg =
     { Core.Config.default with
-      Core.Config.ts_weight = Option.value ~default:1.0 ts_weight; codec }
+      Core.Config.ts_weight = Option.value ~default:1.0 ts_weight;
+      codec;
+      (* SQL has no gallop knob, so SELECT plans from the stats catalog *)
+      planner = Core.Config.Auto }
   in
   let pk_pos = Schema.pk_position schema in
   let corpus = ref [] in

@@ -1,0 +1,396 @@
+(* Cost-based planner tests (PR 7).
+
+   Covers the statistics catalog (exact per-term counts after build, insert
+   and compaction), the estimator's per-codec scan-vs-gallop thresholds and
+   leader choice, order-independent gallop seeding in the merge (reversed
+   cursor-creation order must produce identical block-skip counts), the
+   planner-equality property — planned execution must return exactly what a
+   manual sequential merge returns, across every method and codec, through
+   updates and compaction — the adversarial corpus on which a mid-query
+   re-plan must fire (asserted via the svr_replans_total counter), the
+   table-scan fallback for non-selective predicates, and configuration
+   validation of the new planner knobs. *)
+
+module Core = Svr_core
+module St = Svr_storage
+module W = Svr_workload
+module M = Svr_obs.Metrics
+module Pc = Core.Posting_cursor
+
+let check = Alcotest.check
+
+(* deterministic PRNG so failures replay *)
+let lcg state =
+  state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+  !state lsr 17
+
+(* ------------------------------------------------------------------ *)
+(* merge-level: gallop seeding is order-independent given weights *)
+
+let blob_fixture () =
+  let stats = St.Stats.create () in
+  let disk = St.Disk.create ~name:"b" stats in
+  (stats, St.Blob_store.create (St.Pager.create ~pool_pages:128 ~stats disk))
+
+let rare_docs = List.init 60 (fun i -> 1 + (i * 199))
+let dense_docs = List.init 12_000 (fun i -> i)
+
+let encode_list store docs =
+  St.Blob_store.put store
+    (Core.Posting_codec.Id_codec.encode ~codec:Core.Types.Varint
+       ~with_ts:false
+       (Array.of_list (List.map (fun d -> (d, 0)) docs)))
+
+let cursor_of store ~term_idx blob =
+  Core.Posting_codec.Id_codec.cursor ~codec:Core.Types.Varint ~with_ts:false
+    ~term_idx
+    (St.Blob_store.reader store blob)
+
+let gallop_drain m =
+  let rec go acc =
+    match Core.Merge.next ~gallop:true m with
+    | None -> List.rev acc
+    | Some g -> go (g.Core.Merge.g_doc :: acc)
+  in
+  go []
+
+(* one gallop intersection of the rare and dense lists; [rare_first] flips
+   the cursor-creation order (and with it the term_idx assignment), which
+   must not matter: the weights name the rare term as the seed either way *)
+let run_order ~rare_first =
+  let stats, store = blob_fixture () in
+  let rb = encode_list store rare_docs in
+  let db = encode_list store dense_docs in
+  let cursors, weights =
+    if rare_first then
+      ( [ cursor_of store ~term_idx:0 rb; cursor_of store ~term_idx:1 db ],
+        [| List.length rare_docs; List.length dense_docs |] )
+    else
+      ( [ cursor_of store ~term_idx:0 db; cursor_of store ~term_idx:1 rb ],
+        [| List.length dense_docs; List.length rare_docs |] )
+  in
+  let m = Core.Merge.create ~n_terms:2 ~weights cursors in
+  let before = St.Stats.snapshot stats in
+  let docs = gallop_drain m in
+  Core.Merge.recycle m;
+  let d = St.Stats.diff ~after:(St.Stats.snapshot stats) ~before in
+  (docs, d.St.Stats.blocks_skipped, d.St.Stats.blocks_decoded)
+
+let test_gallop_seeding () =
+  let docs_a, skips_a, dec_a = run_order ~rare_first:true in
+  let docs_b, skips_b, dec_b = run_order ~rare_first:false in
+  check (Alcotest.list Alcotest.int) "gallop emits the intersection" rare_docs
+    docs_a;
+  check (Alcotest.list Alcotest.int) "reversed order: same groups" docs_a
+    docs_b;
+  check Alcotest.int "reversed order: same block skips" skips_a skips_b;
+  check Alcotest.int "reversed order: same block decodes" dec_a dec_b;
+  if skips_a = 0 then
+    Alcotest.fail "expected the dense list's blocks to be skipped"
+
+(* ------------------------------------------------------------------ *)
+(* estimator: per-codec thresholds and leader choice *)
+
+let mk term n =
+  { Core.Planner.ts_term = term; ts_long = n;
+    ts_blocks = (n + Pc.block_size - 1) / Pc.block_size; ts_short = 0;
+    ts_max_ts = 0; ts_mean_ts = 0 }
+
+let strategy_t =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Core.Planner.strategy_name s))
+    ( = )
+
+let plan_for ?(mode = Core.Types.Conjunctive) codec stats =
+  Core.Planner.plan
+    ~cfg:{ Core.Config.default with Core.Config.codec }
+    ~cost:St.Stats.default_cost ~mode ~early_term:true
+    ~total_postings:1_000_000 stats
+
+let test_strategy_thresholds () =
+  (* density 6: above varint's threshold (4), above pef's (2), below
+     bitpack's (8) — the codec decides *)
+  let stats = [ mk "dense" 6000; mk "rare" 1000 ] in
+  check strategy_t "varint gallops at density 6" Core.Planner.Gallop
+    (plan_for Core.Types.Varint stats).Core.Planner.p_strategy;
+  check strategy_t "pef gallops at density 6" Core.Planner.Gallop
+    (plan_for Core.Types.Pef stats).Core.Planner.p_strategy;
+  check strategy_t "bitpack scans at density 6" Core.Planner.Scan
+    (plan_for Core.Types.Bitpack stats).Core.Planner.p_strategy;
+  (* density 1.2: nobody gallops *)
+  let flat = [ mk "a" 5000; mk "b" 6000 ] in
+  check strategy_t "flat density scans" Core.Planner.Scan
+    (plan_for Core.Types.Pef flat).Core.Planner.p_strategy;
+  (* the leader is the rarest term's index in the caller's order *)
+  let p = plan_for Core.Types.Varint stats in
+  check Alcotest.int "leader is the rare term" 1 p.Core.Planner.p_leader;
+  check Alcotest.string "rarest first in the plan" "rare"
+    p.Core.Planner.p_terms.(0).Core.Planner.ts_term;
+  (* single lists and disjunctive queries never gallop *)
+  check strategy_t "single list scans" Core.Planner.Scan
+    (plan_for Core.Types.Pef [ mk "only" 9000 ]).Core.Planner.p_strategy;
+  check strategy_t "disjunctive scans" Core.Planner.Scan
+    (plan_for ~mode:Core.Types.Disjunctive Core.Types.Pef stats)
+      .Core.Planner.p_strategy
+
+(* ------------------------------------------------------------------ *)
+(* index-level: planned execution equals the manual merge, everywhere *)
+
+let corpus_spec =
+  { W.Corpus_gen.n_docs = 150; vocab_size = 60; terms_per_doc = 15;
+    term_theta = 0.1; score_max = 100_000.0; score_theta = 0.75; seed = 23 }
+
+let base_cfg =
+  { Core.Config.default with
+    Core.Config.analyzer = W.Corpus_gen.analyzer;
+    fancy_size = 8;
+    maint_min_short = 8;
+    maint_ratio = 1e-6;
+    maint_step_terms = 4;
+    maint_step_postings = 64;
+    planner = Core.Config.Auto }
+
+let queries =
+  Array.to_list
+    (W.Query_gen.generate
+       { W.Query_gen.defaults with W.Query_gen.n_queries = 8; seed = 31 }
+       corpus_spec)
+
+let agree_with_manual ~ctx idx =
+  List.iter
+    (fun q ->
+      List.iter
+        (fun mode ->
+          (* no [gallop]: Auto plans the query; an explicit [gallop:false]
+             is the historical sequential merge — results must be equal to
+             the last bit, whatever strategy (or table scan) was chosen *)
+          let planned = Core.Index.query_terms idx ~mode q ~k:10 in
+          let manual = Core.Index.query_terms idx ~mode ~gallop:false q ~k:10 in
+          if planned <> manual then
+            Alcotest.fail
+              (Printf.sprintf "%s (%s, %s): planned diverges from manual on [%s]"
+                 (Core.Index.kind_name (Core.Index.kind idx))
+                 (Core.Types.codec_name (Core.Index.codec idx))
+                 ctx (String.concat " " q)))
+        [ Core.Types.Conjunctive; Core.Types.Disjunctive ])
+    queries
+
+let test_planned_equality () =
+  List.iter
+    (fun codec ->
+      List.iter
+        (fun kind ->
+          let cfg = { base_cfg with Core.Config.codec } in
+          let scores = W.Corpus_gen.scores corpus_spec in
+          let idx =
+            Core.Index.build kind cfg
+              ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+              ~scores:(fun d -> scores.(d))
+          in
+          agree_with_manual ~ctx:"fresh build" idx;
+          let rng = ref 42 in
+          let allow_content = kind <> Core.Index.Chunk_termscore in
+          for _i = 1 to 120 do
+            let doc = lcg rng mod corpus_spec.W.Corpus_gen.n_docs in
+            if allow_content && lcg rng mod 8 = 0 then
+              Core.Index.update_content idx ~doc
+                (String.concat " "
+                   (List.init 10 (fun _ ->
+                        W.Corpus_gen.term (1 + (lcg rng mod 60)))))
+            else
+              Core.Index.score_update idx ~doc
+                (float_of_int (lcg rng mod 100_000) +. 0.5)
+          done;
+          agree_with_manual ~ctx:"after updates" idx;
+          ignore (Core.Index.maintain idx);
+          agree_with_manual ~ctx:"after compaction" idx)
+        Core.Index.all_kinds)
+    Core.Types.all_codecs
+
+(* ------------------------------------------------------------------ *)
+(* adversarial corpus: the estimate is off by 8x, a re-plan must fire *)
+
+(* "med" appears in every 8th document, and every one of those documents
+   also carries "dense" — perfect containment. The independence estimate
+   says 1/8 of gallop rounds align; in truth every round does, so the
+   executor must flip gallop -> scan mid-query. *)
+let adversarial_corpus n =
+  List.to_seq
+    (List.init n (fun d ->
+         (d, if d mod 8 = 0 then "medterm denseterm" else "denseterm")))
+
+let adversarial_cfg =
+  { Core.Config.default with
+    Core.Config.analyzer = Svr_text.Analyzer.raw;
+    planner = Core.Config.Auto;
+    (* the two lists cover the whole corpus; keep the merge in play *)
+    table_scan_ratio = 4.0 }
+
+let test_adversarial_replan () =
+  let n = 1600 in
+  let idx =
+    Core.Index.build Core.Index.Id adversarial_cfg
+      ~corpus:(adversarial_corpus n)
+      ~scores:(fun d -> float_of_int (n - d))
+  in
+  let replans = M.counter ~labels:[ ("method", "ID") ] "svr_replans_total" in
+  let before = M.counter_value replans in
+  let planned = Core.Index.query_terms idx [ "medterm"; "denseterm" ] ~k:10 in
+  let fired = M.counter_value replans - before in
+  if fired < 1 then
+    Alcotest.fail "the adversarial corpus did not trigger a mid-query re-plan";
+  let manual =
+    Core.Index.query_terms idx ~gallop:false [ "medterm"; "denseterm" ] ~k:10
+  in
+  check Alcotest.int "replanned query returns k docs" 10 (List.length planned);
+  if planned <> manual then
+    Alcotest.fail "replanned execution diverges from the manual merge"
+
+(* ------------------------------------------------------------------ *)
+(* table-scan fallback: non-selective predicates bypass the lists *)
+
+let test_table_scan_fallback () =
+  let n = 1600 in
+  let cfg = { adversarial_cfg with Core.Config.table_scan_ratio = 0.5 } in
+  List.iter
+    (fun (kind, meth) ->
+      let idx =
+        Core.Index.build kind cfg
+          ~corpus:(adversarial_corpus n)
+          ~scores:(fun d -> float_of_int (n - d))
+      in
+      let scans = M.counter ~labels:[ ("method", meth) ] "svr_table_scans_total" in
+      List.iter
+        (fun (mode, q) ->
+          let before = M.counter_value scans in
+          let planned = Core.Index.query_terms idx ~mode q ~k:10 in
+          if M.counter_value scans - before < 1 then
+            Alcotest.fail
+              (Printf.sprintf "%s: [%s] should have fallen back to a table scan"
+                 meth (String.concat " " q));
+          let manual = Core.Index.query_terms idx ~mode ~gallop:false q ~k:10 in
+          if planned <> manual then
+            Alcotest.fail
+              (Printf.sprintf "%s: table scan diverges from the merge on [%s]"
+                 meth (String.concat " " q)))
+        [ (Core.Types.Disjunctive, [ "denseterm" ]);
+          (Core.Types.Conjunctive, [ "medterm"; "denseterm" ]) ])
+    [ (Core.Index.Id, "ID"); (Core.Index.Id_termscore, "ID-TermScore") ]
+
+(* ------------------------------------------------------------------ *)
+(* catalog: exact counts after build, and compaction folds inserts in *)
+
+let test_catalog_counts () =
+  let scores = W.Corpus_gen.scores corpus_spec in
+  let idx =
+    Core.Index.build Core.Index.Id base_cfg
+      ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+      ~scores:(fun d -> scores.(d))
+  in
+  let expect = Hashtbl.create 64 in
+  Seq.iter
+    (fun (_doc, text) ->
+      List.iter
+        (fun (term, _tf) ->
+          Hashtbl.replace expect term
+            (1 + Option.value ~default:0 (Hashtbl.find_opt expect term)))
+        (Svr_text.Analyzer.term_frequencies
+           ~config:base_cfg.Core.Config.analyzer text))
+    (W.Corpus_gen.corpus_seq corpus_spec);
+  let cat = Core.Index.catalog idx in
+  let total = ref 0 in
+  Hashtbl.iter
+    (fun term n ->
+      total := !total + n;
+      match Core.Planner.Catalog.find cat ~term with
+      | None -> Alcotest.fail (term ^ ": missing from the catalog")
+      | Some (postings, blocks, _max_ts, _mean_ts) ->
+          check Alcotest.int (term ^ ": postings") n postings;
+          check Alcotest.int (term ^ ": blocks")
+            ((n + Pc.block_size - 1) / Pc.block_size)
+            blocks)
+    expect;
+  check Alcotest.int "total postings" !total
+    (Core.Planner.Catalog.total_postings cat);
+  (* a fresh insert lands in the short lists — the catalog tracks long
+     lists only, so its counts move when compaction folds the posting in *)
+  let t1 = W.Corpus_gen.term 1 and t2 = W.Corpus_gen.term 2 in
+  let long_count term =
+    match Core.Planner.Catalog.find cat ~term with
+    | Some (p, _, _, _) -> p
+    | None -> 0
+  in
+  let before1 = long_count t1 and before2 = long_count t2 in
+  Core.Index.insert idx ~doc:corpus_spec.W.Corpus_gen.n_docs
+    (t1 ^ " " ^ t2) ~score:123.5;
+  check Alcotest.int (t1 ^ ": unchanged before compaction") before1
+    (long_count t1);
+  ignore (Core.Index.maintain idx);
+  check Alcotest.int (t1 ^ ": compaction folded the insert in") (before1 + 1)
+    (long_count t1);
+  check Alcotest.int (t2 ^ ": compaction folded the insert in") (before2 + 1)
+    (long_count t2)
+
+(* the Score method has no encode sites: its catalog moves with the
+   in-place B+-tree mutations themselves *)
+let test_catalog_score_method () =
+  let idx =
+    Core.Index.build Core.Index.Score adversarial_cfg
+      ~corpus:(adversarial_corpus 64)
+      ~scores:(fun d -> float_of_int (64 - d))
+  in
+  let cat = Core.Index.catalog idx in
+  let count term =
+    match Core.Planner.Catalog.find cat ~term with
+    | Some (p, _, _, _) -> p
+    | None -> 0
+  in
+  check Alcotest.int "dense term counted" 64 (count "denseterm");
+  check Alcotest.int "med term counted" 8 (count "medterm");
+  Core.Index.insert idx ~doc:64 "medterm" ~score:1.0;
+  check Alcotest.int "insert bumps immediately" 9 (count "medterm");
+  Core.Index.update_content idx ~doc:64 "denseterm";
+  check Alcotest.int "content update retires the old term" 8 (count "medterm");
+  check Alcotest.int "content update adds the new term" 65 (count "denseterm")
+
+(* ------------------------------------------------------------------ *)
+(* configuration validation of the planner knobs *)
+
+let test_config_validation () =
+  let expect_invalid name cfg =
+    match Core.Config.validate cfg with
+    | () -> Alcotest.fail (name ^ ": accepted an invalid value")
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "replan_factor = 1"
+    { Core.Config.default with Core.Config.replan_factor = 1.0 };
+  expect_invalid "replan_check = 0"
+    { Core.Config.default with Core.Config.replan_check = 0 };
+  expect_invalid "table_scan_ratio = 0"
+    { Core.Config.default with Core.Config.table_scan_ratio = 0.0 };
+  (* Auto itself is valid with the defaults *)
+  Core.Config.validate { Core.Config.default with Core.Config.planner = Core.Config.Auto }
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "svr_planner"
+    [ ( "merge",
+        [ Alcotest.test_case "gallop seeding is order-independent" `Quick
+            test_gallop_seeding ] );
+      ( "estimator",
+        [ Alcotest.test_case "per-codec thresholds and leader" `Quick
+            test_strategy_thresholds;
+          Alcotest.test_case "config validation" `Quick test_config_validation ] );
+      ( "catalog",
+        [ Alcotest.test_case "exact counts, compaction folds inserts" `Quick
+            test_catalog_counts;
+          Alcotest.test_case "score method in-place bumps" `Quick
+            test_catalog_score_method ] );
+      ( "equality",
+        [ Alcotest.test_case "planned = manual, all methods x codecs" `Slow
+            test_planned_equality;
+          Alcotest.test_case "adversarial corpus fires a re-plan" `Quick
+            test_adversarial_replan;
+          Alcotest.test_case "table-scan fallback" `Quick
+            test_table_scan_fallback ] ) ]

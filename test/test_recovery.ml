@@ -439,6 +439,92 @@ let test_codec_header_mismatch () =
   | _ -> Alcotest.fail "recover accepted an unknown codec header"
   | exception St.Storage_error.Error (St.Storage_error.Corrupt, _) -> ()
 
+(* The per-term statistics catalog is mutated only inside WAL-replayed
+   operations (encodes, compaction steps, the Score method's in-place
+   bumps), so recovery must reproduce it deterministically: after a crash,
+   the recovered catalog agrees term-by-term with a clean replica fed the
+   same surviving records. *)
+let catalog_entries idx =
+  let cat = Core.Index.catalog idx in
+  let entries =
+    List.filter_map
+      (fun i ->
+        let term = W.Corpus_gen.term i in
+        Option.map (fun e -> (term, e))
+          (Core.Planner.Catalog.find cat ~term))
+      (List.init corpus_spec.W.Corpus_gen.vocab_size (fun i -> i))
+  in
+  (entries, Core.Planner.Catalog.total_postings cat)
+
+let test_catalog_recover () =
+  List.iter
+    (fun kind ->
+      let rng = ref (17 + Hashtbl.hash (Core.Index.kind_name kind)) in
+      let env =
+        St.Env.create ~table_pool_pages:128 ~blob_pool_pages:32 ~durable:true
+          ~wal_group:4 ()
+      in
+      let scores = W.Corpus_gen.scores corpus_spec in
+      let build e =
+        Core.Index.build ?env:e kind cfg
+          ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+          ~scores:(fun d -> scores.(d))
+      in
+      let idx = build (Some env) in
+      (* logged work past the build checkpoint: inserts and content updates
+         move catalog state directly (Score) or via the compaction steps
+         that re-encode long lists (block methods) *)
+      let next_doc = ref corpus_spec.W.Corpus_gen.n_docs in
+      for _round = 1 to 3 do
+        for _i = 1 to 10 do
+          Core.Index.insert idx ~doc:!next_doc (random_text rng)
+            ~score:(random_score rng);
+          incr next_doc
+        done;
+        Core.Index.update_content idx ~doc:(lcg rng mod 100) (random_text rng);
+        ignore (Core.Index.maintain ~steps:2 idx)
+      done;
+      St.Env.log_flush env;
+      St.Env.crash env;
+      let records = Core.Index.recover idx in
+      (* a clean index fed the surviving records must grow the same catalog *)
+      let replica = build None in
+      List.iter (fun r -> Core.Index.apply_op replica r.St.Wal.op) records;
+      let name what =
+        Printf.sprintf "%s: %s" (Core.Index.kind_name kind) what
+      in
+      let got_entries, got_total = catalog_entries idx in
+      let want_entries, want_total = catalog_entries replica in
+      check Alcotest.int (name "catalog total survives recovery") want_total
+        got_total;
+      if got_entries <> want_entries then
+        Alcotest.fail (name "catalog entries diverge from the clean replica"))
+    [ Core.Index.Id; Core.Index.Score; Core.Index.Chunk ]
+
+(* a header whose statistics generation disagrees with the catalog's own
+   stamp means the catalog is stale relative to the lists — planning from
+   it would be silently wrong, so recovery refuses *)
+let test_stats_gen_mismatch () =
+  let env =
+    St.Env.create ~table_pool_pages:128 ~blob_pool_pages:32 ~durable:true ()
+  in
+  let scores = W.Corpus_gen.scores corpus_spec in
+  let idx =
+    Core.Index.build ~env Core.Index.Id_termscore cfg
+      ~corpus:(W.Corpus_gen.corpus_seq corpus_spec)
+      ~scores:(fun d -> scores.(d))
+  in
+  check Alcotest.(option string) "stats generation stamped at build"
+    (Some "1")
+    (Core.Index.persisted_stats_gen idx);
+  (* desynchronize the header from the catalog, make it the durable truth *)
+  Core.Index.stamp_stats_gen idx "999";
+  St.Env.checkpoint env;
+  St.Env.crash env;
+  match Core.Index.recover idx with
+  | _ -> Alcotest.fail "recover accepted a stale statistics catalog"
+  | exception St.Storage_error.Error (St.Storage_error.Corrupt, _) -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Codec robustness: damaged long-list blobs must fail typed, never hang *)
 
@@ -566,7 +652,11 @@ let () =
           Alcotest.test_case "mixed codecs in one environment" `Quick
             test_mixed_codec_recover;
           Alcotest.test_case "codec header mismatch refused" `Quick
-            test_codec_header_mismatch ] );
+            test_codec_header_mismatch;
+          Alcotest.test_case "stats catalog replayed by recovery" `Quick
+            test_catalog_recover;
+          Alcotest.test_case "stale stats catalog refused" `Quick
+            test_stats_gen_mismatch ] );
       ( "codec fuzz",
         [ qfuzz "id codec damaged input" C_id;
           qfuzz "id+ts codec damaged input" C_id_ts;
