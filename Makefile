@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check check-crash check-maintain check-codec check-planner test bench bench-par bench-recovery bench-obs bench-maintain bench-codec bench-planner clean
+.PHONY: all check check-crash check-maintain check-codec check-planner check-serve test bench bench-par bench-recovery bench-obs bench-maintain bench-codec bench-planner bench-overload clean
 
 all:
 	dune build
@@ -69,6 +69,20 @@ check-planner:
 # workloads (writes BENCH_PR7.json)
 bench-planner:
 	dune exec bench/main.exe -- planner
+
+# overload-safety gate: budget trips and sticky cancellation, degraded-answer
+# bound conservativeness (serial and 4-domain) over every early-terminating
+# method x codec, admission tiers and shed policies, retry billing and the
+# device circuit breaker, server backlog shed + graceful drain, SQL DEADLINE,
+# plus writer preference under cancelled-reader churn
+check-serve:
+	dune exec test/test_serve.exe
+	dune exec test/test_maintain.exe -- test rw_lock
+
+# degradation quality vs block budget, admission overhead, flash-crowd
+# shed/latency sweep (writes BENCH_PR8.json)
+bench-overload:
+	dune exec bench/main.exe -- overload
 
 clean:
 	dune clean

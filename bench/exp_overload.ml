@@ -1,0 +1,326 @@
+(* Overload serving: admission control, deadlines, anytime degraded top-k.
+
+   Three sections, writing BENCH_PR8.json:
+
+   1. Degradation quality (deterministic): serial cold-cache queries with a
+      swept decoded-posting-block budget — the finest-grained budget
+      dimension, so the answer quality curve is smooth where a simulated-ms
+      sweep is quantized to whole 8 ms random reads. Every Partial answer is
+      checked against the unbudgeted oracle — conservativeness (no oracle
+      top-k document outside the results may score above the reported bound)
+      must hold at every budget — and the overlap with the oracle top-k
+      shows how answer quality degrades as the budget shrinks. Two methods:
+      Score-Threshold's bound (thresholdValueOf at the stopped frontier) is
+      finite and tight from the first emitted group, while Chunk's is
+      chunk-granular — a trip inside the top, unbounded chunk reports an
+      infinite bound (sound, but says nothing).
+
+   2. Admission overhead (micro): admit+release pairs timed in a tight loop,
+      reported in ns and as a fraction of the mean query service time. The
+      acceptance bar is <= 2% at nominal load.
+
+   3. Flash crowd: closed-loop client domains against a 2-domain server with
+      a bounded intake queue and a wall deadline counted from submission.
+      Offered load is swept in multiples of the serving capacity; per point
+      we report p50/p99 latency of answered requests, the shed rate, and the
+      outcome mix. The shape to look for: p99 stays bounded near the
+      deadline while the shed rate, not the latency, absorbs the excess
+      load. *)
+
+module Core = Svr_core
+module Serve = Svr_serve
+module St = Svr_storage
+
+let percentile a q =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+  end
+
+(* ---------------------------------------------------------------- *)
+(* section 1: degradation quality under a swept simulated budget *)
+
+type quality_point = {
+  qp_blocks : int;
+  qp_complete : int;
+  qp_degraded : int;
+  qp_timed_out : int;
+  qp_violations : int; (* conservativeness failures — must stay 0 *)
+  qp_mean_overlap : float; (* |partial top-k ∩ oracle top-k| / k, degraded only *)
+  qp_mean_slack : float; (* bound - oracle kth score, degraded only *)
+}
+
+let degradation_quality (p : Profile.t) idx queries ~k =
+  let env = Core.Index.env idx in
+  ignore p;
+  let oracle =
+    Array.map (fun q -> Core.Index.query_terms idx q ~k) queries
+  in
+  let sweep = [ 1; 2; 4; 8; 16; 64 ] in
+  List.map
+    (fun blocks ->
+      let complete = ref 0 and degraded = ref 0 and timed_out = ref 0 in
+      let violations = ref 0 and overlap_sum = ref 0.0 and slack_sum = ref 0.0 in
+      Array.iteri
+        (fun i q ->
+          St.Env.drop_blob_caches env;
+          match Core.Index.query_terms_outcome idx ~budget:(Core.Budget.create ~blocks ()) q ~k with
+          | Core.Index.Complete r ->
+              incr complete;
+              if r <> oracle.(i) then
+                Printf.printf
+                  "  WARNING: un-degraded answer differs from oracle on query %d\n" i
+          | Core.Index.Partial { results; bound; _ } ->
+              incr degraded;
+              let got = List.map fst results in
+              let overlap =
+                List.length
+                  (List.filter (fun (d, _) -> List.mem d got) oracle.(i))
+              in
+              overlap_sum :=
+                !overlap_sum +. (float_of_int overlap /. float_of_int k);
+              List.iter
+                (fun (d, s) ->
+                  if (not (List.mem d got)) && s > bound +. 1e-9 then begin
+                    incr violations;
+                    Printf.printf
+                      "  VIOLATION: query %d doc %d score %.4f > bound %.4f\n"
+                      i d s bound
+                  end)
+                oracle.(i);
+              (match List.rev oracle.(i) with
+              | (_, kth) :: _ -> slack_sum := !slack_sum +. (bound -. kth)
+              | [] -> ())
+          | Core.Index.Timed_out _ -> incr timed_out)
+        queries;
+      let nd = float_of_int (max 1 !degraded) in
+      { qp_blocks = blocks; qp_complete = !complete; qp_degraded = !degraded;
+        qp_timed_out = !timed_out; qp_violations = !violations;
+        qp_mean_overlap = !overlap_sum /. nd;
+        qp_mean_slack = !slack_sum /. nd })
+    sweep
+
+(* ---------------------------------------------------------------- *)
+(* section 2: admission overhead micro *)
+
+let admission_overhead_ns () =
+  let adm = Serve.Admission.create ~bound:64 () in
+  let n = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    (match Serve.Admission.try_admit adm Serve.Admission.Query with
+    | Ok () -> Serve.Admission.release adm
+    | Error _ -> ())
+  done;
+  1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int n
+
+(* ---------------------------------------------------------------- *)
+(* section 3: flash crowd *)
+
+type load_point = {
+  lp_clients : int;
+  lp_offered : float; (* clients / server domains *)
+  lp_total : int;
+  lp_complete : int;
+  lp_degraded : int;
+  lp_timed_out : int;
+  lp_rejected : int;
+  lp_p50_ms : float; (* answered requests only *)
+  lp_p99_ms : float;
+  lp_reject_p99_ms : float; (* shed requests: how fast the no is *)
+}
+
+let flash_crowd idx queries ~k ~domains ~queue_bound ~deadline_ms ~per_client
+    clients_sweep =
+  List.map
+    (fun clients ->
+      Serve.Server.with_server ~domains ~queue_bound idx (fun server ->
+          let run c =
+            let ans = ref [] and rej = ref [] in
+            let counts = Array.make 4 0 in
+            for i = 0 to per_client - 1 do
+              let q = queries.(((c * per_client) + i) mod Array.length queries) in
+              let t0 = Unix.gettimeofday () in
+              let out = Serve.Server.query server ~deadline_ms q ~k in
+              let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+              match out with
+              | Ok (Core.Index.Complete _) ->
+                  ans := ms :: !ans;
+                  counts.(0) <- counts.(0) + 1
+              | Ok (Core.Index.Partial _) ->
+                  ans := ms :: !ans;
+                  counts.(1) <- counts.(1) + 1
+              | Ok (Core.Index.Timed_out _) ->
+                  ans := ms :: !ans;
+                  counts.(2) <- counts.(2) + 1
+              | Error _ ->
+                  rej := ms :: !rej;
+                  counts.(3) <- counts.(3) + 1
+            done;
+            (!ans, !rej, counts)
+          in
+          let doms =
+            Array.init clients (fun c -> Domain.spawn (fun () -> run c))
+          in
+          let parts = Array.map Domain.join doms in
+          let answered =
+            Array.to_list parts
+            |> List.concat_map (fun (ans, _, _) -> ans)
+            |> Array.of_list
+          in
+          let rejected =
+            Array.to_list parts
+            |> List.concat_map (fun (_, rej, _) -> rej)
+            |> Array.of_list
+          in
+          let count j =
+            Array.fold_left (fun acc (_, _, c) -> acc + c.(j)) 0 parts
+          in
+          { lp_clients = clients;
+            lp_offered = float_of_int clients /. float_of_int domains;
+            lp_total = clients * per_client;
+            lp_complete = count 0;
+            lp_degraded = count 1;
+            lp_timed_out = count 2;
+            lp_rejected = count 3;
+            lp_p50_ms = percentile answered 0.50;
+            lp_p99_ms = percentile answered 0.99;
+            lp_reject_p99_ms = percentile rejected 0.99 }))
+    clients_sweep
+
+(* ---------------------------------------------------------------- *)
+
+let run (p : Profile.t) =
+  Harness.banner "Overload serving: admission, deadlines, degraded answers" p;
+  let k = p.Profile.k in
+  let idx, _ = Harness.build p Core.Index.Chunk in
+  let queries = Harness.queries_for p in
+
+  print_endline "-- degradation quality (decoded-block budget sweep) --";
+  Harness.header
+    [ "method   budget  "; "complete"; "degraded"; "timeout"; "violations";
+      "overlap"; "bound slack" ];
+  let quality =
+    List.map
+      (fun kind ->
+        let qidx =
+          if kind = Core.Index.Chunk then idx
+          else fst (Harness.build p kind)
+        in
+        (kind, degradation_quality p qidx queries ~k))
+      [ Core.Index.Score_threshold; Core.Index.Chunk ]
+  in
+  List.iter
+    (fun (kind, points) ->
+      List.iter
+        (fun q ->
+          Harness.row
+            (Printf.sprintf "%-9s %3d blk"
+               (Core.Index.kind_name kind) q.qp_blocks)
+            [ Printf.sprintf "%8d" q.qp_complete;
+              Printf.sprintf "%8d" q.qp_degraded;
+              Printf.sprintf "%7d" q.qp_timed_out;
+              Printf.sprintf "%10d" q.qp_violations;
+              Printf.sprintf "%7.2f" q.qp_mean_overlap;
+              (if Float.is_finite q.qp_mean_slack then
+                 Printf.sprintf "%11.1f" q.qp_mean_slack
+               else "        inf") ])
+        points)
+    quality;
+
+  (* nominal service time: hot-cache serial mean through the plain path *)
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun q -> ignore (Core.Index.query_terms idx q ~k)) queries;
+  let svc_ms =
+    1000.0 *. (Unix.gettimeofday () -. t0) /. float_of_int (Array.length queries)
+  in
+  let adm_ns = admission_overhead_ns () in
+  let adm_pct = 100.0 *. (adm_ns /. 1e6) /. svc_ms in
+  Printf.printf
+    "-- admission overhead: %.0f ns per admit+release = %.3f%% of the %.3f ms \
+     mean service time --\n"
+    adm_ns adm_pct svc_ms;
+
+  print_endline "-- flash crowd (closed-loop clients, wall deadline) --";
+  let domains = 2 and queue_bound = 3 in
+  let deadline_ms = Float.max 1.0 (8.0 *. svc_ms) in
+  let per_client =
+    match p.Profile.name with "quick" -> 40 | _ -> 100
+  in
+  Printf.printf "server: %d domains, queue bound %d, deadline %.1f ms\n"
+    domains queue_bound deadline_ms;
+  Harness.header
+    [ "clients"; "offered"; "answered"; "degraded"; "timeout"; "shed";
+      " p50 ms"; " p99 ms"; "shed p99" ];
+  let points =
+    flash_crowd idx queries ~k ~domains ~queue_bound ~deadline_ms ~per_client
+      [ 1; 2; 4; 8; 16 ]
+  in
+  List.iter
+    (fun lp ->
+      Harness.row
+        (Printf.sprintf "%7d" lp.lp_clients)
+        [ Printf.sprintf "%6.1fx" lp.lp_offered;
+          Printf.sprintf "%8d" (lp.lp_complete + lp.lp_degraded);
+          Printf.sprintf "%8d" lp.lp_degraded;
+          Printf.sprintf "%7d" lp.lp_timed_out;
+          Printf.sprintf "%4d (%2.0f%%)" lp.lp_rejected
+            (100.0 *. float_of_int lp.lp_rejected /. float_of_int lp.lp_total);
+          Printf.sprintf "%7.2f" lp.lp_p50_ms;
+          Printf.sprintf "%7.2f" lp.lp_p99_ms;
+          Printf.sprintf "%8.3f" lp.lp_reject_p99_ms ])
+    points;
+
+  let oc = open_out "BENCH_PR8.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"overload-serving\",\n  \"profile\": %S,\n  \"k\": %d,\n\
+    \  \"method\": \"chunk\",\n\
+    \  \"admission_overhead\": { \"ns_per_admit_release\": %.0f,\n\
+    \    \"pct_of_mean_service_time\": %.3f, \"mean_service_ms\": %.4f },\n\
+    \  \"degradation_quality\": ["
+    p.Profile.name k adm_ns adm_pct svc_ms;
+  List.iteri
+    (fun mi (kind, points) ->
+      Printf.fprintf oc "%s\n    { \"method\": %S, \"points\": ["
+        (if mi = 0 then "" else ",")
+        (Core.Index.kind_name kind);
+      List.iteri
+        (fun i q ->
+          Printf.fprintf oc
+            "%s\n      { \"block_budget\": %d, \"complete\": %d, \"degraded\": %d,\n\
+            \        \"timed_out\": %d, \"bound_violations\": %d,\n\
+            \        \"mean_oracle_overlap\": %.3f, \"mean_bound_slack\": %s }"
+            (if i = 0 then "" else ",")
+            q.qp_blocks q.qp_complete q.qp_degraded q.qp_timed_out
+            q.qp_violations q.qp_mean_overlap
+            (* a trip inside the top chunk leaves its unbounded stop bound —
+               sound but infinite, which JSON lacks *)
+            (if Float.is_finite q.qp_mean_slack then
+               Printf.sprintf "%.2f" q.qp_mean_slack
+             else "\"inf\""))
+        points;
+      Printf.fprintf oc "\n    ] }")
+    quality;
+  Printf.fprintf oc
+    "\n  ],\n  \"flash_crowd\": { \"domains\": %d, \"queue_bound\": %d,\n\
+    \    \"deadline_ms\": %.2f, \"per_client\": %d, \"points\": ["
+    domains queue_bound deadline_ms per_client;
+  List.iteri
+    (fun i lp ->
+      Printf.fprintf oc
+        "%s\n      { \"clients\": %d, \"offered_load\": %.1f, \"total\": %d,\n\
+        \        \"complete\": %d, \"degraded\": %d, \"timed_out\": %d,\n\
+        \        \"rejected\": %d, \"shed_rate\": %.3f,\n\
+        \        \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"reject_p99_ms\": %.3f }"
+        (if i = 0 then "" else ",")
+        lp.lp_clients lp.lp_offered lp.lp_total lp.lp_complete lp.lp_degraded
+        lp.lp_timed_out lp.lp_rejected
+        (float_of_int lp.lp_rejected /. float_of_int lp.lp_total)
+        lp.lp_p50_ms lp.lp_p99_ms lp.lp_reject_p99_ms)
+    points;
+  Printf.fprintf oc "\n    ] }\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_PR8.json"

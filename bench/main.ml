@@ -15,7 +15,8 @@ let experiments =
     ("appendix", Exp_appendix.run); ("conjunctive", Micro.conjunctive);
     ("par", Exp_par.run); ("recovery", Exp_recovery.run);
     ("obs", Exp_obs.run); ("maintain", Exp_maintain.run);
-    ("codec", Exp_codec.run); ("planner", Exp_planner.run) ]
+    ("codec", Exp_codec.run); ("planner", Exp_planner.run);
+    ("overload", Exp_overload.run) ]
 
 let usage () =
   Printf.printf "usage: main.exe [micro | %s]...\n"

@@ -13,27 +13,40 @@ module Obs = Svr_obs
 (* .timer on|off: per-statement wall + simulated-I/O time *)
 let timer = ref false
 
+let print_rows columns rows =
+  let render v = Format.asprintf "%a" R.Value.pp v in
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun w row -> max w (String.length (render row.(i))))
+          (String.length c) rows)
+      columns
+  in
+  let line cells =
+    print_string "| ";
+    List.iter2 (fun cell w -> Printf.printf "%-*s | " w cell) cells widths;
+    print_newline ()
+  in
+  line columns;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter (fun row -> line (List.map render (Array.to_list row))) rows;
+  Printf.printf "(%d row(s))\n%!" (List.length rows)
+
 let print_result = function
   | R.Engine.Done msg -> Printf.printf "ok: %s\n%!" msg
-  | R.Engine.Rows { columns; rows } ->
-      let render v = Format.asprintf "%a" R.Value.pp v in
-      let widths =
-        List.mapi
-          (fun i c ->
-            List.fold_left
-              (fun w row -> max w (String.length (render row.(i))))
-              (String.length c) rows)
-          columns
-      in
-      let line cells =
-        print_string "| ";
-        List.iter2 (fun cell w -> Printf.printf "%-*s | " w cell) cells widths;
-        print_newline ()
-      in
-      line columns;
-      line (List.map (fun w -> String.make w '-') widths);
-      List.iter (fun row -> line (List.map render (Array.to_list row))) rows;
-      Printf.printf "(%d row(s))\n%!" (List.length rows)
+  | R.Engine.Rows { columns; rows } -> print_rows columns rows
+  | R.Engine.Degraded { columns; rows; bound; reason } ->
+      print_rows columns rows;
+      Printf.printf
+        "degraded (%s): scores shown are exact; anything omitted scores <= %.4f\n%!"
+        reason bound
+  | R.Engine.Timed_out { reason } ->
+      Printf.printf "timed out (%s): no partial answer for this method\n%!"
+        reason
+  | R.Engine.Rejected { reason; retry_after_ms } ->
+      Printf.printf "rejected: %s (retry after %.0f ms)\n%!" reason
+        retry_after_ms
 
 let exec_and_print eng sql =
   let env = R.Engine.env eng in
@@ -64,7 +77,8 @@ let meta eng line =
         \    [AGG g] [WEIGHT w] [CODEC varint|bitpack|pef];\n\
         \  INSERT INTO t VALUES (...), (...); UPDATE ... ; DELETE ... ;\n\
         \  SELECT ... FROM t [WHERE ...]\n\
-        \    [ORDER BY score(textcol, 'keywords') DESC] [FETCH TOP k RESULTS ONLY];\n\
+        \    [ORDER BY score(textcol, 'keywords') DESC] [FETCH TOP k RESULTS ONLY]\n\
+        \    [DEADLINE ms];\n\
          methods: id | score | score_threshold | chunk | id_termscore | chunk_termscore\n\
          meta: .help .tables .stats .codecs .maintain .checkpoint .crash\n\
         \       .recover .quit\n\
@@ -79,6 +93,12 @@ let meta eng line =
         \  .metrics [json]      metric registry as Prometheus text (or JSON)\n\
         \  .trace [on|off|sample N]  trace every query / none / every Nth\n\
         \  .timer on|off        per-statement wall + simulated-I/O time\n\
+        \  .deadline [<ms>|off] session deadline for indexed top-k queries;\n\
+        \       DEADLINE on the statement overrides it. Tripped queries answer\n\
+        \       degraded (partial top-k + score bound) or timed out\n\
+        \  .admission [<bound>|off]  gate statements behind an in-flight bound\n\
+        \       (queries < bound, DML < 3b/4, maintenance < b/2); shed\n\
+        \       statements answer rejected with a retry hint\n\
         \  .slow [N]            recent slow traces (threshold .slowms)\n\
         \  .slowms <ms>         slow-query retention threshold\n\
         \  .codecs              posting codec and list sizes of every index\n\
@@ -132,6 +152,46 @@ let meta eng line =
   | ".trace off" ->
       Obs.Trace.set_sampling 0;
       Printf.printf "tracing off\n%!"
+  | ".deadline" ->
+      let ms = R.Engine.deadline eng in
+      if ms > 0.0 then Printf.printf "session deadline: %g ms\n%!" ms
+      else Printf.printf "session deadline: off\n%!"
+  | ".deadline off" ->
+      R.Engine.set_deadline eng 0.0;
+      Printf.printf "session deadline off\n%!"
+  | meta_line
+    when String.length meta_line > 10 && String.sub meta_line 0 10 = ".deadline " -> (
+      match
+        float_of_string_opt
+          (String.trim (String.sub meta_line 10 (String.length meta_line - 10)))
+      with
+      | Some ms when Float.is_finite ms && ms > 0.0 ->
+          R.Engine.set_deadline eng ms;
+          Printf.printf "session deadline: %g ms\n%!" ms
+      | _ -> Printf.printf "usage: .deadline <ms>|off\n%!")
+  | ".admission" -> (
+      match R.Engine.admission eng with
+      | None -> Printf.printf "admission control: off\n%!"
+      | Some adm ->
+          Printf.printf
+            "admission control: bound %d, in flight %d, admitted %d, shed %d\n%!"
+            (Svr_serve.Admission.bound adm)
+            (Svr_serve.Admission.depth adm)
+            (Svr_serve.Admission.admitted adm)
+            (Svr_serve.Admission.shed adm))
+  | ".admission off" ->
+      R.Engine.set_admission eng None;
+      Printf.printf "admission control off\n%!"
+  | meta_line
+    when String.length meta_line > 11 && String.sub meta_line 0 11 = ".admission " -> (
+      match
+        int_of_string_opt
+          (String.trim (String.sub meta_line 11 (String.length meta_line - 11)))
+      with
+      | Some bound when bound >= 1 ->
+          R.Engine.set_admission eng (Some bound);
+          Printf.printf "admission control: bound %d\n%!" bound
+      | _ -> Printf.printf "usage: .admission <bound>|off\n%!")
   | ".timer on" ->
       timer := true;
       Printf.printf "timer on\n%!"

@@ -1,0 +1,139 @@
+(* Per-query execution budgets and cooperative cancellation.
+
+   A budget is created by the caller (engine, serving layer, tests),
+   optionally cancelled from any domain, and armed by [Index.query_terms] on
+   the domain that actually executes the query — arming captures baselines
+   from that domain's private stats cell, so page/block/sim accounting is
+   plain field arithmetic with no atomics on the hot path.
+
+   Polling happens at the two boundaries the merge loop already has:
+   [Merge.next] checks once per emitted group and once per gallop round, and
+   [Posting_cursor] checks on every block refill (via the domain-local
+   current budget, because cursors are built long before any budget exists).
+   A posting block is the smallest unit of decode work, so once a budget
+   trips, at most one in-flight block per cursor completes before the merge
+   observes the trip and stops — cancellation latency is bounded by one
+   block.
+
+   The trip is sticky: the first poll that observes an exhausted dimension
+   records it, and every later poll is a single field read. Methods inspect
+   [tripped] after their scan loop ends and, if they are early-terminating,
+   record the live stop-rule bound via [set_bound]; [Index] turns the
+   (results, trip, bound) triple into a [Complete | Partial | Timed_out]
+   outcome. *)
+
+module St = Svr_storage
+
+type reason = Deadline | Sim_deadline | Pages | Blocks | Cancelled
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Sim_deadline -> "sim-deadline"
+  | Pages -> "page-budget"
+  | Blocks -> "block-budget"
+  | Cancelled -> "cancelled"
+
+type t = {
+  deadline_ms : float; (* wall allowance; infinity = unlimited *)
+  sim_ms : float; (* simulated-clock allowance *)
+  pages : int; (* physical page reads; max_int = unlimited *)
+  blocks : int; (* posting blocks decoded *)
+  started_at_ms : float option; (* queue-wait-inclusive deadlines *)
+  cancelled : bool Atomic.t;
+  mutable armed : bool;
+  mutable t0 : float;
+  mutable cell : St.Stats.counters option;
+  mutable cost : St.Stats.cost_model;
+  mutable base_sim : float;
+  mutable base_pages : int;
+  mutable base_blocks : int;
+  mutable tripped : reason option;
+  mutable bound : float option;
+}
+
+let create ?(deadline_ms = infinity) ?(sim_ms = infinity) ?(pages = max_int)
+    ?(blocks = max_int) ?started_at_ms () =
+  if deadline_ms < 0.0 then invalid_arg "Budget.create: deadline_ms < 0";
+  if sim_ms < 0.0 then invalid_arg "Budget.create: sim_ms < 0";
+  if pages < 0 then invalid_arg "Budget.create: pages < 0";
+  if blocks < 0 then invalid_arg "Budget.create: blocks < 0";
+  { deadline_ms; sim_ms; pages; blocks; started_at_ms;
+    cancelled = Atomic.make false; armed = false; t0 = 0.0; cell = None;
+    cost = St.Stats.default_cost; base_sim = 0.0; base_pages = 0;
+    base_blocks = 0; tripped = None; bound = None }
+
+let unlimited () = create ()
+
+let cancel t = Atomic.set t.cancelled true
+
+let arm t ~cell ~cost =
+  t.armed <- true;
+  t.cell <- Some cell;
+  t.cost <- cost;
+  t.t0 <-
+    (match t.started_at_ms with
+    | Some s -> s
+    | None -> Svr_obs.Clock.now_ms ());
+  t.base_sim <- St.Stats.simulated_ms ~cost cell;
+  t.base_pages <- cell.St.Stats.seq_reads + cell.St.Stats.rand_reads;
+  t.base_blocks <- cell.St.Stats.blocks_decoded
+
+let trip t r =
+  t.tripped <- Some r;
+  Some r
+
+let poll t =
+  match t.tripped with
+  | Some _ as r -> r
+  | None ->
+      if Atomic.get t.cancelled then trip t Cancelled
+      else if not t.armed then None
+      else
+        match t.cell with
+        | None -> None
+        | Some c ->
+            if
+              t.pages <> max_int
+              && c.St.Stats.seq_reads + c.St.Stats.rand_reads - t.base_pages
+                 >= t.pages
+            then trip t Pages
+            else if
+              t.blocks <> max_int
+              && c.St.Stats.blocks_decoded - t.base_blocks >= t.blocks
+            then trip t Blocks
+            else if
+              t.sim_ms < infinity
+              && St.Stats.simulated_ms ~cost:t.cost c -. t.base_sim
+                 >= t.sim_ms
+            then trip t Sim_deadline
+            else if
+              t.deadline_ms < infinity
+              && Svr_obs.Clock.now_ms () -. t.t0 >= t.deadline_ms
+            then trip t Deadline
+            else None
+
+let tripped t = t.tripped
+let is_tripped t = t.tripped <> None
+
+let set_bound t v = t.bound <- Some v
+let bound t = t.bound
+
+(* -- domain-local current budget ------------------------------------------ *)
+
+(* Posting cursors are constructed (and pooled) without any budget in sight;
+   their refill path reaches the query's budget through this domain-local
+   slot, installed by [Index] for the duration of the dispatch. One slot per
+   domain is exactly right: a domain executes one query at a time. *)
+let current_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_current b f =
+  let slot = Domain.DLS.get current_key in
+  let saved = !slot in
+  slot := b;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let poll_current () =
+  match !(Domain.DLS.get current_key) with
+  | Some b -> ignore (poll b)
+  | None -> ()

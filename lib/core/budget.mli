@@ -1,0 +1,83 @@
+(** Per-query execution budgets with cooperative cancellation.
+
+    A [Budget.t] carries up to four limits — wall-clock deadline, simulated
+    (cost-model) deadline, physical page reads, decoded posting blocks — plus
+    a cancellation flag settable from any domain. The query path polls it at
+    merge-step and block-refill boundaries, so once any dimension trips, at
+    most one in-flight posting block is decoded before the scan stops:
+    cancellation latency is bounded by one block.
+
+    The first poll that observes exhaustion records the {!reason} (sticky);
+    early-terminating methods then record their live stop-rule threshold via
+    {!set_bound}, which is what makes a deadline-tripped answer a
+    {e bounded-error} partial top-k rather than a failure (see
+    {!Index.outcome}).
+
+    A budget is single-use: create one per query. Arming (done by [Index]
+    on the executing domain) captures stats baselines from that domain's
+    private cell, so polling is branch-and-compare arithmetic — no atomics
+    except the cancellation flag. *)
+
+type reason =
+  | Deadline  (** wall-clock allowance exhausted *)
+  | Sim_deadline  (** simulated (cost-model + injected-stall) allowance *)
+  | Pages  (** physical page-read budget *)
+  | Blocks  (** decoded posting-block budget *)
+  | Cancelled  (** {!cancel} was called, possibly from another domain *)
+
+val reason_name : reason -> string
+
+type t
+
+val create :
+  ?deadline_ms:float ->
+  ?sim_ms:float ->
+  ?pages:int ->
+  ?blocks:int ->
+  ?started_at_ms:float ->
+  unit ->
+  t
+(** All dimensions unlimited by default. [started_at_ms] (a
+    {!Svr_obs.Clock.now_ms} timestamp) makes the wall deadline count from
+    submission rather than execution start — queue wait then eats into the
+    allowance, which is what a serving deadline means.
+    @raise Invalid_argument on a negative limit. *)
+
+val unlimited : unit -> t
+
+val cancel : t -> unit
+(** Request cooperative cancellation; safe from any domain. The running
+    query observes it at its next poll and stops within one block. *)
+
+val arm : t -> cell:Svr_storage.Stats.counters -> cost:Svr_storage.Stats.cost_model -> unit
+(** Capture baselines from the executing domain's stats cell. Called by
+    [Index.query_terms]; tests drive it directly. *)
+
+val poll : t -> reason option
+(** Check every dimension (cheapest first); record and return the first
+    exhausted one. Once tripped, always returns the same reason without
+    re-checking. *)
+
+val tripped : t -> reason option
+(** The memoized trip, without polling. *)
+
+val is_tripped : t -> bool
+
+val set_bound : t -> float -> unit
+(** Record the method's live stop-rule bound at the moment the scan stopped:
+    an upper bound on the score of any document the scan did not examine. *)
+
+val bound : t -> float option
+
+(** {2 Domain-local current budget}
+
+    Posting cursors are built and pooled with no budget in scope; the block
+    refill path reaches the active query's budget through a domain-local
+    slot instead of a threaded parameter. *)
+
+val with_current : t option -> (unit -> 'a) -> 'a
+(** Install [b] as the calling domain's active budget for the call. *)
+
+val poll_current : unit -> unit
+(** Poll the calling domain's active budget, if any — called by
+    {!Posting_cursor} once per block refill. *)

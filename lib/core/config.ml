@@ -2,6 +2,16 @@ type planner_mode = Auto | Manual
 
 let planner_mode_name = function Auto -> "auto" | Manual -> "manual"
 
+type shed_policy = Depth | Cost
+
+let shed_policy_name = function Depth -> "depth" | Cost -> "cost"
+
+let shed_policy_of_name name =
+  match String.lowercase_ascii name with
+  | "depth" -> Some Depth
+  | "cost" -> Some Cost
+  | _ -> None
+
 type t = {
   analyzer : Svr_text.Analyzer.config;
   threshold_ratio : float;
@@ -19,6 +29,11 @@ type t = {
   replan_factor : float;
   replan_check : int;
   table_scan_ratio : float;
+  deadline_ms : float;
+  queue_bound : int;
+  shed_policy : shed_policy;
+  breaker_threshold : int;
+  retry_budget : int;
 }
 
 let default =
@@ -27,7 +42,9 @@ let default =
     ts_weight = 1.0; maint_ratio = 0.05; maint_min_short = 512;
     maint_step_terms = 32; maint_step_postings = 4096; maint_auto = false;
     codec = Types.Varint; planner = Manual; replan_factor = 4.0;
-    replan_check = 128; table_scan_ratio = 0.5 }
+    replan_check = 128; table_scan_ratio = 0.5; deadline_ms = 0.0;
+    queue_bound = 64; shed_policy = Depth; breaker_threshold = 8;
+    retry_budget = 4 }
 
 let validate t =
   if t.threshold_ratio <= 1.0 then
@@ -45,4 +62,10 @@ let validate t =
     invalid_arg "Config: replan_factor must be > 1";
   if t.replan_check < 1 then invalid_arg "Config: replan_check must be >= 1";
   if not (t.table_scan_ratio > 0.0) then
-    invalid_arg "Config: table_scan_ratio must be > 0"
+    invalid_arg "Config: table_scan_ratio must be > 0";
+  if not (Float.is_finite t.deadline_ms) || t.deadline_ms < 0.0 then
+    invalid_arg "Config: deadline_ms must be finite and >= 0 (0 disables)";
+  if t.queue_bound < 1 then invalid_arg "Config: queue_bound must be >= 1";
+  if t.breaker_threshold < 1 then
+    invalid_arg "Config: breaker_threshold must be >= 1";
+  if t.retry_budget < 1 then invalid_arg "Config: retry_budget must be >= 1"

@@ -6,6 +6,19 @@ type planner_mode =
 
 val planner_mode_name : planner_mode -> string
 
+type shed_policy =
+  | Depth  (** shed on intake-queue depth alone *)
+  | Cost
+      (** additionally shed queries whose estimated cost
+          ({!Index.estimate_cost_ms}) exceeds the remaining deadline once the
+          queue is half full *)
+
+val shed_policy_name : shed_policy -> string
+
+val shed_policy_of_name : string -> shed_policy option
+(** Inverse of {!shed_policy_name} (case-insensitive); [None] for unknown
+    names. *)
+
 type t = {
   analyzer : Svr_text.Analyzer.config;
       (** how text columns are turned into terms *)
@@ -62,6 +75,21 @@ type t = {
       (** fall back to a forward-index table scan when the query's lists
           cover at least this fraction of all indexed postings (and the
           method would not terminate early); must be > 0. *)
+  deadline_ms : float;
+      (** default per-query wall deadline for the serving layer, in ms;
+          0 disables (the historical behaviour). A statement-level
+          [DEADLINE n] overrides it per query. Must be finite and >= 0. *)
+  queue_bound : int;
+      (** serving layer: capacity of the intake queue in front of the query
+          pool — the backpressure point; must be >= 1. *)
+  shed_policy : shed_policy;
+      (** how the admission controller sheds under overload. *)
+  breaker_threshold : int;
+      (** consecutive transient/torn faults on one device before its circuit
+          breaker opens and reads fail fast; must be >= 1. *)
+  retry_budget : int;
+      (** total read attempts (first try + retries) against a faulty device
+          before the error surfaces; must be >= 1. *)
 }
 
 val default : t
@@ -69,7 +97,8 @@ val default : t
     fancy size 64, ts weight 1.0, default analyzer. Maintenance defaults:
     ratio 0.05, min short 512, 32 terms / 4096 postings per step, auto
     off. Codec: [Varint]. Planner: [Manual], replan factor 4 checked every
-    128 groups, table-scan ratio 0.5. *)
+    128 groups, table-scan ratio 0.5. Serving: deadline off, queue bound 64,
+    depth shed policy, breaker threshold 8, retry budget 4. *)
 
 val validate : t -> unit
 (** @raise Invalid_argument when a knob is out of its documented range. *)

@@ -386,34 +386,45 @@ let score_table_of = function
    are taken over the query terms in their original order, so the float
    summation order (and thus the score, to the last ulp) matches the
    list-based execution. *)
-let table_scan_locked t ~mode terms ~k =
+let table_scan_locked t ?budget ~mode terms ~k =
   let docs = doc_store_of t.impl and scores = score_table_of t.impl in
   let with_ts = ranks_with_term_scores t.kind in
   let n_terms = List.length terms in
   let sp = Qobs.Tr.push "table-scan" in
   let heap = Result_heap.create ~k in
   let scanned = ref 0 in
-  Doc_store.iter_docs docs (fun ~doc tfs ->
-      incr scanned;
-      if not (Score_table.is_deleted scores ~doc) then begin
-        let qts = Build_util.quantized_ts tfs in
-        let n_present = ref 0 and ts_sum = ref 0.0 in
-        List.iter
-          (fun term ->
-            match List.assoc_opt term qts with
-            | Some ts ->
-                incr n_present;
-                ts_sum := !ts_sum +. Svr_text.Term_score.dequantize ts
-            | None -> ())
-          terms;
-        if Types.matches mode ~n_present:!n_present ~n_terms then begin
-          let svr = Score_table.get_exn scores ~doc in
-          let score =
-            if with_ts then svr +. (t.cfg.Config.ts_weight *. !ts_sum) else svr
-          in
-          Result_heap.offer heap ~doc ~score
-        end
-      end);
+  let exception Budget_stop in
+  (try
+     Doc_store.iter_docs docs (fun ~doc tfs ->
+         incr scanned;
+         (* docs arrive in id order, so a truncated scan has no score bound:
+            a budget trip here always surfaces as a timeout, never a
+            bounded-error partial answer *)
+         (match budget with
+         | Some b when !scanned land 255 = 0 && Budget.poll b <> None ->
+             raise Budget_stop
+         | _ -> ());
+         if not (Score_table.is_deleted scores ~doc) then begin
+           let qts = Build_util.quantized_ts tfs in
+           let n_present = ref 0 and ts_sum = ref 0.0 in
+           List.iter
+             (fun term ->
+               match List.assoc_opt term qts with
+               | Some ts ->
+                   incr n_present;
+                   ts_sum := !ts_sum +. Svr_text.Term_score.dequantize ts
+               | None -> ())
+             terms;
+           if Types.matches mode ~n_present:!n_present ~n_terms then begin
+             let svr = Score_table.get_exn scores ~doc in
+             let score =
+               if with_ts then svr +. (t.cfg.Config.ts_weight *. !ts_sum)
+               else svr
+             in
+             Result_heap.offer heap ~doc ~score
+           end
+         end)
+   with Budget_stop -> ());
   if Qobs.Tr.is_on sp then
     Qobs.Tr.annotate sp "docs" (string_of_int !scanned);
   Qobs.Tr.pop sp;
@@ -423,7 +434,7 @@ let table_scan_locked t ~mode terms ~k =
    historical manual knob); [None] defers to the configuration — [Manual]
    keeps the historical default (gallop where sound), [Auto] plans the query
    from the statistics catalog. *)
-let query_terms t ?(mode = Types.Conjunctive) ?gallop terms ~k =
+let query_terms t ?(mode = Types.Conjunctive) ?gallop ?budget terms ~k =
   (* (plan, executor) of the planned dispatch, for metrics and the trace *)
   let planned = ref None in
   let dispatch () =
@@ -433,11 +444,13 @@ let query_terms t ?(mode = Types.Conjunctive) ?gallop terms ~k =
     Rw_lock.with_read t.lock (fun () ->
         let manual g =
           match t.impl with
-          | I_id i -> Method_id.query i ~mode ~gallop:g terms ~k
-          | I_score i -> Method_score.query i ~mode ~gallop:g terms ~k
-          | I_st i -> Method_score_threshold.query i ~mode ~gallop:g terms ~k
-          | I_chunk i -> Method_chunk.query i ~mode ~gallop:g terms ~k
-          | I_cts i -> Method_chunk_termscore.query i ~mode ~gallop:g terms ~k
+          | I_id i -> Method_id.query i ~mode ~gallop:g ?budget terms ~k
+          | I_score i -> Method_score.query i ~mode ~gallop:g ?budget terms ~k
+          | I_st i ->
+              Method_score_threshold.query i ~mode ~gallop:g ?budget terms ~k
+          | I_chunk i -> Method_chunk.query i ~mode ~gallop:g ?budget terms ~k
+          | I_cts i ->
+              Method_chunk_termscore.query i ~mode ~gallop:g ?budget terms ~k
         in
         match (gallop, t.cfg.Config.planner) with
         | Some g, _ -> manual g
@@ -457,7 +470,7 @@ let query_terms t ?(mode = Types.Conjunctive) ?gallop terms ~k =
             in
             if p.Planner.p_table_scan then begin
               planned := Some (p, None);
-              table_scan_locked t ~mode terms ~k
+              table_scan_locked t ?budget ~mode terms ~k
             end
             else begin
               let exec =
@@ -467,17 +480,20 @@ let query_terms t ?(mode = Types.Conjunctive) ?gallop terms ~k =
               (* the caller-level gate stays permissive; the executor (and
                  each method's own soundness rules) decide per merge step *)
               match t.impl with
-              | I_id i -> Method_id.query i ~mode ~gallop:true ~exec terms ~k
+              | I_id i ->
+                  Method_id.query i ~mode ~gallop:true ~exec ?budget terms ~k
               | I_score i ->
-                  Method_score.query i ~mode ~gallop:true ~exec terms ~k
+                  Method_score.query i ~mode ~gallop:true ~exec ?budget terms
+                    ~k
               | I_st i ->
-                  Method_score_threshold.query i ~mode ~gallop:true ~exec terms
-                    ~k
+                  Method_score_threshold.query i ~mode ~gallop:true ~exec
+                    ?budget terms ~k
               | I_chunk i ->
-                  Method_chunk.query i ~mode ~gallop:true ~exec terms ~k
-              | I_cts i ->
-                  Method_chunk_termscore.query i ~mode ~gallop:true ~exec terms
+                  Method_chunk.query i ~mode ~gallop:true ~exec ?budget terms
                     ~k
+              | I_cts i ->
+                  Method_chunk_termscore.query i ~mode ~gallop:true ~exec
+                    ?budget terms ~k
             end)
   in
   (* the calling domain's private counter cell: the delta across the dispatch
@@ -494,7 +510,16 @@ let query_terms t ?(mode = Types.Conjunctive) ?gallop terms ~k =
   Fun.protect
     ~finally:(fun () -> Qobs.Tr.pop sp)
     (fun () ->
-      let out = dispatch () in
+      let out =
+        match budget with
+        | None -> dispatch ()
+        | Some b ->
+            (* arm here, on the executing domain: the baselines must come
+               from the same private stats cell the merge will bill, and the
+               domain-local slot is what the block-refill polls read *)
+            Budget.arm b ~cell ~cost:(St.Env.cost (env t));
+            Budget.with_current (Some b) dispatch
+      in
       let d = St.Stats.diff ~after:cell ~before in
       if Qobs.Tr.is_on sp then begin
         Qobs.Tr.annotate sp "blocks" (string_of_int d.St.Stats.blocks_decoded);
@@ -533,6 +558,23 @@ let query_terms t ?(mode = Types.Conjunctive) ?gallop terms ~k =
               | None -> ()
             end
           end);
+      (match budget with
+      | Some b -> (
+          match Budget.tripped b with
+          | None -> ()
+          | Some reason ->
+              Qobs.degraded ~meth:(kind_name t.kind)
+                ~reason:(Budget.reason_name reason)
+                ~partial:(Budget.bound b <> None);
+              if Qobs.Tr.is_on sp then begin
+                Qobs.Tr.annotate sp "degraded" (Budget.reason_name reason);
+                match Budget.bound b with
+                | Some bound ->
+                    Qobs.Tr.annotate sp "bound"
+                      (Printf.sprintf "%.4f" bound)
+                | None -> ()
+              end)
+      | None -> ());
       Qobs.query_metrics ~meth:(kind_name t.kind)
         ~wall_ms:(Svr_obs.Clock.now_ms () -. t0)
         ~sim_ms:(St.Stats.simulated_ms ~cost:(St.Env.cost (env t)) d)
@@ -546,8 +588,58 @@ let analyze t keywords =
     keywords
   |> List.sort_uniq String.compare
 
-let query t ?(mode = Types.Conjunctive) ?gallop keywords ~k =
-  query_terms t ~mode ?gallop (analyze t keywords) ~k
+let query t ?(mode = Types.Conjunctive) ?gallop ?budget keywords ~k =
+  query_terms t ~mode ?gallop ?budget (analyze t keywords) ~k
+
+(* -- degraded-answer outcomes --------------------------------------------- *)
+
+type outcome =
+  | Complete of (int * float) list
+  | Partial of {
+      results : (int * float) list;
+      bound : float;
+      reason : Budget.reason;
+    }
+  | Timed_out of Budget.reason
+
+let outcome_of budget results =
+  match budget with
+  | None -> Complete results
+  | Some b -> (
+      match Budget.tripped b with
+      | None -> Complete results
+      | Some reason -> (
+          match Budget.bound b with
+          | Some bound -> Partial { results; bound; reason }
+          | None -> Timed_out reason))
+
+let query_terms_outcome t ?mode ?gallop ?budget terms ~k =
+  outcome_of budget (query_terms t ?mode ?gallop ?budget terms ~k)
+
+let query_outcome t ?mode ?gallop ?budget keywords ~k =
+  query_terms_outcome t ?mode ?gallop ?budget (analyze t keywords) ~k
+
+(* Admission control's cost probe: estimate the simulated cost of answering
+   [terms] from the statistics catalog without executing anything, using the
+   same estimator the Auto planner runs. The cheaper merge strategy is the
+   estimate — admission sheds on what the query would cost if executed
+   well. *)
+let estimate_cost_ms t terms =
+  if terms = [] then 0.0
+  else
+    Rw_lock.with_read t.lock (fun () ->
+        let stats =
+          List.map
+            (Planner.Catalog.stats_for t.catalog
+               ~short_count:(short_count_of t.impl))
+            terms
+        in
+        let p =
+          Planner.plan ~cfg:t.cfg ~cost:(St.Env.cost (env t))
+            ~mode:Types.Conjunctive ~early_term:(early_terminating t.kind)
+            ~total_postings:(Planner.Catalog.total_postings t.catalog) stats
+        in
+        Float.min p.Planner.p_est_scan_ms p.Planner.p_est_gallop_ms)
 
 let query_terms_batch t ?pool ?(mode = Types.Conjunctive) ?gallop batch ~k =
   let out = Array.make (Array.length batch) [] in

@@ -115,8 +115,8 @@ val recover : t -> Svr_storage.Wal.record list
     own stamp — a stale catalog would silently misplan every query. *)
 
 val query :
-  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
-  (int * float) list
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?budget:Budget.t ->
+  string list -> k:int -> (int * float) list
 (** Top-k documents with their latest combined scores, best first. Keywords
     are analyzed with the index's analyzer configuration, so raw user text is
     accepted.
@@ -130,12 +130,52 @@ val query :
     terms ordered rarest-first for gallop seeding, scan vs gallop chosen by
     estimated cost, a forward-index table scan substituted for
     non-selective predicates, and the strategy re-planned mid-query when
-    observed selectivity diverges from the estimate. *)
+    observed selectivity diverges from the estimate.
+
+    [budget] makes the query cooperatively cancellable: it is armed on the
+    executing domain, polled at merge-step and block-decode boundaries, and
+    once any dimension trips the scan stops within one posting block. The
+    plain result list is whatever the truncated scan accumulated — use
+    {!query_outcome} to learn whether the answer is complete, degraded with
+    a bound, or a timeout. *)
 
 val query_terms :
-  t -> ?mode:Types.mode -> ?gallop:bool -> string list -> k:int ->
-  (int * float) list
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?budget:Budget.t ->
+  string list -> k:int -> (int * float) list
 (** Like {!query} but takes pre-analyzed terms verbatim. *)
+
+(** The serving-layer view of a budgeted query's answer. *)
+type outcome =
+  | Complete of (int * float) list  (** no budget, or it never tripped *)
+  | Partial of {
+      results : (int * float) list;
+      bound : float;
+          (** the method's live stop-rule threshold when the budget tripped:
+              an upper bound on the current combined score of {e any}
+              document the scan did not examine. Every returned score is
+              exact, so a result beating [bound] is provably in the true
+              top-k region above it. *)
+      reason : Budget.reason;
+    }  (** early-terminating method: anytime answer with bounded error *)
+  | Timed_out of Budget.reason
+      (** the scan order carried no score information (ID methods, the
+          planner's table-scan fallback): a truncated scan can say nothing
+          about the documents it skipped, so no degraded answer exists *)
+
+val query_outcome :
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?budget:Budget.t ->
+  string list -> k:int -> outcome
+
+val query_terms_outcome :
+  t -> ?mode:Types.mode -> ?gallop:bool -> ?budget:Budget.t ->
+  string list -> k:int -> outcome
+(** {!query} / {!query_terms} with the budget trip surfaced as an
+    {!outcome}. Without a [budget] the outcome is always [Complete]. *)
+
+val estimate_cost_ms : t -> string list -> float
+(** Estimated simulated cost (ms) of answering the pre-analyzed terms,
+    straight from the statistics catalog — nothing is executed. The
+    admission controller's shed decision reads this. *)
 
 val query_batch :
   t ->

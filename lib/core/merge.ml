@@ -33,9 +33,15 @@ type t = {
      target every other list gallops to. -1 = advance all (legacy). *)
   static_leader : int;
   exec : Planner.Exec.t option;
+  budget : Budget.t option;
+  (* rank of the last emitted group (or the initial frontier before any
+     group): positions are (rank desc, doc asc), so every position the scan
+     has not yet examined has rank <= bound_rank — the raw material of a
+     degraded answer's bound *)
+  mutable bound_rank : float;
 }
 
-let create ~n_terms ?weights ?exec cursors =
+let create ~n_terms ?weights ?exec ?budget cursors =
   let static_leader =
     match weights with
     | None -> -1
@@ -66,7 +72,12 @@ let create ~n_terms ?weights ?exec cursors =
     emitted = false;
     n_groups = 0;
     static_leader;
-    exec }
+    exec;
+    budget;
+    bound_rank =
+      List.fold_left
+        (fun acc c -> if Pc.eof c then acc else Float.max acc (Pc.rank c))
+        neg_infinity cursors }
 
 let leader m =
   match m.exec with Some e -> Planner.Exec.leader e | None -> m.static_leader
@@ -151,6 +162,7 @@ let gather m fr fd =
   done;
   m.emitted <- true;
   m.n_groups <- m.n_groups + 1;
+  m.bound_rank <- fr;
   g
 
 (* sequential scan: the earliest position among all live cursors *)
@@ -176,7 +188,14 @@ let next_scan m =
    presence, never add it), so no conjunctive match is ever skipped; early
    stopping rules are checked per emitted group and therefore only fire later
    than they would under a full scan — never wrongly. *)
+(* a tripped budget ends the scan as if the lists ran dry; [bound_rank]
+   still bounds everything unexamined, so the caller can degrade soundly *)
+let budget_tripped m =
+  match m.budget with Some b -> Budget.poll b <> None | None -> false
+
 let rec next_gallop m =
+  if budget_tripped m then None
+  else begin
   advance_emitted_leader m (leader m);
   (match m.exec with Some e -> Planner.Exec.observe_round e | None -> ());
   Array.fill m.term_live 0 m.n_terms false;
@@ -219,6 +238,7 @@ let rec next_gallop m =
       next_gallop m
     end
   end
+  end
 
 let next ?(gallop = false) m =
   let gallop =
@@ -227,6 +247,7 @@ let next ?(gallop = false) m =
   in
   let r =
     if m.n_terms = 0 then None
+    else if budget_tripped m then None
     else if gallop && m.n_terms > 1 then next_gallop m
     else next_scan m
   in
@@ -237,5 +258,7 @@ let next ?(gallop = false) m =
   r
 
 let groups_emitted m = m.n_groups
+
+let bound_rank m = m.bound_rank
 
 let recycle m = Array.iter Pc.recycle m.cursors

@@ -29,7 +29,7 @@ type t
 
 val create :
   n_terms:int -> ?weights:int array -> ?exec:Planner.Exec.t ->
-  Posting_cursor.t list -> t
+  ?budget:Budget.t -> Posting_cursor.t list -> t
 (** A merger over the given cursors (several cursors may share a
     [term_idx] — e.g. a term's short and long list).
 
@@ -43,7 +43,12 @@ val create :
     consulted before every step (ANDed with the caller's [gallop] soundness
     gate, which still wins), its leader overrides [weights], and the merge
     reports every emitted group and every gallop seek round back to it so it
-    can re-plan mid-query. *)
+    can re-plan mid-query.
+
+    [budget] makes the merge cooperative: it is polled once per {!next} and
+    once per gallop seek round, and a tripped budget ends the scan exactly
+    as list exhaustion would. The caller distinguishes the two by checking
+    {!Budget.tripped} and uses {!bound_rank} to bound what was skipped. *)
 
 val next : ?gallop:bool -> t -> group option
 (** Pull the next group in (rank desc, doc asc) order, or [None] when
@@ -64,6 +69,13 @@ val next : ?gallop:bool -> t -> group option
 val groups_emitted : t -> int
 (** Groups emitted by {!next} so far — the scan depth the observability
     layer records per query. *)
+
+val bound_rank : t -> float
+(** An upper bound on the rank (list score / chunk id) of every position the
+    merge has not yet emitted: the last emitted group's rank, or the highest
+    initial cursor rank before any group ([neg_infinity] over empty lists).
+    Monotone non-increasing — valid at any point, including after a budget
+    trip mid-gallop. *)
 
 val recycle : t -> unit
 (** Hand every cursor's pooled decode buffers back to the current domain's

@@ -14,13 +14,16 @@ let insert = C.insert
 let delete = C.delete
 let update_content = C.update_content
 
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec ?budget terms
+    ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
     let csp = Qobs.Tr.push "cursor-open" in
-    let merger = Merge.create ~n_terms ?exec (C.term_cursors t terms) in
+    let merger =
+      Merge.create ~n_terms ?exec ?budget (C.term_cursors t terms)
+    in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
@@ -52,6 +55,26 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
           end
     in
     scan ();
+    (* degraded answer: every unexamined posting sits at chunk <= the last
+       examined one, and the lazy-movement invariant caps any such
+       document's current score by the chunk stop bound — the same quantity
+       the scan-one-extra-chunk rule compares against the heap *)
+    (match budget with
+    | Some b when Budget.is_tripped b ->
+        let br = Merge.bound_rank merger in
+        let bound =
+          if br = neg_infinity then neg_infinity
+          else Chunk_policy.stop_bound t.C.policy ~cid:(int_of_float br)
+        in
+        Budget.set_bound b bound;
+        if Qobs.Tr.is_on msp then
+          Qobs.Tr.annotate msp "stop"
+            (Printf.sprintf
+               "budget tripped (%s) after %d groups: anytime answer, every \
+                unexamined document is capped by the chunk stop bound %.4f"
+               (Budget.reason_name (Option.get (Budget.tripped b)))
+               (Merge.groups_emitted merger) bound)
+    | _ -> ());
     Qobs.finish_merge ~meth:"Chunk" ~merger ~span:msp ~stop:(fun () ->
         Printf.sprintf
           "exhausted the chunk-ordered list after %d groups: no chunk's stop \

@@ -33,10 +33,12 @@ val update_content : t -> doc:int -> string -> unit
 
 val query :
   t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
-  string list -> k:int -> (int * float) list
+  ?budget:Budget.t -> string list -> k:int -> (int * float) list
 (** Exact top-k under the latest scores (Theorem 1 analogue): scanning stops
     when no document whose postings sit at or below the current chunk can
-    possibly beat the current k-th score. *)
+    possibly beat the current k-th score. On a budget trip the degraded
+    bound is the last examined chunk's stop bound, which caps every
+    unexamined document's current score by the lazy-movement invariant. *)
 
 val long_list_bytes : t -> int
 

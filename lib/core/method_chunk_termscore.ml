@@ -96,7 +96,8 @@ let fancy_cursors t terms =
     (List.mapi (fun i term -> (i, term)) terms)
 
 (* Algorithm 3 *)
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec ?budget terms
+    ~k =
   let base = t.base in
   let n_terms = List.length terms in
   if n_terms = 0 then []
@@ -180,7 +181,12 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
     (* [exec] only drives the chunk-list stage; the fancy merge above never
        gallops, so attaching the executor there would let a re-plan break
        Algorithm 3's parking invariant *)
-    let merger = Merge.create ~n_terms ?exec (C.term_cursors base terms) in
+    (* [budget] likewise: the fancy lists are at most fancy_size postings per
+       term, so stage 1 is already bounded work — only the chunk merge needs
+       to be cancellable *)
+    let merger =
+      Merge.create ~n_terms ?exec ?budget (C.term_cursors base terms)
+    in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let last_pruned_cid = ref max_int in
@@ -223,6 +229,44 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
           end
     in
     scan ();
+    (* degraded answer, Theorem 2 shape: an unexamined document's svr is
+       capped by the chunk stop bound and its term-score part by th_term; a
+       document still parked in the remainList is instead capped by its own
+       combined upper bound (its svr is exact, its unknown term scores are
+       capped per term). The bound is the max of the two families. *)
+    (match budget with
+    | Some b when Budget.is_tripped b ->
+        let br = Merge.bound_rank merger in
+        let chunk_part =
+          if br = neg_infinity then neg_infinity
+          else
+            Chunk_policy.stop_bound base.C.policy ~cid:(int_of_float br)
+            +. th_term
+        in
+        let bound = ref chunk_part in
+        Hashtbl.iter
+          (fun doc known ->
+            let ub =
+              Score_table.get_exn base.C.scores ~doc
+              +. w
+                 *. Array.fold_left ( +. ) 0.0
+                      (Array.mapi
+                         (fun i k ->
+                           match k with Some ts -> ts | None -> ts_bound.(i))
+                         known)
+            in
+            if ub > !bound then bound := ub)
+          remain;
+        Budget.set_bound b !bound;
+        if Qobs.Tr.is_on msp then
+          Qobs.Tr.annotate msp "stop"
+            (Printf.sprintf
+               "budget tripped (%s) after %d groups: anytime answer, bound \
+                %.4f = max(chunk stop bound + term-score cap, remainList \
+                upper bounds over %d parked documents)"
+               (Budget.reason_name (Option.get (Budget.tripped b)))
+               (Merge.groups_emitted merger) !bound (Hashtbl.length remain))
+    | _ -> ());
     Qobs.finish_merge ~meth:"Chunk-TermScore" ~merger ~span:msp
       ~stop:(fun () ->
         Printf.sprintf

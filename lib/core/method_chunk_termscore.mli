@@ -46,10 +46,13 @@ val update_content : t -> doc:int -> string -> unit
 
 val query :
   t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
-  string list -> k:int -> (int * float) list
+  ?budget:Budget.t -> string list -> k:int -> (int * float) list
 (** Top-k by [svr + ts_weight * sum of term scores] (Theorem 2), conjunctive
     or disjunctive. [exec] drives only the chunk-list stage — the fancy merge
-    must observe every position, so it stays a plain scan. *)
+    must observe every position, so it stays a plain scan. [budget] likewise
+    cancels only the chunk-list stage; on a trip the degraded bound is the
+    larger of (last chunk's stop bound + the Theorem 2 term-score bound) and
+    the best remainList upper bound. *)
 
 val long_list_bytes : t -> int
 (** Chunked long lists plus fancy lists. *)

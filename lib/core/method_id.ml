@@ -108,13 +108,18 @@ let term_cursors t terms =
 
 let meth_name t = if t.with_ts then "ID-TermScore" else "ID"
 
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
+(* [budget] makes the scan cancellable but never sets a degraded bound:
+   doc-id order carries no score information, so a truncated ID scan can
+   say nothing about the documents it skipped — the caller must surface a
+   timeout, not a partial answer *)
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec ?budget terms
+    ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
     let csp = Qobs.Tr.push "cursor-open" in
-    let merger = Merge.create ~n_terms ?exec (term_cursors t terms) in
+    let merger = Merge.create ~n_terms ?exec ?budget (term_cursors t terms) in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in

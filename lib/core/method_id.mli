@@ -38,7 +38,10 @@ val update_content : t -> doc:int -> string -> unit
 
 val query :
   t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
-  string list -> k:int -> (int * float) list
+  ?budget:Budget.t -> string list -> k:int -> (int * float) list
+(** [budget] makes the scan cancellable but never records a degraded
+    bound: doc-id order carries no score information, so a truncated scan
+    can say nothing about the documents it skipped. *)
 
 val long_list_bytes : t -> int
 

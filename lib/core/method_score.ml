@@ -116,14 +116,15 @@ let term_cursor t ~term_idx term =
   refill c;
   c
 
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec ?budget terms
+    ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
     let csp = Qobs.Tr.push "cursor-open" in
     let cursors = List.mapi (fun i term -> term_cursor t ~term_idx:i term) terms in
-    let merger = Merge.create ~n_terms ?exec cursors in
+    let merger = Merge.create ~n_terms ?exec ?budget cursors in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
@@ -141,6 +142,22 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
             scan ()
     in
     scan ();
+    (* degraded answer: the list is in exact (score desc) order and scores
+       are maintained in place, so the last examined rank bounds every
+       unexamined candidate's true score directly *)
+    (match budget with
+    | Some b when Budget.is_tripped b ->
+        let bound = Merge.bound_rank merger in
+        Budget.set_bound b bound;
+        if Qobs.Tr.is_on msp then
+          Qobs.Tr.annotate msp "stop"
+            (Printf.sprintf
+               "budget tripped (%s) after %d groups: anytime answer, every \
+                unexamined document scores at most the last examined rank \
+                %.4f"
+               (Budget.reason_name (Option.get (Budget.tripped b)))
+               (Merge.groups_emitted merger) bound)
+    | _ -> ());
     Qobs.finish_merge ~meth:"Score" ~merger ~span:msp ~stop:(fun () ->
         if Result_heap.is_full heap then
           Printf.sprintf

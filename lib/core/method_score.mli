@@ -37,7 +37,10 @@ val update_content : t -> doc:int -> string -> unit
 
 val query :
   t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
-  string list -> k:int -> (int * float) list
+  ?budget:Budget.t -> string list -> k:int -> (int * float) list
+(** On a budget trip the degraded bound is the last examined score: the
+    list is maintained in exact score order, so it caps every unexamined
+    candidate directly. *)
 
 val long_list_bytes : t -> int
 

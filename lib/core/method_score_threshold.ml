@@ -133,13 +133,14 @@ let term_cursors t terms =
        terms)
 
 (* Algorithm 2 *)
-let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
+let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec ?budget terms
+    ~k =
   let n_terms = List.length terms in
   if n_terms = 0 then []
   else begin
     let gallop = gallop && mode = Types.Conjunctive in
     let csp = Qobs.Tr.push "cursor-open" in
-    let merger = Merge.create ~n_terms ?exec (term_cursors t terms) in
+    let merger = Merge.create ~n_terms ?exec ?budget (term_cursors t terms) in
     Qobs.Tr.pop csp;
     let msp = Qobs.Tr.push "merge" in
     let heap = Result_heap.create ~k in
@@ -195,6 +196,23 @@ let query t ?(mode = Types.Conjunctive) ?(gallop = true) ?exec terms ~k =
           end
     in
     scan ();
+    (* degraded answer: every unexamined position has list score <=
+       bound_rank, so (Lemma 1.2) every unexamined document's current score
+       is at most thresholdValueOf(bound_rank) — the live Algorithm 2
+       threshold at the moment the budget stopped the scan *)
+    (match budget with
+    | Some b when Budget.is_tripped b ->
+        let bound = threshold_value_of t (Merge.bound_rank merger) in
+        Budget.set_bound b bound;
+        if Qobs.Tr.is_on msp then
+          Qobs.Tr.annotate msp "stop"
+            (Printf.sprintf
+               "budget tripped (%s) after %d groups: anytime answer, every \
+                unexamined document scores at most thresholdValueOf(listScore) \
+                = %.4f"
+               (Budget.reason_name (Option.get (Budget.tripped b)))
+               (Merge.groups_emitted merger) bound)
+    | _ -> ());
     Qobs.finish_merge ~meth:"Score-Threshold" ~merger ~span:msp
       ~stop:(fun () ->
         Printf.sprintf

@@ -35,8 +35,12 @@ val update_content : t -> doc:int -> string -> unit
 
 val query :
   t -> ?mode:Types.mode -> ?gallop:bool -> ?exec:Planner.Exec.t ->
-  string list -> k:int -> (int * float) list
-(** Algorithm 2 (Theorem 1: exact top-k under the latest scores). *)
+  ?budget:Budget.t -> string list -> k:int -> (int * float) list
+(** Algorithm 2 (Theorem 1: exact top-k under the latest scores). On a
+    budget trip the degraded bound is [thresholdValueOf] of the last
+    examined list score — the same quantity the stopping rule compares
+    against the heap, so it caps every unexamined candidate's current
+    score. *)
 
 val long_list_bytes : t -> int
 

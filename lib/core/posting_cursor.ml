@@ -71,14 +71,25 @@ let rem c = c.rems.(c.i)
 
 let advance c =
   let i = c.i + 1 in
-  if i < c.n then c.i <- i else c.refill c
+  if i < c.n then c.i <- i
+  else begin
+    (* block boundary: the cheapest place to observe a deadline — once the
+       budget trips here, the merge stops before another block is decoded *)
+    Budget.poll_current ();
+    c.refill c
+  end
 
 (* (rank desc, doc asc) scan order: does (r1, d1) come strictly first? *)
 let pos_before r1 d1 r2 d2 = r1 > r2 || (r1 = r2 && d1 < d2)
 
 let at_or_past c r d = c.n = 0 || not (pos_before c.ranks.(c.i) c.docs.(c.i) r d)
 
-let seek_geq c r d = if not (at_or_past c r d) then c.seek c r d
+let seek_geq c r d =
+  if not (at_or_past c r d) then begin
+    (* a seek may skip headers and decode a fresh block: same boundary *)
+    Budget.poll_current ();
+    c.seek c r d
+  end
 
 let rec seek_linear c r d =
   if not (at_or_past c r d) then begin

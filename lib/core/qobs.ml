@@ -56,6 +56,22 @@ let plan_metrics ~meth ~strategy ~replans ~table_scan =
          ~help:"planned queries answered by a forward-index table scan"
          "svr_table_scans_total")
 
+(* One budget-tripped query: which method and which dimension gave out, and
+   whether the answer still carried a degraded bound (partial) or had to be
+   surfaced as a timeout. An overload run reads these to see what actually
+   broke first — wall deadline, page budget, or a caller's cancellation. *)
+let degraded ~meth ~reason ~partial =
+  let labels = [ ("method", meth); ("reason", reason) ] in
+  M.inc
+    (M.counter ~labels
+       ~help:"queries whose execution budget tripped mid-scan"
+       "svr_degraded_total");
+  if not partial then
+    M.inc
+      (M.counter ~labels
+         ~help:"budget-tripped queries with no degraded bound (timed out)"
+         "svr_timed_out_total")
+
 (* One online-compaction step: how much it drained and how long it waited
    for the index write lock (the only stop-the-world component — the drain
    itself runs with queries merely queued, not cancelled). *)

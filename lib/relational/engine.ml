@@ -1,5 +1,6 @@
 module St = Svr_storage
 module Core = Svr_core
+module Serve = Svr_serve
 open Sql_ast
 
 exception Sql_error of string
@@ -9,6 +10,17 @@ let fail fmt = Printf.ksprintf (fun m -> raise (Sql_error m)) fmt
 type result =
   | Done of string
   | Rows of { columns : string list; rows : Value.t array list }
+  | Degraded of {
+      columns : string list;
+      rows : Value.t array list;
+      bound : float;
+      reason : string;
+    }
+  | Timed_out of { reason : string }
+  | Rejected of { reason : string; retry_after_ms : float }
+
+(* how exec_svr_select reports a budget trip up to the statement wrapper *)
+type svr_note = Note_partial of float * string | Note_timeout of string
 
 type func = { params : (string * Value.ty) list; ret : Value.ty; body : expr }
 
@@ -26,6 +38,9 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   funcs : (string, func) Hashtbl.t;
   mutable indexes : text_index list;
+  mutable deadline_ms : float; (* session default; 0 = off *)
+  mutable admission : Serve.Admission.t option;
+  mutable last_svr_note : svr_note option;
 }
 
 let norm = String.lowercase_ascii
@@ -34,9 +49,26 @@ let create ?env () =
   let env =
     match env with Some e -> e | None -> St.Env.create ()
   in
-  { env; tables = Hashtbl.create 16; funcs = Hashtbl.create 16; indexes = [] }
+  { env; tables = Hashtbl.create 16; funcs = Hashtbl.create 16; indexes = [];
+    deadline_ms = Core.Config.default.Core.Config.deadline_ms;
+    admission = None; last_svr_note = None }
 
 let env t = t.env
+
+let set_deadline t ms =
+  if not (Float.is_finite ms) || ms < 0.0 then
+    fail "deadline must be finite and >= 0 ms (0 disables)";
+  t.deadline_ms <- ms
+
+let deadline t = t.deadline_ms
+
+let set_admission t = function
+  | None -> t.admission <- None
+  | Some bound ->
+      if bound < 1 then fail "admission queue bound must be >= 1";
+      t.admission <- Some (Serve.Admission.create ~bound ())
+
+let admission t = t.admission
 
 let table t name = Hashtbl.find_opt t.tables (norm name)
 
@@ -365,7 +397,29 @@ and exec_svr_select eng sel tbl ~alias ~col_name ~keywords ~passes_where =
     | None -> fail "no text index on %s(%s)" (Table.name tbl) col_name
   in
   let k = Option.value ~default:10 sel.fetch_top in
-  let ranked = Core.Index.query ti.ti_index [ keywords ] ~k in
+  (* the statement's DEADLINE overrides the session default; 0 keeps the
+     historical unbudgeted path *)
+  let deadline_ms =
+    match sel.deadline with
+    | Some n -> float_of_int n
+    | None -> eng.deadline_ms
+  in
+  let ranked =
+    if deadline_ms > 0.0 then begin
+      let budget = Core.Budget.create ~deadline_ms () in
+      match Core.Index.query_outcome ti.ti_index ~budget [ keywords ] ~k with
+      | Core.Index.Complete r -> r
+      | Core.Index.Partial { results; bound; reason } ->
+          eng.last_svr_note <-
+            Some (Note_partial (bound, Core.Budget.reason_name reason));
+          results
+      | Core.Index.Timed_out reason ->
+          eng.last_svr_note <-
+            Some (Note_timeout (Core.Budget.reason_name reason));
+          []
+    end
+    else Core.Index.query ti.ti_index [ keywords ] ~k
+  in
   let schema = Table.schema tbl in
   let rows =
     List.filter_map
@@ -759,20 +813,49 @@ let run_statement eng = function
           if keep then pks := row.(Schema.pk_position schema) :: !pks);
       List.iter (fun pk -> ignore (Table.delete table pk)) !pks;
       Done (Printf.sprintf "%d row(s) deleted" (List.length !pks))
-  | Select sel ->
+  | Select sel -> (
+      eng.last_svr_note <- None;
       let columns, rows = exec_select eng sel in
-      Rows { columns; rows }
+      match eng.last_svr_note with
+      | Some (Note_partial (bound, reason)) ->
+          Degraded { columns; rows; bound; reason }
+      | Some (Note_timeout reason) -> Timed_out { reason }
+      | None -> Rows { columns; rows })
+
+(* Statement-level admission classes: queries keep the full queue bound,
+   DML shares the update tier, index maintenance the lowest one. DDL is
+   never gated — shedding a CREATE TABLE protects nothing. *)
+let statement_class = function
+  | Select _ -> Some Serve.Admission.Query
+  | Insert _ | Update _ | Delete _ -> Some Serve.Admission.Update
+  | Maintain_index _ | Rebuild_index _ -> Some Serve.Admission.Maintenance
+  | Create_table _ | Create_function _ | Create_text_index _ -> None
 
 (* The trace root for the whole SQL statement: index-level query/update roots
    opened further down nest under it, so one .explain shows the full path
    from SQL dispatch to the method's stop decision. *)
 let exec_statement eng stmt =
-  let sp = Svr_obs.Trace.root "statement" in
-  if Svr_obs.Trace.is_on sp then
-    Svr_obs.Trace.annotate sp "kind" (statement_kind stmt);
-  Fun.protect
-    ~finally:(fun () -> Svr_obs.Trace.pop sp)
-    (fun () -> run_statement eng stmt)
+  let gate =
+    match (eng.admission, statement_class stmt) with
+    | Some adm, Some cls -> (
+        match Serve.Admission.try_admit adm cls with
+        | Ok () -> Ok (Some adm)
+        | Error r -> Error r)
+    | _ -> Ok None
+  in
+  match gate with
+  | Error { Serve.Admission.reason; retry_after_ms } ->
+      Rejected { reason; retry_after_ms }
+  | Ok held ->
+      Fun.protect
+        ~finally:(fun () -> Option.iter Serve.Admission.release held)
+        (fun () ->
+          let sp = Svr_obs.Trace.root "statement" in
+          if Svr_obs.Trace.is_on sp then
+            Svr_obs.Trace.annotate sp "kind" (statement_kind stmt);
+          Fun.protect
+            ~finally:(fun () -> Svr_obs.Trace.pop sp)
+            (fun () -> run_statement eng stmt))
 
 (* ---------------------------------------------------------------- *)
 (* durability: checkpoint / crash / recover over the whole engine *)
@@ -825,16 +908,33 @@ let exec_one eng src =
 
 let query_rows eng src =
   match exec_one eng src with
-  | Rows { columns; rows } -> (columns, rows)
+  | Rows { columns; rows } | Degraded { columns; rows; _ } -> (columns, rows)
   | Done msg -> fail "expected rows, statement said: %s" msg
+  | Timed_out { reason } -> fail "query timed out (%s)" reason
+  | Rejected { reason; _ } -> fail "query rejected: %s" reason
+
+let pp_rows ppf columns rows =
+  Format.fprintf ppf "%s@." (String.concat " | " columns);
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%s@."
+        (String.concat " | "
+           (List.map (Format.asprintf "%a" Value.pp) (Array.to_list row))))
+    rows
 
 let pp_result ppf = function
   | Done msg -> Format.fprintf ppf "%s" msg
-  | Rows { columns; rows } ->
-      Format.fprintf ppf "%s@." (String.concat " | " columns);
-      List.iter
-        (fun row ->
-          Format.fprintf ppf "%s@."
-            (String.concat " | "
-               (List.map (Format.asprintf "%a" Value.pp) (Array.to_list row))))
-        rows
+  | Rows { columns; rows } -> pp_rows ppf columns rows
+  | Degraded { columns; rows; bound; reason } ->
+      pp_rows ppf columns rows;
+      Format.fprintf ppf
+        "-- degraded answer (%s): returned scores are exact; any document \
+         not shown scores at most %.4f"
+        reason bound
+  | Timed_out { reason } ->
+      Format.fprintf ppf
+        "-- timed out (%s): this method's scan order admits no partial answer"
+        reason
+  | Rejected { reason; retry_after_ms } ->
+      Format.fprintf ppf "-- rejected: %s; retry after %.0f ms" reason
+        retry_after_ms

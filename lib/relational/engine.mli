@@ -17,6 +17,21 @@ type t
 type result =
   | Done of string  (** DDL/DML acknowledgement *)
   | Rows of { columns : string list; rows : Value.t array list }
+  | Degraded of {
+      columns : string list;
+      rows : Value.t array list;
+      bound : float;
+      reason : string;
+    }
+      (** A deadline tripped mid-query but the access method maintains a
+          conservative stop bound: [rows] carry exact scores, and any
+          qualifying document not listed scores at most [bound]. *)
+  | Timed_out of { reason : string }
+      (** A deadline tripped in a method whose scan order admits no partial
+          answer (the ID methods and table scans). No rows are returned. *)
+  | Rejected of { reason : string; retry_after_ms : float }
+      (** Admission control shed the statement before execution; retry after
+          the suggested backoff. *)
 
 exception Sql_error of string
 
@@ -62,6 +77,27 @@ val query_index_batch :
 val svr_score : t -> index:string -> doc:int -> float
 (** Evaluate the index's scoring spec for one document right now (reads the
     base tables; used by tests to cross-check the incremental path). *)
+
+(** {2 Overload safety}
+
+    Session-level deadline and admission control; see {!Svr_serve}. *)
+
+val set_deadline : t -> float -> unit
+(** Default per-statement deadline in wall ms for indexed top-k queries;
+    [0.] (the initial value) disables it. A [DEADLINE n] clause on the
+    statement overrides the session default.
+    @raise Sql_error if negative or not finite. *)
+
+val deadline : t -> float
+
+val set_admission : t -> int option -> unit
+(** [set_admission t (Some bound)] gates every subsequent statement through
+    an admission controller with the given in-flight bound (queries admitted
+    below [bound], DML below [3*bound/4], maintenance below [bound/2]);
+    shed statements answer {!Rejected}. [None] removes the gate.
+    @raise Sql_error if [bound < 1]. *)
+
+val admission : t -> Svr_serve.Admission.t option
 
 (** {2 Durability}
 

@@ -27,6 +27,10 @@ and select = {
   where : expr option;
   order : order_by option;
   fetch_top : int option; (* FETCH TOP n RESULTS ONLY *)
+  deadline : int option;
+      (* DEADLINE n (ms): per-statement wall allowance for an indexed top-k
+         query; overrides the session default. The engine answers Degraded
+         (bounded-error partial top-k) or Timed_out when it trips. *)
 }
 
 and proj = Star | Proj of expr * string option

@@ -51,7 +51,7 @@ let value_ty st =
 let reserved =
   [ "from"; "where"; "order"; "by"; "fetch"; "top"; "results"; "only"; "asc";
     "desc"; "and"; "or"; "not"; "as"; "set"; "values"; "select"; "group";
-    "return"; "returns" ]
+    "return"; "returns"; "deadline" ]
 
 let is_reserved s = List.exists (keyword_eq s) reserved
 
@@ -268,7 +268,16 @@ and parse_select_after_kw st =
     end
     else None
   in
-  { projections; from; where; order; fetch_top }
+  let deadline =
+    if eat_kw st "deadline" then (
+      match next st with
+      | L.Int_lit n when n > 0 -> Some n
+      | t ->
+          fail "expected a positive millisecond count after DEADLINE, found %s"
+            (L.pp_token t))
+    else None
+  in
+  { projections; from; where; order; fetch_top; deadline }
 
 (* -- statements ----------------------------------------------------------- *)
 

@@ -61,9 +61,12 @@ and select ppf sel =
   | Some { ob_expr; descending } ->
       Format.fprintf ppf " ORDER BY %a %s" expr ob_expr
         (if descending then "DESC" else "ASC"));
-  match sel.fetch_top with
+  (match sel.fetch_top with
   | None -> ()
-  | Some n -> Format.fprintf ppf " FETCH TOP %d RESULTS ONLY" n
+  | Some n -> Format.fprintf ppf " FETCH TOP %d RESULTS ONLY" n);
+  match sel.deadline with
+  | None -> ()
+  | Some n -> Format.fprintf ppf " DEADLINE %d" n
 
 let statement ppf = function
   | Create_table { tbl; cols; pk } ->

@@ -1,0 +1,117 @@
+(* Admission control for the serving layer: a bounded count of in-flight
+   requests (queued + executing), shed tiers by priority class, and an
+   optional estimated-cost shed once the queue is half full.
+
+   The controller is deliberately tiny: one mutex around an integer. It is
+   consulted once per request — nanoseconds next to the I/O a query performs
+   — which is what keeps the admission overhead invisible at nominal load. *)
+
+module C = Svr_core
+module M = Svr_obs.Metrics
+
+type cls = Query | Update | Maintenance
+
+let cls_name = function
+  | Query -> "query"
+  | Update -> "update"
+  | Maintenance -> "maintenance"
+
+type rejection = { reason : string; retry_after_ms : float }
+
+type t = {
+  bound : int;
+  policy : C.Config.shed_policy;
+  mu : Mutex.t;
+  mutable depth : int; (* requests admitted and not yet released *)
+  mutable admitted : int;
+  mutable shed : int;
+}
+
+let create ?(policy = C.Config.Depth) ~bound () =
+  if bound < 1 then invalid_arg "Admission.create: bound must be >= 1";
+  { bound; policy; mu = Mutex.create (); depth = 0; admitted = 0; shed = 0 }
+
+let bound t = t.bound
+let policy t = t.policy
+let depth t = Mutex.protect t.mu (fun () -> t.depth)
+let admitted t = Mutex.protect t.mu (fun () -> t.admitted)
+let shed t = Mutex.protect t.mu (fun () -> t.shed)
+
+(* Background work is shed first: maintenance keeps only half the queue's
+   headroom, updates three quarters, queries all of it. Under a flash crowd
+   the queue fills from the bottom tier up, so the capacity that remains
+   serves the traffic the deadline actually covers. *)
+let class_bound t = function
+  | Maintenance -> t.bound / 2
+  | Update -> t.bound * 3 / 4
+  | Query -> t.bound
+
+let record_shed t cls why =
+  t.shed <- t.shed + 1;
+  M.inc
+    (M.counter
+       ~labels:[ ("class", cls_name cls); ("reason", why) ]
+       ~help:"requests shed by admission control" "svr_shed_total")
+
+(* The retry hint assumes the queue drains roughly one request per
+   millisecond of simulated work — coarse, but it scales with the backlog,
+   which is the property a backoff loop needs. *)
+let retry_after t = float_of_int (t.depth + 1)
+
+let try_admit t ?est_cost_ms ?deadline_ms cls =
+  let r =
+    Mutex.protect t.mu (fun () ->
+        let lim = class_bound t cls in
+        if t.depth >= lim then begin
+          record_shed t cls "depth";
+          Error
+            {
+              reason =
+                Printf.sprintf
+                  "overloaded: %d requests in flight, %s class admits at \
+                   most %d of the queue bound %d"
+                  t.depth (cls_name cls) lim t.bound;
+              retry_after_ms = retry_after t;
+            }
+        end
+        else
+          let cost_shed =
+            match (t.policy, est_cost_ms, deadline_ms) with
+            | C.Config.Cost, Some est, Some dl ->
+                (* once half the queue is occupied, a query whose estimated
+                   cost already exceeds its whole deadline would only time
+                   out after consuming a slot — shed it while it is cheap *)
+                2 * t.depth >= t.bound && est > dl
+            | _ -> false
+          in
+          if cost_shed then begin
+            record_shed t cls "cost";
+            Error
+              {
+                reason =
+                  Printf.sprintf
+                    "overloaded: estimated cost %.2f ms exceeds the %.2f ms \
+                     deadline with %d requests already in flight"
+                    (Option.get est_cost_ms) (Option.get deadline_ms) t.depth;
+                retry_after_ms = retry_after t;
+              }
+          end
+          else begin
+            t.depth <- t.depth + 1;
+            t.admitted <- t.admitted + 1;
+            Ok ()
+          end)
+  in
+  (match r with
+  | Ok () ->
+      M.inc
+        (M.counter
+           ~labels:[ ("class", cls_name cls) ]
+           ~help:"requests admitted by admission control" "svr_admitted_total")
+  | Error _ -> ());
+  r
+
+let release t =
+  Mutex.protect t.mu (fun () ->
+      if t.depth <= 0 then invalid_arg "Admission.release: nothing in flight";
+      t.depth <- t.depth - 1)

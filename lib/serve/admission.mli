@@ -1,0 +1,52 @@
+(** Admission control: a bounded in-flight count with priority-class shed
+    tiers and an optional estimated-cost shed.
+
+    [depth] counts requests admitted and not yet {!release}d — queued plus
+    executing. Classes shed from the bottom up: maintenance is admitted only
+    while fewer than half the bound is in flight, updates below three
+    quarters, queries up to the full bound. Under the [Cost] policy
+    ({!Svr_core.Config.shed_policy}) a query whose estimated cost exceeds
+    its whole deadline is additionally shed once the queue is half full.
+
+    A typed {!rejection} carries a human-readable reason and a
+    [retry_after_ms] hint proportional to the backlog. Every decision is a
+    single mutex-protected integer check, so admission overhead is
+    negligible at nominal load. *)
+
+type cls = Query | Update | Maintenance
+
+val cls_name : cls -> string
+
+type rejection = { reason : string; retry_after_ms : float }
+
+type t
+
+val create : ?policy:Svr_core.Config.shed_policy -> bound:int -> unit -> t
+(** [policy] defaults to [Depth]. @raise Invalid_argument if [bound < 1]. *)
+
+val bound : t -> int
+val policy : t -> Svr_core.Config.shed_policy
+
+val try_admit :
+  t ->
+  ?est_cost_ms:float ->
+  ?deadline_ms:float ->
+  cls ->
+  (unit, rejection) result
+(** Admit or shed one request. [est_cost_ms] and [deadline_ms] feed the
+    [Cost] policy and are ignored under [Depth] (or when either is
+    absent). On [Ok ()] the caller owns one in-flight slot and must
+    eventually {!release} it, including on every error path. *)
+
+val release : t -> unit
+(** Return one in-flight slot. @raise Invalid_argument when nothing is in
+    flight — a release without a matching admit is a serving-layer bug. *)
+
+val depth : t -> int
+(** Requests currently in flight (queued + executing). *)
+
+val admitted : t -> int
+(** Total requests ever admitted. *)
+
+val shed : t -> int
+(** Total requests ever shed, all classes and reasons. *)

@@ -1,0 +1,205 @@
+(* The overload-safe serving core: a bounded intake queue in front of a
+   {!Svr_core.Query_pool}, with per-request budgets whose deadlines count
+   from submission (queue wait eats into the allowance).
+
+   One dispatcher domain drains the queue in batches and fans each batch out
+   over the pool's worker domains; submitters block on a per-request ticket.
+   Admission control caps queued + executing requests, so a flash crowd is
+   shed at the cheap end (a mutex-protected integer) instead of piling work
+   onto the merge loops. *)
+
+module C = Svr_core
+module M = Svr_obs.Metrics
+
+type state =
+  | Pending
+  | Done of C.Index.outcome
+  | Failed of exn
+
+type ticket = {
+  tmu : Mutex.t;
+  tcv : Condition.t;
+  mutable state : state;
+}
+
+type request = {
+  terms : string list;
+  k : int;
+  mode : C.Types.mode;
+  budget : C.Budget.t;
+  ticket : ticket;
+  submitted_at : float;
+}
+
+type t = {
+  index : C.Index.t;
+  pool : C.Query_pool.t;
+  adm : Admission.t;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : request Queue.t;
+  batch_max : int;
+  mutable stop : bool;
+  mutable dispatcher : unit Domain.t option;
+}
+
+let admission t = t.adm
+let index t = t.index
+
+let fulfill tk st =
+  Mutex.protect tk.tmu (fun () ->
+      tk.state <- st;
+      Condition.broadcast tk.tcv)
+
+let queue_wait_hist =
+  lazy
+    (M.histogram ~base:0.001
+       ~help:"time a request spent in the intake queue (ms)"
+       "svr_server_queue_wait_ms")
+
+let serve_one t r =
+  M.observe (Lazy.force queue_wait_hist)
+    (Svr_obs.Clock.now_ms () -. r.submitted_at);
+  let st =
+    try
+      Done
+        (C.Index.query_terms_outcome t.index ~mode:r.mode ~budget:r.budget
+           r.terms ~k:r.k)
+    with e -> Failed e
+  in
+  Admission.release t.adm;
+  fulfill r.ticket st
+
+let rec dispatch_loop t =
+  let batch =
+    Mutex.protect t.mu (fun () ->
+        while Queue.is_empty t.queue && not t.stop do
+          Condition.wait t.nonempty t.mu
+        done;
+        let n = min (Queue.length t.queue) t.batch_max in
+        Array.init n (fun _ -> Queue.pop t.queue))
+  in
+  if Array.length batch > 0 then begin
+    (* the dispatcher participates in the map as one of the pool's domains *)
+    C.Query_pool.map t.pool ~f:(fun i -> serve_one t batch.(i))
+      (Array.length batch);
+    dispatch_loop t
+  end
+(* stop && empty: shutdown drains the queue before the dispatcher exits, so
+   every admitted request is answered *)
+
+let create ?(domains = 1) ?(queue_bound = C.Config.default.C.Config.queue_bound)
+    ?(policy = C.Config.default.C.Config.shed_policy) ?batch_max index =
+  let pool = C.Query_pool.create ~domains in
+  let batch_max =
+    match batch_max with
+    | Some b ->
+        if b < 1 then invalid_arg "Server.create: batch_max must be >= 1";
+        b
+    | None -> 4 * domains
+  in
+  let t =
+    {
+      index;
+      pool;
+      adm = Admission.create ~policy ~bound:queue_bound ();
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      batch_max;
+      stop = false;
+      dispatcher = None;
+    }
+  in
+  t.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop t));
+  t
+
+let shutting_down =
+  { Admission.reason = "server is shutting down"; retry_after_ms = infinity }
+
+let submit t ?(mode = C.Types.Conjunctive) ?(cls = Admission.Query)
+    ?deadline_ms ?sim_ms ?pages ?blocks terms ~k =
+  (* the cost probe reads the statistics catalog only when the policy will
+     actually use it, keeping the nominal-load admission cost at one mutex
+     round trip *)
+  let est_cost_ms =
+    match (Admission.policy t.adm, sim_ms) with
+    | C.Config.Cost, Some _ -> Some (C.Index.estimate_cost_ms t.index terms)
+    | _ -> None
+  in
+  (* the Cost policy's allowance is the simulated deadline: both sides of
+     the comparison then live on the deterministic cost-model clock *)
+  match Admission.try_admit t.adm ?est_cost_ms ?deadline_ms:sim_ms cls with
+  | Error r -> Error r
+  | Ok () -> (
+      let budget =
+        C.Budget.create ?deadline_ms ?sim_ms ?pages ?blocks
+          ~started_at_ms:(Svr_obs.Clock.now_ms ()) ()
+      in
+      let ticket =
+        { tmu = Mutex.create (); tcv = Condition.create (); state = Pending }
+      in
+      let r =
+        {
+          terms;
+          k;
+          mode;
+          budget;
+          ticket;
+          submitted_at = Svr_obs.Clock.now_ms ();
+        }
+      in
+      match
+        Mutex.protect t.mu (fun () ->
+            if t.stop then `Stopped
+            else begin
+              Queue.push r t.queue;
+              Condition.signal t.nonempty;
+              `Queued
+            end)
+      with
+      | `Queued -> Ok ticket
+      | `Stopped ->
+          Admission.release t.adm;
+          Error shutting_down)
+
+let await tk =
+  let st =
+    Mutex.protect tk.tmu (fun () ->
+        let rec wait () =
+          match tk.state with
+          | Pending ->
+              Condition.wait tk.tcv tk.tmu;
+              wait ()
+          | st -> st
+        in
+        wait ())
+  in
+  match st with
+  | Pending -> assert false
+  | Done o -> o
+  | Failed e -> raise e
+
+let query t ?mode ?deadline_ms ?sim_ms ?pages ?blocks terms ~k =
+  match submit t ?mode ?deadline_ms ?sim_ms ?pages ?blocks terms ~k with
+  | Error r -> Error r
+  | Ok tk -> Ok (await tk)
+
+let shutdown t =
+  let d =
+    Mutex.protect t.mu (fun () ->
+        if t.stop then None
+        else begin
+          t.stop <- true;
+          Condition.broadcast t.nonempty;
+          let d = t.dispatcher in
+          t.dispatcher <- None;
+          d
+        end)
+  in
+  (match d with Some d -> Domain.join d | None -> ());
+  C.Query_pool.shutdown t.pool
+
+let with_server ?domains ?queue_bound ?policy ?batch_max index f =
+  let t = create ?domains ?queue_bound ?policy ?batch_max index in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,79 @@
+(** The overload-safe serving front: a bounded intake queue, admission
+    control, per-request budgets, and a dispatcher domain fanning batches
+    out over a {!Svr_core.Query_pool}.
+
+    Deadlines count from submission ([Budget]'s [started_at_ms]), so queue
+    wait eats into the allowance — a request that waits too long comes back
+    [Partial] or [Timed_out] rather than consuming execution capacity it can
+    no longer use. Shed requests never touch the pool at all: admission is
+    one mutex-protected integer check.
+
+    Shutdown is graceful: every admitted request is answered before the
+    dispatcher exits. *)
+
+type t
+
+type ticket
+(** One submitted request; redeem with {!await} (blocks until served). *)
+
+val create :
+  ?domains:int ->
+  ?queue_bound:int ->
+  ?policy:Svr_core.Config.shed_policy ->
+  ?batch_max:int ->
+  Svr_core.Index.t ->
+  t
+(** [domains] (default 1) sizes the worker pool; [queue_bound] and [policy]
+    default from {!Svr_core.Config.default}; [batch_max] (default
+    [4 * domains]) caps how many queued requests one dispatcher round hands
+    to the pool. The served index must not receive concurrent updates while
+    batches run (the {!Svr_core.Query_pool} snapshot contract). *)
+
+val index : t -> Svr_core.Index.t
+val admission : t -> Admission.t
+
+val submit :
+  t ->
+  ?mode:Svr_core.Types.mode ->
+  ?cls:Admission.cls ->
+  ?deadline_ms:float ->
+  ?sim_ms:float ->
+  ?pages:int ->
+  ?blocks:int ->
+  string list ->
+  k:int ->
+  (ticket, Admission.rejection) result
+(** Admit (or shed) and enqueue one pre-analyzed top-k query. The budget
+    limits mirror {!Svr_core.Budget.create}; [sim_ms] doubles as the
+    allowance the [Cost] shed policy compares the estimated cost against,
+    keeping the shed decision on the deterministic cost-model clock. *)
+
+val await : ticket -> Svr_core.Index.outcome
+(** Block until the request is served. Re-raises the query's exception if
+    it failed. *)
+
+val query :
+  t ->
+  ?mode:Svr_core.Types.mode ->
+  ?deadline_ms:float ->
+  ?sim_ms:float ->
+  ?pages:int ->
+  ?blocks:int ->
+  string list ->
+  k:int ->
+  (Svr_core.Index.outcome, Admission.rejection) result
+(** [submit] then [await]. *)
+
+val shutdown : t -> unit
+(** Stop intake, answer everything already admitted, join the dispatcher
+    and the pool. Idempotent. *)
+
+val with_server :
+  ?domains:int ->
+  ?queue_bound:int ->
+  ?policy:Svr_core.Config.shed_policy ->
+  ?batch_max:int ->
+  Svr_core.Index.t ->
+  (t -> 'a) ->
+  'a
+(** [create], run, then {!shutdown} (also on exception). *)

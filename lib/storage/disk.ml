@@ -32,6 +32,7 @@ type t = {
   crcs : int array Atomic.t; (* sidecar: crcs.(i) = CRC32 of pages.(i) *)
   zero_crc : int; (* checksum of an all-zero page, set at alloc *)
   fault : Fault.t option;
+  breaker : Retry.breaker option;
   journal : (int, Bytes.t * int) Hashtbl.t; (* before images since mark_stable *)
   journaled : bool;
   mutable stable_n_pages : int;
@@ -40,15 +41,16 @@ type t = {
 let page_size t = t.page_size
 let name t = t.name
 let stats t = t.stats
+let breaker t = t.breaker
 
-let create ?(page_size = 4096) ?fault ?(journal = false) ~name stats =
+let create ?(page_size = 4096) ?fault ?breaker ?(journal = false) ~name stats =
   { name; page_size; stats;
     pages = Atomic.make (Array.make 64 Bytes.empty);
     n_pages = Atomic.make 0; last_read = Atomic.make (-2);
     last_write = Atomic.make (-2);
     crcs = Atomic.make (Array.make 64 0);
     zero_crc = Crc32.bytes (Bytes.make page_size '\000');
-    fault; journal = Hashtbl.create 32; journaled = journal;
+    fault; breaker; journal = Hashtbl.create 32; journaled = journal;
     stable_n_pages = 0 }
 
 let alloc t =
@@ -100,6 +102,11 @@ let read ?(hint = `Auto) t page_no =
   let c = Stats.cell t.stats in
   if sequential then c.Stats.seq_reads <- c.Stats.seq_reads + 1
   else c.Stats.rand_reads <- c.Stats.rand_reads + 1;
+  (match t.fault with
+  | Some f ->
+      let stall = Fault.read_stall f in
+      if stall > 0 then c.Stats.stall_ms <- c.Stats.stall_ms + stall
+  | None -> ());
   Bytes.copy (Atomic.get t.pages).(page_no)
 
 let write t page_no bytes =
@@ -117,6 +124,13 @@ let write t page_no bytes =
       ((Atomic.get t.pages).(page_no), (Atomic.get t.crcs).(page_no));
   let c = Stats.cell t.stats in
   c.Stats.page_writes <- c.Stats.page_writes + 1;
+  (match t.fault with
+  | Some f ->
+      (* a stalled WAL append is a stalled sequential write on the wal
+         device; billed to the simulated clock like any other device time *)
+      let stall = Fault.write_stall f in
+      if stall > 0 then c.Stats.stall_ms <- c.Stats.stall_ms + stall
+  | None -> ());
   (* same-or-next position: appends and tail-page rewrites ride the head,
      so the WAL's group-commit flushes bill at sequential cost *)
   let last = Atomic.exchange t.last_write page_no in
@@ -143,45 +157,34 @@ let corrupt_page t page_no ~bit =
 
 (* -- verified reads ------------------------------------------------------- *)
 
-let backoff spins = for _ = 1 to spins do Domain.cpu_relax () done
+(* one attempt: fault decision, then the physical read + CRC check. The
+   retry loop, its backoff, the retry billing and the circuit breaker all
+   live in [Retry] now *)
+let read_attempt ~hint t page_no () =
+  (match t.fault with
+  | Some f when Fault.should_fail_read f ->
+      Storage_error.error Io_transient
+        "Disk.read_verified: transient fault on page %d of %s" page_no t.name
+  | _ -> ());
+  let bytes = read ~hint t page_no in
+  let expect = (Atomic.get t.crcs).(page_no) in
+  if Crc32.bytes bytes <> expect then begin
+    let c = Stats.cell t.stats in
+    c.Stats.checksum_failures <- c.Stats.checksum_failures + 1;
+    if Svr_obs.Trace.hot () then
+      Svr_obs.Trace.event "checksum-failure"
+        ~attrs:[ ("device", t.name); ("page", string_of_int page_no) ];
+    Storage_error.error Corrupt
+      "Disk.read_verified: checksum mismatch on page %d of %s" page_no t.name
+  end;
+  bytes
 
-let read_verified ?(hint = `Auto) ?(attempts = 4) t page_no =
-  let c = Stats.cell t.stats in
-  let rec attempt n spins =
-    let transient =
-      match t.fault with Some f -> Fault.should_fail_read f | None -> false
-    in
-    if transient then
-      if n + 1 >= attempts then
-        Storage_error.error Io_transient
-          "Disk.read_verified: page %d on %s still failing after %d attempts"
-          page_no t.name attempts
-      else begin
-        c.Stats.read_retries <- c.Stats.read_retries + 1;
-        if Svr_obs.Trace.hot () then
-          Svr_obs.Trace.event "read-retry"
-            ~attrs:
-              [ ("device", t.name); ("page", string_of_int page_no);
-                ("attempt", string_of_int (n + 1)) ];
-        backoff spins;
-        attempt (n + 1) (2 * spins)
-      end
-    else begin
-      let bytes = read ~hint t page_no in
-      let expect = (Atomic.get t.crcs).(page_no) in
-      if Crc32.bytes bytes <> expect then begin
-        c.Stats.checksum_failures <- c.Stats.checksum_failures + 1;
-        if Svr_obs.Trace.hot () then
-          Svr_obs.Trace.event "checksum-failure"
-            ~attrs:[ ("device", t.name); ("page", string_of_int page_no) ];
-        Storage_error.error Corrupt
-          "Disk.read_verified: checksum mismatch on page %d of %s" page_no
-          t.name
-      end;
-      bytes
-    end
-  in
-  attempt 0 8
+let read_verified ?(hint = `Auto) ?(attempts = Retry.default_policy.attempts)
+    t page_no =
+  let policy = { Retry.default_policy with attempts } in
+  Retry.run ~policy ?breaker:t.breaker ~stats:t.stats
+    ~what:(Printf.sprintf "%s/page-%d" t.name page_no)
+    (read_attempt ~hint t page_no)
 
 (* -- checkpoint / revert -------------------------------------------------- *)
 

@@ -27,12 +27,13 @@ type t
 val page_size : t -> int
 
 val create :
-  ?page_size:int -> ?fault:Fault.t -> ?journal:bool -> name:string ->
-  Stats.t -> t
+  ?page_size:int -> ?fault:Fault.t -> ?breaker:Retry.breaker ->
+  ?journal:bool -> name:string -> Stats.t -> t
 (** [create ~name stats] makes an empty device. [page_size] defaults to
     4096 bytes, the BerkeleyDB default used in the paper's setup. [fault]
-    (default none) injects failures; [journal] (default false) enables
-    before-image journaling for {!revert_to_stable}. *)
+    (default none) injects failures; [breaker] (default none) guards
+    {!read_verified} with a {!Retry} circuit breaker; [journal] (default
+    false) enables before-image journaling for {!revert_to_stable}. *)
 
 val name : t -> string
 
@@ -64,13 +65,18 @@ val read : ?hint:[ `Auto | `Seq ] -> t -> int -> Bytes.t
     @raise Invalid_argument on an unallocated page. *)
 
 val read_verified : ?hint:[ `Auto | `Seq ] -> ?attempts:int -> t -> int -> Bytes.t
-(** Like {!read}, but the miss-path contract: injected transient faults are
-    retried with exponential backoff up to [attempts] (default 4) total
-    tries (each retry counted in [read_retries]), and the page is checked
-    against its sidecar CRC32.
+(** Like {!read}, but the miss-path contract, delegated to {!Retry.run}:
+    injected transient faults are retried with jittered backoff up to
+    [attempts] (default 4) total tries (each retry billed to
+    [read_retries] by [Retry], once per retry that actually runs), and the
+    page is checked against its sidecar CRC32.
     @raise Storage_error.Error [(Io_transient, _)] when the attempt budget is
     exhausted, [(Corrupt, _)] on checksum mismatch (also counted in
-    [checksum_failures]). *)
+    [checksum_failures]), [(Degraded_read_only, _)] without touching the
+    device when the breaker is open. *)
+
+val breaker : t -> Retry.breaker option
+(** The device's circuit breaker, if one was attached at {!create}. *)
 
 val write : t -> int -> Bytes.t -> unit
 (** Physical write of a full page: ticks the fault clock (a crash-at-op-N

@@ -6,6 +6,8 @@ type t = {
   cost : Stats.cost_model;
   stats : Stats.t;
   fault : Fault.t option;
+  breaker_threshold : int option; (* Some n = per-device circuit breakers *)
+  mutable breakers : (string * Retry.breaker) list;
   wal : Wal.t option; (* Some iff the environment is durable *)
   mutable table_pagers : (string * Pager.t) list;
   mutable blob_pagers : (string * Pager.t) list;
@@ -18,8 +20,12 @@ type t = {
 
 let create ?(page_size = 4096) ?(table_pool_pages = 8192)
     ?(blob_pool_pages = 25600) ?(pager_shards = Pager.default_shards)
-    ?(cost = Stats.default_cost) ?fault ?(durable = false) ?(wal_group = 32)
-    () =
+    ?(cost = Stats.default_cost) ?fault ?breaker_threshold ?(durable = false)
+    ?(wal_group = 32) () =
+  (match breaker_threshold with
+  | Some n when n < 1 ->
+      invalid_arg "Env.create: breaker_threshold must be >= 1"
+  | _ -> ());
   let stats = Stats.create () in
   (* span sim-durations come straight from the calling domain's counter
      cell, so a span's sim-ms is exactly the I/O cost model applied to the
@@ -27,20 +33,36 @@ let create ?(page_size = 4096) ?(table_pool_pages = 8192)
      the tracer is process-global, environments in practice are not. *)
   Svr_obs.Trace.set_sim_clock (fun () ->
       Stats.simulated_ms ~cost (Stats.cell stats));
+  let breakers = ref [] in
+  let mk_breaker name =
+    match breaker_threshold with
+    | None -> None
+    | Some threshold ->
+        let b = Retry.breaker ~threshold name in
+        breakers := (name, b) :: !breakers;
+        Some b
+  in
   let wal =
     if durable then
       (* the log device is unjournaled on purpose: it must survive the
          revert that rolls every data device back to its checkpoint *)
-      Some (Wal.create ~group:wal_group (Disk.create ~page_size ?fault ~name:"wal" stats))
+      Some
+        (Wal.create ~group:wal_group
+           (Disk.create ~page_size ?fault ?breaker:(mk_breaker "wal")
+              ~name:"wal" stats))
     else None
   in
   { page_size; table_pool_pages; blob_pool_pages; pager_shards; cost; stats;
-    fault; wal; table_pagers = []; blob_pagers = []; trees = [];
-    blob_stores = [] }
+    fault; breaker_threshold; breakers = !breakers; wal; table_pagers = [];
+    blob_pagers = []; trees = []; blob_stores = [] }
 
 let durable t = Option.is_some t.wal
 let wal t = t.wal
 let fault t = t.fault
+
+let breakers t = List.rev t.breakers
+
+let breaker t ~name = List.assoc_opt name t.breakers
 
 let all_pagers t = List.rev_append t.table_pagers t.blob_pagers
 
@@ -55,8 +77,16 @@ let component_stable pager =
   Disk.mark_stable (Pager.disk pager)
 
 let new_disk t ~name =
-  Disk.create ~page_size:t.page_size ?fault:t.fault ~journal:(durable t)
-    ~name t.stats
+  let breaker =
+    match t.breaker_threshold with
+    | None -> None
+    | Some threshold ->
+        let b = Retry.breaker ~threshold name in
+        t.breakers <- (name, b) :: t.breakers;
+        Some b
+  in
+  Disk.create ~page_size:t.page_size ?fault:t.fault ?breaker
+    ~journal:(durable t) ~name t.stats
 
 let btree t ~name =
   let disk = new_disk t ~name in

@@ -34,6 +34,7 @@ val create :
   ?pager_shards:int ->
   ?cost:Stats.cost_model ->
   ?fault:Fault.t ->
+  ?breaker_threshold:int ->
   ?durable:bool ->
   ?wal_group:int ->
   unit ->
@@ -43,7 +44,10 @@ val create :
     [pager_shards] (default {!Pager.default_shards}) is the lock-sharding
     factor of every buffer pool created by this environment. [durable]
     (default false) turns on the WAL + journaling machinery; [wal_group]
-    (default 32) is the group-commit batch. *)
+    (default 32) is the group-commit batch. [breaker_threshold] (default
+    none) attaches a {!Retry} circuit breaker to every device created by
+    this environment, opening after that many consecutive transient/torn
+    read faults. @raise Invalid_argument if [breaker_threshold < 1]. *)
 
 val btree : t -> name:string -> Btree.t
 (** A fresh B+-tree on its own hot device. *)
@@ -84,6 +88,12 @@ val device_size : t -> name:string -> int
 val durable : t -> bool
 
 val fault : t -> Fault.t option
+
+val breakers : t -> (string * Retry.breaker) list
+(** Per-device circuit breakers, in device-creation order (empty unless
+    [breaker_threshold] was given). *)
+
+val breaker : t -> name:string -> Retry.breaker option
 
 val wal : t -> Wal.t option
 

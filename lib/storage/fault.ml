@@ -14,14 +14,21 @@ type t = {
   mutable bitflip_rate : float;
   mutable consecutive_fails : int;
   max_consecutive : int;
+  mutable read_stall_rate : float;
+  mutable read_stall_ms : int;
+  mutable write_stall_rate : float;
+  mutable write_stall_ms : int;
 }
 
 let create ?(crash_at_write = 0) ?(read_fail_rate = 0.0) ?(bitflip_rate = 0.0)
-    ?(max_consecutive_read_fails = 2) ~seed () =
+    ?(max_consecutive_read_fails = 2) ?(read_stall_rate = 0.0)
+    ?(read_stall_ms = 0) ?(write_stall_rate = 0.0) ?(write_stall_ms = 0) ~seed
+    () =
   { state = Int64.of_int ((seed * 2654435761) lor 1);
     writes = 0; reads = 0; crash_at = crash_at_write;
     read_fail_rate; bitflip_rate; consecutive_fails = 0;
-    max_consecutive = max 1 max_consecutive_read_fails }
+    max_consecutive = max 1 max_consecutive_read_fails;
+    read_stall_rate; read_stall_ms; write_stall_rate; write_stall_ms }
 
 let next t =
   let x = t.state in
@@ -71,6 +78,29 @@ let should_fail_read t =
     t.consecutive_fails <- 0;
     false
   end
+
+let set_read_fail_rate t r = t.read_fail_rate <- r
+
+let set_read_stall t ~rate ~ms =
+  t.read_stall_rate <- rate;
+  t.read_stall_ms <- ms
+
+let set_write_stall t ~rate ~ms =
+  t.write_stall_rate <- rate;
+  t.write_stall_ms <- ms
+
+(* latency faults draw from the same seeded stream as failures, so the exact
+   set of stalled operations replays from (seed, workload) — that is what
+   makes deadline and circuit-breaker tests deterministic *)
+let read_stall t =
+  if t.read_stall_rate > 0.0 && uniform t < t.read_stall_rate then
+    t.read_stall_ms
+  else 0
+
+let write_stall t =
+  if t.write_stall_rate > 0.0 && uniform t < t.write_stall_rate then
+    t.write_stall_ms
+  else 0
 
 let maybe_flip t bytes =
   if t.bitflip_rate > 0.0 && uniform t < t.bitflip_rate then begin

@@ -14,7 +14,12 @@
       terminates.
     - {b bit flips}: {!maybe_flip} flips one random bit of a stored page at
       [bitflip_rate]; the sidecar checksum then catches it on the next
-      verified read. *)
+      verified read.
+    - {b latency}: {!read_stall} / {!write_stall} occasionally return a
+      nonzero stall (slow reads, stalled WAL appends). {!Disk} bills stalls
+      to {!Stats.counters.stall_ms}, i.e. into the {e simulated} clock, so
+      deadline and circuit-breaker paths are testable deterministically —
+      no wall-clock sleeps, no flaky timing. *)
 
 exception Crash of string
 (** The simulated machine died. Nothing below the raise point ran; volatile
@@ -28,6 +33,10 @@ val create :
   ?read_fail_rate:float ->
   ?bitflip_rate:float ->
   ?max_consecutive_read_fails:int ->
+  ?read_stall_rate:float ->
+  ?read_stall_ms:int ->
+  ?write_stall_rate:float ->
+  ?write_stall_ms:int ->
   seed:int ->
   unit ->
   t
@@ -54,3 +63,20 @@ val should_fail_read : t -> bool
 
 val maybe_flip : t -> Bytes.t -> bool
 (** Possibly flip one random bit in place; [true] if a bit was flipped. *)
+
+val set_read_fail_rate : t -> float -> unit
+(** Change the transient-read failure rate mid-run — circuit-breaker tests
+    heal the device this way before sending the probe. *)
+
+val set_read_stall : t -> rate:float -> ms:int -> unit
+(** Stall a fraction [rate] of reads by [ms] simulated milliseconds. *)
+
+val set_write_stall : t -> rate:float -> ms:int -> unit
+(** Same for writes — a stalled WAL append is a stalled sequential write on
+    the wal device. *)
+
+val read_stall : t -> int
+(** Stall (simulated ms, usually 0) for the read about to be served. *)
+
+val write_stall : t -> int
+(** Stall for the write about to be applied. *)

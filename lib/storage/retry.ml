@@ -1,0 +1,147 @@
+(* Retry policy with decorrelated-jitter backoff and a per-device circuit
+   breaker — lifted out of [Disk.read_verified] so the serving layer can
+   reason about (and test) fault absorption as policy, not as pager
+   plumbing.
+
+   Billing lives here now: [Stats.read_retries] is bumped once per retry
+   actually performed, after the attempt has failed transiently and before
+   the next attempt is made. The old in-Disk accounting incremented the
+   counter as part of the fault decision itself, so a first-try success
+   following a prior caller's fault could bill a retry that never happened;
+   the directed test in test_serve pins the corrected semantics.
+
+   The breaker is deliberately count-based, not clock-based: once open it
+   fails fast with [Degraded_read_only] and lets every [probe_every]-th call
+   through as a probe. A successful probe closes it. Counting calls instead
+   of elapsed time keeps the open/probe/close sequence a deterministic
+   function of the workload, which is what the seeded fault tests need. *)
+
+type policy = {
+  attempts : int; (* total attempts, including the first *)
+  base_spins : int; (* first backoff, in Domain.cpu_relax spins *)
+  cap_spins : int;
+}
+
+let default_policy = { attempts = 4; base_spins = 8; cap_spins = 1024 }
+
+let policy ?(attempts = default_policy.attempts)
+    ?(base_spins = default_policy.base_spins)
+    ?(cap_spins = default_policy.cap_spins) () =
+  if attempts < 1 then invalid_arg "Retry.policy: attempts must be >= 1";
+  { attempts; base_spins; cap_spins }
+
+type breaker = {
+  name : string;
+  threshold : int;
+  probe_every : int;
+  consecutive : int Atomic.t; (* Io_transient/Torn faults in a row *)
+  open_ : bool Atomic.t;
+  rejections : int Atomic.t; (* fail-fasts since the breaker opened *)
+  opens : int Atomic.t;
+}
+
+let breaker ?(threshold = 8) ?(probe_every = 4) name =
+  if threshold < 1 then invalid_arg "Retry.breaker: threshold must be >= 1";
+  if probe_every < 1 then invalid_arg "Retry.breaker: probe_every must be >= 1";
+  { name; threshold; probe_every; consecutive = Atomic.make 0;
+    open_ = Atomic.make false; rejections = Atomic.make 0;
+    opens = Atomic.make 0 }
+
+let breaker_open b = Atomic.get b.open_
+let breaker_opens b = Atomic.get b.opens
+let breaker_rejections b = Atomic.get b.rejections
+
+let opens_counter name =
+  Svr_obs.Metrics.counter
+    ~labels:[ ("device", name) ]
+    ~help:"circuit-breaker open transitions" "svr_breaker_opens_total"
+
+let record_failure b =
+  let n = Atomic.fetch_and_add b.consecutive 1 + 1 in
+  if n >= b.threshold && not (Atomic.get b.open_) then begin
+    Atomic.set b.open_ true;
+    Atomic.set b.rejections 0;
+    Atomic.incr b.opens;
+    Svr_obs.Metrics.inc (opens_counter b.name);
+    if Svr_obs.Trace.hot () then
+      Svr_obs.Trace.event "breaker-open"
+        ~attrs:[ ("device", b.name); ("consecutive", string_of_int n) ]
+  end
+
+let record_success b =
+  Atomic.set b.consecutive 0;
+  if Atomic.get b.open_ then begin
+    Atomic.set b.open_ false;
+    if Svr_obs.Trace.hot () then
+      Svr_obs.Trace.event "breaker-close" ~attrs:[ ("device", b.name) ]
+  end
+
+(* may this call proceed? closed breaker: yes, one bool load. open breaker:
+   fail fast, except every [probe_every]-th rejected call goes through as
+   the probe that can close it *)
+let admit b =
+  if not (Atomic.get b.open_) then true
+  else
+    let r = Atomic.fetch_and_add b.rejections 1 + 1 in
+    r mod b.probe_every = 0
+
+(* -- backoff -------------------------------------------------------------- *)
+
+(* decorrelated jitter over cpu_relax spins: next = uniform(base, 3*prev),
+   capped. The spin counts only burn cycles — they are intentionally outside
+   the deterministic replay surface (fault sequencing lives in [Fault]) — so
+   a module-local xorshift state shared loosely across domains is fine. *)
+let jitter_state = Atomic.make 0x9e3779b97f4a7c15L
+
+let jitter_next () =
+  let x = Atomic.get jitter_state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  Atomic.set jitter_state x;
+  Int64.to_int (Int64.shift_right_logical x 1)
+
+let backoff_spins p ~prev =
+  let hi = max (p.base_spins + 1) (3 * prev) in
+  let r = p.base_spins + (jitter_next () mod (hi - p.base_spins)) in
+  min p.cap_spins r
+
+let backoff spins =
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done
+
+(* -- the retry loop ------------------------------------------------------- *)
+
+let run ?(policy = default_policy) ?breaker:b ~stats ~what f =
+  (match b with
+  | Some b when not (admit b) ->
+      Storage_error.error Degraded_read_only
+        "%s: circuit breaker open on %s (%d consecutive faults); failing \
+         fast"
+        what b.name (Atomic.get b.consecutive)
+  | _ -> ());
+  let c = Stats.cell stats in
+  let rec go n prev_spins =
+    match f () with
+    | v ->
+        (match b with Some b -> record_success b | None -> ());
+        v
+    | exception (Storage_error.Error (kind, _) as e) -> (
+        (match kind with
+        | Storage_error.Io_transient | Storage_error.Torn -> (
+            match b with Some b -> record_failure b | None -> ())
+        | _ -> ());
+        match kind with
+        | Storage_error.Io_transient when n + 1 < policy.attempts ->
+            (* the retry is now certain to happen: bill it *)
+            c.Stats.read_retries <- c.Stats.read_retries + 1;
+            if Svr_obs.Trace.hot () then
+              Svr_obs.Trace.event "read-retry"
+                ~attrs:[ ("what", what); ("attempt", string_of_int (n + 1)) ];
+            let spins = backoff_spins policy ~prev:prev_spins in
+            backoff spins;
+            go (n + 1) spins
+        | _ -> raise e)
+  in
+  go 0 policy.base_spins

@@ -1,0 +1,63 @@
+(** Retry-with-backoff policy and per-device circuit breaker.
+
+    PR 3 buried a bounded retry loop inside {!Disk.read_verified}; this
+    module lifts it out so the serving layer owns fault-absorption policy:
+
+    - {b bounded retries} of [Io_transient] attempts with decorrelated-jitter
+      backoff (next spin count drawn uniformly from [base, 3*prev], capped);
+    - {b billing}: [Stats.read_retries] is bumped here, once per retry that
+      actually runs — never as a side effect of the fault decision;
+    - {b circuit breaker}: after [threshold] consecutive [Io_transient]/
+      [Torn] faults the per-device breaker opens and subsequent calls fail
+      fast with [Degraded_read_only] without touching the device; every
+      [probe_every]-th rejected call is let through as a probe, and a
+      successful probe closes the breaker. The open/probe/close sequence is
+      count-based (not clock-based), so it replays deterministically under
+      seeded faults. *)
+
+type policy = { attempts : int; base_spins : int; cap_spins : int }
+
+val default_policy : policy
+(** 4 attempts, first backoff 8 spins, capped at 1024. *)
+
+val policy : ?attempts:int -> ?base_spins:int -> ?cap_spins:int -> unit -> policy
+(** @raise Invalid_argument if [attempts < 1]. *)
+
+type breaker
+
+val breaker : ?threshold:int -> ?probe_every:int -> string -> breaker
+(** A breaker for the named device. [threshold] consecutive faults open it;
+    one in every [probe_every] subsequent calls probes the device. *)
+
+val breaker_open : breaker -> bool
+
+val breaker_opens : breaker -> int
+(** Closed→open transitions so far. *)
+
+val breaker_rejections : breaker -> int
+(** Calls failed fast since the breaker last opened. *)
+
+val record_success : breaker -> unit
+(** Reset the consecutive-fault count; close the breaker if open. Exposed
+    for callers that bypass {!run} but still share the device. *)
+
+val record_failure : breaker -> unit
+(** Count one transient/torn fault; may open the breaker. *)
+
+val run :
+  ?policy:policy ->
+  ?breaker:breaker ->
+  stats:Stats.t ->
+  what:string ->
+  (unit -> 'a) ->
+  'a
+(** [run ~stats ~what f] calls [f] until it returns, retrying
+    [Io_transient] failures up to [policy.attempts] total attempts with
+    jittered backoff. [Torn] faults are never retried (re-raised after
+    feeding the breaker); other storage errors pass through untouched.
+
+    @raise Storage_error.Error [(Degraded_read_only, _)] immediately —
+    without calling [f] — when the breaker is open and this call is not a
+    probe.
+    @raise Storage_error.Error [(Io_transient, _)] when the attempt budget
+    is exhausted. *)

@@ -20,6 +20,7 @@ type counters = {
   mutable checksum_failures : int;
   mutable read_retries : int;
   mutable recovery_replays : int;
+  mutable stall_ms : int;
 }
 
 type t = {
@@ -44,7 +45,7 @@ let zero () =
     page_writes = 0; seq_writes = 0; blocks_decoded = 0; blocks_skipped = 0;
     upper_seeks = 0; codec_bytes_written = 0;
     wal_appends = 0; wal_bytes = 0; checksum_failures = 0; read_retries = 0;
-    recovery_replays = 0 }
+    recovery_replays = 0; stall_ms = 0 }
 
 let create () =
   let mu = Mutex.create () in
@@ -77,7 +78,8 @@ let zero_counters c =
   c.wal_bytes <- 0;
   c.checksum_failures <- 0;
   c.read_retries <- 0;
-  c.recovery_replays <- 0
+  c.recovery_replays <- 0;
+  c.stall_ms <- 0
 
 let reset t =
   Mutex.lock t.mu;
@@ -92,7 +94,8 @@ let copy c =
     blocks_skipped = c.blocks_skipped; upper_seeks = c.upper_seeks;
     codec_bytes_written = c.codec_bytes_written; wal_appends = c.wal_appends;
     wal_bytes = c.wal_bytes; checksum_failures = c.checksum_failures;
-    read_retries = c.read_retries; recovery_replays = c.recovery_replays }
+    read_retries = c.read_retries; recovery_replays = c.recovery_replays;
+    stall_ms = c.stall_ms }
 
 let accumulate acc c =
   acc.logical_reads <- acc.logical_reads + c.logical_reads;
@@ -109,7 +112,8 @@ let accumulate acc c =
   acc.wal_bytes <- acc.wal_bytes + c.wal_bytes;
   acc.checksum_failures <- acc.checksum_failures + c.checksum_failures;
   acc.read_retries <- acc.read_retries + c.read_retries;
-  acc.recovery_replays <- acc.recovery_replays + c.recovery_replays
+  acc.recovery_replays <- acc.recovery_replays + c.recovery_replays;
+  acc.stall_ms <- acc.stall_ms + c.stall_ms
 
 let snapshot t =
   let acc = zero () in
@@ -139,13 +143,15 @@ let diff ~after ~before =
     wal_bytes = after.wal_bytes - before.wal_bytes;
     checksum_failures = after.checksum_failures - before.checksum_failures;
     read_retries = after.read_retries - before.read_retries;
-    recovery_replays = after.recovery_replays - before.recovery_replays }
+    recovery_replays = after.recovery_replays - before.recovery_replays;
+    stall_ms = after.stall_ms - before.stall_ms }
 
 let simulated_ms ?(cost = default_cost) c =
   (float_of_int c.seq_reads *. cost.seq_read_ms)
   +. (float_of_int c.rand_reads *. cost.rand_read_ms)
   +. (float_of_int (c.page_writes - c.seq_writes) *. cost.write_ms)
   +. (float_of_int c.seq_writes *. cost.seq_write_ms)
+  +. float_of_int c.stall_ms
 
 (* every field prints, every time: partial output hid the PR 3 counters
    whenever a run happened not to touch the WAL, which made "is durability
@@ -154,8 +160,9 @@ let pp ppf c =
   Format.fprintf ppf
     "reads=%d hits=%d seq=%d rand=%d writes=%d seq-w=%d blk-dec=%d \
      blk-skip=%d ef-seek=%d codec-w=%dB wal=%d/%dB crc-fail=%d retries=%d \
-     replays=%d (sim %.2f ms)"
+     replays=%d stall=%dms (sim %.2f ms)"
     c.logical_reads c.cache_hits c.seq_reads c.rand_reads c.page_writes
     c.seq_writes c.blocks_decoded c.blocks_skipped c.upper_seeks
     c.codec_bytes_written c.wal_appends c.wal_bytes
-    c.checksum_failures c.read_retries c.recovery_replays (simulated_ms c)
+    c.checksum_failures c.read_retries c.recovery_replays c.stall_ms
+    (simulated_ms c)

@@ -44,6 +44,10 @@ type counters = {
       (** transient read faults absorbed by retry-with-backoff *)
   mutable recovery_replays : int;
       (** WAL records replayed by {!Env.recover} *)
+  mutable stall_ms : int;
+      (** injected device-stall milliseconds ({!Fault} latency faults) —
+          billed straight into {!simulated_ms}, so simulated deadlines
+          observe slow devices deterministically *)
 }
 
 type t

@@ -1,4 +1,4 @@
-type kind = Corrupt | Torn | Io_transient | Missing
+type kind = Corrupt | Torn | Io_transient | Missing | Degraded_read_only
 
 exception Error of kind * string
 
@@ -7,6 +7,7 @@ let kind_name = function
   | Torn -> "torn"
   | Io_transient -> "io-transient"
   | Missing -> "missing"
+  | Degraded_read_only -> "degraded-read-only"
 
 let error kind fmt =
   Printf.ksprintf (fun msg -> raise (Error (kind, msg))) fmt

@@ -13,9 +13,13 @@
       automatically and only raises after its attempt budget is exhausted.
     - [Missing]: a lookup for an object that does not exist (unknown blob id,
       unknown device name) — the informative replacement for bare
-      [Not_found]. *)
+      [Not_found].
+    - [Degraded_read_only]: the device's {!Retry} circuit breaker is open —
+      too many consecutive transient/torn faults — and the call was refused
+      {e without} touching the device. Callers should back off and let the
+      breaker's periodic probe decide when the device is healthy again. *)
 
-type kind = Corrupt | Torn | Io_transient | Missing
+type kind = Corrupt | Torn | Io_transient | Missing | Degraded_read_only
 
 exception Error of kind * string
 

@@ -427,6 +427,93 @@ let test_auto_trigger () =
     true
     (maintained < unmaintained / 2 && maintained <= 500)
 
+(* ------------------------------------------------------------------ *)
+(* Rw_lock writer preference while readers churn like cancelled queries.
+
+   A budget-tripped query abandons its merge almost immediately, so under
+   overload the index lock sees a stream of very short read sections that
+   never stops. The writer-preferring Rw_lock must still let the compaction
+   writer through — if a pending writer didn't block new readers, the
+   constant churn would starve maintenance exactly when shedding load
+   matters most. *)
+
+let test_rw_lock_writer_preference () =
+  let lock = Core.Rw_lock.create () in
+  let stop = Atomic.make false in
+  let readers =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              (* a cancelled query: take the lock, do nothing, release *)
+              Core.Rw_lock.with_read lock (fun () -> incr n)
+            done;
+            !n))
+  in
+  let wrote = ref 0 in
+  for _ = 1 to 200 do
+    Core.Rw_lock.with_write lock (fun () -> incr wrote)
+  done;
+  Atomic.set stop true;
+  let reads = Array.fold_left (fun a d -> a + Domain.join d) 0 readers in
+  check Alcotest.int "writer completed every section under reader churn" 200
+    !wrote;
+  check Alcotest.bool "readers made progress between writes" true (reads > 0)
+
+(* The same property end to end: a compaction domain must keep draining
+   while a 4-domain pool fires only queries whose one-block budgets trip
+   mid-merge. If the early-exit path leaked the read lock, the writer would
+   hang (the pool's churn would never let it in) and the drain count would
+   stay 0; afterwards the index must still agree with the oracle. *)
+
+let test_cancelled_queries_release_lock () =
+  let rng = ref 31337 in
+  (* fine-grained chunks so score jumps actually land in the short lists *)
+  let ccfg = { cfg with Core.Config.chunk_ratio = 3.0; min_chunk_docs = 4 } in
+  let idx, oracle = build_pair ~cfg:ccfg Core.Index.Chunk in
+  for _i = 1 to 300 do
+    let doc = lcg rng mod corpus_spec.W.Corpus_gen.n_docs in
+    let s = float_of_int (lcg rng mod 100_000) +. 0.25 in
+    Core.Index.score_update idx ~doc s;
+    Core.Oracle.score_update oracle ~doc s
+  done;
+  let batch = Array.of_list queries in
+  let stop = Atomic.make false in
+  let compactor =
+    Domain.spawn (fun () ->
+        let drained = ref 0 in
+        while not (Atomic.get stop) do
+          let s = Core.Index.maintain ~steps:1 idx in
+          if s.Core.Index.steps = 0 then Domain.cpu_relax ()
+          else drained := !drained + s.Core.Index.postings_drained
+        done;
+        !drained)
+  in
+  let tripped = Atomic.make 0 in
+  Core.Query_pool.with_pool ~domains:4 (fun pool ->
+      for _round = 1 to 12 do
+        Core.Query_pool.map pool
+          ~f:(fun i ->
+            let budget = Core.Budget.create ~blocks:1 () in
+            match
+              Core.Index.query_terms_outcome idx ~budget
+                batch.(i mod Array.length batch)
+                ~k:10
+            with
+            | Core.Index.Partial _ | Core.Index.Timed_out _ ->
+                Atomic.incr tripped
+            | Core.Index.Complete _ -> ())
+          (4 * Array.length batch)
+      done);
+  Atomic.set stop true;
+  let drained = Domain.join compactor in
+  check Alcotest.bool "budgets actually tripped mid-merge" true
+    (Atomic.get tripped > 0);
+  check Alcotest.bool "compactor drained despite cancelled-reader churn" true
+    (drained > 0);
+  ignore (Core.Index.maintain idx);
+  agree ~ctx:"after cancelled-query stress" oracle idx
+
 let () =
   Alcotest.run "svr_maintain"
     [ ( "invalid_scores",
@@ -448,4 +535,9 @@ let () =
           Alcotest.test_case "4-domain pool vs compaction domain" `Slow
             test_stress_concurrent;
           Alcotest.test_case "auto trigger bounds short lists" `Quick
-            test_auto_trigger ] ) ]
+            test_auto_trigger ] );
+      ( "rw_lock",
+        [ Alcotest.test_case "writer preference under reader churn" `Quick
+            test_rw_lock_writer_preference;
+          Alcotest.test_case "cancelled queries release the read lock" `Slow
+            test_cancelled_queries_release_lock ] ) ]

@@ -1,0 +1,700 @@
+(* Overload-safe serving tests (PR 8).
+
+   Covers the per-query budget (every dimension trips, trips are sticky,
+   cancellation crosses domains), the bound-conservativeness oracle property
+   for every early-terminating method x codec — a Partial answer's bound
+   must dominate the true score of every oracle top-k document it omitted,
+   and an un-degraded answer must be bit-identical to the oracle — serially
+   and through a multi-domain server; the ID methods' typed timeout;
+   admission control (depth bound, priority tiers, cost shed, release
+   accounting); retry billing (read_retries counts retries that ran, not
+   fault decisions); the per-device circuit breaker (open, fail-fast,
+   probe, close); deterministic latency injection driving the simulated
+   deadline; the serving front (round trip, shed under backlog, graceful
+   drain on shutdown); config validation of the serving knobs; and the SQL
+   DEADLINE surface (parse/print round trip, session default vs clause
+   override, degraded results, admission-gated statements). *)
+
+module Core = Svr_core
+module St = Svr_storage
+module Serve = Svr_serve
+module R = Svr_relational
+
+let check = Alcotest.check
+
+(* deterministic PRNG so failures replay *)
+let lcg state =
+  state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+  !state lsr 17
+
+(* ------------------------------------------------------------------ *)
+(* index fixtures: a seeded corpus dense enough that long lists span
+   several 128-posting blocks, so block budgets actually trip mid-scan *)
+
+let vocab =
+  [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "golf"; "hotel" |]
+
+let test_cfg =
+  { Core.Config.default with
+    Core.Config.analyzer = Svr_text.Analyzer.raw;
+    threshold_ratio = 2.0;
+    chunk_ratio = 2.0;
+    min_chunk_docs = 2;
+    fancy_size = 3;
+    ts_weight = 50.0 }
+
+let small_env ?fault () =
+  St.Env.create ?fault ~table_pool_pages:256 ~blob_pool_pages:64 ()
+
+let mk_corpus ~seed ~n_docs =
+  let st = ref seed in
+  let docs =
+    List.init n_docs (fun d ->
+        let words =
+          List.init 6 (fun _ -> vocab.(lcg st mod Array.length vocab))
+        in
+        (d, String.concat " " words))
+  in
+  let scores = Array.init n_docs (fun _ -> float_of_int (lcg st mod 100_000)) in
+  (docs, scores)
+
+let build_idx ?(codec = Core.Types.Varint) ?(seed = 7) ?(n_docs = 600)
+    ?env kind =
+  let docs, scores = mk_corpus ~seed ~n_docs in
+  let env = match env with Some e -> e | None -> small_env () in
+  Core.Index.build ~env kind
+    { test_cfg with Core.Config.codec }
+    ~corpus:(List.to_seq docs)
+    ~scores:(fun d -> scores.(d))
+
+let test_queries =
+  [ [ "alpha" ]; [ "alpha"; "bravo" ]; [ "charlie"; "delta" ];
+    [ "echo"; "foxtrot"; "golf" ]; [ "hotel"; "alpha" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* budget unit tests *)
+
+let test_budget_validation () =
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative budget limit accepted")
+    [ (fun () -> Core.Budget.create ~deadline_ms:(-1.0) ());
+      (fun () -> Core.Budget.create ~sim_ms:(-0.5) ());
+      (fun () -> Core.Budget.create ~pages:(-1) ());
+      (fun () -> Core.Budget.create ~blocks:(-1) ()) ]
+
+let test_budget_trip_sticky () =
+  let b = Core.Budget.create ~deadline_ms:0.0 () in
+  let cell = St.Stats.zero () in
+  Core.Budget.arm b ~cell ~cost:St.Stats.default_cost;
+  check Alcotest.bool "deadline 0 trips at first poll" true
+    (Core.Budget.poll b = Some Core.Budget.Deadline);
+  check Alcotest.bool "sticky" true
+    (Core.Budget.tripped b = Some Core.Budget.Deadline);
+  (* a later, cheaper-to-detect exhaustion must not overwrite the reason *)
+  Core.Budget.cancel b;
+  check Alcotest.bool "first reason wins" true
+    (Core.Budget.poll b = Some Core.Budget.Deadline)
+
+let test_budget_blocks_trip () =
+  let idx = build_idx Core.Index.Chunk in
+  List.iter
+    (fun q ->
+      match
+        Core.Index.query_terms_outcome idx
+          ~budget:(Core.Budget.create ~blocks:1 ())
+          q ~k:10
+      with
+      | Core.Index.Partial { reason = Core.Budget.Blocks; _ } -> ()
+      | Core.Index.Partial { reason; _ } ->
+          Alcotest.failf "expected a Blocks trip, got %s"
+            (Core.Budget.reason_name reason)
+      | Core.Index.Complete _ -> Alcotest.fail "1-block budget did not trip"
+      | Core.Index.Timed_out _ ->
+          Alcotest.fail "Chunk must degrade to Partial, not Timed_out")
+    test_queries
+
+let test_budget_pages_trip () =
+  let idx = build_idx Core.Index.Chunk in
+  let env = Core.Index.env idx in
+  (* physical page reads only happen cold *)
+  St.Env.drop_blob_caches env;
+  match
+    Core.Index.query_terms_outcome idx
+      ~budget:(Core.Budget.create ~pages:1 ())
+      [ "alpha"; "bravo" ] ~k:10
+  with
+  | Core.Index.Partial { reason = Core.Budget.Pages; _ } -> ()
+  | _ -> Alcotest.fail "expected a Pages trip on a cold 1-page budget"
+
+let test_budget_cancel_cross_domain () =
+  let idx = build_idx Core.Index.Chunk in
+  let b = Core.Budget.unlimited () in
+  Domain.join (Domain.spawn (fun () -> Core.Budget.cancel b));
+  match
+    Core.Index.query_terms_outcome idx ~budget:b [ "alpha"; "bravo" ] ~k:10
+  with
+  | Core.Index.Partial { reason = Core.Budget.Cancelled; _ } -> ()
+  | _ -> Alcotest.fail "cancellation from another domain was not observed"
+
+(* deterministic latency injection: a 100%-stalled read bills simulated
+   milliseconds, which the sim deadline observes without any wall sleeps *)
+let test_budget_sim_stall () =
+  let fault = St.Fault.create ~seed:11 () in
+  let env = small_env ~fault () in
+  let idx = build_idx ~env Core.Index.Chunk in
+  let stats = St.Env.stats env in
+  let before = (St.Stats.snapshot stats).St.Stats.stall_ms in
+  St.Fault.set_read_stall fault ~rate:1.0 ~ms:5;
+  St.Env.drop_blob_caches env;
+  (match
+     Core.Index.query_terms_outcome idx
+       ~budget:(Core.Budget.create ~sim_ms:1.0 ())
+       [ "alpha"; "bravo" ] ~k:10
+   with
+  | Core.Index.Partial { reason = Core.Budget.Sim_deadline; _ } -> ()
+  | _ -> Alcotest.fail "expected a Sim_deadline trip under injected stalls");
+  St.Fault.set_read_stall fault ~rate:0.0 ~ms:0;
+  let stalled = (St.Stats.snapshot stats).St.Stats.stall_ms - before in
+  check Alcotest.bool "stalls billed to stall_ms" true (stalled >= 5);
+  check Alcotest.bool "stalls included in the simulated clock" true
+    (St.Stats.simulated_ms (St.Stats.snapshot stats) >= float_of_int stalled)
+
+(* ------------------------------------------------------------------ *)
+(* bound conservativeness: the oracle property behind degraded answers *)
+
+let early_kinds =
+  [ Core.Index.Score; Core.Index.Score_threshold; Core.Index.Chunk;
+    Core.Index.Chunk_termscore ]
+
+let all_codecs = [ Core.Types.Varint; Core.Types.Bitpack; Core.Types.Pef ]
+
+let same_results got want =
+  List.length got = List.length want
+  && List.for_all2
+       (fun (d1, s1) (d2, s2) -> d1 = d2 && abs_float (s1 -. s2) < 1e-9)
+       got want
+
+(* every oracle top-k document missing from the partial answer must score at
+   most the reported bound: the contract a client relies on when it accepts
+   a degraded answer *)
+let assert_conservative ~what ~oracle ~results ~bound =
+  let got = List.map fst results in
+  List.iter
+    (fun (d, s) ->
+      if (not (List.mem d got)) && s > bound +. 1e-9 then
+        Alcotest.failf
+          "%s: doc %d with true score %.4f missing from a partial answer \
+           claiming bound %.4f"
+          what d s bound)
+    oracle
+
+let check_outcome ~what ~oracle = function
+  | Core.Index.Complete r ->
+      if not (same_results r oracle) then
+        Alcotest.failf "%s: un-degraded answer differs from the oracle" what
+  | Core.Index.Partial { results; bound; _ } ->
+      assert_conservative ~what ~oracle ~results ~bound
+  | Core.Index.Timed_out _ ->
+      Alcotest.failf "%s: early-terminating method answered Timed_out" what
+
+let test_bound_conservative_serial () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun codec ->
+          List.iter
+            (fun seed ->
+              let idx = build_idx ~codec ~seed kind in
+              List.iter
+                (fun q ->
+                  let oracle = Core.Index.query_terms idx q ~k:10 in
+                  List.iter
+                    (fun blocks ->
+                      let what =
+                        Printf.sprintf "%s/%s seed=%d q=[%s] blocks=%d"
+                          (Core.Index.kind_name kind)
+                          (Core.Types.codec_name codec)
+                          seed (String.concat " " q) blocks
+                      in
+                      check_outcome ~what ~oracle
+                        (Core.Index.query_terms_outcome idx
+                           ~budget:(Core.Budget.create ~blocks ())
+                           q ~k:10))
+                    [ 1; 2; 4; 8 ])
+                test_queries)
+            [ 7; 23 ])
+        all_codecs)
+    early_kinds
+
+(* the same property through the serving front over 4 domains: budgets are
+   armed on the executing pool domain, not the submitting one *)
+let test_bound_conservative_parallel () =
+  let idx = build_idx Core.Index.Chunk_termscore in
+  let oracle =
+    List.map (fun q -> (q, Core.Index.query_terms idx q ~k:10)) test_queries
+  in
+  Serve.Server.with_server ~domains:4 idx (fun server ->
+      List.iter
+        (fun blocks ->
+          let tickets =
+            List.map
+              (fun (q, o) ->
+                match Serve.Server.submit server ~blocks q ~k:10 with
+                | Ok t -> (q, o, t)
+                | Error _ -> Alcotest.fail "idle server shed a request")
+              oracle
+          in
+          List.iter
+            (fun (q, o, t) ->
+              let what =
+                Printf.sprintf "server q=[%s] blocks=%d"
+                  (String.concat " " q) blocks
+              in
+              check_outcome ~what ~oracle:o (Serve.Server.await t))
+            tickets)
+        [ 1; 4; 1_000_000 ])
+
+let test_id_timed_out () =
+  List.iter
+    (fun kind ->
+      let idx = build_idx kind in
+      match
+        Core.Index.query_terms_outcome idx
+          ~budget:(Core.Budget.create ~blocks:1 ())
+          [ "alpha"; "bravo" ] ~k:10
+      with
+      | Core.Index.Timed_out Core.Budget.Blocks -> ()
+      | Core.Index.Timed_out r ->
+          Alcotest.failf "expected a Blocks timeout, got %s"
+            (Core.Budget.reason_name r)
+      | Core.Index.Partial _ ->
+          Alcotest.failf
+            "%s scans in doc-id order: no sound bound exists, Partial is a bug"
+            (Core.Index.kind_name kind)
+      | Core.Index.Complete _ -> Alcotest.fail "1-block budget did not trip")
+    [ Core.Index.Id; Core.Index.Id_termscore ]
+
+(* ------------------------------------------------------------------ *)
+(* admission control *)
+
+let test_admission_depth () =
+  let adm = Serve.Admission.create ~bound:2 () in
+  check Alcotest.bool "1st admitted" true
+    (Serve.Admission.try_admit adm Serve.Admission.Query = Ok ());
+  check Alcotest.bool "2nd admitted" true
+    (Serve.Admission.try_admit adm Serve.Admission.Query = Ok ());
+  (match Serve.Admission.try_admit adm Serve.Admission.Query with
+  | Error { retry_after_ms; _ } ->
+      check Alcotest.bool "retry hint scales with backlog" true
+        (retry_after_ms >= 1.0)
+  | Ok () -> Alcotest.fail "admitted above the bound");
+  Serve.Admission.release adm;
+  check Alcotest.bool "slot freed" true
+    (Serve.Admission.try_admit adm Serve.Admission.Query = Ok ());
+  check Alcotest.int "depth" 2 (Serve.Admission.depth adm);
+  check Alcotest.int "admitted total" 3 (Serve.Admission.admitted adm);
+  check Alcotest.int "shed total" 1 (Serve.Admission.shed adm)
+
+let test_admission_tiers () =
+  let adm = Serve.Admission.create ~bound:4 () in
+  let admit cls = Serve.Admission.try_admit adm cls = Ok () in
+  check Alcotest.bool "maintenance admitted while idle" true
+    (admit Serve.Admission.Maintenance);
+  check Alcotest.bool "query admitted" true (admit Serve.Admission.Query);
+  (* depth 2 = bound/2: maintenance sheds first *)
+  check Alcotest.bool "maintenance shed at half the bound" false
+    (admit Serve.Admission.Maintenance);
+  check Alcotest.bool "update still admitted" true
+    (admit Serve.Admission.Update);
+  (* depth 3 = 3*bound/4: updates shed next *)
+  check Alcotest.bool "update shed at three quarters" false
+    (admit Serve.Admission.Update);
+  check Alcotest.bool "query rides to the full bound" true
+    (admit Serve.Admission.Query);
+  check Alcotest.bool "query shed at the bound" false
+    (admit Serve.Admission.Query)
+
+let test_admission_cost_policy () =
+  let adm = Serve.Admission.create ~policy:Core.Config.Cost ~bound:4 () in
+  let try_q = Serve.Admission.try_admit adm ~est_cost_ms:50.0 ~deadline_ms:10.0 in
+  (* below half occupancy the estimate is ignored *)
+  check Alcotest.bool "cheap queue admits expensive query" true
+    (try_q Serve.Admission.Query = Ok ());
+  check Alcotest.bool "still below half" true
+    (try_q Serve.Admission.Query = Ok ());
+  (* depth 2 = bound/2: a query that cannot finish inside its deadline is
+     shed while affordable queries still pass *)
+  (match try_q Serve.Admission.Query with
+  | Error { reason; _ } ->
+      check Alcotest.bool "cost reason" true
+        (String.length reason > 0
+        && String.sub reason 0 10 = "overloaded")
+  | Ok () -> Alcotest.fail "doomed query admitted at half occupancy");
+  check Alcotest.bool "affordable query admitted at same depth" true
+    (Serve.Admission.try_admit adm ~est_cost_ms:2.0 ~deadline_ms:10.0
+       Serve.Admission.Query
+    = Ok ())
+
+let test_admission_release_underflow () =
+  let adm = Serve.Admission.create ~bound:1 () in
+  match Serve.Admission.release adm with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "release without admit must raise"
+
+(* ------------------------------------------------------------------ *)
+(* retry billing + circuit breaker *)
+
+let transient () = raise (St.Storage_error.Error (St.Storage_error.Io_transient, "injected"))
+
+let test_retry_billing () =
+  let stats = St.Stats.create () in
+  let retries () = (St.Stats.snapshot stats).St.Stats.read_retries in
+  (* success on the first attempt: no retry ran, none billed *)
+  ignore (St.Retry.run ~stats ~what:"ok" (fun () -> 42));
+  check Alcotest.int "no retries billed on success" 0 (retries ());
+  (* two failures then success: exactly two retries ran *)
+  let n = ref 0 in
+  let v =
+    St.Retry.run ~stats ~what:"flaky" (fun () ->
+        incr n;
+        if !n <= 2 then transient () else 7)
+  in
+  check Alcotest.int "value" 7 v;
+  check Alcotest.int "three attempts" 3 !n;
+  check Alcotest.int "two retries billed" 2 (retries ());
+  (* attempt budget exhausted: attempts-1 retries billed, error propagates *)
+  (match
+     St.Retry.run
+       ~policy:(St.Retry.policy ~attempts:3 ~base_spins:1 ~cap_spins:2 ())
+       ~stats ~what:"dead" transient
+   with
+  | exception St.Storage_error.Error (St.Storage_error.Io_transient, _) -> ()
+  | _ -> Alcotest.fail "exhausted retries must re-raise Io_transient");
+  check Alcotest.int "exhaustion bills attempts-1 retries" 4 (retries ())
+
+let test_breaker_cycle () =
+  let stats = St.Stats.create () in
+  let br = St.Retry.breaker ~threshold:2 ~probe_every:2 "dev0" in
+  let policy = St.Retry.policy ~attempts:1 ~base_spins:1 ~cap_spins:1 () in
+  let healthy = ref false in
+  let calls = ref 0 in
+  let dev () =
+    incr calls;
+    if !healthy then 99 else transient ()
+  in
+  let attempt () = St.Retry.run ~policy ~breaker:br ~stats ~what:"dev0" dev in
+  (* two consecutive transients open the breaker *)
+  (match attempt () with
+  | exception St.Storage_error.Error (St.Storage_error.Io_transient, _) -> ()
+  | _ -> Alcotest.fail "expected transient");
+  check Alcotest.bool "still closed after 1 fault" false (St.Retry.breaker_open br);
+  (match attempt () with
+  | exception St.Storage_error.Error (St.Storage_error.Io_transient, _) -> ()
+  | _ -> Alcotest.fail "expected transient");
+  check Alcotest.bool "open after threshold" true (St.Retry.breaker_open br);
+  check Alcotest.int "one open transition" 1 (St.Retry.breaker_opens br);
+  (* fail-fast: the device is not touched *)
+  let before = !calls in
+  (match attempt () with
+  | exception St.Storage_error.Error (St.Storage_error.Degraded_read_only, _) -> ()
+  | _ -> Alcotest.fail "open breaker must fail fast");
+  check Alcotest.int "fail-fast skipped the device" before !calls;
+  check Alcotest.bool "rejections counted" true
+    (St.Retry.breaker_rejections br >= 1);
+  (* heal the device; the next probe (every 2nd rejected call) closes it *)
+  healthy := true;
+  let rec until_probe budget =
+    if budget = 0 then Alcotest.fail "no probe let through"
+    else
+      match attempt () with
+      | v ->
+          check Alcotest.int "probe reached the device" 99 v;
+          check Alcotest.bool "probe success closed the breaker" false
+            (St.Retry.breaker_open br)
+      | exception St.Storage_error.Error (St.Storage_error.Degraded_read_only, _)
+        ->
+          until_probe (budget - 1)
+  in
+  until_probe 4;
+  check Alcotest.int "closed breaker serves normally" 99 (attempt ())
+
+(* an env with a breaker threshold attaches one breaker to each device it
+   creates (devices appear as pagers are made, so build an index first) *)
+let test_env_breaker () =
+  let env = small_env () in
+  ignore (build_idx ~env Core.Index.Chunk);
+  check Alcotest.bool "no breakers without threshold" true
+    (St.Env.breakers env = []);
+  let env2 =
+    St.Env.create ~breaker_threshold:4 ~table_pool_pages:256
+      ~blob_pool_pages:64 ()
+  in
+  ignore (build_idx ~env:env2 Core.Index.Chunk);
+  let bs = St.Env.breakers env2 in
+  check Alcotest.bool "breakers attached per device" true (bs <> []);
+  List.iter
+    (fun (name, b) ->
+      check Alcotest.bool (name ^ " starts closed") false
+        (St.Retry.breaker_open b))
+    bs
+
+(* ------------------------------------------------------------------ *)
+(* serving front *)
+
+let test_server_round_trip () =
+  let idx = build_idx Core.Index.Chunk in
+  let oracle =
+    List.map (fun q -> (q, Core.Index.query_terms idx q ~k:10)) test_queries
+  in
+  Serve.Server.with_server ~domains:2 idx (fun server ->
+      List.iter
+        (fun (q, o) ->
+          match Serve.Server.query server q ~k:10 with
+          | Ok (Core.Index.Complete r) ->
+              check Alcotest.bool "server answer matches serial oracle" true
+                (same_results r o)
+          | Ok _ -> Alcotest.fail "unbudgeted query degraded"
+          | Error _ -> Alcotest.fail "idle server shed a request")
+        oracle)
+
+let test_server_backlog_shed_and_drain () =
+  let idx = build_idx Core.Index.Chunk in
+  Serve.Server.with_server ~domains:1 ~queue_bound:2 idx (fun server ->
+      (* submit far faster than one domain can serve: the intake queue holds
+         at most queue_bound requests, everything above is shed *)
+      let tickets = ref [] and rejected = ref 0 in
+      for i = 0 to 999 do
+        let q = List.nth test_queries (i mod List.length test_queries) in
+        match Serve.Server.submit server q ~k:10 with
+        | Ok t -> tickets := t :: !tickets
+        | Error _ -> incr rejected
+      done;
+      check Alcotest.bool "backlog shed some requests" true (!rejected > 0);
+      (* graceful drain: shutdown answers every admitted request *)
+      Serve.Server.shutdown server;
+      List.iter
+        (fun t ->
+          match Serve.Server.await t with
+          | Core.Index.Complete _ | Core.Index.Partial _
+          | Core.Index.Timed_out _ -> ())
+        !tickets;
+      check Alcotest.int "accounting: admitted + shed = submitted" 1000
+        (List.length !tickets + !rejected))
+
+let test_server_deadline_includes_queue_wait () =
+  let idx = build_idx Core.Index.Chunk in
+  Serve.Server.with_server ~domains:1 idx (fun server ->
+      (* a deadline far below the submit->execute handoff time: the budget
+         starts at submission, so it is already expired when armed *)
+      match Serve.Server.query server ~deadline_ms:0.0001 [ "alpha" ] ~k:10 with
+      | Ok (Core.Index.Partial { reason = Core.Budget.Deadline; _ }) -> ()
+      | Ok (Core.Index.Timed_out Core.Budget.Deadline) -> ()
+      | Ok _ -> Alcotest.fail "microscopic deadline did not trip"
+      | Error _ -> Alcotest.fail "idle server shed a request")
+
+(* ------------------------------------------------------------------ *)
+(* config validation *)
+
+let test_config_validation () =
+  let base = Core.Config.default in
+  Core.Config.validate base;
+  List.iter
+    (fun (what, cfg) ->
+      match Core.Config.validate cfg with
+      | exception Invalid_argument msg ->
+          check Alcotest.bool (what ^ " names Config") true
+            (String.length msg >= 7 && String.sub msg 0 7 = "Config:")
+      | () -> Alcotest.failf "%s accepted" what)
+    [ ("negative deadline", { base with Core.Config.deadline_ms = -1.0 });
+      ("nan deadline", { base with Core.Config.deadline_ms = Float.nan });
+      ("infinite deadline", { base with Core.Config.deadline_ms = infinity });
+      ("zero queue bound", { base with Core.Config.queue_bound = 0 });
+      ("zero breaker threshold", { base with Core.Config.breaker_threshold = 0 });
+      ("zero retry budget", { base with Core.Config.retry_budget = 0 }) ];
+  check Alcotest.bool "shed policy names round-trip" true
+    (Core.Config.shed_policy_of_name "cost" = Some Core.Config.Cost
+    && Core.Config.shed_policy_of_name "depth" = Some Core.Config.Depth
+    && Core.Config.shed_policy_of_name "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* SQL surface *)
+
+let test_sql_deadline_parse () =
+  (match
+     R.Sql_parser.parse_one
+       "SELECT id FROM D ORDER BY score(body, 'alpha') DESC FETCH TOP 5 \
+        RESULTS ONLY DEADLINE 50"
+   with
+  | R.Sql_ast.Select sel ->
+      check Alcotest.(option int) "deadline parsed" (Some 50)
+        sel.R.Sql_ast.deadline;
+      (* print/re-parse round trip *)
+      let printed = R.Sql_pp.statement_to_string (R.Sql_ast.Select sel) in
+      (match R.Sql_parser.parse_one printed with
+      | R.Sql_ast.Select sel2 ->
+          check Alcotest.(option int) "survives pp round trip" (Some 50)
+            sel2.R.Sql_ast.deadline
+      | _ -> Alcotest.fail "re-parse lost the select")
+  | _ -> Alcotest.fail "expected a select");
+  List.iter
+    (fun sql ->
+      match R.Sql_parser.parse_one sql with
+      | exception R.Sql_parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %s" sql)
+    [ "SELECT a FROM T DEADLINE 0"; "SELECT a FROM T DEADLINE -5";
+      "SELECT a FROM T DEADLINE soon" ]
+
+let deadline_engine () =
+  let e = R.Engine.create ~env:(small_env ()) () in
+  ignore
+    (R.Engine.exec e
+       "CREATE TABLE D (id integer, body text, PRIMARY KEY (id));\n\
+        CREATE TABLE Pop (id integer, hits integer, PRIMARY KEY (id));\n\
+        create function Hits (d: integer) returns float \
+        return SELECT P.hits FROM Pop P WHERE P.id = d;");
+  (* enough documents that an indexed query spans several merge polls *)
+  let st = ref 99 in
+  let values tbl f =
+    String.concat ", " (List.init 400 (fun i -> f i))
+    |> Printf.sprintf "INSERT INTO %s VALUES %s" tbl
+  in
+  ignore
+    (R.Engine.exec e
+       (values "D" (fun i ->
+            let words =
+              List.init 6 (fun _ -> vocab.(lcg st mod Array.length vocab))
+            in
+            Printf.sprintf "(%d, '%s')" i (String.concat " " words))));
+  ignore
+    (R.Engine.exec e
+       (values "Pop" (fun i -> Printf.sprintf "(%d, %d)" i (lcg st mod 10_000))));
+  ignore
+    (R.Engine.exec e
+       "CREATE TEXT INDEX DIdx ON D (body) USING chunk SCORE (Hits)");
+  e
+
+let ranked_sql =
+  "SELECT id FROM D ORDER BY score(body, 'alpha bravo') DESC FETCH TOP 5 \
+   RESULTS ONLY"
+
+let test_engine_deadline () =
+  let e = deadline_engine () in
+  (* no deadline: plain rows *)
+  (match R.Engine.exec_one e ranked_sql with
+  | R.Engine.Rows { rows; _ } ->
+      check Alcotest.bool "rows returned" true (rows <> [])
+  | _ -> Alcotest.fail "expected Rows without a deadline");
+  (* a microscopic session deadline degrades the indexed query *)
+  R.Engine.set_deadline e 0.000001;
+  (match R.Engine.exec_one e ranked_sql with
+  | R.Engine.Degraded { bound; reason; _ } ->
+      check Alcotest.string "reason" "deadline" reason;
+      check Alcotest.bool "bound is not nan" false (Float.is_nan bound)
+  | R.Engine.Timed_out _ -> Alcotest.fail "Chunk must answer Degraded"
+  | _ -> Alcotest.fail "microscopic session deadline did not degrade");
+  (* a generous clause overrides the session default *)
+  (match R.Engine.exec_one e (ranked_sql ^ " DEADLINE 100000") with
+  | R.Engine.Rows _ -> ()
+  | _ -> Alcotest.fail "DEADLINE clause must override the session default");
+  R.Engine.set_deadline e 0.0;
+  (match R.Engine.exec_one e ranked_sql with
+  | R.Engine.Rows _ -> ()
+  | _ -> Alcotest.fail "deadline 0 must disable degradation");
+  (* validation *)
+  (match R.Engine.set_deadline e (-1.0) with
+  | exception R.Engine.Sql_error _ -> ()
+  | () -> Alcotest.fail "negative session deadline accepted")
+
+let test_engine_admission () =
+  let e = deadline_engine () in
+  R.Engine.set_admission e (Some 4);
+  (* an uncontended statement passes and releases its slot *)
+  (match R.Engine.exec_one e ranked_sql with
+  | R.Engine.Rows _ -> ()
+  | _ -> Alcotest.fail "uncontended select rejected");
+  let adm = Option.get (R.Engine.admission e) in
+  check Alcotest.int "slot released after execution" 0
+    (Serve.Admission.depth adm);
+  (* occupy slots externally: queries shed at the bound, updates earlier *)
+  for _ = 1 to 3 do
+    match Serve.Admission.try_admit adm Serve.Admission.Query with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "setup admit failed"
+  done;
+  (match R.Engine.exec_one e "INSERT INTO Pop VALUES (9001, 5)" with
+  | R.Engine.Rejected { reason; retry_after_ms } ->
+      check Alcotest.bool "reason mentions class tier" true
+        (String.length reason > 0);
+      check Alcotest.bool "retry hint positive" true (retry_after_ms > 0.0)
+  | _ -> Alcotest.fail "update admitted above its tier");
+  (match R.Engine.exec_one e ranked_sql with
+  | R.Engine.Rows _ -> ()
+  | _ -> Alcotest.fail "query tier should still admit at depth 3");
+  (* fill to the bound: now queries shed too *)
+  (match Serve.Admission.try_admit adm Serve.Admission.Query with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "setup admit failed");
+  (match R.Engine.exec_one e ranked_sql with
+  | R.Engine.Rejected _ -> ()
+  | _ -> Alcotest.fail "query admitted above the bound");
+  (* DDL is never gated *)
+  (match
+     R.Engine.exec_one e
+       "CREATE TABLE G (id integer, x integer, PRIMARY KEY (id))"
+   with
+  | R.Engine.Done _ -> ()
+  | _ -> Alcotest.fail "DDL must bypass admission");
+  for _ = 1 to 4 do
+    Serve.Admission.release adm
+  done;
+  R.Engine.set_admission e None;
+  check Alcotest.bool "admission off" true (R.Engine.admission e = None);
+  (match R.Engine.set_admission e (Some 0) with
+  | exception R.Engine.Sql_error _ -> ()
+  | () -> Alcotest.fail "zero admission bound accepted")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "budget",
+        [ Alcotest.test_case "validation" `Quick test_budget_validation;
+          Alcotest.test_case "trip is sticky" `Quick test_budget_trip_sticky;
+          Alcotest.test_case "blocks trip" `Quick test_budget_blocks_trip;
+          Alcotest.test_case "pages trip" `Quick test_budget_pages_trip;
+          Alcotest.test_case "cross-domain cancel" `Quick
+            test_budget_cancel_cross_domain;
+          Alcotest.test_case "sim deadline via injected stalls" `Quick
+            test_budget_sim_stall ] );
+      ( "degraded answers",
+        [ Alcotest.test_case "bound conservative (methods x codecs)" `Quick
+            test_bound_conservative_serial;
+          Alcotest.test_case "bound conservative through 4-domain server"
+            `Quick test_bound_conservative_parallel;
+          Alcotest.test_case "ID methods time out" `Quick test_id_timed_out ] );
+      ( "admission",
+        [ Alcotest.test_case "depth bound" `Quick test_admission_depth;
+          Alcotest.test_case "priority tiers" `Quick test_admission_tiers;
+          Alcotest.test_case "cost policy" `Quick test_admission_cost_policy;
+          Alcotest.test_case "release underflow" `Quick
+            test_admission_release_underflow ] );
+      ( "retry + breaker",
+        [ Alcotest.test_case "retry billing" `Quick test_retry_billing;
+          Alcotest.test_case "breaker cycle" `Quick test_breaker_cycle;
+          Alcotest.test_case "env breakers" `Quick test_env_breaker ] );
+      ( "server",
+        [ Alcotest.test_case "round trip" `Quick test_server_round_trip;
+          Alcotest.test_case "backlog shed + graceful drain" `Quick
+            test_server_backlog_shed_and_drain;
+          Alcotest.test_case "deadline includes queue wait" `Quick
+            test_server_deadline_includes_queue_wait ] );
+      ( "config",
+        [ Alcotest.test_case "serving knobs" `Quick test_config_validation ] );
+      ( "sql",
+        [ Alcotest.test_case "DEADLINE parse/pp" `Quick test_sql_deadline_parse;
+          Alcotest.test_case "engine deadline" `Quick test_engine_deadline;
+          Alcotest.test_case "engine admission" `Quick test_engine_admission ]
+      ) ]
