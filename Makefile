@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check check-crash check-maintain check-codec check-planner check-serve test bench bench-par bench-recovery bench-obs bench-maintain bench-codec bench-planner bench-overload clean
+.PHONY: all check check-crash check-maintain check-codec check-planner check-serve check-selfobs test bench bench-par bench-recovery bench-obs bench-maintain bench-codec bench-planner bench-overload bench-slo bench-trend clean
 
 all:
 	dune build
@@ -83,6 +83,29 @@ check-serve:
 # shed/latency sweep (writes BENCH_PR8.json)
 bench-overload:
 	dune exec bench/main.exe -- overload
+
+# self-observation gate: burn-rate math, health hysteresis, admission
+# feedback, time-series ring, event log bounds, serial vs 4-domain
+# snapshot equality
+check-selfobs:
+	dune exec test/test_selfobs.exe
+
+# SLO alerting lead time, health-driven vs static shedding, observation
+# overhead (writes BENCH_PR9.json)
+bench-slo:
+	dune exec bench/main.exe -- slo
+
+# regression gate: replay the SLO bench quickly, then diff the fresh
+# BENCH_PR*.json against the committed baselines (HEAD), failing on >10%
+# regression of any named headline metric
+bench-trend:
+	rm -rf _bench_baseline
+	mkdir -p _bench_baseline
+	for f in $$(git ls-tree --name-only HEAD | grep '^BENCH_PR.*\.json$$'); do \
+	  git show HEAD:$$f > _bench_baseline/$$f; \
+	done
+	SVR_BENCH_PROFILE=quick dune exec bench/main.exe -- slo
+	dune exec bench/trend.exe -- --baseline _bench_baseline
 
 clean:
 	dune clean

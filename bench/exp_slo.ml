@@ -1,0 +1,579 @@
+(* Continuous self-observation under load: burn-rate alerts, health-driven
+   shedding, observation overhead. Writes BENCH_PR9.json.
+
+   1. Alert timing: a phased closed-loop run (steady -> flash crowd ->
+      recovery) against a server whose dispatcher ticks the time-series
+      ring and evaluates a query-p99 latency SLO. The shape to look for:
+      zero alert transitions in the steady phase (hysteresis + the slow
+      window), a fire transition early in the surge — before the
+      whole-run p99 (the objective horizon) crosses the limit — and a
+      clear transition after load drops, once the burst has left the slow
+      window.
+
+   2. Adaptive vs static shedding at 4x / 8x saturation: the same
+      closed-loop clients (which honor retry_after_ms hints) against PR
+      8's static admission and against health-wired admission (queue
+      occupancy + SLO burn fold into Degraded, which tightens the query
+      tier to 3/4 of the bound and scales the retry hints up, pacing
+      clients down). Adaptive should answer with a lower p99 at an
+      equal-or-lower shed rate.
+
+   3. Observation overhead: the same serial serving loop with the
+      observation heartbeat on (default-interval ring ticks, SLO + health
+      evaluation gated on actual ticks) and off, plus per-op costs of one
+      ring tick and one audit-log emit. The bar: <= 2% of mean service
+      time.
+
+   Windows here are wall-clock: the bench installs wall time as the
+   simulated-clock source, so SLO windows (defined in sim-ms) and phase
+   boundaries share one clock. The latency objective is calibrated from
+   the server path itself (a throwaway steady run), not from raw index
+   query time — dispatch, batching and wakeup overheads are part of what
+   the SLO watches. *)
+
+module Core = Svr_core
+module Serve = Svr_serve
+module Obs = Svr_obs
+module T = Obs.Timeseries
+module S = Obs.Slo
+module H = Obs.Health
+module M = Obs.Metrics
+module E = Obs.Events
+
+let percentile a q =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+  end
+
+let service_hist () =
+  M.histogram ~base:0.001
+    ~labels:[ ("class", "query") ]
+    "svr_server_service_ms"
+
+let mk_slo ~fast_ms ~slow_ms ~limit_ms ts =
+  let slo = S.create ~fast_ms ~slow_ms ts in
+  S.add slo
+    (S.objective ~name:"query_p99"
+       (S.Latency
+          { metric = S.sel ~labels:[ ("class", "query") ] "svr_server_service_ms";
+            q = 0.99; limit_ms }));
+  slo
+
+(* Evaluate SLO (and optionally health) only when the ring actually
+   ticked — burn rates cannot change between ticks, and re-deriving
+   windowed quantiles per dispatch batch is exactly the overhead the
+   sampling interval exists to bound. *)
+let gated_tick ts evals () =
+  let n0 = T.ticks ts in
+  T.maybe_tick ts;
+  if T.ticks ts <> n0 then evals ()
+
+(* ---------------------------------------------------------------- *)
+(* closed-loop clients that honor retry hints *)
+
+(* Each client issues requests until [stop] (a wall ms deadline) or
+   [budget] iterations, sleeping the (capped) retry_after_ms hint after a
+   shed — the pacing loop the scaled hints are for. The sleep is jittered
+   (uniform 0.5-1.5x, per-client seeded) the way any sane client library
+   jitters its backoff: a flat cap would wake every shed client on the
+   same tick and turn the hint into a synchronized thundering herd that
+   measures the burst, not the policy. [pace_ms] inserts a
+   think-time sleep after every answered request: steady nominal load is
+   an open-ish arrival process, not a tight loop saturating the host CPU
+   (on a small machine an unpaced closed loop measures the scheduler, not
+   the server). Returns (finish wall ms, latency ms, answered?). *)
+let client_loop server queries ~k ~deadline_ms ?stop ?budget ?pace_ms c =
+  let out = ref [] in
+  let rng = Random.State.make [| 0x510b; c |] in
+  let n = Array.length queries in
+  let continue i =
+    (match budget with Some b -> i < b | None -> true)
+    && match stop with Some s -> Obs.Clock.now_ms () < s | None -> true
+  in
+  let i = ref 0 in
+  while continue !i do
+    let q = queries.((c * 37 + !i) mod n) in
+    let t0 = Obs.Clock.now_ms () in
+    (match Serve.Server.query server ~deadline_ms q ~k with
+    | Ok _ ->
+        out := (Obs.Clock.now_ms (), Obs.Clock.now_ms () -. t0, true) :: !out;
+        (match pace_ms with
+        | Some ms -> Unix.sleepf (ms /. 1000.0)
+        | None -> ())
+    | Error { Serve.Admission.retry_after_ms; _ } ->
+        out := (Obs.Clock.now_ms (), Obs.Clock.now_ms () -. t0, false) :: !out;
+        let h = Float.min retry_after_ms 50.0 in
+        Unix.sleepf (h *. (0.5 +. Random.State.float rng 1.0) /. 1000.0));
+    incr i
+  done;
+  !out
+
+let spawn_clients server queries ~k ~deadline_ms ?stop ?budget ?pace_ms
+    clients =
+  let doms =
+    Array.init clients (fun c ->
+        Domain.spawn (fun () ->
+            client_loop server queries ~k ~deadline_ms ?stop ?budget ?pace_ms
+              c))
+  in
+  Array.to_list doms |> List.concat_map Domain.join
+
+let answered_latencies samples =
+  List.filter_map (fun (_, ms, ok) -> if ok then Some ms else None) samples
+  |> Array.of_list
+
+(* ---------------------------------------------------------------- *)
+(* section 1: phased run with an alert timeline *)
+
+type phase = {
+  ph_name : string;
+  ph_clients : int;
+  ph_ms : float;
+  ph_pace_ms : float option;
+}
+
+type phase_out = {
+  po_name : string;
+  po_answered : int;
+  po_shed : int;
+  po_p99 : float;
+  po_transitions : int;
+}
+
+let alert_run idx queries ~k ~domains ~queue_bound ~deadline_ms ~limit_ms
+    ~fast_ms ~slow_ms phases =
+  ignore (service_hist ());
+  let ts = T.create ~capacity:4096 ~interval_ms:5.0 () in
+  let slo = mk_slo ~fast_ms ~slow_ms ~limit_ms ts in
+  let tl_mu = Mutex.create () in
+  let transitions = ref [] in
+  let tick =
+    gated_tick ts (fun () ->
+        match S.evaluate slo with
+        | [] -> ()
+        | trans ->
+            let now = Obs.Clock.now_ms () in
+            Mutex.protect tl_mu (fun () ->
+                transitions :=
+                  List.map (fun (_, firing) -> (now, firing)) trans
+                  @ !transitions))
+  in
+  Serve.Server.with_server ~domains ~queue_bound ~tick idx (fun server ->
+      (* prefill: give the slow window real healthy history, so the first
+         evaluations don't judge the objective on three ticks of startup
+         jitter; nothing from this span is reported *)
+      ignore
+        (spawn_clients server queries ~k ~deadline_ms
+           ~stop:(Obs.Clock.now_ms () +. slow_ms)
+           ~pace_ms:0.5 domains);
+      Mutex.protect tl_mu (fun () -> transitions := []);
+      let t_start = Obs.Clock.now_ms () in
+      let outs =
+        List.map
+          (fun ph ->
+            let t0 = Obs.Clock.now_ms () in
+            let stop = t0 +. ph.ph_ms in
+            let samples =
+              spawn_clients server queries ~k ~deadline_ms ~stop
+                ?pace_ms:ph.ph_pace_ms ph.ph_clients
+            in
+            let t1 = Obs.Clock.now_ms () in
+            let answered = answered_latencies samples in
+            let shed = List.length samples - Array.length answered in
+            let trans_in =
+              Mutex.protect tl_mu (fun () ->
+                  List.length
+                    (List.filter (fun (t, _) -> t >= t0 && t <= t1) !transitions))
+            in
+            ( { po_name = ph.ph_name; po_answered = Array.length answered;
+                po_shed = shed; po_p99 = percentile answered 0.99;
+                po_transitions = trans_in },
+              samples ))
+          phases
+      in
+      let all_samples =
+        List.concat_map snd outs
+        |> List.filter_map (fun (t, ms, ok) -> if ok then Some (t, ms) else None)
+        |> List.sort compare
+      in
+      (* the objective horizon: the earliest time the p99 over EVERYTHING
+         answered so far crossed the limit — i.e. when over 1% of all
+         samples to date sit above it. The thing a burn-rate alert must
+         beat: by the time this global statistic moves, the incident is
+         already a window's worth of traffic old. *)
+      let t_cum_breach =
+        (* a percentile over a handful of samples is noise, not a signal:
+           don't call the global statistic breached until it has at least
+           a steady second's worth of data behind it *)
+        let min_samples = 800 in
+        let total = ref 0 and bad = ref 0 and found = ref None in
+        List.iter
+          (fun (t, ms) ->
+            incr total;
+            if ms >= limit_ms then incr bad;
+            if
+              !found = None && !total >= min_samples
+              && float_of_int !bad >= 0.01 *. float_of_int !total
+            then found := Some (t -. t_start))
+          all_samples;
+        !found
+      in
+      let tl = Mutex.protect tl_mu (fun () -> List.rev !transitions) in
+      let t_fire =
+        List.find_map
+          (fun (t, firing) -> if firing then Some (t -. t_start) else None)
+          tl
+      in
+      let final_firing = S.firing slo <> [] in
+      (List.map fst outs, t_fire, t_cum_breach, final_firing, List.length tl))
+
+(* ---------------------------------------------------------------- *)
+(* section 2: adaptive vs static at fixed saturation *)
+
+type policy_out = {
+  py_p99 : float;
+  py_shed_rate : float;
+  py_answered : int;
+  py_total : int;
+}
+
+(* The compared p99 is the *server-side* submit-to-terminal time, read
+   back from the audit-log ring after the run (one more consumer for the
+   satellite). Client-observed latency would also bill the time a client
+   domain waits to be rescheduled after its ticket resolves — on a host
+   with far fewer cores than clients that wakeup tax grows with the
+   number of *runnable* clients, and the adaptive arm keeps more clients
+   runnable precisely because it sheds less. The ring holds every
+   terminal for a run ([clients * per_client] records, under
+   {!E.capacity}), so nothing is sampled. *)
+let saturate server queries ~k ~deadline_ms ~per_client clients =
+  E.clear ();
+  let samples =
+    spawn_clients server queries ~k ~deadline_ms ~budget:per_client clients
+  in
+  let served =
+    E.recent ()
+    |> List.filter_map (fun r ->
+           if r.E.ev_terminal = E.Shed then None else Some r.E.ev_service_ms)
+    |> Array.of_list
+  in
+  let answered = answered_latencies samples in
+  let total = List.length samples in
+  let shed = total - Array.length answered in
+  { py_p99 = percentile served 0.99;
+    py_shed_rate = float_of_int shed /. float_of_int (max 1 total);
+    py_answered = Array.length answered;
+    py_total = total }
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* Each policy arm runs [repeats] times on a fresh server; the reported
+   point is the median per-run p99 and shed rate. On a small host a
+   single scheduler stall can poison one run's p99 tail — the median of
+   five runs reports the policy, not the stall. *)
+let adaptive_vs_static idx queries ~k ~domains ~queue_bound ~deadline_ms
+    ~limit_ms ~fast_ms ~slow_ms ~per_client loads =
+  let repeats = 5 in
+  let combine runs =
+    { py_p99 = median (List.map (fun r -> r.py_p99) runs);
+      py_shed_rate = median (List.map (fun r -> r.py_shed_rate) runs);
+      py_answered = List.fold_left (fun a r -> a + r.py_answered) 0 runs;
+      py_total = List.fold_left (fun a r -> a + r.py_total) 0 runs }
+  in
+  List.map
+    (fun mult ->
+      let clients = mult * domains in
+      let run_static () =
+        H.reset ();
+        Serve.Server.with_server ~domains ~queue_bound idx (fun server ->
+            saturate server queries ~k ~deadline_ms ~per_client clients)
+      in
+      let run_adaptive () =
+        H.reset ();
+        ignore (service_hist ());
+        let ts = T.create ~capacity:2048 ~interval_ms:5.0 () in
+        let slo = mk_slo ~fast_ms ~slow_ms ~limit_ms ts in
+        S.register_health slo;
+        let tick =
+          gated_tick ts (fun () ->
+              ignore (S.evaluate slo);
+              ignore (H.evaluate ()))
+        in
+        let r =
+          Serve.Server.with_server ~domains ~queue_bound ~health:H.current
+            ~tick idx (fun server ->
+              saturate server queries ~k ~deadline_ms ~per_client clients)
+        in
+        H.reset ();
+        r
+      in
+      (* alternate the arms so slow drift in host load hits both *)
+      let sts = ref [] and ads = ref [] in
+      for _ = 1 to repeats do
+        sts := run_static () :: !sts;
+        ads := run_adaptive () :: !ads
+      done;
+      (mult, combine !sts, combine !ads))
+    loads
+
+(* ---------------------------------------------------------------- *)
+(* section 3: observation overhead *)
+
+let overhead idx queries ~k ~deadline_ms =
+  let n = Array.length queries in
+  let section server reps =
+    let t0 = Obs.Clock.now_ms () in
+    for _ = 1 to reps do
+      Array.iter
+        (fun q -> ignore (Serve.Server.query server ~deadline_ms q ~k))
+        queries
+    done;
+    (Obs.Clock.now_ms () -. t0) /. float_of_int (reps * n)
+  in
+  (* warm the server, then size sections to ~25 ms. The signal (a clock
+     read per dispatcher wakeup, a ring tick per interval) is far below
+     the host's second-to-second drift, so a few long sections cannot
+     resolve it: the estimate below relies on *many* short paired
+     sections instead, where a stall lands in one bucket of one pair and
+     the median over ~60 pairs shrugs it off. *)
+  let calibrate server =
+    ignore (section server 2);
+    let per_op = section server 4 in
+    max 4 (int_of_float (25.0 /. (per_op *. float_of_int n)))
+  in
+  let fmin l = List.fold_left Float.min infinity l in
+  let fmax l = List.fold_left Float.max neg_infinity l in
+  let median l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let arms = 61 in
+  (* arm A: a server with no hook installed at all — the truly disabled
+     path, blocking dispatcher included *)
+  let pure =
+    Serve.Server.with_server ~domains:1 ~queue_bound:4 idx (fun server ->
+        let reps = calibrate server in
+        List.init arms (fun _ -> section server reps))
+  in
+  (* arm B: one server whose hook is toggled per section — on and off
+     sections share the same caches, queue and scheduling fate, so their
+     difference is the observation work and nothing else *)
+  let enabled = Atomic.make false in
+  ignore (service_hist ());
+  (* the default sampling interval — the shipped configuration *)
+  let ts = T.create ~capacity:2048 () in
+  let slo = mk_slo ~fast_ms:1000. ~slow_ms:4000. ~limit_ms:1e9 ts in
+  let hook =
+    let beat =
+      gated_tick ts (fun () ->
+          ignore (S.evaluate slo);
+          ignore (H.evaluate ()))
+    in
+    fun () -> if Atomic.get enabled then beat ()
+  in
+  let pairs =
+    Serve.Server.with_server ~domains:1 ~queue_bound:4 ~tick:hook idx
+      (fun server ->
+        let reps = calibrate server in
+        let out = ref [] in
+        (* alternate which side of the pair runs first: a host that is
+           slowly speeding up or down would otherwise bias every pair's
+           second (always-on) section the same way *)
+        for i = 1 to arms do
+          let on_first = i mod 2 = 0 in
+          Atomic.set enabled on_first;
+          let a = section server reps in
+          Atomic.set enabled (not on_first);
+          let b = section server reps in
+          out := (if on_first then (b, a) else (a, b)) :: !out
+        done;
+        Atomic.set enabled false;
+        !out)
+  in
+  let offs = List.map fst pairs and ons = List.map snd pairs in
+  (* adjacent off/on sections share whatever the host was doing at that
+     moment; the median of their paired differences estimates the
+     observation cost with slow drift and one-off stalls cancelled *)
+  let off = median offs and on_ = median ons in
+  let diff = median (List.map (fun (o, w) -> w -. o) pairs) in
+  let noise_pct = 100.0 *. (fmax offs -. fmin offs) /. fmin offs in
+  let overhead_pct = 100.0 *. diff /. off in
+  let disabled_delta_pct = 100.0 *. (off -. median pure) /. median pure in
+  (* per-op costs, independent of serving noise *)
+  let ts = T.create ~capacity:2048 () in
+  let t0 = Obs.Clock.now_ms () in
+  let n_ticks = 2000 in
+  for _ = 1 to n_ticks do
+    T.tick ts
+  done;
+  let tick_ns = 1e6 *. (Obs.Clock.now_ms () -. t0) /. float_of_int n_ticks in
+  let t0 = Obs.Clock.now_ms () in
+  let n_emits = 200_000 in
+  for _ = 1 to n_emits do
+    E.emit ~cls:"query" ~service_ms:1.0 E.Complete
+  done;
+  let emit_ns = 1e6 *. (Obs.Clock.now_ms () -. t0) /. float_of_int n_emits in
+  (off, on_, overhead_pct, disabled_delta_pct, noise_pct, tick_ns, emit_ns)
+
+(* ---------------------------------------------------------------- *)
+
+let run (p : Profile.t) =
+  Harness.banner
+    "Self-observation: burn-rate alerts, adaptive shedding, overhead" p;
+  let k = p.Profile.k in
+  let idx, _ = Harness.build p Core.Index.Chunk in
+  let queries = Harness.queries_for p in
+  (* one clock for everything: wall time is the simulated-ms source, so
+     the sim-ms SLO windows line up with the wall-paced phases *)
+  Obs.Clock.set_sim_source (fun () -> Obs.Clock.now_ms ());
+  let domains = 2 in
+
+  (* calibrate the objective on the real serving path: steady-state p99
+     through a throwaway server at nominal load *)
+  let steady_p99 =
+    Serve.Server.with_server ~domains ~queue_bound:8 idx (fun server ->
+        (* a warm pass first: the first requests through a fresh server
+           pay code and cache warmup that steady state never sees *)
+        ignore
+          (spawn_clients server queries ~k ~deadline_ms:200.0 ~budget:200
+             ~pace_ms:0.5 domains);
+        let samples =
+          spawn_clients server queries ~k ~deadline_ms:200.0 ~budget:300
+            ~pace_ms:0.5 domains
+        in
+        percentile (answered_latencies samples) 0.99)
+  in
+  let limit_ms = Float.max 0.5 (3.5 *. steady_p99) in
+  let deadline_ms = Float.max 2.0 (8.0 *. steady_p99) in
+  let fast_ms = 120.0 and slow_ms = 480.0 in
+  let queue_bound = 8 in
+  Printf.printf
+    "calibration: steady server-path p99 %.3f ms; objective %.2f ms,\n\
+     deadline %.2f ms, windows %.0f/%.0f ms, %d domains, bound %d\n"
+    steady_p99 limit_ms deadline_ms fast_ms slow_ms domains queue_bound;
+
+  print_endline "-- alert timing (steady -> surge -> recovery) --";
+  let phases =
+    [ { ph_name = "steady"; ph_clients = domains; ph_ms = 2400.0;
+        ph_pace_ms = Some 0.5 };
+      { ph_name = "surge"; ph_clients = 8 * domains; ph_ms = 600.0;
+        ph_pace_ms = None };
+      { ph_name = "recovery"; ph_clients = domains; ph_ms = 1400.0;
+        ph_pace_ms = Some 0.5 } ]
+  in
+  let outs, t_fire, t_cum_breach, final_firing, n_transitions =
+    alert_run idx queries ~k ~domains ~queue_bound ~deadline_ms ~limit_ms
+      ~fast_ms ~slow_ms phases
+  in
+  Harness.header [ "phase     "; "answered"; "   shed"; " p99 ms"; "alerts" ];
+  List.iter
+    (fun po ->
+      Harness.row po.po_name
+        [ Printf.sprintf "%8d" po.po_answered;
+          Printf.sprintf "%7d" po.po_shed;
+          Printf.sprintf "%7.2f" po.po_p99;
+          Printf.sprintf "%6d" po.po_transitions ])
+    outs;
+  let steady_flaps = (List.hd outs).po_transitions in
+  let fired = t_fire <> None in
+  let fired_before_breach =
+    match (t_fire, t_cum_breach) with
+    | Some f, Some b -> f <= b
+    | Some _, None -> true (* the horizon never breached; the alert led *)
+    | None, _ -> false
+  in
+  Printf.printf
+    "fire at %s ms; whole-run p99 crossed the objective at %s ms; cleared: %b\n"
+    (match t_fire with Some f -> Printf.sprintf "%.0f" f | None -> "-")
+    (match t_cum_breach with Some b -> Printf.sprintf "%.0f" b | None -> "never")
+    (not final_firing);
+
+  print_endline "-- adaptive (health-wired) vs static shedding --";
+  let per_client = match p.Profile.name with "quick" -> 150 | _ -> 250 in
+  let sat_bound = 4 in
+  let points =
+    adaptive_vs_static idx queries ~k ~domains ~queue_bound:sat_bound
+      ~deadline_ms ~limit_ms ~fast_ms ~slow_ms ~per_client [ 4; 8 ]
+  in
+  Harness.header
+    [ "load"; "static p99"; "static shed"; "adaptive p99"; "adaptive shed" ];
+  List.iter
+    (fun (mult, st, ad) ->
+      Harness.row
+        (Printf.sprintf "%dx" mult)
+        [ Printf.sprintf "%10.2f" st.py_p99;
+          Printf.sprintf "%10.1f%%" (100.0 *. st.py_shed_rate);
+          Printf.sprintf "%12.2f" ad.py_p99;
+          Printf.sprintf "%12.1f%%" (100.0 *. ad.py_shed_rate) ])
+    points;
+
+  print_endline "-- observation overhead --";
+  let off, on_, overhead_pct, disabled_delta_pct, noise_pct, tick_ns, emit_ns
+      =
+    overhead idx queries ~k ~deadline_ms
+  in
+  Printf.printf
+    "service %.4f ms off / %.4f ms on -> %.2f%% overhead (section noise\n\
+     %.2f%%); hook installed but disabled vs no hook: %+.2f%%; one tick\n\
+     %.0f ns, one event emit %.0f ns\n"
+    off on_ overhead_pct noise_pct disabled_delta_pct tick_ns emit_ns;
+
+  let oc = open_out "BENCH_PR9.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"slo-observability\",\n  \"profile\": %S,\n  \"k\": %d,\n\
+    \  \"calibration\": { \"steady_p99_ms\": %.4f, \"p99_limit_ms\": %.3f,\n\
+    \    \"deadline_ms\": %.3f, \"fast_window_ms\": %.0f, \"slow_window_ms\": %.0f,\n\
+    \    \"domains\": %d, \"queue_bound\": %d },\n\
+    \  \"alerts\": {\n    \"phases\": ["
+    p.Profile.name k steady_p99 limit_ms deadline_ms fast_ms slow_ms domains
+    queue_bound;
+  List.iteri
+    (fun i po ->
+      Printf.fprintf oc
+        "%s\n      { \"phase\": %S, \"answered\": %d, \"shed\": %d,\n\
+        \        \"p99_ms\": %.3f, \"transitions\": %d }"
+        (if i = 0 then "" else ",")
+        po.po_name po.po_answered po.po_shed po.po_p99 po.po_transitions)
+    outs;
+  Printf.fprintf oc
+    "\n    ],\n    \"fired\": %b,\n    \"fire_ms\": %s,\n\
+    \    \"whole_run_p99_breach_ms\": %s,\n    \"fired_before_breach\": %b,\n\
+    \    \"steady_flaps\": %d,\n    \"total_transitions\": %d,\n\
+    \    \"cleared_after_recovery\": %b\n  },\n\
+    \  \"adaptive_vs_static\": { \"per_client\": %d, \"queue_bound\": %d,\n\
+    \    \"points\": ["
+    fired
+    (match t_fire with Some f -> Printf.sprintf "%.1f" f | None -> "null")
+    (match t_cum_breach with
+    | Some b -> Printf.sprintf "%.1f" b
+    | None -> "null")
+    fired_before_breach steady_flaps n_transitions (not final_firing)
+    per_client sat_bound;
+  List.iteri
+    (fun i (mult, st, ad) ->
+      Printf.fprintf oc
+        "%s\n      { \"offered\": %d, \"total\": %d,\n\
+        \        \"static_p99_ms\": %.3f, \"static_shed_rate\": %.4f,\n\
+        \        \"adaptive_p99_ms\": %.3f, \"adaptive_shed_rate\": %.4f,\n\
+        \        \"p99_ratio\": %.4f, \"shed_rate_delta\": %.4f }"
+        (if i = 0 then "" else ",")
+        mult st.py_total st.py_p99 st.py_shed_rate ad.py_p99 ad.py_shed_rate
+        (if st.py_p99 > 0.0 then ad.py_p99 /. st.py_p99 else 1.0)
+        (ad.py_shed_rate -. st.py_shed_rate))
+    points;
+  Printf.fprintf oc
+    "\n    ] },\n  \"overhead\": { \"mean_service_ms_off\": %.5f,\n\
+    \    \"mean_service_ms_on\": %.5f, \"overhead_pct\": %.3f,\n\
+    \    \"disabled_path_delta_pct\": %.3f, \"run_noise_pct\": %.3f,\n\
+    \    \"tick_ns\": %.0f, \"event_emit_ns\": %.0f }\n}\n"
+    off on_ overhead_pct disabled_delta_pct noise_pct tick_ns emit_ns;
+  close_out oc;
+  print_endline "  wrote BENCH_PR9.json"

@@ -1,0 +1,379 @@
+(* Bench trend gate: compares the BENCH_PR*.json files in the current
+   directory against a baseline directory (the committed copies) and
+   enforces the absolute acceptance bars of the observability PR.
+
+     trend.exe [--baseline DIR]     # default baseline dir: _bench_baseline
+     trend.exe --list               # print the manifest and exit
+
+   Two kinds of checks, both from a hardcoded manifest of named headline
+   metrics addressed by "a.b[2].c" paths:
+
+   - absolute: ceilings / equalities / booleans that must hold on the
+     current files regardless of history (steady_flaps = 0, observation
+     overhead <= 2%, adaptive p99 ratio <= 1, ...);
+   - relative: machine-independent ratio metrics that must not regress by
+     more than 10% (plus a small additive slack for near-zero baselines)
+     against the baseline copy of the same file.
+
+   A missing baseline file skips its relative checks (first run); a
+   missing required current file fails. Exit 1 on any failure. *)
+
+(* ---- minimal JSON ---------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char b '\n'; advance ()
+          | Some 't' -> Buffer.add_char b '\t'; advance ()
+          | Some 'u' ->
+              advance ();
+              pos := !pos + 4;
+              Buffer.add_char b '?'
+          | Some c -> Buffer.add_char b c; advance ()
+          | None -> fail "bad escape");
+          go ()
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" lit)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let items = ref [] in
+          let rec elems () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          elems ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "empty input"
+  in
+  let v = value () in
+  skip_ws ();
+  v
+
+(* ---- "a.b[2].c" path lookup ------------------------------------------ *)
+
+let lookup (j : json) (path : string) : json option =
+  let steps =
+    String.split_on_char '.' path
+    |> List.concat_map (fun seg ->
+           (* "points[2]" -> field "points", index 2 *)
+           match String.index_opt seg '[' with
+           | None -> [ `Field seg ]
+           | Some i ->
+               let field = String.sub seg 0 i in
+               let idx =
+                 String.sub seg (i + 1) (String.length seg - i - 2)
+                 |> int_of_string
+               in
+               [ `Field field; `Index idx ])
+  in
+  List.fold_left
+    (fun acc step ->
+      match (acc, step) with
+      | Some (Obj fields), `Field f -> List.assoc_opt f fields
+      | Some (Arr items), `Index i -> List.nth_opt items i
+      | _ -> None)
+    (Some j) steps
+
+let number_at j path =
+  match lookup j path with
+  | Some (Num f) -> Some f
+  | Some (Bool b) -> Some (if b then 1.0 else 0.0)
+  | _ -> None
+
+(* ---- manifest -------------------------------------------------------- *)
+
+type absolute =
+  | Ceiling of float (* value <= bound *)
+  | Floor of float (* value >= bound *)
+  | Equals of float
+  | Truthy
+
+type check =
+  | Abs of { file : string; path : string; rule : absolute }
+  | Rel of { file : string; path : string; lower_better : bool }
+
+let rel_threshold = 0.10 (* >10% regression fails *)
+let rel_slack = 0.02 (* additive, for near-zero baselines *)
+
+(* Relative checks cover machine-independent ratio metrics only — wall-ms
+   numbers regenerated on a different box than the committed baseline
+   would always "regress". *)
+let manifest =
+  [ (* this PR's acceptance bars *)
+    Abs { file = "BENCH_PR9.json"; path = "alerts.steady_flaps";
+          rule = Equals 0.0 };
+    Abs { file = "BENCH_PR9.json"; path = "alerts.fired"; rule = Truthy };
+    Abs { file = "BENCH_PR9.json"; path = "alerts.fired_before_breach";
+          rule = Truthy };
+    Abs { file = "BENCH_PR9.json"; path = "alerts.cleared_after_recovery";
+          rule = Truthy };
+    Abs { file = "BENCH_PR9.json"; path = "alerts.total_transitions";
+          rule = Floor 2.0 };
+    Abs { file = "BENCH_PR9.json"; path = "overhead.overhead_pct";
+          rule = Ceiling 2.0 };
+    Abs { file = "BENCH_PR9.json";
+          path = "adaptive_vs_static.points[0].p99_ratio";
+          rule = Ceiling 1.0 };
+    Abs { file = "BENCH_PR9.json";
+          path = "adaptive_vs_static.points[1].p99_ratio";
+          rule = Ceiling 1.0 };
+    Abs { file = "BENCH_PR9.json";
+          path = "adaptive_vs_static.points[0].shed_rate_delta";
+          rule = Ceiling 0.05 };
+    Abs { file = "BENCH_PR9.json";
+          path = "adaptive_vs_static.points[1].shed_rate_delta";
+          rule = Ceiling 0.05 };
+    Rel { file = "BENCH_PR9.json"; path = "overhead.overhead_pct";
+          lower_better = true };
+    Rel { file = "BENCH_PR9.json";
+          path = "adaptive_vs_static.points[0].p99_ratio";
+          lower_better = true };
+    Rel { file = "BENCH_PR9.json";
+          path = "adaptive_vs_static.points[1].p99_ratio";
+          lower_better = true };
+    (* earlier PRs' headline ratios *)
+    Abs { file = "BENCH_PR8.json";
+          path = "admission_overhead.pct_of_mean_service_time";
+          rule = Ceiling 2.0 };
+    Rel { file = "BENCH_PR8.json";
+          path = "admission_overhead.pct_of_mean_service_time";
+          lower_better = true };
+    Rel { file = "BENCH_PR8.json"; path = "flash_crowd.points[4].shed_rate";
+          lower_better = true };
+    Rel { file = "BENCH_PR7.json"; path = "profiles[0].planner_vs_best";
+          lower_better = true } ]
+
+let required_files = [ "BENCH_PR9.json" ]
+
+(* ---- driver ---------------------------------------------------------- *)
+
+let read_json path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match parse s with
+    | j -> Some j
+    | exception Parse msg ->
+        Printf.printf "  ! %s: unparseable (%s)\n" path msg;
+        None
+  end
+
+let () =
+  let baseline_dir = ref "_bench_baseline" in
+  let list_only = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--baseline" :: dir :: rest ->
+        baseline_dir := dir;
+        parse_args rest
+    | "--list" :: rest ->
+        list_only := true;
+        parse_args rest
+    | arg :: _ ->
+        Printf.printf "usage: trend.exe [--baseline DIR] [--list]\n";
+        Printf.printf "unknown argument %S\n" arg;
+        exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !list_only then begin
+    List.iter
+      (function
+        | Abs { file; path; rule } ->
+            let r =
+              match rule with
+              | Ceiling v -> Printf.sprintf "<= %g" v
+              | Floor v -> Printf.sprintf ">= %g" v
+              | Equals v -> Printf.sprintf "= %g" v
+              | Truthy -> "true"
+            in
+            Printf.printf "abs  %s : %s %s\n" file path r
+        | Rel { file; path; lower_better } ->
+            Printf.printf "rel  %s : %s (%s, >%.0f%% fails)\n" file path
+              (if lower_better then "lower better" else "higher better")
+              (100.0 *. rel_threshold))
+      manifest;
+    exit 0
+  end;
+  let current = Hashtbl.create 8 and baseline = Hashtbl.create 8 in
+  let get tbl dir file =
+    match Hashtbl.find_opt tbl file with
+    | Some j -> j
+    | None ->
+        let j = read_json (Filename.concat dir file) in
+        Hashtbl.replace tbl file j;
+        j
+  in
+  let failures = ref 0 and skips = ref 0 and passes = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.printf "FAIL %s\n" fmt
+  in
+  let pass fmt =
+    incr passes;
+    Printf.printf "ok   %s\n" fmt
+  in
+  let skip fmt =
+    incr skips;
+    Printf.printf "skip %s\n" fmt
+  in
+  List.iter
+    (fun file ->
+      if get current "." file = None then
+        fail (Printf.sprintf "%s: required file missing or unparseable" file))
+    required_files;
+  List.iter
+    (function
+      | Abs { file; path; rule } -> (
+          match get current "." file with
+          | None ->
+              if not (List.mem file required_files) then
+                skip (Printf.sprintf "%s: file absent" file)
+          | Some j -> (
+              match number_at j path with
+              | None -> fail (Printf.sprintf "%s: %s missing" file path)
+              | Some v -> (
+                  let name = Printf.sprintf "%s: %s = %g" file path v in
+                  match rule with
+                  | Ceiling bound ->
+                      if v <= bound then pass name
+                      else fail (Printf.sprintf "%s (ceiling %g)" name bound)
+                  | Floor bound ->
+                      if v >= bound then pass name
+                      else fail (Printf.sprintf "%s (floor %g)" name bound)
+                  | Equals want ->
+                      if v = want then pass name
+                      else fail (Printf.sprintf "%s (expected %g)" name want)
+                  | Truthy ->
+                      if v <> 0.0 then pass name
+                      else fail (Printf.sprintf "%s (expected true)" name))))
+      | Rel { file; path; lower_better } -> (
+          match (get current "." file, get baseline !baseline_dir file) with
+          | None, _ -> skip (Printf.sprintf "%s: no current file" file)
+          | _, None ->
+              skip (Printf.sprintf "%s: no baseline in %s" file !baseline_dir)
+          | Some cur, Some base -> (
+              match (number_at cur path, number_at base path) with
+              | Some c, Some b ->
+                  let limit =
+                    if lower_better then
+                      (b *. (1.0 +. rel_threshold)) +. rel_slack
+                    else (b *. (1.0 -. rel_threshold)) -. rel_slack
+                  in
+                  let regressed =
+                    if lower_better then c > limit else c < limit
+                  in
+                  let name =
+                    Printf.sprintf "%s: %s %g vs baseline %g" file path c b
+                  in
+                  if regressed then
+                    fail (Printf.sprintf "%s (>%.0f%% regression)" name
+                            (100.0 *. rel_threshold))
+                  else pass name
+              | None, Some _ ->
+                  fail (Printf.sprintf "%s: %s missing from current" file path)
+              | _, None ->
+                  skip
+                    (Printf.sprintf "%s: %s absent from baseline" file path))))
+    manifest;
+  Printf.printf "\ntrend: %d ok, %d failed, %d skipped\n" !passes !failures
+    !skips;
+  if !failures > 0 then exit 1

@@ -13,6 +13,15 @@ module Obs = Svr_obs
 (* .timer on|off: per-statement wall + simulated-I/O time *)
 let timer = ref false
 
+(* the shell's SLO engine sits over the shared time-series ring the engine
+   ticks at each statement boundary; forcing it installs the four default
+   objectives and their "slo" health source *)
+let slo =
+  lazy
+    (let s = Obs.Slo.create (Obs.Timeseries.shared ()) in
+     Obs.Slo.install_defaults s;
+     s)
+
 let print_rows columns rows =
   let render v = Format.asprintf "%a" R.Value.pp v in
   let widths =
@@ -56,6 +65,9 @@ let exec_and_print eng sql =
   (match R.Engine.exec eng sql with
   | results -> List.iter print_result results
   | exception R.Engine.Sql_error msg -> Printf.printf "error: %s\n%!" msg);
+  (* re-evaluate burn rates against whatever the statement ticked into the
+     ring, so .health/.slo and health-driven admission stay current *)
+  ignore (Obs.Slo.evaluate (Lazy.force slo));
   if !timer then begin
     let d =
       Svr_storage.Stats.diff ~after:(Svr_storage.Stats.snapshot stats) ~before
@@ -99,8 +111,18 @@ let meta eng line =
         \  .admission [<bound>|off]  gate statements behind an in-flight bound\n\
         \       (queries < bound, DML < 3b/4, maintenance < b/2); shed\n\
         \       statements answer rejected with a retry hint\n\
-        \  .slow [N]            recent slow traces (threshold .slowms)\n\
+        \  .slow [N]            recent slow traces (threshold .slowms), plus\n\
+        \       shed / timed-out requests tagged with their verdict\n\
         \  .slowms <ms>         slow-query retention threshold\n\
+        \  .health              fold health sources (queue, breakers, SLO\n\
+        \       burn, maintenance debt); Degraded tightens admission one\n\
+        \       tier, Critical admits only DDL\n\
+        \  .slo                 burn-rate status of every SLO objective over\n\
+        \       the fast (5 sim-min) and slow (1 sim-h) windows\n\
+        \  .series [<metric> [window_ms]]  recent per-tick points of a\n\
+        \       metric, or increase/rate/quantiles over a trailing window\n\
+        \  .events [n]          recent request lifecycle records (class,\n\
+        \       terminal, waits, plan strategy, trace id) and totals\n\
         \  .codecs              posting codec and list sizes of every index\n\
         \  .maintain <index> [steps]  drain short lists into the long lists\n\
         \       in bounded online steps (all of them without a step count);\n\
@@ -206,12 +228,103 @@ let meta eng line =
       | (recent :: _) as all ->
           List.iteri
             (fun i e ->
-              Printf.printf "  [%d] trace %d  %-12s %8.3f ms wall\n" i
-                e.Obs.Slow_log.sl_trace e.Obs.Slow_log.sl_root.Obs.Trace.e_name
-                e.Obs.Slow_log.sl_root.Obs.Trace.e_wall_ms)
+              match e.Obs.Slow_log.sl_reason with
+              | Some reason ->
+                  Printf.printf "  [%d] %-12s %s\n" i
+                    e.Obs.Slow_log.sl_root.Obs.Trace.e_name reason
+              | None ->
+                  Printf.printf "  [%d] trace %d  %-12s %8.3f ms wall\n" i
+                    e.Obs.Slow_log.sl_trace
+                    e.Obs.Slow_log.sl_root.Obs.Trace.e_name
+                    e.Obs.Slow_log.sl_root.Obs.Trace.e_wall_ms)
             all;
-          print_string (Obs.Slow_log.render recent.Obs.Slow_log.sl_events);
+          if recent.Obs.Slow_log.sl_events <> [] then
+            print_string (Obs.Slow_log.render recent.Obs.Slow_log.sl_events);
           flush stdout)
+  | ".health" ->
+      let state = Obs.Health.evaluate () in
+      Printf.printf "health: %s\n" (Obs.Health.to_string state);
+      (match Obs.Slo.firing (Lazy.force slo) with
+      | [] -> ()
+      | names ->
+          Printf.printf "  firing SLOs: %s\n" (String.concat ", " names));
+      (match R.Engine.admission eng with
+      | None -> Printf.printf "  admission: off (health not enforced)\n"
+      | Some _ ->
+          Printf.printf "  admission retry-hint scale: x%.0f\n"
+            (Svr_serve.Admission.health_retry_scale state));
+      flush stdout
+  | ".slo" ->
+      ignore (Obs.Slo.evaluate (Lazy.force slo));
+      Printf.printf "  %-16s %-7s %10s %10s %6s %6s\n" "objective" "state"
+        "fast-burn" "slow-burn" "fire" "clear";
+      List.iter
+        (fun st ->
+          Printf.printf "  %-16s %-7s %10.3f %10.3f %6.2f %6.2f\n"
+            st.Obs.Slo.st_obj.Obs.Slo.o_name
+            (if st.Obs.Slo.st_firing then "FIRING" else "ok")
+            st.Obs.Slo.st_fast st.Obs.Slo.st_slow
+            st.Obs.Slo.st_obj.Obs.Slo.o_fire st.Obs.Slo.st_obj.Obs.Slo.o_clear)
+        (Obs.Slo.status (Lazy.force slo));
+      flush stdout
+  | ".series" ->
+      (match Obs.Timeseries.names (Obs.Timeseries.shared ()) with
+      | [] -> Printf.printf "no ticks yet (run a statement first)\n"
+      | names -> List.iter (fun n -> Printf.printf "  %s\n" n) names);
+      flush stdout
+  | ".events" ->
+      print_string (Obs.Events.render ());
+      flush stdout
+  | meta_line
+    when String.length meta_line > 8 && String.sub meta_line 0 8 = ".events " -> (
+      match
+        int_of_string_opt
+          (String.trim (String.sub meta_line 8 (String.length meta_line - 8)))
+      with
+      | Some n when n >= 1 ->
+          print_string (Obs.Events.render ~n ());
+          flush stdout
+      | _ -> Printf.printf "usage: .events [n]\n%!")
+  | meta_line
+    when String.length meta_line > 8 && String.sub meta_line 0 8 = ".series " -> (
+      let ts = Obs.Timeseries.shared () in
+      match
+        String.split_on_char ' ' meta_line
+        |> List.filter (fun s -> String.length s > 0)
+      with
+      | [ _; metric ] -> (
+          match Obs.Timeseries.points ts metric with
+          | [] ->
+              Printf.printf "no samples for %s (.series lists metrics)\n%!"
+                metric
+          | pts ->
+              let pts =
+                let n = List.length pts in
+                if n > 20 then List.filteri (fun i _ -> i >= n - 20) pts
+                else pts
+              in
+              Printf.printf "  %12s %12s %12s\n" "wall ms" "sim ms" "value";
+              List.iter
+                (fun (w, s, v) ->
+                  Printf.printf "  %12.1f %12.2f %12.4f\n" w s v)
+                pts;
+              flush stdout)
+      | [ _; metric; window ] -> (
+          match float_of_string_opt window with
+          | Some w when Float.is_finite w && w > 0.0 ->
+              let inc = Obs.Timeseries.increase ts metric ~window_ms:w in
+              let rate = Obs.Timeseries.rate ts metric ~window_ms:w in
+              Printf.printf
+                "%s over trailing %g sim-ms: increase %.4f, rate %.4f/s\n"
+                metric w inc rate;
+              let q p = Obs.Timeseries.quantile ts metric ~window_ms:w p in
+              let p50 = q 0.5 in
+              if not (Float.is_nan p50) then
+                Printf.printf "  p50 %.4f  p90 %.4f  p99 %.4f\n" p50 (q 0.9)
+                  (q 0.99);
+              flush stdout
+          | _ -> Printf.printf "usage: .series <metric> [window_ms]\n%!")
+      | _ -> Printf.printf "usage: .series <metric> [window_ms]\n%!")
   | meta_line
     when String.length meta_line > 9 && String.sub meta_line 0 9 = ".explain " -> (
       let sql = String.sub meta_line 9 (String.length meta_line - 9) in

@@ -188,6 +188,13 @@ let build ?env ?(tag = "index") kind cfg ~corpus ~scores =
       hdr = St.Env.btree env ~name:(tag ^ ":hdr");
       catalog }
   in
+  (* overdue compaction means queries are paying the short-list penalty:
+     report it as maintenance debt so health (and through it, admission)
+     sees the index falling behind its update stream *)
+  Svr_obs.Health.register_source ("maintenance:" ^ tag) (fun () ->
+      if Maintenance.should_run t.maint then
+        Svr_obs.Health.Warn (tag ^ ": compaction overdue")
+      else Svr_obs.Health.Ok);
   St.Btree.insert t.hdr hdr_codec_key (Types.codec_name cfg.Config.codec);
   St.Btree.insert t.hdr hdr_stats_gen_key stats_gen_current;
   Planner.Catalog.set_gen catalog stats_gen_current;

@@ -33,12 +33,21 @@ let query_metrics ~meth ~wall_ms ~sim_ms ~blocks_decoded ~blocks_skipped =
        "svr_query_blocks_skipped")
     (float_of_int blocks_skipped)
 
+(* The executing domain's most recent plan strategy: the serving layer
+   reads it right after a query returns (same domain, synchronous call) to
+   stamp the lifecycle record without threading the plan through every
+   signature. Cleared by the caller before the query runs. *)
+let strategy_key = Domain.DLS.new_key (fun () -> ref "")
+let note_strategy s = Domain.DLS.get strategy_key := s
+let last_strategy () = !(Domain.DLS.get strategy_key)
+
 (* One planned query: which strategy the cost estimator chose, how many
    times the adaptive executor overrode it mid-query, and whether the lists
    were bypassed for a forward-index table scan. Recorded at the Index
    dispatch layer — the planner itself stays metrics-free so it can sit
    below the merge without a dependency cycle. *)
 let plan_metrics ~meth ~strategy ~replans ~table_scan =
+  note_strategy strategy;
   M.inc
     (M.counter
        ~labels:[ ("method", meth); ("strategy", strategy) ]
@@ -66,11 +75,19 @@ let degraded ~meth ~reason ~partial =
     (M.counter ~labels
        ~help:"queries whose execution budget tripped mid-scan"
        "svr_degraded_total");
-  if not partial then
+  if not partial then begin
     M.inc
       (M.counter ~labels
          ~help:"budget-tripped queries with no degraded bound (timed out)"
-         "svr_timed_out_total")
+         "svr_timed_out_total");
+    (* a timeout usually falls under the slow threshold precisely because
+       the budget cut it short — record why it never finished *)
+    Svr_obs.Slow_log.note
+      ~attrs:[ ("method", meth) ]
+      ~kind:"timed_out"
+      ~reason:("budget tripped: " ^ reason)
+      ()
+  end
 
 (* One online-compaction step: how much it drained and how long it waited
    for the index write lock (the only stop-the-world component — the drain

@@ -1,5 +1,14 @@
 (* The one wall-clock source for the observability layer (and for layers
-   below it that do not link unix themselves). *)
+   below it that do not link unix themselves). Also carries the global
+   simulated-ms source: unlike [Trace.set_sim_clock] (per-domain cost
+   cells, exact span durations), this one must be callable from any
+   domain — the storage environment wires it to the snapshot-sum over
+   every domain's counters, so it is monotonic process-wide. Tests
+   inject their own source to drive deterministic window sequences. *)
 
 let now_s () = Unix.gettimeofday ()
 let now_ms () = Unix.gettimeofday () *. 1000.
+
+let sim_source = ref (fun () -> 0.)
+let set_sim_source f = sim_source := f
+let sim_ms () = !sim_source ()

@@ -1,0 +1,118 @@
+(* The health state machine: named sources anywhere in the system (breaker
+   state in storage, queue occupancy in serving, burn-rate alerts, index
+   maintenance debt) register callbacks here, and [evaluate] folds their
+   reports into one ordered state. Callbacks keep the dependency graph
+   acyclic — this module sits in the leaf library and knows nothing about
+   the layers that feed it.
+
+   Hysteresis is asymmetric on purpose: a worse raw state is adopted
+   immediately (an overloaded system must tighten admission now), but
+   recovery requires [recover_after] consecutive better evaluations —
+   otherwise a queue hovering at its threshold would flap admission tiers
+   on every tick. *)
+
+type report = Ok | Warn of string | Fail of string
+type state = Healthy | Degraded of string list | Critical
+
+let severity = function Healthy -> 0 | Degraded _ -> 1 | Critical -> 2
+
+let to_string = function
+  | Healthy -> "healthy"
+  | Degraded rs -> "degraded (" ^ String.concat "; " rs ^ ")"
+  | Critical -> "critical"
+
+let mu = Mutex.create ()
+let sources : (string * (unit -> report)) list ref = ref []
+let current_s = ref Healthy
+let better_streak = ref 0
+let recover_after = ref 3
+let gauge_on = ref false
+
+let transitions_c to_ =
+  Metrics.counter
+    ~labels:[ ("to", to_) ]
+    ~help:"health state transitions" "svr_health_transitions_total"
+
+let with_mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let ensure_gauge () =
+  if not !gauge_on then begin
+    gauge_on := true;
+    Metrics.gauge ~help:"current health state (0 healthy, 1 degraded, 2 critical)"
+      "svr_health_state" (fun () -> float_of_int (severity !current_s))
+  end
+
+let register_source name f =
+  with_mu (fun () ->
+      ensure_gauge ();
+      sources := (name, f) :: List.remove_assoc name !sources)
+
+let unregister_source name =
+  with_mu (fun () -> sources := List.remove_assoc name !sources)
+
+let set_recover_after n = with_mu (fun () -> recover_after := max 1 n)
+
+let raw_state reports =
+  let fails =
+    List.filter_map (function Fail r -> Some r | _ -> None) reports
+  in
+  let warns =
+    List.filter_map (function Warn r -> Some r | _ -> None) reports
+  in
+  if fails <> [] then Critical
+  else if warns <> [] then Degraded warns
+  else Healthy
+
+let evaluate () =
+  let srcs = with_mu (fun () -> !sources) in
+  (* run callbacks outside the lock: a source may read a mutex-protected
+     queue or breaker of its own *)
+  let reports =
+    List.map
+      (fun (name, f) ->
+        match f () with
+        | r -> r
+        | exception _ -> Fail (name ^ ": source raised"))
+      srcs
+  in
+  let raw = raw_state reports in
+  with_mu (fun () ->
+      let cur = !current_s in
+      let adopt s =
+        if severity s <> severity cur then
+          Metrics.inc
+            (transitions_c
+               (match s with
+               | Healthy -> "healthy"
+               | Degraded _ -> "degraded"
+               | Critical -> "critical"));
+        current_s := s
+      in
+      if severity raw > severity cur then begin
+        better_streak := 0;
+        adopt raw
+      end
+      else if severity raw = severity cur then begin
+        better_streak := 0;
+        (* same tier: refresh the reasons without a transition *)
+        current_s := raw
+      end
+      else begin
+        incr better_streak;
+        if !better_streak >= !recover_after then begin
+          better_streak := 0;
+          adopt raw
+        end
+      end;
+      !current_s)
+
+let current () = with_mu (fun () -> !current_s)
+
+let reset () =
+  with_mu (fun () ->
+      sources := [];
+      current_s := Healthy;
+      better_streak := 0;
+      recover_after := 3)

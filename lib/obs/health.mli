@@ -1,0 +1,40 @@
+(** System health as an ordered state machine with asymmetric hysteresis.
+
+    Layers above register named report sources (breaker state, queue
+    occupancy, burn-rate alerts, maintenance debt); {!evaluate} — called
+    from the serving tick — folds them: any [Fail] → [Critical], else any
+    [Warn] → [Degraded reasons], else [Healthy]. Worse states are adopted
+    immediately; recovery needs [recover_after] (default 3) consecutive
+    better evaluations, so admission tiers do not flap around a hovering
+    threshold. Transitions bump [svr_health_transitions_total{to}] and the
+    current severity is exported as the [svr_health_state] gauge. *)
+
+type report = Ok | Warn of string | Fail of string
+type state = Healthy | Degraded of string list | Critical
+
+val severity : state -> int
+(** [Healthy] 0, [Degraded] 1, [Critical] 2. *)
+
+val to_string : state -> string
+
+val register_source : string -> (unit -> report) -> unit
+(** Add or replace the source named [name]. Callbacks run on every
+    {!evaluate}, outside this module's lock; a raising callback reads as
+    [Fail]. *)
+
+val unregister_source : string -> unit
+
+val set_recover_after : int -> unit
+(** Consecutive better evaluations required before the state improves
+    (clamped to >= 1; default 3). *)
+
+val evaluate : unit -> state
+(** Poll every source and fold, applying hysteresis; returns (and caches)
+    the resulting state. *)
+
+val current : unit -> state
+(** The cached state from the last {!evaluate} — what {!Admission} reads
+    per request, without polling anything. *)
+
+val reset : unit -> unit
+(** Drop all sources and return to [Healthy] (tests). *)

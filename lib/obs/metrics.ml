@@ -168,12 +168,47 @@ let hist_sum h =
 let bound h i =
   if i = n_buckets - 1 then infinity else h.h_base *. (2. ** float_of_int i)
 
+(* -- quantiles ------------------------------------------------------------ *)
+
+(* Quantile estimate from non-cumulative (upper-bound, count) pairs in
+   ascending bound order, linearly interpolated inside the containing
+   bucket. Bucket lower bounds follow the log2 layout: the first bucket
+   covers (0, base], every later one (le/2, le]. A quantile landing in
+   the +inf overflow bucket reports that bucket's lower bound — the
+   tightest claim the data supports. nan when the histogram is empty. *)
+let quantile_of ~base buckets count q =
+  if count <= 0 then Float.nan
+  else begin
+    let target = q *. float_of_int count in
+    let rec walk cum = function
+      | [] -> Float.nan
+      | (le, n) :: rest ->
+          let cum' = cum +. float_of_int n in
+          if cum' >= target && n > 0 then
+            if le = infinity then base *. (2. ** float_of_int (n_buckets - 2))
+            else
+              let lo = if le <= base then 0. else le /. 2. in
+              lo +. ((le -. lo) *. (target -. cum) /. float_of_int n)
+          else walk cum' rest
+    in
+    walk 0. buckets
+  end
+
+let hist_quantile h q =
+  let buckets, _, count = hist_agg h in
+  let bs = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if buckets.(i) <> 0 then bs := (bound h i, buckets.(i)) :: !bs
+  done;
+  quantile_of ~base:h.h_base !bs count q
+
 (* -- export --------------------------------------------------------------- *)
 
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of { buckets : (float * int) list; sum : float; count : int }
+  | Histogram of
+      { base : float; buckets : (float * int) list; sum : float; count : int }
 
 let snapshot () =
   let entries =
@@ -192,7 +227,7 @@ let snapshot () =
                for i = n_buckets - 1 downto 0 do
                  if buckets.(i) <> 0 then bs := (bound h i, buckets.(i)) :: !bs
                done;
-               Histogram { buckets = !bs; sum; count }
+               Histogram { base = h.h_base; buckets = !bs; sum; count }
          in
          (k, v))
   |> List.sort compare
@@ -219,6 +254,9 @@ let reset () =
             !(h.h_cells);
           Mutex.unlock h.h_mu)
     entries
+
+(* the percentile estimates every histogram exports alongside its buckets *)
+let export_quantiles = [ 0.5; 0.9; 0.99 ]
 
 let float_str v =
   if Float.is_integer v && Float.abs v < 1e15 then
@@ -262,7 +300,7 @@ let to_json () =
           Buffer.add_string b
             (Printf.sprintf ",\"type\":\"gauge\",\"value\":%s"
                (if Float.is_nan g then "null" else float_str g))
-      | Histogram { buckets; sum; count } ->
+      | Histogram { base; buckets; sum; count } ->
           Buffer.add_string b
             (Printf.sprintf ",\"type\":\"histogram\",\"count\":%d,\"sum\":%s"
                count (float_str sum));
@@ -275,7 +313,18 @@ let to_json () =
                    (if le = infinity then "\"inf\"" else float_str le)
                    n))
             buckets;
-          Buffer.add_string b "]");
+          Buffer.add_string b "]";
+          if count > 0 then begin
+            Buffer.add_string b ",\"quantiles\":{";
+            List.iteri
+              (fun j q ->
+                if j > 0 then Buffer.add_string b ",";
+                Buffer.add_string b
+                  (Printf.sprintf "\"%g\":%s" q
+                     (float_str (quantile_of ~base buckets count q))))
+              export_quantiles;
+            Buffer.add_string b "}"
+          end);
       Buffer.add_string b "}")
     (snapshot ());
   Buffer.add_string b "\n]\n";
@@ -326,7 +375,7 @@ let to_prometheus () =
           Buffer.add_string b
             (Printf.sprintf "%s%s %s\n" name (prom_labels labels)
                (if Float.is_nan g then "NaN" else float_str g))
-      | Histogram { buckets; sum; count } ->
+      | Histogram { base; buckets; sum; count } ->
           header name "histogram";
           let cum = ref 0 in
           List.iter
@@ -344,6 +393,17 @@ let to_prometheus () =
             (Printf.sprintf "%s_sum%s %s\n" name (prom_labels labels)
                (float_str sum));
           Buffer.add_string b
-            (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels) count))
+            (Printf.sprintf "%s_count%s %d\n" name (prom_labels labels) count);
+          if count > 0 then begin
+            let qname = name ^ "_quantile" in
+            header qname "gauge";
+            List.iter
+              (fun q ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s%s %s\n" qname
+                     (prom_labels (labels @ [ ("q", Printf.sprintf "%g" q) ]))
+                     (float_str (quantile_of ~base buckets count q))))
+              export_quantiles
+          end)
     (snapshot ());
   Buffer.contents b

@@ -43,25 +43,46 @@ val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
 
+val hist_quantile : histogram -> float -> float
+(** [hist_quantile h q] estimates the [q]-quantile (q in [0,1]) from the
+    aggregated log2 buckets, linearly interpolated inside the containing
+    bucket; [nan] when empty. The relative error is bounded by the bucket
+    width (a factor of 2), so p50/p90/p99 read as order-of-magnitude-exact
+    tail estimates, not sample statistics. *)
+
+val quantile_of : base:float -> (float * int) list -> int -> float -> float
+(** The same estimator over exported data: non-cumulative (upper-bound,
+    count) pairs in ascending order (as in {!value}'s [Histogram]), total
+    count, and the histogram's bucket [base] (needed to place the first
+    bucket's lower bound at 0). Used by the time-series layer to compute
+    windowed quantiles from delta-encoded buckets. *)
+
+val export_quantiles : float list
+(** The quantiles every histogram exports ([0.5; 0.9; 0.99]). *)
+
 (** {2 Export} *)
 
 type value =
   | Counter of int
   | Gauge of float
-  | Histogram of { buckets : (float * int) list; sum : float; count : int }
+  | Histogram of
+      { base : float; buckets : (float * int) list; sum : float; count : int }
       (** [buckets] are (upper-bound, count) pairs, non-cumulative,
-          zero-count buckets omitted; the +inf bound prints as [inf]. *)
+          zero-count buckets omitted; the +inf bound prints as [inf];
+          [base] is the log2 bucket base for quantile reconstruction. *)
 
 val snapshot : unit -> ((string * (string * string) list) * value) list
 (** Every collector's aggregated value, sorted by (name, labels) — the
     structure the serial-vs-parallel equality test compares. *)
 
 val to_json : unit -> string
-(** The snapshot as a JSON array of collector objects. *)
+(** The snapshot as a JSON array of collector objects. Histograms carry a
+    ["quantiles"] object with the {!export_quantiles} estimates. *)
 
 val to_prometheus : unit -> string
 (** Prometheus text exposition (version 0.0.4): HELP/TYPE comments,
-    cumulative [_bucket{le=...}] series plus [_sum]/[_count]. *)
+    cumulative [_bucket{le=...}] series plus [_sum]/[_count], and
+    [<name>_quantile{q="..."}] gauges for {!export_quantiles}. *)
 
 val reset : unit -> unit
 (** Zero every counter and histogram cell (gauges are stateless). Call at

@@ -1,0 +1,185 @@
+(* Declarative SLOs evaluated as multi-window burn rates over the
+   time-series ring, Google-SRE style: an alert fires only when BOTH the
+   fast window (default 5 sim-minutes) and the slow window (default 1
+   sim-hour) burn above the fire threshold — the fast window gives
+   detection latency, the slow window immunity to blips — and clears only
+   when both drop below a separate, lower clear threshold (hysteresis).
+   Windows are measured in simulated ms so alert sequences are
+   deterministic under the I/O cost model, and meaningful in benches that
+   compress hours into seconds.
+
+   Burn is normalized so 1.0 means "consuming error budget exactly at the
+   objective's rate": a ratio objective divides the observed bad/total
+   fraction by its budget; a latency objective divides the windowed
+   quantile by its limit; a staleness objective divides the gauge by its
+   bound. Transitions land in three places — the
+   [svr_slo_transitions_total{slo,to}] counter (the bench's flap count),
+   a slow-log note, and the registered health source that turns firing
+   alerts into [Degraded] pressure on admission. *)
+
+type sel = { sel_name : string; sel_labels : (string * string) list }
+
+let sel ?(labels = []) name = { sel_name = name; sel_labels = labels }
+
+type kind =
+  | Ratio of { bad : sel list; total : sel list; budget : float }
+  | Latency of { metric : sel; q : float; limit_ms : float }
+  | Staleness of { metric : sel; limit : float }
+
+type objective = {
+  o_name : string;
+  o_kind : kind;
+  o_fire : float; (* burn at/above which both windows must sit to fire *)
+  o_clear : float; (* burn at/below which both windows must sit to clear *)
+}
+
+let objective ?(fire = 1.0) ?clear ~name kind =
+  let clear = match clear with Some c -> c | None -> 0.75 *. fire in
+  { o_name = name; o_kind = kind; o_fire = fire; o_clear = clear }
+
+type status = {
+  st_obj : objective;
+  st_firing : bool;
+  st_fast : float; (* burn over the fast window *)
+  st_slow : float; (* burn over the slow window *)
+}
+
+type entry = { e_obj : objective; mutable e_firing : bool;
+               mutable e_fast : float; mutable e_slow : float }
+
+type t = {
+  ts : Timeseries.t;
+  fast_ms : float;
+  slow_ms : float;
+  mu : Mutex.t;
+  mutable entries : entry list;
+}
+
+let default_fast_ms = 5. *. 60. *. 1000. (* 5 sim-minutes *)
+let default_slow_ms = 60. *. 60. *. 1000. (* 1 sim-hour *)
+
+let create ?(fast_ms = default_fast_ms) ?(slow_ms = default_slow_ms) ts =
+  { ts; fast_ms; slow_ms; mu = Mutex.create (); entries = [] }
+
+let add t o =
+  Mutex.lock t.mu;
+  let kept =
+    List.filter (fun e -> not (String.equal e.e_obj.o_name o.o_name)) t.entries
+  in
+  t.entries <-
+    kept @ [ { e_obj = o; e_firing = false; e_fast = 0.; e_slow = 0. } ];
+  Mutex.unlock t.mu
+
+let sum_increase ts sels ~window_ms =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +. Timeseries.increase ~labels:s.sel_labels ts s.sel_name ~window_ms)
+    0. sels
+
+let burn t kind ~window_ms =
+  match kind with
+  | Ratio { bad; total; budget } ->
+      let tot = sum_increase t.ts total ~window_ms in
+      if tot <= 0. then 0.
+      else sum_increase t.ts bad ~window_ms /. tot /. budget
+  | Latency { metric; q; limit_ms } ->
+      let p =
+        Timeseries.quantile ~labels:metric.sel_labels t.ts metric.sel_name
+          ~window_ms q
+      in
+      if Float.is_nan p then 0. else p /. limit_ms
+  | Staleness { metric; limit } ->
+      let v = Timeseries.last ~labels:metric.sel_labels t.ts metric.sel_name in
+      if Float.is_nan v then 0. else v /. limit
+
+let transition_c ~slo ~to_ =
+  Metrics.counter
+    ~labels:[ ("slo", slo); ("to", to_) ]
+    ~help:"SLO alert transitions" "svr_slo_transitions_total"
+
+(* Evaluate every objective against the current ring; returns the
+   transitions this round as (name, now_firing). Call after a tick. *)
+let evaluate t =
+  Mutex.lock t.mu;
+  let es = t.entries in
+  Mutex.unlock t.mu;
+  List.filter_map
+    (fun e ->
+      let fast = burn t e.e_obj.o_kind ~window_ms:t.fast_ms in
+      let slow = burn t e.e_obj.o_kind ~window_ms:t.slow_ms in
+      e.e_fast <- fast;
+      e.e_slow <- slow;
+      let was = e.e_firing in
+      let now =
+        if was then not (fast <= e.e_obj.o_clear && slow <= e.e_obj.o_clear)
+        else fast >= e.e_obj.o_fire && slow >= e.e_obj.o_fire
+      in
+      if now <> was then begin
+        e.e_firing <- now;
+        let to_ = if now then "firing" else "ok" in
+        Metrics.inc (transition_c ~slo:e.e_obj.o_name ~to_);
+        Slow_log.note
+          ~attrs:
+            [ ("fast_burn", Printf.sprintf "%.2f" fast);
+              ("slow_burn", Printf.sprintf "%.2f" slow) ]
+          ~kind:("slo:" ^ e.e_obj.o_name)
+          ~reason:
+            (if now then "alert firing: error budget burning too fast"
+             else "alert cleared")
+          ();
+        Some (e.e_obj.o_name, now)
+      end
+      else None)
+    es
+
+let status t =
+  Mutex.lock t.mu;
+  let es = t.entries in
+  Mutex.unlock t.mu;
+  List.map
+    (fun e ->
+      { st_obj = e.e_obj; st_firing = e.e_firing; st_fast = e.e_fast;
+        st_slow = e.e_slow })
+    es
+
+let firing t =
+  status t
+  |> List.filter_map (fun s -> if s.st_firing then Some s.st_obj.o_name else None)
+
+(* Turn firing alerts into health pressure: the admission loop reads the
+   folded state, so a burning error budget tightens shedding one tier. *)
+let register_health t =
+  Health.register_source "slo" (fun () ->
+      match firing t with
+      | [] -> Health.Ok
+      | names -> Health.Warn ("slo burning: " ^ String.concat "," names))
+
+(* The four standard objectives over the serving layer's metric names.
+   [p99_ms] is the per-class service-time objective (queue wait included);
+   availability counts sheds against all admission verdicts; the degraded
+   budget bounds budget-tripped queries; [wal_backlog] bounds checkpoint
+   staleness in un-truncated WAL records. *)
+let install_defaults ?(p99_ms = 50.) ?(availability = 0.999)
+    ?(degraded_budget = 0.05) ?(wal_backlog = 50_000.) t =
+  add t
+    (objective ~name:"query_p99"
+       (Latency
+          { metric = sel ~labels:[ ("class", "query") ] "svr_server_service_ms";
+            q = 0.99; limit_ms = p99_ms }));
+  add t
+    (objective ~fire:14.4 ~name:"availability"
+       (Ratio
+          { bad = [ sel "svr_shed_total" ];
+            total = [ sel "svr_shed_total"; sel "svr_admitted_total" ];
+            budget = 1. -. availability }));
+  add t
+    (objective ~fire:2.0 ~name:"degraded_rate"
+       (Ratio
+          { bad = [ sel "svr_degraded_total" ];
+            total = [ sel "svr_query_wall_ms" ];
+            budget = degraded_budget }));
+  add t
+    (objective ~name:"wal_staleness"
+       (Staleness { metric = sel "svr_wal_backlog_records"; limit = wal_backlog }));
+  register_health t

@@ -1,0 +1,73 @@
+(** Multi-window burn-rate SLO evaluation over the time-series ring.
+
+    An objective's {e burn} is normalized so 1.0 = consuming error budget
+    exactly at the objective rate: ratio objectives divide the bad/total
+    fraction by the budget, latency objectives divide the windowed
+    quantile by the limit, staleness objectives divide the gauge by its
+    bound. An alert fires when {e both} the fast (default 5 sim-minute)
+    and slow (default 1 sim-hour) windows burn at/above the fire
+    threshold, and clears when both are at/below the (lower) clear
+    threshold — the Google-SRE multi-window pattern plus hysteresis, so
+    steady-state load near the objective does not flap.
+
+    Transitions are triply visible: the
+    [svr_slo_transitions_total{slo,to}] counter, a {!Slow_log.note}, and
+    — once {!register_health} runs — a [Health] source reporting firing
+    alerts as [Warn], which admission reads as [Degraded] pressure. *)
+
+type sel = { sel_name : string; sel_labels : (string * string) list }
+(** A metric selector: name plus label-subset filter (summed matches). *)
+
+val sel : ?labels:(string * string) list -> string -> sel
+
+type kind =
+  | Ratio of { bad : sel list; total : sel list; budget : float }
+      (** increase(bad)/increase(total) against an error-budget fraction *)
+  | Latency of { metric : sel; q : float; limit_ms : float }
+      (** windowed bucket-quantile of a histogram against a limit *)
+  | Staleness of { metric : sel; limit : float }
+      (** last gauge sample against a bound (window-independent) *)
+
+type objective = {
+  o_name : string;
+  o_kind : kind;
+  o_fire : float;
+  o_clear : float;
+}
+
+val objective : ?fire:float -> ?clear:float -> name:string -> kind -> objective
+(** [fire] defaults to 1.0, [clear] to [0.75 *. fire]. *)
+
+type status = {
+  st_obj : objective;
+  st_firing : bool;
+  st_fast : float;  (** burn over the fast window at last evaluate *)
+  st_slow : float;  (** burn over the slow window at last evaluate *)
+}
+
+type t
+
+val create : ?fast_ms:float -> ?slow_ms:float -> Timeseries.t -> t
+(** Windows in simulated ms (defaults 5 m / 1 h). *)
+
+val add : t -> objective -> unit
+(** Add or replace (by name) an objective, starting in the cleared state. *)
+
+val evaluate : t -> (string * bool) list
+(** Re-evaluate every objective against the ring; returns this round's
+    transitions as [(name, now_firing)]. Call right after a tick. *)
+
+val status : t -> status list
+
+val firing : t -> string list
+(** Names of currently-firing alerts. *)
+
+val register_health : t -> unit
+(** Register the ["slo"] health source: firing alerts report [Warn]. *)
+
+val install_defaults :
+  ?p99_ms:float -> ?availability:float -> ?degraded_budget:float ->
+  ?wal_backlog:float -> t -> unit
+(** The four standard objectives (query-class p99 service time,
+    availability = 1 − shed rate, degraded-result rate, WAL-backlog
+    staleness) plus {!register_health}. *)

@@ -2,6 +2,9 @@ type entry = {
   sl_trace : int;
   sl_root : Trace.event;
   sl_events : Trace.event list;
+  sl_reason : string option;
+      (* set on requests that never ran to completion: the admission or
+         budget verdict that cut them off *)
 }
 
 let capacity = 32
@@ -10,15 +13,29 @@ let threshold = Atomic.make 100.0
 let log : entry list ref = ref [] (* most recent first, <= capacity *)
 let installed = Atomic.make false
 
+let push e =
+  Mutex.lock mu;
+  log := e :: List.filteri (fun i _ -> i < capacity - 1) !log;
+  Mutex.unlock mu
+
 let retain root =
   let events = Trace.trace_events root.Trace.e_trace in
-  Mutex.lock mu;
-  let keep =
-    { sl_trace = root.Trace.e_trace; sl_root = root; sl_events = events }
-    :: List.filteri (fun i _ -> i < capacity - 1) !log
-  in
-  log := keep;
-  Mutex.unlock mu
+  push
+    { sl_trace = root.Trace.e_trace; sl_root = root; sl_events = events;
+      sl_reason = None }
+
+(* Shed and timed-out requests leave no (or a truncated) span tree — the
+   interesting fact is the verdict, not the work. A note is a synthetic
+   single-event entry tagged with that verdict, so [.slow] answers "why
+   did this request never run" alongside "why was that one slow". *)
+let note ?(attrs = []) ~kind ~reason () =
+  push
+    { sl_trace = 0;
+      sl_root =
+        { Trace.e_trace = 0; e_span = 0; e_parent = 0; e_name = kind;
+          e_domain = (Domain.self () :> int); e_start_wall = Clock.now_s ();
+          e_wall_ms = 0.; e_sim_ms = 0.; e_attrs = attrs };
+      sl_events = []; sl_reason = Some reason }
 
 let install () =
   if Atomic.compare_and_set installed false true then

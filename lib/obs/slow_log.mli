@@ -9,13 +9,23 @@
     narrative line. *)
 
 type entry = {
-  sl_trace : int;
+  sl_trace : int;  (** [0] for reason notes, which have no trace *)
   sl_root : Trace.event;
   sl_events : Trace.event list;  (** full tree, sorted by span id *)
+  sl_reason : string option;
+      (** why the request never ran to completion — the admission verdict
+          ("shed: queue_full") or budget trip ("timed_out: deadline");
+          [None] for ordinary slow completions *)
 }
 
 val install : unit -> unit
 (** Idempotent; called by anything that sets or reads the log. *)
+
+val note :
+  ?attrs:(string * string) list -> kind:string -> reason:string -> unit -> unit
+(** Retain a request that never produced a trace (shed at admission) or
+    whose trace was cut short (budget trip): a synthetic one-event entry
+    named [kind], tagged [reason], sharing the slow log's bound. *)
 
 val set_threshold_ms : float -> unit
 (** Retain traces whose root wall duration is >= this (default 100 ms).

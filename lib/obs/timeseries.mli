@@ -1,0 +1,82 @@
+(** Delta-encoded metric time-series over the registry, in a fixed ring.
+
+    Every {!tick} takes one {!Metrics.snapshot} and appends a slot to each
+    series: counters and histogram buckets/sum/count store the {e increase}
+    since the last tick, gauges the sampled value. Ticks are stamped with
+    both clocks — wall ms and the global simulated-ms source
+    ({!Clock.sim_ms}) — so windowed queries can trail either; SLO windows
+    use sim-ms for determinism under the I/O cost model.
+
+    The idle cost is one float compare in {!maybe_tick}; nothing here has
+    its own thread. Queries address series by metric name plus a {e label
+    subset} and sum across every match, so ["svr_shed_total"] with no
+    labels aggregates the whole family.
+
+    Capacity note: at the default 100 ms interval, 600 slots retain one
+    minute of wall history; benches that want 5 m/1 h sim windows create
+    their own instance with the capacity/interval to match. *)
+
+type t
+
+type clock = Wall | Sim
+
+val create : ?capacity:int -> ?interval_ms:float -> unit -> t
+(** A fresh ring ([capacity] ticks, default 600) snapshotting every
+    [interval_ms] of wall time (default 100) when driven via
+    {!maybe_tick}. *)
+
+val shared : unit -> t
+(** The process-wide instance (default parameters) that the serving layer
+    ticks and the shell's [.series] reads. *)
+
+val tick : t -> unit
+(** Snapshot the registry into the next slot now, unconditionally. Tests
+    drive deterministic sequences with this plus an injected
+    {!Clock.set_sim_source}. Do not call from a gauge callback. *)
+
+val maybe_tick : t -> unit
+(** {!tick} iff [interval_ms] of wall time elapsed since the last one;
+    otherwise a single float compare. Sprinkled on serving hot paths
+    (dispatcher loop, statement boundary) — cheap enough for both. *)
+
+val ticks : t -> int
+(** Ticks currently retained (at most the capacity). *)
+
+val interval_ms : t -> float
+val set_interval_ms : t -> float -> unit
+
+(** {2 Windowed queries}
+
+    All windows trail from the newest tick on the chosen clock (default
+    [Sim]). [labels] is a subset filter; matching series are summed. *)
+
+val increase : ?clock:clock -> ?labels:(string * string) list ->
+  t -> string -> window_ms:float -> float
+(** Total increase of a cumulative metric over the window — a counter's
+    value, or a histogram's observation count. [0.] when unknown. *)
+
+val rate : ?clock:clock -> ?labels:(string * string) list ->
+  t -> string -> window_ms:float -> float
+(** {!increase} per second, over the span the window actually covers
+    (shorter than [window_ms] while the ring is still filling). *)
+
+val last : ?labels:(string * string) list -> t -> string -> float
+(** Latest sampled gauge value (summed across matches); [nan] if the
+    metric is not a gauge or no tick has run. *)
+
+val quantile : ?clock:clock -> ?labels:(string * string) list ->
+  t -> string -> window_ms:float -> float -> float
+(** Bucket-quantile estimate of a histogram metric over the window,
+    via {!Metrics.quantile_of} on the reassembled bucket deltas; [nan]
+    when no observations fell inside the window. *)
+
+val points : ?labels:(string * string) list ->
+  t -> string -> (float * float * float) list
+(** Raw per-tick points (wall ms, sim ms, value), oldest first: per-tick
+    increases for cumulative metrics, samples for gauges — the [.series]
+    table. *)
+
+val names : t -> string list
+(** Metric names with at least one retained series, sorted. *)
+
+val clear : t -> unit

@@ -111,6 +111,7 @@ let is_on s = s != none
 let hot () = Atomic.get active_a && is_on (ctx ()).c_current
 let current () = (ctx ()).c_current
 let last_trace_id () = Atomic.get trace_ctr
+let trace_id s = s.s_trace
 
 (* -- span lifecycle ------------------------------------------------------- *)
 
@@ -158,7 +159,18 @@ let push name =
       open_span c ~trace:c.c_current.s_trace ~parent:c.c_current name
     else none
 
+(* overwriting a retained event means some trace just lost a span — its
+   [.explain] tree will render truncated, so make the loss countable *)
+let dropped_c =
+  lazy
+    (Metrics.counter
+       ~help:"completed spans overwritten by ring wrap before retrieval"
+       "svr_trace_dropped_spans_total")
+
 let record ring ev =
+  (match ring.r_buf.(ring.r_pos) with
+  | Some _ -> Metrics.inc (Lazy.force dropped_c)
+  | None -> ());
   ring.r_buf.(ring.r_pos) <- Some ev;
   ring.r_pos <- (ring.r_pos + 1) mod ring_capacity;
   ring.r_count <- ring.r_count + 1

@@ -97,6 +97,10 @@ val has_attr : span -> string -> bool
 val current : unit -> span
 (** The calling domain's innermost open span ({!none} if untraced). *)
 
+val trace_id : span -> int
+(** The span's trace id, [0] on {!none} — the correlation key the event
+    log stores so [.events] rows link to [.explain] trees. *)
+
 val last_trace_id : unit -> int
 (** Id of the most recently started trace, [0] if none ever started. *)
 
@@ -112,7 +116,10 @@ val on_root_finish : (event -> unit) -> unit
     (the slow-log retention point). One hook; later calls replace it. *)
 
 val ring_capacity : int
-(** Completed spans retained per domain (oldest overwritten first). *)
+(** Completed spans retained per domain. Oldest overwritten first; each
+    overwrite of a still-retained event increments the
+    [svr_trace_dropped_spans_total] counter, so truncated [.explain]
+    trees are detectable from [.metrics]. *)
 
 val clear : unit -> unit
 (** Empty every ring buffer. Call only at quiescent points. *)

@@ -66,7 +66,11 @@ let set_admission t = function
   | None -> t.admission <- None
   | Some bound ->
       if bound < 1 then fail "admission queue bound must be >= 1";
-      t.admission <- Some (Serve.Admission.create ~bound ())
+      (* the cached health state closes the loop: Degraded tightens the
+         shed ladder one tier, Critical admits only ungated DDL *)
+      t.admission <-
+        Some
+          (Serve.Admission.create ~health:Svr_obs.Health.current ~bound ())
 
 let admission t = t.admission
 
@@ -835,8 +839,17 @@ let statement_class = function
    opened further down nest under it, so one .explain shows the full path
    from SQL dispatch to the method's stop decision. *)
 let exec_statement eng stmt =
+  (* the engine's observation heartbeat: time-series snapshots ride the
+     statement cadence, and when admission is gating, health is refreshed
+     so the next decision reads current pressure *)
+  Svr_obs.Timeseries.maybe_tick (Svr_obs.Timeseries.shared ());
+  if eng.admission <> None then ignore (Svr_obs.Health.evaluate ());
+  let scls = statement_class stmt in
+  let cls_name =
+    match scls with Some c -> Serve.Admission.cls_name c | None -> "ddl"
+  in
   let gate =
-    match (eng.admission, statement_class stmt) with
+    match (eng.admission, scls) with
     | Some adm, Some cls -> (
         match Serve.Admission.try_admit adm cls with
         | Ok () -> Ok (Some adm)
@@ -845,6 +858,7 @@ let exec_statement eng stmt =
   in
   match gate with
   | Error { Serve.Admission.reason; retry_after_ms } ->
+      Svr_obs.Events.emit ~reason ~cls:cls_name Svr_obs.Events.Shed;
       Rejected { reason; retry_after_ms }
   | Ok held ->
       Fun.protect
@@ -853,9 +867,33 @@ let exec_statement eng stmt =
           let sp = Svr_obs.Trace.root "statement" in
           if Svr_obs.Trace.is_on sp then
             Svr_obs.Trace.annotate sp "kind" (statement_kind stmt);
-          Fun.protect
-            ~finally:(fun () -> Svr_obs.Trace.pop sp)
-            (fun () -> run_statement eng stmt))
+          let trace = Svr_obs.Trace.trace_id sp in
+          let t0 = Svr_obs.Clock.now_ms () in
+          Core.Qobs.note_strategy "";
+          let emit ?reason terminal =
+            if scls <> None then
+              Svr_obs.Events.emit ?reason
+                ~strategy:(Core.Qobs.last_strategy ())
+                ~service_ms:(Svr_obs.Clock.now_ms () -. t0)
+                ~trace ~cls:cls_name terminal
+          in
+          match
+            Fun.protect
+              ~finally:(fun () -> Svr_obs.Trace.pop sp)
+              (fun () -> run_statement eng stmt)
+          with
+          | exception e ->
+              emit ~reason:(Printexc.to_string e) Svr_obs.Events.Failed;
+              raise e
+          | Degraded { reason; _ } as r ->
+              emit ~reason Svr_obs.Events.Partial;
+              r
+          | Timed_out { reason } as r ->
+              emit ~reason Svr_obs.Events.Timed_out;
+              r
+          | r ->
+              emit Svr_obs.Events.Complete;
+              r)
 
 (* ---------------------------------------------------------------- *)
 (* durability: checkpoint / crash / recover over the whole engine *)

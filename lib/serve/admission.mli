@@ -21,8 +21,20 @@ type rejection = { reason : string; retry_after_ms : float }
 
 type t
 
-val create : ?policy:Svr_core.Config.shed_policy -> bound:int -> unit -> t
-(** [policy] defaults to [Depth]. @raise Invalid_argument if [bound < 1]. *)
+val create :
+  ?policy:Svr_core.Config.shed_policy ->
+  ?health:(unit -> Svr_obs.Health.state) ->
+  bound:int -> unit -> t
+(** [policy] defaults to [Depth]. [health], when given, closes the
+    observe-control loop: it is read once per admission decision (pass
+    [Svr_obs.Health.current] for the cached state — never [evaluate]),
+    [Degraded] pushes every class one tier down the shed ladder
+    (queries start shedding at 3/4 of the bound, updates at 1/2,
+    maintenance at 1/4), [Critical] admits nothing this controller gates
+    (DDL bypasses admission entirely and still runs), and rejection
+    retry hints scale ×2 under [Degraded], ×8 under [Critical] to pace
+    clients down. Without [health] the controller behaves exactly as the
+    static PR 8 policy. @raise Invalid_argument if [bound < 1]. *)
 
 val bound : t -> int
 val policy : t -> Svr_core.Config.shed_policy
@@ -41,6 +53,9 @@ val try_admit :
 val release : t -> unit
 (** Return one in-flight slot. @raise Invalid_argument when nothing is in
     flight — a release without a matching admit is a serving-layer bug. *)
+
+val health_retry_scale : Svr_obs.Health.state -> float
+(** The retry-hint multiplier applied per health state (1/2/8). *)
 
 val depth : t -> int
 (** Requests currently in flight (queued + executing). *)

@@ -10,6 +10,7 @@
 
 module C = Svr_core
 module M = Svr_obs.Metrics
+module Obs = Svr_obs
 
 type state =
   | Pending
@@ -26,6 +27,7 @@ type request = {
   terms : string list;
   k : int;
   mode : C.Types.mode;
+  cls : Admission.cls;
   budget : C.Budget.t;
   ticket : ticket;
   submitted_at : float;
@@ -39,6 +41,7 @@ type t = {
   nonempty : Condition.t;
   queue : request Queue.t;
   batch_max : int;
+  tick : (unit -> unit) option;
   mutable stop : bool;
   mutable dispatcher : unit Domain.t option;
 }
@@ -57,9 +60,21 @@ let queue_wait_hist =
        ~help:"time a request spent in the intake queue (ms)"
        "svr_server_queue_wait_ms")
 
+let service_hist cls =
+  M.histogram ~base:0.001
+    ~labels:[ ("class", Admission.cls_name cls) ]
+    ~help:"submit-to-terminal time of served requests (ms, queue wait included)"
+    "svr_server_service_ms"
+
 let serve_one t r =
-  M.observe (Lazy.force queue_wait_hist)
-    (Svr_obs.Clock.now_ms () -. r.submitted_at);
+  let queue_wait = Obs.Clock.now_ms () -. r.submitted_at in
+  M.observe (Lazy.force queue_wait_hist) queue_wait;
+  (* a root span around the whole service makes the trace id available for
+     the lifecycle record even though the query opens its own spans *)
+  let sp = Obs.Trace.root "serve" in
+  if Obs.Trace.is_on sp then
+    Obs.Trace.annotate sp "class" (Admission.cls_name r.cls);
+  C.Qobs.note_strategy "";
   let st =
     try
       Done
@@ -67,18 +82,71 @@ let serve_one t r =
            r.terms ~k:r.k)
     with e -> Failed e
   in
+  let trace = Obs.Trace.trace_id sp in
+  Obs.Trace.pop sp;
+  let service_ms = Obs.Clock.now_ms () -. r.submitted_at in
+  M.observe (service_hist r.cls) service_ms;
+  let cls = Admission.cls_name r.cls in
+  (* the query ran synchronously on this domain, so the plan strategy it
+     noted is still in this domain's slot *)
+  let strategy = C.Qobs.last_strategy () in
+  (match st with
+  | Done (C.Index.Complete _) ->
+      Obs.Events.emit ~strategy ~queue_wait_ms:queue_wait ~service_ms ~trace
+        ~cls Obs.Events.Complete
+  | Done (C.Index.Partial { reason; _ }) ->
+      Obs.Events.emit ~reason:(C.Budget.reason_name reason) ~strategy
+        ~queue_wait_ms:queue_wait ~service_ms ~trace ~cls Obs.Events.Partial
+  | Done (C.Index.Timed_out reason) ->
+      Obs.Events.emit ~reason:(C.Budget.reason_name reason) ~strategy
+        ~queue_wait_ms:queue_wait ~service_ms ~trace ~cls Obs.Events.Timed_out
+  | Failed e ->
+      Obs.Events.emit ~reason:(Printexc.to_string e) ~strategy
+        ~queue_wait_ms:queue_wait ~service_ms ~trace ~cls Obs.Events.Failed
+  | Pending -> assert false);
   Admission.release t.adm;
   fulfill r.ticket st
 
 let rec dispatch_loop t =
-  let batch =
-    Mutex.protect t.mu (fun () ->
-        while Queue.is_empty t.queue && not t.stop do
-          Condition.wait t.nonempty t.mu
-        done;
-        let n = min (Queue.length t.queue) t.batch_max in
-        Array.init n (fun _ -> Queue.pop t.queue))
+  let pop_batch () =
+    let n = min (Queue.length t.queue) t.batch_max in
+    Array.init n (fun _ -> Queue.pop t.queue)
   in
+  let batch =
+    match t.tick with
+    | None ->
+        Mutex.protect t.mu (fun () ->
+            while Queue.is_empty t.queue && not t.stop do
+              Condition.wait t.nonempty t.mu
+            done;
+            pop_batch ())
+    | Some f ->
+        (* with an observation hook installed the idle wait must not be
+           unconditional: a dispatcher parked on the condition variable
+           would freeze health evaluation exactly when [Critical] has
+           closed intake — no admits, no work, no ticks, and so no path
+           back to [Healthy]. Rejected submissions also signal
+           [t.nonempty] (see [submit]), so every wakeup — admitted or
+           shed — beats the heartbeat before re-parking. *)
+        let rec wait () =
+          let b, stopped =
+            Mutex.protect t.mu (fun () ->
+                if Queue.is_empty t.queue && not t.stop then
+                  Condition.wait t.nonempty t.mu;
+                (pop_batch (), t.stop))
+          in
+          if Array.length b > 0 || stopped then b
+          else begin
+            f ();
+            wait ()
+          end
+        in
+        wait ()
+  in
+  (* the observation heartbeat rides the dispatch cadence: one callback per
+     batch (time-series maybe_tick, SLO + health evaluation), nothing when
+     no tick hook is installed *)
+  (match t.tick with Some f -> f () | None -> ());
   if Array.length batch > 0 then begin
     (* the dispatcher participates in the map as one of the pool's domains *)
     C.Query_pool.map t.pool ~f:(fun i -> serve_one t batch.(i))
@@ -89,7 +157,8 @@ let rec dispatch_loop t =
    every admitted request is answered *)
 
 let create ?(domains = 1) ?(queue_bound = C.Config.default.C.Config.queue_bound)
-    ?(policy = C.Config.default.C.Config.shed_policy) ?batch_max index =
+    ?(policy = C.Config.default.C.Config.shed_policy) ?batch_max ?health ?tick
+    index =
   let pool = C.Query_pool.create ~domains in
   let batch_max =
     match batch_max with
@@ -102,15 +171,31 @@ let create ?(domains = 1) ?(queue_bound = C.Config.default.C.Config.queue_bound)
     {
       index;
       pool;
-      adm = Admission.create ~policy ~bound:queue_bound ();
+      adm = Admission.create ~policy ?health ~bound:queue_bound ();
       mu = Mutex.create ();
       nonempty = Condition.create ();
       queue = Queue.create ();
       batch_max;
+      tick;
       stop = false;
       dispatcher = None;
     }
   in
+  (* queue occupancy as a health signal: a queue at 3/4 of its bound means
+     queue wait is already eating most deadlines. A full queue is still
+     only Warn — saturation is routine load, and reporting Fail here
+     would slam intake to Critical (admit nothing) every time a burst
+     tops the bound, oscillating Healthy -> Critical instead of settling
+     at Degraded. Fail is for sources that are actually broken (an open
+     breaker, a raising callback). *)
+  Obs.Health.register_source "server-queue" (fun () ->
+      let d = Admission.depth t.adm and b = queue_bound in
+      if t.stop then Obs.Health.Ok
+      else if d >= b then
+        Obs.Health.Warn (Printf.sprintf "intake queue full (%d/%d)" d b)
+      else if 4 * d >= 3 * b then
+        Obs.Health.Warn (Printf.sprintf "intake queue at %d/%d" d b)
+      else Obs.Health.Ok);
   t.dispatcher <- Some (Domain.spawn (fun () -> dispatch_loop t));
   t
 
@@ -130,7 +215,18 @@ let submit t ?(mode = C.Types.Conjunctive) ?(cls = Admission.Query)
   (* the Cost policy's allowance is the simulated deadline: both sides of
      the comparison then live on the deterministic cost-model clock *)
   match Admission.try_admit t.adm ?est_cost_ms ?deadline_ms:sim_ms cls with
-  | Error r -> Error r
+  | Error r ->
+      Obs.Events.emit ~reason:r.Admission.reason
+        ~cls:(Admission.cls_name cls) Obs.Events.Shed;
+      (* a shed is still a signal: wake the dispatcher so the observation
+         heartbeat (and with it health recovery) keeps running while
+         admission is rejecting everything and the queue stays empty *)
+      if t.tick <> None then
+        Mutex.protect t.mu (fun () ->
+            (* only when empty: with work queued the dispatcher is not
+               parked, and a signal would just add lock traffic *)
+            if Queue.is_empty t.queue then Condition.signal t.nonempty);
+      Error r
   | Ok () -> (
       let budget =
         C.Budget.create ?deadline_ms ?sim_ms ?pages ?blocks
@@ -144,6 +240,7 @@ let submit t ?(mode = C.Types.Conjunctive) ?(cls = Admission.Query)
           terms;
           k;
           mode;
+          cls;
           budget;
           ticket;
           submitted_at = Svr_obs.Clock.now_ms ();
@@ -198,8 +295,9 @@ let shutdown t =
         end)
   in
   (match d with Some d -> Domain.join d | None -> ());
+  Obs.Health.unregister_source "server-queue";
   C.Query_pool.shutdown t.pool
 
-let with_server ?domains ?queue_bound ?policy ?batch_max index f =
-  let t = create ?domains ?queue_bound ?policy ?batch_max index in
+let with_server ?domains ?queue_bound ?policy ?batch_max ?health ?tick index f =
+  let t = create ?domains ?queue_bound ?policy ?batch_max ?health ?tick index in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

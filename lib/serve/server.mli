@@ -21,13 +21,28 @@ val create :
   ?queue_bound:int ->
   ?policy:Svr_core.Config.shed_policy ->
   ?batch_max:int ->
+  ?health:(unit -> Svr_obs.Health.state) ->
+  ?tick:(unit -> unit) ->
   Svr_core.Index.t ->
   t
 (** [domains] (default 1) sizes the worker pool; [queue_bound] and [policy]
     default from {!Svr_core.Config.default}; [batch_max] (default
     [4 * domains]) caps how many queued requests one dispatcher round hands
     to the pool. The served index must not receive concurrent updates while
-    batches run (the {!Svr_core.Query_pool} snapshot contract). *)
+    batches run (the {!Svr_core.Query_pool} snapshot contract).
+
+    [health] is forwarded to {!Admission.create} — pass
+    [Svr_obs.Health.current] to let the cached health state tighten shed
+    tiers. [tick] is the observation heartbeat: called once per dispatcher
+    round (typically [Timeseries.maybe_tick] plus [Slo.evaluate] plus
+    [Health.evaluate]); absent, the dispatcher adds no observation cost.
+
+    Every server registers the ["server-queue"] health source (Warn at 3/4
+    occupancy, Fail when full) and unregisters it at {!shutdown}. Each
+    request's lifecycle lands in {!Svr_obs.Events} — [Shed] at admission,
+    or [Complete]/[Partial]/[Timed_out]/[Failed] with queue wait, service
+    time and trace id after execution — and its submit-to-terminal time in
+    the [svr_server_service_ms{class}] histogram. *)
 
 val index : t -> Svr_core.Index.t
 val admission : t -> Admission.t
@@ -73,6 +88,8 @@ val with_server :
   ?queue_bound:int ->
   ?policy:Svr_core.Config.shed_policy ->
   ?batch_max:int ->
+  ?health:(unit -> Svr_obs.Health.state) ->
+  ?tick:(unit -> unit) ->
   Svr_core.Index.t ->
   (t -> 'a) ->
   'a

@@ -33,6 +33,11 @@ let create ?(page_size = 4096) ?(table_pool_pages = 8192)
      the tracer is process-global, environments in practice are not. *)
   Svr_obs.Trace.set_sim_clock (fun () ->
       Stats.simulated_ms ~cost (Stats.cell stats));
+  (* the global sim clock (time-series tick stamps, SLO windows) must be
+     readable from any domain, so it sums every domain's cell — monotonic
+     process-wide, unlike the per-domain span clock above *)
+  Svr_obs.Clock.set_sim_source (fun () ->
+      Stats.simulated_ms ~cost (Stats.snapshot stats));
   let breakers = ref [] in
   let mk_breaker name =
     match breaker_threshold with

@@ -43,9 +43,21 @@ type breaker = {
 let breaker ?(threshold = 8) ?(probe_every = 4) name =
   if threshold < 1 then invalid_arg "Retry.breaker: threshold must be >= 1";
   if probe_every < 1 then invalid_arg "Retry.breaker: probe_every must be >= 1";
-  { name; threshold; probe_every; consecutive = Atomic.make 0;
-    open_ = Atomic.make false; rejections = Atomic.make 0;
-    opens = Atomic.make 0 }
+  let b =
+    { name; threshold; probe_every; consecutive = Atomic.make 0;
+      open_ = Atomic.make false; rejections = Atomic.make 0;
+      opens = Atomic.make 0 }
+  in
+  (* an open breaker is a degraded device: surface it to the health fold so
+     admission tightens while reads are failing fast (replace-by-name keeps
+     one source per device across environment rebuilds) *)
+  Svr_obs.Health.register_source ("breaker:" ^ name) (fun () ->
+      if Atomic.get b.open_ then
+        Svr_obs.Health.Warn
+          (Printf.sprintf "%s: circuit open after %d consecutive faults" name
+             (Atomic.get b.consecutive))
+      else Svr_obs.Health.Ok);
+  b
 
 let breaker_open b = Atomic.get b.open_
 let breaker_opens b = Atomic.get b.opens

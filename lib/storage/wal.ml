@@ -45,6 +45,7 @@ type t = {
   mutable tail_bytes : Bytes.t; (* in-memory image of the tail page *)
   pending : Buffer.t;
   mutable pending_records : int;
+  mutable backlog : int; (* records appended since the last truncate *)
   commit_size_h : Svr_obs.Metrics.histogram;
 }
 
@@ -82,12 +83,19 @@ let create ?(group = 32) disk =
   let t =
     { disk; stats = Disk.stats disk; page_size; group; epoch = 1;
       tail_page = 0; tail_off = 0; tail_bytes = Bytes.make page_size '\000';
-      pending = Buffer.create 512; pending_records = 0;
+      pending = Buffer.create 512; pending_records = 0; backlog = 0;
       commit_size_h =
         Svr_obs.Metrics.histogram ~base:1.0
           ~help:"records per WAL group-commit flush"
           "svr_wal_group_commit_records" }
   in
+  (* checkpoint staleness as seen by the SLO layer: how many records a
+     recovery would have to replay right now *)
+  Svr_obs.Metrics.gauge
+    ~labels:[ ("device", Disk.name disk) ]
+    ~help:"WAL records appended since the last truncate (checkpoint debt)"
+    "svr_wal_backlog_records"
+    (fun () -> float_of_int t.backlog);
   assert (Disk.n_pages disk = 0);
   ignore (Disk.alloc disk); (* header *)
   write_header t;
@@ -96,6 +104,7 @@ let create ?(group = 32) disk =
 
 let group_size t = t.group
 let device t = t.disk
+let backlog t = t.backlog
 
 (* -- serialization -------------------------------------------------------- *)
 
@@ -242,6 +251,7 @@ let append t record =
   buf_u32 t.pending (Crc32.string payload);
   Buffer.add_string t.pending payload;
   t.pending_records <- t.pending_records + 1;
+  t.backlog <- t.backlog + 1;
   let c = Stats.cell t.stats in
   c.Stats.wal_appends <- c.Stats.wal_appends + 1;
   c.Stats.wal_bytes <- c.Stats.wal_bytes + 12 + String.length payload;
@@ -261,6 +271,7 @@ let lose_pending t =
 let truncate t =
   (* the single header write is the atomic commit point of a checkpoint *)
   lose_pending t;
+  t.backlog <- 0;
   t.epoch <- t.epoch + 1;
   write_header t;
   t.tail_page <- 1;
@@ -333,4 +344,6 @@ let recover_scan t =
     Bytes.blit
       (Disk.read_verified t.disk t.tail_page)
       0 t.tail_bytes 0 t.tail_off;
-  List.rev !records
+  let records = List.rev !records in
+  t.backlog <- List.length records;
+  records

@@ -69,3 +69,9 @@ val recover_scan : t -> record list
 val group_size : t -> int
 
 val device : t -> Disk.t
+
+val backlog : t -> int
+(** Records appended since the last {!truncate} — the checkpoint debt a
+    recovery would replay, also exported as the
+    [svr_wal_backlog_records{device}] gauge that the WAL-staleness SLO
+    watches. Reset by {!truncate}; recomputed by {!recover_scan}. *)

@@ -291,7 +291,7 @@ let snap_testable =
         match v with
         | M.Counter n -> Format.fprintf ppf "counter %d@." n
         | M.Gauge g -> Format.fprintf ppf "gauge %g@." g
-        | M.Histogram { buckets; sum; count } ->
+        | M.Histogram { buckets; sum; count; _ } ->
             Format.fprintf ppf "hist count=%d sum=%g %s@." count sum
               (String.concat " "
                  (List.map

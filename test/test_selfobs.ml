@@ -1,0 +1,576 @@
+(* Self-observation tests (PR 9).
+
+   Covers the histogram quantile estimator (directed interpolation against
+   hand-computed values, the +inf overflow bound, the JSON and Prometheus
+   quantile export); the delta-encoded time-series ring (window increase /
+   rate / gauge last / windowed bucket-quantile under an injected sim
+   clock, baseline-on-first-sight, registry-reset detection); multi-window
+   burn-rate SLO evaluation (slow window delays the fire, hysteresis keeps
+   the alert latched until both windows clear, zero flaps in between);
+   health state-machine hysteresis (immediate worsening, recover_after
+   consecutive better evaluations, raising sources, breaker-fed sources);
+   health-driven admission (tier tightening under Degraded, admit-nothing
+   under Critical, scaled retry hints, shed verdicts in the slow log);
+   the request lifecycle audit log (ring order, terminal counters,
+   rendering, end-to-end emission from SQL statements); the trace ring's
+   dropped-span counter; and the serial-vs-4-domain snapshot equality of
+   both the metric registry and the time-series readings. *)
+
+module M = Svr_obs.Metrics
+module T = Svr_obs.Timeseries
+module S = Svr_obs.Slo
+module H = Svr_obs.Health
+module E = Svr_obs.Events
+module Trace = Svr_obs.Trace
+module Slow_log = Svr_obs.Slow_log
+module Clock = Svr_obs.Clock
+module A = Svr_serve.Admission
+module St = Svr_storage
+module R = Svr_relational
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+let checkf_eps eps msg = Alcotest.check (Alcotest.float eps) msg
+
+(* ------------------------------------------------------------------ *)
+(* quantile estimation from log2 buckets *)
+
+let test_quantile_of () =
+  (* one bucket at le=1 (the base bucket, lower bound 0): the quantile
+     interpolates linearly from 0 to 1 *)
+  checkf "single bucket p50" 0.5 (M.quantile_of ~base:1.0 [ (1.0, 10) ] 10 0.5);
+  (* two buckets [0,1] and (2,4]: p25 sits in the first, p75 in the
+     second (lower bound le/2 = 2) *)
+  let bk = [ (1.0, 10); (4.0, 10) ] in
+  checkf "two buckets p25" 0.5 (M.quantile_of ~base:1.0 bk 20 0.25);
+  checkf "two buckets p75" 3.0 (M.quantile_of ~base:1.0 bk 20 0.75);
+  checkf "two buckets p99" 3.96 (M.quantile_of ~base:1.0 bk 20 0.99);
+  (* everything in the overflow bucket reports its lower bound *)
+  checkf "overflow bound"
+    (0.001 *. (2. ** 39.))
+    (M.quantile_of ~base:0.001 [ (infinity, 5) ] 5 0.5);
+  check Alcotest.bool "empty is nan" true
+    (Float.is_nan (M.quantile_of ~base:1.0 [] 0 0.5))
+
+let test_hist_quantile () =
+  let h = M.histogram ~base:1.0 "selfobs_q_ms" in
+  check Alcotest.bool "fresh hist quantile is nan" true
+    (Float.is_nan (M.hist_quantile h 0.5));
+  (* 10 samples in the base bucket, 10 in (2,4] *)
+  for _ = 1 to 10 do
+    M.observe h 0.5
+  done;
+  for _ = 1 to 10 do
+    M.observe h 3.0
+  done;
+  checkf "p50 at the base bucket's upper bound" 1.0 (M.hist_quantile h 0.5);
+  checkf "p90 interpolated in (2,4]" 3.6 (M.hist_quantile h 0.9);
+  checkf "p99 interpolated in (2,4]" 3.96 (M.hist_quantile h 0.99);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "JSON export carries quantiles" true
+    (contains (M.to_json ()) "\"quantiles\"");
+  let prom = M.to_prometheus () in
+  check Alcotest.bool "Prometheus export carries _quantile gauges" true
+    (contains prom "selfobs_q_ms_quantile{q=\"0.99\"}")
+
+(* ------------------------------------------------------------------ *)
+(* time-series ring under an injected sim clock *)
+
+let test_timeseries_windows () =
+  let simnow = ref 0. in
+  Clock.set_sim_source (fun () -> !simnow);
+  let ts = T.create ~capacity:16 () in
+  let c = M.counter "selfobs_ts_total" in
+  let g = ref 42. in
+  M.gauge "selfobs_ts_gauge" (fun () -> !g);
+  (* registered before the baseline tick: a series first seen mid-flight
+     reads as a baseline (delta 0), not as history *)
+  let h = M.histogram ~base:1.0 "selfobs_ts_ms" in
+  T.tick ts;
+  (* baseline @0: first sight of the counter is delta 0 *)
+  M.add c 5;
+  simnow := 1000.;
+  T.tick ts;
+  M.add c 10;
+  simnow := 2000.;
+  T.tick ts;
+  checkf "window covering only the last tick" 10.
+    (T.increase ts "selfobs_ts_total" ~window_ms:500.);
+  checkf "window covering both deltas" 15.
+    (T.increase ts "selfobs_ts_total" ~window_ms:1500.);
+  checkf "window wider than history" 15.
+    (T.increase ts "selfobs_ts_total" ~window_ms:1e6);
+  (* rate divides by the span actually covered: 15 over [0,2000] *)
+  checkf "rate over actual span" 7.5
+    (T.rate ts "selfobs_ts_total" ~window_ms:1500.);
+  checkf "rate over one interval" 10.
+    (T.rate ts "selfobs_ts_total" ~window_ms:500.);
+  checkf "gauge last" 42. (T.last ts "selfobs_ts_gauge");
+  g := 7.;
+  simnow := 2500.;
+  T.tick ts;
+  checkf "gauge last follows the newest tick" 7.
+    (T.last ts "selfobs_ts_gauge");
+  (* a registry reset reads as a counter starting over: counted from v *)
+  M.reset ();
+  M.add c 3;
+  simnow := 3000.;
+  T.tick ts;
+  checkf "reset detection counts from the new value" 3.
+    (T.increase ts "selfobs_ts_total" ~window_ms:400.);
+  (* windowed bucket-quantile over per-tick deltas *)
+  M.observe h 0.7;
+  M.observe h 3.0;
+  simnow := 4000.;
+  T.tick ts;
+  checkf "windowed p50" 1.0
+    (T.quantile ts "selfobs_ts_ms" ~window_ms:500. 0.5);
+  checkf "windowed p99" 3.96
+    (T.quantile ts "selfobs_ts_ms" ~window_ms:500. 0.99);
+  check Alcotest.bool "empty window is nan" true
+    (Float.is_nan (T.quantile ts "selfobs_ts_ms" ~window_ms:500. 0.5
+                   |> fun _ ->
+                   T.quantile ts "selfobs_no_such_metric" ~window_ms:500. 0.5));
+  (* per-tick points, oldest first *)
+  let pts = T.points ts "selfobs_ts_total" in
+  check Alcotest.int "one point per tick" 6 (List.length pts);
+  let _, _, v1 = List.nth pts 1 in
+  checkf "second point carries the first delta" 5. v1;
+  check Alcotest.bool "names lists the metric" true
+    (List.mem "selfobs_ts_total" (T.names ts))
+
+(* ------------------------------------------------------------------ *)
+(* multi-window burn rates: slow window delays, hysteresis latches *)
+
+let test_slo_fire_clear () =
+  let simnow = ref 0. in
+  Clock.set_sim_source (fun () -> !simnow);
+  let ts = T.create ~capacity:64 () in
+  let slo = S.create ~fast_ms:2000. ~slow_ms:10_000. ts in
+  S.add slo
+    (S.objective ~fire:2.0 ~name:"errs"
+       (S.Ratio
+          { bad = [ S.sel "selfobs_slo_bad" ];
+            total = [ S.sel "selfobs_slo_tot" ];
+            budget = 0.05 }));
+  let bad = M.counter "selfobs_slo_bad" in
+  let tot = M.counter "selfobs_slo_tot" in
+  let fired = M.counter ~labels:[ ("slo", "errs"); ("to", "firing") ]
+      "svr_slo_transitions_total" in
+  let cleared = M.counter ~labels:[ ("slo", "errs"); ("to", "ok") ]
+      "svr_slo_transitions_total" in
+  let fired0 = M.counter_value fired and cleared0 = M.counter_value cleared in
+  let step ?(bad_n = 0) () =
+    M.add tot 10;
+    if bad_n > 0 then M.add bad bad_n;
+    simnow := !simnow +. 1000.;
+    T.tick ts;
+    S.evaluate slo
+  in
+  T.tick ts;
+  (* healthy steady state: nine ticks, no transitions *)
+  for _ = 1 to 9 do
+    check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.bool))
+      "steady state is silent" [] (step ())
+  done;
+  (* first bad tick: fast window burns at 5x but the slow window still
+     reads 1.0 -- multi-window suppresses the blip *)
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.bool))
+    "fast alone does not fire" []
+    (step ~bad_n:5 ());
+  (* second bad tick pushes the slow window to the threshold: fires *)
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.bool))
+    "both windows above fire" [ ("errs", true) ]
+    (step ~bad_n:5 ());
+  check Alcotest.bool "firing lists it" true (S.firing slo = [ "errs" ]);
+  (* recovery: the fast window clears immediately but the slow window
+     still covers the burst -- the alert stays latched, zero flaps *)
+  for _ = 1 to 8 do
+    check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.bool))
+      "latched while the slow window covers the burst" [] (step ())
+  done;
+  (* sim 20000: the burst has left the slow window entirely *)
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.bool))
+    "both windows below clear" [ ("errs", false) ]
+    (step ());
+  check Alcotest.bool "cleared" true (S.firing slo = []);
+  check Alcotest.int "exactly one fire transition" 1
+    (M.counter_value fired - fired0);
+  check Alcotest.int "exactly one clear transition" 1
+    (M.counter_value cleared - cleared0);
+  (* the transitions left notes in the slow log *)
+  match Slow_log.entries () with
+  | e :: _ ->
+      check Alcotest.string "slow-log note kind" "slo:errs"
+        e.Slow_log.sl_root.Trace.e_name;
+      check Alcotest.bool "slow-log note reason" true
+        (e.Slow_log.sl_reason = Some "alert cleared")
+  | [] -> Alcotest.fail "expected slo transition notes in the slow log"
+
+let test_slo_staleness_and_latency () =
+  let simnow = ref 0. in
+  Clock.set_sim_source (fun () -> !simnow);
+  let ts = T.create ~capacity:16 () in
+  let slo = S.create ~fast_ms:2000. ~slow_ms:4000. ts in
+  let backlog = ref 0. in
+  M.gauge "selfobs_slo_backlog" (fun () -> !backlog);
+  S.add slo
+    (S.objective ~name:"stale"
+       (S.Staleness { metric = S.sel "selfobs_slo_backlog"; limit = 100. }));
+  let h = M.histogram ~base:1.0 "selfobs_slo_lat" in
+  S.add slo
+    (S.objective ~name:"lat"
+       (S.Latency { metric = S.sel "selfobs_slo_lat"; q = 0.5; limit_ms = 2. }));
+  (* the baseline tick sees both metrics, so later deltas are real *)
+  T.tick ts;
+  check Alcotest.bool "nothing firing" true (S.evaluate slo = []);
+  (* gauge above its bound fires on the next evaluate, regardless of
+     window (staleness is an instantaneous measure) *)
+  backlog := 150.;
+  M.observe h 10.;
+  (* p50 = 8 over limit 2 -> burn 4 *)
+  simnow := 1000.;
+  T.tick ts;
+  let tr = S.evaluate slo in
+  check Alcotest.bool "staleness fired" true (List.mem ("stale", true) tr);
+  check Alcotest.bool "latency fired" true (List.mem ("lat", true) tr);
+  (* both recover *)
+  backlog := 0.;
+  for _ = 1 to 5 do
+    simnow := !simnow +. 1000.;
+    T.tick ts
+  done;
+  let tr = S.evaluate slo in
+  check Alcotest.bool "staleness cleared" true (List.mem ("stale", false) tr);
+  check Alcotest.bool "latency cleared" true (List.mem ("lat", false) tr)
+
+(* ------------------------------------------------------------------ *)
+(* health state machine *)
+
+let st = Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (H.to_string s))
+    (fun a b -> a = b)
+
+let test_health_hysteresis () =
+  H.reset ();
+  let r = ref H.Ok in
+  H.register_source "t" (fun () -> !r);
+  check st "healthy" H.Healthy (H.evaluate ());
+  (* worse is adopted immediately *)
+  r := H.Warn "queue backing up";
+  check st "degraded immediately" (H.Degraded [ "queue backing up" ])
+    (H.evaluate ());
+  (* recovery needs recover_after consecutive better evaluations *)
+  r := H.Ok;
+  check st "still degraded (1)" (H.Degraded [ "queue backing up" ])
+    (H.evaluate ());
+  check st "still degraded (2)" (H.Degraded [ "queue backing up" ])
+    (H.evaluate ());
+  check st "recovered on the third" H.Healthy (H.evaluate ());
+  (* a blip mid-recovery resets the streak *)
+  r := H.Fail "device dead";
+  check st "critical immediately" H.Critical (H.evaluate ());
+  r := H.Warn "mending";
+  ignore (H.evaluate ());
+  ignore (H.evaluate ());
+  r := H.Fail "dead again";
+  check st "relapse is immediate" H.Critical (H.evaluate ());
+  r := H.Warn "mending";
+  ignore (H.evaluate ());
+  ignore (H.evaluate ());
+  check st "three better evals to step down"
+    (H.Degraded [ "mending" ]) (H.evaluate ());
+  (* current is the cached state, no polling *)
+  r := H.Fail "x";
+  check st "current does not re-poll" (H.Degraded [ "mending" ]) (H.current ());
+  (* a raising source reads as Fail *)
+  H.register_source "boom" (fun () -> failwith "kaput");
+  check st "raising source is critical" H.Critical (H.evaluate ());
+  H.unregister_source "boom";
+  H.reset ()
+
+let test_health_breaker_source () =
+  H.reset ();
+  (* the breaker constructor registers its own health source *)
+  let b = Svr_storage.Retry.breaker ~threshold:2 "selfobsdev" in
+  check st "closed breaker is healthy" H.Healthy (H.evaluate ());
+  Svr_storage.Retry.record_failure b;
+  Svr_storage.Retry.record_failure b;
+  check Alcotest.bool "breaker open" true (Svr_storage.Retry.breaker_open b);
+  (match H.evaluate () with
+  | H.Degraded [ reason ] ->
+      check Alcotest.bool "reason names the device" true
+        (String.length reason >= 10
+        && String.sub reason 0 10 = "selfobsdev")
+  | s -> Alcotest.failf "expected Degraded, got %s" (H.to_string s));
+  Svr_storage.Retry.record_success b;
+  ignore (H.evaluate ());
+  ignore (H.evaluate ());
+  check st "healthy after close + hysteresis" H.Healthy (H.evaluate ());
+  H.unregister_source "breaker:selfobsdev";
+  H.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* health-driven admission *)
+
+let test_admission_health_tiers () =
+  let h = ref H.Healthy in
+  let adm = A.create ~health:(fun () -> !h) ~bound:8 () in
+  (* healthy: queries admit up to the full bound *)
+  for _ = 1 to 8 do
+    match A.try_admit adm A.Query with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "healthy query under bound must admit"
+  done;
+  (match A.try_admit adm A.Query with
+  | Error { retry_after_ms; _ } ->
+      checkf "healthy retry hint is unscaled" 9. retry_after_ms
+  | Ok () -> Alcotest.fail "9th query past the bound must shed");
+  (* degraded: queries shed one tier earlier (3/4 of the bound) with a
+     doubled retry hint *)
+  A.release adm;
+  A.release adm;
+  (* depth 6 = the degraded query tier *)
+  h := H.Degraded [ "slo burning" ];
+  (match A.try_admit adm A.Query with
+  | Error { reason; retry_after_ms } ->
+      checkf "degraded retry hint is doubled" 14. retry_after_ms;
+      check Alcotest.bool "reason says tightened" true
+        (let n = String.length reason in
+         let rec go i =
+           i + 9 <= n && (String.sub reason i 9 = "tightened" || go (i + 1))
+         in
+         go 0)
+  | Ok () -> Alcotest.fail "degraded query at 3/4 bound must shed");
+  for _ = 1 to 6 do
+    A.release adm
+  done;
+  (* degraded maintenance admits only below bound/4 = 2 *)
+  (match A.try_admit adm A.Maintenance with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "degraded maintenance below bound/4 must admit");
+  (match A.try_admit adm A.Maintenance with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "degraded maintenance below bound/4 must admit");
+  (match A.try_admit adm A.Maintenance with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "degraded maintenance at bound/4 must shed");
+  A.release adm;
+  A.release adm;
+  (* critical: nothing gated admits, retry hints scale x8, and the shed
+     verdict lands in the slow log *)
+  h := H.Critical;
+  Slow_log.clear ();
+  (match A.try_admit adm A.Query with
+  | Error { reason; retry_after_ms } ->
+      checkf "critical retry hint x8" 8. retry_after_ms;
+      check Alcotest.bool "reason says critical" true
+        (String.length reason >= 8 && String.sub reason 0 8 = "critical")
+  | Ok () -> Alcotest.fail "critical must admit nothing gated");
+  (match Slow_log.entries () with
+  | e :: _ ->
+      check Alcotest.string "shed note kind" "shed"
+        e.Slow_log.sl_root.Trace.e_name;
+      check Alcotest.bool "shed note has a reason" true
+        (e.Slow_log.sl_reason <> None)
+  | [] -> Alcotest.fail "expected the shed verdict in the slow log");
+  checkf "retry scale table" 1. (A.health_retry_scale H.Healthy);
+  checkf "retry scale table" 2. (A.health_retry_scale (H.Degraded []));
+  checkf "retry scale table" 8. (A.health_retry_scale H.Critical)
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle audit log *)
+
+let test_events_ring () =
+  E.clear ();
+  let d0 = E.counts () in
+  let delta t =
+    List.assoc t (E.counts ()) - List.assoc t d0
+  in
+  E.emit ~cls:"query" ~strategy:"threshold" ~queue_wait_ms:1.5
+    ~service_ms:4.25 ~trace:7 E.Complete;
+  E.emit ~cls:"query" ~reason:"budget tripped: deadline" E.Partial;
+  E.emit ~cls:"update" ~reason:"overloaded" E.Shed;
+  (match E.recent ~n:3 () with
+  | [ c; b; a ] ->
+      check Alcotest.string "newest first" "update" c.E.ev_cls;
+      check Alcotest.bool "terminal order" true
+        (c.E.ev_terminal = E.Shed && b.E.ev_terminal = E.Partial
+        && a.E.ev_terminal = E.Complete);
+      check Alcotest.bool "seq increases" true
+        (c.E.ev_seq > b.E.ev_seq && b.E.ev_seq > a.E.ev_seq);
+      checkf "queue wait carried" 1.5 a.E.ev_queue_wait_ms;
+      checkf "service carried" 4.25 a.E.ev_service_ms;
+      check Alcotest.int "trace carried" 7 a.E.ev_trace;
+      check Alcotest.string "strategy carried" "threshold" a.E.ev_strategy
+  | l -> Alcotest.failf "expected 3 records, got %d" (List.length l));
+  check Alcotest.int "complete counted" 1 (delta E.Complete);
+  check Alcotest.int "partial counted" 1 (delta E.Partial);
+  check Alcotest.int "shed counted" 1 (delta E.Shed);
+  let out = E.render ~n:8 () in
+  let contains needle =
+    let nh = String.length out and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub out i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "render shows the strategy" true (contains "plan=threshold");
+  check Alcotest.bool "render shows the verdict" true (contains "overloaded");
+  check Alcotest.bool "render shows totals" true (contains "totals:")
+
+let test_events_from_statements () =
+  E.clear ();
+  let d0 = E.counts () in
+  let eng =
+    R.Engine.create
+      ~env:(St.Env.create ~table_pool_pages:256 ~blob_pool_pages:64 ())
+      ()
+  in
+  ignore (R.Engine.exec eng "CREATE TABLE ev (id int, PRIMARY KEY (id));");
+  ignore (R.Engine.exec eng "INSERT INTO ev VALUES (1), (2);");
+  ignore (R.Engine.exec eng "SELECT id FROM ev;");
+  (* DDL is not a gated class and emits nothing; DML and queries do *)
+  check Alcotest.int "two lifecycle records" 2
+    (List.assoc E.Complete (E.counts ()) - List.assoc E.Complete d0);
+  match E.recent ~n:2 () with
+  | [ q; u ] ->
+      check Alcotest.string "query class" "query" q.E.ev_cls;
+      check Alcotest.string "update class" "update" u.E.ev_cls;
+      check Alcotest.bool "service time recorded" true (q.E.ev_service_ms >= 0.)
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* trace ring drop accounting *)
+
+let test_trace_dropped_spans () =
+  let c = M.counter "svr_trace_dropped_spans_total" in
+  let before = M.counter_value c in
+  Trace.set_sampling 1;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sampling 0)
+    (fun () ->
+      for _ = 1 to 8192 + 64 do
+        let s = Trace.root "wrapper" in
+        Trace.pop s
+      done);
+  check Alcotest.bool "ring wrap counts dropped spans" true
+    (M.counter_value c - before >= 64)
+
+(* ------------------------------------------------------------------ *)
+(* serial = 4-domain snapshot equality *)
+
+let par_work lo hi =
+  let c = M.counter "selfobs_par_total" in
+  let h = M.histogram ~base:0.001 "selfobs_par_ms" in
+  for i = lo to hi do
+    M.inc c;
+    (* dyadic values: float sums are exact in any association order *)
+    M.observe h (float_of_int (i mod 32) /. 16.)
+  done
+
+let par_filter snap =
+  List.filter
+    (fun ((n, _), _) ->
+      String.length n >= 11 && String.sub n 0 11 = "selfobs_par")
+    snap
+
+let test_serial_parallel_equality () =
+  let simnow = ref 0. in
+  Clock.set_sim_source (fun () -> !simnow);
+  let read ts =
+    ( T.increase ts "selfobs_par_total" ~window_ms:500.,
+      T.increase ts "selfobs_par_ms" ~window_ms:500.,
+      T.quantile ts "selfobs_par_ms" ~window_ms:500. 0.9 )
+  in
+  (* register before the baseline ticks so both runs delta from zero *)
+  ignore (M.counter "selfobs_par_total");
+  ignore (M.histogram ~base:0.001 "selfobs_par_ms");
+  (* serial *)
+  M.reset ();
+  let ts1 = T.create ~capacity:8 () in
+  simnow := 0.;
+  T.tick ts1;
+  par_work 0 399;
+  simnow := 100.;
+  T.tick ts1;
+  let snap1 = par_filter (M.snapshot ()) in
+  let r1 = read ts1 in
+  (* the same multiset of observations over 4 domains *)
+  M.reset ();
+  let ts2 = T.create ~capacity:8 () in
+  simnow := 0.;
+  T.tick ts2;
+  let doms =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () -> par_work (k * 100) ((k * 100) + 99)))
+  in
+  List.iter Domain.join doms;
+  simnow := 100.;
+  T.tick ts2;
+  let snap2 = par_filter (M.snapshot ()) in
+  let r2 = read ts2 in
+  check Alcotest.bool "snapshots are structurally identical" true
+    (snap1 = snap2);
+  check Alcotest.bool "snapshot is non-trivial" true (List.length snap1 = 2);
+  let i1, s1, q1 = r1 and i2, s2, q2 = r2 in
+  checkf "windowed count increase equal" i1 i2;
+  checkf "count is the work done" 400. i1;
+  checkf_eps 1e-9 "windowed histogram count equal" s1 s2;
+  checkf_eps 1e-9 "windowed quantile equal" q1 q2
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "selfobs"
+    [
+      ( "quantile",
+        [
+          Alcotest.test_case "quantile_of interpolation" `Quick
+            test_quantile_of;
+          Alcotest.test_case "hist_quantile and export" `Quick
+            test_hist_quantile;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "window math under sim clock" `Quick
+            test_timeseries_windows;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "multi-window fire and clear" `Quick
+            test_slo_fire_clear;
+          Alcotest.test_case "staleness and latency kinds" `Quick
+            test_slo_staleness_and_latency;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "asymmetric hysteresis" `Quick
+            test_health_hysteresis;
+          Alcotest.test_case "breaker-fed source" `Quick
+            test_health_breaker_source;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "health-driven tiers and retry scale" `Quick
+            test_admission_health_tiers;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "ring, counts and render" `Quick test_events_ring;
+          Alcotest.test_case "emitted from SQL statements" `Quick
+            test_events_from_statements;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "dropped spans on ring wrap" `Quick
+            test_trace_dropped_spans;
+        ] );
+      ( "equality",
+        [
+          Alcotest.test_case "serial = 4-domain snapshots" `Quick
+            test_serial_parallel_equality;
+        ] );
+    ]
