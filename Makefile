@@ -1,6 +1,6 @@
 # Convenience entry points; dune is the build system.
 
-.PHONY: all check check-crash check-maintain check-codec check-planner check-serve check-selfobs test bench bench-par bench-recovery bench-obs bench-maintain bench-codec bench-planner bench-overload bench-slo bench-trend clean
+.PHONY: all check check-crash check-maintain check-codec check-planner check-serve check-selfobs check-net test bench bench-par bench-recovery bench-obs bench-maintain bench-codec bench-planner bench-overload bench-slo bench-net bench-trend clean
 
 all:
 	dune build
@@ -95,16 +95,27 @@ check-selfobs:
 bench-slo:
 	dune exec bench/main.exe -- slo
 
-# regression gate: replay the SLO bench quickly, then diff the fresh
-# BENCH_PR*.json against the committed baselines (HEAD), failing on >10%
-# regression of any named headline metric
+# network front-door gate: wire-protocol codec + framing fuzz + socket
+# sessions (pipelining, drain, failure isolation, HTTP endpoints)
+check-net:
+	dune build
+	dune exec test/test_net.exe
+
+# wire overhead, over-the-wire conservativeness under update rounds, and
+# the flash-crowd socket sweep (writes BENCH_PR10.json)
+bench-net:
+	dune exec bench/main.exe -- net
+
+# regression gate: replay the SLO and network benches quickly, then diff
+# the fresh BENCH_PR*.json against the committed baselines (HEAD), failing
+# on >10% regression of any named headline metric
 bench-trend:
 	rm -rf _bench_baseline
 	mkdir -p _bench_baseline
 	for f in $$(git ls-tree --name-only HEAD | grep '^BENCH_PR.*\.json$$'); do \
 	  git show HEAD:$$f > _bench_baseline/$$f; \
 	done
-	SVR_BENCH_PROFILE=quick dune exec bench/main.exe -- slo
+	SVR_BENCH_PROFILE=quick dune exec bench/main.exe -- slo net
 	dune exec bench/trend.exe -- --baseline _bench_baseline
 
 clean:

@@ -1,0 +1,486 @@
+(* The TCP front door under a flash crowd. Writes BENCH_PR10.json.
+
+   1. Wire overhead: serial p50 of the same query set submitted in-process
+      (straight into the serve layer's intake) and over a loopback socket
+      through one protocol connection. The difference is what framing, two
+      thread hops and the kernel's loopback cost on this machine — reported,
+      not gated (it is pure wall time).
+
+   2. Conservativeness over the wire, update-intensive: rounds of (apply a
+      batch of Zipf score updates) -> (recompute the exact oracle in
+      process) -> (replay every query through the pooled client, once
+      unbudgeted and once per swept block budget). An unbudgeted reply must
+      be bit-identical to the oracle — floats cross the wire as IEEE-754
+      bit patterns, so equality is exact. A degraded [Partial] reply must
+      satisfy the bound property: no oracle top-k document outside the
+      returned results may score above the reported bound. Violations must
+      stay 0; this is the end-to-end proof that the network layer forwards
+      the serving core's guarantees undamaged.
+
+   3. Flash crowd over real sockets: closed-loop client threads (each
+      leasing from a shared bounded pool, honoring [retry_after_ms] hints
+      with the decorrelated-jitter curve from {!Svr_storage.Retry}) at
+      1x/2x/4x/8x the serving width, against a server with health-wired
+      admission (queue occupancy + SLO burn fold into the shed decision)
+      and a concurrent score-update stream writing through the index's
+      rw-lock. Per point: answered QPS, client-observed p50/p99, shed
+      rate, and the server-side submit-to-terminal p99 from the audit ring
+      — the gated "bounded p99" number, because client-observed tails on a
+      small host also bill thread-wakeup taxes that grow with the number
+      of runnable clients. The shape to look for: the shed rate, not the
+      latency, absorbs the excess load. *)
+
+module Core = Svr_core
+module Serve = Svr_serve
+module St = Svr_storage
+module Net = Svr_net
+module Obs = Svr_obs
+module W = Svr_workload
+module T = Obs.Timeseries
+module S = Obs.Slo
+module H = Obs.Health
+module M = Obs.Metrics
+module E = Obs.Events
+
+let percentile a q =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+  end
+
+let service_hist () =
+  M.histogram ~base:0.001
+    ~labels:[ ("class", "query") ]
+    "svr_server_service_ms"
+
+let mk_slo ~fast_ms ~slow_ms ~limit_ms ts =
+  let slo = S.create ~fast_ms ~slow_ms ts in
+  S.add slo
+    (S.objective ~name:"query_p99"
+       (S.Latency
+          { metric = S.sel ~labels:[ ("class", "query") ] "svr_server_service_ms";
+            q = 0.99; limit_ms }));
+  slo
+
+let gated_tick ts evals () =
+  let n0 = T.ticks ts in
+  T.maybe_tick ts;
+  if T.ticks ts <> n0 then evals ()
+
+(* ---------------------------------------------------------------- *)
+(* closed-loop socket clients *)
+
+type status = Answered | Shed | Fatal
+
+(* One closed-loop client: lease a pooled connection per request, record
+   the round trip, and after a shed pace down along the decorrelated-jitter
+   curve seeded with the server's hint — the protocol-level backpressure
+   loop the [Rejected {retry_after_ms}] reply exists for. [pace_ms] turns
+   the tight loop into a think-time arrival process for the steady
+   calibration run. *)
+let client_loop pool queries ~k ~deadline_ms ?pace_ms ~budget c =
+  let out = ref [] in
+  let n = Array.length queries in
+  let prev = ref 0.0 in
+  for i = 0 to budget - 1 do
+    let q = queries.((c * 37 + i) mod n) in
+    let t0 = Obs.Clock.now_ms () in
+    (match Net.Client.query pool ~deadline_ms q ~k with
+    | Ok _ ->
+        out := (Obs.Clock.now_ms () -. t0, Answered) :: !out;
+        (match pace_ms with
+        | Some ms -> Thread.delay (ms /. 1000.0)
+        | None -> ())
+    | Error (Net.Client.Rejected { retry_after_ms; _ })
+    | Error (Net.Client.Draining { retry_after_ms }) ->
+        out := (Obs.Clock.now_ms () -. t0, Shed) :: !out;
+        let s =
+          St.Retry.jitter_ms ~base_ms:1.0 ~cap_ms:50.0
+            ~prev_ms:(Float.max retry_after_ms !prev)
+        in
+        prev := s;
+        Thread.delay (s /. 1000.0)
+    | Error _ -> out := (Obs.Clock.now_ms () -. t0, Fatal) :: !out)
+  done;
+  !out
+
+let spawn_clients pool queries ~k ~deadline_ms ?pace_ms ~budget clients =
+  let results = Array.make clients [] in
+  let ths =
+    Array.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            results.(c) <-
+              client_loop pool queries ~k ~deadline_ms ?pace_ms ~budget c)
+          ())
+  in
+  Array.iter Thread.join ths;
+  Array.to_list results |> List.concat
+
+let answered_latencies samples =
+  List.filter_map (fun (ms, st) -> if st = Answered then Some ms else None)
+    samples
+  |> Array.of_list
+
+(* ---------------------------------------------------------------- *)
+(* section 1: wire overhead *)
+
+let wire_overhead server ~host ~port queries ~k ~deadline_ms =
+  let serve = Net.Server.serve server in
+  let reps = 12 in
+  let section f =
+    let out = ref [] in
+    for _ = 1 to reps do
+      Array.iter
+        (fun q ->
+          let t0 = Obs.Clock.now_ms () in
+          f q;
+          out := (Obs.Clock.now_ms () -. t0) :: !out)
+        queries
+    done;
+    percentile (Array.of_list !out) 0.5
+  in
+  (* warm both paths once — first-touch code and cache costs are not wire
+     overhead *)
+  Array.iter (fun q -> ignore (Serve.Server.query serve ~deadline_ms q ~k))
+    queries;
+  let inproc =
+    section (fun q -> ignore (Serve.Server.query serve ~deadline_ms q ~k))
+  in
+  let conn = Net.Client.Conn.connect ~host ~port () in
+  Array.iter (fun q -> ignore (Net.Client.Conn.query conn ~deadline_ms q ~k))
+    queries;
+  let socket =
+    section (fun q -> ignore (Net.Client.Conn.query conn ~deadline_ms q ~k))
+  in
+  Net.Client.Conn.goodbye conn;
+  (inproc, socket)
+
+(* ---------------------------------------------------------------- *)
+(* section 2: conservativeness through the wire, under updates *)
+
+type conserve = {
+  cv_full : int;
+  cv_degraded : int;
+  cv_timed_out : int;
+  cv_mismatches : int; (* unbudgeted reply <> oracle — must stay 0 *)
+  cv_violations : int; (* bound property failures — must stay 0 *)
+  cv_fatal : int; (* Timeout/Remote/Protocol client errors — must stay 0 *)
+}
+
+let conservativeness (p : Profile.t) idx pool ~cur queries ~k =
+  let rounds = 3 in
+  let budgets = [ 1; 2; 8 ] in
+  let per_round = min 600 (p.Profile.n_updates / rounds) in
+  let ops =
+    Harness.update_ops p ~scores:cur ~n:(rounds * per_round)
+  in
+  let acc =
+    ref { cv_full = 0; cv_degraded = 0; cv_timed_out = 0; cv_mismatches = 0;
+          cv_violations = 0; cv_fatal = 0 }
+  in
+  let bump f = acc := f !acc in
+  for round = 0 to rounds - 1 do
+    (* a batch of score updates, applied in process (the wire carries
+       queries; updates enter through the index's writer path) *)
+    for j = round * per_round to ((round + 1) * per_round) - 1 do
+      let op = ops.(j) in
+      let s = W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc) in
+      cur.(op.W.Update_gen.doc) <- s;
+      Core.Index.score_update idx ~doc:op.W.Update_gen.doc s
+    done;
+    (* the post-update oracle, straight from the index *)
+    let oracle = Array.map (fun q -> Core.Index.query_terms idx q ~k) queries in
+    Array.iteri
+      (fun i q ->
+        (match Net.Client.query pool q ~k with
+        | Ok (Net.Wire.Complete r) ->
+            bump (fun a ->
+                { a with cv_full = a.cv_full + 1;
+                  cv_mismatches =
+                    (a.cv_mismatches + if r = oracle.(i) then 0 else 1) })
+        | Ok _ ->
+            (* no budget was set: a degraded reply here is itself a bug *)
+            bump (fun a -> { a with cv_mismatches = a.cv_mismatches + 1 })
+        | Error _ -> bump (fun a -> { a with cv_fatal = a.cv_fatal + 1 }));
+        List.iter
+          (fun blocks ->
+            match Net.Client.query pool ~blocks q ~k with
+            | Ok (Net.Wire.Complete r) ->
+                bump (fun a ->
+                    { a with cv_full = a.cv_full + 1;
+                      cv_mismatches =
+                        (a.cv_mismatches + if r = oracle.(i) then 0 else 1) })
+            | Ok (Net.Wire.Partial { results; bound; _ }) ->
+                let got = List.map fst results in
+                let bad =
+                  List.exists
+                    (fun (d, s) ->
+                      (not (List.mem d got)) && s > bound +. 1e-9)
+                    oracle.(i)
+                in
+                if bad then
+                  Printf.printf
+                    "  VIOLATION: round %d query %d blocks %d bound %.4f\n"
+                    round i blocks bound;
+                bump (fun a ->
+                    { a with cv_degraded = a.cv_degraded + 1;
+                      cv_violations = (a.cv_violations + if bad then 1 else 0) })
+            | Ok (Net.Wire.Timed_out _) ->
+                bump (fun a -> { a with cv_timed_out = a.cv_timed_out + 1 })
+            | Ok _ | Error _ ->
+                bump (fun a -> { a with cv_fatal = a.cv_fatal + 1 }))
+          budgets)
+      queries
+  done;
+  (!acc, rounds, per_round)
+
+(* ---------------------------------------------------------------- *)
+(* section 3: flash crowd *)
+
+type point = {
+  fc_mult : int;
+  fc_clients : int;
+  fc_total : int;
+  fc_answered : int;
+  fc_shed : int;
+  fc_fatal : int;
+  fc_qps : float;
+  fc_p50 : float;
+  fc_p99 : float;
+  fc_srv_p99 : float; (* submit -> terminal, from the audit ring *)
+}
+
+let flash_point ~host ~port ~clients ~per_client ~deadline_ms queries ~k =
+  let pool =
+    Net.Client.create ~size:clients ~retries:0 ~query_timeout_ms:5000.0 ~host
+      ~port ()
+  in
+  E.clear ();
+  let t0 = Obs.Clock.now_ms () in
+  let samples =
+    spawn_clients pool queries ~k ~deadline_ms ~budget:per_client clients
+  in
+  let elapsed_s = (Obs.Clock.now_ms () -. t0) /. 1000.0 in
+  Net.Client.close pool;
+  (* server-side tail: queue wait + service per non-shed terminal — the
+     deadline is billed from submission, so this sum is what "bounded by
+     the deadline" means. The ring keeps the most recent {!E.capacity}
+     terminals; a tail over those is the point's closing-state p99. *)
+  let srv =
+    E.recent ()
+    |> List.filter_map (fun r ->
+           if r.E.ev_terminal = E.Shed then None
+           else Some (r.E.ev_queue_wait_ms +. r.E.ev_service_ms))
+    |> Array.of_list
+  in
+  let answered = answered_latencies samples in
+  let total = List.length samples in
+  let shed =
+    List.length (List.filter (fun (_, st) -> st = Shed) samples)
+  in
+  let fatal =
+    List.length (List.filter (fun (_, st) -> st = Fatal) samples)
+  in
+  { fc_mult = 0; fc_clients = clients; fc_total = total;
+    fc_answered = Array.length answered; fc_shed = shed; fc_fatal = fatal;
+    fc_qps = float_of_int (Array.length answered) /. Float.max 1e-9 elapsed_s;
+    fc_p50 = percentile answered 0.5; fc_p99 = percentile answered 0.99;
+    fc_srv_p99 = percentile srv 0.99 }
+
+(* ---------------------------------------------------------------- *)
+
+let run (p : Profile.t) =
+  Harness.banner "Network front door: wire overhead, fidelity, flash crowd" p;
+  let k = p.Profile.k in
+  let idx, scores = Harness.build p Core.Index.Chunk in
+  let queries = Harness.queries_for p in
+  let cur = Array.copy scores in
+  (* wall time as the sim source: SLO windows (sim-ms) pace with the wall
+     phases, as in the PR 9 bench *)
+  Obs.Clock.set_sim_source (fun () -> Obs.Clock.now_ms ());
+  let domains = 2 in
+  let queue_bound = 8 in
+  let host = "127.0.0.1" in
+
+  (* health-wired server: queue occupancy and SLO burn fold into the
+     admission decision, exactly the adaptive arm of the PR 9 sweep — but
+     reached over TCP *)
+  H.reset ();
+  ignore (service_hist ());
+  let ts = T.create ~capacity:4096 ~interval_ms:5.0 () in
+  (* the SLO limit is calibrated below, once a steady socket p99 exists;
+     until then an effectively-infinite limit keeps the burn rate quiet *)
+  let limit = ref 1e9 in
+  let slo = mk_slo ~fast_ms:120.0 ~slow_ms:480.0 ~limit_ms:1e9 ts in
+  S.register_health slo;
+  let slo = ref slo in
+  let tick =
+    gated_tick ts (fun () ->
+        ignore (S.evaluate !slo);
+        ignore (H.evaluate ()))
+  in
+  Fun.protect ~finally:H.reset (fun () ->
+      Net.Server.with_server ~domains ~queue_bound ~health:H.current ~tick idx
+        (fun server ->
+          let port = Net.Server.port server in
+
+          (* steady calibration over the socket path: the deadline and the
+             SLO limit must include framing and thread hops, or the server
+             would be judged against a bar the wire can never meet *)
+          let cal_pool =
+            Net.Client.create ~size:domains ~host ~port ()
+          in
+          ignore
+            (spawn_clients cal_pool queries ~k ~deadline_ms:200.0 ~pace_ms:0.5
+               ~budget:100 domains);
+          let steady =
+            spawn_clients cal_pool queries ~k ~deadline_ms:200.0 ~pace_ms:0.5
+              ~budget:200 domains
+          in
+          Net.Client.close cal_pool;
+          let steady_p99 = percentile (answered_latencies steady) 0.99 in
+          let deadline_ms = Float.max 5.0 (8.0 *. steady_p99) in
+          limit := Float.max 0.5 (3.5 *. steady_p99);
+          let s = mk_slo ~fast_ms:120.0 ~slow_ms:480.0 ~limit_ms:!limit ts in
+          S.register_health s;
+          slo := s;
+          Printf.printf
+            "calibration: steady socket p99 %.3f ms; deadline %.2f ms, SLO \
+             limit %.2f ms,\n%d domains, queue bound %d, port %d\n"
+            steady_p99 deadline_ms !limit domains queue_bound port;
+
+          print_endline "-- wire overhead (serial p50, loopback) --";
+          let inproc, socket =
+            wire_overhead server ~host ~port queries ~k ~deadline_ms:200.0
+          in
+          Printf.printf
+            "in-process %.4f ms | socket %.4f ms | overhead %.4f ms (%.2fx)\n"
+            inproc socket (socket -. inproc)
+            (if inproc > 0.0 then socket /. inproc else 0.0);
+
+          print_endline
+            "-- conservativeness over the wire (update rounds) --";
+          let cons_pool = Net.Client.create ~size:2 ~host ~port () in
+          let cons, rounds, per_round =
+            conservativeness p idx cons_pool ~cur queries ~k
+          in
+          Net.Client.close cons_pool;
+          Printf.printf
+            "%d rounds x %d updates: %d full (%d mismatches), %d degraded \
+             (%d violations),\n%d timed out, %d fatal errors\n"
+            rounds per_round cons.cv_full cons.cv_mismatches cons.cv_degraded
+            cons.cv_violations cons.cv_timed_out cons.cv_fatal;
+
+          print_endline "-- flash crowd (concurrent update stream) --";
+          let per_client =
+            match p.Profile.name with "quick" -> 60 | _ -> 120
+          in
+          let stop = Atomic.make false in
+          let applied = Atomic.make 0 in
+          let upd_ops = Harness.update_ops p ~scores:cur ~n:4096 in
+          let upd =
+            Thread.create
+              (fun () ->
+                let i = ref 0 in
+                let nops = Array.length upd_ops in
+                while not (Atomic.get stop) do
+                  let op = upd_ops.(!i mod nops) in
+                  let s =
+                    W.Update_gen.apply op ~current:cur.(op.W.Update_gen.doc)
+                  in
+                  cur.(op.W.Update_gen.doc) <- s;
+                  Core.Index.score_update idx ~doc:op.W.Update_gen.doc s;
+                  incr i;
+                  Atomic.set applied !i;
+                  Thread.delay 0.002
+                done)
+              ()
+          in
+          let points =
+            List.map
+              (fun mult ->
+                let pt =
+                  flash_point ~host ~port ~clients:(mult * domains)
+                    ~per_client ~deadline_ms queries ~k
+                in
+                { pt with fc_mult = mult })
+              [ 1; 2; 4; 8 ]
+          in
+          Atomic.set stop true;
+          Thread.join upd;
+          Harness.header
+            [ "load"; "answered"; "  shed"; "shed%"; "   qps"; " p50 ms";
+              " p99 ms"; "srv p99" ];
+          List.iter
+            (fun pt ->
+              Harness.row
+                (Printf.sprintf "%dx (%d cl)" pt.fc_mult pt.fc_clients)
+                [ Printf.sprintf "%8d" pt.fc_answered;
+                  Printf.sprintf "%6d" pt.fc_shed;
+                  Printf.sprintf "%5.1f"
+                    (100.0 *. float_of_int pt.fc_shed
+                    /. float_of_int (max 1 pt.fc_total));
+                  Printf.sprintf "%6.0f" pt.fc_qps;
+                  Printf.sprintf "%7.2f" pt.fc_p50;
+                  Printf.sprintf "%7.2f" pt.fc_p99;
+                  Printf.sprintf "%7.2f" pt.fc_srv_p99 ])
+            points;
+          Printf.printf "update stream: %d score updates applied\n"
+            (Atomic.get applied);
+
+          let max_ratio =
+            List.fold_left
+              (fun m pt -> Float.max m (pt.fc_srv_p99 /. deadline_ms))
+              0.0 points
+          in
+          let fatal_total =
+            List.fold_left (fun a pt -> a + pt.fc_fatal) 0 points
+          in
+          Printf.printf
+            "max server-side p99 / deadline: %.3f; fatal client errors: %d\n"
+            max_ratio fatal_total;
+
+          let oc = open_out "BENCH_PR10.json" in
+          Printf.fprintf oc
+            "{\n  \"bench\": \"net-front-door\",\n  \"profile\": %S,\n\
+            \  \"k\": %d,\n\
+            \  \"calibration\": { \"steady_socket_p99_ms\": %.4f,\n\
+            \    \"deadline_ms\": %.3f, \"slo_limit_ms\": %.3f,\n\
+            \    \"domains\": %d, \"queue_bound\": %d },\n\
+            \  \"wire\": { \"inproc_p50_ms\": %.4f, \"socket_p50_ms\": %.4f,\n\
+            \    \"overhead_ms\": %.4f },\n\
+            \  \"conservativeness\": { \"rounds\": %d, \"updates_per_round\": %d,\n\
+            \    \"full\": %d, \"complete_mismatches\": %d,\n\
+            \    \"degraded\": %d, \"violations\": %d,\n\
+            \    \"timed_out\": %d, \"fatal_errors\": %d },\n\
+            \  \"flash_crowd\": { \"per_client\": %d,\n\
+            \    \"updates_applied\": %d,\n    \"points\": ["
+            p.Profile.name k steady_p99 deadline_ms !limit domains queue_bound
+            inproc socket (socket -. inproc) rounds per_round cons.cv_full
+            cons.cv_mismatches cons.cv_degraded cons.cv_violations
+            cons.cv_timed_out cons.cv_fatal per_client (Atomic.get applied);
+          List.iteri
+            (fun i pt ->
+              Printf.fprintf oc
+                "%s\n      { \"offered_x\": %d, \"clients\": %d, \"total\": %d,\n\
+                \        \"answered\": %d, \"shed\": %d, \"fatal\": %d,\n\
+                \        \"shed_rate\": %.4f, \"answered_qps\": %.1f,\n\
+                \        \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n\
+                \        \"server_p99_ms\": %.3f, \"server_p99_deadline_ratio\": %.4f }"
+                (if i = 0 then "" else ",")
+                pt.fc_mult pt.fc_clients pt.fc_total pt.fc_answered pt.fc_shed
+                pt.fc_fatal
+                (float_of_int pt.fc_shed /. float_of_int (max 1 pt.fc_total))
+                pt.fc_qps pt.fc_p50 pt.fc_p99 pt.fc_srv_p99
+                (pt.fc_srv_p99 /. deadline_ms))
+            points;
+          Printf.fprintf oc
+            "\n    ],\n    \"max_server_p99_deadline_ratio\": %.4f,\n\
+            \    \"fatal_errors\": %d }\n}\n"
+            max_ratio fatal_total;
+          close_out oc;
+          print_endline "  wrote BENCH_PR10.json"))

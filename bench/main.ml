@@ -16,7 +16,8 @@ let experiments =
     ("par", Exp_par.run); ("recovery", Exp_recovery.run);
     ("obs", Exp_obs.run); ("maintain", Exp_maintain.run);
     ("codec", Exp_codec.run); ("planner", Exp_planner.run);
-    ("overload", Exp_overload.run); ("slo", Exp_slo.run) ]
+    ("overload", Exp_overload.run); ("slo", Exp_slo.run);
+    ("net", Exp_net.run) ]
 
 let usage () =
   Printf.printf "usage: main.exe [micro | %s]...\n"

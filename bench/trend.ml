@@ -195,7 +195,27 @@ let rel_slack = 0.02 (* additive, for near-zero baselines *)
    numbers regenerated on a different box than the committed baseline
    would always "regress". *)
 let manifest =
-  [ (* this PR's acceptance bars *)
+  [ (* this PR's acceptance bars: the wire must forward the serving core's
+       guarantees undamaged (exact full answers, conservative bounds, no
+       protocol-level failures), and the server-side tail must stay bounded
+       by the deadline while shedding absorbs the flash crowd *)
+    Abs { file = "BENCH_PR10.json"; path = "conservativeness.violations";
+          rule = Equals 0.0 };
+    Abs { file = "BENCH_PR10.json";
+          path = "conservativeness.complete_mismatches"; rule = Equals 0.0 };
+    Abs { file = "BENCH_PR10.json"; path = "conservativeness.fatal_errors";
+          rule = Equals 0.0 };
+    Abs { file = "BENCH_PR10.json"; path = "flash_crowd.fatal_errors";
+          rule = Equals 0.0 };
+    Abs { file = "BENCH_PR10.json";
+          path = "flash_crowd.max_server_p99_deadline_ratio";
+          rule = Ceiling 2.5 };
+    Rel { file = "BENCH_PR10.json";
+          path = "flash_crowd.max_server_p99_deadline_ratio";
+          lower_better = true };
+    Rel { file = "BENCH_PR10.json"; path = "flash_crowd.points[3].shed_rate";
+          lower_better = true };
+    (* PR 9's acceptance bars *)
     Abs { file = "BENCH_PR9.json"; path = "alerts.steady_flaps";
           rule = Equals 0.0 };
     Abs { file = "BENCH_PR9.json"; path = "alerts.fired"; rule = Truthy };
@@ -239,7 +259,7 @@ let manifest =
     Rel { file = "BENCH_PR7.json"; path = "profiles[0].planner_vs_best";
           lower_better = true } ]
 
-let required_files = [ "BENCH_PR9.json" ]
+let required_files = [ "BENCH_PR9.json"; "BENCH_PR10.json" ]
 
 (* ---- driver ---------------------------------------------------------- *)
 

@@ -1,0 +1,156 @@
+(* svr_serve: the network daemon. Builds a seeded synthetic corpus index
+   (Svr_workload.Corpus_gen, so two daemons started with the same flags
+   serve bit-identical data), opens the TCP front door, optionally runs a
+   background score-update stream at a fixed rate — the update-intensive
+   half of the paper's workload — and drains gracefully on SIGINT/SIGTERM:
+   every admitted request is answered, every connection gets a Drain
+   farewell, then the process exits. *)
+
+module W = Svr_workload
+module Core = Svr_core
+module Net = Svr_net
+
+let build_index ~docs ~seed ~kind ~codec =
+  let params = { (W.Corpus_gen.scaled ~seed ~factor:64 ()) with n_docs = docs } in
+  let scores = W.Corpus_gen.scores params in
+  let cfg =
+    { Core.Config.default with
+      Core.Config.analyzer = W.Corpus_gen.analyzer;
+      codec }
+  in
+  let idx =
+    Core.Index.build kind cfg
+      ~corpus:(W.Corpus_gen.corpus_seq params)
+      ~scores:(fun d -> scores.(d))
+  in
+  (idx, params, scores)
+
+(* background score updates, Zipf-biased toward high scores as in the
+   paper's Internet Archive logs; safe against live queries because index
+   updates take the write side of the index rw-lock *)
+let update_stream idx params scores ~rate stop =
+  let ops =
+    W.Update_gen.generate
+      { W.Update_gen.defaults with
+        W.Update_gen.n_updates = 100_000;
+        seed = params.W.Corpus_gen.seed + 1 }
+      ~scores
+  in
+  let current = Array.copy scores in
+  let interval = 1.0 /. float_of_int rate in
+  let i = ref 0 in
+  while not (Atomic.get stop) do
+    let op = ops.(!i mod Array.length ops) in
+    incr i;
+    let doc = op.W.Update_gen.doc in
+    current.(doc) <- W.Update_gen.apply op ~current:current.(doc);
+    Core.Index.score_update idx ~doc current.(doc);
+    Thread.delay interval
+  done
+
+let main port host domains queue_bound docs seed method_ codec update_rate =
+  let kind =
+    match Core.Index.kind_of_name method_ with
+    | Some k -> k
+    | None ->
+        Printf.eprintf "unknown method %s (want one of: %s)\n" method_
+          (String.concat " " (List.map Core.Index.kind_name Core.Index.all_kinds));
+        exit 2
+  in
+  let codec =
+    match Core.Types.codec_of_name codec with
+    | Some c -> c
+    | None ->
+        Printf.eprintf "unknown codec %s (want varint, bitpack or pef)\n" codec;
+        exit 2
+  in
+  Printf.printf "building %s/%s index over %d synthetic docs (seed %d)...\n%!"
+    (Core.Index.kind_name kind)
+    (Core.Types.codec_name codec)
+    docs seed;
+  let idx, params, scores = build_index ~docs ~seed ~kind ~codec in
+  let tick () =
+    Svr_obs.Timeseries.maybe_tick (Svr_obs.Timeseries.shared ());
+    ignore (Svr_obs.Health.evaluate ())
+  in
+  let srv =
+    Net.Server.create ~host ~port ~domains ~queue_bound
+      ~health:Svr_obs.Health.current ~tick idx
+  in
+  Printf.printf "listening on %s:%d (%d worker domain%s, queue bound %d)\n%!"
+    host (Net.Server.port srv) domains
+    (if domains = 1 then "" else "s")
+    queue_bound;
+  Printf.printf "  /metrics and /health answer plain HTTP on the same port\n%!";
+  let stop = Atomic.make false in
+  let updater =
+    if update_rate > 0 then begin
+      Printf.printf "  background update stream: %d score updates/s\n%!"
+        update_rate;
+      Some
+        (Thread.create (fun () -> update_stream idx params scores ~rate:update_rate stop) ())
+    end
+    else None
+  in
+  let drain = Atomic.make false in
+  let on_signal _ = Atomic.set drain true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  (* the signal handler only flips a flag: the drain itself (joining
+     threads, flushing sockets) must not run in signal context *)
+  while not (Atomic.get drain) do
+    Thread.delay 0.1
+  done;
+  Printf.printf "draining: refusing new work, answering in-flight requests...\n%!";
+  Atomic.set stop true;
+  (match updater with Some th -> Thread.join th | None -> ());
+  Net.Server.shutdown srv;
+  Printf.printf "drained; goodbye\n%!"
+
+open Cmdliner
+
+let port_arg =
+  Arg.(value & opt int 7070 & info [ "port"; "p" ] ~docv:"PORT"
+         ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Address to bind.")
+
+let domains_arg =
+  Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains in the query pool.")
+
+let queue_arg =
+  Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N"
+         ~doc:"Admission bound on queued + executing requests.")
+
+let docs_arg =
+  Arg.(value & opt int 4000 & info [ "docs" ] ~docv:"N"
+         ~doc:"Synthetic corpus size.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Corpus generator seed.")
+
+let method_arg =
+  Arg.(value & opt string "chunk" & info [ "method"; "m" ] ~docv:"METHOD"
+         ~doc:"Inverted-list method (id, score, score_threshold, chunk, \
+               id_termscore, chunk_termscore).")
+
+let codec_arg =
+  Arg.(value & opt string "varint" & info [ "codec" ] ~docv:"CODEC"
+         ~doc:"Posting-list codec (varint, bitpack, pef).")
+
+let update_arg =
+  Arg.(value & opt int 0 & info [ "update-rate" ] ~docv:"OPS"
+         ~doc:"Background score updates per second (0 disables).")
+
+let cmd =
+  let doc = "network daemon serving ranked keyword queries over TCP" in
+  Cmd.v
+    (Cmd.info "svr_serve" ~doc)
+    Term.(const main $ port_arg $ host_arg $ domains_arg $ queue_arg
+          $ docs_arg $ seed_arg $ method_arg $ codec_arg $ update_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -13,6 +13,9 @@ module Obs = Svr_obs
 (* .timer on|off: per-statement wall + simulated-I/O time *)
 let timer = ref false
 
+(* .connect: a pooled client to a remote svr_serve daemon *)
+let net_client : (Svr_net.Client.t * string * int) option ref = ref None
+
 (* the shell's SLO engine sits over the shared time-series ring the engine
    ticks at each statement boundary; forcing it installs the four default
    objectives and their "slo" health source *)
@@ -126,7 +129,12 @@ let meta eng line =
         \  .codecs              posting codec and list sizes of every index\n\
         \  .maintain <index> [steps]  drain short lists into the long lists\n\
         \       in bounded online steps (all of them without a step count);\n\
-        \       same as MAINTAIN TEXT INDEX <index> [STEP n];\n%!"
+        \       same as MAINTAIN TEXT INDEX <index> [STEP n];\n\
+        \  .connect <host> <port>  open a pooled wire-protocol client to a\n\
+        \       running svr_serve daemon\n\
+        \  .net [k=<n>] <keywords...>  top-k keyword query over the\n\
+        \       connection (degraded/rejected outcomes print as such)\n\
+        \  .disconnect          close the remote connection pool\n%!"
   | ".stats" ->
       List.iter
         (fun (name, bytes) -> Printf.printf "  %-24s %8d KB\n" name (bytes / 1024))
@@ -443,6 +451,97 @@ let meta eng line =
           | Some t -> Printf.printf "  %s (%d rows)\n%!" name (R.Table.count t)
           | None -> ())
         (R.Engine.table_names eng)
+  | meta_line
+    when String.length meta_line >= 8 && String.sub meta_line 0 8 = ".connect"
+    -> begin
+      match
+        String.split_on_char ' ' meta_line
+        |> List.filter (fun s -> String.length s > 0)
+      with
+      | [ ".connect"; host; port ] -> (
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 -> (
+              (match !net_client with
+              | Some (c, _, _) -> Svr_net.Client.close c
+              | None -> ());
+              net_client := None;
+              (* probe with a full handshake so a bad address fails here,
+                 not at the first .net query *)
+              match Svr_net.Client.Conn.connect ~host ~port:p () with
+              | probe ->
+                  Svr_net.Client.Conn.goodbye probe;
+                  let c =
+                    Svr_net.Client.create ~size:2 ~query_timeout_ms:10_000.0
+                      ~host ~port:p ()
+                  in
+                  net_client := Some (c, host, p);
+                  Printf.printf "connected to %s:%d (protocol v%d)\n%!" host p
+                    Svr_net.Wire.version
+              | exception Failure msg -> Printf.printf "error: %s\n%!" msg)
+          | _ -> Printf.printf ".connect: port must be in 1..65535\n%!")
+      | _ -> Printf.printf "usage: .connect <host> <port>\n%!"
+    end
+  | ".disconnect" -> (
+      match !net_client with
+      | Some (c, host, p) ->
+          Svr_net.Client.close c;
+          net_client := None;
+          Printf.printf "disconnected from %s:%d\n%!" host p
+      | None -> Printf.printf "not connected (try .connect <host> <port>)\n%!")
+  | meta_line
+    when String.length meta_line >= 4 && String.sub meta_line 0 4 = ".net"
+    -> begin
+      match !net_client with
+      | None -> Printf.printf "not connected (try .connect <host> <port>)\n%!"
+      | Some (c, _, _) -> (
+          let args =
+            String.split_on_char ' ' meta_line
+            |> List.filter (fun s -> String.length s > 0)
+            |> List.tl
+          in
+          let k, keywords =
+            match args with
+            | a :: rest when String.length a > 2 && String.sub a 0 2 = "k=" -> (
+                match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
+                | Some k when k > 0 -> (k, rest)
+                | _ -> (10, args))
+            | _ -> (10, args)
+          in
+          if keywords = [] then
+            Printf.printf "usage: .net [k=<n>] <keywords...>\n%!"
+          else
+            let t0 = Unix.gettimeofday () in
+            match Svr_net.Client.query c keywords ~k with
+            | Ok outcome ->
+                let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+                let print_results rs =
+                  List.iter
+                    (fun (doc, score) ->
+                      Printf.printf "  doc %d  score %.4f\n" doc score)
+                    rs
+                in
+                (match outcome with
+                | Svr_net.Wire.Complete rs ->
+                    print_results rs;
+                    Printf.printf "(%d row(s), %.2f ms round trip)\n%!"
+                      (List.length rs) ms
+                | Svr_net.Wire.Partial { results; bound; reason } ->
+                    print_results results;
+                    Printf.printf
+                      "degraded (%s): anything omitted scores <= %.4f (%.2f \
+                       ms round trip)\n%!"
+                      (Core.Budget.reason_name reason)
+                      bound ms
+                | Svr_net.Wire.Timed_out reason ->
+                    Printf.printf "timed out (%s)\n%!"
+                      (Core.Budget.reason_name reason)
+                | Svr_net.Wire.Rejected _ | Svr_net.Wire.Server_error _ ->
+                    (* Client.query maps these to Error *)
+                    assert false)
+            | Error e ->
+                Printf.printf "error: %s\n%!"
+                  (Svr_net.Client.error_to_string e))
+    end
   | other -> Printf.printf "unknown meta command %s (try .help)\n%!" other
 
 let repl eng =

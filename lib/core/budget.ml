@@ -49,6 +49,7 @@ type t = {
   mutable base_blocks : int;
   mutable tripped : reason option;
   mutable bound : float option;
+  mutable charged_sim : float; (* sim-ms consumed before arming (queue wait) *)
 }
 
 let create ?(deadline_ms = infinity) ?(sim_ms = infinity) ?(pages = max_int)
@@ -60,11 +61,21 @@ let create ?(deadline_ms = infinity) ?(sim_ms = infinity) ?(pages = max_int)
   { deadline_ms; sim_ms; pages; blocks; started_at_ms;
     cancelled = Atomic.make false; armed = false; t0 = 0.0; cell = None;
     cost = St.Stats.default_cost; base_sim = 0.0; base_pages = 0;
-    base_blocks = 0; tripped = None; bound = None }
+    base_blocks = 0; tripped = None; bound = None; charged_sim = 0.0 }
 
 let unlimited () = create ()
 
 let cancel t = Atomic.set t.cancelled true
+
+(* The wall deadline is queue-wait-inclusive via [started_at_ms]; the sim
+   dimension cannot be, because it is measured against the executing
+   domain's private stats cell, which a queued request has not touched yet.
+   The serving layer closes that gap explicitly: at dequeue it bills the
+   queue wait it observed on the global sim clock into the budget, so both
+   deadline dimensions date from submission. *)
+let charge_sim t ms =
+  if ms < 0.0 then invalid_arg "Budget.charge_sim: negative charge";
+  t.charged_sim <- t.charged_sim +. ms
 
 let arm t ~cell ~cost =
   t.armed <- true;
@@ -103,7 +114,8 @@ let poll t =
             then trip t Blocks
             else if
               t.sim_ms < infinity
-              && St.Stats.simulated_ms ~cost:t.cost c -. t.base_sim
+              && t.charged_sim
+                 +. (St.Stats.simulated_ms ~cost:t.cost c -. t.base_sim)
                  >= t.sim_ms
             then trip t Sim_deadline
             else if

@@ -49,6 +49,15 @@ val cancel : t -> unit
 (** Request cooperative cancellation; safe from any domain. The running
     query observes it at its next poll and stops within one block. *)
 
+val charge_sim : t -> float -> unit
+(** Bill [ms] of simulated time consumed {e before} execution (queue wait,
+    observed on the global {!Svr_obs.Clock.sim_ms} clock) against the sim
+    allowance. The wall deadline is queue-wait-inclusive via
+    [started_at_ms]; this is the sim dimension's equivalent, applied by the
+    serving layer at dequeue so both deadline dimensions date from
+    submission. Call before {!arm}; cumulative.
+    @raise Invalid_argument on a negative charge. *)
+
 val arm : t -> cell:Svr_storage.Stats.counters -> cost:Svr_storage.Stats.cost_model -> unit
 (** Capture baselines from the executing domain's stats cell. Called by
     [Index.query_terms]; tests drive it directly. *)

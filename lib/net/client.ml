@@ -1,0 +1,344 @@
+(* Wire-protocol client: single connection + bounded pool with retry.
+
+   The recoverable/fatal split drives the pool's loop: [Rejected],
+   [Draining] and [Closed] are the server (or the network) asking the
+   client to try again later — the pool sleeps on the decorrelated-jitter
+   curve, seeded with the server's retry hint, and goes around. [Timeout]
+   is deliberately fatal: the caller's per-query allowance is spent, and a
+   retry behind its back would double-spend the deadline the server is
+   carefully accounting against. A timed-out or errored connection is
+   always discarded — a late reply arriving on a reused connection would be
+   attributed to the wrong request. *)
+
+module E = Svr_storage.Storage_error
+
+type error =
+  | Rejected of { reason : string; retry_after_ms : float }
+  | Draining of { retry_after_ms : float }
+  | Closed of string
+  | Timeout
+  | Remote of string
+  | Protocol of string
+
+let recoverable = function
+  | Rejected _ | Draining _ | Closed _ -> true
+  | Timeout | Remote _ | Protocol _ -> false
+
+let error_to_string = function
+  | Rejected { reason; retry_after_ms } ->
+      Printf.sprintf "rejected (%s; retry after %.0fms)" reason retry_after_ms
+  | Draining { retry_after_ms } ->
+      Printf.sprintf "server draining (retry after %.0fms)" retry_after_ms
+  | Closed m -> Printf.sprintf "connection closed (%s)" m
+  | Timeout -> "query timed out"
+  | Remote m -> Printf.sprintf "server error: %s" m
+  | Protocol m -> Printf.sprintf "protocol error: %s" m
+
+module Conn = struct
+  type t = {
+    fd : Unix.file_descr;
+    dec : Wire.decoder;
+    buf : Bytes.t;
+    mutable next_id : int;
+    mutable dead : bool;
+  }
+
+  let alive t = not t.dead
+
+  let close t =
+    if not t.dead then t.dead <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+  let write_frame t s =
+    try
+      let n = String.length s in
+      let rec go off =
+        if off < n then go (off + Unix.write_substring t.fd s off (n - off))
+      in
+      Ok (go 0)
+    with Unix.Unix_error (e, _, _) ->
+      t.dead <- true;
+      Error (Closed (Unix.error_message e))
+
+  (* one CRC-verified frame payload off the wire, honoring [timeout_ms] as
+     a receive timeout on the socket *)
+  let read_payload t ?timeout_ms () =
+    (match timeout_ms with
+    | Some ms -> (
+        try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO (ms /. 1000.0)
+        with Unix.Unix_error _ -> ())
+    | None -> ());
+    let rec loop () =
+      match Wire.next t.dec with
+      | Some p -> Ok p
+      | None -> (
+          match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+          | 0 ->
+              t.dead <- true;
+              Error (Closed "eof")
+          | n ->
+              Wire.feed t.dec t.buf ~len:n;
+              loop ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              t.dead <- true;
+              Error Timeout
+          | exception Unix.Unix_error (e, _, _) ->
+              t.dead <- true;
+              Error (Closed (Unix.error_message e)))
+    in
+    match loop () with
+    | Ok p -> (
+        match Wire.response_of_payload p with
+        | r -> Ok r
+        | exception E.Error (_, msg) ->
+            t.dead <- true;
+            Error (Protocol msg))
+    | Error _ as e -> e
+
+  let connect ~host ~port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          failwith ("Client.connect: " ^ m))
+        fmt
+    in
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    (match
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "%s:%d: %s" host port (Unix.error_message e));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    let t =
+      { fd; dec = Wire.decoder (); buf = Bytes.create 8192; next_id = 0;
+        dead = false }
+    in
+    (match write_frame t (Wire.encode_request (Wire.Hello { version = Wire.version })) with
+    | Ok () -> ()
+    | Error e -> fail "hello: %s" (error_to_string e));
+    (match read_payload t ~timeout_ms:5000.0 () with
+    | Ok (Wire.Hello_ack { version = v }) when v = Wire.version -> ()
+    | Ok (Wire.Hello_ack { version = v }) ->
+        fail "server speaks protocol version %d, this client %d" v Wire.version
+    | Ok (Wire.Drain _) -> fail "server is draining"
+    | Ok _ -> fail "unexpected frame in place of hello-ack"
+    | Error e -> fail "handshake: %s" (error_to_string e));
+    t
+
+  let send t ~id ?(mode = Svr_core.Types.Conjunctive)
+      ?(cls = Svr_serve.Admission.Query) ?deadline_ms ?sim_ms ?pages ?blocks
+      terms ~k =
+    if t.dead then Error (Closed "connection already dead")
+    else
+      write_frame t
+        (Wire.encode_request
+           (Wire.Query
+              { id; mode; cls; k; deadline_ms; sim_ms; pages; blocks; terms }))
+
+  let recv t ?timeout_ms () =
+    if t.dead then Error (Closed "connection already dead")
+    else
+      match read_payload t ?timeout_ms () with
+      | Ok (Wire.Reply { id; outcome }) -> Ok (id, outcome)
+      | Ok (Wire.Drain { retry_after_ms }) ->
+          t.dead <- true;
+          Error (Draining { retry_after_ms })
+      | Ok (Wire.Hello_ack _) ->
+          t.dead <- true;
+          Error (Protocol "unexpected hello-ack mid-session")
+      | Error _ as e -> e
+
+  let query t ?timeout_ms ?mode ?cls ?deadline_ms ?sim_ms ?pages ?blocks terms
+      ~k =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    match send t ~id ?mode ?cls ?deadline_ms ?sim_ms ?pages ?blocks terms ~k with
+    | Error _ as e -> e
+    | Ok () -> (
+        match recv t ?timeout_ms () with
+        | Error _ as e -> e
+        | Ok (rid, _) when rid <> id ->
+            (* only possible if the caller mixed [send] and [query] on one
+               connection — the ids no longer correlate *)
+            t.dead <- true;
+            Error (Protocol (Printf.sprintf "reply id %d, want %d" rid id))
+        | Ok (_, Wire.Rejected { reason; retry_after_ms }) ->
+            Error (Rejected { reason; retry_after_ms })
+        | Ok (_, Wire.Server_error m) -> Error (Remote m)
+        | Ok (_, outcome) -> Ok outcome)
+
+  let goodbye t =
+    if not t.dead then
+      ignore (write_frame t (Wire.encode_request Wire.Goodbye));
+    close t
+end
+
+(* -- pool ------------------------------------------------------------------ *)
+
+type t = {
+  host : string;
+  port : int;
+  size : int;
+  query_timeout_ms : float option;
+  retries : int;
+  retry_base_ms : float;
+  retry_cap_ms : float;
+  mu : Mutex.t;
+  cv : Condition.t;
+  idle : Conn.t Queue.t;
+  mutable open_ : int; (* idle + leased *)
+  mutable closed : bool;
+  mutable sheds : int;
+  mutable reconnects : int;
+}
+
+let create ?(size = 4) ?query_timeout_ms ?(retries = 3) ?(retry_base_ms = 5.0)
+    ?(retry_cap_ms = 1000.0) ~host ~port () =
+  if size < 1 then invalid_arg "Client.create: size must be >= 1";
+  if retries < 0 then invalid_arg "Client.create: retries must be >= 0";
+  {
+    host;
+    port;
+    size;
+    query_timeout_ms;
+    retries;
+    retry_base_ms;
+    retry_cap_ms;
+    mu = Mutex.create ();
+    cv = Condition.create ();
+    idle = Queue.create ();
+    open_ = 0;
+    closed = false;
+    sheds = 0;
+    reconnects = 0;
+  }
+
+let sheds t = Mutex.protect t.mu (fun () -> t.sheds)
+let reconnects t = Mutex.protect t.mu (fun () -> t.reconnects)
+
+(* lease an existing idle connection or the right to open a new one *)
+let acquire t =
+  Mutex.protect t.mu (fun () ->
+      let rec go () =
+        if t.closed then Error (Closed "pool closed")
+        else
+          match Queue.take_opt t.idle with
+          | Some c -> Ok (`Conn c)
+          | None ->
+              if t.open_ < t.size then begin
+                t.open_ <- t.open_ + 1;
+                Ok `Fresh
+              end
+              else begin
+                Condition.wait t.cv t.mu;
+                go ()
+              end
+      in
+      go ())
+
+let unlease t = (* failed to produce a usable connection for this lease *)
+  Mutex.protect t.mu (fun () ->
+      t.open_ <- t.open_ - 1;
+      Condition.signal t.cv)
+
+let release t c =
+  let close_now =
+    Mutex.protect t.mu (fun () ->
+        if t.closed || not (Conn.alive c) then begin
+          t.open_ <- t.open_ - 1;
+          Condition.signal t.cv;
+          true
+        end
+        else begin
+          Queue.push c t.idle;
+          Condition.signal t.cv;
+          false
+        end)
+  in
+  if close_now then Conn.close c
+
+let discard t c =
+  Conn.close c;
+  Mutex.protect t.mu (fun () ->
+      t.open_ <- t.open_ - 1;
+      t.reconnects <- t.reconnects + 1;
+      Condition.signal t.cv)
+
+let count_shed t = Mutex.protect t.mu (fun () -> t.sheds <- t.sheds + 1)
+
+let query t ?mode ?cls ?deadline_ms ?sim_ms ?pages ?blocks terms ~k =
+  let attempt () =
+    match acquire t with
+    | Error _ as e -> e
+    | Ok lease -> (
+        let conn =
+          match lease with
+          | `Conn c -> Ok c
+          | `Fresh -> (
+              match Conn.connect ~host:t.host ~port:t.port () with
+              | c -> Ok c
+              | exception Failure m ->
+                  unlease t;
+                  Error (Closed m))
+        in
+        match conn with
+        | Error _ as e -> e
+        | Ok c -> (
+            match
+              Conn.query c ?timeout_ms:t.query_timeout_ms ?mode ?cls
+                ?deadline_ms ?sim_ms ?pages ?blocks terms ~k
+            with
+            | Ok _ as ok ->
+                release t c;
+                ok
+            | Error (Rejected _ as e) ->
+                (* the connection is healthy; the server shed the request *)
+                release t c;
+                count_shed t;
+                Error e
+            | Error e ->
+                discard t c;
+                Error e))
+  in
+  let rec go budget prev_ms =
+    match attempt () with
+    | Ok _ as ok -> ok
+    | Error e when recoverable e && budget > 0 ->
+        (* the server's hint seeds the jitter curve: sleep at least what it
+           asked, spread out so synchronized clients do not re-arrive as a
+           thundering herd *)
+        let hint =
+          match e with
+          | Rejected { retry_after_ms; _ } | Draining { retry_after_ms; _ } ->
+              retry_after_ms
+          | _ -> 0.0
+        in
+        let hint = if Float.is_finite hint then hint else t.retry_cap_ms in
+        let sleep =
+          Svr_storage.Retry.jitter_ms ~base_ms:t.retry_base_ms
+            ~cap_ms:t.retry_cap_ms
+            ~prev_ms:(Float.max hint prev_ms)
+        in
+        Thread.delay (sleep /. 1000.0);
+        go (budget - 1) sleep
+    | Error _ as e -> e
+  in
+  go t.retries 0.0
+
+let close t =
+  let idle =
+    Mutex.protect t.mu (fun () ->
+        t.closed <- true;
+        let cs = Queue.fold (fun acc c -> c :: acc) [] t.idle in
+        Queue.clear t.idle;
+        t.open_ <- t.open_ - List.length cs;
+        Condition.broadcast t.cv;
+        cs)
+  in
+  List.iter Conn.goodbye idle

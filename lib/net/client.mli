@@ -1,0 +1,125 @@
+(** OCaml client for the {!Wire} protocol: a low-level single connection
+    (pipelining, explicit ids — what the protocol tests drive) and a bounded
+    connection pool with retry policy on top (what applications use).
+
+    Errors are classified recoverable vs fatal: [Rejected] (admission shed,
+    carries the server's retry hint), [Draining] (server going away) and
+    [Closed] (connection-level I/O failure) are worth retrying — the pool
+    does so with the decorrelated-jitter curve from
+    {!Svr_storage.Retry.jitter_ms}, seeding it with the server's
+    [retry_after_ms] so clients pace themselves down exactly as hard as the
+    server asked. [Timeout] (the per-query allowance elapsed — retrying
+    would double-spend the caller's deadline), [Remote] (the query raised
+    server-side) and [Protocol] (corrupt frame, version mismatch) are
+    terminal. *)
+
+type error =
+  | Rejected of { reason : string; retry_after_ms : float }
+  | Draining of { retry_after_ms : float }
+  | Closed of string
+  | Timeout
+  | Remote of string
+  | Protocol of string
+
+val recoverable : error -> bool
+val error_to_string : error -> string
+
+(** A single protocol connection. Not thread-safe; one owner at a time
+    (the pool enforces this). *)
+module Conn : sig
+  type t
+
+  val connect : host:string -> port:int -> unit -> t
+  (** TCP connect + [Hello]/[Hello_ack] handshake.
+      @raise Failure on connection or handshake failure. *)
+
+  val send :
+    t ->
+    id:int ->
+    ?mode:Svr_core.Types.mode ->
+    ?cls:Svr_serve.Admission.cls ->
+    ?deadline_ms:float ->
+    ?sim_ms:float ->
+    ?pages:int ->
+    ?blocks:int ->
+    string list ->
+    k:int ->
+    (unit, error) result
+  (** Write one [Query] frame without waiting — pipelining. *)
+
+  val recv : t -> ?timeout_ms:float -> unit -> (int * Wire.outcome, error) result
+  (** The next [Reply], as (echoed id, outcome) — including [Rejected] and
+      [Server_error] outcomes, undigested. A [Drain] frame is
+      [Error (Draining _)]; after [Timeout] or any error the connection is
+      marked dead (a late reply would desynchronize ids). *)
+
+  val query :
+    t ->
+    ?timeout_ms:float ->
+    ?mode:Svr_core.Types.mode ->
+    ?cls:Svr_serve.Admission.cls ->
+    ?deadline_ms:float ->
+    ?sim_ms:float ->
+    ?pages:int ->
+    ?blocks:int ->
+    string list ->
+    k:int ->
+    (Wire.outcome, error) result
+  (** [send] then [recv], auto-assigned id; [Rejected]/[Server_error]
+      outcomes land on the [Error] side ([Rejected _]/[Remote _]), so [Ok]
+      is always [Complete]/[Partial]/[Timed_out]. *)
+
+  val alive : t -> bool
+  val goodbye : t -> unit
+  (** Best-effort [Goodbye] frame, then {!close}. *)
+
+  val close : t -> unit
+end
+
+type t
+(** A bounded pool of connections with a retry policy. Thread-safe:
+    concurrent {!query} calls lease distinct connections, blocking when all
+    [size] are leased. *)
+
+val create :
+  ?size:int ->
+  ?query_timeout_ms:float ->
+  ?retries:int ->
+  ?retry_base_ms:float ->
+  ?retry_cap_ms:float ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** [size] (default 4) bounds live connections; connections are opened
+    lazily and re-opened after failures. [query_timeout_ms] (default none)
+    bounds each attempt's wait for a reply. A recoverable error is retried
+    up to [retries] (default 3) more times, sleeping
+    [Retry.jitter_ms ~base_ms:retry_base_ms ~cap_ms:retry_cap_ms] seeded
+    with the server's [retry_after_ms] hint when one was given. *)
+
+val query :
+  t ->
+  ?mode:Svr_core.Types.mode ->
+  ?cls:Svr_serve.Admission.cls ->
+  ?deadline_ms:float ->
+  ?sim_ms:float ->
+  ?pages:int ->
+  ?blocks:int ->
+  string list ->
+  k:int ->
+  (Wire.outcome, error) result
+(** One query through the pool, applying the retry policy. [Ok] outcomes
+    are [Complete]/[Partial]/[Timed_out] only. *)
+
+val sheds : t -> int
+(** [Rejected] replies observed (before retry) — the client-side view of
+    server shedding. *)
+
+val reconnects : t -> int
+(** Connections discarded and re-opened after [Draining]/[Closed]/
+    [Timeout]/[Protocol]. *)
+
+val close : t -> unit
+(** Close idle connections now, leased ones as they are released;
+    subsequent {!query} calls fail with [Closed]. *)

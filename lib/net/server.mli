@@ -1,0 +1,83 @@
+(** The TCP front door: a listener thread accepting connections, a
+    reader/writer thread pair per connection, all queries funneled into one
+    {!Svr_serve.Server} intake queue — so admission shedding, health tiers,
+    queue-wait-inclusive deadlines and degraded [Partial] outcomes flow to
+    the wire unchanged as typed {!Wire.outcome}s.
+
+    Connections speak the {!Wire} protocol. The same port also answers
+    plaintext HTTP [GET /metrics] (Prometheus exposition), [GET
+    /metrics.json] and [GET /health] — the first byte of a connection
+    routes: {!Wire.magic} means a binary session, an ASCII letter means one
+    HTTP exchange then close.
+
+    {b Sessions.} A binary session opens with [Hello]/[Hello_ack], then
+    pipelines [Query] frames: each is admitted (or shed) immediately on
+    receipt, so a [Rejected] reply — the protocol-level retry hint — never
+    waits behind executing queries' replies of earlier requests on the same
+    connection beyond FIFO write order. Replies come back in request order
+    per connection; the echoed [id] correlates regardless.
+
+    {b Failure isolation.} A frame that fails CRC, a bad magic byte, an
+    unknown tag, a [Query] before [Hello]: the offending connection is
+    closed (counted in [svr_net_conn_errors_total{kind}]); the server and
+    every other connection are untouched. A query that raises is answered
+    with [Server_error] and the connection stays usable.
+
+    {b Drain.} {!shutdown} stops the listener, lets the serve layer answer
+    every admitted request, then finishes each connection: pending replies
+    are flushed, a [Drain] farewell frame carries the retry-after hint, and
+    the socket is shut down. New connections during the drain get a [Drain]
+    frame and an immediate close. *)
+
+type t
+
+val create :
+  ?host:string ->
+  ?port:int ->
+  ?backlog:int ->
+  ?max_conns:int ->
+  ?domains:int ->
+  ?queue_bound:int ->
+  ?policy:Svr_core.Config.shed_policy ->
+  ?batch_max:int ->
+  ?health:(unit -> Svr_obs.Health.state) ->
+  ?tick:(unit -> unit) ->
+  Svr_core.Index.t ->
+  t
+(** Bind, listen and serve [index]. [host] defaults to ["127.0.0.1"],
+    [port] to [0] (ephemeral — read it back with {!port}), [backlog] to 64,
+    [max_conns] to 256 (excess accepts are told to back off with a [Drain]
+    frame and closed). The remaining options configure the inner
+    {!Svr_serve.Server.create}. *)
+
+val port : t -> int
+(** The bound TCP port (the ephemeral one when [port:0]). *)
+
+val serve : t -> Svr_serve.Server.t
+(** The serving core behind the listener (admission stats, direct
+    in-process submission). *)
+
+val conns : t -> int
+(** Live connections (binary sessions + HTTP exchanges in flight). *)
+
+val draining : t -> bool
+
+val shutdown : t -> unit
+(** Graceful drain as described above; blocks until the listener, every
+    connection thread and the serving core have exited. Idempotent. *)
+
+val with_server :
+  ?host:string ->
+  ?port:int ->
+  ?backlog:int ->
+  ?max_conns:int ->
+  ?domains:int ->
+  ?queue_bound:int ->
+  ?policy:Svr_core.Config.shed_policy ->
+  ?batch_max:int ->
+  ?health:(unit -> Svr_obs.Health.state) ->
+  ?tick:(unit -> unit) ->
+  Svr_core.Index.t ->
+  (t -> 'a) ->
+  'a
+(** [create], run, then {!shutdown} (also on exception). *)

@@ -1,0 +1,385 @@
+(* The SVR wire protocol.
+
+   Framing mirrors the WAL record format ([Svr_storage.Wal]): every frame is
+   self-delimiting and CRC32-guarded so a torn, truncated, or bit-flipped
+   byte sequence surfaces as a typed [Storage_error.Error (Corrupt, _)] at
+   the decoder instead of a misparse. A stream has no epoch header, so the
+   frame is [magic | varint len | u32-be crc | payload]; the magic byte
+   doubles as protocol dispatch — it is not an ASCII letter, so the first
+   byte of a connection distinguishes a binary session from an HTTP "GET
+   /metrics" probe on the same port.
+
+   The incremental decoder parses the varint length by hand rather than via
+   [Varint.read]: mid-stream a truncated varint means "need more bytes", not
+   corruption, and only the decoder can tell the two apart. The length is
+   range-checked against [max_frame] *during* the parse, before any
+   allocation sized by attacker-controlled bytes. *)
+
+module E = Svr_storage.Storage_error
+module Crc32 = Svr_storage.Crc32
+module Varint = Svr_storage.Varint
+
+let version = 1
+let magic = '\x93'
+let max_frame = 4 * 1024 * 1024
+
+type request =
+  | Hello of { version : int }
+  | Query of {
+      id : int;
+      mode : Svr_core.Types.mode;
+      cls : Svr_serve.Admission.cls;
+      k : int;
+      deadline_ms : float option;
+      sim_ms : float option;
+      pages : int option;
+      blocks : int option;
+      terms : string list;
+    }
+  | Goodbye
+
+type outcome =
+  | Complete of (int * float) list
+  | Partial of {
+      results : (int * float) list;
+      bound : float;
+      reason : Svr_core.Budget.reason;
+    }
+  | Timed_out of Svr_core.Budget.reason
+  | Rejected of { reason : string; retry_after_ms : float }
+  | Server_error of string
+
+type response =
+  | Hello_ack of { version : int }
+  | Reply of { id : int; outcome : outcome }
+  | Drain of { retry_after_ms : float }
+
+(* -- primitive codecs ------------------------------------------------------ *)
+
+let corrupt fmt = E.error E.Corrupt fmt
+
+let put_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
+  done
+
+let get_f64 s pos =
+  if !pos + 8 > String.length s then corrupt "wire: truncated float";
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code s.[!pos]));
+    incr pos
+  done;
+  Int64.float_of_bits !bits
+
+let put_string buf s =
+  Varint.write buf (String.length s);
+  Buffer.add_string buf s
+
+let get_string s pos =
+  let n = Varint.read s pos in
+  if n > String.length s - !pos then corrupt "wire: truncated string";
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+let put_byte buf b = Buffer.add_char buf (Char.chr (b land 0xFF))
+
+let get_byte s pos =
+  if !pos >= String.length s then corrupt "wire: truncated byte";
+  let b = Char.code s.[!pos] in
+  incr pos;
+  b
+
+(* optional fields as a presence bitmask so absent budgets cost zero bytes *)
+let put_opt_f64 buf = function None -> () | Some v -> put_f64 buf v
+let put_opt_int buf = function None -> () | Some v -> Varint.write buf v
+
+let mode_byte : Svr_core.Types.mode -> int = function
+  | Conjunctive -> 0
+  | Disjunctive -> 1
+
+let mode_of_byte = function
+  | 0 -> Svr_core.Types.Conjunctive
+  | 1 -> Svr_core.Types.Disjunctive
+  | b -> corrupt "wire: unknown mode byte %d" b
+
+let cls_byte : Svr_serve.Admission.cls -> int = function
+  | Query -> 0
+  | Update -> 1
+  | Maintenance -> 2
+
+let cls_of_byte = function
+  | 0 -> Svr_serve.Admission.Query
+  | 1 -> Svr_serve.Admission.Update
+  | 2 -> Svr_serve.Admission.Maintenance
+  | b -> corrupt "wire: unknown class byte %d" b
+
+let reason_byte : Svr_core.Budget.reason -> int = function
+  | Deadline -> 0
+  | Sim_deadline -> 1
+  | Pages -> 2
+  | Blocks -> 3
+  | Cancelled -> 4
+
+let reason_of_byte = function
+  | 0 -> Svr_core.Budget.Deadline
+  | 1 -> Svr_core.Budget.Sim_deadline
+  | 2 -> Svr_core.Budget.Pages
+  | 3 -> Svr_core.Budget.Blocks
+  | 4 -> Svr_core.Budget.Cancelled
+  | b -> corrupt "wire: unknown budget-reason byte %d" b
+
+let put_results buf rs =
+  Varint.write buf (List.length rs);
+  List.iter
+    (fun (doc, score) ->
+      Varint.write buf doc;
+      put_f64 buf score)
+    rs
+
+let get_results s pos =
+  let n = Varint.read s pos in
+  (* 9 = minimum bytes per (doc, score) pair; bounds the count before the
+     allocation below can be sized by a corrupt length *)
+  if n < 0 || n > (String.length s - !pos) / 9 then
+    corrupt "wire: result count %d exceeds payload" n;
+  List.init n (fun _ ->
+      let doc = Varint.read s pos in
+      let score = get_f64 s pos in
+      (doc, score))
+
+(* -- message payloads ------------------------------------------------------ *)
+
+let tag_hello = 0x01
+let tag_query = 0x02
+let tag_goodbye = 0x03
+let tag_hello_ack = 0x81
+let tag_reply = 0x82
+let tag_drain = 0x83
+
+let request_payload r =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Hello { version } ->
+      put_byte buf tag_hello;
+      Varint.write buf version
+  | Goodbye -> put_byte buf tag_goodbye
+  | Query { id; mode; cls; k; deadline_ms; sim_ms; pages; blocks; terms } ->
+      put_byte buf tag_query;
+      Varint.write buf id;
+      let flags =
+        (if deadline_ms <> None then 1 else 0)
+        lor (if sim_ms <> None then 2 else 0)
+        lor (if pages <> None then 4 else 0)
+        lor if blocks <> None then 8 else 0
+      in
+      put_byte buf flags;
+      put_byte buf (mode_byte mode);
+      put_byte buf (cls_byte cls);
+      Varint.write buf k;
+      put_opt_f64 buf deadline_ms;
+      put_opt_f64 buf sim_ms;
+      put_opt_int buf pages;
+      put_opt_int buf blocks;
+      Varint.write buf (List.length terms);
+      List.iter (put_string buf) terms);
+  Buffer.contents buf
+
+let request_of_payload s =
+  let pos = ref 0 in
+  let r =
+    match get_byte s pos with
+    | t when t = tag_hello -> Hello { version = Varint.read s pos }
+    | t when t = tag_goodbye -> Goodbye
+    | t when t = tag_query ->
+        let id = Varint.read s pos in
+        let flags = get_byte s pos in
+        if flags land lnot 0xF <> 0 then
+          corrupt "wire: unknown query flags 0x%x" flags;
+        let mode = mode_of_byte (get_byte s pos) in
+        let cls = cls_of_byte (get_byte s pos) in
+        let k = Varint.read s pos in
+        let deadline_ms =
+          if flags land 1 <> 0 then Some (get_f64 s pos) else None
+        in
+        let sim_ms = if flags land 2 <> 0 then Some (get_f64 s pos) else None in
+        let pages =
+          if flags land 4 <> 0 then Some (Varint.read s pos) else None
+        in
+        let blocks =
+          if flags land 8 <> 0 then Some (Varint.read s pos) else None
+        in
+        let n = Varint.read s pos in
+        if n < 0 || n > String.length s - !pos then
+          corrupt "wire: term count %d exceeds payload" n;
+        let terms = List.init n (fun _ -> get_string s pos) in
+        Query { id; mode; cls; k; deadline_ms; sim_ms; pages; blocks; terms }
+    | t -> corrupt "wire: unknown request tag 0x%x" t
+  in
+  if !pos <> String.length s then
+    corrupt "wire: %d trailing bytes after request" (String.length s - !pos);
+  r
+
+let outcome_payload buf = function
+  | Complete rs ->
+      put_byte buf 0;
+      put_results buf rs
+  | Partial { results; bound; reason } ->
+      put_byte buf 1;
+      put_results buf results;
+      put_f64 buf bound;
+      put_byte buf (reason_byte reason)
+  | Timed_out reason ->
+      put_byte buf 2;
+      put_byte buf (reason_byte reason)
+  | Rejected { reason; retry_after_ms } ->
+      put_byte buf 3;
+      put_string buf reason;
+      put_f64 buf retry_after_ms
+  | Server_error msg ->
+      put_byte buf 4;
+      put_string buf msg
+
+let outcome_of_payload s pos =
+  match get_byte s pos with
+  | 0 -> Complete (get_results s pos)
+  | 1 ->
+      let results = get_results s pos in
+      let bound = get_f64 s pos in
+      let reason = reason_of_byte (get_byte s pos) in
+      Partial { results; bound; reason }
+  | 2 -> Timed_out (reason_of_byte (get_byte s pos))
+  | 3 ->
+      let reason = get_string s pos in
+      let retry_after_ms = get_f64 s pos in
+      Rejected { reason; retry_after_ms }
+  | 4 -> Server_error (get_string s pos)
+  | t -> corrupt "wire: unknown outcome tag %d" t
+
+let response_payload r =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Hello_ack { version } ->
+      put_byte buf tag_hello_ack;
+      Varint.write buf version
+  | Reply { id; outcome } ->
+      put_byte buf tag_reply;
+      Varint.write buf id;
+      outcome_payload buf outcome
+  | Drain { retry_after_ms } ->
+      put_byte buf tag_drain;
+      put_f64 buf retry_after_ms);
+  Buffer.contents buf
+
+let response_of_payload s =
+  let pos = ref 0 in
+  let r =
+    match get_byte s pos with
+    | t when t = tag_hello_ack -> Hello_ack { version = Varint.read s pos }
+    | t when t = tag_drain -> Drain { retry_after_ms = get_f64 s pos }
+    | t when t = tag_reply ->
+        let id = Varint.read s pos in
+        let outcome = outcome_of_payload s pos in
+        Reply { id; outcome }
+    | t -> corrupt "wire: unknown response tag 0x%x" t
+  in
+  if !pos <> String.length s then
+    corrupt "wire: %d trailing bytes after response" (String.length s - !pos);
+  r
+
+(* -- framing --------------------------------------------------------------- *)
+
+let encode_frame payload =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Wire.encode_frame: %d > max_frame" n);
+  let buf = Buffer.create (n + 10) in
+  Buffer.add_char buf magic;
+  Varint.write buf n;
+  let crc = Crc32.string payload in
+  for i = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((crc lsr (8 * i)) land 0xFF))
+  done;
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable start : int; (* first unconsumed byte *)
+  mutable len : int; (* unconsumed bytes from [start] *)
+}
+
+let decoder () = { buf = Bytes.create 4096; start = 0; len = 0 }
+let buffered d = d.len
+
+let feed d ?(off = 0) ?len bytes =
+  let n = match len with Some n -> n | None -> Bytes.length bytes - off in
+  if off < 0 || n < 0 || off + n > Bytes.length bytes then
+    invalid_arg "Wire.feed: bad slice";
+  let cap = Bytes.length d.buf in
+  if d.start + d.len + n > cap then begin
+    (* compact, growing only if the live bytes + arrival still don't fit *)
+    let need = d.len + n in
+    let cap' = if need <= cap then cap else max (2 * cap) need in
+    let buf' = if cap' = cap then d.buf else Bytes.create cap' in
+    Bytes.blit d.buf d.start buf' 0 d.len;
+    d.buf <- buf';
+    d.start <- 0
+  end;
+  Bytes.blit bytes off d.buf (d.start + d.len) n;
+  d.len <- d.len + n
+
+(* parse a frame-length varint at relative offset [off]; [`More] when the
+   buffer ends mid-varint, [`Len (value, width)] on success. Range-checked
+   against [max_frame] during the parse so a hostile length never sizes an
+   allocation. *)
+let parse_len d ~off =
+  let rec go i acc =
+    if i >= 5 then corrupt "wire: frame length varint too long"
+    else if off + i >= d.len then `More
+    else
+      let b = Char.code (Bytes.get d.buf (d.start + off + i)) in
+      let acc = acc lor ((b land 0x7F) lsl (7 * i)) in
+      if acc > max_frame then
+        corrupt "wire: frame length %d exceeds max_frame %d" acc max_frame
+      else if b < 0x80 then
+        if b = 0 && i > 0 then corrupt "wire: overlong frame length"
+        else `Len (acc, i + 1)
+      else go (i + 1) acc
+  in
+  go 0 0
+
+let next d =
+  if d.len = 0 then None
+  else begin
+    let m = Bytes.get d.buf d.start in
+    if m <> magic then
+      corrupt "wire: bad magic byte 0x%02x (want 0x%02x)" (Char.code m)
+        (Char.code magic);
+    match parse_len d ~off:1 with
+    | `More -> None
+    | `Len (plen, width) ->
+        let total = 1 + width + 4 + plen in
+        if d.len < total then None
+        else begin
+          let crc_off = d.start + 1 + width in
+          let crc = ref 0 in
+          for i = 0 to 3 do
+            crc := (!crc lsl 8) lor Char.code (Bytes.get d.buf (crc_off + i))
+          done;
+          let payload = Bytes.sub_string d.buf (crc_off + 4) plen in
+          if Crc32.string payload <> !crc then
+            corrupt "wire: frame CRC mismatch (%d payload bytes)" plen;
+          d.start <- d.start + total;
+          d.len <- d.len - total;
+          if d.len = 0 then d.start <- 0;
+          Some payload
+        end
+  end
+
+let encode_request r = encode_frame (request_payload r)
+let encode_response r = encode_frame (response_payload r)

@@ -1,0 +1,108 @@
+(** The SVR wire protocol: length-prefixed, CRC32-framed messages over a
+    byte stream.
+
+    A frame mirrors the WAL's self-delimiting [[len|crc|payload]] records
+    ({!Svr_storage.Wal}), adapted to a stream that has no epoch: one magic
+    byte (so a connection speaking HTTP — ["GET /metrics"] — is
+    distinguishable from the binary protocol at the first byte), a
+    {!Svr_storage.Varint} payload length, a big-endian CRC32 of the
+    payload, then the payload. The CRC makes a torn or bit-flipped frame a
+    typed {!Svr_storage.Storage_error.Error}[ (Corrupt, _)] at the decoder,
+    never a misparse: the server kills the offending connection and nothing
+    else.
+
+    Payloads are tagged messages. Integers are varints, floats are
+    big-endian IEEE-754 bit patterns, strings are length-prefixed. Every
+    decoder is total over arbitrary bytes: it returns a value the encoder
+    could have produced or raises [Corrupt]. *)
+
+val version : int
+(** Protocol version carried in [Hello]/[Hello_ack]. *)
+
+val magic : char
+(** First byte of every binary frame (never an ASCII HTTP method byte). *)
+
+val max_frame : int
+(** Maximum payload bytes per frame (4 MiB). Frames claiming more are
+    rejected as [Corrupt] before any allocation of the claimed size. *)
+
+(** {2 Messages} *)
+
+type request =
+  | Hello of { version : int }
+      (** Session open: first frame on every connection. The server answers
+          [Hello_ack] or closes on a version mismatch. *)
+  | Query of {
+      id : int;  (** echoed in the [Reply]; pipelined requests correlate *)
+      mode : Svr_core.Types.mode;
+      cls : Svr_serve.Admission.cls;
+      k : int;
+      deadline_ms : float option;
+      sim_ms : float option;
+      pages : int option;
+      blocks : int option;
+      terms : string list;  (** pre-analyzed terms, verbatim *)
+    }
+  | Goodbye  (** clean session close *)
+
+type outcome =
+  | Complete of (int * float) list
+  | Partial of {
+      results : (int * float) list;
+      bound : float;
+      reason : Svr_core.Budget.reason;
+    }
+  | Timed_out of Svr_core.Budget.reason
+  | Rejected of { reason : string; retry_after_ms : float }
+      (** shed by admission — the protocol-level retry hint *)
+  | Server_error of string
+      (** the query raised; the connection stays usable *)
+
+type response =
+  | Hello_ack of { version : int }
+  | Reply of { id : int; outcome : outcome }
+  | Drain of { retry_after_ms : float }
+      (** the server is draining: the request was not admitted, and the
+          connection will close once in-flight replies are flushed *)
+
+(** {2 Payload codecs} *)
+
+val request_payload : request -> string
+val response_payload : response -> string
+
+val request_of_payload : string -> request
+(** @raise Svr_storage.Storage_error.Error [(Corrupt, _)] on anything
+    {!request_payload} could not have produced. *)
+
+val response_of_payload : string -> response
+
+(** {2 Framing} *)
+
+val encode_frame : string -> string
+(** [magic | varint len | u32-be crc32(payload) | payload]. *)
+
+type decoder
+(** An incremental frame decoder over arbitrary chunk arrivals — bytes may
+    be fed one at a time (torn frames) or many frames at once (pipelining);
+    {!next} yields each complete, CRC-verified payload in order. *)
+
+val decoder : unit -> decoder
+
+val feed : decoder -> ?off:int -> ?len:int -> Bytes.t -> unit
+(** Append received bytes. *)
+
+val next : decoder -> string option
+(** The next complete payload, or [None] when more bytes are needed.
+    @raise Svr_storage.Storage_error.Error [(Corrupt, _)] on a bad magic
+    byte, an oversized or malformed length, or a CRC mismatch. The decoder
+    is unusable after a raise — the connection is dead. *)
+
+val buffered : decoder -> int
+(** Bytes fed but not yet consumed (bounded by one frame plus a read). *)
+
+(** {2 Convenience} *)
+
+val encode_request : request -> string
+(** [encode_frame (request_payload r)]. *)
+
+val encode_response : response -> string

@@ -31,6 +31,7 @@ type request = {
   budget : C.Budget.t;
   ticket : ticket;
   submitted_at : float;
+  submitted_sim : float; (* Clock.sim_ms at submission; see serve_one *)
 }
 
 type t = {
@@ -60,15 +61,51 @@ let queue_wait_hist =
        ~help:"time a request spent in the intake queue (ms)"
        "svr_server_queue_wait_ms")
 
-let service_hist cls =
-  M.histogram ~base:0.001
-    ~labels:[ ("class", Admission.cls_name cls) ]
-    ~help:"submit-to-terminal time of served requests (ms, queue wait included)"
-    "svr_server_service_ms"
+let queue_wait_sim_hist =
+  lazy
+    (M.histogram ~base:0.001
+       ~help:"queue wait on the simulated clock (ms)"
+       "svr_server_queue_wait_sim_ms")
+
+(* per-class histograms, memoized: the registry lookup (label-list
+   allocation + mutex round trip) must not run once per request on the hot
+   path — the same reason [queue_wait_hist] above is lazy *)
+let service_hist =
+  let mk cls =
+    lazy
+      (M.histogram ~base:0.001
+         ~labels:[ ("class", Admission.cls_name cls) ]
+         ~help:
+           "submit-to-terminal time of served requests (ms, queue wait \
+            included)"
+         "svr_server_service_ms")
+  in
+  let q = mk Admission.Query
+  and u = mk Admission.Update
+  and m = mk Admission.Maintenance in
+  fun cls ->
+    Lazy.force
+      (match cls with
+      | Admission.Query -> q
+      | Admission.Update -> u
+      | Admission.Maintenance -> m)
 
 let serve_one t r =
+  (* Dual-clock audit: the wall deadline dates from submission (the
+     budget's [started_at_ms]), and the wall histograms below measure the
+     same interval — but the sim-deadline dimension is measured against the
+     executing domain's stats cell, which this request has not touched
+     while queued. Bill the queue wait observed on the global sim clock
+     into the budget here, so under an injected sim source both deadline
+     dimensions, the histograms and the [Events] record all describe the
+     same submission-dated interval. *)
   let queue_wait = Obs.Clock.now_ms () -. r.submitted_at in
   M.observe (Lazy.force queue_wait_hist) queue_wait;
+  let queue_wait_sim = Obs.Clock.sim_ms () -. r.submitted_sim in
+  if queue_wait_sim > 0.0 then begin
+    M.observe (Lazy.force queue_wait_sim_hist) queue_wait_sim;
+    C.Budget.charge_sim r.budget queue_wait_sim
+  end;
   (* a root span around the whole service makes the trace id available for
      the lifecycle record even though the query opens its own spans *)
   let sp = Obs.Trace.root "serve" in
@@ -107,11 +144,24 @@ let serve_one t r =
   Admission.release t.adm;
   fulfill r.ticket st
 
+(* Pop up to [max] queued elements in FIFO order. An [Array.init] over
+   side-effecting [Queue.pop] calls relied on the unspecified element-order
+   evaluation of [Array.init]; the explicit loop guarantees slot [i] holds
+   the [i]-th-oldest request. Exposed in the interface so the regression
+   test pins the order. *)
+let pop_batch_fifo q ~max =
+  let n = min (Queue.length q) max in
+  if n = 0 then [||]
+  else begin
+    let b = Array.make n (Queue.pop q) in
+    for i = 1 to n - 1 do
+      b.(i) <- Queue.pop q
+    done;
+    b
+  end
+
 let rec dispatch_loop t =
-  let pop_batch () =
-    let n = min (Queue.length t.queue) t.batch_max in
-    Array.init n (fun _ -> Queue.pop t.queue)
-  in
+  let pop_batch () = pop_batch_fifo t.queue ~max:t.batch_max in
   let batch =
     match t.tick with
     | None ->
@@ -244,6 +294,7 @@ let submit t ?(mode = C.Types.Conjunctive) ?(cls = Admission.Query)
           budget;
           ticket;
           submitted_at = Svr_obs.Clock.now_ms ();
+          submitted_sim = Svr_obs.Clock.sim_ms ();
         }
       in
       match

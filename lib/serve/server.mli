@@ -83,6 +83,11 @@ val shutdown : t -> unit
 (** Stop intake, answer everything already admitted, join the dispatcher
     and the pool. Idempotent. *)
 
+val pop_batch_fifo : 'a Queue.t -> max:int -> 'a array
+(** Pop up to [max] elements, oldest first, slot [i] holding the [i]-th
+    oldest. The dispatcher's batch extraction; exposed so the FIFO-order
+    regression test can pin it directly. *)
+
 val with_server :
   ?domains:int ->
   ?queue_bound:int ->

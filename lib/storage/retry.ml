@@ -118,6 +118,18 @@ let backoff_spins p ~prev =
   let r = p.base_spins + (jitter_next () mod (hi - p.base_spins)) in
   min p.cap_spins r
 
+(* the same decorrelated-jitter curve over milliseconds, for callers that
+   sleep instead of spinning (the network client honoring a retry-after
+   hint): next = uniform(base, 3*prev), capped *)
+let jitter_ms ~base_ms ~cap_ms ~prev_ms =
+  if base_ms < 0.0 || cap_ms < base_ms then
+    invalid_arg "Retry.jitter_ms: need 0 <= base_ms <= cap_ms";
+  let hi = Float.max (base_ms +. 1e-6) (3.0 *. prev_ms) in
+  let u =
+    float_of_int (jitter_next () land 0xFFFFFF) /. float_of_int 0xFFFFFF
+  in
+  Float.min cap_ms (base_ms +. (u *. (hi -. base_ms)))
+
 let backoff spins =
   for _ = 1 to spins do
     Domain.cpu_relax ()

@@ -23,6 +23,13 @@ val default_policy : policy
 val policy : ?attempts:int -> ?base_spins:int -> ?cap_spins:int -> unit -> policy
 (** @raise Invalid_argument if [attempts < 1]. *)
 
+val jitter_ms : base_ms:float -> cap_ms:float -> prev_ms:float -> float
+(** The decorrelated-jitter backoff curve over milliseconds, for callers
+    that sleep instead of spinning (the network client pacing itself off a
+    [retry_after_ms] hint): a draw uniform in [[base_ms, max base_ms
+    (3 * prev_ms)]], capped at [cap_ms]. Feed the previous draw back in as
+    [prev_ms]. @raise Invalid_argument unless [0 <= base_ms <= cap_ms]. *)
+
 type breaker
 
 val breaker : ?threshold:int -> ?probe_every:int -> string -> breaker

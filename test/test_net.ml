@@ -1,0 +1,638 @@
+(* Network serving tests (PR 10).
+
+   Covers the wire codec (message round trips, incremental frame decoding
+   under torn delivery and pipelining); framing robustness (every strict
+   prefix is "need more bytes", every single-bit flip and every oversized
+   length claim is a typed Corrupt error, arbitrary garbage never escapes
+   the typed error surface); failure isolation at the socket level (a
+   malformed frame or a protocol violation kills exactly its own
+   connection); the end-to-end oracle property (a pooled client over real
+   sockets returns bit-identical top-k to the in-process engine for every
+   method x codec, including degraded Partial answers and the ID methods'
+   typed timeout); admission shedding as a protocol-level Rejected reply
+   with a retry hint; pipelined requests correlating by id; graceful drain
+   (in-flight answered, farewell Drain frame, new connections refused); the
+   connection cap; and the plaintext /metrics + /health endpoint on the
+   serving port. *)
+
+module Core = Svr_core
+module St = Svr_storage
+module Net = Svr_net
+module Wire = Svr_net.Wire
+module Client = Svr_net.Client
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen ?print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen prop)
+
+(* deterministic PRNG so failures replay *)
+let lcg state =
+  state := ((!state * 25214903917) + 11) land ((1 lsl 48) - 1);
+  !state lsr 17
+
+(* ------------------------------------------------------------------ *)
+(* index fixture (the test_serve corpus: dense enough that block budgets
+   trip mid-scan) *)
+
+let vocab =
+  [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "golf"; "hotel" |]
+
+let test_cfg =
+  { Core.Config.default with
+    Core.Config.analyzer = Svr_text.Analyzer.raw;
+    threshold_ratio = 2.0;
+    chunk_ratio = 2.0;
+    min_chunk_docs = 2;
+    fancy_size = 3;
+    ts_weight = 50.0 }
+
+let mk_corpus ~seed ~n_docs =
+  let st = ref seed in
+  let docs =
+    List.init n_docs (fun d ->
+        let words =
+          List.init 6 (fun _ -> vocab.(lcg st mod Array.length vocab))
+        in
+        (d, String.concat " " words))
+  in
+  let scores = Array.init n_docs (fun _ -> float_of_int (lcg st mod 100_000)) in
+  (docs, scores)
+
+let build_idx ?(codec = Core.Types.Varint) ?(seed = 7) ?(n_docs = 400) kind =
+  let docs, scores = mk_corpus ~seed ~n_docs in
+  let env = St.Env.create ~table_pool_pages:256 ~blob_pool_pages:64 () in
+  Core.Index.build ~env kind
+    { test_cfg with Core.Config.codec }
+    ~corpus:(List.to_seq docs)
+    ~scores:(fun d -> scores.(d))
+
+let test_queries =
+  [ [ "alpha" ]; [ "alpha"; "bravo" ]; [ "charlie"; "delta" ];
+    [ "echo"; "foxtrot"; "golf" ]; [ "hotel"; "alpha" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* wire codec round trips *)
+
+let gen_terms =
+  QCheck2.Gen.(list_size (int_range 0 6) (string_size ~gen:printable (int_range 0 12)))
+
+let gen_opt_float =
+  QCheck2.Gen.(opt (float_bound_inclusive 1e6))
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun v -> Wire.Hello { version = v }) (int_bound 1000);
+        return Wire.Goodbye;
+        map
+          (fun ((id, k, terms), (deadline_ms, sim_ms, pages, blocks), (m, c)) ->
+            Wire.Query
+              { id;
+                mode = (if m then Core.Types.Conjunctive else Core.Types.Disjunctive);
+                cls =
+                  (match c mod 3 with
+                  | 0 -> Svr_serve.Admission.Query
+                  | 1 -> Svr_serve.Admission.Update
+                  | _ -> Svr_serve.Admission.Maintenance);
+                k;
+                deadline_ms;
+                sim_ms;
+                pages = Option.map abs pages;
+                blocks = Option.map abs blocks;
+                terms })
+          (triple
+             (triple (int_bound 1_000_000) (int_bound 1000) gen_terms)
+             (quad gen_opt_float gen_opt_float (opt small_int) (opt small_int))
+             (pair bool (int_bound 100))) ])
+
+let gen_results =
+  QCheck2.Gen.(
+    list_size (int_range 0 20)
+      (pair (int_bound 1_000_000) (float_bound_inclusive 1e5)))
+
+let gen_reason =
+  QCheck2.Gen.(
+    map
+      (fun i ->
+        List.nth
+          [ Core.Budget.Deadline; Core.Budget.Sim_deadline; Core.Budget.Pages;
+            Core.Budget.Blocks; Core.Budget.Cancelled ]
+          (i mod 5))
+      (int_bound 100))
+
+let gen_outcome =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun rs -> Wire.Complete rs) gen_results;
+        map
+          (fun ((rs, b), r) -> Wire.Partial { results = rs; bound = b; reason = r })
+          (pair (pair gen_results (float_bound_inclusive 1e5)) gen_reason);
+        map (fun r -> Wire.Timed_out r) gen_reason;
+        map
+          (fun (s, ms) -> Wire.Rejected { reason = s; retry_after_ms = ms })
+          (pair (string_size ~gen:printable (int_range 0 40))
+             (float_bound_inclusive 1e4));
+        map (fun s -> Wire.Server_error s)
+          (string_size ~gen:printable (int_range 0 40)) ])
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun v -> Wire.Hello_ack { version = v }) (int_bound 1000);
+        map
+          (fun (id, o) -> Wire.Reply { id; outcome = o })
+          (pair (int_bound 1_000_000) gen_outcome);
+        map (fun ms -> Wire.Drain { retry_after_ms = ms })
+          (float_bound_inclusive 1e4) ])
+
+let request_roundtrip r = Wire.request_of_payload (Wire.request_payload r) = r
+
+let response_roundtrip r =
+  Wire.response_of_payload (Wire.response_payload r) = r
+
+(* frames survive any chunking of the byte stream: 1-byte dribble, one big
+   write, and a seeded random split *)
+let test_frame_chunking () =
+  let payloads =
+    List.map Wire.request_payload
+      [ Wire.Hello { version = Wire.version };
+        Wire.Query
+          { id = 3; mode = Core.Types.Disjunctive;
+            cls = Svr_serve.Admission.Query; k = 10;
+            deadline_ms = Some 12.5; sim_ms = None; pages = None;
+            blocks = Some 4; terms = [ "alpha"; "bravo" ] };
+        Wire.Goodbye ]
+  in
+  let stream = String.concat "" (List.map Wire.encode_frame payloads) in
+  let feed_in_pieces sizes =
+    let dec = Wire.decoder () in
+    let got = ref [] in
+    let pos = ref 0 in
+    let drain () =
+      let rec go () =
+        match Wire.next dec with
+        | Some p ->
+            got := p :: !got;
+            go ()
+        | None -> ()
+      in
+      go ()
+    in
+    List.iter
+      (fun n ->
+        let n = min n (String.length stream - !pos) in
+        Wire.feed dec (Bytes.of_string (String.sub stream !pos n));
+        pos := !pos + n;
+        drain ())
+      sizes;
+    check Alcotest.int "stream fully consumed" (String.length stream) !pos;
+    check Alcotest.bool "payloads intact through re-chunking" true
+      (List.rev !got = payloads)
+  in
+  feed_in_pieces (List.init (String.length stream) (fun _ -> 1));
+  feed_in_pieces [ String.length stream ];
+  let st = ref 99 in
+  feed_in_pieces
+    (List.init (String.length stream) (fun _ -> 1 + (lcg st mod 7)))
+
+(* every strict prefix of a valid frame is "need more", never a misparse *)
+let test_truncated_prefixes () =
+  let frame =
+    Wire.encode_frame
+      (Wire.response_payload
+         (Wire.Reply
+            { id = 7;
+              outcome =
+                Wire.Partial
+                  { results = [ (1, 2.0); (3, 4.0) ]; bound = 9.5;
+                    reason = Core.Budget.Blocks } }))
+  in
+  for n = 0 to String.length frame - 1 do
+    let dec = Wire.decoder () in
+    Wire.feed dec (Bytes.of_string (String.sub frame 0 n));
+    match Wire.next dec with
+    | None -> ()
+    | Some _ -> Alcotest.failf "prefix of %d bytes decoded as a whole frame" n
+    | exception St.Storage_error.Error _ ->
+        Alcotest.failf "prefix of %d bytes read as corrupt, not incomplete" n
+  done
+
+(* any single bit flip is detected: the decoder may want more bytes (length
+   grew) or raise Corrupt, but never yields a payload *)
+let test_bit_flips_detected () =
+  let frame =
+    Wire.encode_frame
+      (Wire.request_payload
+         (Wire.Query
+            { id = 12; mode = Core.Types.Conjunctive;
+              cls = Svr_serve.Admission.Query; k = 5; deadline_ms = Some 3.0;
+              sim_ms = None; pages = None; blocks = None;
+              terms = [ "alpha"; "bravo"; "charlie" ] }))
+  in
+  for i = 0 to String.length frame - 1 do
+    for bit = 0 to 7 do
+      let mutated = Bytes.of_string frame in
+      Bytes.set mutated i (Char.chr (Char.code frame.[i] lxor (1 lsl bit)));
+      let dec = Wire.decoder () in
+      Wire.feed dec mutated;
+      match Wire.next dec with
+      | None -> () (* the flip grew the claimed length: incomplete *)
+      | Some _ ->
+          Alcotest.failf "bit %d of byte %d flipped, frame still decoded" bit i
+      | exception St.Storage_error.Error (St.Storage_error.Corrupt, _) -> ()
+      | exception e ->
+          Alcotest.failf "bit %d of byte %d: untyped escape %s" bit i
+            (Printexc.to_string e)
+    done
+  done
+
+let test_oversized_rejected () =
+  (* a header claiming max_frame + 1 must be refused during the length
+     parse, before any allocation of the claimed size *)
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf Wire.magic;
+  St.Varint.write buf (Wire.max_frame + 1);
+  Buffer.add_string buf "\x00\x00\x00\x00";
+  let dec = Wire.decoder () in
+  Wire.feed dec (Bytes.of_string (Buffer.contents buf));
+  (match Wire.next dec with
+  | exception St.Storage_error.Error (St.Storage_error.Corrupt, _) -> ()
+  | _ -> Alcotest.fail "oversized length claim accepted");
+  match Wire.encode_frame (String.make (Wire.max_frame + 1) 'x') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode_frame accepted an oversized payload"
+
+(* arbitrary garbage never escapes the typed error surface *)
+let test_garbage_fuzz () =
+  let st = ref 4242 in
+  for _ = 1 to 300 do
+    let len = 1 + (lcg st mod 64) in
+    let junk = Bytes.init len (fun _ -> Char.chr (lcg st land 0xFF)) in
+    let dec = Wire.decoder () in
+    (match Wire.feed dec junk with
+    | () -> (
+        match Wire.next dec with
+        | None | Some _ -> ()
+        | exception St.Storage_error.Error _ -> ()
+        | exception e ->
+            Alcotest.failf "garbage escaped the typed surface: %s"
+              (Printexc.to_string e))
+    | exception e ->
+        Alcotest.failf "feed raised %s" (Printexc.to_string e));
+    (* the same junk as a payload, through both message decoders *)
+    let s = Bytes.to_string junk in
+    List.iter
+      (fun f ->
+        match f s with
+        | _ -> ()
+        | exception St.Storage_error.Error _ -> ()
+        | exception e ->
+            Alcotest.failf "payload decoder escaped the typed surface: %s"
+              (Printexc.to_string e))
+      [ (fun s -> ignore (Wire.request_of_payload s));
+        (fun s -> ignore (Wire.response_of_payload s)) ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* socket-level tests *)
+
+let with_net ?(domains = 2) ?queue_bound ?max_conns ?health ?(kind = Core.Index.Chunk)
+    ?codec f =
+  let idx = build_idx ?codec kind in
+  Net.Server.with_server ~host:"127.0.0.1" ~port:0 ~domains ?queue_bound
+    ?max_conns ?health idx (fun srv -> f idx srv)
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* read until EOF (with a receive timeout as a watchdog) *)
+let slurp fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  Buffer.contents buf
+
+let same_results got want =
+  List.length got = List.length want
+  && List.for_all2
+       (fun (d1, s1) (d2, s2) -> d1 = d2 && abs_float (s1 -. s2) < 1e-9)
+       got want
+
+(* the acceptance oracle: a pooled client over real sockets returns
+   bit-identical top-k to the in-process engine, for every method x codec *)
+let test_oracle_every_method_codec () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun codec ->
+          with_net ~kind ~codec (fun idx srv ->
+              let pool =
+                Client.create ~size:2 ~query_timeout_ms:15_000.0
+                  ~host:"127.0.0.1" ~port:(Net.Server.port srv) ()
+              in
+              Fun.protect ~finally:(fun () -> Client.close pool) (fun () ->
+                  List.iter
+                    (fun q ->
+                      let oracle = Core.Index.query_terms idx q ~k:10 in
+                      match Client.query pool q ~k:10 with
+                      | Ok (Wire.Complete rs) ->
+                          if not (same_results rs oracle) then
+                            Alcotest.failf
+                              "%s/%s q=[%s]: socket answer differs from the \
+                               in-process oracle"
+                              (Core.Index.kind_name kind)
+                              (Core.Types.codec_name codec)
+                              (String.concat " " q)
+                      | Ok _ -> Alcotest.fail "unbudgeted query degraded"
+                      | Error e -> Alcotest.fail (Client.error_to_string e))
+                    test_queries)))
+        [ Core.Types.Varint; Core.Types.Bitpack; Core.Types.Pef ])
+    Core.Index.all_kinds
+
+(* degraded Partial answers transit the wire bit-identically, bound and
+   reason included *)
+let test_partial_over_wire () =
+  with_net (fun idx srv ->
+      let c = Client.Conn.connect ~host:"127.0.0.1" ~port:(Net.Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.Conn.close c) (fun () ->
+          List.iter
+            (fun q ->
+              let expected =
+                Core.Index.query_terms_outcome idx
+                  ~budget:(Core.Budget.create ~blocks:2 ())
+                  q ~k:10
+              in
+              match (Client.Conn.query c ~blocks:2 q ~k:10, expected) with
+              | ( Ok (Wire.Partial { results; bound; reason }),
+                  Core.Index.Partial
+                    { results = results'; bound = bound'; reason = reason' } )
+                ->
+                  check Alcotest.bool "results bit-identical" true
+                    (same_results results results');
+                  check (Alcotest.float 1e-9) "bound bit-identical" bound' bound;
+                  check Alcotest.string "reason preserved"
+                    (Core.Budget.reason_name reason')
+                    (Core.Budget.reason_name reason)
+              | Ok (Wire.Complete _), Core.Index.Complete _ -> ()
+              | got, _ ->
+                  Alcotest.failf "q=[%s]: wire outcome diverged from serial (%s)"
+                    (String.concat " " q)
+                    (match got with
+                    | Ok _ -> "ok of different shape"
+                    | Error e -> Client.error_to_string e))
+            test_queries))
+
+let test_timeout_over_wire () =
+  with_net ~kind:Core.Index.Id (fun _idx srv ->
+      let c = Client.Conn.connect ~host:"127.0.0.1" ~port:(Net.Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.Conn.close c) (fun () ->
+          match Client.Conn.query c ~blocks:1 [ "alpha"; "bravo" ] ~k:10 with
+          | Ok (Wire.Timed_out Core.Budget.Blocks) -> ()
+          | Ok _ -> Alcotest.fail "expected the ID method's typed timeout"
+          | Error e -> Alcotest.fail (Client.error_to_string e)))
+
+(* a Critical health state means admission admits nothing: every query is a
+   protocol-level Rejected with a scaled retry hint *)
+let test_rejected_with_retry_hint () =
+  with_net ~health:(fun () -> Svr_obs.Health.Critical) (fun _idx srv ->
+      let c = Client.Conn.connect ~host:"127.0.0.1" ~port:(Net.Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.Conn.close c) (fun () ->
+          match Client.Conn.query c [ "alpha" ] ~k:5 with
+          | Error (Client.Rejected { retry_after_ms; reason }) ->
+              check Alcotest.bool "retry hint present" true (retry_after_ms > 0.0);
+              check Alcotest.bool "reason names the shed" true
+                (String.length reason > 0)
+          | Ok _ -> Alcotest.fail "Critical health admitted a query"
+          | Error e -> Alcotest.fail (Client.error_to_string e));
+      (* the pool counts the shed and gives up after its retries, with the
+         rejection — not a pool-internal error — surfacing *)
+      let pool =
+        Client.create ~size:1 ~retries:1 ~retry_base_ms:1.0 ~retry_cap_ms:5.0
+          ~host:"127.0.0.1" ~port:(Net.Server.port srv) ()
+      in
+      Fun.protect ~finally:(fun () -> Client.close pool) (fun () ->
+          (match Client.query pool [ "alpha" ] ~k:5 with
+          | Error (Client.Rejected _) -> ()
+          | Ok _ -> Alcotest.fail "Critical health admitted a pooled query"
+          | Error e -> Alcotest.fail (Client.error_to_string e));
+          check Alcotest.bool "sheds counted" true (Client.sheds pool >= 2)))
+
+(* a malformed frame kills exactly its own connection *)
+let test_malformed_kills_only_conn () =
+  with_net (fun idx srv ->
+      let port = Net.Server.port srv in
+      let good = Client.Conn.connect ~host:"127.0.0.1" ~port () in
+      Fun.protect ~finally:(fun () -> Client.Conn.close good) (fun () ->
+          let probe_ok what =
+            match Client.Conn.query good [ "alpha" ] ~k:5 with
+            | Ok (Wire.Complete rs) ->
+                check Alcotest.bool (what ^ ": oracle answer") true
+                  (same_results rs (Core.Index.query_terms idx [ "alpha" ] ~k:5))
+            | _ -> Alcotest.failf "%s: healthy connection disturbed" what
+          in
+          probe_ok "before";
+          (* magic byte followed by garbage: CRC slaughter *)
+          let bad = raw_connect port in
+          write_all bad (String.make 1 Wire.magic ^ String.make 40 '\xff');
+          let leftover = slurp bad in
+          Unix.close bad;
+          check Alcotest.string "corrupt conn closed without a reply" ""
+            leftover;
+          probe_ok "after corrupt frame";
+          (* protocol violation: Query before Hello *)
+          let bad2 = raw_connect port in
+          write_all bad2
+            (Wire.encode_request
+               (Wire.Query
+                  { id = 0; mode = Core.Types.Conjunctive;
+                    cls = Svr_serve.Admission.Query; k = 1;
+                    deadline_ms = None; sim_ms = None; pages = None;
+                    blocks = None; terms = [ "alpha" ] }));
+          let leftover2 = slurp bad2 in
+          Unix.close bad2;
+          check Alcotest.string "unhelloed conn closed without a reply" ""
+            leftover2;
+          probe_ok "after protocol violation"))
+
+(* pipelining: N requests in flight on one connection, replies correlate
+   by id and each matches the oracle *)
+let test_pipelining () =
+  with_net (fun idx srv ->
+      let c = Client.Conn.connect ~host:"127.0.0.1" ~port:(Net.Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.Conn.close c) (fun () ->
+          let queries = Array.of_list test_queries in
+          let n = 2 * Array.length queries in
+          for id = 0 to n - 1 do
+            match
+              Client.Conn.send c ~id queries.(id mod Array.length queries)
+                ~k:10
+            with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail (Client.error_to_string e)
+          done;
+          let seen = Array.make n false in
+          for _ = 1 to n do
+            match Client.Conn.recv c ~timeout_ms:15_000.0 () with
+            | Ok (id, Wire.Complete rs) ->
+                check Alcotest.bool "fresh id" false seen.(id);
+                seen.(id) <- true;
+                let oracle =
+                  Core.Index.query_terms idx
+                    queries.(id mod Array.length queries)
+                    ~k:10
+                in
+                check Alcotest.bool "pipelined reply matches oracle" true
+                  (same_results rs oracle)
+            | Ok (_, _) -> Alcotest.fail "pipelined query degraded"
+            | Error e -> Alcotest.fail (Client.error_to_string e)
+          done;
+          check Alcotest.bool "every id answered" true
+            (Array.for_all Fun.id seen)))
+
+(* graceful drain: in-flight answered, farewell frame, then refusal *)
+let test_graceful_drain () =
+  let idx = build_idx Core.Index.Chunk in
+  let srv = Net.Server.create ~host:"127.0.0.1" ~port:0 ~domains:2 idx in
+  let port = Net.Server.port srv in
+  let c = Client.Conn.connect ~host:"127.0.0.1" ~port () in
+  (* several in-flight requests, then let them land *)
+  for id = 0 to 4 do
+    match Client.Conn.send c ~id [ "alpha"; "bravo" ] ~k:10 with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Client.error_to_string e)
+  done;
+  Thread.delay 0.3;
+  Net.Server.shutdown srv;
+  (* all five replies were flushed before the farewell *)
+  for _ = 1 to 5 do
+    match Client.Conn.recv c ~timeout_ms:10_000.0 () with
+    | Ok (_, Wire.Complete _) -> ()
+    | Ok _ -> Alcotest.fail "drained reply degraded"
+    | Error e ->
+        Alcotest.failf "reply lost in drain: %s" (Client.error_to_string e)
+  done;
+  (match Client.Conn.recv c ~timeout_ms:10_000.0 () with
+  | Error (Client.Draining { retry_after_ms }) ->
+      check Alcotest.bool "farewell carries a retry hint" true
+        (retry_after_ms > 0.0)
+  | Ok _ -> Alcotest.fail "expected the farewell Drain frame"
+  | Error e ->
+      Alcotest.failf "expected Draining, got %s" (Client.error_to_string e));
+  Client.Conn.close c;
+  (* the listener is gone: new connections are refused outright *)
+  (match Client.Conn.connect ~host:"127.0.0.1" ~port () with
+  | c2 ->
+      Client.Conn.close c2;
+      Alcotest.fail "connected to a drained server"
+  | exception Failure _ -> ());
+  (* shutdown is idempotent *)
+  Net.Server.shutdown srv
+
+(* the connection cap answers with a Drain frame instead of hanging *)
+let test_max_conns_refusal () =
+  with_net ~max_conns:1 (fun _idx srv ->
+      let port = Net.Server.port srv in
+      let c1 = Client.Conn.connect ~host:"127.0.0.1" ~port () in
+      Fun.protect ~finally:(fun () -> Client.Conn.close c1) (fun () ->
+          match Client.Conn.connect ~host:"127.0.0.1" ~port () with
+          | c2 ->
+              Client.Conn.close c2;
+              Alcotest.fail "second connection admitted above the cap"
+          | exception Failure msg ->
+              check Alcotest.bool "refusal names the drain frame" true
+                (let lower = String.lowercase_ascii msg in
+                 let has needle =
+                   let nl = String.length needle and hl = String.length lower in
+                   let rec go i =
+                     i + nl <= hl && (String.sub lower i nl = needle || go (i + 1))
+                   in
+                   go 0
+                 in
+                 has "drain" || has "closed" || has "eof")))
+
+(* /metrics and /health speak plain HTTP on the serving port *)
+let test_http_endpoints () =
+  with_net (fun _idx srv ->
+      let port = Net.Server.port srv in
+      (* serve one query so the service histograms exist *)
+      let c = Client.Conn.connect ~host:"127.0.0.1" ~port () in
+      (match Client.Conn.query c [ "alpha" ] ~k:5 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Client.error_to_string e));
+      Client.Conn.close c;
+      let http path =
+        let fd = raw_connect port in
+        write_all fd (Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\n\r\n" path);
+        let r = slurp fd in
+        Unix.close fd;
+        r
+      in
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      let metrics = http "/metrics" in
+      check Alcotest.bool "/metrics is 200" true
+        (contains metrics "HTTP/1.1 200 OK");
+      check Alcotest.bool "/metrics carries the service histogram" true
+        (contains metrics "svr_server_service_ms");
+      check Alcotest.bool "/metrics counts connections" true
+        (contains metrics "svr_net_connections_total");
+      let health = http "/health" in
+      check Alcotest.bool "/health is 200" true
+        (contains health "HTTP/1.1 200 OK");
+      let missing = http "/nope" in
+      check Alcotest.bool "unknown path is 404" true
+        (contains missing "HTTP/1.1 404");
+      let fd = raw_connect port in
+      write_all fd "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+      let post = slurp fd in
+      Unix.close fd;
+      check Alcotest.bool "non-GET is 405" true (contains post "HTTP/1.1 405"))
+
+let () =
+  Alcotest.run "net"
+    [ ( "wire codec",
+        [ qtest "request round trip" gen_request request_roundtrip;
+          qtest "response round trip" gen_response response_roundtrip;
+          Alcotest.test_case "frame chunking" `Quick test_frame_chunking ] );
+      ( "framing robustness",
+        [ Alcotest.test_case "truncated prefixes" `Quick
+            test_truncated_prefixes;
+          Alcotest.test_case "single-bit flips" `Quick test_bit_flips_detected;
+          Alcotest.test_case "oversized claims" `Quick test_oversized_rejected;
+          Alcotest.test_case "garbage fuzz" `Quick test_garbage_fuzz ] );
+      ( "sockets",
+        [ Alcotest.test_case "oracle (methods x codecs)" `Quick
+            test_oracle_every_method_codec;
+          Alcotest.test_case "partial over the wire" `Quick
+            test_partial_over_wire;
+          Alcotest.test_case "typed timeout over the wire" `Quick
+            test_timeout_over_wire;
+          Alcotest.test_case "rejected carries retry hint" `Quick
+            test_rejected_with_retry_hint;
+          Alcotest.test_case "malformed frame kills only its conn" `Quick
+            test_malformed_kills_only_conn;
+          Alcotest.test_case "pipelining" `Quick test_pipelining;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "connection cap" `Quick test_max_conns_refusal;
+          Alcotest.test_case "http endpoints" `Quick test_http_endpoints ] ) ]

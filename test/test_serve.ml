@@ -495,6 +495,60 @@ let test_server_deadline_includes_queue_wait () =
       | Ok _ -> Alcotest.fail "microscopic deadline did not trip"
       | Error _ -> Alcotest.fail "idle server shed a request")
 
+(* the dispatcher's batch extraction must preserve submission order: slot i
+   holds the i-th-oldest request (an Array.init over side-effecting
+   Queue.pop calls had unspecified element order) *)
+let test_pop_batch_fifo_order () =
+  let q = Queue.create () in
+  for i = 1 to 10 do
+    Queue.push i q
+  done;
+  check (Alcotest.array Alcotest.int) "first batch oldest-first" [| 1; 2; 3; 4 |]
+    (Serve.Server.pop_batch_fifo q ~max:4);
+  check (Alcotest.array Alcotest.int) "second batch continues in order"
+    [| 5; 6; 7; 8 |]
+    (Serve.Server.pop_batch_fifo q ~max:4);
+  check (Alcotest.array Alcotest.int) "short final batch" [| 9; 10 |]
+    (Serve.Server.pop_batch_fifo q ~max:4);
+  check (Alcotest.array Alcotest.int) "empty queue, empty batch" [||]
+    (Serve.Server.pop_batch_fifo q ~max:4)
+
+(* queue wait billed into the sim dimension: charge_sim counts toward the
+   sim deadline even when the executing domain's stats cell never moves *)
+let test_budget_charge_sim () =
+  let b = Core.Budget.create ~sim_ms:5.0 () in
+  Core.Budget.charge_sim b 10.0;
+  Core.Budget.arm b ~cell:(St.Stats.zero ()) ~cost:St.Stats.default_cost;
+  check Alcotest.bool "charged sim wait trips the sim deadline" true
+    (Core.Budget.poll b = Some Core.Budget.Sim_deadline);
+  match Core.Budget.charge_sim (Core.Budget.create ()) (-1.0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative sim charge accepted"
+
+(* dual-clock audit: under an injected sim source the sim deadline counts
+   from submission, like the wall deadline — the queue wait observed on the
+   sim clock between submit and dequeue is billed into the budget *)
+let test_server_sim_deadline_includes_queue_wait () =
+  let idx = build_idx Core.Index.Chunk in
+  (* every read of the sim clock advances it 5ms, so any queued request
+     observes a strictly positive sim queue wait, deterministically *)
+  let ticks = Atomic.make 0 in
+  Svr_obs.Clock.set_sim_source (fun () ->
+      5.0 *. float_of_int (Atomic.fetch_and_add ticks 1));
+  Fun.protect
+    ~finally:(fun () -> Svr_obs.Clock.set_sim_source (fun () -> 0.))
+    (fun () ->
+      Serve.Server.with_server ~domains:1 idx (fun server ->
+          match Serve.Server.query server ~sim_ms:4.0 [ "alpha" ] ~k:10 with
+          | Ok (Core.Index.Partial { reason = Core.Budget.Sim_deadline; _ }) ->
+              ()
+          | Ok (Core.Index.Timed_out Core.Budget.Sim_deadline) -> ()
+          | Ok _ ->
+              Alcotest.fail
+                "sim queue wait under an advancing sim clock did not trip \
+                 the sim deadline"
+          | Error _ -> Alcotest.fail "idle server shed a request"))
+
 (* ------------------------------------------------------------------ *)
 (* config validation *)
 
@@ -687,6 +741,12 @@ let () =
           Alcotest.test_case "env breakers" `Quick test_env_breaker ] );
       ( "server",
         [ Alcotest.test_case "round trip" `Quick test_server_round_trip;
+          Alcotest.test_case "batch extraction is FIFO" `Quick
+            test_pop_batch_fifo_order;
+          Alcotest.test_case "charge_sim feeds the sim deadline" `Quick
+            test_budget_charge_sim;
+          Alcotest.test_case "sim deadline includes queue wait" `Quick
+            test_server_sim_deadline_includes_queue_wait;
           Alcotest.test_case "backlog shed + graceful drain" `Quick
             test_server_backlog_shed_and_drain;
           Alcotest.test_case "deadline includes queue wait" `Quick
