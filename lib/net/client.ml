@@ -60,32 +60,60 @@ module Conn = struct
       t.dead <- true;
       Error (Closed (Unix.error_message e))
 
-  (* one CRC-verified frame payload off the wire, honoring [timeout_ms] as
-     a receive timeout on the socket *)
+  (* one CRC-verified frame payload off the wire. [timeout_ms] is an
+     absolute deadline for the *whole* receive: SO_RCVTIMEO only bounds one
+     read syscall, so it is re-armed with the remaining allowance before
+     each read — a server dribbling one byte per timeout window cannot
+     stretch the receive past the deadline. *)
   let read_payload t ?timeout_ms () =
-    (match timeout_ms with
-    | Some ms -> (
-        try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO (ms /. 1000.0)
-        with Unix.Unix_error _ -> ())
-    | None -> ());
+    let deadline =
+      match timeout_ms with
+      | Some ms -> Some (Unix.gettimeofday () +. (ms /. 1000.0))
+      | None ->
+          (* clear any SO_RCVTIMEO left by an earlier bounded receive *)
+          (try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO 0.0
+           with Unix.Unix_error _ -> ());
+          None
+    in
     let rec loop () =
       match Wire.next t.dec with
       | Some p -> Ok p
-      | None -> (
-          match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
-          | 0 ->
-              t.dead <- true;
-              Error (Closed "eof")
-          | n ->
-              Wire.feed t.dec t.buf ~len:n;
-              loop ()
-          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-            ->
-              t.dead <- true;
-              Error Timeout
-          | exception Unix.Unix_error (e, _, _) ->
-              t.dead <- true;
-              Error (Closed (Unix.error_message e)))
+      | None ->
+          let expired =
+            match deadline with
+            | None -> false
+            | Some d ->
+                let remaining = d -. Unix.gettimeofday () in
+                remaining <= 0.0
+                || begin
+                     (* floor keeps a sub-ms remainder from truncating to a
+                        zero timeval, which would mean "wait forever" *)
+                     (try
+                        Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO
+                          (Float.max remaining 0.001)
+                      with Unix.Unix_error _ -> ());
+                     false
+                   end
+          in
+          if expired then begin
+            t.dead <- true;
+            Error Timeout
+          end
+          else (
+            match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+            | 0 ->
+                t.dead <- true;
+                Error (Closed "eof")
+            | n ->
+                Wire.feed t.dec t.buf ~len:n;
+                loop ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                t.dead <- true;
+                Error Timeout
+            | exception Unix.Unix_error (e, _, _) ->
+                t.dead <- true;
+                Error (Closed (Unix.error_message e)))
     in
     match loop () with
     | Ok p -> (

@@ -49,9 +49,11 @@ module Conn : sig
 
   val recv : t -> ?timeout_ms:float -> unit -> (int * Wire.outcome, error) result
   (** The next [Reply], as (echoed id, outcome) — including [Rejected] and
-      [Server_error] outcomes, undigested. A [Drain] frame is
-      [Error (Draining _)]; after [Timeout] or any error the connection is
-      marked dead (a late reply would desynchronize ids). *)
+      [Server_error] outcomes, undigested. [timeout_ms] bounds the whole
+      receive (an absolute deadline spanning every read), not each read
+      syscall. A [Drain] frame is [Error (Draining _)]; after [Timeout] or
+      any error the connection is marked dead (a late reply would
+      desynchronize ids). *)
 
   val query :
     t ->

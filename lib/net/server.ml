@@ -51,6 +51,8 @@ type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   max_conns : int;
+  handshake_timeout_s : float; (* 0. disables *)
+  idle_timeout_s : float option;
   mu : Mutex.t;
   conns_tbl : (int, conn * Thread.t) Hashtbl.t;
   mutable next_cid : int;
@@ -238,6 +240,12 @@ let reader_loop t conn dec first =
           raise (Conn_done { farewell = false })
         end;
         greeted := true;
+        (* the handshake deadline has served; established sessions wait on
+           the idle timeout (or indefinitely) *)
+        (try
+           Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO
+             (match t.idle_timeout_s with Some s -> s | None -> 0.0)
+         with Unix.Unix_error _ -> ());
         push conn (Immediate (Wire.Hello_ack { version = Wire.version }))
     | Wire.Goodbye -> raise (Conn_done { farewell = false })
     | Wire.Query { id; mode; cls; k; deadline_ms; sim_ms; pages; blocks; terms }
@@ -290,8 +298,17 @@ let reader_loop t conn dec first =
          server does not *)
       conn_error "corrupt";
       false
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* SO_RCVTIMEO expired: a stalled handshake or an idle session *)
+      conn_error (if !greeted then "idle_timeout" else "handshake_timeout");
+      false
   | Unix.Unix_error _ ->
       conn_error "io";
+      false
+  | _ ->
+      (* nothing else is expected, but an escape here would leak the
+         connection's writer thread forever — fail the connection instead *)
+      conn_error "crash";
       false
 
 (* -- connection lifecycle -------------------------------------------------- *)
@@ -303,25 +320,41 @@ let deregister t conn =
 
 let conn_main t conn =
   let finally () =
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-    deregister t conn
+    (* deregister before closing: [shutdown] shuts fds down under [t.mu],
+       so an fd found in the table is guaranteed not yet closed *)
+    deregister t conn;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
   in
   Fun.protect ~finally (fun () ->
       (try Unix.setsockopt conn.fd Unix.TCP_NODELAY true
        with Unix.Unix_error _ -> ());
+      (* a connect-and-stall client must not pin this thread (and its
+         [max_conns] slot) forever: the first byte has a deadline *)
+      if t.handshake_timeout_s > 0.0 then
+        (try
+           Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO t.handshake_timeout_s
+         with Unix.Unix_error _ -> ());
       let buf = Bytes.create 8192 in
       let n =
-        try Unix.read conn.fd buf 0 (Bytes.length buf)
-        with Unix.Unix_error _ -> 0
+        try Unix.read conn.fd buf 0 (Bytes.length buf) with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            conn_error "handshake_timeout";
+            0
+        | Unix.Unix_error _ -> 0
       in
       if n > 0 then
         if Bytes.get buf 0 = Wire.magic then begin
           let w = Thread.create writer_loop conn in
-          let farewell =
-            reader_loop t conn (Wire.decoder ()) (Bytes.sub_string buf 0 n)
-          in
-          push conn (Finish { farewell });
-          Thread.join w
+          let farewell = ref false in
+          (* however the reader ends, the writer always gets its finish
+             marker and is always joined — no leaked writer threads *)
+          Fun.protect
+            ~finally:(fun () ->
+              push conn (Finish { farewell = !farewell });
+              Thread.join w)
+            (fun () ->
+              farewell :=
+                reader_loop t conn (Wire.decoder ()) (Bytes.sub_string buf 0 n))
         end
         else http_handle conn.fd (Bytes.sub_string buf 0 n))
 
@@ -376,8 +409,15 @@ let listener_loop t =
 (* -- create / shutdown ----------------------------------------------------- *)
 
 let create ?(host = "127.0.0.1") ?(port = 0) ?(backlog = 64) ?(max_conns = 256)
-    ?domains ?queue_bound ?policy ?batch_max ?health ?tick index =
+    ?(handshake_timeout_s = 5.0) ?idle_timeout_s ?domains ?queue_bound ?policy
+    ?batch_max ?health ?tick index =
   if max_conns < 1 then invalid_arg "Net.Server.create: max_conns must be >= 1";
+  if handshake_timeout_s < 0.0 then
+    invalid_arg "Net.Server.create: handshake_timeout_s must be >= 0";
+  (match idle_timeout_s with
+  | Some s when s <= 0.0 ->
+      invalid_arg "Net.Server.create: idle_timeout_s must be > 0"
+  | _ -> ());
   (* a peer closing mid-write must surface as EPIPE, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let serve =
@@ -400,6 +440,8 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(backlog = 64) ?(max_conns = 256)
         listen_fd;
         bound_port;
         max_conns;
+        handshake_timeout_s;
+        idle_timeout_s;
         mu = Mutex.create ();
         conns_tbl = Hashtbl.create 64;
         next_cid = 0;
@@ -444,13 +486,26 @@ let shutdown t =
           Hashtbl.fold (fun _ ct acc -> ct :: acc) t.conns_tbl [])
     in
     List.iter (fun (conn, _) -> push conn (Finish { farewell = true })) snapshot;
+    (* wake readers still blocked in [read] — in particular a silent
+       pre-handshake connection, which has no writer thread yet to act on
+       the finish marker: shutting down only the receive side delivers EOF
+       to the reader while leaving the send side open for the writer's
+       flush + farewell. Under [t.mu] so no fd has been closed (and
+       possibly reused) by a concurrently-exiting [conn_main]. *)
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.iter
+          (fun _ (conn, _) ->
+            try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          t.conns_tbl);
     List.iter (fun (_, th) -> Thread.join th) snapshot
   end
 
-let with_server ?host ?port ?backlog ?max_conns ?domains ?queue_bound ?policy
-    ?batch_max ?health ?tick index f =
+let with_server ?host ?port ?backlog ?max_conns ?handshake_timeout_s
+    ?idle_timeout_s ?domains ?queue_bound ?policy ?batch_max ?health ?tick
+    index f =
   let t =
-    create ?host ?port ?backlog ?max_conns ?domains ?queue_bound ?policy
-      ?batch_max ?health ?tick index
+    create ?host ?port ?backlog ?max_conns ?handshake_timeout_s ?idle_timeout_s
+      ?domains ?queue_bound ?policy ?batch_max ?health ?tick index
   in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -36,6 +36,8 @@ val create :
   ?port:int ->
   ?backlog:int ->
   ?max_conns:int ->
+  ?handshake_timeout_s:float ->
+  ?idle_timeout_s:float ->
   ?domains:int ->
   ?queue_bound:int ->
   ?policy:Svr_core.Config.shed_policy ->
@@ -47,8 +49,12 @@ val create :
 (** Bind, listen and serve [index]. [host] defaults to ["127.0.0.1"],
     [port] to [0] (ephemeral — read it back with {!port}), [backlog] to 64,
     [max_conns] to 256 (excess accepts are told to back off with a [Drain]
-    frame and closed). The remaining options configure the inner
-    {!Svr_serve.Server.create}. *)
+    frame and closed). [handshake_timeout_s] (default 5, [0.] disables)
+    bounds the wait for a new connection's first bytes, so a
+    connect-and-stall client cannot pin a [max_conns] slot; sessions that
+    complete the [Hello] handshake then wait [idle_timeout_s] between
+    frames (default: no idle limit). The remaining options configure the
+    inner {!Svr_serve.Server.create}. *)
 
 val port : t -> int
 (** The bound TCP port (the ephemeral one when [port:0]). *)
@@ -71,6 +77,8 @@ val with_server :
   ?port:int ->
   ?backlog:int ->
   ?max_conns:int ->
+  ?handshake_timeout_s:float ->
+  ?idle_timeout_s:float ->
   ?domains:int ->
   ?queue_bound:int ->
   ?policy:Svr_core.Config.shed_policy ->

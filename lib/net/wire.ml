@@ -81,7 +81,10 @@ let put_string buf s =
 
 let get_string s pos =
   let n = Varint.read s pos in
-  if n > String.length s - !pos then corrupt "wire: truncated string";
+  (* n < 0 is unreachable while Varint.read rejects bit-62 encodings, but a
+     negative length would slip past the subtraction check below and escape
+     as String.sub's untyped Invalid_argument — guard it here too *)
+  if n < 0 || n > String.length s - !pos then corrupt "wire: truncated string";
   let v = String.sub s !pos n in
   pos := !pos + n;
   v

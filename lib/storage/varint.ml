@@ -12,7 +12,10 @@ let write buf n =
 (* Decoding is hardened against hostile bytes: an OCaml int has 63 bits, so
    any encoding needs at most 9 continuation groups (shifts 0..56). A tenth
    byte would shift past bit 62 — unspecified in OCaml — so it is rejected
-   before the shift happens. Overlong encodings (a continuation byte followed
+   before the shift happens, and a ninth (terminal) byte above 0x3F would
+   land in bit 62 — the sign bit — turning the decoded value negative, so it
+   is rejected too: [write] only accepts non-negative ints, whose top byte
+   never exceeds 0x3F. Overlong encodings (a continuation byte followed
    by a redundant 0x00 terminator, e.g. "\x80\x00" for 0) are rejected too:
    [write] never emits them, so their presence means corrupt input, and
    accepting them would make the encoding non-canonical. *)
@@ -28,6 +31,9 @@ let read s pos =
       if b = 0 && shift > 0 then
         Storage_error.error Corrupt "Varint.read: overlong encoding at byte %d"
           (!pos - 1)
+      else if shift = max_shift && b > 0x3F then
+        Storage_error.error Corrupt
+          "Varint.read: value exceeds 62 bits at byte %d" (!pos - 1)
       else acc lor (b lsl shift)
     else if shift >= max_shift then
       Storage_error.error Corrupt

@@ -263,6 +263,38 @@ let test_oversized_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "encode_frame accepted an oversized payload"
 
+(* a varint whose terminal 9th byte lands in bit 62 would decode negative
+   (OCaml's sign bit) — it must be a typed Corrupt, because a negative
+   length would otherwise slip past "n > remaining" bounds checks and
+   escape as an untyped Invalid_argument from String.sub *)
+let test_negative_varint_rejected () =
+  let negative = String.make 8 '\xff' ^ "\x7f" in
+  (match St.Varint.read negative (ref 0) with
+  | n -> Alcotest.failf "bit-62 varint accepted, decoded %d" n
+  | exception St.Storage_error.Error (St.Storage_error.Corrupt, _) -> ());
+  (* the largest legal terminal byte still decodes: max_int round-trips *)
+  let buf = Buffer.create 9 in
+  St.Varint.write buf max_int;
+  check Alcotest.int "max_int round-trips" max_int
+    (St.Varint.read (Buffer.contents buf) (ref 0));
+  (* the same hostile varint as a term-string length inside a Query
+     payload: typed Corrupt, not an Invalid_argument escape *)
+  let payload = Buffer.create 32 in
+  Buffer.add_char payload '\x02' (* tag_query *);
+  Buffer.add_char payload '\x00' (* id *);
+  Buffer.add_char payload '\x00' (* flags *);
+  Buffer.add_char payload '\x00' (* mode *);
+  Buffer.add_char payload '\x00' (* cls *);
+  Buffer.add_char payload '\x01' (* k *);
+  Buffer.add_char payload '\x01' (* term count *);
+  Buffer.add_string payload negative (* term length: decodes negative *);
+  match Wire.request_of_payload (Buffer.contents payload) with
+  | _ -> Alcotest.fail "negative string length decoded"
+  | exception St.Storage_error.Error (St.Storage_error.Corrupt, _) -> ()
+  | exception e ->
+      Alcotest.failf "negative string length escaped the typed surface: %s"
+        (Printexc.to_string e)
+
 (* arbitrary garbage never escapes the typed error surface *)
 let test_garbage_fuzz () =
   let st = ref 4242 in
@@ -546,6 +578,145 @@ let test_graceful_drain () =
   (* shutdown is idempotent *)
   Net.Server.shutdown srv
 
+(* shutdown must not wedge on a connection that never speaks: a silent
+   (pre-handshake) connection has no writer thread to act on the finish
+   marker, so drain has to wake its blocked reader itself *)
+let test_shutdown_silent_conns () =
+  let idx = build_idx Core.Index.Chunk in
+  let srv = Net.Server.create ~host:"127.0.0.1" ~port:0 ~domains:2 idx in
+  let port = Net.Server.port srv in
+  let silent = raw_connect port in
+  (* a second stall flavor: magic byte sent, then nothing — the reader is
+     parked mid-frame with writer thread already running *)
+  let stalled = raw_connect port in
+  write_all stalled (String.make 1 Wire.magic);
+  (* and a healthy session, to prove drain still completes its work *)
+  let c = Client.Conn.connect ~host:"127.0.0.1" ~port () in
+  (match Client.Conn.send c ~id:0 [ "alpha" ] ~k:5 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Client.error_to_string e));
+  Thread.delay 0.2;
+  let finished = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        Net.Server.shutdown srv;
+        finished := true)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not !finished) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.05
+  done;
+  check Alcotest.bool "shutdown completed despite silent connections" true
+    !finished;
+  Thread.join th;
+  (* the in-flight request on the healthy session was answered pre-farewell *)
+  (match Client.Conn.recv c ~timeout_ms:5000.0 () with
+  | Ok (0, Wire.Complete _) -> ()
+  | Ok _ -> Alcotest.fail "drained reply degraded"
+  | Error e -> Alcotest.failf "reply lost in drain: %s" (Client.error_to_string e));
+  Client.Conn.close c;
+  Unix.close silent;
+  Unix.close stalled
+
+(* a connect-and-stall client is cut off by the handshake deadline and its
+   max_conns slot freed *)
+let test_handshake_timeout () =
+  let idx = build_idx Core.Index.Chunk in
+  Net.Server.with_server ~host:"127.0.0.1" ~port:0 ~domains:2
+    ~handshake_timeout_s:0.2 idx (fun srv ->
+      let fd = raw_connect (Net.Server.port srv) in
+      (* never send a byte; the server must close this side *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let b = Bytes.create 1 in
+      let eof = try Unix.read fd b 0 1 = 0 with Unix.Unix_error _ -> false in
+      check Alcotest.bool "silent connection closed at the handshake deadline"
+        true eof;
+      Unix.close fd;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Net.Server.conns srv > 0 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      check Alcotest.int "connection slot released" 0 (Net.Server.conns srv);
+      (* a prompt client is unaffected by the deadline *)
+      let c =
+        Client.Conn.connect ~host:"127.0.0.1" ~port:(Net.Server.port srv) ()
+      in
+      (match Client.Conn.query c [ "alpha" ] ~k:5 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Client.error_to_string e));
+      Client.Conn.close c)
+
+(* the client's timeout_ms bounds the whole receive, not each read: a
+   server dribbling one byte per window must not stretch a query past the
+   deadline *)
+let test_client_whole_receive_deadline () =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 1;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept lfd in
+        let dec = Wire.decoder () in
+        let buf = Bytes.create 1024 in
+        let rec read_req () =
+          match Wire.next dec with
+          | Some p -> Wire.request_of_payload p
+          | None ->
+              let n = Unix.read fd buf 0 (Bytes.length buf) in
+              if n = 0 then raise Exit;
+              Wire.feed dec buf ~len:n;
+              read_req ()
+        in
+        (try
+           (match read_req () with
+           | Wire.Hello _ ->
+               write_all fd
+                 (Wire.encode_response
+                    (Wire.Hello_ack { version = Wire.version }))
+           | _ -> ());
+           match read_req () with
+           | Wire.Query _ ->
+               (* a valid reply, dribbled one byte per 50 ms: each read
+                  lands well inside a 300 ms per-read window, but the whole
+                  frame takes ~1 s *)
+               let reply =
+                 Wire.encode_response
+                   (Wire.Reply
+                      { id = 0; outcome = Wire.Complete [ (1, 2.0) ] })
+               in
+               String.iter
+                 (fun ch ->
+                   write_all fd (String.make 1 ch);
+                   Thread.delay 0.05)
+                 reply
+           | _ -> ()
+         with _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      ()
+  in
+  let c = Client.Conn.connect ~host:"127.0.0.1" ~port () in
+  let t0 = Unix.gettimeofday () in
+  (match Client.Conn.query c ~timeout_ms:300.0 [ "alpha" ] ~k:1 with
+  | Error Client.Timeout -> ()
+  | Ok _ -> Alcotest.fail "dribbled reply beat the whole-receive deadline"
+  | Error e ->
+      Alcotest.failf "want Timeout, got %s" (Client.error_to_string e));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "timed out near the deadline, not per-read" true
+    (elapsed < 1.0);
+  Client.Conn.close c;
+  Thread.join server;
+  Unix.close lfd
+
 (* the connection cap answers with a Drain frame instead of hanging *)
 let test_max_conns_refusal () =
   with_net ~max_conns:1 (fun _idx srv ->
@@ -620,6 +791,8 @@ let () =
             test_truncated_prefixes;
           Alcotest.test_case "single-bit flips" `Quick test_bit_flips_detected;
           Alcotest.test_case "oversized claims" `Quick test_oversized_rejected;
+          Alcotest.test_case "negative varint lengths" `Quick
+            test_negative_varint_rejected;
           Alcotest.test_case "garbage fuzz" `Quick test_garbage_fuzz ] );
       ( "sockets",
         [ Alcotest.test_case "oracle (methods x codecs)" `Quick
@@ -634,5 +807,10 @@ let () =
             test_malformed_kills_only_conn;
           Alcotest.test_case "pipelining" `Quick test_pipelining;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "drain vs silent connections" `Quick
+            test_shutdown_silent_conns;
+          Alcotest.test_case "handshake timeout" `Quick test_handshake_timeout;
+          Alcotest.test_case "whole-receive client deadline" `Quick
+            test_client_whole_receive_deadline;
           Alcotest.test_case "connection cap" `Quick test_max_conns_refusal;
           Alcotest.test_case "http endpoints" `Quick test_http_endpoints ] ) ]
